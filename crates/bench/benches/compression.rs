@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the §3.6 scheduled-form compression engine and
+//! the CompressingDMA model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tensordash_core::{CompressedDma, Connectivity, PeGeometry, ScheduledTensor};
+
+fn dense_rows(seed: u64, rows: usize, density: f64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows)
+        .map(|_| {
+            (0..16)
+                .map(|_| if rng.gen_bool(density) { rng.gen_range(0.1f32..2.0) } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_scheduled_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduled_tensor_compress");
+    let connectivity = Connectivity::paper(PeGeometry::paper());
+    for density in [0.2, 0.8] {
+        let rows = dense_rows(1, 1024, density);
+        group.throughput(Throughput::Elements(1024 * 16));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("density_{density}")),
+            &rows,
+            |b, rows| b.iter(|| ScheduledTensor::compress(&connectivity, rows)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_scheduled_decompress(c: &mut Criterion) {
+    let connectivity = Connectivity::paper(PeGeometry::paper());
+    let rows = dense_rows(2, 1024, 0.4);
+    let tensor = ScheduledTensor::compress(&connectivity, &rows);
+    c.bench_function("scheduled_tensor_decompress", |b| {
+        b.iter(|| tensor.decompress(&connectivity))
+    });
+}
+
+fn bench_dma_roundtrip(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let values: Vec<f32> = (0..65536)
+        .map(|_| if rng.gen_bool(0.4) { rng.gen_range(-1.0..1.0) } else { 0.0 })
+        .collect();
+    c.bench_function("compressing_dma_roundtrip_64k", |b| {
+        b.iter(|| {
+            let dma = CompressedDma::compress(&values);
+            dma.decompress().len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_scheduled_compress, bench_scheduled_decompress, bench_dma_roundtrip);
+criterion_main!(benches);

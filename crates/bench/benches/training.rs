@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the DNN training substrate (the trace
+//! generator's cost, not the accelerator's).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use tensordash_nn::{Dataset, Network, Sgd, Trainer};
+use tensordash_tensor::{conv2d, Conv2dSpec, Tensor};
+use tensordash_trace::SampleSpec;
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::random(
+        &[4, 16, 24, 24],
+        rand::distributions::Uniform::new(-1.0f32, 1.0),
+        &mut rng,
+    );
+    let w = Tensor::random(
+        &[32, 16, 3, 3],
+        rand::distributions::Uniform::new(-1.0f32, 1.0),
+        &mut rng,
+    );
+    let spec = Conv2dSpec::new(1, 1);
+    c.bench_function("conv2d_forward_4x16x24x24", |b| {
+        b.iter(|| conv2d(&x, &w, &spec).unwrap())
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let dataset = Dataset::synthetic_shapes(4, 64, 12, &mut rng);
+    let network = Network::small_cnn(1, 12, 4, &mut rng);
+    let mut trainer = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
+    c.bench_function("train_epoch_64_samples", |b| {
+        b.iter(|| trainer.run_epoch(32, &mut rng).unwrap())
+    });
+}
+
+fn bench_trace_extraction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let dataset = Dataset::synthetic_shapes(4, 64, 12, &mut rng);
+    let network = Network::small_cnn(1, 12, 4, &mut rng);
+    let mut trainer = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
+    trainer.run_epoch(32, &mut rng).unwrap();
+    c.bench_function("extract_traces_from_snapshots", |b| {
+        b.iter(|| trainer.traces(16, &SampleSpec::new(16, 128)))
+    });
+}
+
+criterion_group!(benches, bench_conv_forward, bench_train_step, bench_trace_extraction);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Runs every table/figure experiment in sequence (the full evaluation).
+use tensordash_bench::experiments as exp;
+
+fn main() {
+    let banner = |name: &str| println!("\n=== {name} {}", "=".repeat(60 - name.len()));
+    banner("Table 2");
+    exp::table2::run();
+    banner("Fig 1");
+    exp::fig01::run();
+    banner("Fig 13");
+    exp::fig13::run();
+    banner("Fig 14");
+    exp::fig14::run();
+    banner("Table 3");
+    exp::table3::run();
+    banner("Fig 15");
+    exp::fig15::run();
+    banner("Fig 16");
+    exp::fig16::run();
+    banner("Fig 17");
+    exp::fig17::run();
+    banner("Fig 18");
+    exp::fig18::run();
+    banner("Fig 19");
+    exp::fig19::run();
+    banner("Fig 20");
+    exp::fig20::run();
+    banner("bf16");
+    exp::bf16::run();
+    banner("GCN");
+    exp::gcn::run();
+    println!("\nall experiments complete; CSVs under results/");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §4.4 bfloat16 comparison.
+fn main() {
+    tensordash_bench::experiments::bf16::run();
+}

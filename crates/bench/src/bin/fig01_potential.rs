@@ -1,0 +1,4 @@
+//! Regenerates Fig 1 (potential speedup per model per convolution).
+fn main() {
+    tensordash_bench::experiments::fig01::run();
+}

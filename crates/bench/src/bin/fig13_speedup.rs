@@ -1,0 +1,4 @@
+//! Regenerates Fig 13 (speedup per model per convolution).
+fn main() {
+    tensordash_bench::experiments::fig13::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 14 (speedup vs training progress).
+fn main() {
+    tensordash_bench::experiments::fig14::run();
+}

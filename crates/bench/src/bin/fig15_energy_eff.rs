@@ -1,0 +1,4 @@
+//! Regenerates Fig 15 (core and overall energy efficiency per model).
+fn main() {
+    tensordash_bench::experiments::fig15::run();
+}

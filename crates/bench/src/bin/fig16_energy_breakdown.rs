@@ -1,0 +1,4 @@
+//! Regenerates Fig 16 (DRAM/core/SRAM energy breakdown).
+fn main() {
+    tensordash_bench::experiments::fig16::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 17 (speedup vs PE rows per tile).
+fn main() {
+    tensordash_bench::experiments::fig17::run();
+}

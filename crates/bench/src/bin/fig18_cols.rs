@@ -1,0 +1,4 @@
+//! Regenerates Fig 18 (speedup vs PE columns per tile).
+fn main() {
+    tensordash_bench::experiments::fig18::run();
+}

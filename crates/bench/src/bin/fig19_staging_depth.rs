@@ -1,0 +1,4 @@
+//! Regenerates Fig 19 (staging depth 2 vs 3).
+fn main() {
+    tensordash_bench::experiments::fig19::run();
+}

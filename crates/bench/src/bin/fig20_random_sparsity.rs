@@ -1,0 +1,4 @@
+//! Regenerates Fig 20 (speedup on uniformly random sparse tensors).
+fn main() {
+    tensordash_bench::experiments::fig20::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §4.4 GCN (no-sparsity) guard-rail experiment.
+fn main() {
+    tensordash_bench::experiments::gcn::run();
+}

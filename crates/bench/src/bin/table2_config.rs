@@ -1,0 +1,4 @@
+//! Prints Table 2 (default configurations).
+fn main() {
+    tensordash_bench::experiments::table2::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (area/power breakdown + core energy efficiency).
+fn main() {
+    tensordash_bench::experiments::table3::run();
+}

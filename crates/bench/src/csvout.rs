@@ -1,0 +1,60 @@
+//! Minimal CSV output for experiment results.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Path of a result file under the workspace `results/` directory
+/// (created on demand).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_path(name: &str) -> PathBuf {
+    let dir = std::env::var("TENSORDASH_RESULTS").unwrap_or_else(|_| "results".to_string());
+    fs::create_dir_all(&dir).expect("cannot create results directory");
+    PathBuf::from(dir).join(name)
+}
+
+/// Writes a CSV file with a header and rows; cells are escaped when they
+/// contain commas or quotes.
+///
+/// # Panics
+///
+/// Panics on I/O errors — experiment harnesses want loud failures.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = results_path(name);
+    let mut file = fs::File::create(&path).expect("cannot create CSV file");
+    let escape = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    writeln!(file, "{}", header.join(",")).expect("cannot write CSV header");
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+        writeln!(file, "{}", line.join(",")).expect("cannot write CSV row");
+    }
+    println!("  -> wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_with_escaping() {
+        std::env::set_var("TENSORDASH_RESULTS", std::env::temp_dir().join("td-test").to_str().unwrap());
+        write_csv(
+            "unit_test.csv",
+            &["a", "b"],
+            &[vec!["1,2".to_string(), "plain".to_string()]],
+        );
+        let content = fs::read_to_string(results_path("unit_test.csv")).unwrap();
+        assert!(content.contains("\"1,2\",plain"));
+        std::env::remove_var("TENSORDASH_RESULTS");
+    }
+}

@@ -1,0 +1,75 @@
+//! §4.4 "Training with Bfloat16": TensorDash with bf16 arithmetic.
+//!
+//! Paper: compute-logic overheads rise to 1.13x area / 1.05x power (the
+//! priority encoders do not shrink with the datatype, muxes shrink
+//! linearly, multipliers nearly quadratically); core energy efficiency
+//! 1.84x; overall 1.43x; whole-chip area overhead stays imperceptible.
+
+use crate::csvout::write_csv;
+use crate::harness::{eval_model, EvalSpec};
+use crate::paperref;
+use tensordash_energy::area::{self, power};
+use tensordash_energy::{Arch, EnergyConstants, EnergyModel};
+use tensordash_models::paper_models;
+use tensordash_sim::ChipConfig;
+
+/// Runs the experiment; returns (area overhead, power overhead, core eff,
+/// overall eff).
+pub fn run() -> (f64, f64, f64, f64) {
+    let chip = ChipConfig::paper_bf16();
+    let k = EnergyConstants::paper();
+    let a_ratio = area::area(&chip, Arch::TensorDash, &k).compute_total()
+        / area::area(&chip, Arch::Baseline, &k).compute_total();
+    let p_ratio = power(&chip, Arch::TensorDash, &k).total()
+        / power(&chip, Arch::Baseline, &k).total();
+    let chip_ratio = area::area(&chip, Arch::TensorDash, &k).chip_total()
+        / area::area(&chip, Arch::Baseline, &k).chip_total();
+
+    println!("bf16 configuration (16-bit values, same 4096-MAC chip)");
+    println!(
+        "compute area overhead: {a_ratio:.3}x (paper {:.2}x)",
+        paperref::BF16.0
+    );
+    println!(
+        "compute power overhead: {p_ratio:.3}x (paper {:.2}x)",
+        paperref::BF16.1
+    );
+    println!("whole-chip area overhead: {chip_ratio:.4}x (paper ~1.0005x)");
+
+    let model_energy = EnergyModel::new(chip);
+    let spec = EvalSpec::sweep();
+    let mut base_core = 0.0;
+    let mut td_core = 0.0;
+    let mut base_total = 0.0;
+    let mut td_total = 0.0;
+    for model in paper_models() {
+        let report = eval_model(&chip, &model, &spec);
+        let b = model_energy.evaluate(&report.baseline_counters());
+        let t = model_energy.evaluate(&report.tensordash_counters());
+        base_core += b.core_j;
+        td_core += t.core_j;
+        base_total += b.total_j();
+        td_total += t.total_j();
+    }
+    let core_eff = base_core / td_core;
+    let overall_eff = base_total / td_total;
+    println!(
+        "core energy efficiency: {core_eff:.2}x (paper {:.2}x)",
+        paperref::BF16.2
+    );
+    println!(
+        "overall energy efficiency: {overall_eff:.2}x (paper {:.2}x)",
+        paperref::BF16.3
+    );
+    write_csv(
+        "bf16_comparison.csv",
+        &["metric", "measured", "paper"],
+        &[
+            vec!["compute_area_overhead".into(), format!("{a_ratio:.4}"), format!("{}", paperref::BF16.0)],
+            vec!["compute_power_overhead".into(), format!("{p_ratio:.4}"), format!("{}", paperref::BF16.1)],
+            vec!["core_energy_efficiency".into(), format!("{core_eff:.4}"), format!("{}", paperref::BF16.2)],
+            vec!["overall_energy_efficiency".into(), format!("{overall_eff:.4}"), format!("{}", paperref::BF16.3)],
+        ],
+    );
+    (a_ratio, p_ratio, core_eff, overall_eff)
+}

@@ -1,0 +1,67 @@
+//! Fig 13: speedup of TensorDash over the baseline, per model and per
+//! training convolution. Paper: 1.95x mean, never below 1x; DenseNet121's
+//! `W×G` negligible.
+
+use crate::csvout::write_csv;
+use crate::harness::{eval_model, EvalSpec};
+use crate::paperref;
+use tensordash_models::paper_models;
+use tensordash_sim::ChipConfig;
+use tensordash_trace::TrainingOp;
+
+/// Runs the experiment and returns the per-model totals.
+pub fn run() -> Vec<(String, f64)> {
+    let chip = ChipConfig::paper();
+    let spec = EvalSpec::headline();
+    println!("Fig 13: TensorDash speedup over baseline (mid-training, Table 2 chip)");
+    println!(
+        "{:<16} {:>7} {:>7} {:>7} {:>7}   paper-total",
+        "model", "AxW", "AxG", "WxG", "Total"
+    );
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for model in paper_models() {
+        let report = eval_model(&chip, &model, &spec);
+        let axw = report.op_speedup(TrainingOp::Forward);
+        let axg = report.op_speedup(TrainingOp::InputGrad);
+        let wxg = report.op_speedup(TrainingOp::WeightGrad);
+        let total = report.total_speedup();
+        let paper = paperref::FIG13_TOTAL
+            .iter()
+            .find(|(name, _)| *name == model.name)
+            .map_or(f64::NAN, |(_, v)| *v);
+        println!(
+            "{:<16} {axw:>7.2} {axg:>7.2} {wxg:>7.2} {total:>7.2}   ~{paper:.2}",
+            model.name
+        );
+        rows.push(vec![
+            model.name.clone(),
+            format!("{axw:.4}"),
+            format!("{axg:.4}"),
+            format!("{wxg:.4}"),
+            format!("{total:.4}"),
+            format!("{paper:.2}"),
+        ]);
+        out.push((model.name.clone(), total));
+    }
+    let mean = out.iter().map(|(_, t)| t).sum::<f64>() / out.len() as f64;
+    println!(
+        "{:<16} {:>31.2}   paper text: {:.2}x",
+        "average", mean, paperref::FIG13_MEAN
+    );
+    rows.push(vec![
+        "average".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{mean:.4}"),
+        format!("{:.2}", paperref::FIG13_MEAN),
+    ]);
+    write_csv(
+        "fig13_speedup.csv",
+        &["model", "AxW", "AxG", "WxG", "total", "paper_total"],
+        &rows,
+    );
+    out
+}

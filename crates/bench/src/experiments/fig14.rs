@@ -1,0 +1,72 @@
+//! Fig 14: speedup as training progresses (first epoch to convergence).
+//!
+//! Paper: speedups are stable throughout; dense models follow an
+//! inverted-U (rapid early rise, mild second-half decline, stable final
+//! quarter); `resnet50_DS90` starts ~1.95x settling ~1.8x and
+//! `resnet50_SM90` starts ~1.75x settling ~1.5x.
+
+use crate::csvout::write_csv;
+use crate::harness::{eval_model, EvalSpec};
+use crate::paperref;
+use tensordash_models::paper_models;
+use tensordash_sim::ChipConfig;
+
+/// Training-progress sample points.
+pub const PROGRESS: [f64; 12] =
+    [0.0, 0.02, 0.06, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.85, 0.95, 1.0];
+
+/// Runs the experiment; returns `(model, series)` pairs.
+pub fn run() -> Vec<(String, Vec<f64>)> {
+    let chip = ChipConfig::paper();
+    println!("Fig 14: TensorDash speedup vs training progress");
+    print!("{:<16}", "model");
+    for p in PROGRESS {
+        print!(" {:>5.0}%", p * 100.0);
+    }
+    println!();
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for model in paper_models() {
+        let series: Vec<f64> = PROGRESS
+            .iter()
+            .map(|&p| {
+                let spec = EvalSpec::sweep().at_progress(p);
+                eval_model(&chip, &model, &spec).total_speedup()
+            })
+            .collect();
+        print!("{:<16}", model.name);
+        for s in &series {
+            print!(" {s:>6.2}");
+        }
+        println!();
+        let mut row = vec![model.name.clone()];
+        row.extend(series.iter().map(|s| format!("{s:.4}")));
+        rows.push(row);
+        out.push((model.name.clone(), series));
+    }
+
+    // Anchors stated in the paper's text.
+    let ds = out.iter().find(|(n, _)| n == "resnet50_DS90").unwrap();
+    let sm = out.iter().find(|(n, _)| n == "resnet50_SM90").unwrap();
+    println!(
+        "resnet50_DS90: start {:.2} settle {:.2} (paper {:.2} -> {:.2})",
+        ds.1[0],
+        ds.1[6],
+        paperref::FIG14_DS90.0,
+        paperref::FIG14_DS90.1
+    );
+    println!(
+        "resnet50_SM90: start {:.2} settle {:.2} (paper {:.2} -> {:.2})",
+        sm.1[0],
+        sm.1[6],
+        paperref::FIG14_SM90.0,
+        paperref::FIG14_SM90.1
+    );
+
+    let mut header: Vec<String> = vec!["model".into()];
+    header.extend(PROGRESS.iter().map(|p| format!("{:.0}%", p * 100.0)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    write_csv("fig14_over_time.csv", &header_refs, &rows);
+    out
+}

@@ -1,0 +1,51 @@
+//! Fig 16: energy breakdown (off-chip DRAM, compute core, on-chip SRAM) of
+//! TensorDash vs the baseline, per model, normalized to the baseline.
+//!
+//! Paper: TensorDash significantly reduces the core energy, which dominates
+//! the system; SRAM and DRAM energy are essentially mode-independent.
+
+use crate::csvout::write_csv;
+use crate::harness::{eval_model, EvalSpec};
+use tensordash_energy::EnergyModel;
+use tensordash_models::paper_models;
+use tensordash_sim::ChipConfig;
+
+/// Runs the experiment.
+pub fn run() {
+    let chip = ChipConfig::paper();
+    let model_energy = EnergyModel::new(chip);
+    let spec = EvalSpec::sweep();
+    println!("Fig 16: energy breakdown, % of the baseline's total energy");
+    println!(
+        "{:<16} {:>28} {:>28}",
+        "model", "TensorDash (dram/core/sram)", "baseline (dram/core/sram)"
+    );
+
+    let mut rows = Vec::new();
+    for model in paper_models() {
+        let report = eval_model(&chip, &model, &spec);
+        let base = model_energy.evaluate(&report.baseline_counters());
+        let td = model_energy.evaluate(&report.tensordash_counters());
+        let norm = base.total_j() / 100.0;
+        let (td_d, td_c, td_s) = (td.dram_j / norm, td.core_j / norm, td.sram_j / norm);
+        let (b_d, b_c, b_s) = (base.dram_j / norm, base.core_j / norm, base.sram_j / norm);
+        println!(
+            "{:<16} {td_d:>8.1} {td_c:>9.1} {td_s:>8.1} {b_d:>9.1} {b_c:>9.1} {b_s:>8.1}",
+            model.name
+        );
+        rows.push(vec![
+            model.name.clone(),
+            format!("{td_d:.2}"),
+            format!("{td_c:.2}"),
+            format!("{td_s:.2}"),
+            format!("{b_d:.2}"),
+            format!("{b_c:.2}"),
+            format!("{b_s:.2}"),
+        ]);
+    }
+    write_csv(
+        "fig16_energy_breakdown.csv",
+        &["model", "td_dram_pct", "td_core_pct", "td_sram_pct", "base_dram_pct", "base_core_pct", "base_sram_pct"],
+        &rows,
+    );
+}

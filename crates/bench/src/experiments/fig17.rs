@@ -1,0 +1,72 @@
+//! Fig 17: TensorDash speedup vs the number of PE rows per tile
+//! (1, 2, 4, 8, 16; columns fixed at 4).
+//!
+//! Paper: average speedup decreases from 2.1x at 1 row to 1.72x at 16 rows
+//! — all rows share the dense-side staging window, so the densest stream
+//! throttles the tile, and clustered feature-map sparsity makes imbalance
+//! systematic.
+
+use crate::csvout::write_csv;
+use crate::harness::{eval_model, EvalSpec};
+use crate::paperref;
+use tensordash_models::paper_models;
+use tensordash_sim::{ChipConfig, TileConfig};
+
+/// Row counts swept.
+pub const ROWS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Runs the experiment; returns the average speedup per row count.
+pub fn run() -> Vec<(usize, f64)> {
+    println!("Fig 17: speedup vs PE rows per tile (cols = 4)");
+    print!("{:<16}", "model");
+    for r in ROWS {
+        print!(" {:>6}R", r);
+    }
+    println!();
+
+    let spec = EvalSpec::sweep();
+    let mut per_rows_totals = vec![Vec::new(); ROWS.len()];
+    let mut rows_csv = Vec::new();
+    for model in paper_models() {
+        let mut row = vec![model.name.clone()];
+        print!("{:<16}", model.name);
+        for (i, &r) in ROWS.iter().enumerate() {
+            let chip = ChipConfig {
+                tile: TileConfig { rows: r, ..TileConfig::paper() },
+                ..ChipConfig::paper()
+            };
+            let report = eval_model(&chip, &model, &spec);
+            let s = report.total_speedup();
+            print!(" {s:>7.2}");
+            per_rows_totals[i].push(s);
+            row.push(format!("{s:.4}"));
+        }
+        println!();
+        rows_csv.push(row);
+    }
+
+    let averages: Vec<(usize, f64)> = ROWS
+        .iter()
+        .zip(&per_rows_totals)
+        .map(|(&r, totals)| (r, totals.iter().sum::<f64>() / totals.len() as f64))
+        .collect();
+    print!("{:<16}", "average");
+    for (_, avg) in &averages {
+        print!(" {avg:>7.2}");
+    }
+    println!();
+    println!(
+        "paper: {:.2}x at 1 row -> {:.2}x at 16 rows",
+        paperref::FIG17_ROWS.0,
+        paperref::FIG17_ROWS.1
+    );
+    let mut avg_row = vec!["average".to_string()];
+    avg_row.extend(averages.iter().map(|(_, a)| format!("{a:.4}")));
+    rows_csv.push(avg_row);
+    write_csv(
+        "fig17_rows.csv",
+        &["model", "1row", "2rows", "4rows", "8rows", "16rows"],
+        &rows_csv,
+    );
+    averages
+}

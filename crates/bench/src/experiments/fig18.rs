@@ -1,0 +1,54 @@
+//! Fig 18: TensorDash speedup vs the number of PE columns per tile
+//! (4 vs 16; rows fixed at 4 — scaling peak throughput to 16K MACs/cycle).
+//!
+//! Paper: columns share the row's schedule, so speedup barely moves;
+//! slight drops come from fragmentation when a layer's output count does
+//! not fill the wider tile.
+
+use crate::csvout::write_csv;
+use crate::harness::{eval_model, EvalSpec};
+use tensordash_models::paper_models;
+use tensordash_sim::{ChipConfig, TileConfig};
+
+/// Column counts swept.
+pub const COLS: [usize; 2] = [4, 16];
+
+/// Runs the experiment.
+pub fn run() {
+    println!("Fig 18: speedup vs PE columns per tile (rows = 4)");
+    println!("{:<16} {:>10} {:>10}", "model", "4 cols", "16 cols");
+    let spec = EvalSpec::sweep();
+    let mut csv = Vec::new();
+    let mut sums = [0.0f64; 2];
+    let mut count = 0;
+    for model in paper_models() {
+        let mut values = [0.0f64; 2];
+        for (i, &cols) in COLS.iter().enumerate() {
+            let chip = ChipConfig {
+                tile: TileConfig { cols, ..TileConfig::paper() },
+                ..ChipConfig::paper()
+            };
+            values[i] = eval_model(&chip, &model, &spec).total_speedup();
+            sums[i] += values[i];
+        }
+        count += 1;
+        println!("{:<16} {:>10.2} {:>10.2}", model.name, values[0], values[1]);
+        csv.push(vec![
+            model.name.clone(),
+            format!("{:.4}", values[0]),
+            format!("{:.4}", values[1]),
+        ]);
+    }
+    println!(
+        "{:<16} {:>10.2} {:>10.2}   (paper: nearly flat, slight fragmentation drops)",
+        "average",
+        sums[0] / f64::from(count),
+        sums[1] / f64::from(count)
+    );
+    csv.push(vec![
+        "average".into(),
+        format!("{:.4}", sums[0] / f64::from(count)),
+        format!("{:.4}", sums[1] / f64::from(count)),
+    ]);
+    write_csv("fig18_cols.csv", &["model", "4cols", "16cols"], &csv);
+}

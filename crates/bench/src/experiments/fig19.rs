@@ -1,0 +1,54 @@
+//! Fig 19: TensorDash speedup with 2-deep staging (lookahead 1, five
+//! movements per multiplier) vs the default 3-deep buffers.
+//!
+//! Paper: the 2-deep design point is cheaper and still delivers
+//! considerable — if lower — speedups (reported for DenseNet121,
+//! SqueezeNet, img2txt, resnet50_DS90 and their geometric mean).
+
+use crate::csvout::write_csv;
+use crate::harness::{eval_model, EvalSpec};
+use tensordash_core::PeGeometry;
+use tensordash_models::paper_models;
+use tensordash_sim::{ChipConfig, TileConfig};
+use tensordash_trace::stats::geomean;
+
+/// The subset of models the paper plots.
+pub const MODELS: [&str; 4] = ["DenseNet121", "SqueezeNet", "img2txt", "resnet50_DS90"];
+
+/// Runs the experiment; returns `(model, 2-deep, 3-deep)` rows.
+pub fn run() -> Vec<(String, f64, f64)> {
+    println!("Fig 19: speedup with staging depth 2 vs 3");
+    println!("{:<16} {:>10} {:>10}", "model", "2-deep", "3-deep");
+    let spec = EvalSpec::sweep();
+    let mut out = Vec::new();
+    let mut csv = Vec::new();
+    for model in paper_models() {
+        if !MODELS.contains(&model.name.as_str()) {
+            continue;
+        }
+        let mut values = [0.0f64; 2];
+        for (i, depth) in [2usize, 3].iter().enumerate() {
+            let chip = ChipConfig {
+                tile: TileConfig {
+                    pe: PeGeometry::new(16, *depth).unwrap(),
+                    ..TileConfig::paper()
+                },
+                ..ChipConfig::paper()
+            };
+            values[i] = eval_model(&chip, &model, &spec).total_speedup();
+        }
+        println!("{:<16} {:>10.2} {:>10.2}", model.name, values[0], values[1]);
+        csv.push(vec![
+            model.name.clone(),
+            format!("{:.4}", values[0]),
+            format!("{:.4}", values[1]),
+        ]);
+        out.push((model.name.clone(), values[0], values[1]));
+    }
+    let g2 = geomean(&out.iter().map(|(_, a, _)| *a).collect::<Vec<_>>());
+    let g3 = geomean(&out.iter().map(|(_, _, b)| *b).collect::<Vec<_>>());
+    println!("{:<16} {g2:>10.2} {g3:>10.2}", "geomean");
+    csv.push(vec!["geomean".into(), format!("{g2:.4}"), format!("{g3:.4}")]);
+    write_csv("fig19_staging_depth.csv", &["model", "2deep", "3deep"], &csv);
+    out
+}

@@ -1,0 +1,81 @@
+//! Fig 20: TensorDash speedup on synthetically random tensors, sparsity
+//! swept 10%..90% on the geometry of DenseNet121's third convolution,
+//! 10 samples per level.
+//!
+//! Paper: performance closely follows the sparsity level, tracking the
+//! ideal machine `min(1/(1-s), 3)` — 1.1x at 10%, ~2x at 50%, 2.95x at 90%
+//! (the 3-deep staging caps the ideal 10x at 3x).
+
+use crate::csvout::write_csv;
+use crate::paperref;
+use tensordash_core::{ideal_speedup as core_ideal, PeGeometry};
+use tensordash_models::zoo::densenet121;
+use tensordash_sim::{simulate_pair, ChipConfig};
+use tensordash_trace::{SampleSpec, SparsityGen, TrainingOp, UniformSparsity};
+
+/// Sparsity levels swept (the paper's 0.1 .. 0.9 step 0.1).
+pub const LEVELS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Runs the experiment; returns `(sparsity, total speedup, ideal)` rows.
+pub fn run() -> Vec<(f64, f64, f64)> {
+    let chip = ChipConfig::paper();
+    // "the architecture of the third conv. layer from DenseNet121".
+    let dims = densenet121().layers[3].dims;
+    let sample = SampleSpec::new(32, 512);
+    println!("Fig 20: speedup on uniformly random sparse tensors ({dims})");
+    println!(
+        "{:>8} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "sparsity", "AxW", "AxG", "WxG", "Total", "ideal"
+    );
+
+    let mut out = Vec::new();
+    let mut csv = Vec::new();
+    for &s in &LEVELS {
+        let gen = UniformSparsity::new(s);
+        let mut per_op = [0.0f64; 3];
+        let mut td_total = 0u64;
+        let mut base_total = 0u64;
+        for (i, op) in TrainingOp::ALL.iter().enumerate() {
+            // 10 random samples per level, as in the paper.
+            let mut td = 0u64;
+            let mut base = 0u64;
+            for sample_idx in 0..10u64 {
+                let trace = gen.op_trace(dims, *op, 16, &sample, 0x20F1 + sample_idx * 97);
+                let (t, b) = simulate_pair(&chip, &trace);
+                td += t.compute_cycles;
+                base += b.compute_cycles;
+            }
+            per_op[i] = base as f64 / td as f64;
+            td_total += td;
+            base_total += base;
+        }
+        let total = base_total as f64 / td_total as f64;
+        let ideal_speedup = core_ideal(PeGeometry::paper(), s);
+        println!(
+            "{:>7.0}% {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+            s * 100.0,
+            per_op[0],
+            per_op[1],
+            per_op[2],
+            total,
+            ideal_speedup
+        );
+        csv.push(vec![
+            format!("{s:.1}"),
+            format!("{:.4}", per_op[0]),
+            format!("{:.4}", per_op[1]),
+            format!("{:.4}", per_op[2]),
+            format!("{total:.4}"),
+            format!("{ideal_speedup:.4}"),
+        ]);
+        out.push((s, total, ideal_speedup));
+    }
+    let at_90 = out.last().unwrap().1;
+    println!("at 90%: {at_90:.2}x (paper {:.2}x of the 3x ceiling)", paperref::FIG20_AT_90);
+    write_csv(
+        "fig20_random_sparsity.csv",
+        &["sparsity", "AxW", "AxG", "WxG", "total", "ideal"],
+        &csv,
+    );
+    out
+}

@@ -1,0 +1,98 @@
+//! Table 3: area and power breakdown of TensorDash vs the baseline (FP32),
+//! plus the core energy efficiency derived from the full model sweep.
+//!
+//! Paper: 33.44 vs 30.80 mm² (1.09x), 14205 vs 13957 mW (1.02x), core
+//! energy efficiency 1.89x.
+
+use crate::csvout::write_csv;
+use crate::harness::{eval_model, EvalSpec};
+use crate::paperref;
+use tensordash_energy::area::{self, power};
+use tensordash_energy::{Arch, EnergyConstants, EnergyModel};
+use tensordash_models::paper_models;
+use tensordash_sim::ChipConfig;
+
+/// Runs the experiment; returns (area overhead, power overhead, core eff).
+pub fn run() -> (f64, f64, f64) {
+    let chip = ChipConfig::paper();
+    let k = EnergyConstants::paper();
+    let td_area = area::area(&chip, Arch::TensorDash, &k);
+    let base_area = area::area(&chip, Arch::Baseline, &k);
+    let td_power = power(&chip, Arch::TensorDash, &k);
+    let base_power = power(&chip, Arch::Baseline, &k);
+
+    println!("Table 3: area [mm2] and power [mW] breakdown (FP32, 65nm)");
+    println!("{:<26} {:>12} {:>12} {:>12} {:>12}", "component", "TD area", "base area", "TD power", "base power");
+    let fmt = |v: f64| if v == 0.0 { "-".to_string() } else { format!("{v:.2}") };
+    let rows_data = [
+        ("Compute Cores", td_area.compute_cores, base_area.compute_cores, td_power.compute_cores, base_power.compute_cores),
+        ("Transposers", td_area.transposers, base_area.transposers, td_power.transposers, base_power.transposers),
+        ("Schedulers+B-Side MUXes", td_area.schedulers_bmux, base_area.schedulers_bmux, td_power.schedulers_bmux, base_power.schedulers_bmux),
+        ("A-Side MUXes", td_area.amux, base_area.amux, td_power.amux, base_power.amux),
+    ];
+    let mut csv = Vec::new();
+    for (name, ta, ba, tp, bp) in rows_data {
+        println!("{name:<26} {:>12} {:>12} {:>12} {:>12}", fmt(ta), fmt(ba), fmt(tp), fmt(bp));
+        csv.push(vec![name.to_string(), fmt(ta), fmt(ba), fmt(tp), fmt(bp)]);
+    }
+    let area_ratio = td_area.compute_total() / base_area.compute_total();
+    let power_ratio = td_power.total() / base_power.total();
+    println!(
+        "{:<26} {:>12.2} {:>12.2} {:>12.0} {:>12.0}",
+        "Total",
+        td_area.compute_total(),
+        base_area.compute_total(),
+        td_power.total(),
+        base_power.total()
+    );
+    println!(
+        "Normalized: area {:.3}x (paper {:.2}x), power {:.3}x (paper {:.2}x)",
+        area_ratio,
+        paperref::TABLE3_AREA_OVERHEAD,
+        power_ratio,
+        paperref::TABLE3_POWER_OVERHEAD
+    );
+    println!(
+        "Whole chip incl. AM/BM/CM + scratchpads: {:.1} vs {:.1} mm2 ({:.4}x)",
+        td_area.chip_total(),
+        base_area.chip_total(),
+        td_area.chip_total() / base_area.chip_total()
+    );
+
+    // Core energy efficiency across the full model sweep.
+    let model_energy = EnergyModel::new(chip);
+    let spec = EvalSpec::sweep();
+    let mut base_core = 0.0;
+    let mut td_core = 0.0;
+    for model in paper_models() {
+        let report = eval_model(&chip, &model, &spec);
+        base_core += model_energy.evaluate(&report.baseline_counters()).core_j;
+        td_core += model_energy.evaluate(&report.tensordash_counters()).core_j;
+    }
+    let core_eff = base_core / td_core;
+    println!(
+        "Energy efficiency (compute logic): {:.2}x (paper {:.2}x)",
+        core_eff,
+        paperref::TABLE3_CORE_EFFICIENCY
+    );
+    csv.push(vec![
+        "Normalized".into(),
+        format!("{area_ratio:.4}"),
+        "1".into(),
+        format!("{power_ratio:.4}"),
+        "1".into(),
+    ]);
+    csv.push(vec![
+        "Energy Efficiency".into(),
+        format!("{core_eff:.4}"),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    write_csv(
+        "table3_area_power.csv",
+        &["component", "td_area_mm2", "base_area_mm2", "td_power_mw", "base_power_mw"],
+        &csv,
+    );
+    (area_ratio, power_ratio, core_eff)
+}

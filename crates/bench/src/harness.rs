@@ -1,0 +1,138 @@
+//! The shared model-evaluation pipeline.
+
+use tensordash_models::{layer_traces, ModelSpec};
+use tensordash_sim::{simulate_pair, ChipConfig, LayerReport, ModelReport, OpAggregate};
+use tensordash_trace::SampleSpec;
+
+/// How to evaluate a model: sampling effort, training progress, seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSpec {
+    /// Stream sampling caps.
+    pub sample: SampleSpec,
+    /// Training progress in `[0, 1]` (0.45 ≈ the stable mid-training
+    /// plateau the headline figures report).
+    pub progress: f64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl EvalSpec {
+    /// The sweep default: 32 streams × 512 rows at mid-training.
+    #[must_use]
+    pub fn sweep() -> Self {
+        EvalSpec {
+            sample: SampleSpec::new(32, 512),
+            progress: 0.45,
+            seed: 0xDA5A,
+        }
+    }
+
+    /// A heavier spec for headline numbers: 64 streams × 2048 rows.
+    #[must_use]
+    pub fn headline() -> Self {
+        EvalSpec {
+            sample: SampleSpec::new(64, 2048),
+            progress: 0.45,
+            seed: 0xDA5A,
+        }
+    }
+
+    /// Same spec at a different training progress.
+    #[must_use]
+    pub fn at_progress(mut self, progress: f64) -> Self {
+        self.progress = progress;
+        self
+    }
+}
+
+/// Evaluates one model on one chip: every layer, all three operations,
+/// TensorDash and baseline. Layers are processed in parallel across the
+/// available cores.
+#[must_use]
+pub fn eval_model(chip: &ChipConfig, model: &ModelSpec, spec: &EvalSpec) -> ModelReport {
+    eval_model_with_chip_label(chip, model, spec, &model.name)
+}
+
+/// As [`eval_model`] with an explicit report label (used by sweeps that
+/// evaluate one model on several chip geometries).
+#[must_use]
+pub fn eval_model_with_chip_label(
+    chip: &ChipConfig,
+    model: &ModelSpec,
+    spec: &EvalSpec,
+    label: &str,
+) -> ModelReport {
+    let lanes = chip.tile.pe.lanes();
+    let traces = layer_traces(model, spec.progress, lanes, &spec.sample, spec.seed);
+
+    let threads = std::thread::available_parallelism().map_or(1, usize::from).min(8);
+    let chunk = traces.len().div_ceil(threads.max(1)).max(1);
+    let mut layers: Vec<LayerReport> = Vec::with_capacity(traces.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|(layer, ops)| {
+                            let aggregates = ops
+                                .iter()
+                                .map(|trace| {
+                                    let (td, base) = simulate_pair(chip, trace);
+                                    OpAggregate { op: trace.op, tensordash: td, baseline: base }
+                                })
+                                .collect();
+                            LayerReport { label: layer.name.clone(), ops: aggregates }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            layers.extend(handle.join().expect("layer simulation thread panicked"));
+        }
+    })
+    .expect("evaluation scope panicked");
+
+    ModelReport { name: label.to_string(), layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensordash_models::paper_models;
+    use tensordash_trace::TrainingOp;
+
+    #[test]
+    fn alexnet_evaluates_with_positive_speedup() {
+        let chip = ChipConfig::paper();
+        let model = &paper_models()[0];
+        let spec = EvalSpec {
+            sample: SampleSpec::new(16, 128),
+            progress: 0.45,
+            seed: 1,
+        };
+        let report = eval_model(&chip, model, &spec);
+        assert_eq!(report.layers.len(), model.layers.len());
+        let total = report.total_speedup();
+        assert!(total > 1.5 && total < 3.0, "AlexNet total {total}");
+        for op in TrainingOp::ALL {
+            assert!(report.op_speedup(op) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let chip = ChipConfig::paper();
+        let model = &paper_models()[2]; // SqueezeNet
+        let spec = EvalSpec { sample: SampleSpec::new(8, 64), progress: 0.3, seed: 9 };
+        let a = eval_model(&chip, model, &spec);
+        let b = eval_model(&chip, model, &spec);
+        assert_eq!(a.total_speedup(), b.total_speedup());
+        assert_eq!(
+            a.tensordash_counters().compute_cycles,
+            b.tensordash_counters().compute_cycles
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # tensordash-bench
+//!
+//! The experiment harness: shared evaluation pipeline plus one runnable
+//! binary per table/figure of the paper's evaluation (see DESIGN.md §4 for
+//! the experiment index and `EXPERIMENTS.md` for paper-vs-measured).
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p tensordash-bench --bin all_experiments
+//! ```
+//!
+//! Individual experiments are `fig01_potential`, `table2_config`,
+//! `fig13_speedup`, `fig14_over_time`, `table3_area_power`,
+//! `fig15_energy_eff`, `fig16_energy_breakdown`, `fig17_rows`,
+//! `fig18_cols`, `fig19_staging_depth`, `fig20_random_sparsity`,
+//! `bf16_comparison`, and `gcn_no_sparsity`. Each prints the paper's
+//! rows/series next to the regenerated numbers and writes a CSV under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csvout;
+pub mod experiments;
+pub mod harness;
+pub mod paperref;
+
+pub use csvout::{results_path, write_csv};
+pub use harness::{eval_model, eval_model_with_chip_label, EvalSpec};

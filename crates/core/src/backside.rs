@@ -1,0 +1,150 @@
+//! The back-side scheduler (§3.7): scheduling at the *output* of the PEs.
+//!
+//! Instead of scheduling an input tensor just before the multipliers, the
+//! values produced by a layer can be pre-scheduled as they are written back,
+//! storing them in scheduled `(v, idx)` form. Benefits (paper §3.7):
+//! footprint and access-count reduction for the producing layer's output —
+//! which the *next* layer (or the backward pass) reads — and an amplified
+//! effective on-chip capacity.
+//!
+//! Because each output value takes several MAC-cycles to produce, the
+//! back-side scheduler may be *iterative*: it reuses a single level of the
+//! Fig 10 hierarchy over `levels` cycles per scheduled block rather than
+//! evaluating all levels combinationally, trading latency (hidden behind
+//! the PE's compute) for area. Behaviourally the schedule is identical; the
+//! cost model differs, which [`IterativeCost`] captures for the energy
+//! model.
+
+use crate::compress::ScheduledTensor;
+use crate::connectivity::Connectivity;
+use crate::element::Element;
+
+/// Hardware-cost flavour of a back-side scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IterativeCost {
+    /// Full combinational hierarchy: one block scheduled per cycle.
+    #[default]
+    Combinational,
+    /// One hierarchy level instantiated, reused over `levels` cycles per
+    /// block (the paper's cheaper option for the output side).
+    Iterative,
+}
+
+/// A back-side scheduler attached to a PE column's output stream.
+#[derive(Debug, Clone)]
+pub struct BacksideScheduler {
+    connectivity: Connectivity,
+    cost: IterativeCost,
+}
+
+impl BacksideScheduler {
+    /// Creates a back-side scheduler for `connectivity`.
+    #[must_use]
+    pub fn new(connectivity: Connectivity, cost: IterativeCost) -> Self {
+        BacksideScheduler { connectivity, cost }
+    }
+
+    /// The interconnect this scheduler re-uses.
+    #[must_use]
+    pub fn connectivity(&self) -> &Connectivity {
+        &self.connectivity
+    }
+
+    /// The configured cost flavour.
+    #[must_use]
+    pub fn cost(&self) -> IterativeCost {
+        self.cost
+    }
+
+    /// Schedules an output tensor (a stream of `lanes`-wide rows) into
+    /// scheduled form, returning the compressed tensor and the cycles the
+    /// scheduling hardware itself occupies.
+    ///
+    /// For [`IterativeCost::Combinational`] one block is scheduled per
+    /// cycle; for [`IterativeCost::Iterative`] each block takes one cycle
+    /// per hierarchy level. Whether those cycles are visible depends on the
+    /// producing layer's compute time — computing one output of a typical
+    /// layer takes far longer, so the iterative latency hides (§3.7).
+    pub fn schedule_output<T: Element>(&self, rows: &[Vec<T>]) -> (ScheduledTensor<T>, u64) {
+        let tensor = ScheduledTensor::compress(&self.connectivity, rows);
+        let blocks = tensor.rows().len() as u64;
+        let cycles = match self.cost {
+            IterativeCost::Combinational => blocks,
+            IterativeCost::Iterative => blocks * self.connectivity.levels().len() as u64,
+        };
+        (tensor, cycles)
+    }
+
+    /// Cycles needed to schedule `blocks` output blocks without touching
+    /// values — the closed-form used by the cycle simulator.
+    #[must_use]
+    pub fn scheduling_cycles(&self, blocks: u64) -> u64 {
+        match self.cost {
+            IterativeCost::Combinational => blocks,
+            IterativeCost::Iterative => blocks * self.connectivity.levels().len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PeGeometry;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn outputs(seed: u64, rows: usize, density: f64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rows)
+            .map(|_| {
+                (0..16)
+                    .map(|_| {
+                        if rng.gen_bool(density) {
+                            rng.gen_range(-1.0f32..1.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn output_schedule_roundtrips() {
+        let c = Connectivity::paper(PeGeometry::paper());
+        let b = BacksideScheduler::new(c.clone(), IterativeCost::Combinational);
+        let rows = outputs(1, 50, 0.4);
+        let (tensor, _) = b.schedule_output(&rows);
+        assert_eq!(tensor.decompress(&c), rows);
+    }
+
+    #[test]
+    fn iterative_costs_levels_times_more() {
+        let c = Connectivity::paper(PeGeometry::paper());
+        let rows = outputs(2, 60, 0.3);
+        let comb = BacksideScheduler::new(c.clone(), IterativeCost::Combinational);
+        let iter = BacksideScheduler::new(c.clone(), IterativeCost::Iterative);
+        let (t1, cycles1) = comb.schedule_output(&rows);
+        let (t2, cycles2) = iter.schedule_output(&rows);
+        assert_eq!(t1, t2, "cost flavour must not change the schedule");
+        assert_eq!(cycles2, cycles1 * c.levels().len() as u64);
+    }
+
+    #[test]
+    fn paper_pe_uses_six_iterative_cycles_per_block() {
+        // §3.7: "such a scheduler can take 6 cycles to schedule a block".
+        let c = Connectivity::paper(PeGeometry::paper());
+        let b = BacksideScheduler::new(c, IterativeCost::Iterative);
+        assert_eq!(b.scheduling_cycles(1), 6);
+        assert_eq!(b.scheduling_cycles(10), 60);
+    }
+
+    #[test]
+    fn scheduling_cycles_match_schedule_output() {
+        let c = Connectivity::paper(PeGeometry::paper());
+        let b = BacksideScheduler::new(c, IterativeCost::Iterative);
+        let rows = outputs(3, 40, 0.5);
+        let (tensor, cycles) = b.schedule_output(&rows);
+        assert_eq!(cycles, b.scheduling_cycles(tensor.rows().len() as u64));
+    }
+}

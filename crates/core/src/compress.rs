@@ -1,0 +1,394 @@
+//! Scheduled-form tensor compression (§3.6, Fig 12).
+//!
+//! TensorDash's scheduler can double as a *memory compression engine*: a
+//! tensor is stored as the sequence of schedules its values would follow
+//! through a one-side scheduler — each stored value is a `(v, idx)` pair
+//! where `idx` is the movement (`MS` mux select) the value performed. Only
+//! non-zero values are stored, so footprint and the number of memory
+//! accesses shrink with sparsity; a mirror multiplexer stage (Fig 12)
+//! re-expands the tensor to dense form before the scratchpads.
+//!
+//! This module also models the baseline's off-chip zero compression
+//! ([`CompressedDma`], the "CompressingDMA" of Rhu et al. used by both the
+//! baseline and TensorDash in the paper's evaluation, §4).
+
+use crate::connectivity::Connectivity;
+use crate::element::Element;
+use crate::geometry::MAX_DEPTH;
+use crate::scheduler::Scheduler;
+use crate::staging::StagingBuffer;
+
+/// One stored value: the value itself plus the movement-select index it
+/// performed (the `idx` field of §3.6, equal to the front-end `MS` signal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledValue<T> {
+    /// The non-zero value.
+    pub value: T,
+    /// Index into the owning lane's movement-option list.
+    pub ms: u8,
+}
+
+/// One row of a scheduled tensor: up to `lanes` values plus the row's
+/// window-advance amount (the `AS` metadata needed for decompression).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledRow<T> {
+    /// Per-lane slot: `None` when the lane was idle this step.
+    pub slots: Vec<Option<ScheduledValue<T>>>,
+    /// Dense rows the window advanced after this step (1..=depth).
+    pub advance: u8,
+}
+
+impl<T> ScheduledRow<T> {
+    /// Number of occupied lanes in this row.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// A tensor stored in scheduled (compressed) form.
+///
+/// ```
+/// use tensordash_core::{Connectivity, PeGeometry, ScheduledTensor};
+///
+/// let connectivity = Connectivity::paper(PeGeometry::paper());
+/// let dense: Vec<Vec<f32>> = vec![
+///     vec![0.0; 16],
+///     {
+///         let mut r = vec![0.0; 16];
+///         r[3] = 1.5;
+///         r
+///     },
+///     vec![0.0; 16],
+/// ];
+/// let scheduled = ScheduledTensor::compress(&connectivity, &dense);
+/// assert!(scheduled.rows().len() < dense.len());
+/// assert_eq!(scheduled.decompress(&connectivity), dense);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledTensor<T> {
+    rows: Vec<ScheduledRow<T>>,
+    dense_rows: usize,
+    lanes: usize,
+    stored_values: usize,
+}
+
+impl<T: Element> ScheduledTensor<T> {
+    /// Compresses `dense` (a sequence of `lanes`-wide rows) by one-side
+    /// scheduling: `Z` is the tensor's own non-zero vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row is wider than the interconnect's lane count.
+    #[must_use]
+    pub fn compress(connectivity: &Connectivity, dense: &[Vec<T>]) -> Self {
+        let geometry = connectivity.geometry();
+        let scheduler = Scheduler::new(connectivity);
+        let mut stage = StagingBuffer::<T>::new(geometry);
+        let mut z = [0u64; MAX_DEPTH];
+        let mut next = 0usize;
+        let mut rows = Vec::new();
+        let mut stored_values = 0usize;
+
+        loop {
+            while !stage.is_full() && next < dense.len() {
+                let slot = stage.rows_pending();
+                stage.push_row(&dense[next]);
+                z[slot] = stage.nonzero_vector()[slot];
+                next += 1;
+            }
+            let pending = stage.rows_pending();
+            if pending == 0 {
+                break;
+            }
+            let schedule = scheduler.step_schedule(&mut z);
+            let slots: Vec<Option<ScheduledValue<T>>> = schedule
+                .selections
+                .iter()
+                .map(|sel| {
+                    sel.map(|sel| {
+                        stored_values += 1;
+                        ScheduledValue {
+                            value: stage.read(sel.movement),
+                            ms: sel.option_index,
+                        }
+                    })
+                })
+                .collect();
+            let advance = schedule.advance.min(pending);
+            rows.push(ScheduledRow { slots, advance: advance as u8 });
+            stage.advance(advance);
+            z.rotate_left(advance);
+            for slot in &mut z[MAX_DEPTH - advance..] {
+                *slot = 0;
+            }
+        }
+
+        ScheduledTensor {
+            rows,
+            dense_rows: dense.len(),
+            lanes: geometry.lanes(),
+            stored_values,
+        }
+    }
+
+    /// The scheduled rows.
+    #[must_use]
+    pub fn rows(&self) -> &[ScheduledRow<T>] {
+        &self.rows
+    }
+
+    /// Rows of the original dense tensor.
+    #[must_use]
+    pub fn dense_rows(&self) -> usize {
+        self.dense_rows
+    }
+
+    /// Non-zero values stored.
+    #[must_use]
+    pub fn stored_values(&self) -> usize {
+        self.stored_values
+    }
+
+    /// Re-expands to dense form — the mirror-multiplexer stage of Fig 12.
+    ///
+    /// The `connectivity` must match the one used for compression.
+    #[must_use]
+    pub fn decompress(&self, connectivity: &Connectivity) -> Vec<Vec<T>> {
+        let mut dense = vec![vec![T::ZERO; self.lanes]; self.dense_rows];
+        let mut base = 0usize;
+        for row in &self.rows {
+            for (lane, slot) in row.slots.iter().enumerate() {
+                if let Some(sv) = slot {
+                    let mv = connectivity.options(lane)[sv.ms as usize];
+                    dense[base + mv.step as usize][mv.lane as usize] = sv.value;
+                }
+            }
+            base += row.advance as usize;
+        }
+        dense
+    }
+
+    /// Footprint in bits when each value costs `value_bits`, each occupied
+    /// lane is flagged in a per-row presence bitmap, each stored value
+    /// carries its `ms` index, and each row carries a 2-bit advance field.
+    #[must_use]
+    pub fn footprint_bits(&self, value_bits: u32, ms_bits: u32) -> u64 {
+        let per_row = self.lanes as u64 + 2;
+        let per_value = u64::from(value_bits) + u64::from(ms_bits);
+        self.rows.len() as u64 * per_row + self.stored_values as u64 * per_value
+    }
+
+    /// Dense footprint in bits for comparison.
+    #[must_use]
+    pub fn dense_bits(&self, value_bits: u32) -> u64 {
+        self.dense_rows as u64 * self.lanes as u64 * u64::from(value_bits)
+    }
+
+    /// Compression ratio `dense / scheduled` (greater than 1 is a win).
+    #[must_use]
+    pub fn compression_ratio(&self, value_bits: u32, ms_bits: u32) -> f64 {
+        let scheduled = self.footprint_bits(value_bits, ms_bits);
+        if scheduled == 0 {
+            1.0
+        } else {
+            self.dense_bits(value_bits) as f64 / scheduled as f64
+        }
+    }
+}
+
+/// The zero-compression the paper's baseline and TensorDash both apply to
+/// off-chip transfers (Rhu et al.'s CompressingDMA): values travel in
+/// 32-value blocks, each prefixed by a 32-bit non-zero bitmap followed by
+/// the non-zero values only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedDma<T> {
+    blocks: Vec<(u32, Vec<T>)>,
+    len: usize,
+}
+
+/// Values per CompressingDMA block.
+pub const DMA_BLOCK: usize = 32;
+
+impl<T: Element> CompressedDma<T> {
+    /// Compresses a flat value stream.
+    #[must_use]
+    pub fn compress(values: &[T]) -> Self {
+        let blocks = values
+            .chunks(DMA_BLOCK)
+            .map(|chunk| {
+                let mut bitmap = 0u32;
+                let mut kept = Vec::new();
+                for (i, v) in chunk.iter().enumerate() {
+                    if !v.is_zero() {
+                        bitmap |= 1 << i;
+                        kept.push(*v);
+                    }
+                }
+                (bitmap, kept)
+            })
+            .collect();
+        CompressedDma { blocks, len: values.len() }
+    }
+
+    /// Restores the original stream.
+    #[must_use]
+    pub fn decompress(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for (bitmap, kept) in &self.blocks {
+            let block_len = DMA_BLOCK.min(self.len - out.len());
+            let mut it = kept.iter();
+            for i in 0..block_len {
+                if bitmap >> i & 1 != 0 {
+                    out.push(*it.next().expect("bitmap/value mismatch"));
+                } else {
+                    out.push(T::ZERO);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transferred size in bits for `value_bits`-wide values.
+    #[must_use]
+    pub fn transfer_bits(&self, value_bits: u32) -> u64 {
+        self.blocks
+            .iter()
+            .map(|(_, kept)| DMA_BLOCK as u64 + kept.len() as u64 * u64::from(value_bits))
+            .sum()
+    }
+}
+
+/// Closed-form CompressingDMA transfer size used by the memory model when
+/// only value *counts* are known: `total` values of which `nonzero` are
+/// non-zero, `value_bits` bits each.
+#[must_use]
+pub fn dma_transfer_bits(total: u64, nonzero: u64, value_bits: u32) -> u64 {
+    let blocks = total.div_ceil(DMA_BLOCK as u64);
+    blocks * DMA_BLOCK as u64 + nonzero * u64::from(value_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PeGeometry;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_dense(seed: u64, rows: usize, lanes: usize, density: f64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rows)
+            .map(|_| {
+                (0..lanes)
+                    .map(|_| {
+                        if rng.gen_bool(density) {
+                            rng.gen_range(0.1f32..4.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_restores_the_dense_tensor() {
+        let c = Connectivity::paper(PeGeometry::paper());
+        for (seed, density) in [(1, 0.1), (2, 0.35), (3, 0.6), (4, 0.95)] {
+            let dense = random_dense(seed, 48, 16, density);
+            let t = ScheduledTensor::compress(&c, &dense);
+            assert_eq!(t.decompress(&c), dense, "density {density}");
+        }
+    }
+
+    #[test]
+    fn sparse_tensors_take_fewer_rows() {
+        let c = Connectivity::paper(PeGeometry::paper());
+        let dense = random_dense(5, 300, 16, 0.2);
+        let t = ScheduledTensor::compress(&c, &dense);
+        assert!(t.rows().len() < 300 / 2, "80% sparsity should halve rows");
+        assert!(t.compression_ratio(32, 3) > 1.5);
+    }
+
+    #[test]
+    fn dense_tensor_does_not_grow_rows() {
+        let c = Connectivity::paper(PeGeometry::paper());
+        let dense = random_dense(6, 100, 16, 1.0);
+        let t = ScheduledTensor::compress(&c, &dense);
+        assert_eq!(t.rows().len(), 100);
+        // Per-row metadata and the 3-bit ms index per value mean a fully
+        // dense tensor pays a ~11% overhead (35/32 bits plus row headers).
+        assert!(t.compression_ratio(32, 3) < 1.0);
+        assert!(t.compression_ratio(32, 3) > 0.85);
+    }
+
+    #[test]
+    fn stored_values_equal_nonzeros() {
+        let c = Connectivity::paper(PeGeometry::paper());
+        let dense = random_dense(7, 64, 16, 0.4);
+        let nonzeros: usize = dense
+            .iter()
+            .flatten()
+            .filter(|v| **v != 0.0)
+            .count();
+        let t = ScheduledTensor::compress(&c, &dense);
+        assert_eq!(t.stored_values(), nonzeros);
+    }
+
+    #[test]
+    fn all_zero_tensor_compresses_to_depth_fraction() {
+        let c = Connectivity::paper(PeGeometry::paper());
+        let dense = vec![vec![0.0f32; 16]; 99];
+        let t = ScheduledTensor::compress(&c, &dense);
+        assert_eq!(t.rows().len(), 33);
+        assert_eq!(t.stored_values(), 0);
+        assert_eq!(t.decompress(&c), dense);
+    }
+
+    #[test]
+    fn shallow_geometry_roundtrips_too() {
+        let c = Connectivity::paper(PeGeometry::paper_shallow());
+        let dense = random_dense(8, 80, 16, 0.3);
+        let t = ScheduledTensor::compress(&c, &dense);
+        assert_eq!(t.decompress(&c), dense);
+    }
+
+    #[test]
+    fn dma_roundtrip() {
+        let mut values = vec![0.0f32; 100];
+        values[3] = 1.0;
+        values[37] = -2.5;
+        values[99] = 7.0;
+        let dma = CompressedDma::compress(&values);
+        assert_eq!(dma.decompress(), values);
+    }
+
+    #[test]
+    fn dma_transfer_size_shrinks_with_sparsity() {
+        let sparse = CompressedDma::compress(&vec![0.0f32; 320]);
+        let dense = CompressedDma::compress(&vec![1.0f32; 320]);
+        assert_eq!(sparse.transfer_bits(32), 320);
+        assert_eq!(dense.transfer_bits(32), 320 + 320 * 32);
+        assert!(sparse.transfer_bits(32) < dense.transfer_bits(32));
+    }
+
+    #[test]
+    fn dma_closed_form_matches_value_level() {
+        let values: Vec<f32> = (0..200)
+            .map(|i| if i % 3 == 0 { i as f32 } else { 0.0 })
+            .collect();
+        let nonzero = values.iter().filter(|v| **v != 0.0).count() as u64;
+        let dma = CompressedDma::compress(&values);
+        assert_eq!(
+            dma.transfer_bits(32),
+            dma_transfer_bits(200, nonzero, 32)
+        );
+    }
+
+    #[test]
+    fn dma_partial_final_block_roundtrips() {
+        let values = vec![1.0f32, 0.0, 2.0];
+        let dma = CompressedDma::compress(&values);
+        assert_eq!(dma.decompress(), values);
+    }
+}

@@ -1,0 +1,404 @@
+//! The sparse input interconnect: per-lane movement options (Fig 9) and the
+//! conflict-free level grouping used by the hierarchical scheduler (Fig 10).
+//!
+//! Each multiplier input is fed through a small multiplexer that can read one
+//! of a limited set of staging-buffer cells. A cell is addressed by a
+//! [`Movement`]: a staging *step* (0 = the dense schedule, 1..=lookahead =
+//! rows ahead in time) and an absolute *lane*. The set of options per lane is
+//! identical in shape across lanes, shifted by the lane index and wrapping at
+//! the PE edges ("the ports are treated as if they are arranged into a ring").
+//!
+//! For the paper's 16-lane, 3-deep PE, lane `i` can source, in priority order:
+//!
+//! ```text
+//! (+0, i)                      the original dense value
+//! (+1, i), (+2, i)             lookahead 1 and 2 steps
+//! (+1, i-1), (+1, i+1),
+//! (+2, i-2), (+2, i+2),
+//! (+1, i-3)                    the five lookaside options
+//! ```
+//!
+//! which is an 8-input multiplexer (3-bit select). With 2-deep staging the
+//! `+2` options disappear, leaving the paper's 5-movement low-cost variant.
+
+use crate::error::GeometryError;
+use crate::geometry::PeGeometry;
+
+/// One staging-buffer cell reachable by a multiplier input.
+///
+/// `step` counts rows ahead of the dense schedule (0 = current row) and
+/// `lane` is the absolute source lane within the PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Movement {
+    /// Staging-buffer row: 0 is the dense schedule, `k` is `k` steps ahead.
+    pub step: u8,
+    /// Absolute source lane within the PE.
+    pub lane: u8,
+}
+
+impl Movement {
+    /// Creates a movement addressing staging row `step`, lane `lane`.
+    #[must_use]
+    pub fn new(step: u8, lane: u8) -> Self {
+        Movement { step, lane }
+    }
+}
+
+impl std::fmt::Display for Movement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(+{}, {})", self.step, self.lane)
+    }
+}
+
+/// A lane-relative movement option: `(step, lane_offset)` where the offset is
+/// added to the lane index modulo the lane count.
+pub type RelativeOption = (usize, isize);
+
+/// Describes the interconnect shape independent of the PE geometry.
+///
+/// The default ([`ConnectivitySpec::paper`]) reproduces Fig 9 of the paper:
+/// lookahead up to 2 steps plus the five lookaside options in the priority
+/// order given in §3.2. Options whose step exceeds the staging depth are
+/// dropped when the spec is instantiated for a shallow geometry, which is
+/// exactly how the paper derives its 2-deep (5-movement) design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectivitySpec {
+    lookaside: Vec<RelativeOption>,
+}
+
+impl ConnectivitySpec {
+    /// The paper's lookaside pattern, in scheduler priority order
+    /// (§3.2): `(+1,i-1), (+1,i+1), (+2,i-2), (+2,i+2), (+1,i-3)`.
+    #[must_use]
+    pub fn paper() -> Self {
+        ConnectivitySpec {
+            lookaside: vec![(1, -1), (1, 1), (2, -2), (2, 2), (1, -3)],
+        }
+    }
+
+    /// A custom lookaside pattern given as `(step, lane_offset)` pairs in
+    /// priority order. Lookahead options (same lane) are implicit and always
+    /// precede lookaside options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::ZeroLaneOffset`] if any option has offset 0
+    /// (that cell is already reachable via lookahead).
+    pub fn custom(lookaside: Vec<RelativeOption>) -> Result<Self, GeometryError> {
+        if lookaside.iter().any(|&(_, off)| off == 0) {
+            return Err(GeometryError::ZeroLaneOffset);
+        }
+        Ok(ConnectivitySpec { lookaside })
+    }
+
+    /// The lookaside options of this spec, in priority order.
+    #[must_use]
+    pub fn lookaside(&self) -> &[RelativeOption] {
+        &self.lookaside
+    }
+}
+
+impl Default for ConnectivitySpec {
+    fn default() -> Self {
+        ConnectivitySpec::paper()
+    }
+}
+
+/// The fully-instantiated interconnect for a concrete [`PeGeometry`]:
+/// per-lane movement options in priority order, plus the conflict-free lane
+/// *levels* the hierarchical scheduler evaluates in sequence.
+///
+/// Two lanes conflict if any staging cell (beyond their private dense cells)
+/// is reachable by both; lanes within a level are pairwise conflict-free so
+/// their priority encoders may decide simultaneously without double-booking a
+/// value pair. Levels are derived by greedy first-fit colouring, which for
+/// the paper's 16-lane pattern reproduces its exact 6-level grouping
+/// `{0,5,10},{1,6,11},{2,7,12},{3,8,13},{4,9,14},{15}`.
+#[derive(Debug, Clone)]
+pub struct Connectivity {
+    geometry: PeGeometry,
+    options: Vec<Vec<Movement>>,
+    levels: Vec<Vec<u8>>,
+    lane_order: Vec<u8>,
+}
+
+impl Connectivity {
+    /// Instantiates the paper's interconnect (Fig 9) for `geometry`.
+    #[must_use]
+    pub fn paper(geometry: PeGeometry) -> Self {
+        Connectivity::from_spec(geometry, &ConnectivitySpec::paper())
+    }
+
+    /// Instantiates an arbitrary [`ConnectivitySpec`] for `geometry`.
+    ///
+    /// Options whose step exceeds the geometry's lookahead are dropped;
+    /// duplicates produced by lane wrap-around on small PEs are removed
+    /// (keeping the highest-priority occurrence).
+    #[must_use]
+    pub fn from_spec(geometry: PeGeometry, spec: &ConnectivitySpec) -> Self {
+        let lanes = geometry.lanes();
+        let lookahead = geometry.lookahead();
+        let mut options = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let mut opts: Vec<Movement> = Vec::with_capacity(3 + spec.lookaside.len());
+            // Dense position, then lookahead in increasing step order.
+            for step in 0..=lookahead {
+                opts.push(Movement::new(step as u8, lane as u8));
+            }
+            // Lookaside in spec priority order, wrapped around the ring.
+            for &(step, off) in &spec.lookaside {
+                if step > lookahead {
+                    continue;
+                }
+                let src = (lane as isize + off).rem_euclid(lanes as isize) as u8;
+                let mv = Movement::new(step as u8, src);
+                if !opts.contains(&mv) {
+                    opts.push(mv);
+                }
+            }
+            options.push(opts);
+        }
+        let levels = derive_levels(lanes, &options);
+        let lane_order = levels.iter().flatten().copied().collect();
+        Connectivity { geometry, options, levels, lane_order }
+    }
+
+    /// The PE geometry this interconnect was instantiated for.
+    #[must_use]
+    pub fn geometry(&self) -> PeGeometry {
+        self.geometry
+    }
+
+    /// Movement options for `lane`, highest priority first. The first option
+    /// is always the lane's own dense cell `(+0, lane)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= geometry().lanes()`.
+    #[must_use]
+    pub fn options(&self, lane: usize) -> &[Movement] {
+        &self.options[lane]
+    }
+
+    /// Number of movement options per lane (the multiplexer fan-in).
+    ///
+    /// 8 for the paper's 3-deep PE, 5 for the 2-deep variant.
+    #[must_use]
+    pub fn mux_inputs(&self) -> usize {
+        self.options.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Select-signal width in bits per lane (`ceil(log2(mux_inputs))`).
+    #[must_use]
+    pub fn select_bits(&self) -> u32 {
+        let n = self.mux_inputs().max(1);
+        usize::BITS - (n - 1).leading_zeros()
+    }
+
+    /// The conflict-free lane groups, in scheduler evaluation order.
+    #[must_use]
+    pub fn levels(&self) -> &[Vec<u8>] {
+        &self.levels
+    }
+
+    /// All lanes flattened in level order — the sequential evaluation order
+    /// that is observationally identical to the hardware's parallel-per-level
+    /// operation (within a level no two lanes can pick the same cell).
+    #[must_use]
+    pub fn lane_order(&self) -> &[u8] {
+        &self.lane_order
+    }
+
+    /// True if `a` and `b` may reach a common staging cell (excluding the
+    /// dense `+0` cells, which are private to their own lane).
+    #[must_use]
+    pub fn lanes_conflict(&self, a: usize, b: usize) -> bool {
+        options_conflict(&self.options[a], &self.options[b])
+    }
+}
+
+fn options_conflict(a: &[Movement], b: &[Movement]) -> bool {
+    // Dense cells (step 0) are exclusive to their own lane: no other lane
+    // lists them, so comparing full option lists is safe.
+    a.iter().any(|mv| mv.step > 0 && b.contains(mv))
+}
+
+/// Greedy first-fit colouring of the lane-conflict graph.
+fn derive_levels(lanes: usize, options: &[Vec<Movement>]) -> Vec<Vec<u8>> {
+    let mut levels: Vec<Vec<u8>> = Vec::new();
+    for lane in 0..lanes {
+        let slot = levels.iter_mut().find(|level| {
+            level
+                .iter()
+                .all(|&other| !options_conflict(&options[lane], &options[other as usize]))
+        });
+        match slot {
+            Some(level) => level.push(lane as u8),
+            None => levels.push(vec![lane as u8]),
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper16() -> Connectivity {
+        Connectivity::paper(PeGeometry::paper())
+    }
+
+    #[test]
+    fn paper_16_lane_has_8_input_mux_with_3_bit_select() {
+        let c = paper16();
+        assert_eq!(c.mux_inputs(), 8);
+        assert_eq!(c.select_bits(), 3);
+    }
+
+    #[test]
+    fn shallow_16_lane_has_5_movements() {
+        // Paper §4.4: "2-deep staging buffers (lookahead of 1); 5 movements
+        // per multiplier".
+        let c = Connectivity::paper(PeGeometry::paper_shallow());
+        assert_eq!(c.mux_inputs(), 5);
+        assert_eq!(c.select_bits(), 3);
+    }
+
+    #[test]
+    fn lane8_options_match_fig9() {
+        // Fig 9: lane #8 can read lane 8 at +0/+1/+2, lane 7 and 9 one step
+        // ahead, lane 6 and 10 two steps ahead, and lane 5 one step ahead.
+        let c = paper16();
+        let expected = [
+            Movement::new(0, 8),
+            Movement::new(1, 8),
+            Movement::new(2, 8),
+            Movement::new(1, 7),
+            Movement::new(1, 9),
+            Movement::new(2, 6),
+            Movement::new(2, 10),
+            Movement::new(1, 5),
+        ];
+        assert_eq!(c.options(8), &expected);
+    }
+
+    #[test]
+    fn options_wrap_around_the_ring() {
+        let c = paper16();
+        // Lane 0's i-1 neighbour is lane 15, i-2 is 14, i-3 is 13.
+        assert!(c.options(0).contains(&Movement::new(1, 15)));
+        assert!(c.options(0).contains(&Movement::new(2, 14)));
+        assert!(c.options(0).contains(&Movement::new(1, 13)));
+        // Lane 15's i+1 neighbour is lane 0, i+2 is 1.
+        assert!(c.options(15).contains(&Movement::new(1, 0)));
+        assert!(c.options(15).contains(&Movement::new(2, 1)));
+    }
+
+    #[test]
+    fn levels_match_paper_grouping() {
+        // §3.2: levels {0,5,10},{1,6,11},{2,7,12},{3,8,13},{4,9,14},{15}.
+        let c = paper16();
+        let expected: Vec<Vec<u8>> = vec![
+            vec![0, 5, 10],
+            vec![1, 6, 11],
+            vec![2, 7, 12],
+            vec![3, 8, 13],
+            vec![4, 9, 14],
+            vec![15],
+        ];
+        assert_eq!(c.levels(), expected.as_slice());
+    }
+
+    #[test]
+    fn levels_are_conflict_free() {
+        let c = paper16();
+        for level in c.levels() {
+            for (i, &a) in level.iter().enumerate() {
+                for &b in &level[i + 1..] {
+                    assert!(
+                        !c.lanes_conflict(a as usize, b as usize),
+                        "lanes {a} and {b} share a cell but are in one level"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_lane_appears_exactly_once_in_lane_order() {
+        let c = paper16();
+        let mut seen = vec![false; 16];
+        for &lane in c.lane_order() {
+            assert!(!seen[lane as usize]);
+            seen[lane as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn first_option_is_always_dense() {
+        for geometry in [
+            PeGeometry::paper(),
+            PeGeometry::paper_shallow(),
+            PeGeometry::walkthrough(),
+            PeGeometry::new(64, 4).unwrap(),
+        ] {
+            let c = Connectivity::paper(geometry);
+            for lane in 0..geometry.lanes() {
+                assert_eq!(c.options(lane)[0], Movement::new(0, lane as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn small_pe_dedups_wrapped_options() {
+        // With 4 lanes, offset -3 wraps onto offset +1: the duplicate must
+        // be removed, keeping the higher-priority occurrence.
+        let g = PeGeometry::new(4, 3).unwrap();
+        let c = Connectivity::paper(g);
+        for lane in 0..4 {
+            let opts = c.options(lane);
+            let mut sorted = opts.to_vec();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), opts.len(), "lane {lane} has duplicate options");
+        }
+    }
+
+    #[test]
+    fn depth_one_degenerates_to_dense_only() {
+        let g = PeGeometry::new(16, 1).unwrap();
+        let c = Connectivity::paper(g);
+        assert_eq!(c.mux_inputs(), 1);
+        for lane in 0..16 {
+            assert_eq!(c.options(lane).len(), 1);
+        }
+        // With no movement options every lane is independent: single level.
+        assert_eq!(c.levels().len(), 1);
+    }
+
+    #[test]
+    fn custom_spec_rejects_zero_offset() {
+        assert_eq!(
+            ConnectivitySpec::custom(vec![(1, 0)]),
+            Err(GeometryError::ZeroLaneOffset)
+        );
+    }
+
+    #[test]
+    fn custom_spec_orders_options_by_priority() {
+        let spec = ConnectivitySpec::custom(vec![(2, 1), (1, -1)]).unwrap();
+        let c = Connectivity::from_spec(PeGeometry::paper(), &spec);
+        let opts = c.options(4);
+        assert_eq!(
+            opts,
+            &[
+                Movement::new(0, 4),
+                Movement::new(1, 4),
+                Movement::new(2, 4),
+                Movement::new(2, 5),
+                Movement::new(1, 3),
+            ]
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! The scalar trait for operand values.
+//!
+//! TensorDash is datatype agnostic (§3 of the paper): it only requires the
+//! ability to ask "is this value exactly zero?" in front of the multipliers.
+//! This trait captures that plus the minimal arithmetic the functional PE
+//! model needs. `f32`/`f64` and the fixed-point integers implement it here;
+//! `tensordash-tensor` adds a `bf16` implementation.
+
+/// A scalar that can flow through a TensorDash processing element.
+pub trait Element: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// The additive identity.
+    const ZERO: Self;
+
+    /// True if the value is exactly zero — the hardware's zero-comparator.
+    fn is_zero(&self) -> bool;
+
+    /// Widening conversion used by the accumulator model. Products are
+    /// accumulated in `f64` so that the TensorDash schedule (which changes
+    /// the order in which products meet the accumulator) is bit-identical
+    /// to the dense schedule for every type whose products are exactly
+    /// representable in `f64` — which holds for `f32`, `bf16` and the
+    /// integer types.
+    fn to_f64(&self) -> f64;
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+
+    #[inline]
+    fn to_f64(&self) -> f64 {
+        f64::from(*self)
+    }
+}
+
+impl Element for f64 {
+    const ZERO: Self = 0.0;
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+
+    #[inline]
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+macro_rules! impl_element_for_int {
+    ($($t:ty),*) => {
+        $(
+            impl Element for $t {
+                const ZERO: Self = 0;
+
+                #[inline]
+                fn is_zero(&self) -> bool {
+                    *self == 0
+                }
+
+                #[inline]
+                fn to_f64(&self) -> f64 {
+                    *self as f64
+                }
+            }
+        )*
+    };
+}
+
+impl_element_for_int!(i8, i16, i32, u8, u16, u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_zero_detection_includes_negative_zero() {
+        assert!(0.0f32.is_zero());
+        assert!((-0.0f32).is_zero());
+        assert!(!1.0e-38f32.is_zero());
+        assert!(0.0f64.is_zero());
+        assert!((-0.0f64).is_zero());
+    }
+
+    #[test]
+    fn integer_zero_detection() {
+        assert!(0i8.is_zero());
+        assert!(!(-1i16).is_zero());
+        assert!(0u32.is_zero());
+        assert!(!255u8.is_zero());
+    }
+
+    #[test]
+    fn widening_is_exact_for_f32() {
+        let x = 0.1f32;
+        assert_eq!(x.to_f64(), f64::from(x));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`PeGeometry`](crate::PeGeometry) or
+/// [`ConnectivitySpec`](crate::ConnectivitySpec) is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The lane count is outside the supported `1..=64` range.
+    LaneCount(usize),
+    /// The staging depth is outside the supported `1..=4` range.
+    StagingDepth(usize),
+    /// A lookaside option references a staging step beyond the buffer depth.
+    LookasideStep {
+        /// The offending step.
+        step: usize,
+        /// The configured staging depth.
+        depth: usize,
+    },
+    /// A lookaside option has a zero lane offset (it would alias lookahead).
+    ZeroLaneOffset,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::LaneCount(n) => {
+                write!(f, "lane count {n} outside supported range 1..=64")
+            }
+            GeometryError::StagingDepth(d) => {
+                write!(f, "staging depth {d} outside supported range 1..=4")
+            }
+            GeometryError::LookasideStep { step, depth } => write!(
+                f,
+                "lookaside step {step} exceeds staging depth {depth} (max usable step is depth - 1)"
+            ),
+            GeometryError::ZeroLaneOffset => {
+                write!(f, "lookaside option with zero lane offset duplicates lookahead")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let messages = [
+            GeometryError::LaneCount(99).to_string(),
+            GeometryError::StagingDepth(9).to_string(),
+            GeometryError::LookasideStep { step: 5, depth: 3 }.to_string(),
+            GeometryError::ZeroLaneOffset.to_string(),
+        ];
+        for m in messages {
+            assert!(!m.ends_with('.'), "message {m:?} ends with punctuation");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

@@ -1,0 +1,171 @@
+//! Processing-element geometry: lane count and staging-buffer depth.
+
+use crate::error::GeometryError;
+
+/// Maximum number of MAC lanes a PE may have (masks are stored in `u64`).
+pub const MAX_LANES: usize = 64;
+
+/// Maximum staging-buffer depth (rows held ahead of the dense schedule).
+pub const MAX_DEPTH: usize = 4;
+
+/// The shape of a data-parallel processing element.
+///
+/// A PE performs `lanes` MAC operations per cycle, all accumulating into a
+/// single output (Fig 6 of the paper). TensorDash adds a staging buffer that
+/// holds `depth` rows of the dense schedule: the current row (`+0`) plus
+/// `depth - 1` rows of lookahead.
+///
+/// The paper's preferred configuration is 16 lanes with a 3-deep staging
+/// buffer ([`PeGeometry::paper`]); its walkthrough example (Fig 7) uses
+/// 4 lanes with 2-deep staging; its low-cost design point (Fig 19) uses
+/// 16 lanes with 2-deep staging.
+///
+/// ```
+/// use tensordash_core::PeGeometry;
+///
+/// let g = PeGeometry::paper();
+/// assert_eq!(g.lanes(), 16);
+/// assert_eq!(g.depth(), 3);
+/// assert_eq!(g.max_speedup(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeGeometry {
+    lanes: usize,
+    depth: usize,
+}
+
+impl PeGeometry {
+    /// Creates a geometry with the given number of MAC `lanes` and staging
+    /// buffer `depth`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::LaneCount`] if `lanes` is not in `1..=64` and
+    /// [`GeometryError::StagingDepth`] if `depth` is not in `1..=4`.
+    pub fn new(lanes: usize, depth: usize) -> Result<Self, GeometryError> {
+        if lanes == 0 || lanes > MAX_LANES {
+            return Err(GeometryError::LaneCount(lanes));
+        }
+        if depth == 0 || depth > MAX_DEPTH {
+            return Err(GeometryError::StagingDepth(depth));
+        }
+        Ok(PeGeometry { lanes, depth })
+    }
+
+    /// The paper's preferred configuration: 16 MACs/cycle, 3-deep staging.
+    #[must_use]
+    pub fn paper() -> Self {
+        PeGeometry { lanes: 16, depth: 3 }
+    }
+
+    /// The paper's lower-cost design point (Fig 19): 16 MACs, 2-deep staging
+    /// (lookahead of 1, five movements per multiplier).
+    #[must_use]
+    pub fn paper_shallow() -> Self {
+        PeGeometry { lanes: 16, depth: 2 }
+    }
+
+    /// The 4-lane, 2-deep geometry used in the paper's walkthrough (Fig 7).
+    #[must_use]
+    pub fn walkthrough() -> Self {
+        PeGeometry { lanes: 4, depth: 2 }
+    }
+
+    /// Number of MAC lanes (concurrent multiplications per cycle).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Staging-buffer depth in rows (1 = no lookahead, behaves densely).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Lookahead distance: how many rows beyond the dense row are visible.
+    #[must_use]
+    pub fn lookahead(&self) -> usize {
+        self.depth - 1
+    }
+
+    /// The architectural speedup ceiling: the window can drain at most
+    /// `depth` rows per cycle, so speedup over dense never exceeds `depth`
+    /// even for an all-zero stream (paper §4.4, Fig 20).
+    #[must_use]
+    pub fn max_speedup(&self) -> f64 {
+        self.depth as f64
+    }
+
+    /// Bit mask selecting the `lanes` low bits of a row mask.
+    #[must_use]
+    pub fn lane_mask(&self) -> u64 {
+        if self.lanes == MAX_LANES {
+            u64::MAX
+        } else {
+            (1u64 << self.lanes) - 1
+        }
+    }
+}
+
+impl Default for PeGeometry {
+    /// Defaults to the paper's preferred 16-lane, 3-deep configuration.
+    fn default() -> Self {
+        PeGeometry::paper()
+    }
+}
+
+impl std::fmt::Display for PeGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x MAC / {}-deep staging", self.lanes, self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_table_2() {
+        let g = PeGeometry::paper();
+        assert_eq!(g.lanes(), 16);
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.lookahead(), 2);
+        assert_eq!(g.lane_mask(), 0xFFFF);
+    }
+
+    #[test]
+    fn rejects_zero_lanes() {
+        assert_eq!(PeGeometry::new(0, 3), Err(GeometryError::LaneCount(0)));
+    }
+
+    #[test]
+    fn rejects_oversized_lanes() {
+        assert_eq!(PeGeometry::new(65, 3), Err(GeometryError::LaneCount(65)));
+    }
+
+    #[test]
+    fn rejects_bad_depth() {
+        assert_eq!(PeGeometry::new(16, 0), Err(GeometryError::StagingDepth(0)));
+        assert_eq!(PeGeometry::new(16, 5), Err(GeometryError::StagingDepth(5)));
+    }
+
+    #[test]
+    fn accepts_full_width() {
+        let g = PeGeometry::new(64, 4).unwrap();
+        assert_eq!(g.lane_mask(), u64::MAX);
+        assert_eq!(g.max_speedup(), 4.0);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(PeGeometry::default(), PeGeometry::paper());
+    }
+
+    #[test]
+    fn display_mentions_lanes_and_depth() {
+        let s = PeGeometry::paper().to_string();
+        assert!(s.contains("16"));
+        assert!(s.contains("3"));
+    }
+}

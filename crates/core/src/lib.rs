@@ -1,0 +1,83 @@
+//! # tensordash-core
+//!
+//! Bit-faithful model of the **TensorDash** front end (Mahmoud et al.,
+//! MICRO 2020): a hardware-level technique that lets data-parallel MAC units
+//! skip *ineffectual* multiply–accumulate operations — those where at least
+//! one operand is zero — which occur naturally and dynamically while training
+//! deep neural networks.
+//!
+//! TensorDash combines two pieces of hardware placed just in front of the
+//! multipliers of a processing element (PE):
+//!
+//! 1. a **sparse input-operand interconnect**: one small multiplexer per
+//!    multiplier input implementing a fixed set of operand *movements* —
+//!    the original dense position, up to two steps of *lookahead* (same lane,
+//!    earlier in time), and five *lookaside* options (neighbouring lanes,
+//!    earlier in time) — see [`Connectivity`];
+//! 2. an **area-efficient hierarchical scheduler** that, every cycle, picks a
+//!    movement per lane so that effectual operand pairs are promoted into the
+//!    current processing step, draining up to `depth` rows of the dense
+//!    schedule per cycle — see [`Scheduler`].
+//!
+//! The scheduler never changes *which* products are accumulated — it only
+//! eliminates products that are exactly zero — so the technique does not
+//! affect numerical fidelity (see the crate's fidelity tests).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tensordash_core::{Connectivity, PeGeometry, Scheduler, StreamRun};
+//!
+//! // The paper's preferred configuration: 16 MAC lanes, 3-deep staging.
+//! let geometry = PeGeometry::new(16, 3).unwrap();
+//! let connectivity = Connectivity::paper(geometry);
+//! let scheduler = Scheduler::new(&connectivity);
+//!
+//! // A stream of 16-wide rows of operand-pair "effectuality" masks:
+//! // bit i set => lane i's (A, B) pair has both operands non-zero.
+//! let masks = vec![0x00FF_u64, 0xFF00, 0x0F0F, 0x0000];
+//! let run: StreamRun = scheduler.run_masks(masks.iter().copied());
+//!
+//! // Dense hardware needs 4 cycles; TensorDash needs fewer.
+//! assert!(run.cycles < 4);
+//! assert_eq!(run.macs, 8 + 8 + 8); // every effectual pair is processed once
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | paper section | contents |
+//! |--------|---------------|----------|
+//! | [`geometry`] | §3.1 | PE lane-count / staging-depth configuration |
+//! | [`connectivity`] | §3.1, Fig 9 | movement options and conflict-free level groups |
+//! | [`scheduler`] | §3.2, Fig 10 | the hierarchical hardware scheduler |
+//! | [`oracle`] | §4.4 | matching-based upper bound + ideal-machine bounds |
+//! | [`staging`] | §3.1, Fig 8 | value-holding staging buffers |
+//! | [`pe`] | §3, Figs 6–8 | functional dense + TensorDash processing elements |
+//! | [`compress`] | §3.6, Fig 12 | scheduled-form tensor compression + decompressor |
+//! | [`backside`] | §3.7 | the back-side (output-side) scheduler |
+//! | [`element`] | — | scalar trait implemented by `f32`, `f64`, integers |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backside;
+pub mod compress;
+pub mod connectivity;
+pub mod element;
+pub mod error;
+pub mod geometry;
+pub mod oracle;
+pub mod pe;
+pub mod scheduler;
+pub mod staging;
+
+pub use backside::{BacksideScheduler, IterativeCost};
+pub use compress::{CompressedDma, ScheduledRow, ScheduledTensor};
+pub use connectivity::{Connectivity, ConnectivitySpec, Movement};
+pub use element::Element;
+pub use error::GeometryError;
+pub use geometry::PeGeometry;
+pub use oracle::{ideal_cycles, ideal_speedup, OracleScheduler};
+pub use pe::{DensePe, PairRow, SparsitySide, TensorDashPe};
+pub use scheduler::{LaneSelection, RowEngine, Schedule, Scheduler, StepOutcome, StreamRun};
+pub use staging::StagingBuffer;

@@ -1,0 +1,289 @@
+//! Upper bounds on schedule quality: an oracle scheduler that computes a
+//! maximum bipartite matching per cycle, and closed-form ideal-machine
+//! bounds used by the paper's Fig 20 analysis.
+//!
+//! The hierarchical scheduler's static priority scheme is cheap but can make
+//! locally-suboptimal choices. To quantify how much is left on the table,
+//! [`OracleScheduler`] solves, each cycle, the *maximum matching* between
+//! lanes and effectual staging cells subject to the same sparse interconnect
+//! — i.e. the best any scheduler could do with TensorDash's multiplexers.
+//! The repository's tests assert the hierarchical scheme stays within a few
+//! percent of this bound on random streams.
+
+use crate::connectivity::{Connectivity, Movement};
+use crate::geometry::{PeGeometry, MAX_DEPTH};
+use crate::scheduler::{RowEngine, StepOutcome, StreamRun};
+
+/// A scheduler that per cycle consumes a *maximum* set of effectual pairs
+/// reachable through the interconnect (maximum bipartite matching), while
+/// still honouring the exclusive dense cells so the window always advances.
+///
+/// This is a modelling tool, not a hardware proposal: maximum matching is
+/// far too expensive for a single-cycle combinational block.
+#[derive(Debug, Clone)]
+pub struct OracleScheduler {
+    geometry: PeGeometry,
+    /// Per lane: movement options (step > 0 only; dense handled separately).
+    moves: Vec<Vec<Movement>>,
+}
+
+impl OracleScheduler {
+    /// Builds the oracle for the same interconnect as the real scheduler.
+    #[must_use]
+    pub fn new(connectivity: &Connectivity) -> Self {
+        let moves = (0..connectivity.geometry().lanes())
+            .map(|lane| {
+                connectivity
+                    .options(lane)
+                    .iter()
+                    .copied()
+                    .filter(|mv| mv.step > 0)
+                    .collect()
+            })
+            .collect();
+        OracleScheduler { geometry: connectivity.geometry(), moves }
+    }
+
+    /// Convenience constructor for the paper interconnect.
+    #[must_use]
+    pub fn paper(geometry: PeGeometry) -> Self {
+        OracleScheduler::new(&Connectivity::paper(geometry))
+    }
+
+    /// One oracle step: consume the dense row plus a maximum matching of
+    /// lookahead/lookaside cells. Semantics mirror
+    /// [`Scheduler::step_masks`](crate::Scheduler::step_masks).
+    pub fn step_masks(&self, z: &mut [u64; MAX_DEPTH]) -> StepOutcome {
+        let lanes = self.geometry.lanes();
+        let depth = self.geometry.depth();
+        let mut macs = 0usize;
+
+        // Dense cells are exclusive: lane i always takes (0, i) when set.
+        let dense = z[0];
+        let mut busy = vec![false; lanes];
+        for (lane, slot) in busy.iter_mut().enumerate() {
+            if dense >> lane & 1 != 0 {
+                *slot = true;
+                macs += 1;
+            }
+        }
+        z[0] = 0;
+
+        // Maximum matching of free lanes onto remaining effectual cells via
+        // Kuhn's augmenting-path algorithm (tiny graph: <=64 x <=256).
+        let mut cell_owner: Vec<Vec<Option<usize>>> = vec![vec![None; lanes]; depth];
+        for lane in 0..lanes {
+            if busy[lane] {
+                continue;
+            }
+            let mut visited = vec![[false; 64]; depth];
+            if self.try_augment(lane, z, &mut cell_owner, &mut visited) {
+                macs += 1;
+            }
+        }
+        for (step, row) in cell_owner.iter().enumerate() {
+            for (lane, owner) in row.iter().enumerate() {
+                if owner.is_some() {
+                    z[step] &= !(1u64 << lane);
+                }
+            }
+        }
+
+        let mut drainable = 0;
+        while drainable < depth && z[drainable] == 0 {
+            drainable += 1;
+        }
+        StepOutcome { drainable: drainable.max(1), macs }
+    }
+
+    fn try_augment(
+        &self,
+        lane: usize,
+        z: &[u64; MAX_DEPTH],
+        cell_owner: &mut [Vec<Option<usize>>],
+        visited: &mut [[bool; 64]],
+    ) -> bool {
+        for mv in &self.moves[lane] {
+            let (step, src) = (mv.step as usize, mv.lane as usize);
+            if z[step] >> src & 1 == 0 || visited[step][src] {
+                continue;
+            }
+            visited[step][src] = true;
+            let current = cell_owner[step][src];
+            if current.is_none()
+                || self.try_augment(current.unwrap(), z, cell_owner, visited)
+            {
+                cell_owner[step][src] = Some(lane);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs a whole mask stream through the oracle, mirroring
+    /// [`Scheduler::run_masks`](crate::Scheduler::run_masks).
+    pub fn run_masks<I>(&self, masks: I) -> StreamRun
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let lanes = self.geometry.lanes();
+        let mut engine = RowEngine::new(self.geometry);
+        let mut masks = masks.into_iter();
+        let mut run = StreamRun {
+            cycles: 0,
+            dense_cycles: 0,
+            macs: 0,
+            occupancy: vec![0; lanes + 1],
+            advance_histogram: [0; MAX_DEPTH + 1],
+        };
+        engine.refill(&mut masks);
+        while !engine.is_done() {
+            // Reach inside the engine via the public schedule/advance API:
+            // the oracle reuses RowEngine by operating on a copy of Z.
+            let outcome = engine.schedule_with(|z| self.step_masks(z));
+            let advance = outcome.drainable.min(engine.rows_pending());
+            engine.advance(advance, &mut masks);
+            run.cycles += 1;
+            run.macs += outcome.macs as u64;
+            run.occupancy[outcome.macs.min(lanes)] += 1;
+            run.advance_histogram[advance] += 1;
+        }
+        run.dense_cycles = engine.rows_fed();
+        run
+    }
+}
+
+impl RowEngine {
+    /// Applies an arbitrary scheduling function to this engine's window —
+    /// the hook that lets [`OracleScheduler`] (and tests) reuse the sliding
+    /// window logic with a different selection policy.
+    pub fn schedule_with<F>(&mut self, f: F) -> StepOutcome
+    where
+        F: FnOnce(&mut [u64; MAX_DEPTH]) -> StepOutcome,
+    {
+        let outcome = f(self.window_mut());
+        StepOutcome {
+            drainable: outcome.drainable.min(self.rows_pending().max(1)),
+            macs: outcome.macs,
+        }
+    }
+}
+
+/// Lower bound on the cycles *any* machine with `lanes` multipliers and a
+/// `depth`-row window needs for a stream of `rows` rows containing
+/// `effectual` effectual pairs: it can neither execute more than `lanes`
+/// MACs per cycle nor consume more than `depth` rows per cycle.
+#[must_use]
+pub fn ideal_cycles(geometry: PeGeometry, rows: u64, effectual: u64) -> u64 {
+    let by_macs = effectual.div_ceil(geometry.lanes() as u64);
+    let by_rows = rows.div_ceil(geometry.depth() as u64);
+    by_macs.max(by_rows).max(u64::from(rows > 0))
+}
+
+/// The paper's Fig 20 "ideal machine" speedup for uniform sparsity `s`
+/// (fraction of ineffectual pairs): `min(1 / (1 - s), depth)`.
+#[must_use]
+pub fn ideal_speedup(geometry: PeGeometry, sparsity: f64) -> f64 {
+    let s = sparsity.clamp(0.0, 1.0);
+    if s >= 1.0 {
+        geometry.max_speedup()
+    } else {
+        (1.0 / (1.0 - s)).min(geometry.max_speedup())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Scheduler;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_masks(seed: u64, rows: usize, density: f64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rows)
+            .map(|_| {
+                let mut m = 0u64;
+                for lane in 0..16 {
+                    if rng.gen_bool(density) {
+                        m |= 1 << lane;
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn oracle_never_loses_to_hierarchical() {
+        let sched = Scheduler::paper(PeGeometry::paper());
+        let oracle = OracleScheduler::paper(PeGeometry::paper());
+        for (seed, density) in [(1, 0.1), (2, 0.3), (3, 0.5), (4, 0.7), (5, 0.9)] {
+            let masks = random_masks(seed, 400, density);
+            let h = sched.run_masks(masks.iter().copied());
+            let o = oracle.run_masks(masks.iter().copied());
+            assert!(o.cycles <= h.cycles, "oracle slower at density {density}");
+            assert_eq!(o.macs, h.macs, "both must do all effectual work");
+        }
+    }
+
+    #[test]
+    fn hierarchical_stays_close_to_oracle() {
+        // DESIGN.md §5: the static-priority hierarchy stays within 8% of the
+        // matching oracle on uniform random streams.
+        let sched = Scheduler::paper(PeGeometry::paper());
+        let oracle = OracleScheduler::paper(PeGeometry::paper());
+        for (seed, density) in [(10, 0.2), (11, 0.4), (12, 0.6), (13, 0.8)] {
+            let masks = random_masks(seed, 2000, density);
+            let h = sched.run_masks(masks.iter().copied());
+            let o = oracle.run_masks(masks.iter().copied());
+            let ratio = h.cycles as f64 / o.cycles as f64;
+            assert!(
+                ratio <= 1.08,
+                "hierarchy {:.3}x worse than oracle at density {density}",
+                ratio
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_respects_ideal_lower_bound() {
+        let g = PeGeometry::paper();
+        let oracle = OracleScheduler::paper(g);
+        let masks = random_masks(21, 600, 0.35);
+        let effectual: u64 = masks.iter().map(|m| m.count_ones() as u64).sum();
+        let run = oracle.run_masks(masks.iter().copied());
+        assert!(run.cycles >= ideal_cycles(g, 600, effectual));
+    }
+
+    #[test]
+    fn ideal_cycles_for_empty_and_dense_streams() {
+        let g = PeGeometry::paper();
+        assert_eq!(ideal_cycles(g, 0, 0), 0);
+        assert_eq!(ideal_cycles(g, 99, 0), 33);
+        assert_eq!(ideal_cycles(g, 100, 1600), 100);
+        assert_eq!(ideal_cycles(g, 1, 1), 1);
+    }
+
+    #[test]
+    fn ideal_speedup_matches_fig20_formula() {
+        let g = PeGeometry::paper();
+        assert!((ideal_speedup(g, 0.0) - 1.0).abs() < 1e-12);
+        assert!((ideal_speedup(g, 0.1) - 1.0 / 0.9).abs() < 1e-12);
+        assert!((ideal_speedup(g, 0.5) - 2.0).abs() < 1e-12);
+        // 90% sparsity would ideally be 10x but the 3-deep buffer caps at 3x.
+        assert!((ideal_speedup(g, 0.9) - 3.0).abs() < 1e-12);
+        assert!((ideal_speedup(g, 1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_dense_row_forces_progress() {
+        let oracle = OracleScheduler::paper(PeGeometry::paper());
+        let mut z = [0u64; MAX_DEPTH];
+        z[0] = 0xFFFF;
+        z[1] = 0xFFFF;
+        let out = oracle.step_masks(&mut z);
+        assert_eq!(z[0], 0);
+        assert_eq!(out.macs, 16);
+        assert_eq!(out.drainable, 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Value-holding staging buffers (Fig 8 / Fig 9 of the paper).
+//!
+//! Each PE input side has a staging buffer of `depth` rows × `lanes` values.
+//! Writes are row-wide (one write port per row); each multiplier input reads
+//! through its sparse multiplexer, addressed by a [`Movement`]. The buffer
+//! also produces the zero bit vector the scheduler consumes.
+
+use crate::connectivity::Movement;
+use crate::element::Element;
+use crate::geometry::{PeGeometry, MAX_DEPTH};
+
+/// A `depth × lanes` staging buffer holding operand values.
+///
+/// ```
+/// use tensordash_core::{Movement, PeGeometry, StagingBuffer};
+///
+/// let mut buf = StagingBuffer::<f32>::new(PeGeometry::walkthrough());
+/// buf.push_row(&[0.0, 1.5, 0.0, 2.0]);
+/// buf.push_row(&[3.0, 0.0, 0.0, 0.0]);
+/// assert_eq!(buf.read(Movement::new(0, 1)), 1.5);
+/// assert_eq!(buf.read(Movement::new(1, 0)), 3.0);
+/// // Zero vector: bit set => value is non-zero.
+/// assert_eq!(buf.nonzero_vector()[0], 0b1010);
+/// assert_eq!(buf.nonzero_vector()[1], 0b0001);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StagingBuffer<T> {
+    values: Vec<T>,
+    geometry: PeGeometry,
+    pending: usize,
+}
+
+impl<T: Element> StagingBuffer<T> {
+    /// Creates an empty staging buffer for `geometry`.
+    #[must_use]
+    pub fn new(geometry: PeGeometry) -> Self {
+        StagingBuffer {
+            values: vec![T::ZERO; MAX_DEPTH * geometry.lanes()],
+            geometry,
+            pending: 0,
+        }
+    }
+
+    /// The geometry this buffer was sized for.
+    #[must_use]
+    pub fn geometry(&self) -> PeGeometry {
+        self.geometry
+    }
+
+    /// Number of rows currently held.
+    #[must_use]
+    pub fn rows_pending(&self) -> usize {
+        self.pending
+    }
+
+    /// True when all `depth` rows are occupied.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.pending == self.geometry.depth()
+    }
+
+    /// Writes one row into the next free slot (a row-wide write port).
+    ///
+    /// Rows shorter than the lane count are zero-padded, modelling the edge
+    /// fragmentation of a layer whose reduction length is not a multiple of
+    /// the PE width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full or `row` is wider than the lane count.
+    pub fn push_row(&mut self, row: &[T]) {
+        assert!(!self.is_full(), "staging buffer full: drain before pushing");
+        let lanes = self.geometry.lanes();
+        assert!(row.len() <= lanes, "row wider than the PE");
+        let base = self.pending * lanes;
+        self.values[base..base + row.len()].copy_from_slice(row);
+        for slot in &mut self.values[base + row.len()..base + lanes] {
+            *slot = T::ZERO;
+        }
+        self.pending += 1;
+    }
+
+    /// Reads the value a multiplexer configured with `movement` would output.
+    ///
+    /// Cells beyond the pending rows read as zero (the hardware keeps
+    /// undrained rows zero-initialised so stale values cannot leak).
+    #[must_use]
+    pub fn read(&self, movement: Movement) -> T {
+        let lanes = self.geometry.lanes();
+        let step = movement.step as usize;
+        if step >= self.pending {
+            return T::ZERO;
+        }
+        self.values[step * lanes + movement.lane as usize]
+    }
+
+    /// A full row of the buffer (row 0 = the dense schedule).
+    #[must_use]
+    pub fn row(&self, step: usize) -> &[T] {
+        let lanes = self.geometry.lanes();
+        &self.values[step * lanes..(step + 1) * lanes]
+    }
+
+    /// The per-row non-zero bit vectors (`AZ`/`BZ` in the paper): bit `i` of
+    /// row `r` is set when the value at `(+r, i)` is non-zero.
+    #[must_use]
+    pub fn nonzero_vector(&self) -> [u64; MAX_DEPTH] {
+        let lanes = self.geometry.lanes();
+        let mut vec = [0u64; MAX_DEPTH];
+        for step in 0..self.pending {
+            let mut bits = 0u64;
+            for lane in 0..lanes {
+                if !self.values[step * lanes + lane].is_zero() {
+                    bits |= 1 << lane;
+                }
+            }
+            vec[step] = bits;
+        }
+        vec
+    }
+
+    /// Drops the `k` leading rows (the `AS` replenish signal), shifting the
+    /// remaining rows up and zero-filling the freed slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the pending row count.
+    pub fn advance(&mut self, k: usize) {
+        assert!(k <= self.pending, "cannot drop more rows than pending");
+        let lanes = self.geometry.lanes();
+        self.values.rotate_left(k * lanes);
+        let tail = self.values.len() - k * lanes;
+        for slot in &mut self.values[tail..] {
+            *slot = T::ZERO;
+        }
+        self.pending -= k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> StagingBuffer<f32> {
+        let mut b = StagingBuffer::new(PeGeometry::paper());
+        b.push_row(&[1.0; 16]);
+        b.push_row(&[2.0; 16]);
+        b.push_row(&[0.0; 16]);
+        b
+    }
+
+    #[test]
+    fn push_read_roundtrip() {
+        let mut b = StagingBuffer::<f32>::new(PeGeometry::paper());
+        let row: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        b.push_row(&row);
+        for lane in 0..16 {
+            assert_eq!(b.read(Movement::new(0, lane as u8)), lane as f32);
+        }
+    }
+
+    #[test]
+    fn short_rows_are_zero_padded() {
+        let mut b = StagingBuffer::<f32>::new(PeGeometry::paper());
+        b.push_row(&[5.0, 6.0]);
+        assert_eq!(b.read(Movement::new(0, 0)), 5.0);
+        assert_eq!(b.read(Movement::new(0, 1)), 6.0);
+        assert_eq!(b.read(Movement::new(0, 2)), 0.0);
+        assert_eq!(b.nonzero_vector()[0], 0b11);
+    }
+
+    #[test]
+    fn reads_beyond_pending_rows_are_zero() {
+        let mut b = StagingBuffer::<f32>::new(PeGeometry::paper());
+        b.push_row(&[9.0; 16]);
+        assert_eq!(b.read(Movement::new(1, 3)), 0.0);
+        assert_eq!(b.read(Movement::new(2, 3)), 0.0);
+    }
+
+    #[test]
+    fn advance_shifts_rows_up() {
+        let mut b = filled();
+        b.advance(1);
+        assert_eq!(b.rows_pending(), 2);
+        assert_eq!(b.read(Movement::new(0, 0)), 2.0);
+        assert_eq!(b.read(Movement::new(1, 0)), 0.0);
+        b.push_row(&[7.0; 16]);
+        assert_eq!(b.read(Movement::new(2, 15)), 7.0);
+    }
+
+    #[test]
+    fn advance_all_rows_empties_buffer() {
+        let mut b = filled();
+        b.advance(3);
+        assert_eq!(b.rows_pending(), 0);
+        assert_eq!(b.nonzero_vector(), [0; MAX_DEPTH]);
+    }
+
+    #[test]
+    #[should_panic(expected = "staging buffer full")]
+    fn pushing_into_full_buffer_panics() {
+        let mut b = filled();
+        b.push_row(&[1.0; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drop more rows than pending")]
+    fn over_advancing_panics() {
+        let mut b = StagingBuffer::<f32>::new(PeGeometry::paper());
+        b.push_row(&[1.0; 16]);
+        b.advance(2);
+    }
+
+    #[test]
+    fn nonzero_vector_tracks_values() {
+        let mut b = StagingBuffer::<f32>::new(PeGeometry::walkthrough());
+        b.push_row(&[0.0, 1.0, 0.0, -2.0]);
+        b.push_row(&[0.5, 0.0, 0.0, 0.0]);
+        let v = b.nonzero_vector();
+        assert_eq!(v[0], 0b1010);
+        assert_eq!(v[1], 0b0001);
+    }
+
+    #[test]
+    fn works_with_integer_elements() {
+        let mut b = StagingBuffer::<i32>::new(PeGeometry::walkthrough());
+        b.push_row(&[0, 3, 0, -7]);
+        assert_eq!(b.read(Movement::new(0, 3)), -7);
+        assert_eq!(b.nonzero_vector()[0], 0b1010);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the TensorDash core invariants.
+//!
+//! These pin down the guarantees the paper's design rests on, over random
+//! geometries, sparsity patterns, and stream lengths:
+//!
+//! * progress: never slower than the dense baseline, never faster than the
+//!   staging depth allows;
+//! * completeness: every effectual pair is executed exactly once;
+//! * validity: no staging cell is double-booked within a cycle;
+//! * fidelity: the functional PE reproduces the dense result;
+//! * compression: scheduled-form tensors round-trip losslessly.
+
+use proptest::prelude::*;
+use tensordash_core::{
+    ideal_cycles, Connectivity, DensePe, PairRow, PeGeometry, ScheduledTensor, Scheduler,
+    SparsitySide, TensorDashPe,
+};
+
+/// Strategy: a supported geometry (lanes 2..=32, depth 2..=4 to keep the
+/// search space meaningful — depth 1 is the degenerate dense case).
+fn geometry() -> impl Strategy<Value = PeGeometry> {
+    (2usize..=32, 2usize..=4).prop_map(|(lanes, depth)| PeGeometry::new(lanes, depth).unwrap())
+}
+
+/// Strategy: a mask stream for `lanes` lanes with arbitrary density.
+fn mask_stream(lanes: usize) -> impl Strategy<Value = Vec<u64>> {
+    let lane_mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+    prop::collection::vec(any::<u64>().prop_map(move |m| m & lane_mask), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scheduler_never_slower_than_dense_and_never_beats_depth(
+        g in geometry(),
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let masks: Vec<u64> = (0..150)
+            .map(|_| rng.gen::<u64>() & g.lane_mask())
+            .collect();
+        let s = Scheduler::paper(g);
+        let run = s.run_masks(masks.iter().copied());
+        prop_assert!(run.cycles <= run.dense_cycles);
+        prop_assert!(run.cycles >= run.dense_cycles.div_ceil(g.depth() as u64));
+    }
+
+    #[test]
+    fn scheduler_executes_every_effectual_pair_once(
+        g in geometry(),
+        masks in mask_stream(16),
+    ) {
+        let lane_mask = g.lane_mask();
+        let expected: u64 = masks.iter().map(|m| (m & lane_mask).count_ones() as u64).sum();
+        let s = Scheduler::paper(g);
+        let run = s.run_masks(masks.iter().map(|m| m & lane_mask));
+        prop_assert_eq!(run.macs, expected);
+    }
+
+    #[test]
+    fn scheduler_respects_ideal_lower_bound(
+        masks in mask_stream(16),
+    ) {
+        let g = PeGeometry::paper();
+        let effectual: u64 = masks.iter().map(|m| m.count_ones() as u64).sum();
+        let s = Scheduler::paper(g);
+        let run = s.run_masks(masks.iter().copied());
+        prop_assert!(run.cycles >= ideal_cycles(g, masks.len() as u64, effectual));
+    }
+
+    #[test]
+    fn schedule_is_valid_no_double_booking(
+        rows in prop::collection::vec(any::<u64>(), 3),
+    ) {
+        let g = PeGeometry::paper();
+        let s = Scheduler::paper(g);
+        let mut z = [0u64; 4];
+        for (i, r) in rows.iter().enumerate() {
+            z[i] = r & g.lane_mask();
+        }
+        let before = z;
+        let schedule = s.step_schedule(&mut z);
+        let mut seen = std::collections::HashSet::new();
+        for sel in schedule.selections.iter().flatten() {
+            prop_assert!(seen.insert(sel.movement), "double-booked {}", sel.movement);
+            // Selected cells must have been effectual beforehand.
+            let bit = before[sel.movement.step as usize] >> sel.movement.lane & 1;
+            prop_assert_eq!(bit, 1);
+        }
+        // The dense row always drains fully.
+        prop_assert_eq!(z[0], 0);
+        prop_assert!(schedule.advance >= 1 && schedule.advance <= 3);
+    }
+
+    #[test]
+    fn functional_pe_preserves_the_nonzero_product_multiset(
+        seed in any::<u64>(),
+        density in 0.05f64..1.0,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<PairRow<f32>> = (0..40)
+            .map(|_| {
+                let gen = |rng: &mut StdRng| -> Vec<f32> {
+                    (0..16)
+                        .map(|_| if rng.gen_bool(density) { rng.gen_range(-3.0..3.0) } else { 0.0 })
+                        .collect()
+                };
+                let a = gen(&mut rng);
+                let b = gen(&mut rng);
+                PairRow { a, b }
+            })
+            .collect();
+        let (run, mut td) = TensorDashPe::paper().run_recording(rows.clone());
+        let mut dn = DensePe::new(PeGeometry::paper()).nonzero_products(rows);
+        td.sort_by(f64::total_cmp);
+        dn.sort_by(f64::total_cmp);
+        prop_assert_eq!(td, dn);
+        prop_assert!(run.cycles <= run.dense_cycles);
+    }
+
+    #[test]
+    fn one_side_extraction_skips_at_least_its_own_zeros(
+        seed in any::<u64>(),
+        density in 0.1f64..0.9,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<PairRow<f32>> = (0..60)
+            .map(|_| {
+                let b: Vec<f32> = (0..16)
+                    .map(|_| if rng.gen_bool(density) { 1.0 } else { 0.0 })
+                    .collect();
+                PairRow { a: vec![1.0; 16], b }
+            })
+            .collect();
+        let pe = TensorDashPe::new(Scheduler::paper(PeGeometry::paper()), SparsitySide::BSide);
+        let run = pe.run(rows.clone());
+        let expected: u64 = rows
+            .iter()
+            .map(|r| r.b.iter().filter(|v| **v != 0.0).count() as u64)
+            .sum();
+        prop_assert_eq!(run.macs, expected);
+    }
+
+    #[test]
+    fn scheduled_tensor_roundtrips(
+        seed in any::<u64>(),
+        density in 0.0f64..1.0,
+        rows in 1usize..80,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dense: Vec<Vec<f32>> = (0..rows)
+            .map(|_| {
+                (0..16)
+                    .map(|_| if rng.gen_bool(density) { rng.gen_range(0.5f32..2.0) } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        let c = Connectivity::paper(PeGeometry::paper());
+        let t = ScheduledTensor::compress(&c, &dense);
+        prop_assert_eq!(t.decompress(&c), dense);
+        prop_assert!(t.rows().len() <= rows);
+        prop_assert!(t.rows().len() >= rows.div_ceil(3));
+    }
+
+    #[test]
+    fn dma_compression_roundtrips(
+        values in prop::collection::vec(prop_oneof![Just(0.0f32), -10.0f32..10.0], 0..300),
+    ) {
+        use tensordash_core::CompressedDma;
+        let dma = CompressedDma::compress(&values);
+        prop_assert_eq!(dma.decompress(), values);
+    }
+
+    #[test]
+    fn levels_are_always_conflict_free(g in geometry()) {
+        let c = Connectivity::paper(g);
+        for level in c.levels() {
+            for (i, &a) in level.iter().enumerate() {
+                for &b in &level[i + 1..] {
+                    prop_assert!(!c.lanes_conflict(a as usize, b as usize));
+                }
+            }
+        }
+        let total: usize = c.levels().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.lanes());
+    }
+}

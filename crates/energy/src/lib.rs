@@ -1,0 +1,28 @@
+//! # tensordash-energy
+//!
+//! Area, power, and energy model for TensorDash and its dense baseline,
+//! anchored to the paper's §4.3 synthesis/layout results (65nm TSMC,
+//! Synopsys DC + Cadence Innovus for logic, CACTI for SRAM, Micron's DDR4
+//! power calculator for DRAM — none of which run here, so their *outputs*
+//! for the Table 2 chip are the model's anchor constants; see DESIGN.md §3).
+//!
+//! The model has two halves:
+//!
+//! * [`area`]: the Table 3 area/power breakdown, scaled to arbitrary chip
+//!   geometries and both datatypes (FP32 and bf16 — components scale
+//!   differently: priority encoders not at all, zero comparators and muxes
+//!   linearly, multipliers nearly quadratically, §4.4);
+//! * [`energy`]: event-driven energy — per-MAC, per-scheduler-step,
+//!   per-SRAM/scratchpad access, per-DRAM-bit energies multiplied by the
+//!   cycle simulator's [`SimCounters`](tensordash_sim::SimCounters).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod constants;
+pub mod energy;
+
+pub use area::{AreaBreakdown, Arch, PowerBreakdown};
+pub use constants::EnergyConstants;
+pub use energy::{EnergyBreakdown, EnergyModel};

@@ -1,0 +1,29 @@
+//! # tensordash-models
+//!
+//! The workloads of the paper's evaluation (§4): exact layer geometry for
+//! the eight traced models — AlexNet, DenseNet121, SqueezeNet, VGG16,
+//! img2txt, ResNet50 trained with two pruning-during-training methods
+//! (`resnet50_DS90`, `resnet50_SM90`), and SNLI — plus the no-sparsity GCN
+//! language model used as the guard-rail case (§4.4).
+//!
+//! The paper traces these models while training on GPUs; that substrate is
+//! unavailable here, so each model carries a **calibrated sparsity
+//! profile** ([`SparsityProfile`]): per-tensor sparsity as a function of
+//! training progress, with the curve shapes the paper describes in §4.2
+//! (inverted-U for dense models; a pruning spike that settles for DS/SM)
+//! and clustering strength for the feature-map clustering of §4.4. The
+//! cycle simulator consumes only zero positions, so traces generated from
+//! these profiles exercise exactly the code paths GPU traces would (see
+//! DESIGN.md §3 "Substitutions"). Authentic dynamic sparsity from real
+//! training runs is available from the `tensordash-nn` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod profile;
+pub mod zoo;
+
+pub use build::{build_op_trace, layer_traces};
+pub use profile::{Curve, SparsityProfile};
+pub use zoo::{gcn, paper_models, LayerSpec, ModelSpec};

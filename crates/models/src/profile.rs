@@ -1,0 +1,196 @@
+//! Calibrated sparsity-vs-training-progress profiles.
+
+/// A piecewise-linear curve over training progress `t ∈ [0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Curve {
+    knots: Vec<(f64, f64)>,
+}
+
+impl Curve {
+    /// A curve through `knots` (progress, value), sorted by progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `knots` is empty or progresses are not strictly
+    /// increasing within `[0, 1]`.
+    #[must_use]
+    pub fn new(knots: &[(f64, f64)]) -> Self {
+        assert!(!knots.is_empty(), "a curve needs at least one knot");
+        for pair in knots.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "knot progresses must increase");
+        }
+        assert!(knots[0].0 >= 0.0 && knots[knots.len() - 1].0 <= 1.0);
+        Curve { knots: knots.to_vec() }
+    }
+
+    /// A constant curve.
+    #[must_use]
+    pub fn constant(value: f64) -> Self {
+        Curve { knots: vec![(0.0, value)] }
+    }
+
+    /// Linear interpolation at progress `t` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn at(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        let first = self.knots[0];
+        if t <= first.0 {
+            return first.1;
+        }
+        for pair in self.knots.windows(2) {
+            let (t0, v0) = pair[0];
+            let (t1, v1) = pair[1];
+            if t <= t1 {
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+            }
+        }
+        self.knots[self.knots.len() - 1].1
+    }
+}
+
+/// A model's sparsity behaviour over training.
+///
+/// Values are fractions of exactly-zero elements in each tensor at a given
+/// training progress. `clustering` controls how strongly non-zeros
+/// concentrate in particular feature maps and spatial regions (§4.4's
+/// explanation for the Fig 17 row-scaling losses); `depth_slope` makes
+/// deeper layers sparser, as ReLU sparsity compounds with depth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityProfile {
+    /// Activation sparsity (scheduled side of `A×W`).
+    pub act: Curve,
+    /// Output-gradient sparsity (scheduled side of `A×G`).
+    pub grad: Curve,
+    /// Weight sparsity (dense-side traffic; non-zero only with pruning).
+    pub weight: Curve,
+    /// Feature-map clustering strength in `[0, 1]`.
+    pub clustering: f64,
+    /// Relative sparsity slope across depth: layer at fraction `d` of the
+    /// network uses `s × (1 + depth_slope × (d − 0.5))`, clamped.
+    pub depth_slope: f64,
+    /// Overrides the scheduled-side sparsity of the weight-gradient pass.
+    ///
+    /// Normally `W×G` targets the sparser of `GO`/`A`, but some
+    /// architectures break that: DenseNet121's batch-normalization
+    /// placement leaves both tensors dense *in the order the weight-gradient
+    /// reduction streams them*, which is why the paper reports negligible
+    /// `W×G` speedup for it (§4.1).
+    pub wg_override: Option<Curve>,
+}
+
+impl SparsityProfile {
+    /// Sparsity of the scheduled side for the forward pass at progress `t`,
+    /// layer depth-fraction `d`.
+    #[must_use]
+    pub fn act_at(&self, t: f64, d: f64) -> f64 {
+        modulate(self.act.at(t), self.depth_slope, d)
+    }
+
+    /// Sparsity of the scheduled side for the input-gradient pass.
+    #[must_use]
+    pub fn grad_at(&self, t: f64, d: f64) -> f64 {
+        modulate(self.grad.at(t), self.depth_slope, d)
+    }
+
+    /// Weight sparsity at progress `t` (depth-independent).
+    #[must_use]
+    pub fn weight_at(&self, t: f64) -> f64 {
+        self.weight.at(t).clamp(0.0, 1.0)
+    }
+
+    /// Scheduled side of the weight-gradient pass: the sparser of `GO`/`A`
+    /// (§2), unless the architecture overrides it (see
+    /// [`SparsityProfile::wg_override`]).
+    #[must_use]
+    pub fn weight_grad_at(&self, t: f64, d: f64) -> f64 {
+        match &self.wg_override {
+            Some(curve) => modulate(curve.at(t), self.depth_slope, d),
+            None => self.act_at(t, d).max(self.grad_at(t, d)),
+        }
+    }
+
+    /// A profile with no sparsity at all (the GCN case).
+    #[must_use]
+    pub fn dense() -> Self {
+        SparsityProfile {
+            act: Curve::constant(0.0),
+            grad: Curve::constant(0.0),
+            weight: Curve::constant(0.0),
+            clustering: 0.0,
+            depth_slope: 0.0,
+            wg_override: None,
+        }
+    }
+}
+
+fn modulate(s: f64, slope: f64, depth: f64) -> f64 {
+    (s * (1.0 + slope * (depth.clamp(0.0, 1.0) - 0.5))).clamp(0.0, 0.98)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_interpolates_linearly() {
+        let c = Curve::new(&[(0.0, 0.2), (0.5, 0.6), (1.0, 0.4)]);
+        assert!((c.at(0.0) - 0.2).abs() < 1e-12);
+        assert!((c.at(0.25) - 0.4).abs() < 1e-12);
+        assert!((c.at(0.5) - 0.6).abs() < 1e-12);
+        assert!((c.at(0.75) - 0.5).abs() < 1e-12);
+        assert!((c.at(1.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_clamps_outside_range() {
+        let c = Curve::new(&[(0.1, 0.3), (0.9, 0.7)]);
+        assert!((c.at(-1.0) - 0.3).abs() < 1e-12);
+        assert!((c.at(2.0) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_slope_makes_deep_layers_sparser() {
+        let p = SparsityProfile {
+            act: Curve::constant(0.5),
+            grad: Curve::constant(0.5),
+            weight: Curve::constant(0.0),
+            clustering: 0.3,
+            depth_slope: 0.4,
+            wg_override: None,
+        };
+        assert!(p.act_at(0.5, 0.9) > p.act_at(0.5, 0.1));
+        assert!(p.act_at(0.5, 0.5) - 0.5 < 1e-12);
+    }
+
+    #[test]
+    fn weight_grad_takes_the_sparser_side() {
+        let p = SparsityProfile {
+            act: Curve::constant(0.3),
+            grad: Curve::constant(0.7),
+            weight: Curve::constant(0.0),
+            clustering: 0.0,
+            depth_slope: 0.0,
+            wg_override: None,
+        };
+        assert!((p.weight_grad_at(0.5, 0.5) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_never_exceeds_cap() {
+        let p = SparsityProfile {
+            act: Curve::constant(0.95),
+            grad: Curve::constant(0.95),
+            weight: Curve::constant(0.0),
+            clustering: 0.0,
+            depth_slope: 1.0,
+            wg_override: None,
+        };
+        assert!(p.act_at(1.0, 1.0) <= 0.98);
+    }
+
+    #[test]
+    #[should_panic(expected = "increase")]
+    fn unsorted_knots_rejected() {
+        let _ = Curve::new(&[(0.5, 0.1), (0.2, 0.3)]);
+    }
+}

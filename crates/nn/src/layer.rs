@@ -1,0 +1,436 @@
+//! Trainable layers.
+//!
+//! Every layer owns its parameters, caches what its backward pass needs,
+//! and exposes its parameter/gradient pairs to the optimizer through
+//! [`Layer::visit_params`]. Convolutional and linear layers additionally
+//! keep the tensors TensorDash cares about — input activations and output
+//! gradients — so the trainer can snapshot them into simulator traces.
+
+use rand::distributions::Uniform;
+use rand::Rng;
+use tensordash_tensor::{
+    batchnorm2d, batchnorm2d_backward, conv2d, conv2d_backward_input, conv2d_backward_weights,
+    linear, linear_backward_input, linear_backward_weights, maxpool2d, maxpool2d_backward, relu,
+    relu_backward, BatchNormState, Conv2dSpec, Tensor,
+};
+
+/// A trainable (or shape-transforming) network layer.
+pub trait Layer {
+    /// Layer name for reports.
+    fn name(&self) -> &str;
+
+    /// Forward pass; caches whatever the backward pass needs.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+
+    /// Backward pass: consumes the loss gradient w.r.t. this layer's
+    /// output, stores parameter gradients, returns the gradient w.r.t. the
+    /// layer's input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits `(parameter, gradient)` pairs in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        let _ = f;
+    }
+}
+
+/// He-uniform initialisation bound for `fan_in` inputs.
+fn he_bound(fan_in: usize) -> f32 {
+    (6.0 / fan_in as f32).sqrt()
+}
+
+/// 2-D convolution layer (no bias — batch norm or the loss absorbs it).
+pub struct Conv2d {
+    name: String,
+    /// `[F, C, Kh, Kw]` weights.
+    pub weights: Tensor,
+    /// Gradient of the last backward pass.
+    pub grad_weights: Tensor,
+    spec: Conv2dSpec,
+    cached_input: Option<Tensor>,
+    cached_grad_out: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// A conv layer with He-initialised weights.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let bound = he_bound(fan_in);
+        let weights = Tensor::random(
+            &[out_channels, in_channels, kernel, kernel],
+            Uniform::new(-bound, bound),
+            rng,
+        );
+        let grad_weights = Tensor::zeros(weights.shape());
+        Conv2d {
+            name: name.into(),
+            weights,
+            grad_weights,
+            spec,
+            cached_input: None,
+            cached_grad_out: None,
+        }
+    }
+
+    /// The convolution geometry.
+    #[must_use]
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// The cached input of the last forward pass, if any.
+    #[must_use]
+    pub fn cached_input(&self) -> Option<&Tensor> {
+        self.cached_input.as_ref()
+    }
+
+    /// The cached output gradient of the last backward pass, if any.
+    #[must_use]
+    pub fn cached_grad_out(&self) -> Option<&Tensor> {
+        self.cached_grad_out.as_ref()
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = conv2d(x, &self.weights, &self.spec).expect("conv2d forward shape error");
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let (kh, kw) = (self.weights.shape()[2], self.weights.shape()[3]);
+        self.grad_weights = conv2d_backward_weights(x, grad_out, &self.spec, (kh, kw))
+            .expect("conv2d backward-weights shape error");
+        let gx = conv2d_backward_input(
+            grad_out,
+            &self.weights,
+            &self.spec,
+            (x.shape()[2], x.shape()[3]),
+        )
+        .expect("conv2d backward-input shape error");
+        self.cached_grad_out = Some(grad_out.clone());
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weights, &self.grad_weights);
+    }
+}
+
+/// Fully-connected layer (no bias).
+pub struct Linear {
+    name: String,
+    /// `[O, I]` weights.
+    pub weights: Tensor,
+    /// Gradient of the last backward pass.
+    pub grad_weights: Tensor,
+    cached_input: Option<Tensor>,
+    cached_grad_out: Option<Tensor>,
+}
+
+impl Linear {
+    /// A linear layer with He-initialised weights.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let bound = he_bound(inputs);
+        let weights = Tensor::random(&[outputs, inputs], Uniform::new(-bound, bound), rng);
+        let grad_weights = Tensor::zeros(weights.shape());
+        Linear {
+            name: name.into(),
+            weights,
+            grad_weights,
+            cached_input: None,
+            cached_grad_out: None,
+        }
+    }
+
+    /// The cached input of the last forward pass, if any.
+    #[must_use]
+    pub fn cached_input(&self) -> Option<&Tensor> {
+        self.cached_input.as_ref()
+    }
+
+    /// The cached output gradient of the last backward pass, if any.
+    #[must_use]
+    pub fn cached_grad_out(&self) -> Option<&Tensor> {
+        self.cached_grad_out.as_ref()
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = linear(x, &self.weights).expect("linear forward shape error");
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        self.grad_weights =
+            linear_backward_weights(grad_out, x).expect("linear backward-weights shape error");
+        let gx = linear_backward_input(grad_out, &self.weights)
+            .expect("linear backward-input shape error");
+        self.cached_grad_out = Some(grad_out.clone());
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        f(&mut self.weights, &self.grad_weights);
+    }
+}
+
+/// ReLU activation — the main activation-sparsity source.
+#[derive(Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// A new ReLU layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Relu { cached_input: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cached_input = Some(x.clone());
+        relu(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        relu_backward(grad_out, x)
+    }
+}
+
+/// Square max pooling with stride = window.
+pub struct MaxPool2d {
+    k: usize,
+    argmax: Vec<usize>,
+    input_len: usize,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// A `k × k` max-pool layer.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        MaxPool2d { k, argmax: Vec::new(), input_len: 0, input_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        "maxpool"
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (y, argmax) = maxpool2d(x, self.k).expect("maxpool shape error");
+        self.argmax = argmax;
+        self.input_len = x.len();
+        self.input_shape = x.shape().to_vec();
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        maxpool2d_backward(grad_out, &self.argmax, self.input_len).reshape(&self.input_shape)
+    }
+}
+
+/// Batch normalization over channels of a 4-D tensor.
+pub struct BatchNorm2d {
+    name: String,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    grad_gamma: Vec<f32>,
+    grad_beta: Vec<f32>,
+    gamma_tensor: Tensor,
+    beta_tensor: Tensor,
+    state: Option<BatchNormState>,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// A batch-norm layer over `channels` channels.
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        BatchNorm2d {
+            name: name.into(),
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            gamma_tensor: Tensor::full(&[channels], 1.0),
+            beta_tensor: Tensor::zeros(&[channels]),
+            state: None,
+            eps: 1e-5,
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (y, state) = batchnorm2d(x, &self.gamma, &self.beta, self.eps)
+            .expect("batchnorm forward shape error");
+        self.state = Some(state);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let state = self.state.as_ref().expect("backward before forward");
+        let (gx, gg, gb) = batchnorm2d_backward(grad_out, state, &self.gamma, self.eps)
+            .expect("batchnorm backward shape error");
+        self.grad_gamma = gg;
+        self.grad_beta = gb;
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
+        // Expose gamma/beta as rank-1 tensors so the optimizer treats them
+        // uniformly.
+        self.gamma_tensor = Tensor::from_vec(&[self.gamma.len()], self.gamma.clone());
+        let grad_gamma = Tensor::from_vec(&[self.grad_gamma.len()], self.grad_gamma.clone());
+        f(&mut self.gamma_tensor, &grad_gamma);
+        self.gamma = self.gamma_tensor.data().to_vec();
+
+        self.beta_tensor = Tensor::from_vec(&[self.beta.len()], self.beta.clone());
+        let grad_beta = Tensor::from_vec(&[self.grad_beta.len()], self.grad_beta.clone());
+        f(&mut self.beta_tensor, &grad_beta);
+        self.beta = self.beta_tensor.data().to_vec();
+    }
+}
+
+/// Reshapes `[N, C, H, W]` to `[N, C*H*W]` between conv and FC stages.
+#[derive(Default)]
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// A new flatten layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Flatten { input_shape: Vec::new() }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        "flatten"
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.input_shape = x.shape().to_vec();
+        let n = x.shape()[0];
+        let rest = x.len() / n;
+        x.clone().reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone().reshape(&self.input_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn conv_forward_backward_roundtrip_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new("c1", 3, 8, 3, Conv2dSpec::new(1, 1), &mut rng);
+        let x = Tensor::random(&[2, 3, 8, 8], Uniform::new(-1.0, 1.0), &mut rng);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+        let gx = conv.backward(&Tensor::full(y.shape(), 1.0));
+        assert_eq!(gx.shape(), x.shape());
+        assert_eq!(conv.grad_weights.shape(), conv.weights.shape());
+        assert!(conv.cached_grad_out().is_some());
+    }
+
+    #[test]
+    fn relu_caches_and_masks() {
+        let mut layer = Relu::new();
+        let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = layer.forward(&x);
+        assert_eq!(y.sparsity(), 0.5);
+        let gx = layer.backward(&Tensor::full(&[4], 1.0));
+        assert_eq!(gx.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_restores_input_shape() {
+        let mut layer = MaxPool2d::new(2);
+        let x = Tensor::from_fn(&[1, 2, 4, 4], |i| i as f32);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        let gx = layer.backward(&Tensor::full(y.shape(), 1.0));
+        assert_eq!(gx.shape(), x.shape());
+        assert_eq!(gx.nonzeros(), 8);
+    }
+
+    #[test]
+    fn flatten_roundtrips() {
+        let mut layer = Flatten::new();
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), &[2, 12]);
+        let gx = layer.backward(&y);
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn batchnorm_params_update_through_visit() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let x = Tensor::from_fn(&[2, 2, 2, 2], |i| i as f32);
+        let _ = bn.forward(&x);
+        let _ = bn.backward(&Tensor::full(&[2, 2, 2, 2], 0.1));
+        bn.visit_params(&mut |p, g| {
+            p.add_scaled(g, -1.0);
+        });
+        // Beta receives a gradient of 0.1 * 8 cells per channel = 0.8.
+        assert!((bn.beta[0] + 0.8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn linear_gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Linear::new("fc", 6, 3, &mut rng);
+        let x = Tensor::random(&[4, 6], Uniform::new(-1.0, 1.0), &mut rng);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), &[4, 3]);
+        let gx = layer.backward(&Tensor::full(&[4, 3], 1.0));
+        assert_eq!(gx.shape(), &[4, 6]);
+        assert!(layer.grad_weights.norm() > 0.0);
+    }
+}

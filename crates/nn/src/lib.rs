@@ -1,0 +1,46 @@
+//! # tensordash-nn
+//!
+//! A small, real DNN training framework — the substrate that generates
+//! *authentic* dynamic sparsity for the TensorDash evaluation. Nothing here
+//! is mocked: convolutions, pooling, batch normalization, softmax
+//! cross-entropy, SGD with momentum, and two pruning-during-training
+//! methods (magnitude prune-and-regrow in the spirit of dynamic sparse
+//! reparameterization, and a sparse-momentum variant) all run for real on
+//! `f32` tensors, and the per-layer tensors of each training step can be
+//! snapshotted into bit-exact [`OpTrace`](tensordash_trace::OpTrace)s for
+//! the cycle simulator.
+//!
+//! The paper traces full-size models on GPUs; this crate plays that role at
+//! laptop scale (see DESIGN.md §3): ReLU creates the activation zeros,
+//! backprop creates the gradient zeros, batch normalization demonstrably
+//! *absorbs* sparsity, and pruning drives weight sparsity — all phenomena
+//! the paper's analysis depends on emerge here from first principles.
+//!
+//! ```
+//! use tensordash_nn::{Dataset, Network, Sgd, Trainer};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let dataset = Dataset::synthetic_shapes(4, 240, 12, &mut rng);
+//! let network = Network::small_cnn(1, 12, 4, &mut rng);
+//! let mut trainer = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
+//! let stats = trainer.run_epoch(32, &mut rng).unwrap();
+//! assert!(stats.loss.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod layer;
+pub mod network;
+pub mod optim;
+pub mod prune;
+pub mod trainer;
+
+pub use data::Dataset;
+pub use layer::{BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu};
+pub use network::{ConvSnapshot, Network};
+pub use optim::Sgd;
+pub use prune::{PruneMethod, Pruner};
+pub use trainer::{EpochStats, Trainer};

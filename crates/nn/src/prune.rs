@@ -1,0 +1,256 @@
+//! Pruning during training.
+//!
+//! The paper's `resnet50_DS90` / `resnet50_SM90` variants use
+//! pruning-during-training methods that drive weight sparsity to 90% while
+//! the model keeps learning — and, crucially for TensorDash, that induced
+//! sparsity spills into the activations and gradients (§1, §4.2). This
+//! module implements mask-based prune-and-regrow in both spirits:
+//!
+//! * [`PruneMethod::DynamicSparse`] — magnitude pruning with *random*
+//!   regrowth (dynamic sparse reparameterization, Mostafa & Wang);
+//! * [`PruneMethod::SparseMomentum`] — magnitude pruning with regrowth at
+//!   the positions of largest momentum magnitude (Dettmers & Zettlemoyer).
+
+use crate::network::Network;
+use crate::optim::Sgd;
+use rand::Rng;
+
+/// Regrowth policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneMethod {
+    /// Magnitude prune, random regrow.
+    DynamicSparse,
+    /// Magnitude prune, momentum-directed regrow.
+    SparseMomentum,
+}
+
+/// A mask-based pruner over a network's weight tensors (rank ≥ 2
+/// parameters; batch-norm scales are left dense).
+pub struct Pruner {
+    method: PruneMethod,
+    target: f64,
+    /// Fraction of surviving weights recycled (pruned + regrown) at each
+    /// rebalance.
+    drift: f64,
+    masks: Vec<Option<Vec<bool>>>,
+}
+
+impl Pruner {
+    /// Creates a pruner targeting `target` weight sparsity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target` is in `[0, 1)` and `drift` in `[0, 1]`.
+    #[must_use]
+    pub fn new(method: PruneMethod, target: f64, drift: f64) -> Self {
+        assert!((0.0..1.0).contains(&target), "target sparsity must be in [0, 1)");
+        assert!((0.0..=1.0).contains(&drift), "drift must be in [0, 1]");
+        Pruner { method, target, drift, masks: Vec::new() }
+    }
+
+    /// The regrowth policy.
+    #[must_use]
+    pub fn method(&self) -> PruneMethod {
+        self.method
+    }
+
+    /// The target weight sparsity.
+    #[must_use]
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Recomputes masks: prunes the smallest-magnitude weights down to the
+    /// target sparsity, then recycles `drift` of the survivors (prune the
+    /// weakest, regrow per the method). Call once per epoch.
+    pub fn rebalance(&mut self, network: &mut Network, optimizer: &Sgd, rng: &mut impl Rng) {
+        let mut index = 0;
+        let masks = &mut self.masks;
+        let (target, drift, method) = (self.target, self.drift, self.method);
+        network.visit_params(&mut |param, _grad| {
+            if masks.len() <= index {
+                // Only prune weight matrices/filters, not 1-D scales.
+                masks.push(if param.shape().len() >= 2 {
+                    Some(vec![true; param.len()])
+                } else {
+                    None
+                });
+            }
+            if let Some(mask) = &mut masks[index] {
+                let keep_target = ((1.0 - target) * param.len() as f64).round() as usize;
+                let keep_target = keep_target.max(1);
+
+                // Rank all positions by |w|; keep the top `keep` minus the
+                // recycled fraction.
+                let mut order: Vec<usize> = (0..param.len()).collect();
+                let data = param.data();
+                order.sort_unstable_by(|&a, &b| {
+                    data[b].abs().partial_cmp(&data[a].abs()).unwrap()
+                });
+                let recycled = ((keep_target as f64) * drift).round() as usize;
+                let survivors = keep_target.saturating_sub(recycled);
+
+                mask.iter_mut().for_each(|m| *m = false);
+                for &pos in &order[..survivors] {
+                    mask[pos] = true;
+                }
+
+                // Regrow `recycled` positions among the currently-masked.
+                let candidates: Vec<usize> =
+                    (0..param.len()).filter(|&p| !mask[p]).collect();
+                let regrown = match method {
+                    PruneMethod::DynamicSparse => {
+                        pick_random(&candidates, recycled, rng)
+                    }
+                    PruneMethod::SparseMomentum => {
+                        pick_by_momentum(&candidates, recycled, optimizer, index, rng)
+                    }
+                };
+                for pos in regrown {
+                    mask[pos] = true;
+                }
+            }
+            index += 1;
+        });
+        self.apply(network);
+    }
+
+    /// Zeroes masked weights — call after every optimizer step so gradient
+    /// updates cannot resurrect pruned weights between rebalances.
+    pub fn apply(&mut self, network: &mut Network) {
+        let mut index = 0;
+        let masks = &self.masks;
+        network.visit_params(&mut |param, _| {
+            if let Some(Some(mask)) = masks.get(index) {
+                for (value, &keep) in param.data_mut().iter_mut().zip(mask) {
+                    if !keep {
+                        *value = 0.0;
+                    }
+                }
+            }
+            index += 1;
+        });
+    }
+}
+
+fn pick_random(candidates: &[usize], count: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut pool = candidates.to_vec();
+    let count = count.min(pool.len());
+    for i in 0..count {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool
+}
+
+fn pick_by_momentum(
+    candidates: &[usize],
+    count: usize,
+    optimizer: &Sgd,
+    param_index: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    match optimizer.velocity(param_index) {
+        Some(velocity) => {
+            let mut ranked = candidates.to_vec();
+            let v = velocity.data();
+            ranked.sort_unstable_by(|&a, &b| v[b].abs().partial_cmp(&v[a].abs()).unwrap());
+            ranked.truncate(count.min(ranked.len()));
+            ranked
+        }
+        // Before the first optimizer step there is no momentum signal.
+        None => pick_random(candidates, count, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use tensordash_tensor::Tensor;
+
+    fn trained_net(rng: &mut StdRng) -> (Network, Sgd) {
+        let mut net = Network::small_cnn(1, 12, 4, rng);
+        let mut opt = Sgd::new(0.05, 0.9);
+        let x = Tensor::random(
+            &[8, 1, 12, 12],
+            rand::distributions::Uniform::new(-1.0, 1.0),
+            rng,
+        );
+        let _ = net.train_step(&x, &[0, 1, 2, 3, 0, 1, 2, 3]);
+        opt.step(&mut net);
+        (net, opt)
+    }
+
+    #[test]
+    fn rebalance_hits_target_sparsity() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let (mut net, opt) = trained_net(&mut rng);
+        let mut pruner = Pruner::new(PruneMethod::DynamicSparse, 0.9, 0.1);
+        pruner.rebalance(&mut net, &opt, &mut rng);
+        let s = net.weight_sparsity();
+        assert!((s - 0.9).abs() < 0.03, "weight sparsity {s}");
+    }
+
+    #[test]
+    fn apply_keeps_masked_weights_zero_after_updates() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (mut net, mut opt) = trained_net(&mut rng);
+        let mut pruner = Pruner::new(PruneMethod::DynamicSparse, 0.8, 0.0);
+        pruner.rebalance(&mut net, &opt, &mut rng);
+        // Another optimizer step would disturb pruned weights...
+        let x = Tensor::random(
+            &[8, 1, 12, 12],
+            rand::distributions::Uniform::new(-1.0, 1.0),
+            &mut rng,
+        );
+        let _ = net.train_step(&x, &[0, 1, 2, 3, 0, 1, 2, 3]);
+        opt.step(&mut net);
+        // ...unless the mask is re-applied.
+        pruner.apply(&mut net);
+        let s = net.weight_sparsity();
+        assert!(s >= 0.78, "mask not enforced: {s}");
+    }
+
+    #[test]
+    fn momentum_regrowth_prefers_high_momentum_positions() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let (mut net, opt) = trained_net(&mut rng);
+        let mut sm = Pruner::new(PruneMethod::SparseMomentum, 0.9, 0.3);
+        sm.rebalance(&mut net, &opt, &mut rng);
+        let s = net.weight_sparsity();
+        assert!((s - 0.9).abs() < 0.03, "weight sparsity {s}");
+    }
+
+    #[test]
+    fn batchnorm_scales_are_not_pruned() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut net = Network::small_cnn_bn(1, 12, 4, &mut rng);
+        let mut opt = Sgd::new(0.05, 0.9);
+        let x = Tensor::random(
+            &[4, 1, 12, 12],
+            rand::distributions::Uniform::new(-1.0, 1.0),
+            &mut rng,
+        );
+        let _ = net.train_step(&x, &[0, 1, 2, 3]);
+        opt.step(&mut net);
+        let mut pruner = Pruner::new(PruneMethod::DynamicSparse, 0.9, 0.1);
+        pruner.rebalance(&mut net, &opt, &mut rng);
+        // Gamma (all started at 1.0) must be untouched: check via visit.
+        let mut rank1_zeros = 0usize;
+        net.visit_params(&mut |p, _| {
+            if p.shape().len() == 1 {
+                rank1_zeros += p.data().iter().filter(|v| **v == 0.0).count()
+                    - p.data().iter().filter(|v| **v == 0.0).count().min(p.len());
+            }
+        });
+        assert_eq!(rank1_zeros, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target sparsity")]
+    fn rejects_full_sparsity_target() {
+        let _ = Pruner::new(PruneMethod::DynamicSparse, 1.0, 0.1);
+    }
+}

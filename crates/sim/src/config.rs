@@ -1,0 +1,186 @@
+//! Accelerator configuration (paper Table 2).
+
+use tensordash_core::PeGeometry;
+
+/// One tile: a grid of PEs sharing staging buffers along rows and columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// PE rows per tile (each row has its own scheduled-side stream,
+    /// staging buffer, and scheduler).
+    pub rows: usize,
+    /// PE columns per tile (each column has its own dense-side operand and
+    /// reuses the row's schedule).
+    pub cols: usize,
+    /// Geometry of each PE.
+    pub pe: PeGeometry,
+}
+
+impl TileConfig {
+    /// The paper's default 4×4 tile of 16-MAC, 3-deep PEs.
+    #[must_use]
+    pub fn paper() -> Self {
+        TileConfig { rows: 4, cols: 4, pe: PeGeometry::paper() }
+    }
+
+    /// MACs per cycle for the whole tile.
+    #[must_use]
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.rows * self.cols * self.pe.lanes()) as u64
+    }
+}
+
+/// One on-chip SRAM array (AM, BM, or CM in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramConfig {
+    /// Capacity per bank in KiB.
+    pub kib_per_bank: usize,
+    /// Banks per tile.
+    pub banks_per_tile: usize,
+}
+
+impl SramConfig {
+    /// Table 2: 256 KB × 4 banks per tile.
+    #[must_use]
+    pub fn paper() -> Self {
+        SramConfig { kib_per_bank: 256, banks_per_tile: 4 }
+    }
+
+    /// Total capacity per tile in bytes.
+    #[must_use]
+    pub fn bytes_per_tile(&self) -> u64 {
+        (self.kib_per_bank * self.banks_per_tile * 1024) as u64
+    }
+}
+
+/// Off-chip memory (Table 2: 16 GB, 4-channel LPDDR4-3200).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of channels.
+    pub channels: usize,
+    /// Mega-transfers per second per channel.
+    pub mt_per_s: u64,
+    /// Bits per transfer per channel.
+    pub bits_per_transfer: u64,
+}
+
+impl DramConfig {
+    /// Table 2 configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        DramConfig { channels: 4, mt_per_s: 3200, bits_per_transfer: 16 }
+    }
+
+    /// Peak bandwidth in bits per second.
+    #[must_use]
+    pub fn peak_bits_per_s(&self) -> u64 {
+        self.channels as u64 * self.mt_per_s * 1_000_000 * self.bits_per_transfer
+    }
+
+    /// Peak bits delivered per accelerator cycle at `frequency_mhz`.
+    #[must_use]
+    pub fn bits_per_cycle(&self, frequency_mhz: u64) -> f64 {
+        self.peak_bits_per_s() as f64 / (frequency_mhz as f64 * 1e6)
+    }
+}
+
+/// The full accelerator (Table 2 defaults via [`ChipConfig::paper`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipConfig {
+    /// Number of tiles.
+    pub tiles: usize,
+    /// Per-tile geometry.
+    pub tile: TileConfig,
+    /// Activation memory (AM).
+    pub am: SramConfig,
+    /// B-side operand memory (BM).
+    pub bm: SramConfig,
+    /// Output memory (CM).
+    pub cm: SramConfig,
+    /// Scratchpads per PE: KiB per bank × 3 banks (Table 2: 1KB × 3).
+    pub scratchpad_kib: usize,
+    /// Number of on-chip transposers (§3.4).
+    pub transposers: usize,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: u64,
+    /// Operand width in bits (32 for FP32, 16 for bf16).
+    pub value_bits: u32,
+    /// Off-chip memory.
+    pub dram: DramConfig,
+}
+
+impl ChipConfig {
+    /// The paper's Table 2 default configuration: 16 tiles × 4×4 PEs ×
+    /// 16 MACs = 4096 MACs/cycle at 500 MHz, FP32.
+    #[must_use]
+    pub fn paper() -> Self {
+        ChipConfig {
+            tiles: 16,
+            tile: TileConfig::paper(),
+            am: SramConfig::paper(),
+            bm: SramConfig::paper(),
+            cm: SramConfig::paper(),
+            scratchpad_kib: 1,
+            transposers: 15,
+            frequency_mhz: 500,
+            value_bits: 32,
+            dram: DramConfig::paper(),
+        }
+    }
+
+    /// The bf16 variant of the paper configuration (§4.4).
+    #[must_use]
+    pub fn paper_bf16() -> Self {
+        ChipConfig { value_bits: 16, ..ChipConfig::paper() }
+    }
+
+    /// Total MACs per cycle across the chip.
+    #[must_use]
+    pub fn macs_per_cycle(&self) -> u64 {
+        self.tiles as u64 * self.tile.macs_per_cycle()
+    }
+
+    /// Total PEs on the chip.
+    #[must_use]
+    pub fn total_pes(&self) -> usize {
+        self.tiles * self.tile.rows * self.tile.cols
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        ChipConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_2() {
+        let c = ChipConfig::paper();
+        assert_eq!(c.tiles, 16);
+        assert_eq!(c.total_pes(), 256);
+        assert_eq!(c.tile.pe.lanes(), 16);
+        assert_eq!(c.macs_per_cycle(), 4096);
+        assert_eq!(c.am.bytes_per_tile(), 256 * 4 * 1024);
+        assert_eq!(c.frequency_mhz, 500);
+        assert_eq!(c.transposers, 15);
+        assert_eq!(c.value_bits, 32);
+    }
+
+    #[test]
+    fn dram_peak_bandwidth_is_25_6_gbps() {
+        let d = DramConfig::paper();
+        assert_eq!(d.peak_bits_per_s(), 4 * 3200 * 1_000_000 * 16);
+        // 204.8 Gbit/s = 25.6 GB/s; at 500 MHz that is 409.6 bits/cycle.
+        assert!((d.bits_per_cycle(500) - 409.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bf16_variant_narrows_values_only() {
+        let c = ChipConfig::paper_bf16();
+        assert_eq!(c.value_bits, 16);
+        assert_eq!(c.macs_per_cycle(), 4096);
+    }
+}

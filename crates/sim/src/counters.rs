@@ -1,0 +1,82 @@
+//! Event counters driving the energy model.
+
+/// Full-operation event counts (scaled up from the sampled simulation).
+///
+/// All counts are chip-wide totals for one training operation of one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimCounters {
+    /// Compute cycles (the tile pipeline's critical path).
+    pub compute_cycles: u64,
+    /// Cycles the off-chip interface needs at peak bandwidth.
+    pub dram_cycles: u64,
+    /// MAC operations actually issued (effectual ones for TensorDash; every
+    /// slot for the baseline).
+    pub macs_issued: u64,
+    /// Total multiplier slots (cycles × MAC lanes engaged) — idle slots are
+    /// clock-gated but still draw some power.
+    pub mac_slots: u64,
+    /// Elements read from the on-chip AM/BM SRAMs.
+    pub sram_read_elems: u64,
+    /// Elements written to the on-chip CM SRAM.
+    pub sram_write_elems: u64,
+    /// Scratchpad element accesses (reads + writes).
+    pub sp_accesses: u64,
+    /// Transposer element movements (§3.4).
+    pub transposer_elems: u64,
+    /// Hardware-scheduler invocations (TensorDash only).
+    pub scheduler_steps: u64,
+    /// Bits read from off-chip DRAM (after CompressingDMA).
+    pub dram_read_bits: u64,
+    /// Bits written to off-chip DRAM (after CompressingDMA).
+    pub dram_write_bits: u64,
+}
+
+impl SimCounters {
+    /// Element-wise sum of two counter sets.
+    #[must_use]
+    pub fn merged(&self, other: &SimCounters) -> SimCounters {
+        SimCounters {
+            compute_cycles: self.compute_cycles + other.compute_cycles,
+            dram_cycles: self.dram_cycles + other.dram_cycles,
+            macs_issued: self.macs_issued + other.macs_issued,
+            mac_slots: self.mac_slots + other.mac_slots,
+            sram_read_elems: self.sram_read_elems + other.sram_read_elems,
+            sram_write_elems: self.sram_write_elems + other.sram_write_elems,
+            sp_accesses: self.sp_accesses + other.sp_accesses,
+            transposer_elems: self.transposer_elems + other.transposer_elems,
+            scheduler_steps: self.scheduler_steps + other.scheduler_steps,
+            dram_read_bits: self.dram_read_bits + other.dram_read_bits,
+            dram_write_bits: self.dram_write_bits + other.dram_write_bits,
+        }
+    }
+
+    /// Wall-clock cycles: compute and DRAM streaming overlap, so the
+    /// effective time is their maximum.
+    #[must_use]
+    pub fn effective_cycles(&self) -> u64 {
+        self.compute_cycles.max(self.dram_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = SimCounters { compute_cycles: 10, macs_issued: 100, ..Default::default() };
+        let b = SimCounters { compute_cycles: 5, dram_read_bits: 64, ..Default::default() };
+        let m = a.merged(&b);
+        assert_eq!(m.compute_cycles, 15);
+        assert_eq!(m.macs_issued, 100);
+        assert_eq!(m.dram_read_bits, 64);
+    }
+
+    #[test]
+    fn effective_cycles_take_the_bottleneck() {
+        let c = SimCounters { compute_cycles: 10, dram_cycles: 25, ..Default::default() };
+        assert_eq!(c.effective_cycles(), 25);
+        let c = SimCounters { compute_cycles: 30, dram_cycles: 25, ..Default::default() };
+        assert_eq!(c.effective_cycles(), 30);
+    }
+}

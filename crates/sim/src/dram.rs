@@ -1,0 +1,102 @@
+//! Off-chip traffic model with CompressingDMA zero compression.
+//!
+//! Both the baseline and TensorDash compress zero values off-chip using the
+//! CompressingDMA approach of Rhu et al. (paper §4, "Accelerator
+//! Modeling"): per 32-value block, a 32-bit presence bitmap plus the
+//! non-zero values. Traffic is therefore a function of each tensor's
+//! element count and non-zero count — both of which the traces carry.
+
+use crate::config::{ChipConfig, DramConfig};
+use tensordash_core::compress::dma_transfer_bits;
+use tensordash_trace::TrafficVolumes;
+
+/// Off-chip traffic of one operation, in bits after compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DramTraffic {
+    /// Bits read (both operand tensors).
+    pub read_bits: u64,
+    /// Bits written (the produced tensor).
+    pub write_bits: u64,
+}
+
+impl DramTraffic {
+    /// Total transferred bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.read_bits + self.write_bits
+    }
+
+    /// Accelerator cycles needed to move this traffic at peak bandwidth.
+    #[must_use]
+    pub fn cycles(&self, dram: &DramConfig, frequency_mhz: u64) -> u64 {
+        let per_cycle = dram.bits_per_cycle(frequency_mhz);
+        (self.total_bits() as f64 / per_cycle).ceil() as u64
+    }
+}
+
+/// Computes the compressed off-chip traffic for one operation's tensors.
+///
+/// Each operand tensor is read once and the produced tensor written once;
+/// inter-layer reuse (activations staying on-chip between the forward and
+/// backward passes) is outside this per-op model and would shrink both
+/// architectures' traffic identically.
+#[must_use]
+pub fn dram_traffic_bits(chip: &ChipConfig, volumes: &TrafficVolumes) -> DramTraffic {
+    let bits = chip.value_bits;
+    let read_bits = dma_transfer_bits(volumes.dense_elems, volumes.dense_nonzero, bits)
+        + dma_transfer_bits(volumes.sched_elems, volumes.sched_nonzero, bits);
+    let write_bits = dma_transfer_bits(volumes.out_elems, volumes.out_nonzero, bits);
+    DramTraffic { read_bits, write_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volumes(dense_nz: u64, sched_nz: u64) -> TrafficVolumes {
+        TrafficVolumes {
+            dense_elems: 1024,
+            dense_nonzero: dense_nz,
+            sched_elems: 2048,
+            sched_nonzero: sched_nz,
+            out_elems: 512,
+            out_nonzero: 512,
+        }
+    }
+
+    #[test]
+    fn sparser_tensors_move_fewer_bits() {
+        let chip = ChipConfig::paper();
+        let dense = dram_traffic_bits(&chip, &volumes(1024, 2048));
+        let sparse = dram_traffic_bits(&chip, &volumes(1024, 512));
+        assert!(sparse.read_bits < dense.read_bits);
+        assert_eq!(sparse.write_bits, dense.write_bits);
+    }
+
+    #[test]
+    fn traffic_includes_bitmap_overhead() {
+        let chip = ChipConfig::paper();
+        let t = dram_traffic_bits(&chip, &volumes(0, 0));
+        // All-zero tensors still move one bitmap bit per element.
+        assert_eq!(t.read_bits, 1024 + 2048);
+    }
+
+    #[test]
+    fn cycles_respect_peak_bandwidth() {
+        let chip = ChipConfig::paper();
+        let t = DramTraffic { read_bits: 409_600, write_bits: 0 };
+        // 409.6 bits/cycle at 500 MHz -> exactly 1000 cycles.
+        assert_eq!(t.cycles(&chip.dram, chip.frequency_mhz), 1000);
+    }
+
+    #[test]
+    fn bf16_halves_value_traffic() {
+        let fp32 = dram_traffic_bits(&ChipConfig::paper(), &volumes(1024, 2048));
+        let bf16 = dram_traffic_bits(&ChipConfig::paper_bf16(), &volumes(1024, 2048));
+        assert!(bf16.total_bits() < fp32.total_bits());
+        // value bits halve; bitmap overhead stays.
+        let value_bits_fp32 = (1024 + 2048 + 512) * 32;
+        let value_bits_bf16 = (1024 + 2048 + 512) * 16;
+        assert_eq!(fp32.total_bits() - bf16.total_bits(), value_bits_fp32 - value_bits_bf16);
+    }
+}

@@ -1,0 +1,316 @@
+//! Chip-level execution: partition one operation across tiles, run the
+//! sampled streams bit-exactly, and scale to the full layer.
+//!
+//! Partitioning follows §3.3: tile rows take distinct scheduled-side
+//! streams, tile columns take distinct dense-side outputs, tiles take
+//! distinct stream groups. The dense-side outputs are covered in
+//! `ceil(outputs / cols)` *passes*; the scheduled stream (and therefore the
+//! schedule) repeats identically across passes, so sampled group cycles
+//! multiply by the pass count.
+
+use crate::config::ChipConfig;
+use crate::counters::SimCounters;
+use crate::dram::dram_traffic_bits;
+use crate::tile::Tile;
+use tensordash_trace::{OpTrace, TrainingOp};
+
+/// Which machine to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// The dense data-parallel baseline of Table 2.
+    Baseline,
+    /// The TensorDash machine (B-side extraction, per-row schedulers).
+    TensorDash,
+}
+
+/// Result of simulating one operation of one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpSim {
+    /// Simulated machine.
+    pub mode: ExecMode,
+    /// Full-operation chip compute cycles.
+    pub compute_cycles: u64,
+    /// Full-operation event counters.
+    pub counters: SimCounters,
+    /// Measured speedup of the sampled region (TensorDash only; 1.0 for
+    /// the baseline).
+    pub sampled_speedup: f64,
+}
+
+/// Simulates one operation on both machines at once, sharing the (dominant)
+/// bit-exact tile simulation between them.
+///
+/// # Panics
+///
+/// Panics if the trace's lane count differs from the chip's PE width, or if
+/// the trace has no sampled windows.
+#[must_use]
+pub fn simulate_pair(chip: &ChipConfig, trace: &OpTrace) -> (OpSim, OpSim) {
+    let sampled = run_sampled(chip, trace);
+    (
+        finish(chip, trace, ExecMode::TensorDash, &sampled),
+        finish(chip, trace, ExecMode::Baseline, &sampled),
+    )
+}
+
+/// Simulates one operation end to end.
+///
+/// # Panics
+///
+/// Panics if the trace's lane count differs from the chip's PE width, or if
+/// the trace has no sampled windows.
+#[must_use]
+pub fn simulate_op(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode) -> OpSim {
+    let sampled = run_sampled(chip, trace);
+    finish(chip, trace, mode, &sampled)
+}
+
+/// Aggregates of the bit-exact sampled tile runs.
+#[derive(Debug, Clone, Copy)]
+struct Sampled {
+    td_cycles: u64,
+    dense_cycles: u64,
+    macs_per_column: u64,
+    scheduler_steps: u64,
+    groups: u64,
+}
+
+fn run_sampled(chip: &ChipConfig, trace: &OpTrace) -> Sampled {
+    assert_eq!(
+        trace.lanes,
+        chip.tile.pe.lanes(),
+        "trace was packed for a different PE width"
+    );
+    assert!(!trace.windows.is_empty(), "trace has no sampled windows");
+
+    let tile = Tile::new(chip.tile);
+    let mut sampled = Sampled {
+        td_cycles: 0,
+        dense_cycles: 0,
+        macs_per_column: 0,
+        scheduler_steps: 0,
+        groups: 0,
+    };
+    for group in trace.windows.chunks(chip.tile.rows) {
+        let refs: Vec<&[u64]> = group.iter().map(|w| w.masks.as_slice()).collect();
+        let run = tile.run_group(&refs);
+        sampled.td_cycles += run.cycles;
+        sampled.dense_cycles += run.dense_cycles;
+        sampled.macs_per_column += run.macs_per_column;
+        sampled.scheduler_steps += run.scheduler_steps;
+        sampled.groups += 1;
+    }
+    sampled
+}
+
+fn finish(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode, sampled: &Sampled) -> OpSim {
+    let rows = chip.tile.rows;
+    let cols = chip.tile.cols as u64;
+    let tiles = chip.tiles as u64;
+    let lanes = chip.tile.pe.lanes() as u64;
+
+    // Work decomposition of the full operation.
+    let full_groups = trace.total_windows.div_ceil(rows as u64);
+    let passes = trace.dims.dense_side_outputs(trace.op).div_ceil(cols);
+    let row_scale = trace.row_scale();
+    let window_scale = trace.window_scale();
+
+    let Sampled {
+        td_cycles: sampled_td_cycles,
+        dense_cycles: sampled_dense_cycles,
+        macs_per_column: sampled_macs_per_column,
+        scheduler_steps: sampled_scheduler_steps,
+        groups: sampled_groups,
+    } = *sampled;
+
+    // Scale to the full operation: average group cycles × group count ×
+    // passes, spread across tiles.
+    let scale_groups = full_groups as f64 / sampled_groups as f64;
+    let full_tile_cycles_td =
+        sampled_td_cycles as f64 * row_scale * scale_groups * passes as f64;
+    let full_tile_cycles_base =
+        trace.total_rows_per_window as f64 * full_groups as f64 * passes as f64;
+
+    let compute_cycles = match mode {
+        ExecMode::TensorDash => (full_tile_cycles_td / tiles as f64).ceil() as u64,
+        ExecMode::Baseline => (full_tile_cycles_base / tiles as f64).ceil() as u64,
+    };
+
+    // Effectual MACs in the full op (each effectual slot is processed once
+    // per active column per pass; the final pass may have idle columns,
+    // counted via dense_side_outputs exactly).
+    let effectual_slots =
+        sampled_macs_per_column as f64 * window_scale * row_scale;
+    let active_columns = trace.dims.dense_side_outputs(trace.op) as f64;
+    let macs_issued = match mode {
+        ExecMode::TensorDash => effectual_slots * active_columns,
+        ExecMode::Baseline => {
+            trace.dense_rows_total() as f64 * lanes as f64 * active_columns
+        }
+    };
+
+    // Memory traffic (identical structure for both machines; both compress
+    // zeros off-chip, §4).
+    let v = &trace.volumes;
+    let dram = dram_traffic_bits(chip, v);
+    let dram_cycles = dram.cycles(&chip.dram, chip.frequency_mhz);
+    let sram_read_elems = v.sched_elems * passes + v.dense_elems;
+    let sram_write_elems = v.out_elems;
+    // Every dense-schedule operand row streams through the scratchpads once
+    // per pass, both sides, regardless of skipping.
+    let rows_streamed = trace.dense_rows_total() * passes;
+    let sp_accesses = rows_streamed * lanes * 2 + v.out_elems;
+    let transposer_elems = match trace.op {
+        TrainingOp::Forward => 0,
+        // Backward passes consume reconstructed/transposed tensors (§3.4).
+        TrainingOp::InputGrad | TrainingOp::WeightGrad => v.dense_elems + v.sched_elems,
+    };
+
+    let scheduler_steps = match mode {
+        ExecMode::TensorDash => {
+            (sampled_scheduler_steps as f64 * row_scale * scale_groups * passes as f64) as u64
+        }
+        ExecMode::Baseline => 0,
+    };
+
+    let counters = SimCounters {
+        compute_cycles,
+        dram_cycles,
+        macs_issued: macs_issued as u64,
+        mac_slots: compute_cycles * chip.macs_per_cycle(),
+        sram_read_elems,
+        sram_write_elems,
+        sp_accesses,
+        transposer_elems,
+        scheduler_steps,
+        dram_read_bits: dram.read_bits,
+        dram_write_bits: dram.write_bits,
+    };
+
+    let sampled_speedup = match mode {
+        ExecMode::TensorDash => {
+            if sampled_td_cycles == 0 {
+                1.0
+            } else {
+                sampled_dense_cycles as f64 / sampled_td_cycles as f64
+            }
+        }
+        ExecMode::Baseline => 1.0,
+    };
+
+    OpSim { mode, compute_cycles, counters, sampled_speedup }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensordash_trace::{ConvDims, SampleSpec, SparsityGen, UniformSparsity};
+
+    fn trace(sparsity: f64) -> OpTrace {
+        let dims = ConvDims::conv_square(4, 64, 14, 64, 3, 1, 1);
+        UniformSparsity::new(sparsity).op_trace(
+            dims,
+            TrainingOp::Forward,
+            16,
+            &SampleSpec::default(),
+            42,
+        )
+    }
+
+    #[test]
+    fn dense_trace_gives_no_speedup() {
+        let chip = ChipConfig::paper();
+        let t = trace(0.0);
+        let td = simulate_op(&chip, &t, ExecMode::TensorDash);
+        let base = simulate_op(&chip, &t, ExecMode::Baseline);
+        assert_eq!(td.compute_cycles, base.compute_cycles);
+        assert!((td.sampled_speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_sparse_trace_speeds_up_but_below_two() {
+        let chip = ChipConfig::paper();
+        let t = trace(0.5);
+        let td = simulate_op(&chip, &t, ExecMode::TensorDash);
+        let base = simulate_op(&chip, &t, ExecMode::Baseline);
+        let speedup = base.compute_cycles as f64 / td.compute_cycles as f64;
+        assert!(speedup > 1.2, "speedup {speedup}");
+        assert!(speedup < 2.0, "speedup {speedup} exceeds the work bound");
+    }
+
+    #[test]
+    fn ninety_percent_sparse_approaches_depth_limit() {
+        let chip = ChipConfig::paper();
+        let t = trace(0.9);
+        let td = simulate_op(&chip, &t, ExecMode::TensorDash);
+        let base = simulate_op(&chip, &t, ExecMode::Baseline);
+        let speedup = base.compute_cycles as f64 / td.compute_cycles as f64;
+        assert!(speedup > 2.4, "speedup {speedup}");
+        assert!(speedup <= 3.0 + 1e-9, "speedup {speedup} beats the depth limit");
+    }
+
+    #[test]
+    fn baseline_issues_every_mac_slot() {
+        let chip = ChipConfig::paper();
+        let t = trace(0.5);
+        let base = simulate_op(&chip, &t, ExecMode::Baseline);
+        let expected = t.dense_rows_total() * 16 * t.dims.dense_side_outputs(t.op);
+        assert_eq!(base.counters.macs_issued, expected);
+        // TensorDash issues roughly half at 50% sparsity.
+        let td = simulate_op(&chip, &t, ExecMode::TensorDash);
+        let ratio = td.counters.macs_issued as f64 / expected as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dram_traffic_is_mode_independent() {
+        let chip = ChipConfig::paper();
+        let t = trace(0.7);
+        let td = simulate_op(&chip, &t, ExecMode::TensorDash);
+        let base = simulate_op(&chip, &t, ExecMode::Baseline);
+        assert_eq!(td.counters.dram_read_bits, base.counters.dram_read_bits);
+        assert_eq!(td.counters.dram_write_bits, base.counters.dram_write_bits);
+    }
+
+    #[test]
+    fn scheduler_steps_zero_for_baseline() {
+        let chip = ChipConfig::paper();
+        let t = trace(0.5);
+        assert_eq!(simulate_op(&chip, &t, ExecMode::Baseline).counters.scheduler_steps, 0);
+        assert!(simulate_op(&chip, &t, ExecMode::TensorDash).counters.scheduler_steps > 0);
+    }
+
+    #[test]
+    fn more_tiles_cut_compute_cycles() {
+        let t = trace(0.5);
+        let chip16 = ChipConfig::paper();
+        let chip4 = ChipConfig { tiles: 4, ..ChipConfig::paper() };
+        let c16 = simulate_op(&chip16, &t, ExecMode::TensorDash).compute_cycles;
+        let c4 = simulate_op(&chip4, &t, ExecMode::TensorDash).compute_cycles;
+        assert!((c4 as f64 / c16 as f64 - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn fully_connected_layers_simulate() {
+        let chip = ChipConfig::paper();
+        let dims = ConvDims::fully_connected(64, 4096, 1000);
+        let t = UniformSparsity::new(0.4).op_trace(
+            dims,
+            TrainingOp::Forward,
+            16,
+            &SampleSpec::default(),
+            7,
+        );
+        let td = simulate_op(&chip, &t, ExecMode::TensorDash);
+        let base = simulate_op(&chip, &t, ExecMode::Baseline);
+        assert!(td.compute_cycles < base.compute_cycles);
+    }
+
+    #[test]
+    fn mac_slots_track_chip_width() {
+        let chip = ChipConfig::paper();
+        let t = trace(0.3);
+        let td = simulate_op(&chip, &t, ExecMode::TensorDash);
+        assert_eq!(td.counters.mac_slots, td.compute_cycles * 4096);
+    }
+}

@@ -1,0 +1,54 @@
+//! # tensordash-sim
+//!
+//! Cycle-level simulator of the TensorDash accelerator and its dense
+//! baseline (paper §3.3–3.4 and Table 2).
+//!
+//! The machine is a grid of tiles; each tile is a `rows × cols` grid of
+//! 16-MAC processing elements. The training configuration extracts sparsity
+//! on one operand side only: each tile **row** shares one scheduled (sparse)
+//! operand stream, one staging buffer, and one hardware scheduler; each
+//! **column** shares the dense-side operand. Because all rows read the
+//! dense-side staging through the same window, the tile advances by the
+//! *minimum* drain across its rows each cycle — rows with denser streams
+//! stall the others, which is the work-imbalance effect the paper sweeps in
+//! Fig 17.
+//!
+//! Work is partitioned the way the paper describes (§3.3): tile rows take
+//! distinct scheduled-side streams (activation windows / gradient positions
+//! / filter maps), tile columns take distinct dense-side outputs (filters /
+//! channels), and tiles take distinct stream groups. The simulator executes
+//! *sampled* streams bit-exactly through the real
+//! [`Scheduler`](tensordash_core::Scheduler) and scales to the full layer —
+//! the same sampling methodology the paper uses (one traced batch per
+//! epoch).
+//!
+//! ```
+//! use tensordash_sim::{simulate_op, ChipConfig, ExecMode};
+//! use tensordash_trace::{ConvDims, SampleSpec, SparsityGen, TrainingOp, UniformSparsity};
+//!
+//! let chip = ChipConfig::paper();
+//! let dims = ConvDims::conv_square(4, 64, 14, 64, 3, 1, 1);
+//! let trace = UniformSparsity::new(0.6).op_trace(
+//!     dims, TrainingOp::Forward, chip.tile.pe.lanes(), &SampleSpec::default(), 1);
+//! let run = simulate_op(&chip, &trace, ExecMode::TensorDash);
+//! let base = simulate_op(&chip, &trace, ExecMode::Baseline);
+//! let speedup = base.compute_cycles as f64 / run.compute_cycles as f64;
+//! assert!(speedup > 1.5 && speedup <= 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counters;
+pub mod dram;
+pub mod exec;
+pub mod report;
+pub mod tile;
+
+pub use config::{ChipConfig, DramConfig, SramConfig, TileConfig};
+pub use counters::SimCounters;
+pub use dram::{dram_traffic_bits, DramTraffic};
+pub use exec::{simulate_op, simulate_pair, ExecMode, OpSim};
+pub use report::{LayerReport, ModelReport, OpAggregate};
+pub use tile::{GroupRun, Tile};

@@ -1,0 +1,173 @@
+//! Aggregation of per-op simulations into layer and model reports.
+
+use crate::counters::SimCounters;
+use crate::exec::OpSim;
+use tensordash_trace::TrainingOp;
+
+/// TensorDash-vs-baseline results of one operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpAggregate {
+    /// Which operation.
+    pub op: TrainingOp,
+    /// TensorDash run.
+    pub tensordash: OpSim,
+    /// Baseline run.
+    pub baseline: OpSim,
+}
+
+impl OpAggregate {
+    /// Compute-cycle speedup of TensorDash over the baseline.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.tensordash.compute_cycles == 0 {
+            1.0
+        } else {
+            self.baseline.compute_cycles as f64 / self.tensordash.compute_cycles as f64
+        }
+    }
+}
+
+/// All three operations of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Layer label (e.g. `"conv3"`).
+    pub label: String,
+    /// Per-operation results.
+    pub ops: Vec<OpAggregate>,
+}
+
+impl LayerReport {
+    /// Total baseline cycles across this layer's operations.
+    #[must_use]
+    pub fn baseline_cycles(&self) -> u64 {
+        self.ops.iter().map(|o| o.baseline.compute_cycles).sum()
+    }
+
+    /// Total TensorDash cycles across this layer's operations.
+    #[must_use]
+    pub fn tensordash_cycles(&self) -> u64 {
+        self.ops.iter().map(|o| o.tensordash.compute_cycles).sum()
+    }
+}
+
+/// A whole model's simulation: every layer, every operation, both machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelReport {
+    /// Model name (e.g. `"AlexNet"`).
+    pub name: String,
+    /// Per-layer reports in network order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl ModelReport {
+    /// Speedup for one operation type, cycle-weighted across layers
+    /// (the Fig 13 per-op bars).
+    #[must_use]
+    pub fn op_speedup(&self, op: TrainingOp) -> f64 {
+        let (mut base, mut td) = (0u64, 0u64);
+        for layer in &self.layers {
+            for agg in layer.ops.iter().filter(|a| a.op == op) {
+                base += agg.baseline.compute_cycles;
+                td += agg.tensordash.compute_cycles;
+            }
+        }
+        if td == 0 {
+            1.0
+        } else {
+            base as f64 / td as f64
+        }
+    }
+
+    /// Whole-training-step speedup (the Fig 13 "Total" bar).
+    #[must_use]
+    pub fn total_speedup(&self) -> f64 {
+        let base: u64 = self.layers.iter().map(LayerReport::baseline_cycles).sum();
+        let td: u64 = self.layers.iter().map(LayerReport::tensordash_cycles).sum();
+        if td == 0 {
+            1.0
+        } else {
+            base as f64 / td as f64
+        }
+    }
+
+    /// Merged TensorDash counters across all layers and operations.
+    #[must_use]
+    pub fn tensordash_counters(&self) -> SimCounters {
+        self.fold(|a| a.tensordash.counters)
+    }
+
+    /// Merged baseline counters across all layers and operations.
+    #[must_use]
+    pub fn baseline_counters(&self) -> SimCounters {
+        self.fold(|a| a.baseline.counters)
+    }
+
+    fn fold(&self, pick: impl Fn(&OpAggregate) -> SimCounters) -> SimCounters {
+        let mut total = SimCounters::default();
+        for layer in &self.layers {
+            for agg in &layer.ops {
+                total = total.merged(&pick(agg));
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChipConfig;
+    use crate::exec::{simulate_op, ExecMode};
+    use tensordash_trace::{ConvDims, SampleSpec, SparsityGen, UniformSparsity};
+
+    fn layer_report(sparsity: f64, seed: u64) -> LayerReport {
+        let chip = ChipConfig::paper();
+        let dims = ConvDims::conv_square(2, 32, 8, 32, 3, 1, 1);
+        let ops = TrainingOp::ALL
+            .iter()
+            .map(|&op| {
+                let t = UniformSparsity::new(sparsity).op_trace(
+                    dims,
+                    op,
+                    16,
+                    &SampleSpec::default(),
+                    seed,
+                );
+                OpAggregate {
+                    op,
+                    tensordash: simulate_op(&chip, &t, ExecMode::TensorDash),
+                    baseline: simulate_op(&chip, &t, ExecMode::Baseline),
+                }
+            })
+            .collect();
+        LayerReport { label: format!("conv-s{sparsity}"), ops }
+    }
+
+    #[test]
+    fn model_speedup_is_cycle_weighted() {
+        let report = ModelReport {
+            name: "toy".into(),
+            layers: vec![layer_report(0.6, 1), layer_report(0.2, 2)],
+        };
+        let total = report.total_speedup();
+        assert!(total > 1.0 && total < 3.0);
+        for op in TrainingOp::ALL {
+            let s = report.op_speedup(op);
+            assert!(s >= 1.0 && s <= 3.0, "{op}: {s}");
+        }
+    }
+
+    #[test]
+    fn counters_merge_across_layers() {
+        let report = ModelReport {
+            name: "toy".into(),
+            layers: vec![layer_report(0.5, 3), layer_report(0.5, 4)],
+        };
+        let td = report.tensordash_counters();
+        let single = layer_report(0.5, 3);
+        let one: u64 = single.ops.iter().map(|a| a.tensordash.counters.macs_issued).sum();
+        assert!(td.macs_issued > one);
+        assert!(td.compute_cycles > 0);
+        assert_eq!(report.baseline_counters().scheduler_steps, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! The tile cycle model: lockstep rows sharing a dense-side window.
+//!
+//! Each tile row owns a [`RowEngine`] (its scheduled-side staging window)
+//! and nominally its own scheduler; all rows read the dense-side staging
+//! buffers through the *same* `depth`-row window, so the tile can only drop
+//! dense-schedule rows that **every** row has finished with: the per-cycle
+//! advance is the minimum drain across rows (§3.3, Fig 11). A single dense
+//! row among the scheduled streams therefore throttles the whole tile —
+//! which is exactly why the paper's Fig 17 shows speedup degrading as rows
+//! are added, and why clustered sparsity hurts more than uniform.
+
+use crate::config::TileConfig;
+use tensordash_core::{RowEngine, Scheduler};
+
+/// Result of streaming one window group through a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupRun {
+    /// Cycles the TensorDash tile needed.
+    pub cycles: u64,
+    /// Cycles the dense baseline needs (= stream rows).
+    pub dense_cycles: u64,
+    /// Effectual MACs issued per PE column (multiply by active columns for
+    /// tile-wide MACs).
+    pub macs_per_column: u64,
+    /// Scheduler invocations (one per row per cycle).
+    pub scheduler_steps: u64,
+}
+
+impl GroupRun {
+    /// Speedup of this group over the dense baseline.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.cycles == 0 {
+            1.0
+        } else {
+            self.dense_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A tile simulator instance (reusable across groups; holds the scheduler).
+#[derive(Debug, Clone)]
+pub struct Tile {
+    config: TileConfig,
+    scheduler: Scheduler,
+}
+
+impl Tile {
+    /// Builds a tile with the paper interconnect for its PE geometry.
+    #[must_use]
+    pub fn new(config: TileConfig) -> Self {
+        Tile { config, scheduler: Scheduler::paper(config.pe) }
+    }
+
+    /// The tile configuration.
+    #[must_use]
+    pub fn config(&self) -> &TileConfig {
+        &self.config
+    }
+
+    /// Streams one group of scheduled-side mask streams (one per row, at
+    /// most `rows`) through the tile in lockstep.
+    ///
+    /// All streams must have equal length — they are windows of the same
+    /// operation and cover the same reduction extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty, exceeds the row count, or lengths
+    /// differ.
+    #[must_use]
+    pub fn run_group(&self, streams: &[&[u64]]) -> GroupRun {
+        assert!(!streams.is_empty(), "a window group needs at least one stream");
+        assert!(
+            streams.len() <= self.config.rows,
+            "group of {} streams exceeds {} tile rows",
+            streams.len(),
+            self.config.rows
+        );
+        let len = streams[0].len();
+        assert!(
+            streams.iter().all(|s| s.len() == len),
+            "all streams in a group must have equal length"
+        );
+        if len == 0 {
+            return GroupRun { cycles: 0, dense_cycles: 0, macs_per_column: 0, scheduler_steps: 0 };
+        }
+
+        let mut engines: Vec<RowEngine> =
+            (0..streams.len()).map(|_| RowEngine::new(self.config.pe)).collect();
+        let mut iters: Vec<std::iter::Copied<std::slice::Iter<'_, u64>>> =
+            streams.iter().map(|s| s.iter().copied()).collect();
+        for (engine, iter) in engines.iter_mut().zip(&mut iters) {
+            engine.refill(iter);
+        }
+
+        let mut run = GroupRun {
+            cycles: 0,
+            dense_cycles: len as u64,
+            macs_per_column: 0,
+            scheduler_steps: 0,
+        };
+        while !engines[0].is_done() {
+            // Every row schedules independently; the tile advances by the
+            // minimum drain because the dense-side window is shared.
+            let mut advance = usize::MAX;
+            for engine in &mut engines {
+                let outcome = engine.schedule(&self.scheduler);
+                advance = advance.min(outcome.drainable);
+                run.macs_per_column += outcome.macs as u64;
+                run.scheduler_steps += 1;
+            }
+            for (engine, iter) in engines.iter_mut().zip(&mut iters) {
+                engine.advance(advance, iter);
+            }
+            run.cycles += 1;
+        }
+        debug_assert!(engines.iter().all(RowEngine::is_done));
+        run
+    }
+
+    /// Dense-baseline cycles for a stream of `rows` reduction rows: one row
+    /// per cycle, no dependence on content.
+    #[must_use]
+    pub fn baseline_cycles(&self, rows: u64) -> u64 {
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use tensordash_core::PeGeometry;
+
+    fn tile(rows: usize) -> Tile {
+        Tile::new(TileConfig { rows, cols: 4, pe: PeGeometry::paper() })
+    }
+
+    fn random_stream(seed: u64, rows: usize, density: f64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rows)
+            .map(|_| {
+                let mut m = 0u64;
+                for lane in 0..16 {
+                    if rng.gen_bool(density) {
+                        m |= 1 << lane;
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_row_matches_stream_run() {
+        let t = tile(1);
+        let stream = random_stream(1, 500, 0.4);
+        let group = t.run_group(&[&stream]);
+        let solo = Scheduler::paper(PeGeometry::paper()).run_masks(stream.iter().copied());
+        assert_eq!(group.cycles, solo.cycles);
+        assert_eq!(group.macs_per_column, solo.macs);
+    }
+
+    #[test]
+    fn more_rows_never_run_faster() {
+        // min-sync: a larger group is at best as fast as its slowest member.
+        let streams: Vec<Vec<u64>> =
+            (0..16).map(|i| random_stream(i, 400, 0.35)).collect();
+        let mut previous = 0u64;
+        for rows in [1usize, 2, 4, 8, 16] {
+            let t = tile(rows);
+            let refs: Vec<&[u64]> = streams[..rows].iter().map(Vec::as_slice).collect();
+            let run = t.run_group(&refs);
+            assert!(run.cycles >= previous, "rows {rows} ran faster than a subset");
+            previous = run.cycles;
+        }
+    }
+
+    #[test]
+    fn group_cycles_bounded_by_slowest_row() {
+        let t = tile(4);
+        let streams: Vec<Vec<u64>> = (0..4).map(|i| random_stream(10 + i, 300, 0.5)).collect();
+        let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
+        let group = t.run_group(&refs);
+        let solo_max = streams
+            .iter()
+            .map(|s| {
+                Scheduler::paper(PeGeometry::paper())
+                    .run_masks(s.iter().copied())
+                    .cycles
+            })
+            .max()
+            .unwrap();
+        assert!(group.cycles >= solo_max, "group cannot beat its slowest row");
+        assert!(group.cycles <= 300, "group cannot be slower than dense");
+    }
+
+    #[test]
+    fn all_empty_streams_drain_at_depth_rate() {
+        let t = tile(4);
+        let empty = vec![0u64; 99];
+        let refs: Vec<&[u64]> = (0..4).map(|_| empty.as_slice()).collect();
+        let run = t.run_group(&refs);
+        assert_eq!(run.cycles, 33);
+        assert_eq!(run.macs_per_column, 0);
+    }
+
+    #[test]
+    fn one_dense_row_throttles_the_group() {
+        let t = tile(4);
+        let dense = vec![0xFFFFu64; 120];
+        let empty = vec![0u64; 120];
+        let refs: Vec<&[u64]> = vec![&dense, &empty, &empty, &empty];
+        let run = t.run_group(&refs);
+        assert_eq!(run.cycles, 120, "the dense row forces one row per cycle");
+    }
+
+    #[test]
+    fn macs_count_every_effectual_slot() {
+        let t = tile(4);
+        let streams: Vec<Vec<u64>> = (0..4).map(|i| random_stream(20 + i, 200, 0.3)).collect();
+        let expected: u64 = streams
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|m| u64::from(m.count_ones()))
+            .sum();
+        let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
+        let run = t.run_group(&refs);
+        assert_eq!(run.macs_per_column, expected);
+    }
+
+    #[test]
+    fn scheduler_steps_count_rows_times_cycles() {
+        let t = tile(3);
+        let streams: Vec<Vec<u64>> = (0..3).map(|i| random_stream(30 + i, 150, 0.5)).collect();
+        let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
+        let run = t.run_group(&refs);
+        assert_eq!(run.scheduler_steps, run.cycles * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_group_is_rejected() {
+        let t = tile(2);
+        let s = vec![0u64; 10];
+        let refs: Vec<&[u64]> = vec![&s, &s, &s];
+        let _ = t.run_group(&refs);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_group_is_rejected() {
+        let t = tile(2);
+        let a = vec![0u64; 10];
+        let b = vec![0u64; 11];
+        let _ = t.run_group(&[&a, &b]);
+    }
+}

@@ -1,0 +1,200 @@
+//! A bfloat16 ("brain floating point") implementation.
+//!
+//! bf16 keeps `f32`'s 8-bit exponent but truncates the mantissa to 7 bits.
+//! The paper evaluates TensorDash with both FP32 and bf16 arithmetic (§4.4);
+//! TensorDash itself is datatype agnostic — only the zero comparators and
+//! multipliers change width — so this type implements
+//! [`tensordash_core::Element`] and flows through the functional PE models
+//! unmodified.
+
+use tensordash_core::Element;
+
+/// A 16-bit brain floating-point number (1 sign, 8 exponent, 7 mantissa).
+///
+/// Conversion from `f32` uses round-to-nearest-even, matching the hardware
+/// converters in bf16 training pipelines.
+///
+/// ```
+/// use tensordash_tensor::Bf16;
+///
+/// let x = Bf16::from_f32(3.1415927);
+/// assert!((x.to_f32() - 3.140625).abs() < 1e-6);
+/// assert_eq!(Bf16::ZERO.to_f32(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    #[must_use]
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            // Preserve NaN, force a quiet mantissa bit so truncation cannot
+            // produce an infinity.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits: round up when the
+        // remainder exceeds half an ulp, or equals half with an odd keep.
+        let round_bit = (bits >> 15) & 1;
+        let sticky = bits & 0x7FFF;
+        let mut upper = (bits >> 16) as u16;
+        if round_bit == 1 && (sticky != 0 || upper & 1 == 1) {
+            upper = upper.wrapping_add(1);
+        }
+        Bf16(upper)
+    }
+
+    /// Widens to `f32` (exact).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(u32::from(self.0) << 16)
+    }
+
+    /// The raw bit pattern.
+    #[must_use]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// True for positive or negative zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 & 0x7FFF == 0
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(v: f32) -> Self {
+        Bf16::from_f32(v)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(v: Bf16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl std::fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl std::ops::Mul for Bf16 {
+    type Output = Bf16;
+
+    /// bf16 multiply: widen, multiply in f32, round back — the usual
+    /// hardware implementation (multiplier array is f32-narrow inside).
+    fn mul(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl std::ops::Add for Bf16 {
+    type Output = Bf16;
+
+    fn add(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Element for Bf16 {
+    const ZERO: Self = Bf16(0);
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        Bf16::is_zero(*self)
+    }
+
+    #[inline]
+    fn to_f64(&self) -> f64 {
+        f64::from(self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -64..=64 {
+            let x = i as f32;
+            assert_eq!(Bf16::from_f32(x).to_f32(), x, "{i} must be exact in bf16");
+        }
+    }
+
+    #[test]
+    fn rounds_to_nearest_even() {
+        // 1 + 2^-8 is exactly halfway between 1.0 and the next bf16 value
+        // (1 + 2^-7): round-to-even keeps 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-8);
+        assert_eq!(Bf16::from_f32(halfway).to_f32(), 1.0);
+        // Just above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-8) + 2.0f32.powi(-12);
+        assert_eq!(Bf16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-7));
+        // 1 + 3*2^-8 is halfway between (1 + 2^-7) and (1 + 2^-6): the even
+        // neighbour is 1 + 2^-6.
+        let halfway_odd = 1.0 + 3.0 * 2.0f32.powi(-8);
+        assert_eq!(Bf16::from_f32(halfway_odd).to_f32(), 1.0 + 2.0f32.powi(-6));
+    }
+
+    #[test]
+    fn zero_detection_covers_both_signs() {
+        assert!(Bf16::from_f32(0.0).is_zero());
+        assert!(Bf16::from_f32(-0.0).is_zero());
+        assert!(!Bf16::from_f32(1e-30).is_zero());
+        assert!(!Bf16::ONE.is_zero());
+    }
+
+    #[test]
+    fn nan_survives_conversion() {
+        assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn infinities_roundtrip() {
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rounding_can_carry_into_exponent() {
+        // Largest mantissa + round up carries into the exponent cleanly.
+        let v = 1.9999999f32; // rounds to 2.0 in bf16
+        assert_eq!(Bf16::from_f32(v).to_f32(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_operates_at_bf16_precision() {
+        let a = Bf16::from_f32(1.0);
+        let b = Bf16::from_f32(2.0f32.powi(-9));
+        // 1 + 2^-9 is below bf16 resolution near 1.0: absorbed.
+        assert_eq!((a + b).to_f32(), 1.0);
+        let c = Bf16::from_f32(3.0) * Bf16::from_f32(5.0);
+        assert_eq!(c.to_f32(), 15.0);
+    }
+
+    #[test]
+    fn element_impl_matches_inherent_zero() {
+        fn generic_is_zero<T: Element>(v: T) -> bool {
+            v.is_zero()
+        }
+        assert!(generic_is_zero(Bf16::ZERO));
+        assert!(!generic_is_zero(Bf16::ONE));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by shape-checked tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape the operation expected.
+        expected: Vec<usize>,
+        /// Shape it received.
+        actual: Vec<usize>,
+    },
+    /// An operation received a tensor of the wrong rank.
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// Inner dimensions of a contraction do not line up.
+    ContractionMismatch {
+        /// Inner dimension of the left operand.
+        left: usize,
+        /// Inner dimension of the right operand.
+        right: usize,
+    },
+    /// A convolution's geometry is impossible (kernel larger than the
+    /// padded input, or zero-sized output).
+    InvalidConvolution {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected rank {expected}, got {actual}")
+            }
+            TensorError::ContractionMismatch { left, right } => {
+                write!(f, "contraction mismatch: inner dims {left} vs {right}")
+            }
+            TensorError::InvalidConvolution { reason } => {
+                write!(f, "invalid convolution: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TensorError::ShapeMismatch { expected: vec![1, 2], actual: vec![3] };
+        assert!(e.to_string().contains("[1, 2]"));
+        let e = TensorError::ContractionMismatch { left: 4, right: 5 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<TensorError>();
+    }
+}

@@ -1,0 +1,48 @@
+//! # tensordash-tensor
+//!
+//! The dense-math substrate of the TensorDash reproduction: a small,
+//! dependency-light tensor library providing exactly what a convolutional
+//! network trainer needs — NCHW tensors, the three training convolutions of
+//! the paper's Table 1 (forward, input-gradient, weight-gradient), linear
+//! layers, pooling, batch normalization, softmax/cross-entropy, and a
+//! [`Bf16`] type for the paper's bfloat16 experiments.
+//!
+//! The point of this crate is to *generate authentic dynamic sparsity*: the
+//! TensorDash accelerator model consumes operand streams whose zero patterns
+//! come from really training networks (ReLU zeros in activations, gradient
+//! zeros from backprop, batch-norm sparsity absorption, pruning-induced
+//! weight zeros), not from hand-waved distributions.
+//!
+//! ```
+//! use tensordash_tensor::{conv2d, Conv2dSpec, Tensor};
+//!
+//! let x = Tensor::from_fn(&[1, 3, 8, 8], |i| (i % 5) as f32 - 2.0);
+//! let w = Tensor::from_fn(&[4, 3, 3, 3], |i| (i % 3) as f32 * 0.1);
+//! let spec = Conv2dSpec::new(1, 1); // stride 1, padding 1
+//! let y = conv2d(&x, &w, &spec).unwrap();
+//! assert_eq!(y.shape(), &[1, 4, 8, 8]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bf16;
+pub mod conv;
+pub mod error;
+pub mod linear;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use bf16::Bf16;
+pub use conv::{
+    conv2d, conv2d_backward_input, conv2d_backward_weights, conv2d_output_hw, Conv2dSpec,
+};
+pub use error::TensorError;
+pub use linear::{linear, linear_backward_input, linear_backward_weights, matmul};
+pub use ops::{
+    avgpool2d_global, batchnorm2d, batchnorm2d_backward, maxpool2d, maxpool2d_backward, relu,
+    relu_backward, softmax_cross_entropy, BatchNormState,
+};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,244 @@
+//! Fully-connected (linear) layers and matrix multiplication.
+//!
+//! Table 1 of the paper treats a fully-connected layer as a special-case
+//! convolution where every filter is the size of the input: each filter
+//! produces one output activation (Eq. 5), the backward pass convolves the
+//! gradient with the reconstructed filters (Eq. 7), and each weight gradient
+//! is a scalar product (Eq. 9). In matrix form with `x: [B, I]` and
+//! `w: [O, I]`:
+//!
+//! ```text
+//! forward:            y  = x · wᵀ          [B, O]
+//! input gradients:    gx = gy · w          [B, I]
+//! weight gradients:   gw = gyᵀ · x         [O, I]
+//! ```
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Dense matrix product `a · b` with `a: [M, K]`, `b: [K, N]`.
+///
+/// # Errors
+///
+/// Returns an error on rank or inner-dimension mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    a.shape_ref().expect_rank(2)?;
+    b.shape_ref().expect_rank(2)?;
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ContractionMismatch { left: k, right: k2 });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        for kk in 0..k {
+            let av = ad[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Forward fully-connected layer `y = x · wᵀ` (Eq. 5).
+///
+/// `x` is `[B, I]`, `weights` is `[O, I]`; the result is `[B, O]`.
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatch.
+pub fn linear(x: &Tensor, weights: &Tensor) -> Result<Tensor, TensorError> {
+    x.shape_ref().expect_rank(2)?;
+    weights.shape_ref().expect_rank(2)?;
+    let (b, i) = (x.shape()[0], x.shape()[1]);
+    let (o, wi) = (weights.shape()[0], weights.shape()[1]);
+    if i != wi {
+        return Err(TensorError::ContractionMismatch { left: i, right: wi });
+    }
+    let mut out = Tensor::zeros(&[b, o]);
+    let (xd, wd) = (x.data(), weights.data());
+    let od = out.data_mut();
+    for bi in 0..b {
+        for oi in 0..o {
+            let mut acc = 0.0f32;
+            let xrow = &xd[bi * i..(bi + 1) * i];
+            let wrow = &wd[oi * i..(oi + 1) * i];
+            for (xv, wv) in xrow.iter().zip(wrow) {
+                acc += xv * wv;
+            }
+            od[bi * o + oi] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Input gradients of a fully-connected layer: `gx = gy · w` (Eq. 7).
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatch.
+pub fn linear_backward_input(grad_out: &Tensor, weights: &Tensor) -> Result<Tensor, TensorError> {
+    matmul(grad_out, weights)
+}
+
+/// Weight gradients of a fully-connected layer: `gw = gyᵀ · x` (Eq. 9).
+///
+/// `grad_out` is `[B, O]`, `x` is `[B, I]`; the result is `[O, I]`.
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatch.
+pub fn linear_backward_weights(grad_out: &Tensor, x: &Tensor) -> Result<Tensor, TensorError> {
+    grad_out.shape_ref().expect_rank(2)?;
+    x.shape_ref().expect_rank(2)?;
+    let (b, o) = (grad_out.shape()[0], grad_out.shape()[1]);
+    let (b2, i) = (x.shape()[0], x.shape()[1]);
+    if b != b2 {
+        return Err(TensorError::ContractionMismatch { left: b, right: b2 });
+    }
+    let mut out = Tensor::zeros(&[o, i]);
+    let (gd, xd) = (grad_out.data(), x.data());
+    let od = out.data_mut();
+    for bi in 0..b {
+        for oi in 0..o {
+            let g = gd[bi * o + oi];
+            if g == 0.0 {
+                continue;
+            }
+            let xrow = &xd[bi * i..(bi + 1) * i];
+            let orow = &mut od[oi * i..(oi + 1) * i];
+            for (ov, &xv) in orow.iter_mut().zip(xrow) {
+                *ov += g * xv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn matmul_2x2_known_values() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_inner_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::ContractionMismatch { left: 3, right: 4 })
+        ));
+    }
+
+    #[test]
+    fn linear_equals_matmul_with_transposed_weights() {
+        let x = rand_tensor(&[3, 5], 1);
+        let w = rand_tensor(&[4, 5], 2);
+        let y = linear(&x, &w).unwrap();
+        // transpose w manually
+        let mut wt = Tensor::zeros(&[5, 4]);
+        for o in 0..4 {
+            for i in 0..5 {
+                *wt.at_mut(&[i, o]) = w.at(&[o, i]);
+            }
+        }
+        let y2 = matmul(&x, &wt).unwrap();
+        for (a, b) in y.data().iter().zip(y2.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_input_matches_numerical_gradient() {
+        let x = rand_tensor(&[2, 4], 3);
+        let w = rand_tensor(&[3, 4], 4);
+        let gy = Tensor::full(&[2, 3], 1.0);
+        let gx = linear_backward_input(&gy, &w).unwrap();
+        let eps = 1e-3f32;
+        let loss = |x: &Tensor| -> f64 {
+            linear(x, &w).unwrap().data().iter().map(|&v| f64::from(v)).sum()
+        };
+        let mut xp = x.clone();
+        for idx in 0..8 {
+            let orig = xp.data()[idx];
+            xp.data_mut()[idx] = orig + eps;
+            let up = loss(&xp);
+            xp.data_mut()[idx] = orig - eps;
+            let down = loss(&xp);
+            xp.data_mut()[idx] = orig;
+            let numeric = (up - down) / (2.0 * f64::from(eps));
+            assert!((numeric - f64::from(gx.data()[idx])).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn backward_weights_matches_numerical_gradient() {
+        let x = rand_tensor(&[2, 4], 5);
+        let w = rand_tensor(&[3, 4], 6);
+        let gy = Tensor::full(&[2, 3], 1.0);
+        let gw = linear_backward_weights(&gy, &x).unwrap();
+        assert_eq!(gw.shape(), w.shape());
+        let eps = 1e-3f32;
+        let loss = |w: &Tensor| -> f64 {
+            linear(&x, w).unwrap().data().iter().map(|&v| f64::from(v)).sum()
+        };
+        let mut wp = w.clone();
+        for idx in 0..12 {
+            let orig = wp.data()[idx];
+            wp.data_mut()[idx] = orig + eps;
+            let up = loss(&wp);
+            wp.data_mut()[idx] = orig - eps;
+            let down = loss(&wp);
+            wp.data_mut()[idx] = orig;
+            let numeric = (up - down) / (2.0 * f64::from(eps));
+            assert!((numeric - f64::from(gw.data()[idx])).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn sparse_inputs_produce_exact_zero_skips() {
+        // The matmul fast path for zero operands must not change results.
+        let mut x = rand_tensor(&[4, 6], 7);
+        for i in 0..12 {
+            x.data_mut()[i * 2] = 0.0;
+        }
+        let w = rand_tensor(&[5, 6], 8);
+        let y1 = linear(&x, &w).unwrap();
+        let y2 = {
+            // brute force
+            let mut out = Tensor::zeros(&[4, 5]);
+            for b in 0..4 {
+                for o in 0..5 {
+                    let mut acc = 0.0;
+                    for i in 0..6 {
+                        acc += x.at(&[b, i]) * w.at(&[o, i]);
+                    }
+                    *out.at_mut(&[b, o]) = acc;
+                }
+            }
+            out
+        };
+        assert_eq!(y1.data(), y2.data());
+    }
+}

@@ -1,0 +1,456 @@
+//! Activation, pooling, normalization, and loss operators.
+//!
+//! These are the sparsity-relevant pieces of the training pipeline:
+//!
+//! * **ReLU** is where most activation sparsity comes from — every negative
+//!   pre-activation becomes an exact zero in the forward tensor *and* kills
+//!   the corresponding gradient in the backward tensor (§2 of the paper).
+//! * **Max pooling** routes gradients only to the argmax cell, zeroing the
+//!   rest — another gradient-sparsity source.
+//! * **Batch normalization** *absorbs* sparsity: its output is generally
+//!   dense even for sparse inputs, and its gradient re-densifies too. This
+//!   is exactly why DenseNet121 shows negligible `W×G` speedup in Fig 13
+//!   (BN sits between each convolution and the ReLU).
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// ReLU forward: `max(0, x)` element-wise.
+#[must_use]
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+/// ReLU backward: passes `grad_out` where the forward *input* was positive.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+#[must_use]
+pub fn relu_backward(grad_out: &Tensor, forward_input: &Tensor) -> Tensor {
+    assert_eq!(grad_out.shape(), forward_input.shape(), "relu backward shape mismatch");
+    let mut out = grad_out.clone();
+    for (g, &x) in out.data_mut().iter_mut().zip(forward_input.data()) {
+        if x <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    out
+}
+
+/// Max-pool a 4-D tensor with a square `k × k` window and stride `k`,
+/// returning the pooled tensor and the flat argmax index per output cell
+/// (needed by [`maxpool2d_backward`]).
+///
+/// # Errors
+///
+/// Returns an error if the input is not 4-D or smaller than the window.
+pub fn maxpool2d(x: &Tensor, k: usize) -> Result<(Tensor, Vec<usize>), TensorError> {
+    x.shape_ref().expect_rank(4)?;
+    let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+    if k == 0 || k > h || k > w {
+        return Err(TensorError::InvalidConvolution {
+            reason: format!("pool window {k} does not fit input {h}x{w}"),
+        });
+    }
+    let (ho, wo) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let mut argmax = vec![0usize; out.len()];
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let idx = ((ni * c + ci) * h + oy * k + ky) * w + ox * k + kx;
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = ((ni * c + ci) * ho + oy) * wo + ox;
+                    od[oidx] = best;
+                    argmax[oidx] = best_idx;
+                }
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+/// Max-pool backward: scatters each output gradient to its argmax cell.
+///
+/// # Panics
+///
+/// Panics if `argmax` does not match `grad_out`.
+#[must_use]
+pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[usize], input_len: usize) -> Tensor {
+    assert_eq!(grad_out.len(), argmax.len(), "argmax does not match grad_out");
+    let mut gx = vec![0.0f32; input_len];
+    for (g, &idx) in grad_out.data().iter().zip(argmax) {
+        gx[idx] += g;
+    }
+    Tensor::from_vec(&[input_len], gx)
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+///
+/// # Errors
+///
+/// Returns an error if the input is not 4-D.
+pub fn avgpool2d_global(x: &Tensor) -> Result<Tensor, TensorError> {
+    x.shape_ref().expect_rank(4)?;
+    let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+    let mut out = Tensor::zeros(&[n, c]);
+    let xd = x.data();
+    let od = out.data_mut();
+    let area = (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            od[ni * c + ci] = xd[base..base + h * w].iter().sum::<f32>() / area;
+        }
+    }
+    Ok(out)
+}
+
+/// Saved state from a batch-norm forward pass, needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct BatchNormState {
+    /// Per-channel batch mean.
+    pub mean: Vec<f32>,
+    /// Per-channel batch variance (biased).
+    pub var: Vec<f32>,
+    /// The normalized activations `x_hat` (same shape as the input).
+    pub x_hat: Tensor,
+}
+
+/// Batch normalization forward (training mode) over a `[N, C, H, W]` tensor
+/// with per-channel `gamma`/`beta`.
+///
+/// # Errors
+///
+/// Returns an error if ranks or channel counts disagree.
+pub fn batchnorm2d(
+    x: &Tensor,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Result<(Tensor, BatchNormState), TensorError> {
+    x.shape_ref().expect_rank(4)?;
+    let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+    if gamma.len() != c || beta.len() != c {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![c],
+            actual: vec![gamma.len()],
+        });
+    }
+    let per_channel = (n * h * w) as f32;
+    let mut mean = vec![0.0f32; c];
+    let mut var = vec![0.0f32; c];
+    let xd = x.data();
+    for ni in 0..n {
+        for (ci, m) in mean.iter_mut().enumerate() {
+            let base = (ni * c + ci) * h * w;
+            *m += xd[base..base + h * w].iter().sum::<f32>();
+        }
+    }
+    for m in &mut mean {
+        *m /= per_channel;
+    }
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for &v in &xd[base..base + h * w] {
+                let d = v - mean[ci];
+                var[ci] += d * d;
+            }
+        }
+    }
+    for v in &mut var {
+        *v /= per_channel;
+    }
+
+    let mut x_hat = Tensor::zeros(x.shape());
+    let mut out = Tensor::zeros(x.shape());
+    {
+        let xh = x_hat.data_mut();
+        let od = out.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let inv_std = 1.0 / (var[ci] + eps).sqrt();
+                for i in base..base + h * w {
+                    let normalized = (xd[i] - mean[ci]) * inv_std;
+                    xh[i] = normalized;
+                    od[i] = gamma[ci] * normalized + beta[ci];
+                }
+            }
+        }
+    }
+    Ok((out, BatchNormState { mean, var, x_hat }))
+}
+
+/// Batch normalization backward: returns `(grad_x, grad_gamma, grad_beta)`.
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree with the saved state.
+pub fn batchnorm2d_backward(
+    grad_out: &Tensor,
+    state: &BatchNormState,
+    gamma: &[f32],
+    eps: f32,
+) -> Result<(Tensor, Vec<f32>, Vec<f32>), TensorError> {
+    grad_out.shape_ref().expect_rank(4)?;
+    grad_out.shape_ref().expect(state.x_hat.shape())?;
+    let [n, c, h, w] = [
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    ];
+    let m = (n * h * w) as f32;
+    let gd = grad_out.data();
+    let xh = state.x_hat.data();
+
+    let mut grad_gamma = vec![0.0f32; c];
+    let mut grad_beta = vec![0.0f32; c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for i in base..base + h * w {
+                grad_gamma[ci] += gd[i] * xh[i];
+                grad_beta[ci] += gd[i];
+            }
+        }
+    }
+
+    let mut gx = Tensor::zeros(grad_out.shape());
+    {
+        let gxd = gx.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let inv_std = 1.0 / (state.var[ci] + eps).sqrt();
+                let k = gamma[ci] * inv_std / m;
+                for i in base..base + h * w {
+                    gxd[i] = k * (m * gd[i] - grad_beta[ci] - xh[i] * grad_gamma[ci]);
+                }
+            }
+        }
+    }
+    Ok((gx, grad_gamma, grad_beta))
+}
+
+/// Softmax + cross-entropy over `[B, K]` logits with one label per row.
+///
+/// Returns the mean loss and the gradient w.r.t. the logits (already divided
+/// by the batch size).
+///
+/// # Errors
+///
+/// Returns an error if shapes disagree.
+///
+/// # Panics
+///
+/// Panics if any label is out of range.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f64, Tensor), TensorError> {
+    logits.shape_ref().expect_rank(2)?;
+    let (b, k) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != b {
+        return Err(TensorError::ShapeMismatch { expected: vec![b], actual: vec![labels.len()] });
+    }
+    let mut grad = Tensor::zeros(&[b, k]);
+    let ld = logits.data();
+    let gd = grad.data_mut();
+    let mut loss = 0.0f64;
+    for bi in 0..b {
+        let label = labels[bi];
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let row = &ld[bi * k..(bi + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = row.iter().map(|&v| f64::from(v - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        loss -= (exps[label] / sum).ln();
+        for ki in 0..k {
+            let p = (exps[ki] / sum) as f32;
+            gd[bi * k + ki] = (p - if ki == label { 1.0 } else { 0.0 }) / b as f32;
+        }
+    }
+    Ok((loss / b as f64, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_fn(dims, |_| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_and_creates_sparsity() {
+        let x = Tensor::from_vec(&[5], vec![-1.0, 0.0, 2.0, -3.0, 4.0]);
+        let y = relu(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0, 4.0]);
+        assert_eq!(y.sparsity(), 0.6);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradients() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, 0.0, 3.0]);
+        let g = Tensor::from_vec(&[4], vec![10.0, 20.0, 30.0, 40.0]);
+        let gx = relu_backward(&g, &x);
+        assert_eq!(gx.data(), &[0.0, 20.0, 0.0, 40.0]);
+    }
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let (y, argmax) = maxpool2d(&x, 2).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_backward_scatters_to_argmax() {
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let (y, argmax) = maxpool2d(&x, 2).unwrap();
+        let g = Tensor::full(y.shape(), 1.0);
+        let gx = maxpool2d_backward(&g, &argmax, x.len());
+        assert_eq!(gx.nonzeros(), 4);
+        assert_eq!(gx.data()[5], 1.0);
+        assert_eq!(gx.data()[0], 0.0);
+        // Gradient sparsity: 12 of 16 cells are exactly zero.
+        assert_eq!(gx.sparsity(), 0.75);
+    }
+
+    #[test]
+    fn global_avgpool_averages() {
+        let x = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let y = avgpool2d_global(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[1.5, 5.5]);
+    }
+
+    #[test]
+    fn batchnorm_normalizes_each_channel() {
+        let x = rand_tensor(&[4, 3, 5, 5], 1);
+        let gamma = vec![1.0; 3];
+        let beta = vec![0.0; 3];
+        let (y, _) = batchnorm2d(&x, &gamma, &beta, 1e-5).unwrap();
+        // Each channel of y should be ~zero-mean, ~unit-variance.
+        for ci in 0..3 {
+            let mut sum = 0.0f64;
+            let mut sq = 0.0f64;
+            let mut count = 0;
+            for ni in 0..4 {
+                for i in 0..25 {
+                    let v = f64::from(y.data()[(ni * 3 + ci) * 25 + i]);
+                    sum += v;
+                    sq += v * v;
+                    count += 1;
+                }
+            }
+            let mean = sum / count as f64;
+            let var = sq / count as f64 - mean * mean;
+            assert!(mean.abs() < 1e-5, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_absorbs_sparsity() {
+        // §4.1 (DenseNet discussion): BN output is dense even when its
+        // input is highly sparse — the mean shift fills in the zeros.
+        let x = relu(&rand_tensor(&[2, 4, 6, 6], 2));
+        assert!(x.sparsity() > 0.3);
+        let (y, _) = batchnorm2d(&x, &[1.0; 4], &[0.1; 4], 1e-5).unwrap();
+        assert!(y.sparsity() < 0.01, "BN output should be dense");
+    }
+
+    #[test]
+    fn batchnorm_backward_matches_numerical_gradient() {
+        let x = rand_tensor(&[2, 2, 3, 3], 3);
+        let gamma = vec![1.5, 0.7];
+        let beta = vec![0.1, -0.2];
+        let eps = 1e-5;
+        let (_, state) = batchnorm2d(&x, &gamma, &beta, eps).unwrap();
+        let gy = Tensor::full(&[2, 2, 3, 3], 1.0);
+        // loss = sum over elements * elementwise weight (use varying weight
+        // so the gradient is not trivially zero).
+        let weights = Tensor::from_fn(&[2, 2, 3, 3], |i| (i % 7) as f32 * 0.1);
+        let gy_weighted = {
+            let mut t = gy.clone();
+            for (g, &w) in t.data_mut().iter_mut().zip(weights.data()) {
+                *g *= w;
+            }
+            t
+        };
+        let (gx, _, _) = batchnorm2d_backward(&gy_weighted, &state, &gamma, eps).unwrap();
+
+        let loss = |x: &Tensor| -> f64 {
+            let (y, _) = batchnorm2d(x, &gamma, &beta, eps).unwrap();
+            y.data()
+                .iter()
+                .zip(weights.data())
+                .map(|(&v, &w)| f64::from(v) * f64::from(w))
+                .sum()
+        };
+        let eps_fd = 1e-2f32;
+        let mut xp = x.clone();
+        for idx in [0usize, 8, 17, 30] {
+            let orig = xp.data()[idx];
+            xp.data_mut()[idx] = orig + eps_fd;
+            let up = loss(&xp);
+            xp.data_mut()[idx] = orig - eps_fd;
+            let down = loss(&xp);
+            xp.data_mut()[idx] = orig;
+            let numeric = (up - down) / (2.0 * f64::from(eps_fd));
+            let analytic = f64::from(gx.data()[idx]);
+            assert!(
+                (numeric - analytic).abs() < 5e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradient_sums_to_zero_per_row() {
+        let logits = rand_tensor(&[3, 5], 4);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 2, 4]).unwrap();
+        assert!(loss > 0.0);
+        for bi in 0..3 {
+            let row_sum: f32 = grad.data()[bi * 5..(bi + 1) * 5].iter().sum();
+            assert!(row_sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_cross_entropy_perfect_prediction_has_low_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        *logits.at_mut(&[0, 1]) = 20.0;
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1]).unwrap();
+        assert!(loss < 1e-6);
+        assert!(grad.data()[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_numerically_stable_for_large_logits() {
+        let logits = Tensor::from_vec(&[1, 3], vec![1e4, 1e4 + 1.0, 1e4 - 1.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]).unwrap();
+        assert!(loss.is_finite());
+    }
+}

@@ -1,0 +1,165 @@
+//! Tensor shapes and row-major strides.
+
+use crate::error::TensorError;
+
+/// A tensor shape of rank 1..=4 with row-major (C-order) layout.
+///
+/// Convolutional tensors use NCHW order: `[batch, channels, height, width]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or longer than 4, or any dimension is zero.
+    #[must_use]
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= 4,
+            "supported ranks are 1..=4, got {}",
+            dims.len()
+        );
+        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimensions are not supported");
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// The dimensions.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The rank (number of dimensions).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Shapes are never empty (zero dims are rejected), so this is `false`;
+    /// provided for clippy-friendliness alongside [`Shape::len`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Row-major strides.
+    #[must_use]
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat index of a multi-dimensional coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the coordinate rank or bounds are violated.
+    #[must_use]
+    pub fn index(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.dims.len());
+        let mut idx = 0;
+        for (i, (&c, &d)) in coords.iter().zip(&self.dims).enumerate() {
+            debug_assert!(c < d, "coordinate {c} out of bounds for dim {i} of extent {d}");
+            idx = idx * d + c;
+        }
+        idx
+    }
+
+    /// Checks that this shape equals `expected`, for argument validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on disagreement.
+    pub fn expect(&self, expected: &[usize]) -> Result<(), TensorError> {
+        if self.dims == expected {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch {
+                expected: expected.to_vec(),
+                actual: self.dims.clone(),
+            })
+        }
+    }
+
+    /// Checks that this shape has `rank`, for argument validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] on disagreement.
+    pub fn expect_rank(&self, rank: usize) -> Result<(), TensorError> {
+        if self.dims.len() == rank {
+            Ok(())
+        } else {
+            Err(TensorError::RankMismatch { expected: rank, actual: self.dims.len() })
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4, 5]);
+        assert_eq!(s.strides(), vec![60, 20, 5, 1]);
+        assert_eq!(s.len(), 120);
+    }
+
+    #[test]
+    fn index_walks_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.index(&[0, 0, 0]), 0);
+        assert_eq!(s.index(&[0, 0, 3]), 3);
+        assert_eq!(s.index(&[0, 1, 0]), 4);
+        assert_eq!(s.index(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    fn expect_reports_mismatch() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.expect(&[2, 3]).is_ok());
+        assert!(matches!(
+            s.expect(&[3, 2]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(s.expect_rank(4), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn rejects_zero_dims() {
+        let _ = Shape::new(&[2, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported ranks")]
+    fn rejects_rank_5() {
+        let _ = Shape::new(&[1, 1, 1, 1, 1]);
+    }
+}

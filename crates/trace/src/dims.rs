@@ -1,0 +1,280 @@
+//! Layer geometry and the three training operations.
+
+/// The three bulk computations of one training step for one layer (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrainingOp {
+    /// Forward convolution `O = W ⋆ A` — the paper's `A×W`.
+    Forward,
+    /// Input-gradient convolution `GA = GO ⋆ W` — the paper's `A×G`.
+    InputGrad,
+    /// Weight-gradient convolution `GW = GO ⋆ A` — the paper's `W×G`.
+    WeightGrad,
+}
+
+impl TrainingOp {
+    /// All three operations, in paper order.
+    pub const ALL: [TrainingOp; 3] = [
+        TrainingOp::Forward,
+        TrainingOp::InputGrad,
+        TrainingOp::WeightGrad,
+    ];
+
+    /// The paper's label for this operation.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrainingOp::Forward => "AxW",
+            TrainingOp::InputGrad => "AxG",
+            TrainingOp::WeightGrad => "WxG",
+        }
+    }
+}
+
+impl std::fmt::Display for TrainingOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Geometry of a convolutional layer (a fully-connected layer is the
+/// special case built by [`ConvDims::fully_connected`], exactly as the
+/// paper's Table 1 treats it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvDims {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Filters (output channels).
+    pub f: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+}
+
+impl ConvDims {
+    /// A convolutional layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero or the kernel does not fit.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        f: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let d = ConvDims { n, c, h, w, f, kh, kw, stride, padding };
+        assert!(
+            n > 0 && c > 0 && h > 0 && w > 0 && f > 0 && kh > 0 && kw > 0 && stride > 0,
+            "conv dimensions must be positive"
+        );
+        assert!(
+            kh <= h + 2 * padding && kw <= w + 2 * padding,
+            "kernel {kh}x{kw} does not fit padded input"
+        );
+        d
+    }
+
+    /// A square-input convolution (`h == w`, `kh == kw`).
+    #[must_use]
+    pub fn conv_square(
+        n: usize,
+        c: usize,
+        hw: usize,
+        f: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        ConvDims::conv(n, c, hw, hw, f, k, k, stride, padding)
+    }
+
+    /// A fully-connected layer with `inputs` inputs and `outputs` outputs,
+    /// expressed as a 1×1 convolution over a 1×1 spatial extent (Table 1).
+    #[must_use]
+    pub fn fully_connected(n: usize, inputs: usize, outputs: usize) -> Self {
+        ConvDims::conv(n, inputs, 1, 1, outputs, 1, 1, 1, 0)
+    }
+
+    /// Output spatial size.
+    #[must_use]
+    pub fn output_hw(&self) -> (usize, usize) {
+        (
+            (self.h + 2 * self.padding - self.kh) / self.stride + 1,
+            (self.w + 2 * self.padding - self.kw) / self.stride + 1,
+        )
+    }
+
+    /// MACs performed by the forward convolution (the other two perform a
+    /// comparable count, §2).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        let (ho, wo) = self.output_hw();
+        (self.n * self.f * ho * wo) as u64 * (self.c * self.kh * self.kw) as u64
+    }
+
+    /// Elements in the activation tensor `A`.
+    #[must_use]
+    pub fn a_volume(&self) -> u64 {
+        (self.n * self.c * self.h * self.w) as u64
+    }
+
+    /// Elements in the weight tensor `W`.
+    #[must_use]
+    pub fn w_volume(&self) -> u64 {
+        (self.f * self.c * self.kh * self.kw) as u64
+    }
+
+    /// Elements in the output / output-gradient tensor.
+    #[must_use]
+    pub fn o_volume(&self) -> u64 {
+        let (ho, wo) = self.output_hw();
+        (self.n * self.f * ho * wo) as u64
+    }
+
+    /// Scheduled-side stream count for `op` — one stream feeds one tile row:
+    /// spatial output windows for the forward pass, input positions for the
+    /// input-gradient pass, filters for the weight-gradient pass.
+    #[must_use]
+    pub fn windows(&self, op: TrainingOp) -> u64 {
+        match op {
+            TrainingOp::Forward => {
+                let (ho, wo) = self.output_hw();
+                (self.n * ho * wo) as u64
+            }
+            TrainingOp::InputGrad => (self.n * self.h * self.w) as u64,
+            TrainingOp::WeightGrad => self.f as u64,
+        }
+    }
+
+    /// Dense reduction rows per scheduled-side stream at `lanes`-wide PEs.
+    #[must_use]
+    pub fn rows_per_window(&self, op: TrainingOp, lanes: usize) -> u64 {
+        match op {
+            TrainingOp::Forward => (self.kh * self.kw * self.c.div_ceil(lanes)) as u64,
+            TrainingOp::InputGrad => (self.kh * self.kw * self.f.div_ceil(lanes)) as u64,
+            TrainingOp::WeightGrad => {
+                let (ho, wo) = self.output_hw();
+                (self.n * ho * wo).div_ceil(lanes) as u64
+            }
+        }
+    }
+
+    /// Dense-side element count per window — the tile-column dimension
+    /// (independent outputs sharing one scheduled stream).
+    #[must_use]
+    pub fn dense_side_outputs(&self, op: TrainingOp) -> u64 {
+        match op {
+            TrainingOp::Forward => self.f as u64,
+            TrainingOp::InputGrad => self.c as u64,
+            TrainingOp::WeightGrad => (self.c * self.kh * self.kw) as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for ConvDims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.h == 1 && self.w == 1 && self.kh == 1 && self.kw == 1 {
+            write!(f, "fc {}x{}->{}", self.n, self.c, self.f)
+        } else {
+            write!(
+                f,
+                "conv n{} {}x{}x{} f{} k{}x{} s{} p{}",
+                self.n, self.c, self.h, self.w, self.f, self.kh, self.kw, self.stride,
+                self.padding
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_matches_convention() {
+        let d = ConvDims::conv_square(1, 3, 8, 4, 3, 1, 1);
+        assert_eq!(d.output_hw(), (8, 8));
+        let d = ConvDims::conv_square(1, 3, 8, 4, 3, 2, 0);
+        assert_eq!(d.output_hw(), (3, 3));
+    }
+
+    #[test]
+    fn fully_connected_collapses_to_1x1() {
+        let d = ConvDims::fully_connected(32, 1024, 10);
+        assert_eq!(d.output_hw(), (1, 1));
+        assert_eq!(d.macs(), 32 * 1024 * 10);
+        assert_eq!(d.windows(TrainingOp::Forward), 32);
+        assert_eq!(d.rows_per_window(TrainingOp::Forward, 16), 64);
+        assert_eq!(d.windows(TrainingOp::WeightGrad), 10);
+        assert_eq!(d.rows_per_window(TrainingOp::WeightGrad, 16), 2);
+    }
+
+    #[test]
+    fn mac_count_matches_formula() {
+        let d = ConvDims::conv_square(2, 64, 14, 128, 3, 1, 1);
+        assert_eq!(d.macs(), 2 * 128 * 14 * 14 * 64 * 9);
+    }
+
+    #[test]
+    fn windows_and_rows_cover_all_macs_forward() {
+        // windows * rows * lanes >= macs / dense_side (padding rounds up).
+        let d = ConvDims::conv_square(2, 60, 14, 128, 3, 1, 1);
+        let lanes = 16;
+        let per_window_macs =
+            d.rows_per_window(TrainingOp::Forward, lanes) * lanes as u64;
+        assert!(per_window_macs >= (d.c * d.kh * d.kw) as u64);
+        assert!(per_window_macs < (d.c * d.kh * d.kw + lanes * d.kh * d.kw) as u64);
+    }
+
+    #[test]
+    fn weight_grad_windows_are_filters() {
+        let d = ConvDims::conv_square(4, 32, 16, 64, 3, 1, 1);
+        assert_eq!(d.windows(TrainingOp::WeightGrad), 64);
+        assert_eq!(
+            d.rows_per_window(TrainingOp::WeightGrad, 16),
+            (4 * 16 * 16_usize).div_ceil(16) as u64
+        );
+        assert_eq!(d.dense_side_outputs(TrainingOp::WeightGrad), 32 * 9);
+    }
+
+    #[test]
+    fn three_ops_have_comparable_mac_totals() {
+        // §2: "The convolutions perform the same number of MACs".
+        let d = ConvDims::conv_square(1, 64, 14, 64, 3, 1, 1);
+        let lanes = 16;
+        let totals: Vec<u64> = TrainingOp::ALL
+            .iter()
+            .map(|&op| {
+                d.windows(op) * d.rows_per_window(op, lanes) * lanes as u64
+                    * d.dense_side_outputs(op)
+            })
+            .collect();
+        let max = *totals.iter().max().unwrap() as f64;
+        let min = *totals.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "totals {totals:?} diverge too much");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_rejected() {
+        let _ = ConvDims::conv_square(1, 3, 4, 8, 7, 1, 0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Bit-exact trace extraction from real training tensors.
+//!
+//! Given the tensors that participate in a layer's training step — input
+//! activations `A`, weights `W`, output gradients `GO` — these functions
+//! build the scheduled-side operand streams exactly as the accelerator's
+//! memory system would feed them to the PEs (§3.4's 16-along-channel layout,
+//! with padding and stride-dilation zeros appearing as genuine zero slots).
+
+use crate::dims::{ConvDims, TrainingOp};
+use crate::stream::{OpTrace, SampleSpec, TrafficVolumes, WindowTrace};
+use tensordash_tensor::Tensor;
+
+/// The tensors of one layer's training step.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerTensors<'a> {
+    /// Layer geometry.
+    pub dims: ConvDims,
+    /// Input activations `[N, C, H, W]`.
+    pub activations: &'a Tensor,
+    /// Weights `[F, C, Kh, Kw]`.
+    pub weights: &'a Tensor,
+    /// Output gradients `[N, F, Ho, Wo]`.
+    pub grad_out: &'a Tensor,
+    /// Non-zero count of the layer's *output* activations (post
+    /// activation-function), if known — drives output-compression traffic.
+    pub output_nonzero: Option<u64>,
+}
+
+impl<'a> LayerTensors<'a> {
+    /// Validates tensor shapes against the layer geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on any mismatch.
+    pub fn validate(&self) {
+        let d = &self.dims;
+        let (ho, wo) = d.output_hw();
+        assert_eq!(
+            self.activations.shape(),
+            &[d.n, d.c, d.h, d.w],
+            "activation shape does not match dims {d}"
+        );
+        assert_eq!(
+            self.weights.shape(),
+            &[d.f, d.c, d.kh, d.kw],
+            "weight shape does not match dims {d}"
+        );
+        assert_eq!(
+            self.grad_out.shape(),
+            &[d.n, d.f, ho, wo],
+            "grad_out shape does not match dims {d}"
+        );
+    }
+}
+
+/// Extracts the scheduled-side operand-stream trace for `op`.
+///
+/// The scheduled side follows the paper's §2 choices: activations for the
+/// forward pass, output gradients for the input-gradient pass, and for the
+/// weight-gradient pass whichever of `GO`/`A` is sparser.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes do not match `tensors.dims`.
+#[must_use]
+pub fn extract_op_trace(
+    tensors: &LayerTensors<'_>,
+    op: TrainingOp,
+    lanes: usize,
+    sample: &SampleSpec,
+) -> OpTrace {
+    tensors.validate();
+    let d = tensors.dims;
+    let volumes = traffic_volumes(tensors, op);
+    let total_windows = d.windows(op);
+    let total_rows = d.rows_per_window(op, lanes);
+    let n_windows = sample.max_windows.min(total_windows as usize);
+    let block = sample.block.min(n_windows);
+    let blocks = n_windows.div_ceil(block);
+    let windows = (0..n_windows)
+        .map(|i| {
+            // Contiguous runs of `block` windows, runs evenly spaced across
+            // the full index space (adjacent windows are what a tile's rows
+            // would actually co-process).
+            let run = i / block;
+            let offset = (i % block) as u64;
+            let base = (run as u64 * total_windows) / blocks as u64;
+            let widx = (base + offset).min(total_windows - 1);
+            let masks = match op {
+                TrainingOp::Forward => forward_window(tensors, widx, lanes),
+                TrainingOp::InputGrad => input_grad_window(tensors, widx, lanes),
+                TrainingOp::WeightGrad => weight_grad_window(tensors, widx, lanes),
+            };
+            let cap = sample.max_rows.min(masks.len());
+            WindowTrace::new(masks[..cap].to_vec())
+        })
+        .collect();
+
+    OpTrace {
+        op,
+        lanes,
+        dims: d,
+        total_windows,
+        total_rows_per_window: total_rows,
+        windows,
+        volumes,
+    }
+}
+
+fn traffic_volumes(tensors: &LayerTensors<'_>, op: TrainingOp) -> TrafficVolumes {
+    let d = tensors.dims;
+    let a_nz = tensors.activations.nonzeros() as u64;
+    let w_nz = tensors.weights.nonzeros() as u64;
+    let g_nz = tensors.grad_out.nonzeros() as u64;
+    match op {
+        TrainingOp::Forward => TrafficVolumes {
+            dense_elems: d.w_volume(),
+            dense_nonzero: w_nz,
+            sched_elems: d.a_volume(),
+            sched_nonzero: a_nz,
+            out_elems: d.o_volume(),
+            out_nonzero: tensors.output_nonzero.unwrap_or_else(|| d.o_volume()),
+        },
+        TrainingOp::InputGrad => TrafficVolumes {
+            dense_elems: d.w_volume(),
+            dense_nonzero: w_nz,
+            sched_elems: d.o_volume(),
+            sched_nonzero: g_nz,
+            out_elems: d.a_volume(),
+            // Input gradients pass through the activation function's
+            // derivative next, but as produced here they are dense-ish;
+            // without the next layer's mask assume dense.
+            out_nonzero: d.a_volume(),
+        },
+        TrainingOp::WeightGrad => {
+            let go_sparsity = 1.0 - g_nz as f64 / d.o_volume() as f64;
+            let a_sparsity = 1.0 - a_nz as f64 / d.a_volume() as f64;
+            let (sched_elems, sched_nonzero, dense_elems, dense_nonzero) =
+                if go_sparsity >= a_sparsity {
+                    (d.o_volume(), g_nz, d.a_volume(), a_nz)
+                } else {
+                    (d.a_volume(), a_nz, d.o_volume(), g_nz)
+                };
+            TrafficVolumes {
+                dense_elems,
+                dense_nonzero,
+                sched_elems,
+                sched_nonzero,
+                out_elems: d.w_volume(),
+                out_nonzero: d.w_volume(),
+            }
+        }
+    }
+}
+
+/// Forward pass, window `widx` = flattened (n, oy, ox): stream the
+/// activation window in (ky, kx, channel-block) order.
+fn forward_window(tensors: &LayerTensors<'_>, widx: u64, lanes: usize) -> Vec<u64> {
+    let d = tensors.dims;
+    let (ho, wo) = d.output_hw();
+    let widx = widx as usize;
+    let n = widx / (ho * wo);
+    let oy = (widx / wo) % ho;
+    let ox = widx % wo;
+    let a = tensors.activations.data();
+    let cblocks = d.c.div_ceil(lanes);
+    let mut masks = Vec::with_capacity(d.kh * d.kw * cblocks);
+    for ky in 0..d.kh {
+        let iy = (oy * d.stride + ky) as isize - d.padding as isize;
+        for kx in 0..d.kw {
+            let ix = (ox * d.stride + kx) as isize - d.padding as isize;
+            let in_bounds =
+                iy >= 0 && iy < d.h as isize && ix >= 0 && ix < d.w as isize;
+            for cb in 0..cblocks {
+                let mut mask = 0u64;
+                if in_bounds {
+                    for l in 0..lanes.min(d.c - cb * lanes) {
+                        let c = cb * lanes + l;
+                        let idx = ((n * d.c + c) * d.h + iy as usize) * d.w + ix as usize;
+                        if a[idx] != 0.0 {
+                            mask |= 1 << l;
+                        }
+                    }
+                }
+                masks.push(mask);
+            }
+        }
+    }
+    masks
+}
+
+/// Input-gradient pass, window `widx` = flattened input position (n, y, x):
+/// stream the (stride-dilated) output gradients in (ky, kx, filter-block)
+/// order. Positions that fall between strides contribute structural zeros.
+fn input_grad_window(tensors: &LayerTensors<'_>, widx: u64, lanes: usize) -> Vec<u64> {
+    let d = tensors.dims;
+    let (ho, wo) = d.output_hw();
+    let widx = widx as usize;
+    let n = widx / (d.h * d.w);
+    let y = (widx / d.w) % d.h;
+    let x = widx % d.w;
+    let go = tensors.grad_out.data();
+    let fblocks = d.f.div_ceil(lanes);
+    let mut masks = Vec::with_capacity(d.kh * d.kw * fblocks);
+    for ky in 0..d.kh {
+        let oy_num = y as isize + d.padding as isize - ky as isize;
+        let oy_valid = oy_num >= 0
+            && oy_num % d.stride as isize == 0
+            && (oy_num / d.stride as isize) < ho as isize;
+        for kx in 0..d.kw {
+            let ox_num = x as isize + d.padding as isize - kx as isize;
+            let ox_valid = ox_num >= 0
+                && ox_num % d.stride as isize == 0
+                && (ox_num / d.stride as isize) < wo as isize;
+            for fb in 0..fblocks {
+                let mut mask = 0u64;
+                if oy_valid && ox_valid {
+                    let oy = (oy_num / d.stride as isize) as usize;
+                    let ox = (ox_num / d.stride as isize) as usize;
+                    for l in 0..lanes.min(d.f - fb * lanes) {
+                        let f = fb * lanes + l;
+                        let idx = ((n * d.f + f) * ho + oy) * wo + ox;
+                        if go[idx] != 0.0 {
+                            mask |= 1 << l;
+                        }
+                    }
+                }
+                masks.push(mask);
+            }
+        }
+    }
+    masks
+}
+
+/// Weight-gradient pass, window `widx`: the scheduled side is `GO` or `A`,
+/// whichever is sparser (§2). For `GO`, windows are filters and the stream
+/// walks the gradient map over (n, oy, ox) in `lanes`-wide chunks; for `A`,
+/// windows are (c, ky, kx) triples and the stream walks the corresponding
+/// shifted activation positions.
+fn weight_grad_window(tensors: &LayerTensors<'_>, widx: u64, lanes: usize) -> Vec<u64> {
+    let d = tensors.dims;
+    let (ho, wo) = d.output_hw();
+    let go = tensors.grad_out.data();
+    let a = tensors.activations.data();
+    let reduction = d.n * ho * wo;
+    let rows = reduction.div_ceil(lanes);
+
+    let g_nz = tensors.grad_out.nonzeros() as f64 / d.o_volume() as f64;
+    let a_nz = tensors.activations.nonzeros() as f64 / d.a_volume() as f64;
+    let mut masks = Vec::with_capacity(rows);
+    if g_nz <= a_nz {
+        // GO is sparser: stream filter widx's gradient map.
+        let f = widx as usize % d.f;
+        for r in 0..rows {
+            let mut mask = 0u64;
+            for l in 0..lanes.min(reduction - r * lanes) {
+                let pos = r * lanes + l;
+                let n = pos / (ho * wo);
+                let oy = (pos / wo) % ho;
+                let ox = pos % wo;
+                let idx = ((n * d.f + f) * ho + oy) * wo + ox;
+                if go[idx] != 0.0 {
+                    mask |= 1 << l;
+                }
+            }
+            masks.push(mask);
+        }
+    } else {
+        // A is sparser: stream the activation positions of one (c, ky, kx).
+        let combos = d.c * d.kh * d.kw;
+        let combo = widx as usize % combos;
+        let c = combo / (d.kh * d.kw);
+        let ky = (combo / d.kw) % d.kh;
+        let kx = combo % d.kw;
+        for r in 0..rows {
+            let mut mask = 0u64;
+            for l in 0..lanes.min(reduction - r * lanes) {
+                let pos = r * lanes + l;
+                let n = pos / (ho * wo);
+                let oy = (pos / wo) % ho;
+                let ox = pos % wo;
+                let iy = (oy * d.stride + ky) as isize - d.padding as isize;
+                let ix = (ox * d.stride + kx) as isize - d.padding as isize;
+                if iy >= 0 && iy < d.h as isize && ix >= 0 && ix < d.w as isize {
+                    let idx = ((n * d.c + c) * d.h + iy as usize) * d.w + ix as usize;
+                    if a[idx] != 0.0 {
+                        mask |= 1 << l;
+                    }
+                }
+            }
+            masks.push(mask);
+        }
+    }
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn layer(seed: u64, density_a: f64, density_g: f64) -> (ConvDims, Tensor, Tensor, Tensor) {
+        let d = ConvDims::conv_square(2, 20, 6, 8, 3, 1, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sparse_tensor = |dims: &[usize], density: f64| {
+            Tensor::from_fn(dims, |_| {
+                if rng.gen_bool(density) {
+                    rng.gen_range(0.1f32..1.0)
+                } else {
+                    0.0
+                }
+            })
+        };
+        let (ho, wo) = d.output_hw();
+        let a = sparse_tensor(&[d.n, d.c, d.h, d.w], density_a);
+        let w = sparse_tensor(&[d.f, d.c, d.kh, d.kw], 1.0);
+        let g = sparse_tensor(&[d.n, d.f, ho, wo], density_g);
+        (d, a, w, g)
+    }
+
+    fn tensors<'a>(
+        d: ConvDims,
+        a: &'a Tensor,
+        w: &'a Tensor,
+        g: &'a Tensor,
+    ) -> LayerTensors<'a> {
+        LayerTensors { dims: d, activations: a, weights: w, grad_out: g, output_nonzero: None }
+    }
+
+    #[test]
+    fn forward_trace_has_expected_geometry() {
+        let (d, a, w, g) = layer(1, 0.5, 0.5);
+        let lt = tensors(d, &a, &w, &g);
+        let t = extract_op_trace(&lt, TrainingOp::Forward, 16, &SampleSpec::default());
+        assert_eq!(t.total_windows, 2 * 6 * 6);
+        // kh*kw*ceil(20/16) = 9 * 2 = 18 rows per window.
+        assert_eq!(t.total_rows_per_window, 18);
+        assert_eq!(t.windows.len(), 64);
+        for w in &t.windows {
+            assert_eq!(w.masks.len(), 18);
+        }
+    }
+
+    #[test]
+    fn forward_trace_sparsity_tracks_tensor_sparsity() {
+        let (d, a, w, g) = layer(2, 0.3, 1.0);
+        let lt = tensors(d, &a, &w, &g);
+        let t = extract_op_trace(&lt, TrainingOp::Forward, 16, &SampleSpec::default());
+        // Stream sparsity >= tensor sparsity (padding + lane rounding add
+        // structural zeros on top of the ~70% value zeros).
+        let tensor_sparsity = 1.0 - a.nonzeros() as f64 / a.len() as f64;
+        assert!(t.measured_sparsity() >= tensor_sparsity - 0.02);
+        assert!(t.measured_sparsity() <= tensor_sparsity + 0.25);
+    }
+
+    #[test]
+    fn dense_activations_give_dense_interior_windows() {
+        let d = ConvDims::conv_square(1, 16, 6, 4, 3, 1, 0); // no padding
+        let a = Tensor::full(&[1, 16, 6, 6], 1.0);
+        let w = Tensor::full(&[4, 16, 3, 3], 1.0);
+        let g = Tensor::full(&[1, 4, 4, 4], 1.0);
+        let lt = tensors(d, &a, &w, &g);
+        let t = extract_op_trace(&lt, TrainingOp::Forward, 16, &SampleSpec::default());
+        assert_eq!(t.measured_sparsity(), 0.0);
+    }
+
+    #[test]
+    fn padding_produces_structural_zero_rows() {
+        let d = ConvDims::conv_square(1, 16, 4, 4, 3, 1, 1);
+        let a = Tensor::full(&[1, 16, 4, 4], 1.0);
+        let w = Tensor::full(&[4, 16, 3, 3], 1.0);
+        let g = Tensor::full(&[1, 4, 4, 4], 1.0);
+        let lt = tensors(d, &a, &w, &g);
+        let t = extract_op_trace(&lt, TrainingOp::Forward, 16, &SampleSpec::default());
+        // Corner window (0,0) has 3 of 9 taps in-bounds... window 0 is the
+        // first sampled: oy=0, ox=0 → taps with iy<0 or ix<0 are zero rows.
+        let corner = &t.windows[0];
+        let zero_rows = corner.masks.iter().filter(|m| **m == 0).count();
+        assert_eq!(zero_rows, 5, "corner window must have 5 padded taps");
+    }
+
+    #[test]
+    fn input_grad_stride_dilation_zeroes_misaligned_rows() {
+        let d = ConvDims::conv_square(1, 16, 8, 16, 2, 2, 0);
+        let a = Tensor::full(&[1, 16, 8, 8], 1.0);
+        let w = Tensor::full(&[16, 16, 2, 2], 1.0);
+        let g = Tensor::full(&[1, 16, 4, 4], 1.0);
+        let lt = tensors(d, &a, &w, &g);
+        let t = extract_op_trace(&lt, TrainingOp::InputGrad, 16, &SampleSpec::default());
+        // With stride 2 and 2x2 kernels every input position aligns with
+        // exactly one (ky, kx) tap: 3 of 4 rows per window are structurally
+        // zero, so sparsity is 75% even though GO is fully dense.
+        assert!((t.measured_sparsity() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_grad_picks_the_sparser_side() {
+        // GO sparse, A dense -> scheduled side must be GO's sparsity.
+        let (d, a, w, g) = layer(3, 1.0, 0.2);
+        let lt = tensors(d, &a, &w, &g);
+        let t = extract_op_trace(&lt, TrainingOp::WeightGrad, 16, &SampleSpec::default());
+        assert!(t.measured_sparsity() > 0.6);
+
+        // A sparse, GO dense -> scheduled side must be A.
+        let (d2, a2, w2, g2) = layer(4, 0.2, 1.0);
+        let lt2 = tensors(d2, &a2, &w2, &g2);
+        let t2 = extract_op_trace(&lt2, TrainingOp::WeightGrad, 16, &SampleSpec::default());
+        assert!(t2.measured_sparsity() > 0.5);
+    }
+
+    #[test]
+    fn fully_connected_traces_work() {
+        let d = ConvDims::fully_connected(8, 64, 32);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::from_fn(&[8, 64, 1, 1], |_| {
+            if rng.gen_bool(0.5) { 1.0 } else { 0.0 }
+        });
+        let w = Tensor::full(&[32, 64, 1, 1], 1.0);
+        let g = Tensor::full(&[8, 32, 1, 1], 1.0);
+        let lt = tensors(d, &a, &w, &g);
+        let t = extract_op_trace(&lt, TrainingOp::Forward, 16, &SampleSpec::default());
+        assert_eq!(t.total_windows, 8);
+        assert_eq!(t.total_rows_per_window, 4);
+        assert!((t.measured_sparsity() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn volumes_count_real_nonzeros() {
+        let (d, a, w, g) = layer(6, 0.4, 0.6);
+        let lt = tensors(d, &a, &w, &g);
+        let t = extract_op_trace(&lt, TrainingOp::Forward, 16, &SampleSpec::default());
+        assert_eq!(t.volumes.sched_elems, d.a_volume());
+        assert_eq!(t.volumes.sched_nonzero, a.nonzeros() as u64);
+        assert_eq!(t.volumes.dense_elems, d.w_volume());
+    }
+
+    #[test]
+    fn row_cap_truncates_streams() {
+        let (d, a, w, g) = layer(7, 0.5, 0.5);
+        let lt = tensors(d, &a, &w, &g);
+        let t = extract_op_trace(
+            &lt,
+            TrainingOp::Forward,
+            16,
+            &SampleSpec::new(4, 5),
+        );
+        assert_eq!(t.windows.len(), 4);
+        assert_eq!(t.windows[0].masks.len(), 5);
+        assert!((t.row_scale() - 18.0 / 5.0).abs() < 1e-12);
+    }
+}

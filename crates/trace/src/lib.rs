@@ -1,0 +1,38 @@
+//! # tensordash-trace
+//!
+//! Operand-stream traces for the three convolutions a layer performs per
+//! training step (paper §2, Table 1):
+//!
+//! | op | computation | scheduled (sparse) side | paper name |
+//! |----|-------------|--------------------------|------------|
+//! | [`TrainingOp::Forward`]    | `O  = W ⋆ A`  | activations `A`        | `A×W` |
+//! | [`TrainingOp::InputGrad`]  | `GA = GO ⋆ W` | output gradients `GO`  | `A×G` |
+//! | [`TrainingOp::WeightGrad`] | `GW = GO ⋆ A` | `GO` or `A`, whichever is sparser | `W×G` |
+//!
+//! A trace ([`OpTrace`]) is what the cycle simulator consumes: per
+//! *scheduled-side stream* (one per tile row — a spatial window of `A`, an
+//! input position of `GO`, or a filter's gradient map), the sequence of
+//! `lanes`-wide effectuality masks in PE reduction order, plus the element
+//! volumes the memory system moves. Traces come from two sources:
+//!
+//! * [`extract`]: bit-exact extraction from real tensors produced by the
+//!   `tensordash-nn` trainer — authentic dynamic sparsity;
+//! * [`sparsity`]: seeded synthetic generators (uniform and clustered) that
+//!   reproduce target sparsity statistics for the paper's full-size models,
+//!   whose ImageNet training runs are outside this environment (see
+//!   DESIGN.md §3 "Substitutions").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dims;
+pub mod extract;
+pub mod sparsity;
+pub mod stats;
+pub mod stream;
+
+pub use dims::{ConvDims, TrainingOp};
+pub use extract::{extract_op_trace, LayerTensors};
+pub use sparsity::{ClusteredSparsity, SparsityGen, UniformSparsity};
+pub use stats::{potential_speedup, OpStats};
+pub use stream::{OpTrace, SampleSpec, TrafficVolumes, WindowTrace};

@@ -1,0 +1,127 @@
+//! Trace statistics: the paper's Fig 1 "potential speedup" metric.
+
+use crate::stream::OpTrace;
+
+/// Work-reduction statistics of one operation's trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpStats {
+    /// All MAC slots in the dense schedule (sampled region, unscaled).
+    pub total_macs: u64,
+    /// MAC slots whose scheduled-side operand is non-zero.
+    pub remaining_macs: u64,
+}
+
+impl OpStats {
+    /// Measures a trace.
+    #[must_use]
+    pub fn measure(trace: &OpTrace) -> Self {
+        let mut total = 0u64;
+        let mut remaining = 0u64;
+        for w in &trace.windows {
+            total += (w.masks.len() * trace.lanes) as u64;
+            remaining += w.nonzeros();
+        }
+        OpStats { total_macs: total, remaining_macs: remaining }
+    }
+
+    /// The paper's potential speedup: `allMACs / remainingMACs` (Fig 1).
+    /// An all-zero trace reports the total count (nothing remains).
+    #[must_use]
+    pub fn potential_speedup(&self) -> f64 {
+        if self.remaining_macs == 0 {
+            self.total_macs as f64
+        } else {
+            self.total_macs as f64 / self.remaining_macs as f64
+        }
+    }
+
+    /// Scheduled-side sparsity.
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        if self.total_macs == 0 {
+            0.0
+        } else {
+            1.0 - self.remaining_macs as f64 / self.total_macs as f64
+        }
+    }
+}
+
+/// Convenience: the Fig 1 potential speedup of a trace.
+#[must_use]
+pub fn potential_speedup(trace: &OpTrace) -> f64 {
+    OpStats::measure(trace).potential_speedup()
+}
+
+/// Geometric mean helper used throughout the experiment harness.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive value.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of an empty set");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::{ConvDims, TrainingOp};
+    use crate::sparsity::{SparsityGen, UniformSparsity};
+    use crate::stream::SampleSpec;
+
+    #[test]
+    fn potential_speedup_matches_inverse_density() {
+        let dims = ConvDims::conv_square(2, 64, 14, 64, 3, 1, 1);
+        for sparsity in [0.25, 0.5, 0.75] {
+            let t = UniformSparsity::new(sparsity).op_trace(
+                dims,
+                TrainingOp::Forward,
+                16,
+                &SampleSpec::default(),
+                11,
+            );
+            let s = OpStats::measure(&t);
+            let expected = 1.0 / (1.0 - sparsity);
+            assert!(
+                (s.potential_speedup() - expected).abs() / expected < 0.05,
+                "sparsity {sparsity}: got {}",
+                s.potential_speedup()
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_trace_reports_total() {
+        let dims = ConvDims::conv_square(1, 16, 4, 16, 1, 1, 0);
+        let t = UniformSparsity::new(1.0).op_trace(
+            dims,
+            TrainingOp::Forward,
+            16,
+            &SampleSpec::default(),
+            1,
+        );
+        let s = OpStats::measure(&t);
+        assert_eq!(s.remaining_macs, 0);
+        assert!(s.potential_speedup() > 1.0);
+    }
+
+    #[test]
+    fn geomean_of_identical_values_is_the_value() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+}

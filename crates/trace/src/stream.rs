@@ -1,0 +1,213 @@
+//! The trace container consumed by the cycle simulator.
+
+use crate::dims::{ConvDims, TrainingOp};
+
+/// One scheduled-side stream: the effectuality masks of one tile row's
+/// operand sequence, in PE reduction order (bit `i` of a mask = lane `i`'s
+/// operand is non-zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowTrace {
+    /// Reduction-row masks.
+    pub masks: Vec<u64>,
+}
+
+impl WindowTrace {
+    /// Creates a window trace from raw masks.
+    #[must_use]
+    pub fn new(masks: Vec<u64>) -> Self {
+        WindowTrace { masks }
+    }
+
+    /// Non-zero operand slots in this stream.
+    #[must_use]
+    pub fn nonzeros(&self) -> u64 {
+        self.masks.iter().map(|m| u64::from(m.count_ones())).sum()
+    }
+
+    /// Fraction of zero slots at `lanes` lanes per row.
+    #[must_use]
+    pub fn sparsity(&self, lanes: usize) -> f64 {
+        if self.masks.is_empty() {
+            return 0.0;
+        }
+        let total = (self.masks.len() * lanes) as f64;
+        1.0 - self.nonzeros() as f64 / total
+    }
+}
+
+/// Element volumes the memory system moves for one operation — inputs to
+/// the DRAM/SRAM traffic model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficVolumes {
+    /// Dense-side operand elements (weights / reconstructed filters / A).
+    pub dense_elems: u64,
+    /// Dense-side non-zero elements.
+    pub dense_nonzero: u64,
+    /// Scheduled-side operand elements.
+    pub sched_elems: u64,
+    /// Scheduled-side non-zero elements.
+    pub sched_nonzero: u64,
+    /// Output elements produced.
+    pub out_elems: u64,
+    /// Output non-zero elements (drives output-side compression).
+    pub out_nonzero: u64,
+}
+
+/// How many scheduled-side streams to materialize and how to cap their
+/// length. Architecture simulators sample workloads (the paper itself
+/// traces one random batch per epoch); results are scaled back up by the
+/// sampled fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Maximum number of streams to materialize.
+    pub max_windows: usize,
+    /// Maximum rows per stream (longer streams are truncated; cycle counts
+    /// scale by the truncation factor).
+    pub max_rows: usize,
+    /// Windows are sampled in contiguous runs of this length, so that a
+    /// tile's rows see spatially *adjacent* streams — adjacency correlation
+    /// is what drives the row-imbalance effect of the paper's Fig 17.
+    pub block: usize,
+}
+
+impl SampleSpec {
+    /// A spec with explicit caps and the default block of 16.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cap is zero.
+    #[must_use]
+    pub fn new(max_windows: usize, max_rows: usize) -> Self {
+        assert!(max_windows > 0 && max_rows > 0, "sampling caps must be positive");
+        SampleSpec { max_windows, max_rows, block: 16 }
+    }
+
+    /// Sets the contiguous-run length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    #[must_use]
+    pub fn with_block(mut self, block: usize) -> Self {
+        assert!(block > 0, "block must be positive");
+        self.block = block;
+        self
+    }
+}
+
+impl Default for SampleSpec {
+    /// 64 streams × 4096 rows in runs of 16 — enough for a 16-row tile with
+    /// 4 distinct groups while keeping full-model sweeps fast.
+    fn default() -> Self {
+        SampleSpec { max_windows: 64, max_rows: 4096, block: 16 }
+    }
+}
+
+/// A sampled operand-stream trace for one training operation of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTrace {
+    /// Which of the three convolutions this is.
+    pub op: TrainingOp,
+    /// PE lane count the masks were packed for.
+    pub lanes: usize,
+    /// Layer geometry.
+    pub dims: ConvDims,
+    /// Total scheduled-side streams in the full (unsampled) operation.
+    pub total_windows: u64,
+    /// Dense reduction rows per stream in the full operation.
+    pub total_rows_per_window: u64,
+    /// The sampled streams.
+    pub windows: Vec<WindowTrace>,
+    /// Memory-traffic volumes for the full operation.
+    pub volumes: TrafficVolumes,
+}
+
+impl OpTrace {
+    /// Scale factor from sampled windows to the full operation.
+    #[must_use]
+    pub fn window_scale(&self) -> f64 {
+        if self.windows.is_empty() {
+            0.0
+        } else {
+            self.total_windows as f64 / self.windows.len() as f64
+        }
+    }
+
+    /// Scale factor from sampled rows to the full stream length.
+    #[must_use]
+    pub fn row_scale(&self) -> f64 {
+        let sampled = self.windows.first().map_or(0, |w| w.masks.len());
+        if sampled == 0 {
+            0.0
+        } else {
+            self.total_rows_per_window as f64 / sampled as f64
+        }
+    }
+
+    /// Measured scheduled-side sparsity over the sampled streams (includes
+    /// structural zeros from padding, stride dilation, and lane rounding —
+    /// they are genuine zeros in the operand stream).
+    #[must_use]
+    pub fn measured_sparsity(&self) -> f64 {
+        let rows: usize = self.windows.iter().map(|w| w.masks.len()).sum();
+        if rows == 0 {
+            return 0.0;
+        }
+        let nz: u64 = self.windows.iter().map(WindowTrace::nonzeros).sum();
+        1.0 - nz as f64 / (rows * self.lanes) as f64
+    }
+
+    /// Dense cycles of the full operation for a single PE column pass:
+    /// `total_windows × total_rows_per_window`.
+    #[must_use]
+    pub fn dense_rows_total(&self) -> u64 {
+        self.total_windows * self.total_rows_per_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> OpTrace {
+        OpTrace {
+            op: TrainingOp::Forward,
+            lanes: 16,
+            dims: ConvDims::conv_square(1, 16, 4, 4, 3, 1, 1),
+            total_windows: 16,
+            total_rows_per_window: 9,
+            windows: vec![
+                WindowTrace::new(vec![0xFFFF; 9]),
+                WindowTrace::new(vec![0x0000; 9]),
+            ],
+            volumes: TrafficVolumes::default(),
+        }
+    }
+
+    #[test]
+    fn window_sparsity_counts_zero_slots() {
+        let w = WindowTrace::new(vec![0xFFFF, 0x0000]);
+        assert_eq!(w.nonzeros(), 16);
+        assert!((w.sparsity(16) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_reflect_sampling() {
+        let t = tiny_trace();
+        assert_eq!(t.window_scale(), 8.0);
+        assert_eq!(t.row_scale(), 1.0);
+        assert_eq!(t.dense_rows_total(), 144);
+    }
+
+    #[test]
+    fn measured_sparsity_averages_streams() {
+        let t = tiny_trace();
+        assert!((t.measured_sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sampling_caps_rejected() {
+        let _ = SampleSpec::new(0, 10);
+    }
+}

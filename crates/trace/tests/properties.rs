@@ -1,0 +1,116 @@
+//! Property-based tests for trace extraction and synthesis.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tensordash_tensor::Tensor;
+use tensordash_trace::{
+    extract_op_trace, ClusteredSparsity, ConvDims, LayerTensors, OpStats, SampleSpec,
+    SparsityGen, TrainingOp, UniformSparsity,
+};
+
+fn sparse_tensor(rng: &mut StdRng, dims: &[usize], density: f64) -> Tensor {
+    Tensor::from_fn(dims, |_| {
+        if rng.gen_bool(density) {
+            rng.gen_range(0.1f32..1.0)
+        } else {
+            0.0
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Extracted forward traces reflect the activation tensor's sparsity:
+    /// stream sparsity >= tensor sparsity (padding and lane-rounding only
+    /// add zeros) and within a sane bound of it.
+    #[test]
+    fn forward_extraction_tracks_tensor_sparsity(
+        seed in any::<u64>(),
+        density in 0.1f64..1.0,
+        padding in 0usize..2,
+    ) {
+        let dims = ConvDims::conv_square(2, 24, 8, 8, 3, 1, padding);
+        let (ho, wo) = dims.output_hw();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = sparse_tensor(&mut rng, &[2, 24, 8, 8], density);
+        let w = Tensor::full(&[8, 24, 3, 3], 1.0);
+        let g = Tensor::full(&[2, 8, ho, wo], 1.0);
+        let lt = LayerTensors {
+            dims,
+            activations: &a,
+            weights: &w,
+            grad_out: &g,
+            output_nonzero: None,
+        };
+        let trace = extract_op_trace(&lt, TrainingOp::Forward, 16, &SampleSpec::new(16, 256));
+        let tensor_sparsity = a.sparsity();
+        prop_assert!(trace.measured_sparsity() >= tensor_sparsity - 0.05);
+        prop_assert!(trace.measured_sparsity() <= tensor_sparsity + 0.45);
+    }
+
+    /// Synthetic traces hit their target sparsity for any clustering.
+    #[test]
+    fn synthetic_traces_hit_target(
+        sparsity in 0.0f64..1.0,
+        clustering in 0.0f64..1.0,
+    ) {
+        let dims = ConvDims::conv_square(2, 64, 12, 32, 3, 1, 1);
+        let trace = ClusteredSparsity::new(sparsity, clustering).op_trace(
+            dims, TrainingOp::Forward, 16, &SampleSpec::new(64, 256), 11);
+        prop_assert!((trace.measured_sparsity() - sparsity).abs() < 0.12,
+            "target {sparsity}, measured {}", trace.measured_sparsity());
+    }
+
+    /// Potential speedup equals the inverse non-zero fraction (Fig 1's
+    /// definition) on any trace.
+    #[test]
+    fn potential_speedup_definition(sparsity in 0.0f64..0.95) {
+        let dims = ConvDims::conv_square(1, 32, 8, 16, 3, 1, 1);
+        let trace = UniformSparsity::new(sparsity).op_trace(
+            dims, TrainingOp::InputGrad, 16, &SampleSpec::new(32, 128), 5);
+        let stats = OpStats::measure(&trace);
+        let expected = 1.0 / (1.0 - stats.sparsity());
+        prop_assert!((stats.potential_speedup() - expected).abs() < 1e-9);
+    }
+
+    /// Geometry bookkeeping: sampled windows never exceed the full count,
+    /// row/window scales are >= 1, and dense totals are consistent.
+    #[test]
+    fn sampling_scales_are_consistent(
+        max_windows in 1usize..128,
+        max_rows in 1usize..512,
+    ) {
+        let dims = ConvDims::conv_square(2, 48, 14, 32, 3, 1, 1);
+        let trace = UniformSparsity::new(0.5).op_trace(
+            dims, TrainingOp::Forward, 16,
+            &SampleSpec::new(max_windows, max_rows), 9);
+        prop_assert!(trace.windows.len() as u64 <= trace.total_windows);
+        prop_assert!(trace.window_scale() >= 1.0 - 1e-12);
+        prop_assert!(trace.row_scale() >= 1.0 - 1e-12);
+        prop_assert_eq!(
+            trace.dense_rows_total(),
+            trace.total_windows * trace.total_rows_per_window
+        );
+    }
+
+    /// All three ops of one layer perform comparable MAC totals (§2).
+    #[test]
+    fn op_mac_totals_are_balanced(c in 16usize..96, f in 16usize..96) {
+        let dims = ConvDims::conv_square(1, c, 14, f, 3, 1, 1);
+        let lanes = 16u64;
+        let totals: Vec<u64> = TrainingOp::ALL
+            .iter()
+            .map(|&op| {
+                dims.windows(op)
+                    * dims.rows_per_window(op, lanes as usize)
+                    * lanes
+                    * dims.dense_side_outputs(op)
+            })
+            .collect();
+        let max = *totals.iter().max().unwrap() as f64;
+        let min = *totals.iter().min().unwrap() as f64;
+        // Lane rounding distorts small channel counts; stay within 2x.
+        prop_assert!(max / min < 2.0, "{totals:?}");
+    }
+}

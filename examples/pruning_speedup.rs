@@ -1,0 +1,84 @@
+//! Pruning-during-training amplifies TensorDash — the `resnet50_DS90` /
+//! `resnet50_SM90` effect of the paper, reproduced with a real trainer.
+//!
+//! Trains the same network twice (dense vs 80%-target magnitude
+//! prune-and-regrow) and compares the accelerator speedups extracted from
+//! real traces, plus the off-chip traffic saved by CompressingDMA on the
+//! pruned weights.
+//!
+//! ```text
+//! cargo run --release --example pruning_speedup
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use tensordash::core::compress::dma_transfer_bits;
+use tensordash::nn::{Dataset, Network, PruneMethod, Pruner, Sgd, Trainer};
+use tensordash::sim::{simulate_pair, ChipConfig};
+use tensordash::trace::SampleSpec;
+
+fn train(prune: bool, seed: u64) -> (Trainer, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = Dataset::synthetic_shapes(4, 480, 12, &mut rng);
+    let network = Network::small_cnn(1, 12, 4, &mut rng);
+    let mut trainer = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
+    if prune {
+        trainer = trainer.with_pruner(Pruner::new(PruneMethod::SparseMomentum, 0.8, 0.1));
+    }
+    let mut accuracy = 0.0;
+    for _ in 0..12 {
+        accuracy = trainer.run_epoch(32, &mut rng).expect("training failed").accuracy;
+    }
+    (trainer, accuracy)
+}
+
+fn measure(trainer: &Trainer) -> (f64, u64) {
+    let chip = ChipConfig::paper();
+    let sample = SampleSpec::new(16, 256);
+    let mut td = 0u64;
+    let mut base = 0u64;
+    let mut weight_bits = 0u64;
+    for (_, ops) in trainer.traces(chip.tile.pe.lanes(), &sample) {
+        for trace in &ops {
+            let (t, b) = simulate_pair(&chip, trace);
+            td += t.compute_cycles;
+            base += b.compute_cycles;
+        }
+        // Off-chip weight traffic after CompressingDMA (forward op volumes).
+        let v = &ops[0].volumes;
+        weight_bits += dma_transfer_bits(v.dense_elems, v.dense_nonzero, 32);
+    }
+    (base as f64 / td as f64, weight_bits)
+}
+
+fn main() {
+    let (dense_trainer, dense_acc) = train(false, 11);
+    let (pruned_trainer, pruned_acc) = train(true, 11);
+
+    let (dense_speedup, dense_bits) = measure(&dense_trainer);
+    let (pruned_speedup, pruned_bits) = measure(&pruned_trainer);
+
+    println!("{:<22} {:>10} {:>10}", "", "dense", "pruned-80%");
+    println!(
+        "{:<22} {:>10.3} {:>10.3}",
+        "final accuracy", dense_acc, pruned_acc
+    );
+    println!(
+        "{:<22} {:>9.3}  {:>9.3}",
+        "weight sparsity",
+        dense_trainer.network().weight_sparsity(),
+        pruned_trainer.network().weight_sparsity()
+    );
+    println!(
+        "{:<22} {:>9.2}x {:>9.2}x",
+        "TensorDash speedup", dense_speedup, pruned_speedup
+    );
+    println!(
+        "{:<22} {:>10} {:>10}   (CompressingDMA)",
+        "weight DMA bits", dense_bits, pruned_bits
+    );
+    println!();
+    println!("Pruning leaves accuracy close while weight traffic shrinks and the");
+    println!("induced activation/gradient sparsity lifts the compute speedup —");
+    println!("the interaction the paper studies with resnet50_DS90/SM90 (§1, §4.2).");
+    assert!(pruned_speedup >= dense_speedup * 0.95);
+}

@@ -1,0 +1,52 @@
+//! Train a real CNN, trace every epoch, and measure how TensorDash's
+//! speedup evolves with *authentic* dynamic sparsity — the end-to-end
+//! pipeline behind the paper's Fig 14, at laptop scale.
+//!
+//! Trains a small CNN on a synthetic classification task, extracts
+//! bit-exact operand traces from each epoch's last batch (the paper traces
+//! one random batch per epoch), and runs them through the cycle simulator.
+//!
+//! ```text
+//! cargo run --release --example train_and_accelerate
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use tensordash::nn::{Dataset, Network, Sgd, Trainer};
+use tensordash::sim::{simulate_pair, ChipConfig};
+use tensordash::trace::SampleSpec;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dataset = Dataset::synthetic_shapes(4, 480, 12, &mut rng);
+    let network = Network::small_cnn(1, 12, 4, &mut rng);
+    let mut trainer = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
+
+    let chip = ChipConfig::paper();
+    let sample = SampleSpec::new(16, 256);
+
+    println!("epoch  loss    acc    act-sparsity  grad-sparsity  TD-speedup");
+    for epoch in 0..12 {
+        let stats = trainer.run_epoch(32, &mut rng).expect("training failed");
+
+        // Trace the last batch of the epoch and simulate all three
+        // convolutions of every weighted layer on the Table 2 chip.
+        let mut td_cycles = 0u64;
+        let mut base_cycles = 0u64;
+        for (_, ops) in trainer.traces(chip.tile.pe.lanes(), &sample) {
+            for trace in &ops {
+                let (td, base) = simulate_pair(&chip, trace);
+                td_cycles += td.compute_cycles;
+                base_cycles += base.compute_cycles;
+            }
+        }
+        let speedup = base_cycles as f64 / td_cycles as f64;
+        println!(
+            "{epoch:>5}  {:<6.3} {:<6.3} {:<13.3} {:<14.3} {speedup:.2}x",
+            stats.loss, stats.accuracy, stats.act_sparsity, stats.grad_sparsity
+        );
+    }
+    println!();
+    println!("The model learns (loss falls, accuracy rises) while ReLU and");
+    println!("max-pool gradients keep the operand streams sparse — and the");
+    println!("speedup holds steady across training, the paper's Fig 14 claim.");
+}

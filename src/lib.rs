@@ -1,0 +1,44 @@
+//! # TensorDash
+//!
+//! A full-system reproduction of *"TensorDash: Exploiting Sparsity to
+//! Accelerate Deep Neural Network Training and Inference"* (Mahmoud et al.,
+//! MICRO 2020) in pure Rust: the hardware scheduler and sparse interconnect,
+//! a cycle-level accelerator simulator, an area/power/energy model, a DNN
+//! training substrate that generates authentic dynamic sparsity, the paper's
+//! model zoo, and the experiment harness regenerating every table and figure
+//! of the evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] — the paper's contribution: scheduler, interconnect, staging
+//!   buffers, processing elements, scheduled-form compression (§3).
+//! * [`tensor`] — dense tensors, `bf16`, convolution forward/backward math.
+//! * [`nn`] — layers, SGD training, pruning-during-training, sparsity
+//!   instrumentation (the trace-generation substrate).
+//! * [`trace`] — operand streams for the three training convolutions plus
+//!   sparsity generators and statistics (§2).
+//! * [`models`] — geometry + calibrated sparsity profiles for the eight
+//!   evaluated workloads (§4).
+//! * [`sim`] — the cycle-level accelerator simulator: tiles, memory system,
+//!   off-chip DRAM (§3.3–3.4, Table 2).
+//! * [`energy`] — the 65nm area/power/energy model (§4.3).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tensordash::core::{PeGeometry, Scheduler};
+//!
+//! let scheduler = Scheduler::paper(PeGeometry::paper());
+//! // 75%-sparse operand stream: TensorDash approaches its 3x ceiling.
+//! let masks = (0..1000u64).map(|i| 1u64 << (i % 16) | 1 << ((i * 7) % 16));
+//! let run = scheduler.run_masks(masks);
+//! assert!(run.speedup() > 2.0);
+//! ```
+
+pub use tensordash_core as core;
+pub use tensordash_energy as energy;
+pub use tensordash_models as models;
+pub use tensordash_nn as nn;
+pub use tensordash_sim as sim;
+pub use tensordash_tensor as tensor;
+pub use tensordash_trace as trace;

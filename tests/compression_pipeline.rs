@@ -1,0 +1,86 @@
+//! Integration of the §3.6/§3.7 compression paths with the tensor and
+//! trace crates: real tensors in, lossless storage round-trips out.
+
+use rand::{rngs::StdRng, SeedableRng};
+use tensordash::core::{
+    BacksideScheduler, CompressedDma, Connectivity, IterativeCost, PeGeometry, ScheduledTensor,
+};
+use tensordash::nn::{Dataset, Network, Sgd, Trainer};
+use tensordash::tensor::Tensor;
+
+/// Chops a real tensor into 16-wide rows (the §3.4 memory layout).
+fn rows_of(tensor: &Tensor) -> Vec<Vec<f32>> {
+    tensor.data().chunks(16).map(<[f32]>::to_vec).collect()
+}
+
+fn trained_tensors() -> (Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let dataset = Dataset::synthetic_shapes(4, 120, 12, &mut rng);
+    let network = Network::small_cnn(1, 12, 4, &mut rng);
+    let mut trainer = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
+    for _ in 0..2 {
+        trainer.run_epoch(30, &mut rng).unwrap();
+    }
+    let snaps = trainer.snapshots();
+    (snaps[1].activations.clone(), snaps[0].grad_out.clone())
+}
+
+#[test]
+fn real_activations_roundtrip_through_scheduled_form() {
+    let (acts, grads) = trained_tensors();
+    let c = Connectivity::paper(PeGeometry::paper());
+    for tensor in [&acts, &grads] {
+        let rows = rows_of(tensor);
+        let scheduled = ScheduledTensor::compress(&c, &rows);
+        assert_eq!(scheduled.decompress(&c), rows, "lossless requirement");
+        assert!(scheduled.rows().len() <= rows.len());
+    }
+}
+
+#[test]
+fn sparser_real_tensors_compress_better() {
+    let (acts, grads) = trained_tensors();
+    assert!(grads.sparsity() > acts.sparsity(), "gradients should be sparser");
+    let c = Connectivity::paper(PeGeometry::paper());
+    let act_ratio = ScheduledTensor::compress(&c, &rows_of(&acts)).compression_ratio(32, 3);
+    let grad_ratio = ScheduledTensor::compress(&c, &rows_of(&grads)).compression_ratio(32, 3);
+    assert!(
+        grad_ratio > act_ratio,
+        "gradients ({grad_ratio:.2}x) should beat activations ({act_ratio:.2}x)"
+    );
+}
+
+#[test]
+fn dma_and_scheduled_form_agree_on_real_data() {
+    let (_, grads) = trained_tensors();
+    let dma = CompressedDma::compress(grads.data());
+    assert_eq!(dma.decompress(), grads.data());
+    // Both compressors must beat dense storage on a sparse tensor.
+    let dense_bits = grads.len() as u64 * 32;
+    assert!(dma.transfer_bits(32) < dense_bits);
+}
+
+#[test]
+fn backside_scheduler_is_behaviourally_identical_to_frontend_compression() {
+    let (acts, _) = trained_tensors();
+    let rows = rows_of(&acts);
+    let c = Connectivity::paper(PeGeometry::paper());
+    let frontend = ScheduledTensor::compress(&c, &rows);
+    let (backside, cycles) = BacksideScheduler::new(c.clone(), IterativeCost::Iterative)
+        .schedule_output(&rows);
+    assert_eq!(frontend, backside);
+    assert_eq!(cycles, frontend.rows().len() as u64 * 6);
+}
+
+#[test]
+fn bf16_quantized_tensors_flow_through_the_same_pipeline() {
+    let (acts, _) = trained_tensors();
+    let quantized = acts.quantize_bf16();
+    // Quantization must not create or destroy zeros (bf16 preserves zero
+    // and cannot round small non-zeros at these magnitudes to zero).
+    assert_eq!(quantized.sparsity(), acts.sparsity());
+    let c = Connectivity::paper(PeGeometry::paper());
+    let rows = rows_of(&quantized);
+    let t = ScheduledTensor::compress(&c, &rows);
+    assert_eq!(t.decompress(&c), rows);
+}
