@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# The repository's CI gate, runnable locally and from the GitHub Actions
+# workflow (.github/workflows/ci.yml). Fails fast on the first red step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n=== %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --workspace (release)"
+cargo build --workspace --release
+
+step "cargo test -q --workspace"
+cargo test -q --workspace
+
+step "tensordash CLI smoke test"
+./target/release/tensordash --help >/dev/null
+./target/release/tensordash list >/dev/null
+smoke_config="$(mktemp -t tensordash-smoke-XXXXXX.toml)"
+smoke_report="$(mktemp -t tensordash-smoke-XXXXXX.json)"
+trap 'rm -f "$smoke_config" "$smoke_report"' EXIT
+cat > "$smoke_config" <<'EOF'
+name = "ci-smoke"
+models = ["AlexNet"]
+[chip]
+tiles = 2
+[eval]
+progress = 0.45
+[eval.sample]
+max_windows = 4
+max_rows = 32
+EOF
+./target/release/tensordash --config "$smoke_config" --out "$smoke_report" >/dev/null
+grep -q '"ci-smoke"' "$smoke_report"
+
+step "all green"

@@ -10,7 +10,13 @@ fn dense_rows(seed: u64, rows: usize, density: f64) -> Vec<Vec<f32>> {
     (0..rows)
         .map(|_| {
             (0..16)
-                .map(|_| if rng.gen_bool(density) { rng.gen_range(0.1f32..2.0) } else { 0.0 })
+                .map(|_| {
+                    if rng.gen_bool(density) {
+                        rng.gen_range(0.1f32..2.0)
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         })
         .collect()
@@ -43,7 +49,13 @@ fn bench_scheduled_decompress(c: &mut Criterion) {
 fn bench_dma_roundtrip(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let values: Vec<f32> = (0..65536)
-        .map(|_| if rng.gen_bool(0.4) { rng.gen_range(-1.0..1.0) } else { 0.0 })
+        .map(|_| {
+            if rng.gen_bool(0.4) {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        })
         .collect();
     c.bench_function("compressing_dma_roundtrip_64k", |b| {
         b.iter(|| {
@@ -53,5 +65,10 @@ fn bench_dma_roundtrip(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_scheduled_compress, bench_scheduled_decompress, bench_dma_roundtrip);
+criterion_group!(
+    benches,
+    bench_scheduled_compress,
+    bench_scheduled_decompress,
+    bench_dma_roundtrip
+);
 criterion_main!(benches);

@@ -46,5 +46,10 @@ fn bench_trace_extraction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_conv_forward, bench_train_step, bench_trace_extraction);
+criterion_group!(
+    benches,
+    bench_conv_forward,
+    bench_train_step,
+    bench_trace_extraction
+);
 criterion_main!(benches);

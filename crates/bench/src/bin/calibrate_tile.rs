@@ -10,16 +10,24 @@ use tensordash_trace::{ClusteredSparsity, SparsityGen};
 fn main() {
     let rows_list = [1usize, 2, 4, 8, 16];
     println!("tile speedup over dense baseline (uniform streams, 3-deep, 16 lanes)");
-    println!("{:<10} {:<10} {}", "sparsity", "clustering", "rows: 1      2      4      8     16");
+    println!(
+        "{:<10} {:<10} rows: 1      2      4      8     16",
+        "sparsity", "clustering"
+    );
     for &clustering in &[0.0, 0.2, 0.35, 0.5] {
         for &sparsity in &[0.3, 0.5, 0.65, 0.8, 0.9] {
             let gen = ClusteredSparsity::new(sparsity, clustering);
             let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
-            let streams: Vec<Vec<u64>> =
-                (0..32).map(|i| gen.window_masks(&mut rng, i, 2000, 16)).collect();
+            let streams: Vec<Vec<u64>> = (0..32)
+                .map(|i| gen.window_masks(&mut rng, i, 2000, 16))
+                .collect();
             let mut line = format!("{sparsity:<10.2} {clustering:<10.2}      ");
             for &rows in &rows_list {
-                let tile = Tile::new(TileConfig { rows, cols: 4, pe: PeGeometry::paper() });
+                let tile = Tile::new(TileConfig {
+                    rows,
+                    cols: 4,
+                    pe: PeGeometry::paper(),
+                });
                 let mut cycles = 0u64;
                 let mut dense = 0u64;
                 for group in streams.chunks(rows) {

@@ -45,11 +45,7 @@ fn main() {
         let t2 = ScheduledTensor::compress(&shallow, &rows);
         assert_eq!(t3.decompress(&deep), rows);
         assert_eq!(t2.decompress(&shallow), rows);
-        let nonzero: u64 = rows
-            .iter()
-            .flatten()
-            .filter(|v| **v != 0.0)
-            .count() as u64;
+        let nonzero: u64 = rows.iter().flatten().filter(|v| **v != 0.0).count() as u64;
         let dense_bits = 4096 * 16 * 32u64;
         let dma_ratio = dense_bits as f64 / dma_transfer_bits(4096 * 16, nonzero, 32) as f64;
         let row_reduction = 4096.0 / t3.rows().len() as f64;
@@ -75,7 +71,13 @@ fn main() {
     println!("by the row-reduction factor — which CompressingDMA cannot do.");
     write_csv(
         "compression_study.csv",
-        &["sparsity", "scheduled_3deep", "scheduled_2deep", "dma", "row_reduction"],
+        &[
+            "sparsity",
+            "scheduled_3deep",
+            "scheduled_2deep",
+            "dma",
+            "row_reduction",
+        ],
         &csv,
     );
 }

@@ -1,0 +1,196 @@
+//! The unified TensorDash experiment CLI.
+//!
+//! One binary drives the whole evaluation: every named table/figure
+//! regeneration, and arbitrary declarative experiments described in TOML.
+//!
+//! ```text
+//! tensordash list                      # what can run
+//! tensordash run fig13 table3          # named experiments
+//! tensordash run all                   # the full evaluation
+//! tensordash --config experiment.toml  # a declarative experiment
+//! ```
+
+use std::process::ExitCode;
+use tensordash_bench::experiment::{self, ExperimentSpec};
+
+const USAGE: &str = "\
+tensordash — the TensorDash (MICRO 2020) reproduction driver
+
+USAGE:
+    tensordash <COMMAND> [ARGS]
+    tensordash --config <FILE> [--out <FILE>]
+
+COMMANDS:
+    list                 List the named experiments
+    run <NAME>...        Run named experiments in order (`run all` for the
+                         full evaluation); bare names also work, e.g.
+                         `tensordash fig13 table3`
+
+OPTIONS:
+    --config <FILE>      Run a declarative experiment from a TOML file
+                         (keys: name, models, [chip], [eval]; all optional —
+                         an empty file is the full paper sweep on the
+                         Table 2 chip) and write a JSON report
+    --out <FILE>         Where to write the --config JSON report
+                         (default: <results dir>/<experiment name>.json)
+    --results <DIR>      Results directory for all CSV/JSON outputs
+                         (default: `results`, or $TENSORDASH_RESULTS)
+    -h, --help           Show this help
+    -V, --version        Show the version
+
+Named experiments print the paper's reference numbers next to the
+regenerated values and write CSVs; declarative experiments write one JSON
+document embedding the spec, per-model total speedups, and full reports.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `tensordash --help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut config: Option<String> = None;
+    let mut out: Option<String> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" | "help" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            "-V" | "--version" => {
+                println!("tensordash {}", env!("CARGO_PKG_VERSION"));
+                return Ok(());
+            }
+            "--config" => {
+                config = Some(take_value(&mut iter, "--config")?);
+            }
+            "--out" => {
+                out = Some(take_value(&mut iter, "--out")?);
+            }
+            "--results" => {
+                let dir = take_value(&mut iter, "--results")?;
+                // `csvout::results_path` (the single output path for every
+                // experiment) reads this variable.
+                std::env::set_var("TENSORDASH_RESULTS", dir);
+            }
+            "list" => {
+                print_list();
+                return Ok(());
+            }
+            "run" => {} // the names follow
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    if out.is_some() && config.is_none() {
+        // Named experiments write CSVs through the results directory;
+        // accepting --out there would silently never produce the file.
+        return Err(
+            "`--out` only applies to `--config` runs (use `--results` for named experiments)"
+                .to_string(),
+        );
+    }
+    match (config, names.is_empty()) {
+        (Some(path), true) => run_config(&path, out.as_deref()),
+        (Some(_), false) => Err("`--config` and named experiments are exclusive".to_string()),
+        (None, true) => {
+            println!("{USAGE}");
+            Err("nothing to run".to_string())
+        }
+        (None, false) => run_named(&names),
+    }
+}
+
+fn take_value(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    iter.next()
+        .cloned()
+        .ok_or_else(|| format!("`{flag}` needs a value"))
+}
+
+fn print_list() {
+    println!("named experiments (run with `tensordash run <name>`):\n");
+    for exp in experiment::registry() {
+        println!("  {:<8} {}", exp.name, exp.summary);
+    }
+    println!("  {:<8} every experiment above, in order", "all");
+    println!("\nzoo models for --config files:\n");
+    for model in experiment::zoo_models() {
+        println!("  {:<16} {} layers", model.name, model.layers.len());
+    }
+}
+
+fn run_named(names: &[String]) -> Result<(), String> {
+    // Resolve everything first so a typo fails before hours of sweeps.
+    let mut selected = Vec::new();
+    for name in names {
+        if name.eq_ignore_ascii_case("all") {
+            selected.extend(experiment::registry());
+        } else {
+            selected.push(
+                experiment::find(name).ok_or_else(|| {
+                    format!("unknown experiment `{name}` (see `tensordash list`)")
+                })?,
+            );
+        }
+    }
+    for exp in selected {
+        println!(
+            "\n=== {} {}",
+            exp.name,
+            "=".repeat(60_usize.saturating_sub(exp.name.len()))
+        );
+        exp.run();
+    }
+    Ok(())
+}
+
+fn run_config(path: &str, out: Option<&str>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let spec: ExperimentSpec =
+        tensordash_serde::from_toml_str(&text).map_err(|e| format!("invalid `{path}`: {e}"))?;
+    println!(
+        "experiment `{}`: {} on {} tiles x {}x{} PEs",
+        spec.name,
+        if spec.models.is_empty() {
+            "full paper sweep".to_string()
+        } else {
+            spec.models.join(", ")
+        },
+        spec.chip.tiles,
+        spec.chip.tile.rows,
+        spec.chip.tile.cols,
+    );
+    let reports = spec.run().map_err(|e| e.to_string())?;
+    for report in &reports {
+        println!(
+            "{:<16} total speedup {:.3}x",
+            report.name,
+            report.total_speedup()
+        );
+    }
+    let document = spec.report_document(&reports);
+    match out {
+        Some(path) => {
+            std::fs::write(path, tensordash_serde::json::write(&document))
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("  -> wrote {path}");
+        }
+        None => {
+            experiment::write_json_report(&format!("{}.json", spec.name), &document)
+                .map_err(|e| format!("cannot write report for `{}`: {e}", spec.name))?;
+        }
+    }
+    Ok(())
+}

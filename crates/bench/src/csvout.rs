@@ -47,7 +47,10 @@ mod tests {
 
     #[test]
     fn csv_roundtrip_with_escaping() {
-        std::env::set_var("TENSORDASH_RESULTS", std::env::temp_dir().join("td-test").to_str().unwrap());
+        std::env::set_var(
+            "TENSORDASH_RESULTS",
+            std::env::temp_dir().join("td-test").to_str().unwrap(),
+        );
         write_csv(
             "unit_test.csv",
             &["a", "b"],

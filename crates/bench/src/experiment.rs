@@ -1,0 +1,441 @@
+//! Declarative experiments: a serializable [`ExperimentSpec`] describing
+//! *what* to evaluate (models × chip × evaluation spec), the registry of
+//! the paper's named experiments, and the unified JSON output path — the
+//! machinery behind the `tensordash` CLI.
+//!
+//! An experiment is data. The same description round-trips through TOML
+//! (the CLI's `--config` input) and produces the same JSON report as the
+//! in-code builder path:
+//!
+//! ```
+//! use tensordash_bench::experiment::ExperimentSpec;
+//! use tensordash_sim::{ChipConfig, EvalSpec};
+//!
+//! let spec = ExperimentSpec::new("smoke")
+//!     .with_models(["AlexNet"])
+//!     .with_chip(ChipConfig::builder().tiles(2).build().unwrap())
+//!     .with_eval(EvalSpec::builder().streams(4, 32).build().unwrap());
+//! let toml = tensordash_serde::to_toml_string(&spec).unwrap();
+//! let back: ExperimentSpec = tensordash_serde::from_toml_str(&toml).unwrap();
+//! assert_eq!(back, spec);
+//! ```
+
+use crate::csvout::results_path;
+use crate::experiments;
+use crate::harness::ModelEval;
+use std::fmt;
+use std::path::PathBuf;
+use tensordash_models::{gcn, paper_models, ModelSpec};
+use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use tensordash_sim::{ChipConfig, EvalSpec, ModelReport, Simulator};
+
+/// A declarative model-evaluation experiment: which models, on which chip,
+/// under which evaluation spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment label (names the report and output files).
+    pub name: String,
+    /// Zoo models to evaluate, by name; empty means the paper's full
+    /// eight-model sweep.
+    pub models: Vec<String>,
+    /// The machine.
+    pub chip: ChipConfig,
+    /// The methodology.
+    pub eval: EvalSpec,
+}
+
+impl ExperimentSpec {
+    /// A spec evaluating the full zoo on the paper chip at sweep effort.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ExperimentSpec {
+            name: name.into(),
+            models: Vec::new(),
+            chip: ChipConfig::paper(),
+            eval: EvalSpec::sweep(),
+        }
+    }
+
+    /// Restricts the evaluation to the given zoo model names.
+    #[must_use]
+    pub fn with_models<S: Into<String>>(mut self, models: impl IntoIterator<Item = S>) -> Self {
+        self.models = models.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the machine.
+    #[must_use]
+    pub fn with_chip(mut self, chip: ChipConfig) -> Self {
+        self.chip = chip;
+        self
+    }
+
+    /// Sets the methodology.
+    #[must_use]
+    pub fn with_eval(mut self, eval: EvalSpec) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// The models this spec resolves to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::UnknownModel`] when a requested name is
+    /// not in the zoo, and [`ExperimentError::DuplicateModel`] when the
+    /// same model is requested twice — reports are keyed by model name, so
+    /// duplicates would silently collapse in the JSON summary.
+    pub fn resolve_models(&self) -> Result<Vec<ModelSpec>, ExperimentError> {
+        if self.models.is_empty() {
+            return Ok(paper_models());
+        }
+        let mut resolved: Vec<ModelSpec> = Vec::with_capacity(self.models.len());
+        for name in &self.models {
+            let model = zoo_models()
+                .into_iter()
+                .find(|m| m.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| ExperimentError::UnknownModel(name.clone()))?;
+            if resolved.iter().any(|m| m.name == model.name) {
+                return Err(ExperimentError::DuplicateModel(model.name));
+            }
+            resolved.push(model);
+        }
+        Ok(resolved)
+    }
+
+    /// Runs the experiment: one [`ModelReport`] per resolved model.
+    ///
+    /// # Errors
+    ///
+    /// As [`resolve_models`](ExperimentSpec::resolve_models).
+    pub fn run(&self) -> Result<Vec<ModelReport>, ExperimentError> {
+        let sim = Simulator::new(self.chip);
+        Ok(self
+            .resolve_models()?
+            .iter()
+            .map(|model| sim.eval_model(model, &self.eval))
+            .collect())
+    }
+
+    /// Packages the spec and its reports as one self-describing document —
+    /// what the CLI writes as JSON.
+    #[must_use]
+    pub fn report_document(&self, reports: &[ModelReport]) -> Value {
+        let summary = Value::Table(
+            reports
+                .iter()
+                .map(|r| (r.name.clone(), Value::Float(r.total_speedup())))
+                .collect(),
+        );
+        Value::Table(vec![
+            ("experiment".to_string(), self.serialize()),
+            ("total_speedup".to_string(), summary),
+            (
+                "reports".to_string(),
+                Value::Array(reports.iter().map(Serialize::serialize).collect()),
+            ),
+        ])
+    }
+}
+
+/// Every model name the zoo can resolve (the eight paper models plus the
+/// GCN guard-rail case).
+#[must_use]
+pub fn zoo_models() -> Vec<ModelSpec> {
+    let mut models = paper_models();
+    models.push(gcn());
+    models
+}
+
+/// Why an experiment could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// A requested model name is not in the zoo.
+    UnknownModel(String),
+    /// The same model was requested more than once.
+    DuplicateModel(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::UnknownModel(name) => {
+                let known: Vec<String> = zoo_models().into_iter().map(|m| m.name).collect();
+                write!(f, "unknown model `{name}` (known: {})", known.join(", "))
+            }
+            ExperimentError::DuplicateModel(name) => {
+                write!(f, "model `{name}` requested more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl Serialize for ExperimentSpec {
+    fn serialize(&self) -> Value {
+        Value::Table(vec![
+            ("name".to_string(), self.name.serialize()),
+            ("models".to_string(), self.models.serialize()),
+            ("chip".to_string(), self.chip.serialize()),
+            ("eval".to_string(), self.eval.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ExperimentSpec {
+    /// Every key is optional: an empty document is the full paper sweep on
+    /// the Table 2 chip. Unknown keys are rejected — with every field
+    /// defaulted, a misspelled section would otherwise silently run the
+    /// wrong experiment. `chip` and `eval` inherit their own defaults (see
+    /// their `Deserialize` impls) and pass the same validation as the
+    /// builders.
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        value.expect_keys(&["name", "models", "chip", "eval"])?;
+        let mut spec = ExperimentSpec::new("custom");
+        if let Some(v) = value.get("name") {
+            spec.name = String::deserialize(v).map_err(|e| e.at("name"))?;
+        }
+        if let Some(v) = value.get("models") {
+            spec.models = Vec::<String>::deserialize(v).map_err(|e| e.at("models"))?;
+        }
+        if let Some(v) = value.get("chip") {
+            spec.chip = ChipConfig::deserialize(v).map_err(|e| e.at("chip"))?;
+        }
+        if let Some(v) = value.get("eval") {
+            spec.eval = EvalSpec::deserialize(v).map_err(|e| e.at("eval"))?;
+        }
+        Ok(spec)
+    }
+}
+
+/// Writes a JSON document under the results directory — the one output
+/// path every experiment (named or declarative) shares with the CSVs.
+/// `file_name` is sanitized to a flat file name (path separators and other
+/// non-portable characters become `-`), since it is often derived from a
+/// user-chosen experiment name.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error on write failure.
+pub fn write_json_report(file_name: &str, document: &Value) -> std::io::Result<PathBuf> {
+    let safe: String = file_name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let path = results_path(&safe);
+    std::fs::write(&path, tensordash_serde::json::write(document))?;
+    println!("  -> wrote {}", path.display());
+    Ok(path)
+}
+
+/// One named, runnable regeneration of a paper table/figure.
+pub struct NamedExperiment {
+    /// CLI name (e.g. `fig13`).
+    pub name: &'static str,
+    /// One-line description shown by `tensordash list`.
+    pub summary: &'static str,
+    runner: fn(),
+}
+
+impl NamedExperiment {
+    /// Runs the experiment (prints its table and writes its CSV).
+    pub fn run(&self) {
+        (self.runner)();
+    }
+}
+
+/// The registry of named experiments, in the paper's presentation order.
+#[must_use]
+pub fn registry() -> &'static [NamedExperiment] {
+    &[
+        NamedExperiment {
+            name: "table2",
+            summary: "Table 2: the modelled accelerator configuration",
+            runner: || {
+                experiments::table2::run();
+            },
+        },
+        NamedExperiment {
+            name: "fig01",
+            summary: "Fig 1: potential speedup from targeted-operand sparsity",
+            runner: || experiments::fig01::run(),
+        },
+        NamedExperiment {
+            name: "fig13",
+            summary: "Fig 13: speedup per model and training convolution",
+            runner: || {
+                experiments::fig13::run();
+            },
+        },
+        NamedExperiment {
+            name: "fig14",
+            summary: "Fig 14: speedup as training progresses",
+            runner: || {
+                experiments::fig14::run();
+            },
+        },
+        NamedExperiment {
+            name: "table3",
+            summary: "Table 3: area and power breakdown, core energy efficiency",
+            runner: || {
+                experiments::table3::run();
+            },
+        },
+        NamedExperiment {
+            name: "fig15",
+            summary: "Fig 15: core and overall energy efficiency per model",
+            runner: || {
+                experiments::fig15::run();
+            },
+        },
+        NamedExperiment {
+            name: "fig16",
+            summary: "Fig 16: energy breakdown vs the baseline",
+            runner: || experiments::fig16::run(),
+        },
+        NamedExperiment {
+            name: "fig17",
+            summary: "Fig 17: speedup vs PE rows per tile",
+            runner: || {
+                experiments::fig17::run();
+            },
+        },
+        NamedExperiment {
+            name: "fig18",
+            summary: "Fig 18: speedup vs PE columns per tile",
+            runner: || experiments::fig18::run(),
+        },
+        NamedExperiment {
+            name: "fig19",
+            summary: "Fig 19: speedup with 2-deep vs 3-deep staging",
+            runner: || {
+                experiments::fig19::run();
+            },
+        },
+        NamedExperiment {
+            name: "fig20",
+            summary: "Fig 20: speedup on uniformly random sparse tensors",
+            runner: || {
+                experiments::fig20::run();
+            },
+        },
+        NamedExperiment {
+            name: "bf16",
+            summary: "§4.4: the bfloat16 configuration",
+            runner: || {
+                experiments::bf16::run();
+            },
+        },
+        NamedExperiment {
+            name: "gcn",
+            summary: "§4.4: the no-sparsity GCN guard-rail case",
+            runner: || {
+                experiments::gcn::run();
+            },
+        },
+    ]
+}
+
+/// Looks up a named experiment, case-insensitively.
+#[must_use]
+pub fn find(name: &str) -> Option<&'static NamedExperiment> {
+    registry()
+        .iter()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensordash_serde::{from_toml_str, to_toml_string};
+
+    #[test]
+    fn spec_roundtrips_through_toml() {
+        let spec = ExperimentSpec::new("sweep")
+            .with_models(["AlexNet", "GCN"])
+            .with_chip(ChipConfig::builder().tiles(4).rows(8).build().unwrap())
+            .with_eval(
+                EvalSpec::builder()
+                    .streams(8, 64)
+                    .progress(0.3)
+                    .seed(7)
+                    .build()
+                    .unwrap(),
+            );
+        let text = to_toml_string(&spec).unwrap();
+        assert_eq!(from_toml_str::<ExperimentSpec>(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn empty_document_is_the_full_paper_sweep() {
+        let spec: ExperimentSpec = from_toml_str("").unwrap();
+        assert_eq!(spec.chip, ChipConfig::paper());
+        assert_eq!(spec.eval, EvalSpec::sweep());
+        assert_eq!(spec.resolve_models().unwrap().len(), paper_models().len());
+    }
+
+    #[test]
+    fn misspelled_sections_are_rejected() {
+        let err = from_toml_str::<ExperimentSpec>("[evaluation]\nseed = 1").unwrap_err();
+        assert!(
+            err.to_string().contains("unknown key `evaluation`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_models_are_reported_with_the_zoo() {
+        let spec = ExperimentSpec::new("x").with_models(["NoSuchNet"]);
+        let err = spec.run().unwrap_err();
+        assert!(err.to_string().contains("NoSuchNet"), "{err}");
+        assert!(err.to_string().contains("AlexNet"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_model_selections_are_rejected() {
+        let spec = ExperimentSpec::new("x").with_models(["AlexNet", "alexnet"]);
+        assert_eq!(
+            spec.resolve_models().unwrap_err(),
+            ExperimentError::DuplicateModel("AlexNet".into())
+        );
+    }
+
+    #[test]
+    fn model_names_resolve_case_insensitively() {
+        let spec = ExperimentSpec::new("x").with_models(["alexnet", "GCN"]);
+        let models = spec.resolve_models().unwrap();
+        assert_eq!(models[0].name, "AlexNet");
+        assert_eq!(models[1].name, "GCN");
+    }
+
+    #[test]
+    fn registry_covers_every_experiment_module_once() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped);
+        assert_eq!(names.len(), 13);
+        assert!(find("FIG13").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn report_document_embeds_spec_and_summaries() {
+        let spec = ExperimentSpec::new("doc")
+            .with_models(["AlexNet"])
+            .with_eval(EvalSpec::builder().streams(4, 32).build().unwrap());
+        let reports = spec.run().unwrap();
+        let doc = spec.report_document(&reports);
+        assert!(doc.get("experiment").is_some());
+        assert_eq!(doc.get("reports").unwrap().as_array().unwrap().len(), 1);
+        let speedup = doc.get("total_speedup").unwrap().get("AlexNet").unwrap();
+        assert!(speedup.as_float().unwrap() > 1.0);
+    }
+}

@@ -6,12 +6,12 @@
 //! 1.84x; overall 1.43x; whole-chip area overhead stays imperceptible.
 
 use crate::csvout::write_csv;
-use crate::harness::{eval_model, EvalSpec};
+use crate::harness::{EvalSpec, ModelEval};
 use crate::paperref;
 use tensordash_energy::area::{self, power};
 use tensordash_energy::{Arch, EnergyConstants, EnergyModel};
 use tensordash_models::paper_models;
-use tensordash_sim::ChipConfig;
+use tensordash_sim::{ChipConfig, Simulator};
 
 /// Runs the experiment; returns (area overhead, power overhead, core eff,
 /// overall eff).
@@ -20,8 +20,8 @@ pub fn run() -> (f64, f64, f64, f64) {
     let k = EnergyConstants::paper();
     let a_ratio = area::area(&chip, Arch::TensorDash, &k).compute_total()
         / area::area(&chip, Arch::Baseline, &k).compute_total();
-    let p_ratio = power(&chip, Arch::TensorDash, &k).total()
-        / power(&chip, Arch::Baseline, &k).total();
+    let p_ratio =
+        power(&chip, Arch::TensorDash, &k).total() / power(&chip, Arch::Baseline, &k).total();
     let chip_ratio = area::area(&chip, Arch::TensorDash, &k).chip_total()
         / area::area(&chip, Arch::Baseline, &k).chip_total();
 
@@ -36,6 +36,7 @@ pub fn run() -> (f64, f64, f64, f64) {
     );
     println!("whole-chip area overhead: {chip_ratio:.4}x (paper ~1.0005x)");
 
+    let sim = Simulator::new(chip);
     let model_energy = EnergyModel::new(chip);
     let spec = EvalSpec::sweep();
     let mut base_core = 0.0;
@@ -43,7 +44,7 @@ pub fn run() -> (f64, f64, f64, f64) {
     let mut base_total = 0.0;
     let mut td_total = 0.0;
     for model in paper_models() {
-        let report = eval_model(&chip, &model, &spec);
+        let report = sim.eval_model(&model, &spec);
         let b = model_energy.evaluate(&report.baseline_counters());
         let t = model_energy.evaluate(&report.tensordash_counters());
         base_core += b.core_j;
@@ -65,10 +66,26 @@ pub fn run() -> (f64, f64, f64, f64) {
         "bf16_comparison.csv",
         &["metric", "measured", "paper"],
         &[
-            vec!["compute_area_overhead".into(), format!("{a_ratio:.4}"), format!("{}", paperref::BF16.0)],
-            vec!["compute_power_overhead".into(), format!("{p_ratio:.4}"), format!("{}", paperref::BF16.1)],
-            vec!["core_energy_efficiency".into(), format!("{core_eff:.4}"), format!("{}", paperref::BF16.2)],
-            vec!["overall_energy_efficiency".into(), format!("{overall_eff:.4}"), format!("{}", paperref::BF16.3)],
+            vec![
+                "compute_area_overhead".into(),
+                format!("{a_ratio:.4}"),
+                format!("{}", paperref::BF16.0),
+            ],
+            vec![
+                "compute_power_overhead".into(),
+                format!("{p_ratio:.4}"),
+                format!("{}", paperref::BF16.1),
+            ],
+            vec![
+                "core_energy_efficiency".into(),
+                format!("{core_eff:.4}"),
+                format!("{}", paperref::BF16.2),
+            ],
+            vec![
+                "overall_energy_efficiency".into(),
+                format!("{overall_eff:.4}"),
+                format!("{}", paperref::BF16.3),
+            ],
         ],
     );
     (a_ratio, p_ratio, core_eff, overall_eff)

@@ -11,7 +11,10 @@ use tensordash_trace::{OpStats, SampleSpec, TrainingOp};
 /// Runs the experiment.
 pub fn run() {
     println!("Fig 1: potential speedup from eliminating targeted-operand zeros");
-    println!("{:<16} {:>7} {:>7} {:>7} {:>7}", "model", "AxW", "AxG", "WxG", "Total");
+    println!(
+        "{:<16} {:>7} {:>7} {:>7} {:>7}",
+        "model", "AxW", "AxG", "WxG", "Total"
+    );
     let sample = SampleSpec::new(32, 512);
     let mut rows = Vec::new();
     let mut totals = Vec::new();
@@ -50,7 +53,10 @@ pub fn run() {
         ]);
     }
     let mean = totals.iter().sum::<f64>() / totals.len() as f64;
-    println!("{:<16} {:>31.2}   (paper: nearly 3x average)", "average", mean);
+    println!(
+        "{:<16} {:>31.2}   (paper: nearly 3x average)",
+        "average", mean
+    );
     rows.push(vec![
         "average".into(),
         String::new(),
@@ -58,6 +64,10 @@ pub fn run() {
         String::new(),
         format!("{mean:.4}"),
     ]);
-    write_csv("fig01_potential.csv", &["model", "AxW", "AxG", "WxG", "total"], &rows);
+    write_csv(
+        "fig01_potential.csv",
+        &["model", "AxW", "AxG", "WxG", "total"],
+        &rows,
+    );
     let _ = TrainingOp::ALL;
 }

@@ -3,15 +3,15 @@
 //! `W×G` negligible.
 
 use crate::csvout::write_csv;
-use crate::harness::{eval_model, EvalSpec};
+use crate::harness::{EvalSpec, ModelEval};
 use crate::paperref;
 use tensordash_models::paper_models;
-use tensordash_sim::ChipConfig;
+use tensordash_sim::Simulator;
 use tensordash_trace::TrainingOp;
 
 /// Runs the experiment and returns the per-model totals.
 pub fn run() -> Vec<(String, f64)> {
-    let chip = ChipConfig::paper();
+    let sim = Simulator::paper();
     let spec = EvalSpec::headline();
     println!("Fig 13: TensorDash speedup over baseline (mid-training, Table 2 chip)");
     println!(
@@ -22,7 +22,7 @@ pub fn run() -> Vec<(String, f64)> {
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for model in paper_models() {
-        let report = eval_model(&chip, &model, &spec);
+        let report = sim.eval_model(&model, &spec);
         let axw = report.op_speedup(TrainingOp::Forward);
         let axg = report.op_speedup(TrainingOp::InputGrad);
         let wxg = report.op_speedup(TrainingOp::WeightGrad);
@@ -48,7 +48,9 @@ pub fn run() -> Vec<(String, f64)> {
     let mean = out.iter().map(|(_, t)| t).sum::<f64>() / out.len() as f64;
     println!(
         "{:<16} {:>31.2}   paper text: {:.2}x",
-        "average", mean, paperref::FIG13_MEAN
+        "average",
+        mean,
+        paperref::FIG13_MEAN
     );
     rows.push(vec![
         "average".into(),

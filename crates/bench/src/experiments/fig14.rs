@@ -6,18 +6,19 @@
 //! `resnet50_SM90` starts ~1.75x settling ~1.5x.
 
 use crate::csvout::write_csv;
-use crate::harness::{eval_model, EvalSpec};
+use crate::harness::{EvalSpec, ModelEval};
 use crate::paperref;
 use tensordash_models::paper_models;
-use tensordash_sim::ChipConfig;
+use tensordash_sim::Simulator;
 
 /// Training-progress sample points.
-pub const PROGRESS: [f64; 12] =
-    [0.0, 0.02, 0.06, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.85, 0.95, 1.0];
+pub const PROGRESS: [f64; 12] = [
+    0.0, 0.02, 0.06, 0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.85, 0.95, 1.0,
+];
 
 /// Runs the experiment; returns `(model, series)` pairs.
 pub fn run() -> Vec<(String, Vec<f64>)> {
-    let chip = ChipConfig::paper();
+    let sim = Simulator::paper();
     println!("Fig 14: TensorDash speedup vs training progress");
     print!("{:<16}", "model");
     for p in PROGRESS {
@@ -32,7 +33,7 @@ pub fn run() -> Vec<(String, Vec<f64>)> {
             .iter()
             .map(|&p| {
                 let spec = EvalSpec::sweep().at_progress(p);
-                eval_model(&chip, &model, &spec).total_speedup()
+                sim.eval_model(&model, &spec).total_speedup()
             })
             .collect();
         print!("{:<16}", model.name);

@@ -4,15 +4,16 @@
 //! Paper: 1.89x core, 1.6x overall on average.
 
 use crate::csvout::write_csv;
-use crate::harness::{eval_model, EvalSpec};
+use crate::harness::{EvalSpec, ModelEval};
 use crate::paperref;
 use tensordash_energy::EnergyModel;
 use tensordash_models::paper_models;
-use tensordash_sim::ChipConfig;
+use tensordash_sim::{ChipConfig, Simulator};
 
 /// Runs the experiment; returns per-model `(core, overall)` efficiencies.
 pub fn run() -> Vec<(String, f64, f64)> {
     let chip = ChipConfig::paper();
+    let sim = Simulator::new(chip);
     let model_energy = EnergyModel::new(chip);
     let spec = EvalSpec::sweep();
     println!("Fig 15: energy efficiency of TensorDash over the baseline");
@@ -21,13 +22,17 @@ pub fn run() -> Vec<(String, f64, f64)> {
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for model in paper_models() {
-        let report = eval_model(&chip, &model, &spec);
+        let report = sim.eval_model(&model, &spec);
         let base = report.baseline_counters();
         let td = report.tensordash_counters();
         let core = model_energy.core_efficiency(&base, &td);
         let overall = model_energy.overall_efficiency(&base, &td);
         println!("{:<16} {core:>10.2} {overall:>10.2}", model.name);
-        rows.push(vec![model.name.clone(), format!("{core:.4}"), format!("{overall:.4}")]);
+        rows.push(vec![
+            model.name.clone(),
+            format!("{core:.4}"),
+            format!("{overall:.4}"),
+        ]);
         out.push((model.name.clone(), core, overall));
     }
     let mean_core = out.iter().map(|(_, c, _)| c).sum::<f64>() / out.len() as f64;
@@ -43,6 +48,10 @@ pub fn run() -> Vec<(String, f64, f64)> {
         format!("{mean_core:.4}"),
         format!("{mean_overall:.4}"),
     ]);
-    write_csv("fig15_energy_eff.csv", &["model", "core_eff", "overall_eff"], &rows);
+    write_csv(
+        "fig15_energy_eff.csv",
+        &["model", "core_eff", "overall_eff"],
+        &rows,
+    );
     out
 }

@@ -5,14 +5,15 @@
 //! the system; SRAM and DRAM energy are essentially mode-independent.
 
 use crate::csvout::write_csv;
-use crate::harness::{eval_model, EvalSpec};
+use crate::harness::{EvalSpec, ModelEval};
 use tensordash_energy::EnergyModel;
 use tensordash_models::paper_models;
-use tensordash_sim::ChipConfig;
+use tensordash_sim::{ChipConfig, Simulator};
 
 /// Runs the experiment.
 pub fn run() {
     let chip = ChipConfig::paper();
+    let sim = Simulator::new(chip);
     let model_energy = EnergyModel::new(chip);
     let spec = EvalSpec::sweep();
     println!("Fig 16: energy breakdown, % of the baseline's total energy");
@@ -23,7 +24,7 @@ pub fn run() {
 
     let mut rows = Vec::new();
     for model in paper_models() {
-        let report = eval_model(&chip, &model, &spec);
+        let report = sim.eval_model(&model, &spec);
         let base = model_energy.evaluate(&report.baseline_counters());
         let td = model_energy.evaluate(&report.tensordash_counters());
         let norm = base.total_j() / 100.0;
@@ -45,7 +46,15 @@ pub fn run() {
     }
     write_csv(
         "fig16_energy_breakdown.csv",
-        &["model", "td_dram_pct", "td_core_pct", "td_sram_pct", "base_dram_pct", "base_core_pct", "base_sram_pct"],
+        &[
+            "model",
+            "td_dram_pct",
+            "td_core_pct",
+            "td_sram_pct",
+            "base_dram_pct",
+            "base_core_pct",
+            "base_sram_pct",
+        ],
         &rows,
     );
 }

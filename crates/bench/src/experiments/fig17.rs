@@ -7,10 +7,10 @@
 //! systematic.
 
 use crate::csvout::write_csv;
-use crate::harness::{eval_model, EvalSpec};
+use crate::harness::{EvalSpec, ModelEval};
 use crate::paperref;
 use tensordash_models::paper_models;
-use tensordash_sim::{ChipConfig, TileConfig};
+use tensordash_sim::{ChipConfig, Simulator};
 
 /// Row counts swept.
 pub const ROWS: [usize; 5] = [1, 2, 4, 8, 16];
@@ -31,11 +31,11 @@ pub fn run() -> Vec<(usize, f64)> {
         let mut row = vec![model.name.clone()];
         print!("{:<16}", model.name);
         for (i, &r) in ROWS.iter().enumerate() {
-            let chip = ChipConfig {
-                tile: TileConfig { rows: r, ..TileConfig::paper() },
-                ..ChipConfig::paper()
-            };
-            let report = eval_model(&chip, &model, &spec);
+            let chip = ChipConfig::builder()
+                .rows(r)
+                .build()
+                .expect("valid sweep point");
+            let report = Simulator::new(chip).eval_model(&model, &spec);
             let s = report.total_speedup();
             print!(" {s:>7.2}");
             per_rows_totals[i].push(s);

@@ -6,9 +6,9 @@
 //! not fill the wider tile.
 
 use crate::csvout::write_csv;
-use crate::harness::{eval_model, EvalSpec};
+use crate::harness::{EvalSpec, ModelEval};
 use tensordash_models::paper_models;
-use tensordash_sim::{ChipConfig, TileConfig};
+use tensordash_sim::{ChipConfig, Simulator};
 
 /// Column counts swept.
 pub const COLS: [usize; 2] = [4, 16];
@@ -24,11 +24,13 @@ pub fn run() {
     for model in paper_models() {
         let mut values = [0.0f64; 2];
         for (i, &cols) in COLS.iter().enumerate() {
-            let chip = ChipConfig {
-                tile: TileConfig { cols, ..TileConfig::paper() },
-                ..ChipConfig::paper()
-            };
-            values[i] = eval_model(&chip, &model, &spec).total_speedup();
+            let chip = ChipConfig::builder()
+                .cols(cols)
+                .build()
+                .expect("valid sweep point");
+            values[i] = Simulator::new(chip)
+                .eval_model(&model, &spec)
+                .total_speedup();
             sums[i] += values[i];
         }
         count += 1;

@@ -6,10 +6,9 @@
 //! SqueezeNet, img2txt, resnet50_DS90 and their geometric mean).
 
 use crate::csvout::write_csv;
-use crate::harness::{eval_model, EvalSpec};
-use tensordash_core::PeGeometry;
+use crate::harness::{EvalSpec, ModelEval};
 use tensordash_models::paper_models;
-use tensordash_sim::{ChipConfig, TileConfig};
+use tensordash_sim::{ChipConfig, Simulator};
 use tensordash_trace::stats::geomean;
 
 /// The subset of models the paper plots.
@@ -28,14 +27,13 @@ pub fn run() -> Vec<(String, f64, f64)> {
         }
         let mut values = [0.0f64; 2];
         for (i, depth) in [2usize, 3].iter().enumerate() {
-            let chip = ChipConfig {
-                tile: TileConfig {
-                    pe: PeGeometry::new(16, *depth).unwrap(),
-                    ..TileConfig::paper()
-                },
-                ..ChipConfig::paper()
-            };
-            values[i] = eval_model(&chip, &model, &spec).total_speedup();
+            let chip = ChipConfig::builder()
+                .depth(*depth)
+                .build()
+                .expect("valid sweep point");
+            values[i] = Simulator::new(chip)
+                .eval_model(&model, &spec)
+                .total_speedup();
         }
         println!("{:<16} {:>10.2} {:>10.2}", model.name, values[0], values[1]);
         csv.push(vec![
@@ -48,7 +46,15 @@ pub fn run() -> Vec<(String, f64, f64)> {
     let g2 = geomean(&out.iter().map(|(_, a, _)| *a).collect::<Vec<_>>());
     let g3 = geomean(&out.iter().map(|(_, _, b)| *b).collect::<Vec<_>>());
     println!("{:<16} {g2:>10.2} {g3:>10.2}", "geomean");
-    csv.push(vec!["geomean".into(), format!("{g2:.4}"), format!("{g3:.4}")]);
-    write_csv("fig19_staging_depth.csv", &["model", "2deep", "3deep"], &csv);
+    csv.push(vec![
+        "geomean".into(),
+        format!("{g2:.4}"),
+        format!("{g3:.4}"),
+    ]);
+    write_csv(
+        "fig19_staging_depth.csv",
+        &["model", "2deep", "3deep"],
+        &csv,
+    );
     out
 }

@@ -10,7 +10,7 @@ use crate::csvout::write_csv;
 use crate::paperref;
 use tensordash_core::{ideal_speedup as core_ideal, PeGeometry};
 use tensordash_models::zoo::densenet121;
-use tensordash_sim::{simulate_pair, ChipConfig};
+use tensordash_sim::Simulator;
 use tensordash_trace::{SampleSpec, SparsityGen, TrainingOp, UniformSparsity};
 
 /// Sparsity levels swept (the paper's 0.1 .. 0.9 step 0.1).
@@ -18,7 +18,7 @@ pub const LEVELS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
 
 /// Runs the experiment; returns `(sparsity, total speedup, ideal)` rows.
 pub fn run() -> Vec<(f64, f64, f64)> {
-    let chip = ChipConfig::paper();
+    let sim = Simulator::paper();
     // "the architecture of the third conv. layer from DenseNet121".
     let dims = densenet121().layers[3].dims;
     let sample = SampleSpec::new(32, 512);
@@ -41,7 +41,7 @@ pub fn run() -> Vec<(f64, f64, f64)> {
             let mut base = 0u64;
             for sample_idx in 0..10u64 {
                 let trace = gen.op_trace(dims, *op, 16, &sample, 0x20F1 + sample_idx * 97);
-                let (t, b) = simulate_pair(&chip, &trace);
+                let (t, b) = sim.simulate_pair(&trace);
                 td += t.compute_cycles;
                 base += b.compute_cycles;
             }
@@ -71,7 +71,10 @@ pub fn run() -> Vec<(f64, f64, f64)> {
         out.push((s, total, ideal_speedup));
     }
     let at_90 = out.last().unwrap().1;
-    println!("at 90%: {at_90:.2}x (paper {:.2}x of the 3x ceiling)", paperref::FIG20_AT_90);
+    println!(
+        "at 90%: {at_90:.2}x (paper {:.2}x of the 3x ceiling)",
+        paperref::FIG20_AT_90
+    );
     write_csv(
         "fig20_random_sparsity.csv",
         &["sparsity", "AxW", "AxG", "WxG", "total", "ideal"],

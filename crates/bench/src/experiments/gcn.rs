@@ -5,28 +5,26 @@
 //! power-gating, costs only ~0.5% energy efficiency.
 
 use crate::csvout::write_csv;
-use crate::harness::{eval_model, EvalSpec};
+use crate::harness::{EvalSpec, ModelEval};
 use crate::paperref;
 use tensordash_energy::EnergyModel;
 use tensordash_models::gcn;
-use tensordash_sim::ChipConfig;
+use tensordash_sim::{ChipConfig, Simulator};
 
 /// Runs the experiment; returns `(speedup, overall efficiency)`.
 pub fn run() -> (f64, f64) {
     let chip = ChipConfig::paper();
+    let sim = Simulator::new(chip);
     let spec = EvalSpec::sweep();
     let model = gcn();
-    let report = eval_model(&chip, &model, &spec);
+    let report = sim.eval_model(&model, &spec);
     let speedup = report.total_speedup();
     let model_energy = EnergyModel::new(chip);
-    let efficiency = model_energy
-        .overall_efficiency(&report.baseline_counters(), &report.tensordash_counters());
+    let efficiency =
+        model_energy.overall_efficiency(&report.baseline_counters(), &report.tensordash_counters());
 
     println!("GCN (no-sparsity guard-rail case, TensorDash never power-gated)");
-    println!(
-        "speedup: {speedup:.3}x (paper ~{:.2}x)",
-        paperref::GCN.0
-    );
+    println!("speedup: {speedup:.3}x (paper ~{:.2}x)", paperref::GCN.0);
     println!(
         "overall energy efficiency: {efficiency:.3}x (paper ~{:.3}x, a ~0.5% loss)",
         paperref::GCN.1
@@ -36,8 +34,16 @@ pub fn run() -> (f64, f64) {
         "gcn_no_sparsity.csv",
         &["metric", "measured", "paper"],
         &[
-            vec!["speedup".into(), format!("{speedup:.4}"), format!("{}", paperref::GCN.0)],
-            vec!["overall_efficiency".into(), format!("{efficiency:.4}"), format!("{}", paperref::GCN.1)],
+            vec![
+                "speedup".into(),
+                format!("{speedup:.4}"),
+                format!("{}", paperref::GCN.0),
+            ],
+            vec![
+                "overall_efficiency".into(),
+                format!("{efficiency:.4}"),
+                format!("{}", paperref::GCN.1),
+            ],
         ],
     );
     (speedup, efficiency)

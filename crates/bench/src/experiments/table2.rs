@@ -8,25 +8,46 @@ pub fn run() {
     let c = ChipConfig::paper();
     println!("Table 2: TensorDash and baseline default configuration");
     let rows: Vec<(String, String)> = vec![
-        ("Tile".into(), format!("{}x{} PEs", c.tile.rows, c.tile.cols)),
+        (
+            "Tile".into(),
+            format!("{}x{} PEs", c.tile.rows, c.tile.cols),
+        ),
         ("# of Tiles".into(), format!("{}", c.tiles)),
         ("Total PEs".into(), format!("{}", c.total_pes())),
-        ("PE MACs/Cycle".into(), format!("{} FP{}", c.tile.pe.lanes(), c.value_bits)),
+        (
+            "PE MACs/Cycle".into(),
+            format!("{} FP{}", c.tile.pe.lanes(), c.value_bits),
+        ),
         ("Total MACs/cycle".into(), format!("{}", c.macs_per_cycle())),
-        ("Staging Buff. Depth".into(), format!("{}", c.tile.pe.depth())),
+        (
+            "Staging Buff. Depth".into(),
+            format!("{}", c.tile.pe.depth()),
+        ),
         (
             "AM SRAM".into(),
-            format!("{}KB x {} Banks/Tile", c.am.kib_per_bank, c.am.banks_per_tile),
+            format!(
+                "{}KB x {} Banks/Tile",
+                c.am.kib_per_bank, c.am.banks_per_tile
+            ),
         ),
         (
             "BM SRAM".into(),
-            format!("{}KB x {} Banks/Tile", c.bm.kib_per_bank, c.bm.banks_per_tile),
+            format!(
+                "{}KB x {} Banks/Tile",
+                c.bm.kib_per_bank, c.bm.banks_per_tile
+            ),
         ),
         (
             "CM SRAM".into(),
-            format!("{}KB x {} Banks/Tile", c.cm.kib_per_bank, c.cm.banks_per_tile),
+            format!(
+                "{}KB x {} Banks/Tile",
+                c.cm.kib_per_bank, c.cm.banks_per_tile
+            ),
         ),
-        ("Scratchpads".into(), format!("{}KB x 3 Banks each", c.scratchpad_kib)),
+        (
+            "Scratchpads".into(),
+            format!("{}KB x 3 Banks each", c.scratchpad_kib),
+        ),
         ("Transposers".into(), format!("{}", c.transposers)),
         ("Tech Node".into(), "65nm".into()),
         ("Frequency".into(), format!("{} MHz", c.frequency_mhz)),

@@ -5,12 +5,12 @@
 //! energy efficiency 1.89x.
 
 use crate::csvout::write_csv;
-use crate::harness::{eval_model, EvalSpec};
+use crate::harness::{EvalSpec, ModelEval};
 use crate::paperref;
 use tensordash_energy::area::{self, power};
 use tensordash_energy::{Arch, EnergyConstants, EnergyModel};
 use tensordash_models::paper_models;
-use tensordash_sim::ChipConfig;
+use tensordash_sim::{ChipConfig, Simulator};
 
 /// Runs the experiment; returns (area overhead, power overhead, core eff).
 pub fn run() -> (f64, f64, f64) {
@@ -22,17 +22,56 @@ pub fn run() -> (f64, f64, f64) {
     let base_power = power(&chip, Arch::Baseline, &k);
 
     println!("Table 3: area [mm2] and power [mW] breakdown (FP32, 65nm)");
-    println!("{:<26} {:>12} {:>12} {:>12} {:>12}", "component", "TD area", "base area", "TD power", "base power");
-    let fmt = |v: f64| if v == 0.0 { "-".to_string() } else { format!("{v:.2}") };
+    println!(
+        "{:<26} {:>12} {:>12} {:>12} {:>12}",
+        "component", "TD area", "base area", "TD power", "base power"
+    );
+    let fmt = |v: f64| {
+        if v == 0.0 {
+            "-".to_string()
+        } else {
+            format!("{v:.2}")
+        }
+    };
     let rows_data = [
-        ("Compute Cores", td_area.compute_cores, base_area.compute_cores, td_power.compute_cores, base_power.compute_cores),
-        ("Transposers", td_area.transposers, base_area.transposers, td_power.transposers, base_power.transposers),
-        ("Schedulers+B-Side MUXes", td_area.schedulers_bmux, base_area.schedulers_bmux, td_power.schedulers_bmux, base_power.schedulers_bmux),
-        ("A-Side MUXes", td_area.amux, base_area.amux, td_power.amux, base_power.amux),
+        (
+            "Compute Cores",
+            td_area.compute_cores,
+            base_area.compute_cores,
+            td_power.compute_cores,
+            base_power.compute_cores,
+        ),
+        (
+            "Transposers",
+            td_area.transposers,
+            base_area.transposers,
+            td_power.transposers,
+            base_power.transposers,
+        ),
+        (
+            "Schedulers+B-Side MUXes",
+            td_area.schedulers_bmux,
+            base_area.schedulers_bmux,
+            td_power.schedulers_bmux,
+            base_power.schedulers_bmux,
+        ),
+        (
+            "A-Side MUXes",
+            td_area.amux,
+            base_area.amux,
+            td_power.amux,
+            base_power.amux,
+        ),
     ];
     let mut csv = Vec::new();
     for (name, ta, ba, tp, bp) in rows_data {
-        println!("{name:<26} {:>12} {:>12} {:>12} {:>12}", fmt(ta), fmt(ba), fmt(tp), fmt(bp));
+        println!(
+            "{name:<26} {:>12} {:>12} {:>12} {:>12}",
+            fmt(ta),
+            fmt(ba),
+            fmt(tp),
+            fmt(bp)
+        );
         csv.push(vec![name.to_string(), fmt(ta), fmt(ba), fmt(tp), fmt(bp)]);
     }
     let area_ratio = td_area.compute_total() / base_area.compute_total();
@@ -60,12 +99,13 @@ pub fn run() -> (f64, f64, f64) {
     );
 
     // Core energy efficiency across the full model sweep.
+    let sim = Simulator::new(chip);
     let model_energy = EnergyModel::new(chip);
     let spec = EvalSpec::sweep();
     let mut base_core = 0.0;
     let mut td_core = 0.0;
     for model in paper_models() {
-        let report = eval_model(&chip, &model, &spec);
+        let report = sim.eval_model(&model, &spec);
         base_core += model_energy.evaluate(&report.baseline_counters()).core_j;
         td_core += model_energy.evaluate(&report.tensordash_counters()).core_j;
     }
@@ -91,7 +131,13 @@ pub fn run() -> (f64, f64, f64) {
     ]);
     write_csv(
         "table3_area_power.csv",
-        &["component", "td_area_mm2", "base_area_mm2", "td_power_mw", "base_power_mw"],
+        &[
+            "component",
+            "td_area_mm2",
+            "base_area_mm2",
+            "td_power_mw",
+            "base_power_mw",
+        ],
         &csv,
     );
     (area_ratio, power_ratio, core_eff)

@@ -1,60 +1,61 @@
-//! The shared model-evaluation pipeline.
+//! The shared model-evaluation pipeline, as an extension of the
+//! [`Simulator`] session.
+//!
+//! [`EvalSpec`] itself lives in `tensordash-sim` (re-exported here for
+//! compatibility) so that one serializable pair — chip + spec — describes
+//! an experiment. This module contributes the model-zoo glue: trace every
+//! layer of a [`ModelSpec`] at a training progress and drive the whole
+//! batch through [`Simulator::simulate_batch`].
 
 use tensordash_models::{layer_traces, ModelSpec};
-use tensordash_sim::{simulate_pair, ChipConfig, LayerReport, ModelReport, OpAggregate};
-use tensordash_trace::SampleSpec;
+use tensordash_sim::{ChipConfig, ModelReport, Simulator};
 
-/// How to evaluate a model: sampling effort, training progress, seed.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EvalSpec {
-    /// Stream sampling caps.
-    pub sample: SampleSpec,
-    /// Training progress in `[0, 1]` (0.45 ≈ the stable mid-training
-    /// plateau the headline figures report).
-    pub progress: f64,
-    /// Trace seed.
-    pub seed: u64,
+pub use tensordash_sim::{EvalSpec, EvalSpecBuilder, EvalSpecError};
+
+/// Model-zoo evaluation on a [`Simulator`] session.
+pub trait ModelEval {
+    /// Evaluates one model: every layer, all three operations, TensorDash
+    /// and baseline, layers processed in parallel across the available
+    /// cores.
+    fn eval_model(&self, model: &ModelSpec, spec: &EvalSpec) -> ModelReport;
+
+    /// As [`eval_model`](ModelEval::eval_model) with an explicit report
+    /// label (used by sweeps that evaluate one model on several chip
+    /// geometries).
+    fn eval_model_labeled(&self, model: &ModelSpec, spec: &EvalSpec, label: &str) -> ModelReport;
 }
 
-impl EvalSpec {
-    /// The sweep default: 32 streams × 512 rows at mid-training.
-    #[must_use]
-    pub fn sweep() -> Self {
-        EvalSpec {
-            sample: SampleSpec::new(32, 512),
-            progress: 0.45,
-            seed: 0xDA5A,
-        }
+impl ModelEval for Simulator {
+    fn eval_model(&self, model: &ModelSpec, spec: &EvalSpec) -> ModelReport {
+        self.eval_model_labeled(model, spec, &model.name)
     }
 
-    /// A heavier spec for headline numbers: 64 streams × 2048 rows.
-    #[must_use]
-    pub fn headline() -> Self {
-        EvalSpec {
-            sample: SampleSpec::new(64, 2048),
-            progress: 0.45,
-            seed: 0xDA5A,
-        }
-    }
-
-    /// Same spec at a different training progress.
-    #[must_use]
-    pub fn at_progress(mut self, progress: f64) -> Self {
-        self.progress = progress;
-        self
+    fn eval_model_labeled(&self, model: &ModelSpec, spec: &EvalSpec, label: &str) -> ModelReport {
+        let lanes = self.chip().tile.pe.lanes();
+        let traces = layer_traces(model, spec.progress, lanes, &spec.sample, spec.seed);
+        let groups: Vec<(&str, &[tensordash_trace::OpTrace])> = traces
+            .iter()
+            .map(|(layer, ops)| (layer.name.as_str(), ops.as_slice()))
+            .collect();
+        self.simulate_model(label, &groups)
     }
 }
 
-/// Evaluates one model on one chip: every layer, all three operations,
-/// TensorDash and baseline. Layers are processed in parallel across the
-/// available cores.
+/// Evaluates one model on one chip.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulator::new(chip)` with `ModelEval::eval_model` instead"
+)]
 #[must_use]
 pub fn eval_model(chip: &ChipConfig, model: &ModelSpec, spec: &EvalSpec) -> ModelReport {
-    eval_model_with_chip_label(chip, model, spec, &model.name)
+    Simulator::new(*chip).eval_model(model, spec)
 }
 
-/// As [`eval_model`] with an explicit report label (used by sweeps that
-/// evaluate one model on several chip geometries).
+/// Evaluates one model on one chip with an explicit report label.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulator::new(chip)` with `ModelEval::eval_model_labeled` instead"
+)]
 #[must_use]
 pub fn eval_model_with_chip_label(
     chip: &ChipConfig,
@@ -62,58 +63,26 @@ pub fn eval_model_with_chip_label(
     spec: &EvalSpec,
     label: &str,
 ) -> ModelReport {
-    let lanes = chip.tile.pe.lanes();
-    let traces = layer_traces(model, spec.progress, lanes, &spec.sample, spec.seed);
-
-    let threads = std::thread::available_parallelism().map_or(1, usize::from).min(8);
-    let chunk = traces.len().div_ceil(threads.max(1)).max(1);
-    let mut layers: Vec<LayerReport> = Vec::with_capacity(traces.len());
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = traces
-            .chunks(chunk)
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|(layer, ops)| {
-                            let aggregates = ops
-                                .iter()
-                                .map(|trace| {
-                                    let (td, base) = simulate_pair(chip, trace);
-                                    OpAggregate { op: trace.op, tensordash: td, baseline: base }
-                                })
-                                .collect();
-                            LayerReport { label: layer.name.clone(), ops: aggregates }
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            layers.extend(handle.join().expect("layer simulation thread panicked"));
-        }
-    })
-    .expect("evaluation scope panicked");
-
-    ModelReport { name: label.to_string(), layers }
+    Simulator::new(*chip).eval_model_labeled(model, spec, label)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tensordash_models::paper_models;
-    use tensordash_trace::TrainingOp;
+    use tensordash_trace::{SampleSpec, TrainingOp};
 
     #[test]
     fn alexnet_evaluates_with_positive_speedup() {
-        let chip = ChipConfig::paper();
+        let sim = Simulator::paper();
         let model = &paper_models()[0];
-        let spec = EvalSpec {
-            sample: SampleSpec::new(16, 128),
-            progress: 0.45,
-            seed: 1,
-        };
-        let report = eval_model(&chip, model, &spec);
+        let spec = EvalSpec::builder()
+            .streams(16, 128)
+            .progress(0.45)
+            .seed(1)
+            .build()
+            .unwrap();
+        let report = sim.eval_model(model, &spec);
         assert_eq!(report.layers.len(), model.layers.len());
         let total = report.total_speedup();
         assert!(total > 1.5 && total < 3.0, "AlexNet total {total}");
@@ -124,15 +93,56 @@ mod tests {
 
     #[test]
     fn evaluation_is_deterministic() {
-        let chip = ChipConfig::paper();
+        let sim = Simulator::paper();
         let model = &paper_models()[2]; // SqueezeNet
-        let spec = EvalSpec { sample: SampleSpec::new(8, 64), progress: 0.3, seed: 9 };
-        let a = eval_model(&chip, model, &spec);
-        let b = eval_model(&chip, model, &spec);
+        let spec = EvalSpec {
+            sample: SampleSpec::new(8, 64),
+            progress: 0.3,
+            seed: 9,
+        };
+        let a = sim.eval_model(model, &spec);
+        let b = sim.eval_model(model, &spec);
         assert_eq!(a.total_speedup(), b.total_speedup());
         assert_eq!(
             a.tensordash_counters().compute_cycles,
             b.tensordash_counters().compute_cycles
         );
+    }
+
+    /// The acceptance gate for the session API: the thread-pooled
+    /// `simulate_batch` path produces bit-identical `ModelReport`s to the
+    /// sequential per-layer loop the pre-session `eval_model` ran (and to
+    /// the deprecated shim, which now routes through the session).
+    #[test]
+    #[allow(deprecated)]
+    fn session_reports_are_bit_identical_to_the_sequential_path() {
+        use tensordash_models::layer_traces;
+        use tensordash_sim::LayerReport;
+
+        let chip = ChipConfig::paper();
+        let spec = EvalSpec {
+            sample: SampleSpec::new(8, 64),
+            progress: 0.45,
+            seed: 0xDA5A,
+        };
+        let sim = Simulator::new(chip);
+        for model in &paper_models()[..3] {
+            // The old free-function pipeline, sans threading: trace every
+            // layer, simulate each op pair in order, aggregate.
+            let traces = layer_traces(model, spec.progress, 16, &spec.sample, spec.seed);
+            let sequential = ModelReport {
+                name: model.name.clone(),
+                layers: traces
+                    .iter()
+                    .map(|(layer, ops)| LayerReport {
+                        label: layer.name.clone(),
+                        ops: ops.iter().map(|t| sim.aggregate(t)).collect(),
+                    })
+                    .collect(),
+            };
+            let new = sim.eval_model(model, &spec);
+            assert_eq!(sequential, new, "{} diverged", model.name);
+            assert_eq!(eval_model(&chip, model, &spec), new, "shim diverged");
+        }
     }
 }

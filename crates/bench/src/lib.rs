@@ -1,30 +1,37 @@
 //! # tensordash-bench
 //!
-//! The experiment harness: shared evaluation pipeline plus one runnable
-//! binary per table/figure of the paper's evaluation (see DESIGN.md §4 for
-//! the experiment index and `EXPERIMENTS.md` for paper-vs-measured).
+//! The experiment harness: the model-evaluation pipeline as an extension
+//! of the [`Simulator`](tensordash_sim::Simulator) session, declarative
+//! [`ExperimentSpec`](experiment::ExperimentSpec) configs, and the single
+//! `tensordash` CLI that drives the paper's whole evaluation.
 //!
 //! Run everything with:
 //!
 //! ```text
-//! cargo run --release -p tensordash-bench --bin all_experiments
+//! cargo run --release -p tensordash-bench --bin tensordash -- run all
 //! ```
 //!
-//! Individual experiments are `fig01_potential`, `table2_config`,
-//! `fig13_speedup`, `fig14_over_time`, `table3_area_power`,
-//! `fig15_energy_eff`, `fig16_energy_breakdown`, `fig17_rows`,
-//! `fig18_cols`, `fig19_staging_depth`, `fig20_random_sparsity`,
-//! `bf16_comparison`, and `gcn_no_sparsity`. Each prints the paper's
-//! rows/series next to the regenerated numbers and writes a CSV under
-//! `results/`.
+//! Individual experiments are `tensordash run fig13`, `table3`, ... (see
+//! `tensordash list`), and arbitrary chip/model/effort combinations run
+//! from a TOML file via `tensordash --config experiment.toml`. Each named
+//! experiment prints the paper's rows/series next to the regenerated
+//! numbers and writes a CSV under `results/`; declarative experiments
+//! write a JSON report through the same output path.
+//!
+//! Two stand-alone analysis tools remain as separate binaries:
+//! `calibrate_tile` (tile-efficiency ablation) and `compression_study`
+//! (§3.6 scheduled-form memory compression).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csvout;
+pub mod experiment;
 pub mod experiments;
 pub mod harness;
 pub mod paperref;
 
 pub use csvout::{results_path, write_csv};
-pub use harness::{eval_model, eval_model_with_chip_label, EvalSpec};
+pub use experiment::{ExperimentError, ExperimentSpec, NamedExperiment};
+#[allow(deprecated)]
+pub use harness::{eval_model, eval_model_with_chip_label, EvalSpec, ModelEval};

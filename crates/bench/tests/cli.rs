@@ -1,0 +1,134 @@
+//! Integration tests of the `tensordash` CLI binary: help/list smoke
+//! tests and the declarative-config acceptance path — a TOML experiment
+//! file must produce byte-identical JSON to the in-code builder path.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use tensordash_bench::experiment::ExperimentSpec;
+use tensordash_sim::{ChipConfig, EvalSpec};
+
+fn tensordash(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tensordash"))
+        .args(args)
+        .output()
+        .expect("cannot spawn the tensordash binary")
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tensordash-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    for flag in ["--help", "-h", "help"] {
+        let out = tensordash(&[flag]);
+        assert!(out.status.success(), "{flag} failed");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("USAGE"), "{flag}: {text}");
+        assert!(text.contains("--config"), "{flag}: {text}");
+    }
+}
+
+#[test]
+fn list_names_every_registered_experiment() {
+    let out = tensordash(&["list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for exp in tensordash_bench::experiment::registry() {
+        assert!(text.contains(exp.name), "missing {}", exp.name);
+    }
+    assert!(text.contains("AlexNet"), "zoo listing missing");
+}
+
+#[test]
+fn unknown_names_and_options_fail_cleanly() {
+    let out = tensordash(&["run", "fig99"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("fig99"));
+
+    let out = tensordash(&["--frobnicate"]);
+    assert!(!out.status.success());
+
+    // `--out` is a --config-only option; silently ignoring it would leave
+    // the user's expected report file unwritten.
+    let out = tensordash(&["run", "table2", "--out", "report.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--results"));
+
+    let out = tensordash(&[]);
+    assert!(
+        !out.status.success(),
+        "no arguments should not silently succeed"
+    );
+}
+
+/// The acceptance gate for declarative configs: a full experiment (chip +
+/// eval + model selection) round-trips through a TOML file, and running it
+/// via `tensordash --config` writes the same JSON report the in-code
+/// builder path produces.
+#[test]
+fn config_file_reproduces_the_in_code_report_byte_for_byte() {
+    let spec = ExperimentSpec::new("cli-roundtrip")
+        .with_models(["AlexNet"])
+        .with_chip(
+            ChipConfig::builder()
+                .tiles(2)
+                .rows(2)
+                .cols(2)
+                .build()
+                .unwrap(),
+        )
+        .with_eval(
+            EvalSpec::builder()
+                .streams(4, 32)
+                .progress(0.4)
+                .seed(11)
+                .build()
+                .unwrap(),
+        );
+
+    // The spec itself round-trips through the TOML file we hand the CLI.
+    let toml = tensordash_serde::to_toml_string(&spec).unwrap();
+    let config_path = temp_file("cli-roundtrip.toml");
+    std::fs::write(&config_path, &toml).unwrap();
+    let reparsed: ExperimentSpec = tensordash_serde::from_toml_str(&toml).unwrap();
+    assert_eq!(reparsed, spec);
+
+    // In-code path.
+    let reports = spec.run().unwrap();
+    let expected = tensordash_serde::json::write(&spec.report_document(&reports));
+
+    // CLI path.
+    let out_path = temp_file("cli-roundtrip.json");
+    let out = tensordash(&[
+        "--config",
+        config_path.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let written = std::fs::read_to_string(&out_path).unwrap();
+    assert_eq!(
+        written, expected,
+        "CLI JSON diverged from the in-code report"
+    );
+}
+
+#[test]
+fn config_errors_name_the_offending_field() {
+    let config_path = temp_file("bad.toml");
+    std::fs::write(&config_path, "[chip]\ntiles = 0\n").unwrap();
+    let out = tensordash(&["--config", config_path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("tile"), "{err}");
+
+    let out = tensordash(&["--config", "/nonexistent/experiment.toml"]);
+    assert!(!out.status.success());
+}

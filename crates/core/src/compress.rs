@@ -116,7 +116,10 @@ impl<T: Element> ScheduledTensor<T> {
                 })
                 .collect();
             let advance = schedule.advance.min(pending);
-            rows.push(ScheduledRow { slots, advance: advance as u8 });
+            rows.push(ScheduledRow {
+                slots,
+                advance: advance as u8,
+            });
             stage.advance(advance);
             z.rotate_left(advance);
             for slot in &mut z[MAX_DEPTH - advance..] {
@@ -228,7 +231,10 @@ impl<T: Element> CompressedDma<T> {
                 (bitmap, kept)
             })
             .collect();
-        CompressedDma { blocks, len: values.len() }
+        CompressedDma {
+            blocks,
+            len: values.len(),
+        }
     }
 
     /// Restores the original stream.
@@ -326,11 +332,7 @@ mod tests {
     fn stored_values_equal_nonzeros() {
         let c = Connectivity::paper(PeGeometry::paper());
         let dense = random_dense(7, 64, 16, 0.4);
-        let nonzeros: usize = dense
-            .iter()
-            .flatten()
-            .filter(|v| **v != 0.0)
-            .count();
+        let nonzeros: usize = dense.iter().flatten().filter(|v| **v != 0.0).count();
         let t = ScheduledTensor::compress(&c, &dense);
         assert_eq!(t.stored_values(), nonzeros);
     }
@@ -379,10 +381,7 @@ mod tests {
             .collect();
         let nonzero = values.iter().filter(|v| **v != 0.0).count() as u64;
         let dma = CompressedDma::compress(&values);
-        assert_eq!(
-            dma.transfer_bits(32),
-            dma_transfer_bits(200, nonzero, 32)
-        );
+        assert_eq!(dma.transfer_bits(32), dma_transfer_bits(200, nonzero, 32));
     }
 
     #[test]

@@ -160,7 +160,12 @@ impl Connectivity {
         }
         let levels = derive_levels(lanes, &options);
         let lane_order = levels.iter().flatten().copied().collect();
-        Connectivity { geometry, options, levels, lane_order }
+        Connectivity {
+            geometry,
+            options,
+            levels,
+            lane_order,
+        }
     }
 
     /// The PE geometry this interconnect was instantiated for.
@@ -327,7 +332,7 @@ mod tests {
     #[test]
     fn every_lane_appears_exactly_once_in_lane_order() {
         let c = paper16();
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for &lane in c.lane_order() {
             assert!(!seen[lane as usize]);
             seen[lane as usize] = true;
@@ -361,7 +366,11 @@ mod tests {
             let mut sorted = opts.to_vec();
             sorted.sort();
             sorted.dedup();
-            assert_eq!(sorted.len(), opts.len(), "lane {lane} has duplicate options");
+            assert_eq!(
+                sorted.len(),
+                opts.len(),
+                "lane {lane} has duplicate options"
+            );
         }
     }
 

@@ -36,7 +36,10 @@ impl fmt::Display for GeometryError {
                 "lookaside step {step} exceeds staging depth {depth} (max usable step is depth - 1)"
             ),
             GeometryError::ZeroLaneOffset => {
-                write!(f, "lookaside option with zero lane offset duplicates lookahead")
+                write!(
+                    f,
+                    "lookaside option with zero lane offset duplicates lookahead"
+                )
             }
         }
     }

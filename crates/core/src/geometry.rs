@@ -55,14 +55,20 @@ impl PeGeometry {
     /// The paper's preferred configuration: 16 MACs/cycle, 3-deep staging.
     #[must_use]
     pub fn paper() -> Self {
-        PeGeometry { lanes: 16, depth: 3 }
+        PeGeometry {
+            lanes: 16,
+            depth: 3,
+        }
     }
 
     /// The paper's lower-cost design point (Fig 19): 16 MACs, 2-deep staging
     /// (lookahead of 1, five movements per multiplier).
     #[must_use]
     pub fn paper_shallow() -> Self {
-        PeGeometry { lanes: 16, depth: 2 }
+        PeGeometry {
+            lanes: 16,
+            depth: 2,
+        }
     }
 
     /// The 4-lane, 2-deep geometry used in the paper's walkthrough (Fig 7).
@@ -112,6 +118,31 @@ impl Default for PeGeometry {
     /// Defaults to the paper's preferred 16-lane, 3-deep configuration.
     fn default() -> Self {
         PeGeometry::paper()
+    }
+}
+
+impl tensordash_serde::Serialize for PeGeometry {
+    fn serialize(&self) -> tensordash_serde::Value {
+        tensordash_serde::Value::Table(vec![
+            (
+                "lanes".to_string(),
+                tensordash_serde::Serialize::serialize(&self.lanes),
+            ),
+            (
+                "depth".to_string(),
+                tensordash_serde::Serialize::serialize(&self.depth),
+            ),
+        ])
+    }
+}
+
+impl tensordash_serde::Deserialize for PeGeometry {
+    /// Deserialization funnels through [`PeGeometry::new`], so documents
+    /// cannot construct out-of-range geometries.
+    fn deserialize(value: &tensordash_serde::Value) -> Result<Self, tensordash_serde::Error> {
+        let lanes: usize = value.field("lanes")?;
+        let depth: usize = value.field("depth")?;
+        PeGeometry::new(lanes, depth).map_err(|e| tensordash_serde::Error::new(e.to_string()))
     }
 }
 

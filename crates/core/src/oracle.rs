@@ -41,7 +41,10 @@ impl OracleScheduler {
                     .collect()
             })
             .collect();
-        OracleScheduler { geometry: connectivity.geometry(), moves }
+        OracleScheduler {
+            geometry: connectivity.geometry(),
+            moves,
+        }
     }
 
     /// Convenience constructor for the paper interconnect.
@@ -72,8 +75,8 @@ impl OracleScheduler {
         // Maximum matching of free lanes onto remaining effectual cells via
         // Kuhn's augmenting-path algorithm (tiny graph: <=64 x <=256).
         let mut cell_owner: Vec<Vec<Option<usize>>> = vec![vec![None; lanes]; depth];
-        for lane in 0..lanes {
-            if busy[lane] {
+        for (lane, lane_busy) in busy.iter().enumerate().take(lanes) {
+            if *lane_busy {
                 continue;
             }
             let mut visited = vec![[false; 64]; depth];
@@ -93,7 +96,10 @@ impl OracleScheduler {
         while drainable < depth && z[drainable] == 0 {
             drainable += 1;
         }
-        StepOutcome { drainable: drainable.max(1), macs }
+        StepOutcome {
+            drainable: drainable.max(1),
+            macs,
+        }
     }
 
     fn try_augment(
@@ -110,9 +116,7 @@ impl OracleScheduler {
             }
             visited[step][src] = true;
             let current = cell_owner[step][src];
-            if current.is_none()
-                || self.try_augment(current.unwrap(), z, cell_owner, visited)
-            {
+            if current.is_none() || self.try_augment(current.unwrap(), z, cell_owner, visited) {
                 cell_owner[step][src] = Some(lane);
                 return true;
             }

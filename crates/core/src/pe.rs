@@ -55,7 +55,10 @@ impl<T: Element> PairRow<T> {
     #[must_use]
     pub fn new(a: &[T], b: &[T]) -> Self {
         assert_eq!(a.len(), b.len(), "operand rows must pair up");
-        PairRow { a: a.to_vec(), b: b.to_vec() }
+        PairRow {
+            a: a.to_vec(),
+            b: b.to_vec(),
+        }
     }
 
     /// Number of pairs where both operands are non-zero.
@@ -113,9 +116,17 @@ impl DensePe {
         T: Element,
         I: IntoIterator<Item = PairRow<T>>,
     {
-        let mut run = PeRun { value: 0.0, cycles: 0, dense_cycles: 0, macs: 0 };
+        let mut run = PeRun {
+            value: 0.0,
+            cycles: 0,
+            dense_cycles: 0,
+            macs: 0,
+        };
         for row in rows {
-            assert!(row.a.len() <= self.geometry.lanes(), "row wider than the PE");
+            assert!(
+                row.a.len() <= self.geometry.lanes(),
+                "row wider than the PE"
+            );
             for (a, b) in row.a.iter().zip(&row.b) {
                 run.value += a.to_f64() * b.to_f64();
             }
@@ -215,7 +226,12 @@ impl TensorDashPe {
         let mut b_stage = StagingBuffer::<T>::new(geometry);
         let mut z = [0u64; MAX_DEPTH];
         let mut exhausted = false;
-        let mut run = PeRun { value: 0.0, cycles: 0, dense_cycles: 0, macs: 0 };
+        let mut run = PeRun {
+            value: 0.0,
+            cycles: 0,
+            dense_cycles: 0,
+            macs: 0,
+        };
 
         loop {
             // Replenish: row-wide writes into the free staging slots.
@@ -370,10 +386,7 @@ mod tests {
 
     #[test]
     fn side_none_behaves_like_the_baseline() {
-        let pe = TensorDashPe::new(
-            Scheduler::paper(PeGeometry::paper()),
-            SparsitySide::None,
-        );
+        let pe = TensorDashPe::new(Scheduler::paper(PeGeometry::paper()), SparsitySide::None);
         let rows = random_rows(4, 70, 16, 0.3);
         let run = pe.run(rows.clone());
         assert_eq!(run.cycles, 70);
@@ -387,14 +400,11 @@ mod tests {
         // A-side zeros do not help when extracting on B only.
         let rows: Vec<PairRow<f32>> = (0..30)
             .map(|_| PairRow {
-                a: vec![0.0; 16],      // A entirely zero
-                b: vec![1.0; 16],      // B entirely dense
+                a: vec![0.0; 16], // A entirely zero
+                b: vec![1.0; 16], // B entirely dense
             })
             .collect();
-        let pe = TensorDashPe::new(
-            Scheduler::paper(PeGeometry::paper()),
-            SparsitySide::BSide,
-        );
+        let pe = TensorDashPe::new(Scheduler::paper(PeGeometry::paper()), SparsitySide::BSide);
         let run = pe.run(rows);
         assert_eq!(run.cycles, 30, "dense B side means no skipping");
         // ... but the accumulated value is still exactly zero.
@@ -406,11 +416,9 @@ mod tests {
         for seed in 0..4 {
             let rows = random_rows(100 + seed, 200, 16, 0.5);
             let both = TensorDashPe::paper().run(rows.clone());
-            let b_only = TensorDashPe::new(
-                Scheduler::paper(PeGeometry::paper()),
-                SparsitySide::BSide,
-            )
-            .run(rows);
+            let b_only =
+                TensorDashPe::new(Scheduler::paper(PeGeometry::paper()), SparsitySide::BSide)
+                    .run(rows);
             assert!(both.cycles <= b_only.cycles, "seed {seed}");
         }
     }

@@ -191,7 +191,10 @@ impl Scheduler {
         while drainable < depth && z[drainable] == 0 {
             drainable += 1;
         }
-        StepOutcome { drainable: drainable.max(1), macs }
+        StepOutcome {
+            drainable: drainable.max(1),
+            macs,
+        }
     }
 
     /// One scheduling step producing the full per-lane `MS` selections —
@@ -219,7 +222,10 @@ impl Scheduler {
         while advance < depth && z[advance] == 0 {
             advance += 1;
         }
-        Schedule { selections, advance: advance.max(1) }
+        Schedule {
+            selections,
+            advance: advance.max(1),
+        }
     }
 
     /// Runs a whole stream of row masks through a single PE and reports
@@ -387,7 +393,7 @@ mod tests {
     #[test]
     fn dense_stream_runs_at_one_row_per_cycle() {
         let s = paper_scheduler();
-        let run = s.run_masks(std::iter::repeat(0xFFFF).take(100));
+        let run = s.run_masks(std::iter::repeat_n(0xFFFF, 100));
         assert_eq!(run.cycles, 100);
         assert_eq!(run.dense_cycles, 100);
         assert_eq!(run.macs, 1600);
@@ -399,7 +405,7 @@ mod tests {
     fn empty_stream_drains_at_depth_rows_per_cycle() {
         // All-zero tensors: max speedup = staging depth (paper Fig 20).
         let s = paper_scheduler();
-        let run = s.run_masks(std::iter::repeat(0u64).take(99));
+        let run = s.run_masks(std::iter::repeat_n(0u64, 99));
         assert_eq!(run.cycles, 33);
         assert_eq!(run.macs, 0);
         assert!((run.speedup() - 3.0).abs() < 1e-12);
@@ -411,7 +417,7 @@ mod tests {
         // random streams.
         let s = paper_scheduler();
         for pattern in [0x0001u64, 0x8000, 0xAAAA, 0x5555, 0xFFFF, 0x0000] {
-            let run = s.run_masks(std::iter::repeat(pattern).take(64));
+            let run = s.run_masks(std::iter::repeat_n(pattern, 64));
             assert!(run.cycles <= run.dense_cycles);
         }
     }
@@ -456,7 +462,7 @@ mod tests {
     #[test]
     fn advance_is_bounded_by_depth() {
         let s = paper_scheduler();
-        let run = s.run_masks(std::iter::repeat(0u64).take(1000));
+        let run = s.run_masks(std::iter::repeat_n(0u64, 1000));
         for (adv, &count) in run.advance_histogram.iter().enumerate() {
             if adv > 3 {
                 assert_eq!(count, 0);
@@ -517,7 +523,11 @@ mod tests {
             let schedule = s.step_schedule(&mut z);
             let mut seen = std::collections::HashSet::new();
             for sel in schedule.selections.iter().flatten() {
-                assert!(seen.insert(sel.movement), "cell {} double-booked", sel.movement);
+                assert!(
+                    seen.insert(sel.movement),
+                    "cell {} double-booked",
+                    sel.movement
+                );
             }
         }
     }
@@ -549,7 +559,7 @@ mod tests {
         // One effectual pair per row: each cycle can fetch at most the bits
         // reachable in the window, but advance is capped by depth.
         let s = paper_scheduler();
-        let run = s.run_masks(std::iter::repeat(0x0001u64).take(300));
+        let run = s.run_masks(std::iter::repeat_n(0x0001u64, 300));
         assert!(run.cycles >= 100, "cannot beat the depth-3 ceiling");
         assert_eq!(run.macs, 300);
     }
@@ -558,7 +568,7 @@ mod tests {
     fn row_engine_rejects_zero_advance() {
         let g = PeGeometry::paper();
         let mut e = RowEngine::new(g);
-        let mut stream = std::iter::repeat(0xFFFFu64).take(4);
+        let mut stream = std::iter::repeat_n(0xFFFFu64, 4);
         e.refill(&mut stream);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             e.advance(0, &mut std::iter::empty());

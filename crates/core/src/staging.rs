@@ -107,14 +107,12 @@ impl<T: Element> StagingBuffer<T> {
     pub fn nonzero_vector(&self) -> [u64; MAX_DEPTH] {
         let lanes = self.geometry.lanes();
         let mut vec = [0u64; MAX_DEPTH];
-        for step in 0..self.pending {
-            let mut bits = 0u64;
+        for (step, bits) in vec.iter_mut().enumerate().take(self.pending) {
             for lane in 0..lanes {
                 if !self.values[step * lanes + lane].is_zero() {
-                    bits |= 1 << lane;
+                    *bits |= 1 << lane;
                 }
             }
-            vec[step] = bits;
         }
         vec
     }

@@ -24,7 +24,11 @@ fn geometry() -> impl Strategy<Value = PeGeometry> {
 
 /// Strategy: a mask stream for `lanes` lanes with arbitrary density.
 fn mask_stream(lanes: usize) -> impl Strategy<Value = Vec<u64>> {
-    let lane_mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+    let lane_mask = if lanes == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    };
     prop::collection::vec(any::<u64>().prop_map(move |m| m & lane_mask), 0..200)
 }
 

@@ -72,7 +72,11 @@ fn mac_scale(chip: &ChipConfig) -> f64 {
 /// Per-datatype component scales: `(multipliers, datapath, scheduler)`.
 fn datatype_scales(chip: &ChipConfig, k: &EnergyConstants) -> (f64, f64, f64) {
     match chip.value_bits {
-        16 => (k.bf16_multiplier_scale, k.bf16_datapath_scale, k.bf16_scheduler_scale),
+        16 => (
+            k.bf16_multiplier_scale,
+            k.bf16_datapath_scale,
+            k.bf16_scheduler_scale,
+        ),
         _ => (1.0, 1.0, 1.0),
     }
 }
@@ -168,17 +172,26 @@ mod tests {
         let k = EnergyConstants::paper();
         let a_ratio = area(&chip, Arch::TensorDash, &k).compute_total()
             / area(&chip, Arch::Baseline, &k).compute_total();
-        assert!((a_ratio - 1.13).abs() < 0.02, "bf16 area overhead {a_ratio}");
-        let p_ratio = power(&chip, Arch::TensorDash, &k).total()
-            / power(&chip, Arch::Baseline, &k).total();
-        assert!((p_ratio - 1.045).abs() < 0.02, "bf16 power overhead {p_ratio}");
+        assert!(
+            (a_ratio - 1.13).abs() < 0.02,
+            "bf16 area overhead {a_ratio}"
+        );
+        let p_ratio =
+            power(&chip, Arch::TensorDash, &k).total() / power(&chip, Arch::Baseline, &k).total();
+        assert!(
+            (p_ratio - 1.045).abs() < 0.02,
+            "bf16 power overhead {p_ratio}"
+        );
     }
 
     #[test]
     fn area_scales_with_chip_width() {
         let k = EnergyConstants::paper();
         let full = ChipConfig::paper();
-        let half = ChipConfig { tiles: 8, ..ChipConfig::paper() };
+        let half = ChipConfig {
+            tiles: 8,
+            ..ChipConfig::paper()
+        };
         let a_full = area(&full, Arch::TensorDash, &k).compute_total();
         let a_half = area(&half, Arch::TensorDash, &k).compute_total();
         assert!((a_full / a_half - 2.0).abs() < 1e-9);

@@ -54,7 +54,10 @@ impl EnergyModel {
     /// Builds a model for `chip` with the paper constants.
     #[must_use]
     pub fn new(chip: ChipConfig) -> Self {
-        EnergyModel { chip, k: EnergyConstants::paper() }
+        EnergyModel {
+            chip,
+            k: EnergyConstants::paper(),
+        }
     }
 
     /// Builds a model with custom constants.
@@ -80,7 +83,11 @@ impl EnergyModel {
     pub fn evaluate(&self, counters: &SimCounters) -> EnergyBreakdown {
         let k = &self.k;
         let (mult_scale, datapath_scale, sched_scale) = match self.chip.value_bits {
-            16 => (k.bf16_multiplier_scale, k.bf16_datapath_scale, k.bf16_scheduler_scale),
+            16 => (
+                k.bf16_multiplier_scale,
+                k.bf16_datapath_scale,
+                k.bf16_scheduler_scale,
+            ),
             _ => (1.0, 1.0, 1.0),
         };
         let pj = 1e-12;
@@ -89,8 +96,7 @@ impl EnergyModel {
         let active = counters.macs_issued as f64 * mac_pj;
         let idle_slots = counters.mac_slots.saturating_sub(counters.macs_issued) as f64;
         let idle = idle_slots * mac_pj * k.idle_mac_fraction;
-        let scheduler =
-            counters.scheduler_steps as f64 * k.scheduler_step_pj() * sched_scale;
+        let scheduler = counters.scheduler_steps as f64 * k.scheduler_step_pj() * sched_scale;
         let amux = if counters.scheduler_steps > 0 {
             counters.macs_issued as f64 * k.amux_mac_pj() * datapath_scale
         } else {
@@ -111,7 +117,11 @@ impl EnergyModel {
         let dram_j =
             (counters.dram_read_bits + counters.dram_write_bits) as f64 * k.dram_pj_per_bit * pj;
 
-        EnergyBreakdown { core_j, sram_j, dram_j }
+        EnergyBreakdown {
+            core_j,
+            sram_j,
+            dram_j,
+        }
     }
 
     /// Core-only energy efficiency of TensorDash over the baseline
@@ -207,7 +217,10 @@ mod tests {
         // TensorDash's energy equals the baseline's.
         let m = EnergyModel::new(ChipConfig::paper());
         let (b, _) = pair();
-        let gated = SimCounters { scheduler_steps: 0, ..b };
+        let gated = SimCounters {
+            scheduler_steps: 0,
+            ..b
+        };
         assert!((m.evaluate(&b).total_j() - m.evaluate(&gated).total_j()).abs() < 1e-18);
     }
 
@@ -230,7 +243,10 @@ mod tests {
             scheduler_steps: 0,
             ..Default::default()
         };
-        let with_sched = SimCounters { scheduler_steps: 10, ..c };
+        let with_sched = SimCounters {
+            scheduler_steps: 10,
+            ..c
+        };
         assert!(m.evaluate(&with_sched).core_j > m.evaluate(&c).core_j);
     }
 }

@@ -23,6 +23,6 @@ pub mod area;
 pub mod constants;
 pub mod energy;
 
-pub use area::{AreaBreakdown, Arch, PowerBreakdown};
+pub use area::{Arch, AreaBreakdown, PowerBreakdown};
 pub use constants::EnergyConstants;
 pub use energy::{EnergyBreakdown, EnergyModel};

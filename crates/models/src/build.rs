@@ -74,23 +74,22 @@ pub fn build_op_trace(
             out_nonzero: dims.a_volume(),
         },
         TrainingOp::WeightGrad => {
-            let (se, sn, de, dn) = if profile.grad_at(progress, depth_frac)
-                >= profile.act_at(progress, depth_frac)
-            {
-                (
-                    dims.o_volume(),
-                    nz(dims.o_volume(), grad_density),
-                    dims.a_volume(),
-                    nz(dims.a_volume(), act_density),
-                )
-            } else {
-                (
-                    dims.a_volume(),
-                    nz(dims.a_volume(), act_density),
-                    dims.o_volume(),
-                    nz(dims.o_volume(), grad_density),
-                )
-            };
+            let (se, sn, de, dn) =
+                if profile.grad_at(progress, depth_frac) >= profile.act_at(progress, depth_frac) {
+                    (
+                        dims.o_volume(),
+                        nz(dims.o_volume(), grad_density),
+                        dims.a_volume(),
+                        nz(dims.a_volume(), act_density),
+                    )
+                } else {
+                    (
+                        dims.a_volume(),
+                        nz(dims.a_volume(), act_density),
+                        dims.o_volume(),
+                        nz(dims.o_volume(), grad_density),
+                    )
+                };
             TrafficVolumes {
                 dense_elems: de,
                 dense_nonzero: dn,
@@ -185,7 +184,11 @@ mod tests {
             &SampleSpec::default(),
             1,
         );
-        assert!((t.measured_sparsity() - 0.6).abs() < 0.08, "{}", t.measured_sparsity());
+        assert!(
+            (t.measured_sparsity() - 0.6).abs() < 0.08,
+            "{}",
+            t.measured_sparsity()
+        );
         let t = build_op_trace(
             dims,
             TrainingOp::InputGrad,
@@ -221,10 +224,26 @@ mod tests {
     #[test]
     fn traces_are_deterministic_per_seed() {
         let dims = ConvDims::conv_square(2, 32, 8, 32, 3, 1, 1);
-        let a = build_op_trace(dims, TrainingOp::Forward, &profile(), 0.3, 0.5, 16,
-            &SampleSpec::default(), 9);
-        let b = build_op_trace(dims, TrainingOp::Forward, &profile(), 0.3, 0.5, 16,
-            &SampleSpec::default(), 9);
+        let a = build_op_trace(
+            dims,
+            TrainingOp::Forward,
+            &profile(),
+            0.3,
+            0.5,
+            16,
+            &SampleSpec::default(),
+            9,
+        );
+        let b = build_op_trace(
+            dims,
+            TrainingOp::Forward,
+            &profile(),
+            0.3,
+            0.5,
+            16,
+            &SampleSpec::default(),
+            9,
+        );
         assert_eq!(a, b);
     }
 
@@ -233,8 +252,19 @@ mod tests {
         let mut p = profile();
         p.weight = Curve::constant(0.9);
         let dims = ConvDims::conv_square(2, 32, 8, 32, 3, 1, 1);
-        let t = build_op_trace(dims, TrainingOp::Forward, &p, 0.5, 0.5, 16,
-            &SampleSpec::default(), 4);
-        assert_eq!(t.volumes.dense_nonzero, (dims.w_volume() as f64 * 0.1).round() as u64);
+        let t = build_op_trace(
+            dims,
+            TrainingOp::Forward,
+            &p,
+            0.5,
+            0.5,
+            16,
+            &SampleSpec::default(),
+            4,
+        );
+        assert_eq!(
+            t.volumes.dense_nonzero,
+            (dims.w_volume() as f64 * 0.1).round() as u64
+        );
     }
 }

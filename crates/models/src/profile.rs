@@ -20,13 +20,17 @@ impl Curve {
             assert!(pair[0].0 < pair[1].0, "knot progresses must increase");
         }
         assert!(knots[0].0 >= 0.0 && knots[knots.len() - 1].0 <= 1.0);
-        Curve { knots: knots.to_vec() }
+        Curve {
+            knots: knots.to_vec(),
+        }
     }
 
     /// A constant curve.
     #[must_use]
     pub fn constant(value: f64) -> Self {
-        Curve { knots: vec![(0.0, value)] }
+        Curve {
+            knots: vec![(0.0, value)],
+        }
     }
 
     /// Linear interpolation at progress `t` (clamped to `[0, 1]`).

@@ -30,7 +30,10 @@ pub struct LayerSpec {
 
 impl LayerSpec {
     fn new(name: impl Into<String>, dims: ConvDims) -> Self {
-        LayerSpec { name: name.into(), dims }
+        LayerSpec {
+            name: name.into(),
+            dims,
+        }
     }
 }
 
@@ -69,8 +72,16 @@ pub fn paper_models() -> Vec<ModelSpec> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn conv(name: &str, n: usize, c: usize, hw: usize, f: usize, k: usize, s: usize, p: usize)
-    -> LayerSpec {
+fn conv(
+    name: &str,
+    n: usize,
+    c: usize,
+    hw: usize,
+    f: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+) -> LayerSpec {
     LayerSpec::new(name, ConvDims::conv_square(n, c, hw, f, k, s, p))
 }
 
@@ -95,8 +106,20 @@ pub fn alexnet() -> ModelSpec {
             fc("fc8", n, 4096, 1000),
         ],
         profile: SparsityProfile {
-            act: Curve::new(&[(0.0, 0.52), (0.06, 0.70), (0.45, 0.75), (0.75, 0.70), (1.0, 0.70)]),
-            grad: Curve::new(&[(0.0, 0.60), (0.06, 0.79), (0.45, 0.83), (0.75, 0.78), (1.0, 0.78)]),
+            act: Curve::new(&[
+                (0.0, 0.52),
+                (0.06, 0.70),
+                (0.45, 0.75),
+                (0.75, 0.70),
+                (1.0, 0.70),
+            ]),
+            grad: Curve::new(&[
+                (0.0, 0.60),
+                (0.06, 0.79),
+                (0.45, 0.83),
+                (0.75, 0.78),
+                (1.0, 0.78),
+            ]),
             weight: Curve::constant(0.0),
             clustering: 0.20,
             depth_slope: 0.15,
@@ -124,7 +147,16 @@ pub fn densenet121() -> ModelSpec {
         channels += block_layers * growth;
         if b < 3 {
             // Transition: 1x1 halving channels, then 2x2 average pool.
-            layers.push(conv(&format!("trans{b}"), n, channels, hw, channels / 2, 1, 1, 0));
+            layers.push(conv(
+                &format!("trans{b}"),
+                n,
+                channels,
+                hw,
+                channels / 2,
+                1,
+                1,
+                0,
+            ));
             channels /= 2;
             hw /= 2;
         }
@@ -134,8 +166,20 @@ pub fn densenet121() -> ModelSpec {
         name: "DenseNet121".into(),
         layers,
         profile: SparsityProfile {
-            act: Curve::new(&[(0.0, 0.48), (0.06, 0.60), (0.45, 0.65), (0.75, 0.60), (1.0, 0.60)]),
-            grad: Curve::new(&[(0.0, 0.35), (0.06, 0.46), (0.45, 0.50), (0.75, 0.46), (1.0, 0.46)]),
+            act: Curve::new(&[
+                (0.0, 0.48),
+                (0.06, 0.60),
+                (0.45, 0.65),
+                (0.75, 0.60),
+                (1.0, 0.60),
+            ]),
+            grad: Curve::new(&[
+                (0.0, 0.35),
+                (0.06, 0.46),
+                (0.45, 0.50),
+                (0.75, 0.46),
+                (1.0, 0.46),
+            ]),
             weight: Curve::constant(0.0),
             clustering: 0.20,
             depth_slope: 0.15,
@@ -164,17 +208,56 @@ pub fn squeezenet() -> ModelSpec {
     ];
     for (i, &(cin, squeeze, expand, hw)) in fires.iter().enumerate() {
         let f = i + 2;
-        layers.push(conv(&format!("fire{f}_squeeze"), n, cin, hw, squeeze, 1, 1, 0));
-        layers.push(conv(&format!("fire{f}_expand1"), n, squeeze, hw, expand, 1, 1, 0));
-        layers.push(conv(&format!("fire{f}_expand3"), n, squeeze, hw, expand, 3, 1, 1));
+        layers.push(conv(
+            &format!("fire{f}_squeeze"),
+            n,
+            cin,
+            hw,
+            squeeze,
+            1,
+            1,
+            0,
+        ));
+        layers.push(conv(
+            &format!("fire{f}_expand1"),
+            n,
+            squeeze,
+            hw,
+            expand,
+            1,
+            1,
+            0,
+        ));
+        layers.push(conv(
+            &format!("fire{f}_expand3"),
+            n,
+            squeeze,
+            hw,
+            expand,
+            3,
+            1,
+            1,
+        ));
     }
     layers.push(conv("conv10", n, 512, 13, 1000, 1, 1, 0));
     ModelSpec {
         name: "SqueezeNet".into(),
         layers,
         profile: SparsityProfile {
-            act: Curve::new(&[(0.0, 0.40), (0.06, 0.52), (0.45, 0.56), (0.75, 0.51), (1.0, 0.51)]),
-            grad: Curve::new(&[(0.0, 0.48), (0.06, 0.62), (0.45, 0.67), (0.75, 0.62), (1.0, 0.62)]),
+            act: Curve::new(&[
+                (0.0, 0.40),
+                (0.06, 0.52),
+                (0.45, 0.56),
+                (0.75, 0.51),
+                (1.0, 0.51),
+            ]),
+            grad: Curve::new(&[
+                (0.0, 0.48),
+                (0.06, 0.62),
+                (0.45, 0.67),
+                (0.75, 0.62),
+                (1.0, 0.62),
+            ]),
             weight: Curve::constant(0.0),
             clustering: 0.20,
             depth_slope: 0.15,
@@ -214,8 +297,20 @@ pub fn vgg16() -> ModelSpec {
         name: "VGG16".into(),
         layers,
         profile: SparsityProfile {
-            act: Curve::new(&[(0.0, 0.50), (0.06, 0.67), (0.45, 0.72), (0.75, 0.67), (1.0, 0.67)]),
-            grad: Curve::new(&[(0.0, 0.58), (0.06, 0.77), (0.45, 0.82), (0.75, 0.77), (1.0, 0.77)]),
+            act: Curve::new(&[
+                (0.0, 0.50),
+                (0.06, 0.67),
+                (0.45, 0.72),
+                (0.75, 0.67),
+                (1.0, 0.67),
+            ]),
+            grad: Curve::new(&[
+                (0.0, 0.58),
+                (0.06, 0.77),
+                (0.45, 0.82),
+                (0.75, 0.77),
+                (1.0, 0.77),
+            ]),
             weight: Curve::constant(0.0),
             clustering: 0.20,
             depth_slope: 0.15,
@@ -243,8 +338,20 @@ pub fn img2txt() -> ModelSpec {
             fc("vocab", n * steps, 512, 12000),
         ],
         profile: SparsityProfile {
-            act: Curve::new(&[(0.0, 0.50), (0.06, 0.65), (0.45, 0.70), (0.75, 0.66), (1.0, 0.66)]),
-            grad: Curve::new(&[(0.0, 0.58), (0.06, 0.75), (0.45, 0.80), (0.75, 0.76), (1.0, 0.76)]),
+            act: Curve::new(&[
+                (0.0, 0.50),
+                (0.06, 0.65),
+                (0.45, 0.70),
+                (0.75, 0.66),
+                (1.0, 0.66),
+            ]),
+            grad: Curve::new(&[
+                (0.0, 0.58),
+                (0.06, 0.75),
+                (0.45, 0.80),
+                (0.75, 0.76),
+                (1.0, 0.76),
+            ]),
             weight: Curve::constant(0.0),
             clustering: 0.20,
             depth_slope: 0.10,
@@ -256,8 +363,12 @@ pub fn img2txt() -> ModelSpec {
 fn resnet50_layers(n: usize) -> Vec<LayerSpec> {
     let mut layers = vec![conv("conv1", n, 3, 224, 64, 7, 2, 3)];
     // (blocks, mid channels, out channels, spatial) per stage.
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(3, 64, 256, 56), (4, 128, 512, 28), (6, 256, 1024, 14), (3, 512, 2048, 7)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (3, 64, 256, 56),
+        (4, 128, 512, 28),
+        (6, 256, 1024, 14),
+        (3, 512, 2048, 7),
+    ];
     let mut cin = 64;
     for (s, &(blocks, mid, cout, hw)) in stages.iter().enumerate() {
         for b in 0..blocks {
@@ -285,8 +396,20 @@ pub fn resnet50_ds90() -> ModelSpec {
         profile: SparsityProfile {
             // §4.2: aggressive early pruning, then training "reclaims"
             // weights; speedup starts ~1.95x and settles ~1.8x.
-            act: Curve::new(&[(0.0, 0.68), (0.03, 0.64), (0.08, 0.60), (0.3, 0.58), (1.0, 0.58)]),
-            grad: Curve::new(&[(0.0, 0.76), (0.03, 0.72), (0.08, 0.69), (0.3, 0.68), (1.0, 0.68)]),
+            act: Curve::new(&[
+                (0.0, 0.68),
+                (0.03, 0.64),
+                (0.08, 0.60),
+                (0.3, 0.58),
+                (1.0, 0.58),
+            ]),
+            grad: Curve::new(&[
+                (0.0, 0.76),
+                (0.03, 0.72),
+                (0.08, 0.69),
+                (0.3, 0.68),
+                (1.0, 0.68),
+            ]),
             weight: Curve::new(&[(0.0, 0.93), (0.05, 0.91), (1.0, 0.90)]),
             clustering: 0.25,
             depth_slope: 0.10,
@@ -304,8 +427,20 @@ pub fn resnet50_sm90() -> ModelSpec {
         layers: resnet50_layers(96),
         profile: SparsityProfile {
             // Speedup starts ~1.75x and settles ~1.5x.
-            act: Curve::new(&[(0.0, 0.58), (0.03, 0.52), (0.1, 0.47), (0.3, 0.45), (1.0, 0.45)]),
-            grad: Curve::new(&[(0.0, 0.66), (0.03, 0.60), (0.1, 0.56), (0.3, 0.55), (1.0, 0.55)]),
+            act: Curve::new(&[
+                (0.0, 0.58),
+                (0.03, 0.52),
+                (0.1, 0.47),
+                (0.3, 0.45),
+                (1.0, 0.45),
+            ]),
+            grad: Curve::new(&[
+                (0.0, 0.66),
+                (0.03, 0.60),
+                (0.1, 0.56),
+                (0.3, 0.55),
+                (1.0, 0.55),
+            ]),
             weight: Curve::new(&[(0.0, 0.92), (0.05, 0.90), (1.0, 0.90)]),
             clustering: 0.25,
             depth_slope: 0.10,
@@ -334,8 +469,20 @@ pub fn snli() -> ModelSpec {
             fc("classifier", n, 200, 3),
         ],
         profile: SparsityProfile {
-            act: Curve::new(&[(0.0, 0.62), (0.06, 0.78), (0.45, 0.82), (0.75, 0.79), (1.0, 0.79)]),
-            grad: Curve::new(&[(0.0, 0.66), (0.06, 0.82), (0.45, 0.86), (0.75, 0.83), (1.0, 0.83)]),
+            act: Curve::new(&[
+                (0.0, 0.62),
+                (0.06, 0.78),
+                (0.45, 0.82),
+                (0.75, 0.79),
+                (1.0, 0.79),
+            ]),
+            grad: Curve::new(&[
+                (0.0, 0.66),
+                (0.06, 0.82),
+                (0.45, 0.86),
+                (0.75, 0.83),
+                (1.0, 0.83),
+            ]),
             weight: Curve::constant(0.0),
             clustering: 0.15,
             depth_slope: 0.10,
@@ -420,7 +567,11 @@ mod tests {
     #[test]
     fn resnet50_has_53_convolutions_plus_fc() {
         let m = resnet50_ds90();
-        let convs = m.layers.iter().filter(|l| l.dims.kh > 1 || l.dims.c > 3).count();
+        let convs = m
+            .layers
+            .iter()
+            .filter(|l| l.dims.kh > 1 || l.dims.c > 3)
+            .count();
         assert_eq!(m.layers.len(), 1 + (3 + 4 + 6 + 3) * 3 + 4 + 1);
         assert!(convs > 0);
     }
@@ -429,7 +580,12 @@ mod tests {
     fn vgg16_macs_dominated_by_convs() {
         let m = vgg16();
         let total = m.total_macs();
-        let fc_macs: u64 = m.layers.iter().filter(|l| l.dims.h == 1).map(|l| l.dims.macs()).sum();
+        let fc_macs: u64 = m
+            .layers
+            .iter()
+            .filter(|l| l.dims.h == 1)
+            .map(|l| l.dims.macs())
+            .sum();
         assert!(fc_macs * 5 < total, "convs must dominate VGG16 compute");
     }
 

@@ -27,7 +27,10 @@ impl Dataset {
     ///
     /// Panics if any argument is zero.
     pub fn synthetic_shapes(classes: usize, n: usize, hw: usize, rng: &mut impl Rng) -> Self {
-        assert!(classes > 0 && n > 0 && hw > 0, "dataset dimensions must be positive");
+        assert!(
+            classes > 0 && n > 0 && hw > 0,
+            "dataset dimensions must be positive"
+        );
         let channels = 1;
         // Smooth templates: random low-frequency bumps.
         let templates: Vec<Tensor> = (0..classes)
@@ -61,7 +64,13 @@ impl Dataset {
             samples.push(sample);
             labels.push(class);
         }
-        Dataset { samples, labels, classes, channels, hw }
+        Dataset {
+            samples,
+            labels,
+            classes,
+            channels,
+            hw,
+        }
     }
 
     /// Number of samples.
@@ -124,7 +133,10 @@ impl Dataset {
             let j = rng.gen_range(0..=i);
             order.swap(i, j);
         }
-        order.chunks(batch_size.max(1)).map(<[usize]>::to_vec).collect()
+        order
+            .chunks(batch_size.max(1))
+            .map(<[usize]>::to_vec)
+            .collect()
     }
 }
 

@@ -142,12 +142,7 @@ pub struct Linear {
 
 impl Linear {
     /// A linear layer with He-initialised weights.
-    pub fn new(
-        name: impl Into<String>,
-        inputs: usize,
-        outputs: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
         let bound = he_bound(inputs);
         let weights = Tensor::random(&[outputs, inputs], Uniform::new(-bound, bound), rng);
         let grad_weights = Tensor::zeros(weights.shape());
@@ -241,7 +236,12 @@ impl MaxPool2d {
     /// A `k × k` max-pool layer.
     #[must_use]
     pub fn new(k: usize) -> Self {
-        MaxPool2d { k, argmax: Vec::new(), input_len: 0, input_shape: Vec::new() }
+        MaxPool2d {
+            k,
+            argmax: Vec::new(),
+            input_len: 0,
+            input_shape: Vec::new(),
+        }
     }
 }
 
@@ -339,7 +339,9 @@ impl Flatten {
     /// A new flatten layer.
     #[must_use]
     pub fn new() -> Self {
-        Flatten { input_shape: Vec::new() }
+        Flatten {
+            input_shape: Vec::new(),
+        }
     }
 }
 

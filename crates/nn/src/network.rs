@@ -68,7 +68,10 @@ impl Network {
     ///
     /// `hw` must be divisible by 4 (two 2×2 pools).
     pub fn small_cnn(in_channels: usize, hw: usize, classes: usize, rng: &mut impl Rng) -> Self {
-        assert!(hw % 4 == 0, "input size must survive two 2x2 pools");
+        assert!(
+            hw.is_multiple_of(4),
+            "input size must survive two 2x2 pools"
+        );
         let spec = Conv2dSpec::new(1, 1);
         let flat = 16 * (hw / 4) * (hw / 4);
         Network::new(vec![
@@ -87,7 +90,10 @@ impl Network {
     /// convolution and its ReLU — the DenseNet-style configuration used to
     /// demonstrate sparsity absorption (§4.1).
     pub fn small_cnn_bn(in_channels: usize, hw: usize, classes: usize, rng: &mut impl Rng) -> Self {
-        assert!(hw % 4 == 0, "input size must survive two 2x2 pools");
+        assert!(
+            hw.is_multiple_of(4),
+            "input size must survive two 2x2 pools"
+        );
         let spec = Conv2dSpec::new(1, 1);
         let flat = 16 * (hw / 4) * (hw / 4);
         Network::new(vec![
@@ -192,19 +198,37 @@ impl Network {
     /// Mean sparsity of the cached input activations across weighted layers.
     #[must_use]
     pub fn activation_sparsity(&self) -> f64 {
-        mean(&self.snapshots().iter().map(|s| s.activations.sparsity()).collect::<Vec<_>>())
+        mean(
+            &self
+                .snapshots()
+                .iter()
+                .map(|s| s.activations.sparsity())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Mean sparsity of the cached output gradients across weighted layers.
     #[must_use]
     pub fn gradient_sparsity(&self) -> f64 {
-        mean(&self.snapshots().iter().map(|s| s.grad_out.sparsity()).collect::<Vec<_>>())
+        mean(
+            &self
+                .snapshots()
+                .iter()
+                .map(|s| s.grad_out.sparsity())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Mean weight sparsity across weighted layers.
     #[must_use]
     pub fn weight_sparsity(&self) -> f64 {
-        mean(&self.snapshots().iter().map(|s| s.weights.sparsity()).collect::<Vec<_>>())
+        mean(
+            &self
+                .snapshots()
+                .iter()
+                .map(|s| s.weights.sparsity())
+                .collect::<Vec<_>>(),
+        )
     }
 }
 
@@ -241,7 +265,11 @@ mod tests {
     fn small_cnn_trains_one_step() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut net = Network::small_cnn(1, 12, 4, &mut rng);
-        let x = Tensor::random(&[8, 1, 12, 12], rand::distributions::Uniform::new(-1.0, 1.0), &mut rng);
+        let x = Tensor::random(
+            &[8, 1, 12, 12],
+            rand::distributions::Uniform::new(-1.0, 1.0),
+            &mut rng,
+        );
         let labels = vec![0, 1, 2, 3, 0, 1, 2, 3];
         let (loss, _) = net.train_step(&x, &labels);
         assert!(loss > 0.0 && loss.is_finite());
@@ -253,7 +281,11 @@ mod tests {
     fn snapshots_cover_all_weighted_layers() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut net = Network::small_cnn(1, 12, 4, &mut rng);
-        let x = Tensor::random(&[4, 1, 12, 12], rand::distributions::Uniform::new(-1.0, 1.0), &mut rng);
+        let x = Tensor::random(
+            &[4, 1, 12, 12],
+            rand::distributions::Uniform::new(-1.0, 1.0),
+            &mut rng,
+        );
         let _ = net.train_step(&x, &[0, 1, 2, 3]);
         let snaps = net.snapshots();
         assert_eq!(snaps.len(), 3); // conv1, conv2, fc
@@ -269,12 +301,20 @@ mod tests {
     fn relu_layers_create_gradient_sparsity() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut net = Network::small_cnn(1, 12, 4, &mut rng);
-        let x = Tensor::random(&[8, 1, 12, 12], rand::distributions::Uniform::new(-1.0, 1.0), &mut rng);
+        let x = Tensor::random(
+            &[8, 1, 12, 12],
+            rand::distributions::Uniform::new(-1.0, 1.0),
+            &mut rng,
+        );
         let _ = net.train_step(&x, &[0; 8]);
         let snaps = net.snapshots();
         // conv1's output gradient passed through ReLU backward (~50% zeros)
         // and max-pool backward (3 of 4 cells zero): very sparse.
-        assert!(snaps[0].grad_out.sparsity() > 0.4, "{}", snaps[0].grad_out.sparsity());
+        assert!(
+            snaps[0].grad_out.sparsity() > 0.4,
+            "{}",
+            snaps[0].grad_out.sparsity()
+        );
         // Max pooling after ReLU *collapses* forward sparsity (a pooled
         // zero needs the whole window zero) — conv2's input is dense-ish.
         // This is genuine network behaviour, not a bug.

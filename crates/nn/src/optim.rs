@@ -22,7 +22,11 @@ impl Sgd {
     pub fn new(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// The learning rate.
@@ -48,7 +52,11 @@ impl Sgd {
                 velocity.push(Tensor::zeros(grad.shape()));
             }
             let v = &mut velocity[index];
-            assert_eq!(v.shape(), grad.shape(), "parameter order changed between steps");
+            assert_eq!(
+                v.shape(),
+                grad.shape(),
+                "parameter order changed between steps"
+            );
             for ((v, &g), p) in v
                 .data_mut()
                 .iter_mut()

@@ -43,9 +43,17 @@ impl Pruner {
     /// Panics unless `target` is in `[0, 1)` and `drift` in `[0, 1]`.
     #[must_use]
     pub fn new(method: PruneMethod, target: f64, drift: f64) -> Self {
-        assert!((0.0..1.0).contains(&target), "target sparsity must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&target),
+            "target sparsity must be in [0, 1)"
+        );
         assert!((0.0..=1.0).contains(&drift), "drift must be in [0, 1]");
-        Pruner { method, target, drift, masks: Vec::new() }
+        Pruner {
+            method,
+            target,
+            drift,
+            masks: Vec::new(),
+        }
     }
 
     /// The regrowth policy.
@@ -84,9 +92,7 @@ impl Pruner {
                 // recycled fraction.
                 let mut order: Vec<usize> = (0..param.len()).collect();
                 let data = param.data();
-                order.sort_unstable_by(|&a, &b| {
-                    data[b].abs().partial_cmp(&data[a].abs()).unwrap()
-                });
+                order.sort_unstable_by(|&a, &b| data[b].abs().partial_cmp(&data[a].abs()).unwrap());
                 let recycled = ((keep_target as f64) * drift).round() as usize;
                 let survivors = keep_target.saturating_sub(recycled);
 
@@ -96,12 +102,9 @@ impl Pruner {
                 }
 
                 // Regrow `recycled` positions among the currently-masked.
-                let candidates: Vec<usize> =
-                    (0..param.len()).filter(|&p| !mask[p]).collect();
+                let candidates: Vec<usize> = (0..param.len()).filter(|&p| !mask[p]).collect();
                 let regrown = match method {
-                    PruneMethod::DynamicSparse => {
-                        pick_random(&candidates, recycled, rng)
-                    }
+                    PruneMethod::DynamicSparse => pick_random(&candidates, recycled, rng),
                     PruneMethod::SparseMomentum => {
                         pick_by_momentum(&candidates, recycled, optimizer, index, rng)
                     }

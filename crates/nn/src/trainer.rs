@@ -37,7 +37,12 @@ impl Trainer {
     /// Creates a trainer without pruning.
     #[must_use]
     pub fn new(network: Network, optimizer: Sgd, dataset: Dataset) -> Self {
-        Trainer { network, optimizer, dataset, pruner: None }
+        Trainer {
+            network,
+            optimizer,
+            dataset,
+            pruner: None,
+        }
     }
 
     /// Attaches a pruning method (rebalanced once per epoch).
@@ -69,7 +74,11 @@ impl Trainer {
     /// # Errors
     ///
     /// Returns an error string if the dataset is empty.
-    pub fn run_epoch(&mut self, batch_size: usize, rng: &mut impl Rng) -> Result<EpochStats, String> {
+    pub fn run_epoch(
+        &mut self,
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> Result<EpochStats, String> {
         if self.dataset.is_empty() {
             return Err("cannot train on an empty dataset".to_string());
         }
@@ -164,8 +173,16 @@ mod tests {
         for _ in 0..4 {
             stats = t.run_epoch(32, &mut rng).unwrap();
         }
-        assert!(stats.act_sparsity > 0.1, "act sparsity {}", stats.act_sparsity);
-        assert!(stats.grad_sparsity > 0.1, "grad sparsity {}", stats.grad_sparsity);
+        assert!(
+            stats.act_sparsity > 0.1,
+            "act sparsity {}",
+            stats.act_sparsity
+        );
+        assert!(
+            stats.grad_sparsity > 0.1,
+            "grad sparsity {}",
+            stats.grad_sparsity
+        );
         // No pruning: weights stay dense.
         assert!(stats.weight_sparsity < 0.01);
     }
@@ -175,13 +192,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let dataset = Dataset::synthetic_shapes(4, 240, 12, &mut rng);
         let network = Network::small_cnn(1, 12, 4, &mut rng);
-        let mut t = Trainer::new(network, Sgd::new(0.05, 0.9), dataset)
-            .with_pruner(Pruner::new(PruneMethod::DynamicSparse, 0.8, 0.1));
+        let mut t = Trainer::new(network, Sgd::new(0.05, 0.9), dataset).with_pruner(Pruner::new(
+            PruneMethod::DynamicSparse,
+            0.8,
+            0.1,
+        ));
         let mut stats = t.run_epoch(32, &mut rng).unwrap();
         for _ in 0..9 {
             stats = t.run_epoch(32, &mut rng).unwrap();
         }
-        assert!(stats.weight_sparsity > 0.75, "weight sparsity {}", stats.weight_sparsity);
+        assert!(
+            stats.weight_sparsity > 0.75,
+            "weight sparsity {}",
+            stats.weight_sparsity
+        );
         assert!(stats.accuracy > 0.6, "accuracy {}", stats.accuracy);
     }
 

@@ -1,0 +1,540 @@
+//! TOML writing and parsing for [`Value`] trees.
+//!
+//! Covers the subset declarative experiment configs need: bare-key
+//! `key = value` pairs, `[table]` / `[nested.table]` headers, `[[array]]`
+//! of-tables headers, arrays (nested, inline or spread over multiple
+//! lines, trailing comma allowed), basic strings, integers, floats
+//! (including `inf`/`nan`), booleans, and `#` comments.
+//!
+//! Not implemented (and not produced by the writer): dotted keys, inline
+//! tables, multi-line/literal strings, dates.
+
+use crate::value::{Error, Value};
+
+/// Renders a table value as a TOML document.
+///
+/// # Errors
+///
+/// Returns [`Error`] when `value` is not a table (TOML documents are
+/// tables) or an array mixes tables with non-tables.
+pub fn write(value: &Value) -> Result<String, Error> {
+    let Value::Table(entries) = value else {
+        return Err(Error::new(format!(
+            "TOML documents must be tables at top level, found {}",
+            value.kind()
+        )));
+    };
+    let mut out = String::new();
+    write_table(entries, &mut Vec::new(), &mut out)?;
+    Ok(out)
+}
+
+fn is_table(v: &Value) -> bool {
+    matches!(v, Value::Table(_))
+}
+
+fn is_array_of_tables(v: &Value) -> bool {
+    matches!(v, Value::Array(items) if !items.is_empty() && items.iter().all(is_table))
+}
+
+fn write_table(
+    entries: &[(String, Value)],
+    path: &mut Vec<String>,
+    out: &mut String,
+) -> Result<(), Error> {
+    // Scalars and inline arrays first, then subtables, then table arrays —
+    // the order TOML requires to keep values attached to their header.
+    for (key, value) in entries {
+        match value {
+            Value::Unit | Value::Table(_) => {}
+            v if is_array_of_tables(v) => {}
+            v => {
+                out.push_str(&format!("{} = ", bare_key(key)));
+                write_inline(v, out)?;
+                out.push('\n');
+            }
+        }
+    }
+    for (key, value) in entries {
+        if let Value::Table(inner) = value {
+            path.push(key.clone());
+            out.push_str(&format!("\n[{}]\n", path.join(".")));
+            write_table(inner, path, out)?;
+            path.pop();
+        }
+    }
+    for (key, value) in entries {
+        if is_array_of_tables(value) {
+            let Value::Array(items) = value else {
+                unreachable!()
+            };
+            path.push(key.clone());
+            for item in items {
+                let Value::Table(inner) = item else {
+                    unreachable!()
+                };
+                out.push_str(&format!("\n[[{}]]\n", path.join(".")));
+                write_table(inner, path, out)?;
+            }
+            path.pop();
+        }
+    }
+    Ok(())
+}
+
+fn bare_key(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        let mut quoted = String::new();
+        crate::json::write_string(key, &mut quoted);
+        quoted
+    }
+}
+
+fn write_inline(value: &Value, out: &mut String) -> Result<(), Error> {
+    match value {
+        Value::Unit => return Err(Error::new("TOML has no null; omit the key instead")),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_nan() {
+                out.push_str("nan");
+            } else if f.is_infinite() {
+                out.push_str(if *f > 0.0 { "inf" } else { "-inf" });
+            } else if *f == f.trunc() {
+                if f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    // Exponent form keeps huge integral floats re-parsing
+                    // as floats rather than (overflowing) integers.
+                    out.push_str(&format!("{f:e}"));
+                }
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        Value::Str(s) => crate::json::write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Table(_) => {
+            return Err(Error::new(
+                "inline tables are outside the supported TOML subset",
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Parses a TOML document into a table value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on syntax outside the supported subset, duplicate
+/// keys, or malformed values.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table currently receiving `key = value` lines.
+    let mut current: Vec<String> = Vec::new();
+
+    for (lineno, line) in logical_lines(text)? {
+        let line = line.as_str();
+        let err = |m: String| Error::new(format!("TOML line {lineno}: {m}"));
+        if let Some(header) = line.strip_prefix("[[") {
+            let header = header
+                .strip_suffix("]]")
+                .ok_or_else(|| err("unterminated [[header]]".into()))?;
+            current = split_path(header).map_err(&err)?;
+            push_array_element(&mut root, &current).map_err(&err)?;
+        } else if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated [header]".into()))?;
+            current = split_path(header).map_err(&err)?;
+            open_table(&mut root, &current).map_err(&err)?;
+        } else {
+            let (key, rest) = line
+                .split_once('=')
+                .ok_or_else(|| err("expected `key = value`".into()))?;
+            let key = parse_key(key.trim()).map_err(&err)?;
+            let (value, leftover) = parse_value(rest.trim()).map_err(&err)?;
+            if !leftover.trim().is_empty() {
+                return Err(err(format!("trailing characters `{}`", leftover.trim())));
+            }
+            let table = resolve_mut(&mut root, &current).map_err(&err)?;
+            if table.iter().any(|(k, _)| *k == key) {
+                return Err(err(format!("duplicate key `{key}`")));
+            }
+            table.push((key, value));
+        }
+    }
+    Ok(Value::Table(root))
+}
+
+/// Joins physical lines into logical ones so standard multi-line arrays
+/// (`models = [\n  "a",\n]`) parse: while unclosed `[` brackets remain
+/// outside strings, the following lines belong to the same `key = value`.
+/// Returns `(1-based starting line, content)` pairs with comments
+/// stripped and blank lines dropped.
+fn logical_lines(text: &str) -> Result<Vec<(usize, String)>, Error> {
+    let mut lines = Vec::new();
+    let mut buf = String::new();
+    let mut start = 0;
+    let mut depth = 0i64;
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if buf.is_empty() {
+            start = lineno + 1;
+        } else if !line.is_empty() {
+            buf.push(' ');
+        }
+        buf.push_str(line);
+        depth += net_brackets(line);
+        if depth < 0 {
+            return Err(Error::new(format!(
+                "TOML line {}: unmatched `]`",
+                lineno + 1
+            )));
+        }
+        if depth == 0 {
+            if !buf.is_empty() {
+                lines.push((start, std::mem::take(&mut buf)));
+            }
+            buf.clear();
+        }
+    }
+    if depth != 0 {
+        return Err(Error::new(format!("TOML line {start}: unterminated array")));
+    }
+    Ok(lines)
+}
+
+/// Net `[` minus `]` on one line, ignoring brackets inside strings.
+fn net_brackets(line: &str) -> i64 {
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => escaped = false,
+        }
+    }
+    depth
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn split_path(header: &str) -> Result<Vec<String>, String> {
+    header
+        .split('.')
+        .map(|part| parse_key(part.trim()))
+        .collect()
+}
+
+fn parse_key(key: &str) -> Result<String, String> {
+    if key.is_empty() {
+        return Err("empty key".into());
+    }
+    if key.starts_with('"') {
+        let (value, rest) = parse_value(key)?;
+        if !rest.trim().is_empty() {
+            return Err(format!("invalid quoted key `{key}`"));
+        }
+        return match value {
+            Value::Str(s) => Ok(s),
+            _ => Err(format!("invalid quoted key `{key}`")),
+        };
+    }
+    if key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(key.to_string())
+    } else {
+        Err(format!("invalid bare key `{key}`"))
+    }
+}
+
+/// Walks (creating as needed) to the table at `path`, where intermediate
+/// array-of-tables segments resolve to their last element.
+fn resolve_mut<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+) -> Result<&'a mut Vec<(String, Value)>, String> {
+    let mut table = root;
+    for seg in path {
+        if !table.iter().any(|(k, _)| k == seg) {
+            table.push((seg.clone(), Value::Table(Vec::new())));
+        }
+        let slot = table
+            .iter_mut()
+            .find(|(k, _)| k == seg)
+            .map(|(_, v)| v)
+            .unwrap();
+        table = match slot {
+            Value::Table(inner) => inner,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(inner)) => inner,
+                _ => return Err(format!("`{seg}` is not a table")),
+            },
+            _ => return Err(format!("`{seg}` is not a table")),
+        };
+    }
+    Ok(table)
+}
+
+fn open_table(root: &mut Vec<(String, Value)>, path: &[String]) -> Result<(), String> {
+    resolve_mut(root, path).map(|_| ())
+}
+
+fn push_array_element(root: &mut Vec<(String, Value)>, path: &[String]) -> Result<(), String> {
+    let (last, parent_path) = path.split_last().ok_or("empty [[header]]")?;
+    let parent = resolve_mut(root, parent_path)?;
+    if !parent.iter().any(|(k, _)| k == last) {
+        parent.push((last.clone(), Value::Array(Vec::new())));
+    }
+    match parent.iter_mut().find(|(k, _)| k == last).map(|(_, v)| v) {
+        Some(Value::Array(items)) => {
+            items.push(Value::Table(Vec::new()));
+            Ok(())
+        }
+        _ => Err(format!("`{last}` is not an array of tables")),
+    }
+}
+
+/// Parses one inline value, returning the remainder of the line.
+fn parse_value(text: &str) -> Result<(Value, &str), String> {
+    parse_value_at(text, 0)
+}
+
+fn parse_value_at(text: &str, depth: usize) -> Result<(Value, &str), String> {
+    if depth > crate::json::MAX_DEPTH {
+        return Err(format!(
+            "nesting deeper than {} levels",
+            crate::json::MAX_DEPTH
+        ));
+    }
+    let text = text.trim_start();
+    if let Some(rest) = text.strip_prefix('[') {
+        let mut items = Vec::new();
+        let mut rest = rest.trim_start();
+        loop {
+            if let Some(after) = rest.strip_prefix(']') {
+                return Ok((Value::Array(items), after));
+            }
+            let (item, after) = parse_value_at(rest, depth + 1)?;
+            items.push(item);
+            rest = after.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after.trim_start();
+            } else if !rest.starts_with(']') {
+                return Err("expected `,` or `]` in array".into());
+            }
+        }
+    }
+    if text.starts_with('"') {
+        return parse_basic_string(text);
+    }
+    // Scalar token: up to a delimiter.
+    let end = text
+        .find(|c: char| c == ',' || c == ']' || c.is_whitespace())
+        .unwrap_or(text.len());
+    let (token, rest) = text.split_at(end);
+    let value = match token {
+        "" => return Err("expected a value".into()),
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        "inf" | "+inf" => Value::Float(f64::INFINITY),
+        "-inf" => Value::Float(f64::NEG_INFINITY),
+        "nan" | "+nan" | "-nan" => Value::Float(f64::NAN),
+        t => {
+            let clean = t.replace('_', "");
+            if t.contains('.') || ((t.contains('e') || t.contains('E')) && !t.starts_with("0x")) {
+                Value::Float(
+                    clean
+                        .parse::<f64>()
+                        .map_err(|_| format!("invalid float `{t}`"))?,
+                )
+            } else if let Ok(i) = clean.parse::<i64>() {
+                Value::Int(i)
+            } else {
+                // i64 overflow: a u64-sized unsigned integer (e.g. a seed).
+                Value::UInt(
+                    clean
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid integer `{t}`"))?,
+                )
+            }
+        }
+    };
+    Ok((value, rest))
+}
+
+fn parse_basic_string(text: &str) -> Result<(Value, &str), String> {
+    let bytes = text.as_bytes();
+    debug_assert_eq!(bytes[0], b'"');
+    let mut s = String::new();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                return Ok((Value::Str(s), &text[i + 1..]));
+            }
+            b'\\' => {
+                i += 1;
+                match bytes.get(i) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let hex = text.get(i + 1..i + 5).ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
+                        s.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                        i += 4;
+                    }
+                    _ => return Err("invalid string escape".into()),
+                }
+                i += 1;
+            }
+            _ => {
+                let c = text[i..].chars().next().ok_or("invalid UTF-8")?;
+                s.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_document_roundtrips() {
+        let v = Value::Table(vec![
+            ("name".into(), Value::Str("fig13 \"headline\"".into())),
+            ("tiles".into(), Value::Int(16)),
+            ("progress".into(), Value::Float(0.45)),
+            ("exact".into(), Value::Float(2.0)),
+            ("enabled".into(), Value::Bool(true)),
+            (
+                "levels".into(),
+                Value::Array(vec![Value::Float(0.1), Value::Float(0.9)]),
+            ),
+        ]);
+        let text = write(&v).unwrap();
+        assert_eq!(parse(&text).unwrap(), v, "document:\n{text}");
+    }
+
+    #[test]
+    fn nested_tables_and_table_arrays_roundtrip() {
+        let layer = |n: &str| {
+            Value::Table(vec![
+                ("label".into(), Value::Str(n.into())),
+                (
+                    "ops".into(),
+                    Value::Array(vec![Value::Int(1), Value::Int(2)]),
+                ),
+            ])
+        };
+        let v = Value::Table(vec![
+            ("name".into(), Value::Str("exp".into())),
+            (
+                "chip".into(),
+                Value::Table(vec![
+                    ("tiles".into(), Value::Int(4)),
+                    (
+                        "dram".into(),
+                        Value::Table(vec![("channels".into(), Value::Int(4))]),
+                    ),
+                ]),
+            ),
+            ("layers".into(), Value::Array(vec![layer("a"), layer("b")])),
+        ]);
+        let text = write(&v).unwrap();
+        assert_eq!(parse(&text).unwrap(), v, "document:\n{text}");
+    }
+
+    #[test]
+    fn parses_handwritten_config() {
+        let text = r#"
+# an experiment
+name = "sweep"   # inline comment
+[chip]
+tiles = 16
+frequency_mhz = 500
+[chip.dram]
+channels = 4
+[[runs]]
+seed = 1
+[[runs]]
+seed = 2
+levels = [0.1, 0.5, 0.9]
+"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("name").unwrap(), &Value::Str("sweep".into()));
+        let chip = v.get("chip").unwrap();
+        assert_eq!(chip.get("tiles").unwrap(), &Value::Int(16));
+        assert_eq!(
+            chip.get("dram").unwrap().get("channels").unwrap(),
+            &Value::Int(4)
+        );
+        let runs = v.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[1].get("levels").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn multi_line_arrays_parse() {
+        let text = "\nmodels = [\n  \"AlexNet\",   # keep\n  \"SqueezeNet\",\n]\nlevels = [\n  [1, 2],\n  [3],\n]\nafter = true\n";
+        let v = parse(text).unwrap();
+        let models = v.get("models").unwrap().as_array().unwrap();
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[1], Value::Str("SqueezeNet".into()));
+        assert_eq!(v.get("levels").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("after").unwrap(), &Value::Bool(true));
+
+        let err = parse("models = [\n  \"AlexNet\",").unwrap_err();
+        assert!(err.to_string().contains("unterminated array"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicates_and_garbage() {
+        assert!(parse("a = 1\na = 2").is_err());
+        assert!(parse("a = 1 2").is_err());
+        assert!(parse("[unclosed").is_err());
+    }
+}

@@ -1,6 +1,73 @@
-//! Accelerator configuration (paper Table 2).
+//! Accelerator configuration (paper Table 2): the plain config structs,
+//! the validated [`ChipConfigBuilder`], and their serialization — a whole
+//! chip round-trips through TOML/JSON, and deserialization funnels through
+//! the same validation as the builder, so documents cannot construct
+//! impossible machines.
 
-use tensordash_core::PeGeometry;
+use std::fmt;
+use tensordash_core::{GeometryError, PeGeometry};
+use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Why a [`ChipConfigBuilder`] (or a deserialized config document) was
+/// rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The chip needs at least one tile.
+    ZeroTiles,
+    /// PE rows per tile outside `1..=256`.
+    Rows(usize),
+    /// PE columns per tile outside `1..=256`.
+    Cols(usize),
+    /// Invalid PE geometry (lane count or staging depth out of range).
+    Geometry(GeometryError),
+    /// An SRAM array needs a positive bank size and bank count.
+    Sram {
+        /// Which array ("am", "bm", or "cm").
+        array: &'static str,
+    },
+    /// A DRAM parameter was zero.
+    Dram {
+        /// Which parameter ("channels", "mt_per_s", or "bits_per_transfer").
+        field: &'static str,
+    },
+    /// The clock frequency must be positive.
+    ZeroFrequency,
+    /// Scratchpads need a positive capacity.
+    ZeroScratchpad,
+    /// Operand width must be 16 (bf16) or 32 (FP32) bits.
+    ValueBits(u32),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroTiles => write!(f, "chip needs at least one tile"),
+            ConfigError::Rows(n) => write!(f, "PE rows per tile must be in 1..=256, got {n}"),
+            ConfigError::Cols(n) => write!(f, "PE columns per tile must be in 1..=256, got {n}"),
+            ConfigError::Geometry(e) => write!(f, "PE geometry: {e}"),
+            ConfigError::Sram { array } => {
+                write!(f, "SRAM `{array}` needs positive bank size and bank count")
+            }
+            ConfigError::Dram { field } => write!(f, "DRAM `{field}` must be positive"),
+            ConfigError::ZeroFrequency => write!(f, "clock frequency must be positive"),
+            ConfigError::ZeroScratchpad => write!(f, "scratchpad capacity must be positive"),
+            ConfigError::ValueBits(b) => {
+                write!(
+                    f,
+                    "operand width must be 16 (bf16) or 32 (FP32) bits, got {b}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<GeometryError> for ConfigError {
+    fn from(e: GeometryError) -> Self {
+        ConfigError::Geometry(e)
+    }
+}
 
 /// One tile: a grid of PEs sharing staging buffers along rows and columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,7 +86,11 @@ impl TileConfig {
     /// The paper's default 4×4 tile of 16-MAC, 3-deep PEs.
     #[must_use]
     pub fn paper() -> Self {
-        TileConfig { rows: 4, cols: 4, pe: PeGeometry::paper() }
+        TileConfig {
+            rows: 4,
+            cols: 4,
+            pe: PeGeometry::paper(),
+        }
     }
 
     /// MACs per cycle for the whole tile.
@@ -42,7 +113,10 @@ impl SramConfig {
     /// Table 2: 256 KB × 4 banks per tile.
     #[must_use]
     pub fn paper() -> Self {
-        SramConfig { kib_per_bank: 256, banks_per_tile: 4 }
+        SramConfig {
+            kib_per_bank: 256,
+            banks_per_tile: 4,
+        }
     }
 
     /// Total capacity per tile in bytes.
@@ -67,7 +141,11 @@ impl DramConfig {
     /// Table 2 configuration.
     #[must_use]
     pub fn paper() -> Self {
-        DramConfig { channels: 4, mt_per_s: 3200, bits_per_transfer: 16 }
+        DramConfig {
+            channels: 4,
+            mt_per_s: 3200,
+            bits_per_transfer: 16,
+        }
     }
 
     /// Peak bandwidth in bits per second.
@@ -130,7 +208,10 @@ impl ChipConfig {
     /// The bf16 variant of the paper configuration (§4.4).
     #[must_use]
     pub fn paper_bf16() -> Self {
-        ChipConfig { value_bits: 16, ..ChipConfig::paper() }
+        ChipConfig {
+            value_bits: 16,
+            ..ChipConfig::paper()
+        }
     }
 
     /// Total MACs per cycle across the chip.
@@ -149,6 +230,349 @@ impl ChipConfig {
 impl Default for ChipConfig {
     fn default() -> Self {
         ChipConfig::paper()
+    }
+}
+
+/// A validated, fluent way to describe a chip — every knob of Table 2,
+/// starting from the paper defaults.
+///
+/// ```
+/// use tensordash_sim::ChipConfig;
+///
+/// let chip = ChipConfig::builder()
+///     .tiles(4)
+///     .rows(8)
+///     .cols(4)
+///     .lanes(16)
+///     .depth(3)
+///     .frequency_mhz(800)
+///     .build()
+///     .unwrap();
+/// assert_eq!(chip.macs_per_cycle(), 4 * 8 * 4 * 16);
+///
+/// assert!(ChipConfig::builder().rows(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChipConfigBuilder {
+    tiles: usize,
+    rows: usize,
+    cols: usize,
+    lanes: usize,
+    depth: usize,
+    am: SramConfig,
+    bm: SramConfig,
+    cm: SramConfig,
+    scratchpad_kib: usize,
+    transposers: usize,
+    frequency_mhz: u64,
+    value_bits: u32,
+    dram: DramConfig,
+}
+
+impl Default for ChipConfigBuilder {
+    fn default() -> Self {
+        ChipConfigBuilder::from_config(&ChipConfig::paper())
+    }
+}
+
+impl ChipConfigBuilder {
+    /// A builder pre-loaded with an existing configuration.
+    #[must_use]
+    pub fn from_config(chip: &ChipConfig) -> Self {
+        ChipConfigBuilder {
+            tiles: chip.tiles,
+            rows: chip.tile.rows,
+            cols: chip.tile.cols,
+            lanes: chip.tile.pe.lanes(),
+            depth: chip.tile.pe.depth(),
+            am: chip.am,
+            bm: chip.bm,
+            cm: chip.cm,
+            scratchpad_kib: chip.scratchpad_kib,
+            transposers: chip.transposers,
+            frequency_mhz: chip.frequency_mhz,
+            value_bits: chip.value_bits,
+            dram: chip.dram,
+        }
+    }
+
+    /// Number of tiles.
+    #[must_use]
+    pub fn tiles(mut self, tiles: usize) -> Self {
+        self.tiles = tiles;
+        self
+    }
+
+    /// PE rows per tile (the Fig 17 sweep axis).
+    #[must_use]
+    pub fn rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// PE columns per tile (the Fig 18 sweep axis).
+    #[must_use]
+    pub fn cols(mut self, cols: usize) -> Self {
+        self.cols = cols;
+        self
+    }
+
+    /// MAC lanes per PE.
+    #[must_use]
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Staging-buffer depth per PE (the Fig 19 sweep axis).
+    #[must_use]
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Activation memory (AM) geometry.
+    #[must_use]
+    pub fn am(mut self, sram: SramConfig) -> Self {
+        self.am = sram;
+        self
+    }
+
+    /// B-side operand memory (BM) geometry.
+    #[must_use]
+    pub fn bm(mut self, sram: SramConfig) -> Self {
+        self.bm = sram;
+        self
+    }
+
+    /// Output memory (CM) geometry.
+    #[must_use]
+    pub fn cm(mut self, sram: SramConfig) -> Self {
+        self.cm = sram;
+        self
+    }
+
+    /// Sets AM, BM, and CM to the same geometry.
+    #[must_use]
+    pub fn sram(self, kib_per_bank: usize, banks_per_tile: usize) -> Self {
+        let sram = SramConfig {
+            kib_per_bank,
+            banks_per_tile,
+        };
+        self.am(sram).bm(sram).cm(sram)
+    }
+
+    /// Per-PE scratchpad capacity in KiB per bank.
+    #[must_use]
+    pub fn scratchpad_kib(mut self, kib: usize) -> Self {
+        self.scratchpad_kib = kib;
+        self
+    }
+
+    /// Number of on-chip transposers (§3.4).
+    #[must_use]
+    pub fn transposers(mut self, transposers: usize) -> Self {
+        self.transposers = transposers;
+        self
+    }
+
+    /// Clock frequency in MHz.
+    #[must_use]
+    pub fn frequency_mhz(mut self, mhz: u64) -> Self {
+        self.frequency_mhz = mhz;
+        self
+    }
+
+    /// Operand width in bits: 32 (FP32) or 16 (bf16).
+    #[must_use]
+    pub fn value_bits(mut self, bits: u32) -> Self {
+        self.value_bits = bits;
+        self
+    }
+
+    /// Off-chip memory configuration.
+    #[must_use]
+    pub fn dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Validates every knob and assembles the chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] encountered; see its variants for
+    /// the accepted ranges.
+    pub fn build(self) -> Result<ChipConfig, ConfigError> {
+        if self.tiles == 0 {
+            return Err(ConfigError::ZeroTiles);
+        }
+        if self.rows == 0 || self.rows > 256 {
+            return Err(ConfigError::Rows(self.rows));
+        }
+        if self.cols == 0 || self.cols > 256 {
+            return Err(ConfigError::Cols(self.cols));
+        }
+        let pe = PeGeometry::new(self.lanes, self.depth)?;
+        for (array, sram) in [("am", self.am), ("bm", self.bm), ("cm", self.cm)] {
+            if sram.kib_per_bank == 0 || sram.banks_per_tile == 0 {
+                return Err(ConfigError::Sram { array });
+            }
+        }
+        if self.dram.channels == 0 {
+            return Err(ConfigError::Dram { field: "channels" });
+        }
+        if self.dram.mt_per_s == 0 {
+            return Err(ConfigError::Dram { field: "mt_per_s" });
+        }
+        if self.dram.bits_per_transfer == 0 {
+            return Err(ConfigError::Dram {
+                field: "bits_per_transfer",
+            });
+        }
+        if self.frequency_mhz == 0 {
+            return Err(ConfigError::ZeroFrequency);
+        }
+        if self.scratchpad_kib == 0 {
+            return Err(ConfigError::ZeroScratchpad);
+        }
+        if self.value_bits != 16 && self.value_bits != 32 {
+            return Err(ConfigError::ValueBits(self.value_bits));
+        }
+        Ok(ChipConfig {
+            tiles: self.tiles,
+            tile: TileConfig {
+                rows: self.rows,
+                cols: self.cols,
+                pe,
+            },
+            am: self.am,
+            bm: self.bm,
+            cm: self.cm,
+            scratchpad_kib: self.scratchpad_kib,
+            transposers: self.transposers,
+            frequency_mhz: self.frequency_mhz,
+            value_bits: self.value_bits,
+            dram: self.dram,
+        })
+    }
+}
+
+impl ChipConfig {
+    /// A validated builder starting from the paper defaults.
+    #[must_use]
+    pub fn builder() -> ChipConfigBuilder {
+        ChipConfigBuilder::default()
+    }
+}
+
+tensordash_serde::impl_serde_struct!(TileConfig { rows, cols, pe });
+tensordash_serde::impl_serde_struct!(SramConfig {
+    kib_per_bank,
+    banks_per_tile
+});
+tensordash_serde::impl_serde_struct!(DramConfig {
+    channels,
+    mt_per_s,
+    bits_per_transfer
+});
+
+impl Serialize for ChipConfig {
+    fn serialize(&self) -> Value {
+        Value::Table(vec![
+            ("tiles".to_string(), self.tiles.serialize()),
+            ("tile".to_string(), self.tile.serialize()),
+            ("am".to_string(), self.am.serialize()),
+            ("bm".to_string(), self.bm.serialize()),
+            ("cm".to_string(), self.cm.serialize()),
+            (
+                "scratchpad_kib".to_string(),
+                self.scratchpad_kib.serialize(),
+            ),
+            ("transposers".to_string(), self.transposers.serialize()),
+            ("frequency_mhz".to_string(), self.frequency_mhz.serialize()),
+            ("value_bits".to_string(), self.value_bits.serialize()),
+            ("dram".to_string(), self.dram.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ChipConfig {
+    /// Every key is optional and defaults to the paper's Table 2 value, so
+    /// a document only states what it changes. Unknown keys are rejected —
+    /// with every field defaulted, a misspelled knob would otherwise
+    /// silently simulate the wrong machine. The assembled configuration
+    /// passes through [`ChipConfigBuilder::build`] — invalid documents are
+    /// rejected with the builder's [`ConfigError`] message.
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        value.expect_keys(&[
+            "tiles",
+            "tile",
+            "am",
+            "bm",
+            "cm",
+            "scratchpad_kib",
+            "transposers",
+            "frequency_mhz",
+            "value_bits",
+            "dram",
+        ])?;
+        let mut builder = ChipConfig::builder();
+        if let Some(v) = value.get("tiles") {
+            builder = builder.tiles(usize::deserialize(v).map_err(|e| e.at("tiles"))?);
+        }
+        if let Some(tile) = value.get("tile") {
+            tile.expect_keys(&["rows", "cols", "pe"])
+                .map_err(|e| e.at("tile"))?;
+            if let Some(v) = tile.get("rows") {
+                builder = builder.rows(usize::deserialize(v).map_err(|e| e.at("tile.rows"))?);
+            }
+            if let Some(v) = tile.get("cols") {
+                builder = builder.cols(usize::deserialize(v).map_err(|e| e.at("tile.cols"))?);
+            }
+            if let Some(pe) = tile.get("pe") {
+                pe.expect_keys(&["lanes", "depth"])
+                    .map_err(|e| e.at("tile.pe"))?;
+                if let Some(v) = pe.get("lanes") {
+                    builder =
+                        builder.lanes(usize::deserialize(v).map_err(|e| e.at("tile.pe.lanes"))?);
+                }
+                if let Some(v) = pe.get("depth") {
+                    builder =
+                        builder.depth(usize::deserialize(v).map_err(|e| e.at("tile.pe.depth"))?);
+                }
+            }
+        }
+        for (key, setter) in [
+            (
+                "am",
+                ChipConfigBuilder::am as fn(ChipConfigBuilder, SramConfig) -> ChipConfigBuilder,
+            ),
+            ("bm", ChipConfigBuilder::bm),
+            ("cm", ChipConfigBuilder::cm),
+        ] {
+            if let Some(v) = value.get(key) {
+                builder = setter(builder, SramConfig::deserialize(v).map_err(|e| e.at(key))?);
+            }
+        }
+        if let Some(v) = value.get("scratchpad_kib") {
+            builder =
+                builder.scratchpad_kib(usize::deserialize(v).map_err(|e| e.at("scratchpad_kib"))?);
+        }
+        if let Some(v) = value.get("transposers") {
+            builder = builder.transposers(usize::deserialize(v).map_err(|e| e.at("transposers"))?);
+        }
+        if let Some(v) = value.get("frequency_mhz") {
+            builder =
+                builder.frequency_mhz(u64::deserialize(v).map_err(|e| e.at("frequency_mhz"))?);
+        }
+        if let Some(v) = value.get("value_bits") {
+            builder = builder.value_bits(u32::deserialize(v).map_err(|e| e.at("value_bits"))?);
+        }
+        if let Some(v) = value.get("dram") {
+            builder = builder.dram(DramConfig::deserialize(v).map_err(|e| e.at("dram"))?);
+        }
+        builder.build().map_err(|e| SerdeError::new(e.to_string()))
     }
 }
 
@@ -182,5 +606,99 @@ mod tests {
         let c = ChipConfig::paper_bf16();
         assert_eq!(c.value_bits, 16);
         assert_eq!(c.macs_per_cycle(), 4096);
+    }
+
+    #[test]
+    fn builder_defaults_reproduce_the_paper_chip() {
+        assert_eq!(ChipConfig::builder().build().unwrap(), ChipConfig::paper());
+    }
+
+    #[test]
+    fn builder_rejects_every_out_of_range_knob() {
+        let cases: Vec<(ChipConfigBuilder, ConfigError)> = vec![
+            (ChipConfig::builder().tiles(0), ConfigError::ZeroTiles),
+            (ChipConfig::builder().rows(0), ConfigError::Rows(0)),
+            (ChipConfig::builder().rows(257), ConfigError::Rows(257)),
+            (ChipConfig::builder().cols(0), ConfigError::Cols(0)),
+            (
+                ChipConfig::builder().lanes(65),
+                ConfigError::Geometry(GeometryError::LaneCount(65)),
+            ),
+            (
+                ChipConfig::builder().depth(5),
+                ConfigError::Geometry(GeometryError::StagingDepth(5)),
+            ),
+            (
+                ChipConfig::builder().sram(0, 4),
+                ConfigError::Sram { array: "am" },
+            ),
+            (
+                ChipConfig::builder().dram(DramConfig {
+                    channels: 0,
+                    ..DramConfig::paper()
+                }),
+                ConfigError::Dram { field: "channels" },
+            ),
+            (
+                ChipConfig::builder().frequency_mhz(0),
+                ConfigError::ZeroFrequency,
+            ),
+            (
+                ChipConfig::builder().scratchpad_kib(0),
+                ConfigError::ZeroScratchpad,
+            ),
+            (
+                ChipConfig::builder().value_bits(8),
+                ConfigError::ValueBits(8),
+            ),
+        ];
+        for (builder, expected) in cases {
+            assert_eq!(builder.build().unwrap_err(), expected);
+        }
+    }
+
+    #[test]
+    fn chip_roundtrips_through_toml_and_json() {
+        let chip = ChipConfig::builder()
+            .tiles(4)
+            .rows(8)
+            .cols(2)
+            .lanes(32)
+            .depth(2)
+            .sram(128, 2)
+            .transposers(7)
+            .frequency_mhz(650)
+            .value_bits(16)
+            .build()
+            .unwrap();
+        let toml = tensordash_serde::to_toml_string(&chip).unwrap();
+        assert_eq!(
+            tensordash_serde::from_toml_str::<ChipConfig>(&toml).unwrap(),
+            chip
+        );
+        let json = tensordash_serde::to_json_string(&chip);
+        assert_eq!(
+            tensordash_serde::from_json_str::<ChipConfig>(&json).unwrap(),
+            chip
+        );
+    }
+
+    #[test]
+    fn partial_documents_inherit_paper_defaults_and_validate() {
+        let chip: ChipConfig =
+            tensordash_serde::from_toml_str("tiles = 4\n[tile]\nrows = 8").unwrap();
+        assert_eq!(chip.tiles, 4);
+        assert_eq!(chip.tile.rows, 8);
+        assert_eq!(chip.tile.cols, TileConfig::paper().cols);
+        assert_eq!(chip.dram, DramConfig::paper());
+
+        let err = tensordash_serde::from_toml_str::<ChipConfig>("tiles = 0").unwrap_err();
+        assert!(err.to_string().contains("tile"), "{err}");
+        // Misspelled knobs must fail loudly, not silently default.
+        let err = tensordash_serde::from_toml_str::<ChipConfig>("[tile]\nrow = 8").unwrap_err();
+        assert!(err.to_string().contains("unknown key `row`"), "{err}");
+        let err =
+            tensordash_serde::from_toml_str::<ChipConfig>("[tile.pe]\nlanes = 99").unwrap_err();
+        assert!(err.to_string().contains("lane count"), "{err}");
     }
 }

@@ -31,6 +31,20 @@ pub struct SimCounters {
     pub dram_write_bits: u64,
 }
 
+tensordash_serde::impl_serde_struct!(SimCounters {
+    compute_cycles,
+    dram_cycles,
+    macs_issued,
+    mac_slots,
+    sram_read_elems,
+    sram_write_elems,
+    sp_accesses,
+    transposer_elems,
+    scheduler_steps,
+    dram_read_bits,
+    dram_write_bits,
+});
+
 impl SimCounters {
     /// Element-wise sum of two counter sets.
     #[must_use]
@@ -64,8 +78,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let a = SimCounters { compute_cycles: 10, macs_issued: 100, ..Default::default() };
-        let b = SimCounters { compute_cycles: 5, dram_read_bits: 64, ..Default::default() };
+        let a = SimCounters {
+            compute_cycles: 10,
+            macs_issued: 100,
+            ..Default::default()
+        };
+        let b = SimCounters {
+            compute_cycles: 5,
+            dram_read_bits: 64,
+            ..Default::default()
+        };
         let m = a.merged(&b);
         assert_eq!(m.compute_cycles, 15);
         assert_eq!(m.macs_issued, 100);
@@ -74,9 +96,17 @@ mod tests {
 
     #[test]
     fn effective_cycles_take_the_bottleneck() {
-        let c = SimCounters { compute_cycles: 10, dram_cycles: 25, ..Default::default() };
+        let c = SimCounters {
+            compute_cycles: 10,
+            dram_cycles: 25,
+            ..Default::default()
+        };
         assert_eq!(c.effective_cycles(), 25);
-        let c = SimCounters { compute_cycles: 30, dram_cycles: 25, ..Default::default() };
+        let c = SimCounters {
+            compute_cycles: 30,
+            dram_cycles: 25,
+            ..Default::default()
+        };
         assert_eq!(c.effective_cycles(), 30);
     }
 }

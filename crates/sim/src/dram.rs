@@ -46,7 +46,10 @@ pub fn dram_traffic_bits(chip: &ChipConfig, volumes: &TrafficVolumes) -> DramTra
     let read_bits = dma_transfer_bits(volumes.dense_elems, volumes.dense_nonzero, bits)
         + dma_transfer_bits(volumes.sched_elems, volumes.sched_nonzero, bits);
     let write_bits = dma_transfer_bits(volumes.out_elems, volumes.out_nonzero, bits);
-    DramTraffic { read_bits, write_bits }
+    DramTraffic {
+        read_bits,
+        write_bits,
+    }
 }
 
 #[cfg(test)]
@@ -84,7 +87,10 @@ mod tests {
     #[test]
     fn cycles_respect_peak_bandwidth() {
         let chip = ChipConfig::paper();
-        let t = DramTraffic { read_bits: 409_600, write_bits: 0 };
+        let t = DramTraffic {
+            read_bits: 409_600,
+            write_bits: 0,
+        };
         // 409.6 bits/cycle at 500 MHz -> exactly 1000 cycles.
         assert_eq!(t.cycles(&chip.dram, chip.frequency_mhz), 1000);
     }
@@ -97,6 +103,9 @@ mod tests {
         // value bits halve; bitmap overhead stays.
         let value_bits_fp32 = (1024 + 2048 + 512) * 32;
         let value_bits_bf16 = (1024 + 2048 + 512) * 16;
-        assert_eq!(fp32.total_bits() - bf16.total_bits(), value_bits_fp32 - value_bits_bf16);
+        assert_eq!(
+            fp32.total_bits() - bf16.total_bits(),
+            value_bits_fp32 - value_bits_bf16
+        );
     }
 }

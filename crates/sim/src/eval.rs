@@ -1,0 +1,274 @@
+//! Evaluation specifications: sampling effort, training progress, seed.
+//!
+//! [`EvalSpec`] used to live in the bench crate; it moved next to the
+//! simulator so one serializable pair — [`ChipConfig`](crate::ChipConfig)
+//! plus `EvalSpec` — fully describes an experiment's machine and
+//! methodology.
+
+use std::fmt;
+use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use tensordash_trace::SampleSpec;
+
+/// How to evaluate a model: sampling effort, training progress, seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalSpec {
+    /// Stream sampling caps.
+    pub sample: SampleSpec,
+    /// Training progress in `[0, 1]` (0.45 ≈ the stable mid-training
+    /// plateau the headline figures report).
+    pub progress: f64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl EvalSpec {
+    /// The sweep default: 32 streams × 512 rows at mid-training.
+    #[must_use]
+    pub fn sweep() -> Self {
+        EvalSpec {
+            sample: SampleSpec::new(32, 512),
+            progress: 0.45,
+            seed: 0xDA5A,
+        }
+    }
+
+    /// A heavier spec for headline numbers: 64 streams × 2048 rows.
+    #[must_use]
+    pub fn headline() -> Self {
+        EvalSpec {
+            sample: SampleSpec::new(64, 2048),
+            progress: 0.45,
+            seed: 0xDA5A,
+        }
+    }
+
+    /// Same spec at a different training progress.
+    #[must_use]
+    pub fn at_progress(mut self, progress: f64) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// A validated builder starting from [`EvalSpec::sweep`].
+    #[must_use]
+    pub fn builder() -> EvalSpecBuilder {
+        EvalSpecBuilder::default()
+    }
+}
+
+impl Default for EvalSpec {
+    fn default() -> Self {
+        EvalSpec::sweep()
+    }
+}
+
+/// Why an [`EvalSpecBuilder`] (or a deserialized document) was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalSpecError {
+    /// Training progress outside `[0, 1]`.
+    Progress(f64),
+    /// Sampling caps must both be positive.
+    Streams {
+        /// Requested stream cap.
+        max_windows: usize,
+        /// Requested rows-per-stream cap.
+        max_rows: usize,
+    },
+}
+
+impl fmt::Display for EvalSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalSpecError::Progress(p) => {
+                write!(f, "training progress must be in [0, 1], got {p}")
+            }
+            EvalSpecError::Streams {
+                max_windows,
+                max_rows,
+            } => write!(
+                f,
+                "sampling caps must be positive, got {max_windows} streams x {max_rows} rows"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalSpecError {}
+
+/// Fluent, validated construction of an [`EvalSpec`].
+///
+/// ```
+/// use tensordash_sim::EvalSpec;
+///
+/// let spec = EvalSpec::builder().streams(16, 128).progress(0.3).seed(9).build().unwrap();
+/// assert_eq!(spec.sample.max_windows, 16);
+/// assert!(EvalSpec::builder().progress(1.5).build().is_err());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EvalSpecBuilder {
+    sample: SampleSpec,
+    // Raw caps from `streams`, validated in `build` (never panics).
+    streams: Option<(usize, usize)>,
+    progress: f64,
+    seed: u64,
+}
+
+impl Default for EvalSpecBuilder {
+    fn default() -> Self {
+        let spec = EvalSpec::sweep();
+        EvalSpecBuilder {
+            sample: spec.sample,
+            streams: None,
+            progress: spec.progress,
+            seed: spec.seed,
+        }
+    }
+}
+
+impl EvalSpecBuilder {
+    /// Full sampling caps.
+    #[must_use]
+    pub fn sample(mut self, sample: SampleSpec) -> Self {
+        self.sample = sample;
+        self.streams = None;
+        self
+    }
+
+    /// Shorthand for `sample(SampleSpec::new(max_windows, max_rows))`;
+    /// zero caps surface as [`EvalSpecError::Streams`] from
+    /// [`build`](EvalSpecBuilder::build) rather than panicking.
+    #[must_use]
+    pub fn streams(mut self, max_windows: usize, max_rows: usize) -> Self {
+        self.streams = Some((max_windows, max_rows));
+        self
+    }
+
+    /// Training progress in `[0, 1]`.
+    #[must_use]
+    pub fn progress(mut self, progress: f64) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Trace seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and assembles the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalSpecError::Progress`] when progress is outside
+    /// `[0, 1]` and [`EvalSpecError::Streams`] when a
+    /// [`streams`](EvalSpecBuilder::streams) cap is zero.
+    pub fn build(self) -> Result<EvalSpec, EvalSpecError> {
+        if !(0.0..=1.0).contains(&self.progress) || self.progress.is_nan() {
+            return Err(EvalSpecError::Progress(self.progress));
+        }
+        let sample = match self.streams {
+            Some((max_windows, max_rows)) => {
+                if max_windows == 0 || max_rows == 0 {
+                    return Err(EvalSpecError::Streams {
+                        max_windows,
+                        max_rows,
+                    });
+                }
+                SampleSpec::new(max_windows, max_rows)
+            }
+            None => self.sample,
+        };
+        Ok(EvalSpec {
+            sample,
+            progress: self.progress,
+            seed: self.seed,
+        })
+    }
+}
+
+impl Serialize for EvalSpec {
+    fn serialize(&self) -> Value {
+        Value::Table(vec![
+            ("sample".to_string(), self.sample.serialize()),
+            ("progress".to_string(), self.progress.serialize()),
+            ("seed".to_string(), self.seed.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for EvalSpec {
+    /// Every key is optional and defaults to [`EvalSpec::sweep`]; unknown
+    /// keys are rejected (with every field defaulted, a typo would
+    /// silently evaluate the wrong methodology), and the result passes
+    /// through [`EvalSpecBuilder::build`] validation.
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        value.expect_keys(&["sample", "progress", "seed"])?;
+        let mut builder = EvalSpec::builder();
+        if let Some(v) = value.get("sample") {
+            builder = builder.sample(SampleSpec::deserialize(v).map_err(|e| e.at("sample"))?);
+        }
+        if let Some(v) = value.get("progress") {
+            builder = builder.progress(v.as_float().map_err(|e| e.at("progress"))?);
+        }
+        if let Some(v) = value.get("seed") {
+            builder = builder.seed(u64::deserialize(v).map_err(|e| e.at("seed"))?);
+        }
+        builder.build().map_err(|e| SerdeError::new(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensordash_serde::{from_toml_str, to_toml_string};
+
+    #[test]
+    fn builder_rejects_zero_stream_caps_without_panicking() {
+        assert_eq!(
+            EvalSpec::builder().streams(0, 32).build().unwrap_err(),
+            EvalSpecError::Streams {
+                max_windows: 0,
+                max_rows: 32
+            }
+        );
+        assert_eq!(
+            EvalSpec::builder().streams(8, 0).build().unwrap_err(),
+            EvalSpecError::Streams {
+                max_windows: 8,
+                max_rows: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_document_keys_are_rejected() {
+        let err = from_toml_str::<EvalSpec>("progres = 0.2").unwrap_err();
+        assert!(err.to_string().contains("unknown key `progres`"), "{err}");
+    }
+
+    #[test]
+    fn builder_validates_progress() {
+        assert!(EvalSpec::builder().progress(0.0).build().is_ok());
+        assert!(EvalSpec::builder().progress(1.0).build().is_ok());
+        assert!(EvalSpec::builder().progress(-0.1).build().is_err());
+        assert!(EvalSpec::builder().progress(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_toml() {
+        let spec = EvalSpec::headline().at_progress(0.75);
+        let text = to_toml_string(&spec).unwrap();
+        assert_eq!(from_toml_str::<EvalSpec>(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn partial_documents_inherit_sweep_defaults() {
+        let spec: EvalSpec = from_toml_str("progress = 0.2").unwrap();
+        assert_eq!(spec.sample, EvalSpec::sweep().sample);
+        assert_eq!(spec.seed, EvalSpec::sweep().seed);
+        assert!((spec.progress - 0.2).abs() < 1e-12);
+        assert!(from_toml_str::<EvalSpec>("progress = 7.0").is_err());
+    }
+}

@@ -23,6 +23,11 @@ pub enum ExecMode {
     TensorDash,
 }
 
+tensordash_serde::impl_serde_enum!(ExecMode {
+    Baseline,
+    TensorDash
+});
+
 /// Result of simulating one operation of one layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpSim {
@@ -37,6 +42,13 @@ pub struct OpSim {
     pub sampled_speedup: f64,
 }
 
+tensordash_serde::impl_serde_struct!(OpSim {
+    mode,
+    compute_cycles,
+    counters,
+    sampled_speedup
+});
+
 /// Simulates one operation on both machines at once, sharing the (dominant)
 /// bit-exact tile simulation between them.
 ///
@@ -44,13 +56,13 @@ pub struct OpSim {
 ///
 /// Panics if the trace's lane count differs from the chip's PE width, or if
 /// the trace has no sampled windows.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulator::new(chip).simulate_pair(&trace)` instead"
+)]
 #[must_use]
 pub fn simulate_pair(chip: &ChipConfig, trace: &OpTrace) -> (OpSim, OpSim) {
-    let sampled = run_sampled(chip, trace);
-    (
-        finish(chip, trace, ExecMode::TensorDash, &sampled),
-        finish(chip, trace, ExecMode::Baseline, &sampled),
-    )
+    simulate_pair_impl(chip, trace)
 }
 
 /// Simulates one operation end to end.
@@ -59,8 +71,24 @@ pub fn simulate_pair(chip: &ChipConfig, trace: &OpTrace) -> (OpSim, OpSim) {
 ///
 /// Panics if the trace's lane count differs from the chip's PE width, or if
 /// the trace has no sampled windows.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulator::new(chip).simulate(&trace, mode)` instead"
+)]
 #[must_use]
 pub fn simulate_op(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode) -> OpSim {
+    simulate_op_impl(chip, trace, mode)
+}
+
+pub(crate) fn simulate_pair_impl(chip: &ChipConfig, trace: &OpTrace) -> (OpSim, OpSim) {
+    let sampled = run_sampled(chip, trace);
+    (
+        finish(chip, trace, ExecMode::TensorDash, &sampled),
+        finish(chip, trace, ExecMode::Baseline, &sampled),
+    )
+}
+
+pub(crate) fn simulate_op_impl(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode) -> OpSim {
     let sampled = run_sampled(chip, trace);
     finish(chip, trace, mode, &sampled)
 }
@@ -126,8 +154,7 @@ fn finish(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode, sampled: &Sampled)
     // Scale to the full operation: average group cycles × group count ×
     // passes, spread across tiles.
     let scale_groups = full_groups as f64 / sampled_groups as f64;
-    let full_tile_cycles_td =
-        sampled_td_cycles as f64 * row_scale * scale_groups * passes as f64;
+    let full_tile_cycles_td = sampled_td_cycles as f64 * row_scale * scale_groups * passes as f64;
     let full_tile_cycles_base =
         trace.total_rows_per_window as f64 * full_groups as f64 * passes as f64;
 
@@ -139,14 +166,11 @@ fn finish(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode, sampled: &Sampled)
     // Effectual MACs in the full op (each effectual slot is processed once
     // per active column per pass; the final pass may have idle columns,
     // counted via dense_side_outputs exactly).
-    let effectual_slots =
-        sampled_macs_per_column as f64 * window_scale * row_scale;
+    let effectual_slots = sampled_macs_per_column as f64 * window_scale * row_scale;
     let active_columns = trace.dims.dense_side_outputs(trace.op) as f64;
     let macs_issued = match mode {
         ExecMode::TensorDash => effectual_slots * active_columns,
-        ExecMode::Baseline => {
-            trace.dense_rows_total() as f64 * lanes as f64 * active_columns
-        }
+        ExecMode::Baseline => trace.dense_rows_total() as f64 * lanes as f64 * active_columns,
     };
 
     // Memory traffic (identical structure for both machines; both compress
@@ -198,13 +222,25 @@ fn finish(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode, sampled: &Sampled)
         ExecMode::Baseline => 1.0,
     };
 
-    OpSim { mode, compute_cycles, counters, sampled_speedup }
+    OpSim {
+        mode,
+        compute_cycles,
+        counters,
+        sampled_speedup,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Simulator;
     use tensordash_trace::{ConvDims, SampleSpec, SparsityGen, UniformSparsity};
+
+    /// The session API drives all exec tests (the deprecated free function
+    /// of the same name is covered by `session::tests`).
+    fn simulate_op(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode) -> OpSim {
+        Simulator::new(*chip).simulate(trace, mode)
+    }
 
     fn trace(sparsity: f64) -> OpTrace {
         let dims = ConvDims::conv_square(4, 64, 14, 64, 3, 1, 1);
@@ -246,7 +282,10 @@ mod tests {
         let base = simulate_op(&chip, &t, ExecMode::Baseline);
         let speedup = base.compute_cycles as f64 / td.compute_cycles as f64;
         assert!(speedup > 2.4, "speedup {speedup}");
-        assert!(speedup <= 3.0 + 1e-9, "speedup {speedup} beats the depth limit");
+        assert!(
+            speedup <= 3.0 + 1e-9,
+            "speedup {speedup} beats the depth limit"
+        );
     }
 
     #[test]
@@ -276,15 +315,28 @@ mod tests {
     fn scheduler_steps_zero_for_baseline() {
         let chip = ChipConfig::paper();
         let t = trace(0.5);
-        assert_eq!(simulate_op(&chip, &t, ExecMode::Baseline).counters.scheduler_steps, 0);
-        assert!(simulate_op(&chip, &t, ExecMode::TensorDash).counters.scheduler_steps > 0);
+        assert_eq!(
+            simulate_op(&chip, &t, ExecMode::Baseline)
+                .counters
+                .scheduler_steps,
+            0
+        );
+        assert!(
+            simulate_op(&chip, &t, ExecMode::TensorDash)
+                .counters
+                .scheduler_steps
+                > 0
+        );
     }
 
     #[test]
     fn more_tiles_cut_compute_cycles() {
         let t = trace(0.5);
         let chip16 = ChipConfig::paper();
-        let chip4 = ChipConfig { tiles: 4, ..ChipConfig::paper() };
+        let chip4 = ChipConfig {
+            tiles: 4,
+            ..ChipConfig::paper()
+        };
         let c16 = simulate_op(&chip16, &t, ExecMode::TensorDash).compute_cycles;
         let c4 = simulate_op(&chip4, &t, ExecMode::TensorDash).compute_cycles;
         assert!((c4 as f64 / c16 as f64 - 4.0).abs() < 0.05);

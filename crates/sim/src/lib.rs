@@ -22,16 +22,22 @@
 //! the same sampling methodology the paper uses (one traced batch per
 //! epoch).
 //!
+//! The public API is the owning [`Simulator`] session: build a validated
+//! [`ChipConfig`] (every knob of Table 2, TOML/JSON-serializable), open a
+//! session on it, and drive single operations, TensorDash/baseline pairs,
+//! or thread-pooled batches:
+//!
 //! ```
-//! use tensordash_sim::{simulate_op, ChipConfig, ExecMode};
+//! use tensordash_sim::{ChipConfig, ExecMode, Simulator};
 //! use tensordash_trace::{ConvDims, SampleSpec, SparsityGen, TrainingOp, UniformSparsity};
 //!
-//! let chip = ChipConfig::paper();
+//! let chip = ChipConfig::builder().tiles(16).rows(4).cols(4).build().unwrap();
+//! let sim = Simulator::new(chip);
 //! let dims = ConvDims::conv_square(4, 64, 14, 64, 3, 1, 1);
 //! let trace = UniformSparsity::new(0.6).op_trace(
-//!     dims, TrainingOp::Forward, chip.tile.pe.lanes(), &SampleSpec::default(), 1);
-//! let run = simulate_op(&chip, &trace, ExecMode::TensorDash);
-//! let base = simulate_op(&chip, &trace, ExecMode::Baseline);
+//!     dims, TrainingOp::Forward, sim.chip().tile.pe.lanes(), &SampleSpec::default(), 1);
+//! let run = sim.simulate(&trace, ExecMode::TensorDash);
+//! let base = sim.simulate(&trace, ExecMode::Baseline);
 //! let speedup = base.compute_cycles as f64 / run.compute_cycles as f64;
 //! assert!(speedup > 1.5 && speedup <= 3.0);
 //! ```
@@ -42,13 +48,18 @@
 pub mod config;
 pub mod counters;
 pub mod dram;
+pub mod eval;
 pub mod exec;
 pub mod report;
+pub mod session;
 pub mod tile;
 
-pub use config::{ChipConfig, DramConfig, SramConfig, TileConfig};
+pub use config::{ChipConfig, ChipConfigBuilder, ConfigError, DramConfig, SramConfig, TileConfig};
 pub use counters::SimCounters;
 pub use dram::{dram_traffic_bits, DramTraffic};
+pub use eval::{EvalSpec, EvalSpecBuilder, EvalSpecError};
+#[allow(deprecated)]
 pub use exec::{simulate_op, simulate_pair, ExecMode, OpSim};
-pub use report::{LayerReport, ModelReport, OpAggregate};
+pub use report::{speedup_ratio, LayerReport, ModelReport, OpAggregate};
+pub use session::Simulator;
 pub use tile::{GroupRun, Tile};

@@ -15,15 +15,41 @@ pub struct OpAggregate {
     pub baseline: OpSim,
 }
 
+tensordash_serde::impl_serde_struct!(OpAggregate {
+    op,
+    tensordash,
+    baseline
+});
+
 impl OpAggregate {
     /// Compute-cycle speedup of TensorDash over the baseline.
+    ///
+    /// Zero-cycle conventions (see [`speedup_ratio`]): a `0 / 0` pair is a
+    /// no-op operation and reports `1.0` (no speedup, no slowdown); a
+    /// TensorDash count of zero against a non-zero baseline reports the
+    /// baseline cycle count itself — the speedup as if TensorDash had
+    /// taken a single cycle, keeping the value finite and monotone in the
+    /// baseline cost.
     #[must_use]
     pub fn speedup(&self) -> f64 {
-        if self.tensordash.compute_cycles == 0 {
-            1.0
-        } else {
-            self.baseline.compute_cycles as f64 / self.tensordash.compute_cycles as f64
-        }
+        speedup_ratio(self.baseline.compute_cycles, self.tensordash.compute_cycles)
+    }
+}
+
+/// The repository-wide convention for `baseline / tensordash` cycle
+/// ratios:
+///
+/// * both zero → `1.0` (an empty or no-op measurement is neutral);
+/// * only `tensordash` zero → `baseline as f64`, i.e. the speedup had
+///   TensorDash spent one cycle — finite, and still growing with the
+///   amount of baseline work eliminated;
+/// * otherwise the plain ratio.
+#[must_use]
+pub fn speedup_ratio(baseline_cycles: u64, tensordash_cycles: u64) -> f64 {
+    match (baseline_cycles, tensordash_cycles) {
+        (0, 0) => 1.0,
+        (base, 0) => base as f64,
+        (base, td) => base as f64 / td as f64,
     }
 }
 
@@ -35,6 +61,8 @@ pub struct LayerReport {
     /// Per-operation results.
     pub ops: Vec<OpAggregate>,
 }
+
+tensordash_serde::impl_serde_struct!(LayerReport { label, ops });
 
 impl LayerReport {
     /// Total baseline cycles across this layer's operations.
@@ -59,9 +87,12 @@ pub struct ModelReport {
     pub layers: Vec<LayerReport>,
 }
 
+tensordash_serde::impl_serde_struct!(ModelReport { name, layers });
+
 impl ModelReport {
     /// Speedup for one operation type, cycle-weighted across layers
-    /// (the Fig 13 per-op bars).
+    /// (the Fig 13 per-op bars). Zero-cycle pairs follow the
+    /// [`speedup_ratio`] convention.
     #[must_use]
     pub fn op_speedup(&self, op: TrainingOp) -> f64 {
         let (mut base, mut td) = (0u64, 0u64);
@@ -71,23 +102,16 @@ impl ModelReport {
                 td += agg.tensordash.compute_cycles;
             }
         }
-        if td == 0 {
-            1.0
-        } else {
-            base as f64 / td as f64
-        }
+        speedup_ratio(base, td)
     }
 
-    /// Whole-training-step speedup (the Fig 13 "Total" bar).
+    /// Whole-training-step speedup (the Fig 13 "Total" bar). Zero-cycle
+    /// pairs follow the [`speedup_ratio`] convention.
     #[must_use]
     pub fn total_speedup(&self) -> f64 {
         let base: u64 = self.layers.iter().map(LayerReport::baseline_cycles).sum();
         let td: u64 = self.layers.iter().map(LayerReport::tensordash_cycles).sum();
-        if td == 0 {
-            1.0
-        } else {
-            base as f64 / td as f64
-        }
+        speedup_ratio(base, td)
     }
 
     /// Merged TensorDash counters across all layers and operations.
@@ -116,12 +140,11 @@ impl ModelReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ChipConfig;
-    use crate::exec::{simulate_op, ExecMode};
+    use crate::session::Simulator;
     use tensordash_trace::{ConvDims, SampleSpec, SparsityGen, UniformSparsity};
 
     fn layer_report(sparsity: f64, seed: u64) -> LayerReport {
-        let chip = ChipConfig::paper();
+        let sim = Simulator::paper();
         let dims = ConvDims::conv_square(2, 32, 8, 32, 3, 1, 1);
         let ops = TrainingOp::ALL
             .iter()
@@ -133,14 +156,13 @@ mod tests {
                     &SampleSpec::default(),
                     seed,
                 );
-                OpAggregate {
-                    op,
-                    tensordash: simulate_op(&chip, &t, ExecMode::TensorDash),
-                    baseline: simulate_op(&chip, &t, ExecMode::Baseline),
-                }
+                sim.aggregate(&t)
             })
             .collect();
-        LayerReport { label: format!("conv-s{sparsity}"), ops }
+        LayerReport {
+            label: format!("conv-s{sparsity}"),
+            ops,
+        }
     }
 
     #[test]
@@ -153,8 +175,93 @@ mod tests {
         assert!(total > 1.0 && total < 3.0);
         for op in TrainingOp::ALL {
             let s = report.op_speedup(op);
-            assert!(s >= 1.0 && s <= 3.0, "{op}: {s}");
+            assert!((1.0..=3.0).contains(&s), "{op}: {s}");
         }
+    }
+
+    fn op_sim(mode: crate::ExecMode, compute_cycles: u64) -> crate::OpSim {
+        crate::OpSim {
+            mode,
+            compute_cycles,
+            counters: SimCounters {
+                compute_cycles,
+                ..SimCounters::default()
+            },
+            sampled_speedup: 1.0,
+        }
+    }
+
+    fn aggregate(base: u64, td: u64) -> OpAggregate {
+        OpAggregate {
+            op: TrainingOp::Forward,
+            tensordash: op_sim(crate::ExecMode::TensorDash, td),
+            baseline: op_sim(crate::ExecMode::Baseline, base),
+        }
+    }
+
+    #[test]
+    fn speedup_zero_cycle_conventions() {
+        // 0/0: a no-op measurement is neutral.
+        assert_eq!(aggregate(0, 0).speedup(), 1.0);
+        // Baseline work fully eliminated: report baseline cycles (the
+        // speedup had TensorDash taken one cycle), not a silent 1.0.
+        assert_eq!(aggregate(480, 0).speedup(), 480.0);
+        // Plain ratio otherwise.
+        assert_eq!(aggregate(300, 100).speedup(), 3.0);
+        assert_eq!(speedup_ratio(0, 7), 0.0);
+    }
+
+    #[test]
+    fn empty_reports_are_neutral() {
+        let empty = ModelReport {
+            name: "empty".into(),
+            layers: vec![],
+        };
+        assert_eq!(empty.total_speedup(), 1.0);
+        for op in TrainingOp::ALL {
+            assert_eq!(empty.op_speedup(op), 1.0);
+        }
+        assert_eq!(empty.tensordash_counters(), SimCounters::default());
+
+        let empty_layer = ModelReport {
+            name: "empty-layer".into(),
+            layers: vec![LayerReport {
+                label: "l0".into(),
+                ops: vec![],
+            }],
+        };
+        assert_eq!(empty_layer.total_speedup(), 1.0);
+        assert_eq!(empty_layer.layers[0].baseline_cycles(), 0);
+    }
+
+    #[test]
+    fn single_op_report_reduces_to_that_op() {
+        let report = ModelReport {
+            name: "single".into(),
+            layers: vec![LayerReport {
+                label: "only".into(),
+                ops: vec![aggregate(900, 400)],
+            }],
+        };
+        assert_eq!(report.total_speedup(), 2.25);
+        assert_eq!(report.op_speedup(TrainingOp::Forward), 2.25);
+        // Ops absent from the report are neutral, not contaminated.
+        assert_eq!(report.op_speedup(TrainingOp::InputGrad), 1.0);
+        assert_eq!(report.op_speedup(TrainingOp::WeightGrad), 1.0);
+    }
+
+    #[test]
+    fn reports_roundtrip_through_json_and_toml() {
+        let report = ModelReport {
+            name: "toy".into(),
+            layers: vec![layer_report(0.6, 1), layer_report(0.2, 2)],
+        };
+        let json = tensordash_serde::to_json_string(&report);
+        let back: ModelReport = tensordash_serde::from_json_str(&json).unwrap();
+        assert_eq!(back, report);
+        let toml = tensordash_serde::to_toml_string(&report).unwrap();
+        let back: ModelReport = tensordash_serde::from_toml_str(&toml).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]
@@ -165,7 +272,11 @@ mod tests {
         };
         let td = report.tensordash_counters();
         let single = layer_report(0.5, 3);
-        let one: u64 = single.ops.iter().map(|a| a.tensordash.counters.macs_issued).sum();
+        let one: u64 = single
+            .ops
+            .iter()
+            .map(|a| a.tensordash.counters.macs_issued)
+            .sum();
         assert!(td.macs_issued > one);
         assert!(td.compute_cycles > 0);
         assert_eq!(report.baseline_counters().scheduler_steps, 0);

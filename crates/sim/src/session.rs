@@ -1,0 +1,233 @@
+//! The owning simulation session: one [`Simulator`] per chip
+//! configuration, with single-op, paired, and thread-pooled batch entry
+//! points.
+//!
+//! This is the public API experiments are written against; the free
+//! functions in [`exec`](crate::exec) remain as deprecated shims.
+
+use crate::config::ChipConfig;
+use crate::exec::{self, ExecMode, OpSim};
+use crate::report::{LayerReport, ModelReport, OpAggregate};
+use tensordash_trace::OpTrace;
+
+/// A simulation session owning the chip being modelled.
+///
+/// Construction is infallible from an existing [`ChipConfig`]; pair it
+/// with [`ChipConfig::builder`] for validated custom machines:
+///
+/// ```
+/// use tensordash_sim::{ExecMode, Simulator};
+/// use tensordash_trace::{ConvDims, SampleSpec, SparsityGen, TrainingOp, UniformSparsity};
+///
+/// let sim = Simulator::paper();
+/// let dims = ConvDims::conv_square(4, 64, 14, 64, 3, 1, 1);
+/// let trace = UniformSparsity::new(0.6).op_trace(
+///     dims, TrainingOp::Forward, sim.chip().tile.pe.lanes(), &SampleSpec::default(), 1);
+/// let (td, base) = sim.simulate_pair(&trace);
+/// let speedup = base.compute_cycles as f64 / td.compute_cycles as f64;
+/// assert!(speedup > 1.5 && speedup <= 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Simulator {
+    chip: ChipConfig,
+    threads: usize,
+}
+
+impl Simulator {
+    /// A session for the given chip.
+    #[must_use]
+    pub fn new(chip: ChipConfig) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map_or(1, usize::from)
+            .min(8);
+        Simulator { chip, threads }
+    }
+
+    /// A session on the paper's Table 2 chip.
+    #[must_use]
+    pub fn paper() -> Self {
+        Simulator::new(ChipConfig::paper())
+    }
+
+    /// Overrides the worker-thread count used by
+    /// [`simulate_batch`](Simulator::simulate_batch) (defaults to the
+    /// available parallelism, capped at 8). Results are identical at any
+    /// thread count; this only changes wall-clock time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "simulator needs at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The chip this session simulates.
+    #[must_use]
+    pub fn chip(&self) -> &ChipConfig {
+        &self.chip
+    }
+
+    /// Simulates one operation on one machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's lane count differs from the chip's PE width,
+    /// or if the trace has no sampled windows.
+    #[must_use]
+    pub fn simulate(&self, trace: &OpTrace, mode: ExecMode) -> OpSim {
+        exec::simulate_op_impl(&self.chip, trace, mode)
+    }
+
+    /// Simulates one operation on both machines at once, sharing the
+    /// (dominant) bit-exact tile simulation between them.
+    ///
+    /// # Panics
+    ///
+    /// As [`simulate`](Simulator::simulate).
+    #[must_use]
+    pub fn simulate_pair(&self, trace: &OpTrace) -> (OpSim, OpSim) {
+        exec::simulate_pair_impl(&self.chip, trace)
+    }
+
+    /// Simulates one operation on both machines and packages the result as
+    /// a report row.
+    ///
+    /// # Panics
+    ///
+    /// As [`simulate`](Simulator::simulate).
+    #[must_use]
+    pub fn aggregate(&self, trace: &OpTrace) -> OpAggregate {
+        let (tensordash, baseline) = self.simulate_pair(trace);
+        OpAggregate {
+            op: trace.op,
+            tensordash,
+            baseline,
+        }
+    }
+
+    /// Simulates labelled groups of operations — typically one group per
+    /// layer — across a scoped thread pool, returning one [`LayerReport`]
+    /// per group in input order.
+    ///
+    /// Work is chunked across `min(available cores, 8)` threads (see
+    /// [`with_threads`](Simulator::with_threads)); each trace simulation
+    /// is independent, so reports are bit-identical to a sequential run.
+    ///
+    /// # Panics
+    ///
+    /// As [`simulate`](Simulator::simulate), or if a worker thread panics.
+    #[must_use]
+    pub fn simulate_batch(&self, groups: &[(&str, &[OpTrace])]) -> Vec<LayerReport> {
+        let chunk = groups.len().div_ceil(self.threads).max(1);
+        let mut layers: Vec<LayerReport> = Vec::with_capacity(groups.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .chunks(chunk)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(label, ops)| LayerReport {
+                                label: (*label).to_string(),
+                                ops: ops.iter().map(|t| self.aggregate(t)).collect(),
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                layers.extend(handle.join().expect("layer simulation thread panicked"));
+            }
+        });
+        layers
+    }
+
+    /// As [`simulate_batch`](Simulator::simulate_batch), wrapping the
+    /// layers into a named [`ModelReport`].
+    #[must_use]
+    pub fn simulate_model(&self, name: &str, groups: &[(&str, &[OpTrace])]) -> ModelReport {
+        ModelReport {
+            name: name.to_string(),
+            layers: self.simulate_batch(groups),
+        }
+    }
+}
+
+impl From<ChipConfig> for Simulator {
+    fn from(chip: ChipConfig) -> Self {
+        Simulator::new(chip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensordash_trace::{ConvDims, SampleSpec, SparsityGen, TrainingOp, UniformSparsity};
+
+    fn traces(sparsity: f64, n: u64) -> Vec<OpTrace> {
+        let dims = ConvDims::conv_square(2, 32, 8, 32, 3, 1, 1);
+        (0..n)
+            .map(|seed| {
+                UniformSparsity::new(sparsity).op_trace(
+                    dims,
+                    TrainingOp::Forward,
+                    16,
+                    &SampleSpec::new(8, 64),
+                    seed,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_bit_for_bit() {
+        let sim = Simulator::paper();
+        let ops = traces(0.55, 12);
+        let groups: Vec<(&str, &[OpTrace])> = ops.chunks(3).map(|c| ("layer", c)).collect();
+        let parallel = sim.simulate_batch(&groups);
+        let sequential: Vec<LayerReport> = groups
+            .iter()
+            .map(|(label, ops)| LayerReport {
+                label: (*label).to_string(),
+                ops: ops.iter().map(|t| sim.aggregate(t)).collect(),
+            })
+            .collect();
+        assert_eq!(parallel, sequential);
+        let single_thread = sim.clone().with_threads(1).simulate_batch(&groups);
+        assert_eq!(parallel, single_thread);
+    }
+
+    #[test]
+    fn batch_preserves_group_order_and_labels() {
+        let sim = Simulator::paper();
+        let ops = traces(0.4, 4);
+        let labels = ["a", "b", "c", "d"];
+        let groups: Vec<(&str, &[OpTrace])> = labels
+            .iter()
+            .zip(ops.chunks(1))
+            .map(|(l, c)| (*l, c))
+            .collect();
+        let layers = sim.simulate_batch(&groups);
+        let got: Vec<&str> = layers.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(got, labels);
+    }
+
+    #[test]
+    fn session_agrees_with_free_functions() {
+        let sim = Simulator::paper();
+        let trace = &traces(0.7, 1)[0];
+        #[allow(deprecated)]
+        let old = crate::exec::simulate_op(sim.chip(), trace, ExecMode::TensorDash);
+        assert_eq!(sim.simulate(trace, ExecMode::TensorDash), old);
+    }
+
+    #[test]
+    fn empty_batch_is_empty_report() {
+        let sim = Simulator::paper();
+        assert!(sim.simulate_batch(&[]).is_empty());
+        assert_eq!(sim.simulate_model("empty", &[]).layers.len(), 0);
+    }
+}

@@ -49,7 +49,10 @@ impl Tile {
     /// Builds a tile with the paper interconnect for its PE geometry.
     #[must_use]
     pub fn new(config: TileConfig) -> Self {
-        Tile { config, scheduler: Scheduler::paper(config.pe) }
+        Tile {
+            config,
+            scheduler: Scheduler::paper(config.pe),
+        }
     }
 
     /// The tile configuration.
@@ -70,7 +73,10 @@ impl Tile {
     /// differ.
     #[must_use]
     pub fn run_group(&self, streams: &[&[u64]]) -> GroupRun {
-        assert!(!streams.is_empty(), "a window group needs at least one stream");
+        assert!(
+            !streams.is_empty(),
+            "a window group needs at least one stream"
+        );
         assert!(
             streams.len() <= self.config.rows,
             "group of {} streams exceeds {} tile rows",
@@ -83,11 +89,17 @@ impl Tile {
             "all streams in a group must have equal length"
         );
         if len == 0 {
-            return GroupRun { cycles: 0, dense_cycles: 0, macs_per_column: 0, scheduler_steps: 0 };
+            return GroupRun {
+                cycles: 0,
+                dense_cycles: 0,
+                macs_per_column: 0,
+                scheduler_steps: 0,
+            };
         }
 
-        let mut engines: Vec<RowEngine> =
-            (0..streams.len()).map(|_| RowEngine::new(self.config.pe)).collect();
+        let mut engines: Vec<RowEngine> = (0..streams.len())
+            .map(|_| RowEngine::new(self.config.pe))
+            .collect();
         let mut iters: Vec<std::iter::Copied<std::slice::Iter<'_, u64>>> =
             streams.iter().map(|s| s.iter().copied()).collect();
         for (engine, iter) in engines.iter_mut().zip(&mut iters) {
@@ -134,7 +146,11 @@ mod tests {
     use tensordash_core::PeGeometry;
 
     fn tile(rows: usize) -> Tile {
-        Tile::new(TileConfig { rows, cols: 4, pe: PeGeometry::paper() })
+        Tile::new(TileConfig {
+            rows,
+            cols: 4,
+            pe: PeGeometry::paper(),
+        })
     }
 
     fn random_stream(seed: u64, rows: usize, density: f64) -> Vec<u64> {
@@ -165,14 +181,16 @@ mod tests {
     #[test]
     fn more_rows_never_run_faster() {
         // min-sync: a larger group is at best as fast as its slowest member.
-        let streams: Vec<Vec<u64>> =
-            (0..16).map(|i| random_stream(i, 400, 0.35)).collect();
+        let streams: Vec<Vec<u64>> = (0..16).map(|i| random_stream(i, 400, 0.35)).collect();
         let mut previous = 0u64;
         for rows in [1usize, 2, 4, 8, 16] {
             let t = tile(rows);
             let refs: Vec<&[u64]> = streams[..rows].iter().map(Vec::as_slice).collect();
             let run = t.run_group(&refs);
-            assert!(run.cycles >= previous, "rows {rows} ran faster than a subset");
+            assert!(
+                run.cycles >= previous,
+                "rows {rows} ran faster than a subset"
+            );
             previous = run.cycles;
         }
     }
@@ -192,7 +210,10 @@ mod tests {
             })
             .max()
             .unwrap();
-        assert!(group.cycles >= solo_max, "group cannot beat its slowest row");
+        assert!(
+            group.cycles >= solo_max,
+            "group cannot beat its slowest row"
+        );
         assert!(group.cycles <= 300, "group cannot be slower than dense");
     }
 

@@ -2,13 +2,17 @@
 
 use proptest::prelude::*;
 use tensordash_core::PeGeometry;
-use tensordash_sim::{simulate_pair, ChipConfig, Tile, TileConfig};
+use tensordash_sim::{ChipConfig, Simulator, Tile, TileConfig};
 use tensordash_trace::{
     ClusteredSparsity, ConvDims, SampleSpec, SparsityGen, TrainingOp, UniformSparsity,
 };
 
 fn tile(rows: usize) -> Tile {
-    Tile::new(TileConfig { rows, cols: 4, pe: PeGeometry::paper() })
+    Tile::new(TileConfig {
+        rows,
+        cols: 4,
+        pe: PeGeometry::paper(),
+    })
 }
 
 proptest! {
@@ -67,7 +71,7 @@ proptest! {
         let op = TrainingOp::ALL[op_idx];
         let trace = ClusteredSparsity::new(sparsity, clustering).op_trace(
             dims, op, 16, &SampleSpec::new(16, 128), 3);
-        let (td, base) = simulate_pair(&chip, &trace);
+        let (td, base) = Simulator::new(chip).simulate_pair(&trace);
         prop_assert!(td.compute_cycles <= base.compute_cycles);
         prop_assert!(td.compute_cycles * 3 >= base.compute_cycles,
             "speedup beyond the staging ceiling");
@@ -83,8 +87,9 @@ proptest! {
             dims, TrainingOp::Forward, 16, &SampleSpec::new(8, 64), 1);
         let dense = UniformSparsity::new(s1).op_trace(
             dims, TrainingOp::Forward, 16, &SampleSpec::new(8, 64), 1);
-        let (td_s, base_s) = simulate_pair(&chip, &sparse);
-        let (td_d, _) = simulate_pair(&chip, &dense);
+        let sim = Simulator::new(chip);
+        let (td_s, base_s) = sim.simulate_pair(&sparse);
+        let (td_d, _) = sim.simulate_pair(&dense);
         prop_assert!(td_s.counters.dram_read_bits <= td_d.counters.dram_read_bits);
         prop_assert_eq!(td_s.counters.dram_read_bits, base_s.counters.dram_read_bits);
     }
@@ -97,8 +102,8 @@ proptest! {
             dims, TrainingOp::Forward, 16, &SampleSpec::new(16, 128), 2);
         let c8 = ChipConfig { tiles: 8, ..ChipConfig::paper() };
         let c16 = ChipConfig::paper();
-        let (a, _) = simulate_pair(&c8, &trace);
-        let (b, _) = simulate_pair(&c16, &trace);
+        let (a, _) = Simulator::new(c8).simulate_pair(&trace);
+        let (b, _) = Simulator::new(c16).simulate_pair(&trace);
         let ratio = a.compute_cycles as f64 / b.compute_cycles as f64;
         prop_assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
     }

@@ -169,7 +169,10 @@ mod tests {
     #[test]
     fn infinities_roundtrip() {
         assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
-        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+        assert_eq!(
+            Bf16::from_f32(f32::NEG_INFINITY).to_f32(),
+            f32::NEG_INFINITY
+        );
     }
 
     #[test]

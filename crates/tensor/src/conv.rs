@@ -43,7 +43,10 @@ impl Conv2dSpec {
     /// The dense 1×1 convolution spec (stride 1, no padding).
     #[must_use]
     pub fn unit() -> Self {
-        Conv2dSpec { stride: 1, padding: 0 }
+        Conv2dSpec {
+            stride: 1,
+            padding: 0,
+        }
     }
 }
 
@@ -329,8 +332,15 @@ mod tests {
         let w = Tensor::full(&[1, 1, 2, 2], 1.0);
         let y = conv2d(&x, &w, &Conv2dSpec::unit()).unwrap();
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
-        assert_eq!(y.data(), &[0.0 + 1.0 + 3.0 + 4.0, 1.0 + 2.0 + 4.0 + 5.0,
-                               3.0 + 4.0 + 6.0 + 7.0, 4.0 + 5.0 + 7.0 + 8.0]);
+        assert_eq!(
+            y.data(),
+            &[
+                0.0 + 1.0 + 3.0 + 4.0,
+                1.0 + 2.0 + 4.0 + 5.0,
+                3.0 + 4.0 + 6.0 + 7.0,
+                4.0 + 5.0 + 7.0 + 8.0
+            ]
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = TensorError::ShapeMismatch { expected: vec![1, 2], actual: vec![3] };
+        let e = TensorError::ShapeMismatch {
+            expected: vec![1, 2],
+            actual: vec![3],
+        };
         assert!(e.to_string().contains("[1, 2]"));
         let e = TensorError::ContractionMismatch { left: 4, right: 5 };
         assert!(e.to_string().contains('4') && e.to_string().contains('5'));

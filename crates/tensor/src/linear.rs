@@ -177,7 +177,12 @@ mod tests {
         let gx = linear_backward_input(&gy, &w).unwrap();
         let eps = 1e-3f32;
         let loss = |x: &Tensor| -> f64 {
-            linear(x, &w).unwrap().data().iter().map(|&v| f64::from(v)).sum()
+            linear(x, &w)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|&v| f64::from(v))
+                .sum()
         };
         let mut xp = x.clone();
         for idx in 0..8 {
@@ -201,7 +206,12 @@ mod tests {
         assert_eq!(gw.shape(), w.shape());
         let eps = 1e-3f32;
         let loss = |w: &Tensor| -> f64 {
-            linear(&x, w).unwrap().data().iter().map(|&v| f64::from(v)).sum()
+            linear(&x, w)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|&v| f64::from(v))
+                .sum()
         };
         let mut wp = w.clone();
         for idx in 0..12 {

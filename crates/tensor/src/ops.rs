@@ -28,7 +28,11 @@ pub fn relu(x: &Tensor) -> Tensor {
 /// Panics if the shapes differ.
 #[must_use]
 pub fn relu_backward(grad_out: &Tensor, forward_input: &Tensor) -> Tensor {
-    assert_eq!(grad_out.shape(), forward_input.shape(), "relu backward shape mismatch");
+    assert_eq!(
+        grad_out.shape(),
+        forward_input.shape(),
+        "relu backward shape mismatch"
+    );
     let mut out = grad_out.clone();
     for (g, &x) in out.data_mut().iter_mut().zip(forward_input.data()) {
         if x <= 0.0 {
@@ -90,7 +94,11 @@ pub fn maxpool2d(x: &Tensor, k: usize) -> Result<(Tensor, Vec<usize>), TensorErr
 /// Panics if `argmax` does not match `grad_out`.
 #[must_use]
 pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[usize], input_len: usize) -> Tensor {
-    assert_eq!(grad_out.len(), argmax.len(), "argmax does not match grad_out");
+    assert_eq!(
+        grad_out.len(),
+        argmax.len(),
+        "argmax does not match grad_out"
+    );
     let mut gx = vec![0.0f32; input_len];
     for (g, &idx) in grad_out.data().iter().zip(argmax) {
         gx[idx] += g;
@@ -267,7 +275,10 @@ pub fn softmax_cross_entropy(
     logits.shape_ref().expect_rank(2)?;
     let (b, k) = (logits.shape()[0], logits.shape()[1]);
     if labels.len() != b {
-        return Err(TensorError::ShapeMismatch { expected: vec![b], actual: vec![labels.len()] });
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![b],
+            actual: vec![labels.len()],
+        });
     }
     let mut grad = Tensor::zeros(&[b, k]);
     let ld = logits.data();

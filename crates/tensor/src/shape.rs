@@ -23,8 +23,13 @@ impl Shape {
             "supported ranks are 1..=4, got {}",
             dims.len()
         );
-        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimensions are not supported");
-        Shape { dims: dims.to_vec() }
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimensions are not supported"
+        );
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The dimensions.
@@ -72,7 +77,10 @@ impl Shape {
         debug_assert_eq!(coords.len(), self.dims.len());
         let mut idx = 0;
         for (i, (&c, &d)) in coords.iter().zip(&self.dims).enumerate() {
-            debug_assert!(c < d, "coordinate {c} out of bounds for dim {i} of extent {d}");
+            debug_assert!(
+                c < d,
+                "coordinate {c} out of bounds for dim {i} of extent {d}"
+            );
             idx = idx * d + c;
         }
         idx
@@ -103,7 +111,10 @@ impl Shape {
         if self.dims.len() == rank {
             Ok(())
         } else {
-            Err(TensorError::RankMismatch { expected: rank, actual: self.dims.len() })
+            Err(TensorError::RankMismatch {
+                expected: rank,
+                actual: self.dims.len(),
+            })
         }
     }
 }
@@ -148,7 +159,10 @@ mod tests {
             s.expect(&[3, 2]),
             Err(TensorError::ShapeMismatch { .. })
         ));
-        assert!(matches!(s.expect_rank(4), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            s.expect_rank(4),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl Tensor {
     #[must_use]
     pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Self {
         let shape = Shape::new(dims);
-        assert_eq!(shape.len(), data.len(), "buffer does not match shape {shape}");
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "buffer does not match shape {shape}"
+        );
         Tensor { shape, data }
     }
 
@@ -156,7 +160,12 @@ impl Tensor {
         assert_eq!(self.shape, other.shape, "add requires equal shapes");
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 
@@ -199,7 +208,11 @@ impl Tensor {
     /// Frobenius norm.
     #[must_use]
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 

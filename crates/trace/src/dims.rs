@@ -11,6 +11,12 @@ pub enum TrainingOp {
     WeightGrad,
 }
 
+tensordash_serde::impl_serde_enum!(TrainingOp {
+    Forward,
+    InputGrad,
+    WeightGrad
+});
+
 impl TrainingOp {
     /// All three operations, in paper order.
     pub const ALL: [TrainingOp; 3] = [
@@ -80,7 +86,17 @@ impl ConvDims {
         stride: usize,
         padding: usize,
     ) -> Self {
-        let d = ConvDims { n, c, h, w, f, kh, kw, stride, padding };
+        let d = ConvDims {
+            n,
+            c,
+            h,
+            w,
+            f,
+            kh,
+            kw,
+            stride,
+            padding,
+        };
         assert!(
             n > 0 && c > 0 && h > 0 && w > 0 && f > 0 && kh > 0 && kw > 0 && stride > 0,
             "conv dimensions must be positive"
@@ -197,8 +213,7 @@ impl std::fmt::Display for ConvDims {
             write!(
                 f,
                 "conv n{} {}x{}x{} f{} k{}x{} s{} p{}",
-                self.n, self.c, self.h, self.w, self.f, self.kh, self.kw, self.stride,
-                self.padding
+                self.n, self.c, self.h, self.w, self.f, self.kh, self.kw, self.stride, self.padding
             )
         }
     }
@@ -238,8 +253,7 @@ mod tests {
         // windows * rows * lanes >= macs / dense_side (padding rounds up).
         let d = ConvDims::conv_square(2, 60, 14, 128, 3, 1, 1);
         let lanes = 16;
-        let per_window_macs =
-            d.rows_per_window(TrainingOp::Forward, lanes) * lanes as u64;
+        let per_window_macs = d.rows_per_window(TrainingOp::Forward, lanes) * lanes as u64;
         assert!(per_window_macs >= (d.c * d.kh * d.kw) as u64);
         assert!(per_window_macs < (d.c * d.kh * d.kw + lanes * d.kh * d.kw) as u64);
     }
@@ -263,7 +277,9 @@ mod tests {
         let totals: Vec<u64> = TrainingOp::ALL
             .iter()
             .map(|&op| {
-                d.windows(op) * d.rows_per_window(op, lanes) * lanes as u64
+                d.windows(op)
+                    * d.rows_per_window(op, lanes)
+                    * lanes as u64
                     * d.dense_side_outputs(op)
             })
             .collect();

@@ -169,8 +169,7 @@ fn forward_window(tensors: &LayerTensors<'_>, widx: u64, lanes: usize) -> Vec<u6
         let iy = (oy * d.stride + ky) as isize - d.padding as isize;
         for kx in 0..d.kw {
             let ix = (ox * d.stride + kx) as isize - d.padding as isize;
-            let in_bounds =
-                iy >= 0 && iy < d.h as isize && ix >= 0 && ix < d.w as isize;
+            let in_bounds = iy >= 0 && iy < d.h as isize && ix >= 0 && ix < d.w as isize;
             for cb in 0..cblocks {
                 let mut mask = 0u64;
                 if in_bounds {
@@ -318,13 +317,14 @@ mod tests {
         (d, a, w, g)
     }
 
-    fn tensors<'a>(
-        d: ConvDims,
-        a: &'a Tensor,
-        w: &'a Tensor,
-        g: &'a Tensor,
-    ) -> LayerTensors<'a> {
-        LayerTensors { dims: d, activations: a, weights: w, grad_out: g, output_nonzero: None }
+    fn tensors<'a>(d: ConvDims, a: &'a Tensor, w: &'a Tensor, g: &'a Tensor) -> LayerTensors<'a> {
+        LayerTensors {
+            dims: d,
+            activations: a,
+            weights: w,
+            grad_out: g,
+            output_nonzero: None,
+        }
     }
 
     #[test]
@@ -412,9 +412,16 @@ mod tests {
     fn fully_connected_traces_work() {
         let d = ConvDims::fully_connected(8, 64, 32);
         let mut rng = StdRng::seed_from_u64(5);
-        let a = Tensor::from_fn(&[8, 64, 1, 1], |_| {
-            if rng.gen_bool(0.5) { 1.0 } else { 0.0 }
-        });
+        let a = Tensor::from_fn(
+            &[8, 64, 1, 1],
+            |_| {
+                if rng.gen_bool(0.5) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let w = Tensor::full(&[32, 64, 1, 1], 1.0);
         let g = Tensor::full(&[8, 32, 1, 1], 1.0);
         let lt = tensors(d, &a, &w, &g);
@@ -438,12 +445,7 @@ mod tests {
     fn row_cap_truncates_streams() {
         let (d, a, w, g) = layer(7, 0.5, 0.5);
         let lt = tensors(d, &a, &w, &g);
-        let t = extract_op_trace(
-            &lt,
-            TrainingOp::Forward,
-            16,
-            &SampleSpec::new(4, 5),
-        );
+        let t = extract_op_trace(&lt, TrainingOp::Forward, 16, &SampleSpec::new(4, 5));
         assert_eq!(t.windows.len(), 4);
         assert_eq!(t.windows[0].masks.len(), 5);
         assert!((t.row_scale() - 18.0 / 5.0).abs() < 1e-12);

@@ -93,7 +93,10 @@ impl UniformSparsity {
     /// Panics unless `0.0 <= sparsity <= 1.0`.
     #[must_use]
     pub fn new(sparsity: f64) -> Self {
-        assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&sparsity),
+            "sparsity must be in [0, 1]"
+        );
         UniformSparsity { sparsity }
     }
 }
@@ -144,9 +147,18 @@ impl ClusteredSparsity {
     /// Panics unless both arguments are in `[0, 1]`.
     #[must_use]
     pub fn new(sparsity: f64, clustering: f64) -> Self {
-        assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
-        assert!((0.0..=1.0).contains(&clustering), "clustering must be in [0, 1]");
-        ClusteredSparsity { sparsity, clustering }
+        assert!(
+            (0.0..=1.0).contains(&sparsity),
+            "sparsity must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&clustering),
+            "clustering must be in [0, 1]"
+        );
+        ClusteredSparsity {
+            sparsity,
+            clustering,
+        }
     }
 
     /// The clustering strength.
@@ -224,8 +236,9 @@ mod tests {
     fn uniform_hits_target_sparsity() {
         let gen = UniformSparsity::new(0.7);
         let mut rng = StdRng::seed_from_u64(1);
-        let masks: Vec<Vec<u64>> =
-            (0..32).map(|i| gen.window_masks(&mut rng, i, 200, 16)).collect();
+        let masks: Vec<Vec<u64>> = (0..32)
+            .map(|i| gen.window_masks(&mut rng, i, 200, 16))
+            .collect();
         let s = measured_sparsity(&masks, 16);
         assert!((s - 0.7).abs() < 0.02, "measured {s}");
     }
@@ -235,8 +248,9 @@ mod tests {
         for clustering in [0.0, 0.3, 0.7] {
             let gen = ClusteredSparsity::new(0.6, clustering);
             let mut rng = StdRng::seed_from_u64(2);
-            let masks: Vec<Vec<u64>> =
-                (0..256).map(|i| gen.window_masks(&mut rng, i, 100, 16)).collect();
+            let masks: Vec<Vec<u64>> = (0..256)
+                .map(|i| gen.window_masks(&mut rng, i, 100, 16))
+                .collect();
             let s = measured_sparsity(&masks, 16);
             assert!(
                 (s - 0.6).abs() < 0.06,
@@ -257,7 +271,10 @@ mod tests {
                 })
                 .collect();
             let mean: f64 = densities.iter().sum::<f64>() / densities.len() as f64;
-            densities.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+            densities
+                .iter()
+                .map(|d| (d - mean) * (d - mean))
+                .sum::<f64>()
                 / densities.len() as f64
         };
         let low = variance(0.1);
@@ -282,11 +299,21 @@ mod tests {
     #[test]
     fn extreme_sparsities_work() {
         let dims = ConvDims::conv_square(1, 16, 8, 16, 3, 1, 1);
-        let dense = UniformSparsity::new(0.0)
-            .op_trace(dims, TrainingOp::Forward, 16, &SampleSpec::default(), 1);
+        let dense = UniformSparsity::new(0.0).op_trace(
+            dims,
+            TrainingOp::Forward,
+            16,
+            &SampleSpec::default(),
+            1,
+        );
         assert_eq!(dense.measured_sparsity(), 0.0);
-        let empty = UniformSparsity::new(1.0)
-            .op_trace(dims, TrainingOp::Forward, 16, &SampleSpec::default(), 1);
+        let empty = UniformSparsity::new(1.0).op_trace(
+            dims,
+            TrainingOp::Forward,
+            16,
+            &SampleSpec::default(),
+            1,
+        );
         assert_eq!(empty.measured_sparsity(), 1.0);
     }
 

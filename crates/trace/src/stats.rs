@@ -21,7 +21,10 @@ impl OpStats {
             total += (w.masks.len() * trace.lanes) as u64;
             remaining += w.nonzeros();
         }
-        OpStats { total_macs: total, remaining_macs: remaining }
+        OpStats {
+            total_macs: total,
+            remaining_macs: remaining,
+        }
     }
 
     /// The paper's potential speedup: `allMACs / remainingMACs` (Fig 1).

@@ -78,8 +78,15 @@ impl SampleSpec {
     /// Panics if either cap is zero.
     #[must_use]
     pub fn new(max_windows: usize, max_rows: usize) -> Self {
-        assert!(max_windows > 0 && max_rows > 0, "sampling caps must be positive");
-        SampleSpec { max_windows, max_rows, block: 16 }
+        assert!(
+            max_windows > 0 && max_rows > 0,
+            "sampling caps must be positive"
+        );
+        SampleSpec {
+            max_windows,
+            max_rows,
+            block: 16,
+        }
     }
 
     /// Sets the contiguous-run length.
@@ -95,11 +102,62 @@ impl SampleSpec {
     }
 }
 
+impl tensordash_serde::Serialize for SampleSpec {
+    fn serialize(&self) -> tensordash_serde::Value {
+        tensordash_serde::Value::Table(vec![
+            (
+                "max_windows".to_string(),
+                tensordash_serde::Serialize::serialize(&self.max_windows),
+            ),
+            (
+                "max_rows".to_string(),
+                tensordash_serde::Serialize::serialize(&self.max_rows),
+            ),
+            (
+                "block".to_string(),
+                tensordash_serde::Serialize::serialize(&self.block),
+            ),
+        ])
+    }
+}
+
+impl tensordash_serde::Deserialize for SampleSpec {
+    /// Funnels through [`SampleSpec::new`]/[`SampleSpec::with_block`] so a
+    /// document cannot construct zero caps. `block` is optional and
+    /// defaults to 16 as in [`SampleSpec::new`].
+    fn deserialize(value: &tensordash_serde::Value) -> Result<Self, tensordash_serde::Error> {
+        value.expect_keys(&["max_windows", "max_rows", "block"])?;
+        let max_windows: usize = value.field("max_windows")?;
+        let max_rows: usize = value.field("max_rows")?;
+        if max_windows == 0 || max_rows == 0 {
+            return Err(tensordash_serde::Error::new(
+                "sampling caps must be positive",
+            ));
+        }
+        let spec = SampleSpec::new(max_windows, max_rows);
+        match value.get("block") {
+            None => Ok(spec),
+            Some(b) => {
+                let block: usize = usize::try_from(b.as_int()?)
+                    .map_err(|_| tensordash_serde::Error::new("block out of range"))?;
+                if block == 0 {
+                    return Err(tensordash_serde::Error::new("block must be positive"));
+                }
+                Ok(spec.with_block(block))
+            }
+        }
+    }
+}
+
 impl Default for SampleSpec {
     /// 64 streams × 4096 rows in runs of 16 — enough for a 16-row tile with
     /// 4 distinct groups while keeping full-model sweeps fast.
     fn default() -> Self {
-        SampleSpec { max_windows: 64, max_rows: 4096, block: 16 }
+        SampleSpec {
+            max_windows: 64,
+            max_rows: 4096,
+            block: 16,
+        }
     }
 }
 

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use tensordash_tensor::Tensor;
 use tensordash_trace::{
-    extract_op_trace, ClusteredSparsity, ConvDims, LayerTensors, OpStats, SampleSpec,
-    SparsityGen, TrainingOp, UniformSparsity,
+    extract_op_trace, ClusteredSparsity, ConvDims, LayerTensors, OpStats, SampleSpec, SparsityGen,
+    TrainingOp, UniformSparsity,
 };
 
 fn sparse_tensor(rng: &mut StdRng, dims: &[usize], density: f64) -> Tensor {

@@ -17,7 +17,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
 
     println!("pre-scheduling a pruned FC layer's weights (4096 rows of 16)");
-    println!("{:>9} {:>12} {:>12} {:>9}", "sparsity", "dense rows", "sched rows", "ratio");
+    println!(
+        "{:>9} {:>12} {:>12} {:>9}",
+        "sparsity", "dense rows", "sched rows", "ratio"
+    );
     for sparsity in [0.0, 0.3, 0.5, 0.7, 0.9] {
         let rows: Vec<Vec<f32>> = (0..4096)
             .map(|_| {
@@ -33,7 +36,11 @@ fn main() {
             })
             .collect();
         let scheduled = ScheduledTensor::compress(&connectivity, &rows);
-        assert_eq!(scheduled.decompress(&connectivity), rows, "lossless round-trip");
+        assert_eq!(
+            scheduled.decompress(&connectivity),
+            rows,
+            "lossless round-trip"
+        );
         println!(
             "{:>8.0}% {:>12} {:>12} {:>8.2}x",
             sparsity * 100.0,
@@ -48,7 +55,13 @@ fn main() {
     let outputs: Vec<Vec<f32>> = (0..512)
         .map(|_| {
             (0..16)
-                .map(|_| if rng.gen_bool(0.4) { rng.gen_range(0.0f32..1.0) } else { 0.0 })
+                .map(|_| {
+                    if rng.gen_bool(0.4) {
+                        rng.gen_range(0.0f32..1.0)
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         })
         .collect();

@@ -13,7 +13,7 @@
 use rand::{rngs::StdRng, SeedableRng};
 use tensordash::core::compress::dma_transfer_bits;
 use tensordash::nn::{Dataset, Network, PruneMethod, Pruner, Sgd, Trainer};
-use tensordash::sim::{simulate_pair, ChipConfig};
+use tensordash::sim::Simulator;
 use tensordash::trace::SampleSpec;
 
 fn train(prune: bool, seed: u64) -> (Trainer, f64) {
@@ -26,20 +26,23 @@ fn train(prune: bool, seed: u64) -> (Trainer, f64) {
     }
     let mut accuracy = 0.0;
     for _ in 0..12 {
-        accuracy = trainer.run_epoch(32, &mut rng).expect("training failed").accuracy;
+        accuracy = trainer
+            .run_epoch(32, &mut rng)
+            .expect("training failed")
+            .accuracy;
     }
     (trainer, accuracy)
 }
 
 fn measure(trainer: &Trainer) -> (f64, u64) {
-    let chip = ChipConfig::paper();
+    let sim = Simulator::paper();
     let sample = SampleSpec::new(16, 256);
     let mut td = 0u64;
     let mut base = 0u64;
     let mut weight_bits = 0u64;
-    for (_, ops) in trainer.traces(chip.tile.pe.lanes(), &sample) {
+    for (_, ops) in trainer.traces(sim.chip().tile.pe.lanes(), &sample) {
         for trace in &ops {
-            let (t, b) = simulate_pair(&chip, trace);
+            let (t, b) = sim.simulate_pair(trace);
             td += t.compute_cycles;
             base += b.compute_cycles;
         }

@@ -19,7 +19,13 @@ fn main() {
     let rows: Vec<PairRow<f32>> = (0..256)
         .map(|_| {
             let a: Vec<f32> = (0..16)
-                .map(|_| if rng.gen_bool(0.35) { rng.gen_range(-1.0..1.0) } else { 0.0 })
+                .map(|_| {
+                    if rng.gen_bool(0.35) {
+                        rng.gen_range(-1.0..1.0)
+                    } else {
+                        0.0
+                    }
+                })
                 .collect();
             let b: Vec<f32> = (0..16).map(|_| rng.gen_range(-0.5..0.5)).collect();
             PairRow { a, b }
@@ -35,7 +41,10 @@ fn main() {
     let pe = TensorDashPe::new(Scheduler::paper(PeGeometry::paper()), SparsitySide::ASide);
     let run = pe.run(rows.clone());
 
-    println!("dense baseline : {:>4} cycles, {:>5} MACs", base.cycles, base.macs);
+    println!(
+        "dense baseline : {:>4} cycles, {:>5} MACs",
+        base.cycles, base.macs
+    );
     println!(
         "TensorDash     : {:>4} cycles, {:>5} MACs  ({:.2}x speedup)",
         run.cycles,

@@ -23,8 +23,11 @@ fn main() {
     println!();
     println!("per-lane movement options (priority order):");
     for lane in 0..4 {
-        let opts: Vec<String> =
-            connectivity.options(lane).iter().map(ToString::to_string).collect();
+        let opts: Vec<String> = connectivity
+            .options(lane)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         println!("  lane {lane}: {}", opts.join(" "));
     }
     println!("conflict-free levels: {:?}", connectivity.levels());

@@ -12,7 +12,7 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use tensordash::nn::{Dataset, Network, Sgd, Trainer};
-use tensordash::sim::{simulate_pair, ChipConfig};
+use tensordash::sim::Simulator;
 use tensordash::trace::SampleSpec;
 
 fn main() {
@@ -21,7 +21,7 @@ fn main() {
     let network = Network::small_cnn(1, 12, 4, &mut rng);
     let mut trainer = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
 
-    let chip = ChipConfig::paper();
+    let sim = Simulator::paper();
     let sample = SampleSpec::new(16, 256);
 
     println!("epoch  loss    acc    act-sparsity  grad-sparsity  TD-speedup");
@@ -32,9 +32,9 @@ fn main() {
         // convolutions of every weighted layer on the Table 2 chip.
         let mut td_cycles = 0u64;
         let mut base_cycles = 0u64;
-        for (_, ops) in trainer.traces(chip.tile.pe.lanes(), &sample) {
+        for (_, ops) in trainer.traces(sim.chip().tile.pe.lanes(), &sample) {
             for trace in &ops {
-                let (td, base) = simulate_pair(&chip, trace);
+                let (td, base) = sim.simulate_pair(trace);
                 td_cycles += td.compute_cycles;
                 base_cycles += base.compute_cycles;
             }

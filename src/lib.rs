@@ -19,26 +19,69 @@
 //!   sparsity generators and statistics (§2).
 //! * [`models`] — geometry + calibrated sparsity profiles for the eight
 //!   evaluated workloads (§4).
-//! * [`sim`] — the cycle-level accelerator simulator: tiles, memory system,
-//!   off-chip DRAM (§3.3–3.4, Table 2).
+//! * [`sim`] — the cycle-level accelerator simulator: the [`Simulator`]
+//!   session, validated chip builders, tiles, memory system, off-chip DRAM
+//!   (§3.3–3.4, Table 2).
 //! * [`energy`] — the 65nm area/power/energy model (§4.3).
+//! * [`serde`] — the dependency-free serialization layer (TOML in, JSON
+//!   out) that makes configs and reports round-trippable.
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use tensordash::core::{PeGeometry, Scheduler};
+//! Experiments are driven through an owning [`Simulator`] session: build a
+//! validated chip (every knob of Table 2, starting from the paper
+//! defaults), open a session, and simulate traces — one op, a
+//! TensorDash/baseline pair, or a whole thread-pooled batch:
 //!
-//! let scheduler = Scheduler::paper(PeGeometry::paper());
-//! // 75%-sparse operand stream: TensorDash approaches its 3x ceiling.
-//! let masks = (0..1000u64).map(|i| 1u64 << (i % 16) | 1 << ((i * 7) % 16));
-//! let run = scheduler.run_masks(masks);
-//! assert!(run.speedup() > 2.0);
 //! ```
+//! use tensordash::sim::{ChipConfig, Simulator};
+//! use tensordash::trace::{ConvDims, SampleSpec, SparsityGen, TrainingOp, UniformSparsity};
+//!
+//! // A 4-tile machine with 8x4 PEs per tile; `build` validates every knob.
+//! let chip = ChipConfig::builder().tiles(4).rows(8).cols(4).build().unwrap();
+//! let sim = Simulator::new(chip);
+//!
+//! // A 60%-sparse synthetic convolution trace (post-ReLU territory).
+//! let dims = ConvDims::conv_square(4, 64, 14, 64, 3, 1, 1);
+//! let trace = UniformSparsity::new(0.6).op_trace(
+//!     dims, TrainingOp::Forward, 16, &SampleSpec::default(), 1);
+//!
+//! let (td, base) = sim.simulate_pair(&trace);
+//! let speedup = base.compute_cycles as f64 / td.compute_cycles as f64;
+//! assert!(speedup > 1.5 && speedup <= 3.0);
+//! ```
+//!
+//! Whole chips, evaluation specs, and reports serialize; an experiment is
+//! data that round-trips through TOML and comes back as JSON:
+//!
+//! ```
+//! use tensordash::sim::ChipConfig;
+//!
+//! let chip: ChipConfig = tensordash::serde::from_toml_str(
+//!     "tiles = 4\n[tile.pe]\ndepth = 2\n",
+//! ).unwrap();
+//! assert_eq!(chip.tile.pe.depth(), 2);
+//! let toml = tensordash::serde::to_toml_string(&chip).unwrap();
+//! assert_eq!(tensordash::serde::from_toml_str::<ChipConfig>(&toml).unwrap(), chip);
+//! ```
+//!
+//! The whole evaluation (every table and figure, plus arbitrary
+//! declarative experiments) runs through one CLI:
+//!
+//! ```text
+//! cargo run --release -p tensordash-bench --bin tensordash -- run all
+//! cargo run --release -p tensordash-bench --bin tensordash -- --config experiment.toml
+//! ```
+//!
+//! See the repository `README.md` for a sample `experiment.toml`.
 
 pub use tensordash_core as core;
 pub use tensordash_energy as energy;
 pub use tensordash_models as models;
 pub use tensordash_nn as nn;
+pub use tensordash_serde as serde;
 pub use tensordash_sim as sim;
 pub use tensordash_tensor as tensor;
 pub use tensordash_trace as trace;
+
+pub use tensordash_sim::Simulator;

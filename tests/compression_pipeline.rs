@@ -40,7 +40,10 @@ fn real_activations_roundtrip_through_scheduled_form() {
 #[test]
 fn sparser_real_tensors_compress_better() {
     let (acts, grads) = trained_tensors();
-    assert!(grads.sparsity() > acts.sparsity(), "gradients should be sparser");
+    assert!(
+        grads.sparsity() > acts.sparsity(),
+        "gradients should be sparser"
+    );
     let c = Connectivity::paper(PeGeometry::paper());
     let act_ratio = ScheduledTensor::compress(&c, &rows_of(&acts)).compression_ratio(32, 3);
     let grad_ratio = ScheduledTensor::compress(&c, &rows_of(&grads)).compression_ratio(32, 3);
@@ -66,8 +69,8 @@ fn backside_scheduler_is_behaviourally_identical_to_frontend_compression() {
     let rows = rows_of(&acts);
     let c = Connectivity::paper(PeGeometry::paper());
     let frontend = ScheduledTensor::compress(&c, &rows);
-    let (backside, cycles) = BacksideScheduler::new(c.clone(), IterativeCost::Iterative)
-        .schedule_output(&rows);
+    let (backside, cycles) =
+        BacksideScheduler::new(c.clone(), IterativeCost::Iterative).schedule_output(&rows);
     assert_eq!(frontend, backside);
     assert_eq!(cycles, frontend.rows().len() as u64 * 6);
 }

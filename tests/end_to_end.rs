@@ -4,7 +4,7 @@
 use rand::{rngs::StdRng, SeedableRng};
 use tensordash::energy::EnergyModel;
 use tensordash::nn::{Dataset, Network, Sgd, Trainer};
-use tensordash::sim::{simulate_pair, ChipConfig};
+use tensordash::sim::{ChipConfig, Simulator};
 use tensordash::trace::SampleSpec;
 
 fn trained(epochs: usize, seed: u64) -> (Trainer, StdRng) {
@@ -21,13 +21,13 @@ fn trained(epochs: usize, seed: u64) -> (Trainer, StdRng) {
 #[test]
 fn real_training_traces_accelerate_on_the_paper_chip() {
     let (trainer, _) = trained(2, 1);
-    let chip = ChipConfig::paper();
+    let sim = Simulator::paper();
     let sample = SampleSpec::new(8, 64);
     let mut td = 0u64;
     let mut base = 0u64;
     for (name, ops) in trainer.traces(16, &sample) {
         for trace in &ops {
-            let (t, b) = simulate_pair(&chip, trace);
+            let (t, b) = sim.simulate_pair(trace);
             assert!(
                 t.compute_cycles <= b.compute_cycles,
                 "{name}/{}: TensorDash slower than baseline",
@@ -38,19 +38,26 @@ fn real_training_traces_accelerate_on_the_paper_chip() {
         }
     }
     let speedup = base as f64 / td as f64;
-    assert!(speedup > 1.2, "authentic sparsity must produce speedup, got {speedup}");
-    assert!(speedup <= 3.0, "speedup {speedup} beats the staging-depth ceiling");
+    assert!(
+        speedup > 1.2,
+        "authentic sparsity must produce speedup, got {speedup}"
+    );
+    assert!(
+        speedup <= 3.0,
+        "speedup {speedup} beats the staging-depth ceiling"
+    );
 }
 
 #[test]
 fn energy_model_consumes_simulated_counters() {
     let (trainer, _) = trained(1, 2);
     let chip = ChipConfig::paper();
+    let sim = Simulator::new(chip);
     let model = EnergyModel::new(chip);
     let sample = SampleSpec::new(8, 64);
     for (_, ops) in trainer.traces(16, &sample) {
         for trace in &ops {
-            let (t, b) = simulate_pair(&chip, trace);
+            let (t, b) = sim.simulate_pair(trace);
             let te = model.evaluate(&t.counters);
             let be = model.evaluate(&b.counters);
             assert!(te.total_j() > 0.0 && be.total_j() > 0.0);
@@ -89,7 +96,6 @@ fn fully_connected_and_conv_traces_share_one_code_path() {
     let fc = &traces[2].1[0];
     assert_eq!(fc.dims.kh, 1);
     assert_eq!(fc.dims.h, 1);
-    let chip = ChipConfig::paper();
-    let (t, b) = simulate_pair(&chip, fc);
+    let (t, b) = Simulator::paper().simulate_pair(fc);
     assert!(t.compute_cycles <= b.compute_cycles);
 }

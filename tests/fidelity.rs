@@ -43,7 +43,9 @@ fn conv_output_via_pe(
 #[test]
 fn tensordash_convolution_equals_dense_convolution() {
     let mut rng = StdRng::seed_from_u64(7);
-    let x = relu(&Tensor::from_fn(&[2, 32, 6, 6], |_| rng.gen_range(-1.0..1.0)));
+    let x = relu(&Tensor::from_fn(&[2, 32, 6, 6], |_| {
+        rng.gen_range(-1.0..1.0)
+    }));
     let w = Tensor::from_fn(&[4, 32, 3, 3], |_| rng.gen_range(-0.5..0.5));
     let spec = Conv2dSpec::new(1, 1);
     let reference = conv2d(&x, &w, &spec).unwrap();
@@ -62,7 +64,9 @@ fn tensordash_convolution_equals_dense_convolution() {
 #[test]
 fn one_side_extraction_is_also_exact() {
     let mut rng = StdRng::seed_from_u64(8);
-    let x = relu(&Tensor::from_fn(&[1, 16, 5, 5], |_| rng.gen_range(-1.0..1.0)));
+    let x = relu(&Tensor::from_fn(&[1, 16, 5, 5], |_| {
+        rng.gen_range(-1.0..1.0)
+    }));
     let w = Tensor::from_fn(&[2, 16, 3, 3], |_| rng.gen_range(-0.5..0.5));
     let spec = Conv2dSpec::new(1, 0);
     let reference = conv2d(&x, &w, &spec).unwrap();

@@ -4,19 +4,19 @@ use tensordash::core::{ideal_speedup, PeGeometry};
 use tensordash::energy::area::{area, power};
 use tensordash::energy::{Arch, EnergyConstants};
 use tensordash::models::{layer_traces, paper_models, zoo};
-use tensordash::sim::{simulate_pair, ChipConfig};
+use tensordash::sim::{ChipConfig, Simulator};
 use tensordash::trace::{SampleSpec, SparsityGen, TrainingOp, UniformSparsity};
 
 /// §4.1: "it never slows down execution" — across the whole model zoo.
 #[test]
 fn tensordash_never_slows_any_model_down() {
-    let chip = ChipConfig::paper();
+    let sim = Simulator::paper();
     let sample = SampleSpec::new(8, 64);
     for model in paper_models() {
         let traces = layer_traces(&model, 0.45, 16, &sample, 99);
         for (layer, ops) in traces.iter().take(6) {
             for trace in ops {
-                let (t, b) = simulate_pair(&chip, trace);
+                let (t, b) = sim.simulate_pair(trace);
                 assert!(
                     t.compute_cycles <= b.compute_cycles,
                     "{}/{}/{} slowed down",
@@ -33,7 +33,7 @@ fn tensordash_never_slows_any_model_down() {
 /// machine `min(1/(1-s), depth)`.
 #[test]
 fn speedup_never_beats_the_ideal_machine() {
-    let chip = ChipConfig::paper();
+    let sim = Simulator::paper();
     let dims = tensordash::trace::ConvDims::conv_square(2, 64, 14, 64, 3, 1, 1);
     for sparsity in [0.2, 0.5, 0.8, 0.9] {
         let trace = UniformSparsity::new(sparsity).op_trace(
@@ -43,7 +43,7 @@ fn speedup_never_beats_the_ideal_machine() {
             &SampleSpec::new(16, 256),
             5,
         );
-        let (t, b) = simulate_pair(&chip, &trace);
+        let (t, b) = sim.simulate_pair(&trace);
         let speedup = b.compute_cycles as f64 / t.compute_cycles as f64;
         let ideal = ideal_speedup(PeGeometry::paper(), sparsity);
         assert!(
@@ -61,8 +61,7 @@ fn table3_overheads_match_the_paper() {
     let k = EnergyConstants::paper();
     let a = area(&chip, Arch::TensorDash, &k).compute_total()
         / area(&chip, Arch::Baseline, &k).compute_total();
-    let p = power(&chip, Arch::TensorDash, &k).total()
-        / power(&chip, Arch::Baseline, &k).total();
+    let p = power(&chip, Arch::TensorDash, &k).total() / power(&chip, Arch::Baseline, &k).total();
     assert!((a - 1.09).abs() < 0.01, "area overhead {a}");
     assert!((p - 1.02).abs() < 0.01, "power overhead {p}");
 }
@@ -86,7 +85,10 @@ fn zoo_reflects_section_4() {
     let densenet = zoo::densenet121();
     let wg = densenet.profile.weight_grad_at(0.45, 0.5);
     let axw = densenet.profile.act_at(0.45, 0.5);
-    assert!(wg < 0.2, "DenseNet W×G sparsity must be negligible, got {wg}");
+    assert!(
+        wg < 0.2,
+        "DenseNet W×G sparsity must be negligible, got {wg}"
+    );
     assert!(axw > 0.4, "DenseNet forward sparsity should still exist");
     // Pruned variants carry ~90% weight sparsity.
     assert!(zoo::resnet50_ds90().profile.weight_at(0.5) >= 0.9);
@@ -96,7 +98,7 @@ fn zoo_reflects_section_4() {
 /// GCN (§4.4): virtually no sparsity, yet TensorDash must not slow it down.
 #[test]
 fn gcn_guard_rail_holds() {
-    let chip = ChipConfig::paper();
+    let sim = Simulator::paper();
     let sample = SampleSpec::new(8, 64);
     let gcn = zoo::gcn();
     let traces = layer_traces(&gcn, 0.5, 16, &sample, 7);
@@ -104,7 +106,7 @@ fn gcn_guard_rail_holds() {
     let mut base = 0u64;
     for (_, ops) in &traces {
         for trace in ops {
-            let (t, b) = simulate_pair(&chip, trace);
+            let (t, b) = sim.simulate_pair(trace);
             td += t.compute_cycles;
             base += b.compute_cycles;
         }
