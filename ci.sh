@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "cargo build --workspace (release)"
 cargo build --workspace --release
 
+step "cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --lib --quiet
+
 step "cargo test -q --workspace"
 cargo test -q --workspace
 
@@ -37,5 +40,12 @@ max_rows = 32
 EOF
 ./target/release/tensordash --config "$smoke_config" --out "$smoke_report" >/dev/null
 grep -q '"ci-smoke"' "$smoke_report"
+
+step "tensordash bench --smoke"
+bench_report="$(mktemp -t tensordash-bench-XXXXXX.json)"
+trap 'rm -f "$smoke_config" "$smoke_report" "$bench_report"' EXIT
+./target/release/tensordash bench --smoke --out "$bench_report" >/dev/null
+grep -q '"step_speedup"' "$bench_report"
+grep -q '"cycles_per_second"' "$bench_report"
 
 step "all green"

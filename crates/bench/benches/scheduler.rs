@@ -36,6 +36,71 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batched_vs_reference_kernel(c: &mut Criterion) {
+    // The tentpole comparison: the word-parallel batched kernel against the
+    // scalar per-lane/per-option reference search, stepping the same
+    // pre-generated staging windows. `tensordash bench` measures the same
+    // pair and records the ratio in BENCH_<n>.json.
+    let scheduler = Scheduler::paper(PeGeometry::paper());
+    let mut rng = StdRng::seed_from_u64(3);
+    for density in [0.1, 0.35, 0.6, 0.9] {
+        let windows: Vec<[u64; 4]> = (0..512)
+            .map(|_| {
+                let mut z = [0u64; 4];
+                for row in z.iter_mut().take(3) {
+                    let mut m = 0u64;
+                    for lane in 0..16 {
+                        if rng.gen_bool(density) {
+                            m |= 1 << lane;
+                        }
+                    }
+                    *row = m;
+                }
+                z
+            })
+            .collect();
+        let mut group = c.benchmark_group(format!("step_kernel/density_{density}"));
+        group.throughput(Throughput::Elements(windows.len() as u64));
+        group.bench_function("batched", |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for w in &windows {
+                    let mut z = *w;
+                    total += scheduler.step_masks(&mut z).macs as u64;
+                }
+                total
+            })
+        });
+        group.bench_function("reference", |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for w in &windows {
+                    let mut z = *w;
+                    total += scheduler.step_masks_reference(&mut z).macs as u64;
+                }
+                total
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_group_run_vs_reference_engines(c: &mut Criterion) {
+    // Whole tile row-groups: one `run_masks_batched` call vs the golden
+    // model (the old per-step RowEngine dispatch loop, kept canonical in
+    // `Scheduler::run_masks_batched_reference`).
+    let scheduler = Scheduler::paper(PeGeometry::paper());
+    let streams: Vec<Vec<u64>> = (0..4).map(|i| masks(60 + i, 4096, 0.4)).collect();
+    let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
+    let mut group = c.benchmark_group("group_run");
+    group.throughput(Throughput::Elements((4 * 4096) as u64));
+    group.bench_function("batched", |b| b.iter(|| scheduler.run_masks_batched(&refs)));
+    group.bench_function("reference_engines", |b| {
+        b.iter(|| scheduler.run_masks_batched_reference(&refs))
+    });
+    group.finish();
+}
+
 fn bench_hierarchical_vs_oracle(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler_vs_oracle");
     let stream = masks(7, 512, 0.5);
@@ -100,6 +165,8 @@ fn bench_step_schedule(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_scheduler_throughput,
+    bench_batched_vs_reference_kernel,
+    bench_group_run_vs_reference_engines,
     bench_hierarchical_vs_oracle,
     bench_priority_order_ablation,
     bench_step_schedule

@@ -25,6 +25,11 @@ COMMANDS:
     run <NAME>...        Run named experiments in order (`run all` for the
                          full evaluation); bare names also work, e.g.
                          `tensordash fig13 table3`
+    bench                Run the fixed perf-tracking workload set and write
+                         BENCH_<n>.json (scheduler-kernel throughput plus
+                         end-to-end model evaluations). `--smoke` runs the
+                         seconds-scale CI variant; `--out <FILE>` overrides
+                         the output path
 
 OPTIONS:
     --config <FILE>      Run a declarative experiment from a TOML file
@@ -55,6 +60,10 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    if args.first().is_some_and(|a| a == "bench") {
+        return run_bench(&args[1..]);
+    }
+
     let mut names: Vec<String> = Vec::new();
     let mut config: Option<String> = None;
     let mut out: Option<String> = None;
@@ -111,6 +120,43 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         (None, false) => run_named(&names),
     }
+}
+
+fn run_bench(args: &[String]) -> Result<(), String> {
+    let mut options = tensordash_bench::BenchOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => options.smoke = true,
+            "--out" => {
+                options.out = Some(take_value(&mut iter, "--out")?.into());
+            }
+            other => return Err(format!("unknown `bench` argument `{other}`")),
+        }
+    }
+    println!(
+        "running the {} perf workload set...",
+        if options.smoke { "smoke" } else { "full" }
+    );
+    let (path, summary) =
+        tensordash_bench::perf::run(&options).map_err(|e| format!("cannot write report: {e}"))?;
+    println!(
+        "kernel: {:.2}x single-step, {:.2}x row-group over the scalar reference",
+        summary.kernel.step_speedup(),
+        summary.kernel.group_speedup()
+    );
+    for model in &summary.models {
+        println!(
+            "{:<16} {:>8.2}s wall  {:>14.0} sim cycles/s  speedup {:.3}x",
+            model.name, model.wall_seconds, model.cycles_per_second, model.speedup
+        );
+    }
+    println!(
+        "total {:.2}s  -> wrote {}",
+        summary.total_wall_seconds,
+        path.display()
+    );
+    Ok(())
 }
 
 fn take_value(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {

@@ -2,7 +2,7 @@
 //!
 //! The experiment harness: the model-evaluation pipeline as an extension
 //! of the [`Simulator`](tensordash_sim::Simulator) session, declarative
-//! [`ExperimentSpec`](experiment::ExperimentSpec) configs, and the single
+//! [`ExperimentSpec`] configs, and the single
 //! `tensordash` CLI that drives the paper's whole evaluation.
 //!
 //! Run everything with:
@@ -30,8 +30,10 @@ pub mod experiment;
 pub mod experiments;
 pub mod harness;
 pub mod paperref;
+pub mod perf;
 
 pub use csvout::{results_path, write_csv};
 pub use experiment::{ExperimentError, ExperimentSpec, NamedExperiment};
 #[allow(deprecated)]
 pub use harness::{eval_model, eval_model_with_chip_label, EvalSpec, ModelEval};
+pub use perf::{BenchOptions, BenchSummary, KernelBench, ModelBench};

@@ -1,0 +1,406 @@
+//! The perf-tracking harness behind `tensordash bench`.
+//!
+//! Every PR runs the same fixed workload set and commits the resulting
+//! `BENCH_<n>.json` at the repository root, so the project keeps a
+//! performance trajectory the next change has to beat:
+//!
+//! * **kernel** — scheduler step throughput, batched word-parallel kernel
+//!   vs the scalar reference search, plus whole row-group throughput vs
+//!   the per-step engine-dispatch loop;
+//! * **models** — a fixed subset of the zoo evaluated end to end:
+//!   wall-clock seconds, simulated TensorDash compute cycles, simulated
+//!   cycles per wall second, and the model's speedup over the dense
+//!   baseline (the speedups are deterministic and double as a sanity
+//!   check that perf work never changed results).
+//!
+//! `tensordash bench --smoke` runs a seconds-scale variant of the same
+//! measurements for CI — the numbers are not representative, but the whole
+//! path (measure → serialize → write) is exercised.
+
+use crate::harness::ModelEval;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::path::PathBuf;
+use std::time::Instant;
+use tensordash_core::{PeGeometry, Scheduler, MAX_DEPTH};
+use tensordash_models::paper_models;
+use tensordash_serde::Value;
+use tensordash_sim::{ChipConfig, EvalSpec, Simulator};
+
+/// How `tensordash bench` should run.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOptions {
+    /// Seconds-scale CI variant: tiny workloads, same measurement path.
+    pub smoke: bool,
+    /// Explicit output path; `None` picks the next `BENCH_<n>.json` in the
+    /// current directory.
+    pub out: Option<PathBuf>,
+}
+
+/// Scheduler-kernel throughput: the hot path measured in isolation.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelBench {
+    /// Single-window scheduling steps per second, batched kernel.
+    pub steps_per_sec_batched: f64,
+    /// Single-window scheduling steps per second, scalar reference.
+    pub steps_per_sec_reference: f64,
+    /// Row-group masks scheduled per second, `run_masks_batched`.
+    pub group_masks_per_sec_batched: f64,
+    /// Row-group masks scheduled per second, per-step engine dispatch.
+    pub group_masks_per_sec_reference: f64,
+}
+
+impl KernelBench {
+    /// Batched-over-reference single-step throughput ratio.
+    #[must_use]
+    pub fn step_speedup(&self) -> f64 {
+        self.steps_per_sec_batched / self.steps_per_sec_reference
+    }
+
+    /// Batched-over-reference row-group throughput ratio.
+    #[must_use]
+    pub fn group_speedup(&self) -> f64 {
+        self.group_masks_per_sec_batched / self.group_masks_per_sec_reference
+    }
+}
+
+/// One model's end-to-end evaluation measurement.
+#[derive(Debug, Clone)]
+pub struct ModelBench {
+    /// Zoo model name.
+    pub name: String,
+    /// Wall-clock seconds for the full evaluation.
+    pub wall_seconds: f64,
+    /// Simulated TensorDash compute cycles (scaled to the full model).
+    pub cycles_simulated: u64,
+    /// Simulated cycles per wall second — the headline throughput metric.
+    pub cycles_per_second: f64,
+    /// Deterministic speedup over the dense baseline (result sanity check).
+    pub speedup: f64,
+}
+
+/// The whole `tensordash bench` measurement set.
+#[derive(Debug, Clone)]
+pub struct BenchSummary {
+    /// Whether this was the CI smoke variant.
+    pub smoke: bool,
+    /// Scheduler-kernel measurements.
+    pub kernel: KernelBench,
+    /// Per-model end-to-end measurements.
+    pub models: Vec<ModelBench>,
+    /// Total wall-clock seconds of the whole run.
+    pub total_wall_seconds: f64,
+}
+
+impl BenchSummary {
+    /// The self-describing JSON document written to `BENCH_<n>.json`.
+    #[must_use]
+    pub fn document(&self) -> Value {
+        let kernel = Value::Table(vec![
+            (
+                "steps_per_sec_batched".into(),
+                Value::Float(self.kernel.steps_per_sec_batched),
+            ),
+            (
+                "steps_per_sec_reference".into(),
+                Value::Float(self.kernel.steps_per_sec_reference),
+            ),
+            (
+                "step_speedup".into(),
+                Value::Float(self.kernel.step_speedup()),
+            ),
+            (
+                "group_masks_per_sec_batched".into(),
+                Value::Float(self.kernel.group_masks_per_sec_batched),
+            ),
+            (
+                "group_masks_per_sec_reference".into(),
+                Value::Float(self.kernel.group_masks_per_sec_reference),
+            ),
+            (
+                "group_speedup".into(),
+                Value::Float(self.kernel.group_speedup()),
+            ),
+        ]);
+        let models = Value::Array(
+            self.models
+                .iter()
+                .map(|m| {
+                    Value::Table(vec![
+                        ("name".into(), Value::Str(m.name.clone())),
+                        ("wall_seconds".into(), Value::Float(m.wall_seconds)),
+                        ("cycles_simulated".into(), Value::UInt(m.cycles_simulated)),
+                        (
+                            "cycles_per_second".into(),
+                            Value::Float(m.cycles_per_second),
+                        ),
+                        ("speedup".into(), Value::Float(m.speedup)),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Table(vec![
+            ("schema".into(), Value::Str("tensordash-bench/1".into())),
+            ("smoke".into(), Value::Bool(self.smoke)),
+            ("kernel".into(), kernel),
+            ("models".into(), models),
+            (
+                "total_wall_seconds".into(),
+                Value::Float(self.total_wall_seconds),
+            ),
+        ])
+    }
+}
+
+/// Picks the next free `BENCH_<n>.json` (starting at `BENCH_2.json` — the
+/// harness landed in PR 2 — so the file sequence tracks the PR sequence
+/// without coordination).
+///
+/// The scan is anchored at the enclosing repository root (the nearest
+/// ancestor containing `.git`), falling back to the current directory, so
+/// the committed trajectory is found and continued no matter where the
+/// CLI is invoked from.
+#[must_use]
+pub fn next_bench_path() -> PathBuf {
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = start
+        .ancestors()
+        .find(|dir| dir.join(".git").exists())
+        .map_or(start.clone(), std::path::Path::to_path_buf);
+    next_bench_path_in(&root)
+}
+
+/// As [`next_bench_path`], scanning an explicit directory.
+#[must_use]
+pub fn next_bench_path_in(dir: &std::path::Path) -> PathBuf {
+    let mut next = 2u32;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(n) = name
+                .strip_prefix("BENCH_")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|digits| digits.parse::<u32>().ok())
+            {
+                next = next.max(n + 1);
+            }
+        }
+    }
+    dir.join(format!("BENCH_{next}.json"))
+}
+
+/// Median wall-clock seconds of `samples` runs of `routine`.
+fn median_seconds(samples: usize, mut routine: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn random_masks(seed: u64, rows: usize, density: f64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows)
+        .map(|_| {
+            let mut mask = 0u64;
+            for lane in 0..16 {
+                if rng.gen_bool(density) {
+                    mask |= 1 << lane;
+                }
+            }
+            mask
+        })
+        .collect()
+}
+
+/// Measures the scheduler kernel: single-window steps and whole row-groups,
+/// batched vs reference, over a fixed mixed-density workload.
+#[must_use]
+pub fn bench_kernel(smoke: bool) -> KernelBench {
+    let scheduler = Scheduler::paper(PeGeometry::paper());
+    // 512 windows x 32 bytes stay L1-resident: the measurement targets the
+    // kernel's compute, not the memory streaming of synthetic inputs.
+    let windows_per_density = 512;
+    let (passes, samples) = if smoke { (4, 3) } else { (32, 9) };
+
+    // One batch of staging windows per density level: windows of one
+    // operation share a sparsity level, so density-homogeneous batches are
+    // the representative workload shape.
+    let mut rng = StdRng::seed_from_u64(0xDA5A);
+    let densities = [0.1, 0.35, 0.6, 0.9];
+    let mut batched = 0.0;
+    let mut reference = 0.0;
+    for density in densities {
+        let windows: Vec<[u64; MAX_DEPTH]> = (0..windows_per_density)
+            .map(|_| {
+                let mut z = [0u64; MAX_DEPTH];
+                for row in z.iter_mut().take(3) {
+                    let mut mask = 0u64;
+                    for lane in 0..16 {
+                        if rng.gen_bool(density) {
+                            mask |= 1 << lane;
+                        }
+                    }
+                    *row = mask;
+                }
+                z
+            })
+            .collect();
+        batched += median_seconds(samples, || {
+            let mut total = 0u64;
+            for _ in 0..passes {
+                for window in &windows {
+                    let mut z = *window;
+                    total += scheduler.step_masks(&mut z).macs as u64;
+                }
+            }
+            std::hint::black_box(total);
+        });
+        reference += median_seconds(samples, || {
+            let mut total = 0u64;
+            for _ in 0..passes {
+                for window in &windows {
+                    let mut z = *window;
+                    total += scheduler.step_masks_reference(&mut z).macs as u64;
+                }
+            }
+            std::hint::black_box(total);
+        });
+    }
+    let window_count = windows_per_density * passes * densities.len();
+
+    // Whole row-groups: 4 streams (the paper tile's rows), mixed densities.
+    let stream_rows = if smoke { 512 } else { 16_384 };
+    let streams: Vec<Vec<u64>> = [0.15, 0.35, 0.5, 0.75]
+        .iter()
+        .enumerate()
+        .map(|(i, &density)| random_masks(7 + i as u64, stream_rows, density))
+        .collect();
+    let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
+    let group_masks = (streams.len() * stream_rows) as f64;
+    let group_batched = median_seconds(samples, || {
+        std::hint::black_box(scheduler.run_masks_batched(&refs));
+    });
+    let group_reference = median_seconds(samples, || {
+        std::hint::black_box(scheduler.run_masks_batched_reference(&refs));
+    });
+
+    KernelBench {
+        steps_per_sec_batched: window_count as f64 / batched,
+        steps_per_sec_reference: window_count as f64 / reference,
+        group_masks_per_sec_batched: group_masks / group_batched,
+        group_masks_per_sec_reference: group_masks / group_reference,
+    }
+}
+
+/// Evaluates the fixed model workload set, timing each model end to end.
+#[must_use]
+pub fn bench_models(smoke: bool) -> Vec<ModelBench> {
+    let sim = Simulator::new(ChipConfig::paper());
+    let (names, spec): (&[&str], EvalSpec) = if smoke {
+        (
+            &["AlexNet"],
+            EvalSpec::builder()
+                .streams(4, 32)
+                .progress(0.45)
+                .seed(0xDA5A)
+                .build()
+                .expect("valid smoke eval spec"),
+        )
+    } else {
+        (
+            &["AlexNet", "SqueezeNet", "resnet50_DS90"],
+            EvalSpec::builder()
+                .streams(16, 256)
+                .progress(0.45)
+                .seed(0xDA5A)
+                .build()
+                .expect("valid bench eval spec"),
+        )
+    };
+    let zoo = paper_models();
+    names
+        .iter()
+        .map(|&name| {
+            let model = zoo
+                .iter()
+                .find(|m| m.name == name)
+                .expect("bench workload model is in the zoo");
+            let start = Instant::now();
+            let report = sim.eval_model(model, &spec);
+            let wall_seconds = start.elapsed().as_secs_f64();
+            let cycles_simulated = report.tensordash_counters().compute_cycles;
+            ModelBench {
+                name: name.to_string(),
+                wall_seconds,
+                cycles_simulated,
+                cycles_per_second: cycles_simulated as f64 / wall_seconds,
+                speedup: report.total_speedup(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the whole measurement set and writes the JSON document.
+///
+/// Returns the written path and the summary.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the report cannot be written.
+pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
+    let start = Instant::now();
+    let kernel = bench_kernel(options.smoke);
+    let models = bench_models(options.smoke);
+    let summary = BenchSummary {
+        smoke: options.smoke,
+        kernel,
+        models,
+        total_wall_seconds: start.elapsed().as_secs_f64(),
+    };
+    let path = options.out.clone().unwrap_or_else(next_bench_path);
+    std::fs::write(&path, tensordash_serde::json::write(&summary.document()))?;
+    Ok((path, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_measures_and_serializes() {
+        let kernel = bench_kernel(true);
+        assert!(kernel.steps_per_sec_batched > 0.0);
+        assert!(kernel.steps_per_sec_reference > 0.0);
+        assert!(kernel.group_masks_per_sec_batched > 0.0);
+        let summary = BenchSummary {
+            smoke: true,
+            kernel,
+            models: bench_models(true),
+            total_wall_seconds: 0.5,
+        };
+        assert_eq!(summary.models.len(), 1);
+        assert!(summary.models[0].speedup > 1.0);
+        let doc = summary.document();
+        assert!(doc.get("kernel").is_some());
+        let json = tensordash_serde::json::write(&doc);
+        assert!(json.contains("steps_per_sec_batched"));
+        assert!(json.contains("AlexNet"));
+    }
+
+    #[test]
+    fn next_bench_path_starts_at_two_and_counts_up() {
+        let dir = std::env::temp_dir().join(format!("tensordash-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let first = next_bench_path_in(&dir);
+        assert_eq!(first.file_name().unwrap(), "BENCH_2.json");
+        std::fs::write(&first, "{}").unwrap();
+        let second = next_bench_path_in(&dir);
+        assert_eq!(second.file_name().unwrap(), "BENCH_3.json");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -121,6 +121,33 @@ fn config_file_reproduces_the_in_code_report_byte_for_byte() {
 }
 
 #[test]
+fn bench_smoke_writes_a_perf_report() {
+    let out_path = temp_file("bench-smoke.json");
+    let out = tensordash(&["bench", "--smoke", "--out", out_path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("row-group"), "{text}");
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    for key in [
+        "tensordash-bench/1",
+        "step_speedup",
+        "group_speedup",
+        "cycles_per_second",
+        "AlexNet",
+    ] {
+        assert!(json.contains(key), "missing `{key}` in {json}");
+    }
+
+    let out = tensordash(&["bench", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("bench"));
+}
+
+#[test]
 fn config_errors_name_the_offending_field() {
     let config_path = temp_file("bad.toml");
     std::fs::write(&config_path, "[chip]\ntiles = 0\n").unwrap();

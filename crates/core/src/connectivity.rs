@@ -22,7 +22,7 @@
 //! `+2` options disappear, leaving the paper's 5-movement low-cost variant.
 
 use crate::error::GeometryError;
-use crate::geometry::PeGeometry;
+use crate::geometry::{PeGeometry, MAX_DEPTH};
 
 /// One staging-buffer cell reachable by a multiplier input.
 ///
@@ -120,6 +120,9 @@ pub struct Connectivity {
     options: Vec<Vec<Movement>>,
     levels: Vec<Vec<u8>>,
     lane_order: Vec<u8>,
+    relative_options: Vec<(u8, u8)>,
+    level_masks: Vec<u64>,
+    promotion_masks: Vec<[u64; MAX_DEPTH]>,
 }
 
 impl Connectivity {
@@ -160,11 +163,51 @@ impl Connectivity {
         }
         let levels = derive_levels(lanes, &options);
         let lane_order = levels.iter().flatten().copied().collect();
+
+        // The option shape is lane-uniform by construction (every lane gets
+        // the same (step, offset) sequence, and ring wrap-around collisions
+        // are lane-independent), which is what lets the batched scheduler
+        // kernel decide whole levels with word-parallel operations. Derive
+        // the uniform list from lane 0 and verify the invariant.
+        let relative_options: Vec<(u8, u8)> = options[0]
+            .iter()
+            .map(|mv| (mv.step, mv.lane)) // lane 0: source lane == offset
+            .collect();
+        for (lane, opts) in options.iter().enumerate() {
+            assert_eq!(opts.len(), relative_options.len());
+            for (mv, &(step, off)) in opts.iter().zip(&relative_options) {
+                assert_eq!(mv.step, step, "non-uniform option shape");
+                assert_eq!(
+                    mv.lane as usize,
+                    (lane + off as usize) % lanes,
+                    "non-uniform option shape"
+                );
+            }
+        }
+
+        let level_masks = levels
+            .iter()
+            .map(|level| level.iter().fold(0u64, |m, &lane| m | 1 << lane))
+            .collect();
+        let promotion_masks = options
+            .iter()
+            .map(|opts| {
+                let mut rows = [0u64; MAX_DEPTH];
+                for mv in opts {
+                    rows[mv.step as usize] |= 1 << mv.lane;
+                }
+                rows
+            })
+            .collect();
+
         Connectivity {
             geometry,
             options,
             levels,
             lane_order,
+            relative_options,
+            level_masks,
+            promotion_masks,
         }
     }
 
@@ -219,6 +262,40 @@ impl Connectivity {
     #[must_use]
     pub fn lanes_conflict(&self, a: usize, b: usize) -> bool {
         options_conflict(&self.options[a], &self.options[b])
+    }
+
+    /// The lane-uniform movement options as `(step, lane_offset)` pairs in
+    /// priority order, the offset normalized to `0..lanes` on the ring.
+    ///
+    /// Every lane's option list has the same shape — lane `i`'s option `p`
+    /// addresses `(step_p, (i + offset_p) mod lanes)` — which is the
+    /// invariant that lets the batched scheduler kernel resolve an entire
+    /// conflict-free level with one word rotation per priority instead of a
+    /// per-lane search. The invariant is asserted at construction.
+    #[must_use]
+    pub fn relative_options(&self) -> &[(u8, u8)] {
+        &self.relative_options
+    }
+
+    /// Per-level lane-membership bitmasks (bit `i` set ⇒ lane `i` belongs to
+    /// the level), in scheduler evaluation order. Same grouping as
+    /// [`Connectivity::levels`], flattened to `u64` words for the batched
+    /// kernel.
+    #[must_use]
+    pub fn level_masks(&self) -> &[u64] {
+        &self.level_masks
+    }
+
+    /// The promotion-target mask of `lane`: for each staging row, the set of
+    /// cells (as a lane bitmask) this lane's multiplexer can read. Row 0
+    /// always holds exactly the lane's own dense bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= geometry().lanes()`.
+    #[must_use]
+    pub fn promotion_masks(&self, lane: usize) -> &[u64; MAX_DEPTH] {
+        &self.promotion_masks[lane]
     }
 }
 
@@ -392,6 +469,58 @@ mod tests {
             ConnectivitySpec::custom(vec![(1, 0)]),
             Err(GeometryError::ZeroLaneOffset)
         );
+    }
+
+    #[test]
+    fn relative_options_reconstruct_every_lane() {
+        for geometry in [
+            PeGeometry::paper(),
+            PeGeometry::paper_shallow(),
+            PeGeometry::walkthrough(),
+            PeGeometry::new(64, 4).unwrap(),
+            PeGeometry::new(5, 3).unwrap(),
+        ] {
+            let c = Connectivity::paper(geometry);
+            let rel = c.relative_options();
+            for lane in 0..geometry.lanes() {
+                let rebuilt: Vec<Movement> = rel
+                    .iter()
+                    .map(|&(step, off)| {
+                        Movement::new(step, ((lane + off as usize) % geometry.lanes()) as u8)
+                    })
+                    .collect();
+                assert_eq!(c.options(lane), rebuilt.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn level_masks_mirror_levels() {
+        let c = paper16();
+        assert_eq!(c.level_masks().len(), c.levels().len());
+        for (mask, level) in c.level_masks().iter().zip(c.levels()) {
+            let expected = level.iter().fold(0u64, |m, &l| m | 1 << l);
+            assert_eq!(*mask, expected);
+        }
+        // Every lane appears in exactly one level mask.
+        let union: u64 = c.level_masks().iter().fold(0, |m, &l| m | l);
+        let sum: u32 = c.level_masks().iter().map(|m| m.count_ones()).sum();
+        assert_eq!(union, 0xFFFF);
+        assert_eq!(sum, 16);
+    }
+
+    #[test]
+    fn promotion_masks_flatten_the_option_lists() {
+        let c = paper16();
+        for lane in 0..16 {
+            let rows = c.promotion_masks(lane);
+            assert_eq!(rows[0], 1 << lane, "row 0 is the private dense cell");
+            let mut expected = [0u64; MAX_DEPTH];
+            for mv in c.options(lane) {
+                expected[mv.step as usize] |= 1 << mv.lane;
+            }
+            assert_eq!(*rows, expected);
+        }
     }
 
     #[test]

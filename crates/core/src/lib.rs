@@ -58,7 +58,7 @@
 //! | [`element`] | — | scalar trait implemented by `f32`, `f64`, integers |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod backside;
 pub mod compress;
@@ -76,8 +76,10 @@ pub use compress::{CompressedDma, ScheduledRow, ScheduledTensor};
 pub use connectivity::{Connectivity, ConnectivitySpec, Movement};
 pub use element::Element;
 pub use error::GeometryError;
-pub use geometry::PeGeometry;
+pub use geometry::{PeGeometry, MAX_DEPTH, MAX_LANES};
 pub use oracle::{ideal_cycles, ideal_speedup, OracleScheduler};
 pub use pe::{DensePe, PairRow, SparsitySide, TensorDashPe};
-pub use scheduler::{LaneSelection, RowEngine, Schedule, Scheduler, StepOutcome, StreamRun};
+pub use scheduler::{
+    BatchRun, LaneSelection, RowEngine, Schedule, Scheduler, StepOutcome, StreamRun,
+};
 pub use staging::StagingBuffer;

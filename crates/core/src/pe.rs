@@ -8,9 +8,12 @@
 //! These models compute *real arithmetic* and exist to demonstrate the
 //! paper's numerical-fidelity claim: TensorDash performs exactly the same
 //! multiset of non-zero products as the dense baseline — it only removes
-//! products that are exactly zero. The cycle-level behaviour feeding the
-//! performance results lives in `tensordash-sim`, which uses the much faster
-//! mask-only path ([`Scheduler::run_masks`]).
+//! products that are exactly zero. Their per-cycle `MS` selections come
+//! from [`Scheduler::step_schedule`], which shares the batched word-parallel
+//! selection kernel with the mask-only paths. The cycle-level behaviour
+//! feeding the performance results lives in `tensordash-sim`, which uses
+//! the much faster mask-only paths ([`Scheduler::run_masks`] and
+//! [`Scheduler::run_masks_batched`]).
 
 use crate::element::Element;
 use crate::geometry::{PeGeometry, MAX_DEPTH};

@@ -22,6 +22,17 @@
 //!   cycle** and TensorDash never runs slower than the dense baseline;
 //! * the window can drain at most `depth` rows per cycle, capping the
 //!   speedup at `depth`× (3× for the paper's configuration).
+//!
+//! This module is the repository's hot path, and since PR 2 it is
+//! implemented as a **batched bitmask kernel**: the lane-uniform option
+//! shape lets one ring rotation decide a whole conflict-free level per
+//! priority, dense rows are consumed in a single word operation, and
+//! [`Scheduler::run_masks_batched`] additionally packs `64 / lanes` staging
+//! windows of a lockstep tile row-group into every `u64`. The scalar
+//! per-lane search survives as [`Scheduler::step_masks_reference`] — the
+//! golden model for equivalence tests (same cells consumed, bit for bit,
+//! over random mask streams) and the baseline for the scheduler
+//! microbenchmarks and `tensordash bench`.
 
 use crate::connectivity::{Connectivity, Movement};
 use crate::geometry::{PeGeometry, MAX_DEPTH};
@@ -104,17 +115,96 @@ impl StreamRun {
     }
 }
 
-/// Precompiled option table: `(row, bit)` per option per lane, evaluated in
-/// level order. This is the hot structure of the whole repository — the tile
-/// simulator calls [`Scheduler::step_masks`] millions of times.
+/// Aggregate statistics of running a lockstep row-group through a tile row
+/// of PEs (one mask stream per PE row, min-drain synchronized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchRun {
+    /// Cycles the lockstep group needed.
+    pub cycles: u64,
+    /// Cycles the dense baseline needs (= rows per stream).
+    pub dense_cycles: u64,
+    /// Effectual MACs summed across the group's streams.
+    pub macs: u64,
+    /// Scheduling decisions taken (one per stream per cycle).
+    pub scheduler_steps: u64,
+}
+
+/// The batched bitmask scheduler. This is the hot structure of the whole
+/// repository — the tile simulator runs it over millions of staging windows.
+///
+/// Selection state is precompiled from [`Connectivity`] into flat lookup
+/// tables: the lane-uniform `(step, offset)` priority list, one
+/// lane-membership word per conflict-free level, and per-level
+/// promotion-target masks. One scheduling step then resolves a whole level
+/// per priority with two word rotations instead of a per-lane,
+/// per-option search (see [`Scheduler::step_masks`]); the scalar search is
+/// retained as [`Scheduler::step_masks_reference`], the golden model the
+/// equivalence tests and benchmarks compare against. Single streams run
+/// through [`Scheduler::run_masks`]; whole lockstep tile row-groups run
+/// through [`Scheduler::run_masks_batched`], which additionally packs
+/// `64 / lanes` windows into each word.
+///
+/// # Examples
+///
+/// ```
+/// use tensordash_core::{PeGeometry, Scheduler};
+///
+/// let scheduler = Scheduler::paper(PeGeometry::paper());
+/// // Two 16-lane streams processed in lockstep (a 2-row tile group).
+/// let a = vec![0x00FF_u64; 30];
+/// let b = vec![0x0F0F_u64; 30];
+/// let run = scheduler.run_masks_batched(&[&a, &b]);
+/// assert_eq!(run.dense_cycles, 30);
+/// assert!(run.cycles < 30); // both streams are half sparse
+/// assert_eq!(run.macs, 2 * 30 * 8); // every effectual pair, once
+/// ```
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     geometry: PeGeometry,
-    /// Per lane: options as (staging row index, single-bit lane mask).
+    /// Per lane: options as (staging row index, single-bit lane mask) — the
+    /// scalar reference path only.
     ops: Vec<Vec<(u8, u64)>>,
-    /// Lanes flattened in level order.
+    /// Lanes flattened in level order — the scalar reference path only.
     lane_order: Vec<u8>,
     levels: usize,
+    /// Lane-uniform movement options as (staging row, ring offset), in
+    /// priority order.
+    rel: Vec<(u8, u32)>,
+    /// Lane-membership word per conflict-free level, in evaluation order.
+    level_masks: Vec<u64>,
+    /// Per level: union of the member lanes' promotion-target masks, per
+    /// staging row — lets a step skip levels with nothing reachable.
+    level_reach: Vec<[u64; MAX_DEPTH]>,
+    /// Windows per packed word in the group path (`64 / lanes`, at least 1):
+    /// a 16-lane PE packs four staging windows into every `u64`.
+    packed_slots: usize,
+    /// The movement table with rotation masks tiled across the packed slots.
+    packed_rel: Vec<PackedOption>,
+    /// Level membership words tiled across the packed slots.
+    packed_level_members: Vec<u64>,
+    /// Level promotion-reach rows tiled across the packed slots.
+    packed_level_reach: Vec<[u64; MAX_DEPTH]>,
+}
+
+/// One movement option compiled for the packed group path: subword ring
+/// rotations become two shifts plus two precomputed boundary masks, applied
+/// to every packed window slot at once.
+#[derive(Debug, Clone, Copy)]
+struct PackedOption {
+    /// Staging row this option reads.
+    step: u8,
+    /// Ring offset (0 for dense/lookahead options — no rotation needed).
+    k: u32,
+    /// Complementary shift `lanes - k` (0 when `k` is 0).
+    kc: u32,
+    /// `rot_right` mask for the down-shifted part, tiled per slot.
+    rr_lo: u64,
+    /// `rot_right` mask for the wrapped-around part, tiled per slot.
+    rr_hi: u64,
+    /// `rot_left` mask for the up-shifted part, tiled per slot.
+    rl_lo: u64,
+    /// `rot_left` mask for the wrapped-around part, tiled per slot.
+    rl_hi: u64,
 }
 
 impl Scheduler {
@@ -130,11 +220,85 @@ impl Scheduler {
                     .collect()
             })
             .collect();
+        let rel: Vec<(u8, u32)> = connectivity
+            .relative_options()
+            .iter()
+            .map(|&(step, off)| (step, u32::from(off)))
+            .collect();
+        let level_reach: Vec<[u64; MAX_DEPTH]> = connectivity
+            .levels()
+            .iter()
+            .map(|level| {
+                let mut rows = [0u64; MAX_DEPTH];
+                for &lane in level {
+                    let reach = connectivity.promotion_masks(lane as usize);
+                    for (row, bits) in rows.iter_mut().zip(reach) {
+                        *row |= bits;
+                    }
+                }
+                rows
+            })
+            .collect();
+        let geometry = connectivity.geometry();
+        let lanes = geometry.lanes() as u32;
+        let mask = geometry.lane_mask();
+        let slots = (64 / geometry.lanes()).max(1);
+        let repeat = |m: u64| (0..slots as u32).fold(0u64, |acc, s| acc | (m << (s * lanes)));
+        let packed_rel = rel
+            .iter()
+            .map(|&(step, k)| {
+                if k == 0 {
+                    PackedOption {
+                        step,
+                        k: 0,
+                        kc: 0,
+                        rr_lo: repeat(mask),
+                        rr_hi: 0,
+                        rl_lo: repeat(mask),
+                        rl_hi: 0,
+                    }
+                } else {
+                    let down = mask >> k; // bits 0..lanes-k per slot
+                    let low = (1u64 << k) - 1; // bits 0..k per slot
+                    PackedOption {
+                        step,
+                        k,
+                        kc: lanes - k,
+                        rr_lo: repeat(down),
+                        rr_hi: repeat(mask & !down),
+                        rl_lo: repeat(mask & !low),
+                        rl_hi: repeat(low),
+                    }
+                }
+            })
+            .collect();
+        let packed_level_members = connectivity
+            .level_masks()
+            .iter()
+            .map(|&m| repeat(m))
+            .collect();
+        let packed_level_reach = level_reach
+            .iter()
+            .map(|rows| {
+                let mut tiled = [0u64; MAX_DEPTH];
+                for (out, &row) in tiled.iter_mut().zip(rows) {
+                    *out = repeat(row);
+                }
+                tiled
+            })
+            .collect();
         Scheduler {
-            geometry: connectivity.geometry(),
+            geometry,
             ops,
             lane_order: connectivity.lane_order().to_vec(),
             levels: connectivity.levels().len(),
+            rel,
+            level_masks: connectivity.level_masks().to_vec(),
+            level_reach,
+            packed_slots: slots,
+            packed_rel,
+            packed_level_members,
+            packed_level_reach,
         }
     }
 
@@ -156,6 +320,73 @@ impl Scheduler {
         self.levels
     }
 
+    /// The word-parallel selection kernel shared by [`Scheduler::step_masks`]
+    /// and [`Scheduler::step_schedule`].
+    ///
+    /// Levels are decided in order; within a level, priorities are decided
+    /// in order with one ring rotation resolving *all* member lanes at once:
+    /// bit `i` of `rot_right(z[step], offset)` says whether lane `i`'s
+    /// option `(step, offset)` cell holds an effectual pair. Because lanes
+    /// within a level are pairwise conflict-free (no shared cells at any
+    /// priority), this is observationally identical to the scalar per-lane
+    /// first-hit search. `on_take` receives each batch of winning lanes with
+    /// the priority index and movement shape that satisfied them.
+    #[inline]
+    fn select(
+        &self,
+        z: &mut [u64; MAX_DEPTH],
+        mut on_take: impl FnMut(u64, u8, (u8, u32)),
+    ) -> usize {
+        let lanes = self.geometry.lanes() as u32;
+        let full = self.geometry.lane_mask();
+
+        // The dense cell `(+0, i)` is private to lane `i` and every lane's
+        // highest-priority option, so all dense bits are consumed
+        // unconditionally before any level has to deliberate.
+        let dense = z[0];
+        let mut macs = dense.count_ones() as usize;
+        if dense != 0 {
+            z[0] = 0;
+            on_take(dense, 0, (0, 0));
+            if dense == full {
+                return macs; // fully dense row: no lane left pending
+            }
+        }
+
+        for (members, reach) in self.level_masks.iter().zip(&self.level_reach) {
+            let mut pending = *members & !dense;
+            if pending == 0 {
+                continue;
+            }
+            let mut visible = 0u64;
+            for row in 0..MAX_DEPTH {
+                visible |= z[row] & reach[row];
+            }
+            if visible == 0 {
+                continue; // nothing this level's muxes can see
+            }
+            // rel[0] is the dense option, already consumed above.
+            for (priority, &(step, off)) in self.rel.iter().enumerate().skip(1) {
+                let row = z[step as usize];
+                if row == 0 {
+                    continue;
+                }
+                let taken = rot_right(row, off, lanes, full) & pending;
+                if taken == 0 {
+                    continue;
+                }
+                pending &= !taken;
+                z[step as usize] &= !rot_left(taken, off, lanes, full);
+                macs += taken.count_ones() as usize;
+                on_take(taken, priority as u8, (step, off));
+                if pending == 0 {
+                    break;
+                }
+            }
+        }
+        macs
+    }
+
     /// One combinational scheduling step on a mask-only window.
     ///
     /// `z[r]` holds the effectual-pair bits of staging row `r` (row 0 is the
@@ -163,15 +394,30 @@ impl Scheduler {
     /// earlier cycles stay cleared, which is exactly the hardware behaviour
     /// ("the bits that are left enabled in Z"). Rows beyond the configured
     /// depth must be zero.
+    ///
+    /// This is the batched bitmask kernel: it consumes the dense row in one
+    /// word operation, then decides whole conflict-free levels with one ring
+    /// rotation per priority. It is guaranteed — and tested over random mask
+    /// streams — to consume exactly the cells the scalar search
+    /// ([`Scheduler::step_masks_reference`]) consumes.
     pub fn step_masks(&self, z: &mut [u64; MAX_DEPTH]) -> StepOutcome {
+        let macs = self.select(z, |_, _, _| {});
+        StepOutcome {
+            drainable: self.drainable(z),
+            macs,
+        }
+    }
+
+    /// The scalar per-lane, per-option reference search — the pre-batching
+    /// implementation of [`Scheduler::step_masks`], retained as the golden
+    /// model for the kernel-equivalence tests and the speedup baseline of
+    /// the scheduler microbenchmarks. Semantics are identical.
+    pub fn step_masks_reference(&self, z: &mut [u64; MAX_DEPTH]) -> StepOutcome {
         let lanes = self.geometry.lanes();
-        let depth = self.geometry.depth();
         let full = self.geometry.lane_mask();
 
         let mut macs;
         if z[0] == full {
-            // Fast path: dense current row — every lane takes its own dense
-            // cell, no lookahead/lookaside can trigger.
             z[0] = 0;
             macs = lanes;
         } else {
@@ -186,46 +432,50 @@ impl Scheduler {
                 }
             }
         }
-
-        let mut drainable = 0;
-        while drainable < depth && z[drainable] == 0 {
-            drainable += 1;
-        }
         StepOutcome {
-            drainable: drainable.max(1),
+            drainable: self.drainable(z),
             macs,
         }
     }
 
     /// One scheduling step producing the full per-lane `MS` selections —
     /// used by the functional PE and the compression engine. Semantics are
-    /// identical to [`Scheduler::step_masks`].
+    /// identical to [`Scheduler::step_masks`]; selections are reconstructed
+    /// from the batched kernel's per-priority lane words (the lane-uniform
+    /// option shape makes the priority index *the* `MS` select value).
     pub fn step_schedule(&self, z: &mut [u64; MAX_DEPTH]) -> Schedule {
         let lanes = self.geometry.lanes();
-        let depth = self.geometry.depth();
         let mut selections = vec![None; lanes];
 
-        for &lane in &self.lane_order {
-            for (idx, &(row, bit)) in self.ops[lane as usize].iter().enumerate() {
-                if z[row as usize] & bit != 0 {
-                    z[row as usize] &= !bit;
-                    selections[lane as usize] = Some(LaneSelection {
-                        option_index: idx as u8,
-                        movement: Movement::new(row, bit.trailing_zeros() as u8),
-                    });
-                    break;
-                }
+        self.select(z, |taken, priority, (step, off)| {
+            let mut remaining = taken;
+            while remaining != 0 {
+                let lane = remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
+                let source = (lane + off as usize) % lanes;
+                selections[lane] = Some(LaneSelection {
+                    option_index: priority,
+                    movement: Movement::new(step, source as u8),
+                });
             }
-        }
+        });
 
-        let mut advance = 0;
-        while advance < depth && z[advance] == 0 {
-            advance += 1;
-        }
         Schedule {
+            advance: self.drainable(z),
             selections,
-            advance: advance.max(1),
         }
+    }
+
+    /// Leading fully-drained rows after a step, clamped to at least one
+    /// (the dense row always drains).
+    #[inline]
+    fn drainable(&self, z: &[u64; MAX_DEPTH]) -> usize {
+        let depth = self.geometry.depth();
+        let mut drainable = 0;
+        while drainable < depth && z[drainable] == 0 {
+            drainable += 1;
+        }
+        drainable.max(1)
     }
 
     /// Runs a whole stream of row masks through a single PE and reports
@@ -258,6 +508,281 @@ impl Scheduler {
             run.dense_cycles = engine.rows_fed();
         }
         run
+    }
+
+    /// Runs a whole tile row-group of mask streams in lockstep through the
+    /// batched kernel, without per-step engine dispatch.
+    ///
+    /// One stream per PE row; all rows share the dense-side staging window,
+    /// so the group advances by the **minimum** drain across streams each
+    /// cycle (§3.3) — a single dense stream throttles the whole group. All
+    /// streams cover the same reduction extent, so their windows share one
+    /// fill level and the loop keeps a single pending/cursor pair for the
+    /// entire group.
+    ///
+    /// The group's windows are packed `64 / lanes` to a word (a 16-lane PE
+    /// packs four windows per `u64`), so each `(level, priority)` table
+    /// entry resolves up to four PE rows with one masked subword rotation.
+    /// Results are bit-identical to driving one [`RowEngine`] per stream
+    /// and min-reducing the outcomes — windows never interact except
+    /// through the shared drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or the stream lengths differ.
+    #[must_use]
+    pub fn run_masks_batched(&self, streams: &[&[u64]]) -> BatchRun {
+        assert!(!streams.is_empty(), "a row-group needs at least one stream");
+        let len = streams[0].len();
+        assert!(
+            streams.iter().all(|s| s.len() == len),
+            "all streams in a row-group must have equal length"
+        );
+        let mut run = BatchRun {
+            dense_cycles: len as u64,
+            ..BatchRun::default()
+        };
+        if len == 0 {
+            return run;
+        }
+
+        let depth = self.geometry.depth();
+        let lanes = self.geometry.lanes() as u32;
+        let mask = self.geometry.lane_mask();
+        let slots = self.packed_slots;
+        let word_count = streams.len().div_ceil(slots);
+        let mut words: Vec<[u64; MAX_DEPTH]> = vec![[0; MAX_DEPTH]; word_count];
+        // Two per-word scratch rows reused across every step: lanes not
+        // satisfied by their dense cell, and the per-level pending set.
+        let mut scratch = vec![0u64; word_count * 2];
+        // Active-slot mask per word (the last word may be partially filled).
+        let word_full: Vec<u64> = (0..word_count)
+            .map(|wi| {
+                let active = slots.min(streams.len() - wi * slots) as u32;
+                (0..active).fold(0u64, |acc, s| acc | (mask << (s * lanes)))
+            })
+            .collect();
+
+        // Initial fill: `depth` rows (or the whole stream if shorter).
+        let mut pending = depth.min(len);
+        let mut cursor = pending;
+        for (j, stream) in streams.iter().enumerate() {
+            let shift = (j % slots) as u32 * lanes;
+            for (row, &bits) in words[j / slots].iter_mut().zip(&stream[..pending]) {
+                *row |= (bits & mask) << shift;
+            }
+        }
+
+        while pending > 0 {
+            let (drainable, macs) = self.step_packed(&mut words, &mut scratch, &word_full);
+            run.macs += macs;
+            run.scheduler_steps += streams.len() as u64;
+            run.cycles += 1;
+
+            let advance = drainable.min(pending);
+            pending -= advance;
+            let refill = (depth - pending).min(len - cursor);
+            for word in &mut words {
+                word.rotate_left(advance);
+                for row in &mut word[MAX_DEPTH - advance..] {
+                    *row = 0;
+                }
+            }
+            for (j, stream) in streams.iter().enumerate() {
+                let shift = (j % slots) as u32 * lanes;
+                let word = &mut words[j / slots];
+                for (row, &bits) in word[pending..pending + refill]
+                    .iter_mut()
+                    .zip(&stream[cursor..cursor + refill])
+                {
+                    *row |= (bits & mask) << shift;
+                }
+            }
+            pending += refill;
+            cursor += refill;
+        }
+        run
+    }
+
+    /// The engine-per-stream reference implementation of
+    /// [`Scheduler::run_masks_batched`]: one [`RowEngine`] per stream
+    /// driven by the scalar kernel
+    /// ([`RowEngine::schedule_reference`]), min-drain synchronized — the
+    /// exact pre-batching tile group loop. This is the golden model the
+    /// packed group path's equivalence tests, microbenchmarks, and
+    /// `tensordash bench` all share; keeping it in one place guarantees
+    /// they compare against identical semantics.
+    ///
+    /// # Panics
+    ///
+    /// As [`Scheduler::run_masks_batched`].
+    #[must_use]
+    pub fn run_masks_batched_reference(&self, streams: &[&[u64]]) -> BatchRun {
+        assert!(!streams.is_empty(), "a row-group needs at least one stream");
+        let len = streams[0].len();
+        assert!(
+            streams.iter().all(|s| s.len() == len),
+            "all streams in a row-group must have equal length"
+        );
+        let mut engines: Vec<RowEngine> = (0..streams.len())
+            .map(|_| RowEngine::new(self.geometry))
+            .collect();
+        let mut iters: Vec<_> = streams.iter().map(|s| s.iter().copied()).collect();
+        for (engine, iter) in engines.iter_mut().zip(&mut iters) {
+            engine.refill(iter);
+        }
+        let mut run = BatchRun {
+            dense_cycles: len as u64,
+            ..BatchRun::default()
+        };
+        while !engines[0].is_done() {
+            let mut advance = usize::MAX;
+            for engine in &mut engines {
+                let outcome = engine.schedule_reference(self);
+                advance = advance.min(outcome.drainable);
+                run.macs += outcome.macs as u64;
+                run.scheduler_steps += 1;
+            }
+            for (engine, iter) in engines.iter_mut().zip(&mut iters) {
+                engine.advance(advance, iter);
+            }
+            run.cycles += 1;
+        }
+        run
+    }
+
+    /// One lockstep scheduling step over packed row-group windows: every
+    /// `(level, priority)` table entry is applied to all packed words, and
+    /// within a word the precompiled boundary masks rotate all window
+    /// subwords at once. Per window the decisions are identical to
+    /// [`Scheduler::step_masks`] — windows are independent within a step;
+    /// only the drain is min-synchronized.
+    ///
+    /// Returns the minimum drainable row count across windows (clamped to
+    /// at least 1) and the total MACs issued.
+    #[inline]
+    fn step_packed(
+        &self,
+        words: &mut [[u64; MAX_DEPTH]],
+        scratch: &mut [u64],
+        word_full: &[u64],
+    ) -> (usize, u64) {
+        debug_assert_eq!(words.len() * 2, scratch.len());
+        let (unsatisfied, level_pending) = scratch.split_at_mut(words.len());
+        let mut macs = 0u64;
+
+        // Dense cells are private and highest-priority: consume every dense
+        // bit of every packed window up-front, in one pass.
+        let mut all_satisfied = true;
+        for ((word, wanting), &full) in words.iter_mut().zip(unsatisfied.iter_mut()).zip(word_full)
+        {
+            let dense = word[0];
+            word[0] = 0;
+            macs += u64::from(dense.count_ones());
+            // Lanes NOT satisfied by their dense cell (per slot).
+            *wanting = full & !dense;
+            all_satisfied &= *wanting == 0;
+        }
+        if !all_satisfied {
+            self.step_packed_levels(words, unsatisfied, level_pending, &mut macs);
+        }
+
+        // The group drains `r` rows only when *every* window's leading `r`
+        // rows are empty — i.e. the leading all-zero packed rows.
+        let depth = self.geometry.depth();
+        let mut min_drain = 0;
+        while min_drain < depth && words.iter().all(|w| w[min_drain] == 0) {
+            min_drain += 1;
+        }
+        (min_drain.max(1), macs)
+    }
+
+    /// The level/priority deliberation of [`Scheduler::step_packed`], run
+    /// only when some lanes were not satisfied by their dense cells.
+    /// `unsatisfied` holds, per packed word, the lanes still wanting a cell
+    /// (active slots only); it is reused as the per-level pending scratch.
+    fn step_packed_levels(
+        &self,
+        words: &mut [[u64; MAX_DEPTH]],
+        unsatisfied: &[u64],
+        pending_scratch: &mut [u64],
+        macs: &mut u64,
+    ) {
+        for (members, reach) in self
+            .packed_level_members
+            .iter()
+            .zip(&self.packed_level_reach)
+        {
+            // A window participates in this level only if the level's muxes
+            // can see any of its bits. Slots beyond the group (and lanes
+            // already satisfied densely) stay masked out of `pending` so
+            // they can never hold the loop open.
+            let mut live = 0u64;
+            for ((word, pending), &wanting) in words
+                .iter()
+                .zip(pending_scratch.iter_mut())
+                .zip(unsatisfied.iter())
+            {
+                let mut visible = 0u64;
+                for row in 0..MAX_DEPTH {
+                    visible |= word[row] & reach[row];
+                }
+                *pending = if visible == 0 { 0 } else { *members & wanting };
+                live |= *pending;
+            }
+            if live == 0 {
+                continue;
+            }
+            // packed_rel[0] is the dense option, already consumed up-front.
+            for opt in &self.packed_rel[1..] {
+                let step = opt.step as usize;
+                let mut still_live = 0u64;
+                if opt.k == 0 {
+                    // Lookahead options: the cell is the lane bit.
+                    for (word, pending) in words.iter_mut().zip(pending_scratch.iter_mut()) {
+                        let taken = word[step] & *pending;
+                        *pending &= !taken;
+                        word[step] &= !taken;
+                        *macs += u64::from(taken.count_ones());
+                        still_live |= *pending;
+                    }
+                } else {
+                    for (word, pending) in words.iter_mut().zip(pending_scratch.iter_mut()) {
+                        let row = word[step];
+                        let taken = (((row >> opt.k) & opt.rr_lo) | ((row << opt.kc) & opt.rr_hi))
+                            & *pending;
+                        *pending &= !taken;
+                        word[step] = row
+                            & !(((taken << opt.k) & opt.rl_lo) | ((taken >> opt.kc) & opt.rl_hi));
+                        *macs += u64::from(taken.count_ones());
+                        still_live |= *pending;
+                    }
+                }
+                if still_live == 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Rotates the low `lanes` bits of `x` right by `k` on the PE's lane ring.
+#[inline]
+fn rot_right(x: u64, k: u32, lanes: u32, mask: u64) -> u64 {
+    if k == 0 {
+        x
+    } else {
+        ((x >> k) | (x << (lanes - k))) & mask
+    }
+}
+
+/// Rotates the low `lanes` bits of `x` left by `k` on the PE's lane ring.
+#[inline]
+fn rot_left(x: u64, k: u32, lanes: u32, mask: u64) -> u64 {
+    if k == 0 {
+        x
+    } else {
+        ((x << k) | (x >> (lanes - k))) & mask
     }
 }
 
@@ -315,6 +840,18 @@ impl RowEngine {
     pub fn schedule(&mut self, scheduler: &Scheduler) -> StepOutcome {
         debug_assert_eq!(scheduler.geometry(), self.geometry);
         let outcome = scheduler.step_masks(&mut self.z);
+        StepOutcome {
+            drainable: outcome.drainable.min(self.pending.max(1)),
+            macs: outcome.macs,
+        }
+    }
+
+    /// As [`RowEngine::schedule`] but through the scalar reference kernel
+    /// ([`Scheduler::step_masks_reference`]) — the golden model the batched
+    /// path's equivalence tests rebuild whole runs from.
+    pub fn schedule_reference(&mut self, scheduler: &Scheduler) -> StepOutcome {
+        debug_assert_eq!(scheduler.geometry(), self.geometry);
+        let outcome = scheduler.step_masks_reference(&mut self.z);
         StepOutcome {
             drainable: outcome.drainable.min(self.pending.max(1)),
             macs: outcome.macs,
@@ -384,7 +921,7 @@ impl RowEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::connectivity::Connectivity;
+    use crate::connectivity::{Connectivity, ConnectivitySpec};
 
     fn paper_scheduler() -> Scheduler {
         Scheduler::paper(PeGeometry::paper())
@@ -468,6 +1005,115 @@ mod tests {
                 assert_eq!(count, 0);
             }
         }
+    }
+
+    fn random_window(rng: &mut rand::rngs::StdRng, geometry: PeGeometry) -> [u64; MAX_DEPTH] {
+        use rand::Rng;
+        let mut z = [0u64; MAX_DEPTH];
+        for row in z.iter_mut().take(geometry.depth()) {
+            *row = rng.gen::<u64>() & geometry.lane_mask();
+        }
+        z
+    }
+
+    #[test]
+    fn batched_kernel_matches_reference_on_random_windows() {
+        // The tentpole equivalence gate: the word-parallel kernel must
+        // consume exactly the cells the scalar search consumes — same macs,
+        // same drain, same residual window — over >=10k random windows and
+        // every geometry shape we model (including sustained multi-step
+        // windows where earlier cycles left bits cleared).
+        use rand::{rngs::StdRng, SeedableRng};
+        let geometries = [
+            PeGeometry::paper(),
+            PeGeometry::paper_shallow(),
+            PeGeometry::walkthrough(),
+            PeGeometry::new(64, 4).unwrap(),
+            PeGeometry::new(5, 3).unwrap(),
+            PeGeometry::new(16, 1).unwrap(),
+        ];
+        let mut rng = StdRng::seed_from_u64(0xDA5A);
+        for geometry in geometries {
+            let s = Scheduler::paper(geometry);
+            for _ in 0..2_500 {
+                let mut fast = random_window(&mut rng, geometry);
+                let mut reference = fast;
+                // Drain the same window to empty on both paths.
+                for _ in 0..geometry.depth() {
+                    let f = s.step_masks(&mut fast);
+                    let r = s.step_masks_reference(&mut reference);
+                    assert_eq!(fast, reference, "windows diverged on {geometry}");
+                    assert_eq!(f, r, "outcomes diverged on {geometry}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_matches_reference_on_custom_connectivity() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let spec = ConnectivitySpec::custom(vec![(2, 5), (1, 2), (1, -1), (2, -7)]).unwrap();
+        let geometry = PeGeometry::new(24, 3).unwrap();
+        let s = Scheduler::new(&Connectivity::from_spec(geometry, &spec));
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..2_000 {
+            let mut fast = random_window(&mut rng, geometry);
+            let mut reference = fast;
+            let f = s.step_masks(&mut fast);
+            let r = s.step_masks_reference(&mut reference);
+            assert_eq!(fast, reference);
+            assert_eq!(f, r);
+        }
+    }
+
+    #[test]
+    fn batched_group_run_matches_reference_engines() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let s = paper_scheduler();
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        for rows in [1usize, 2, 3, 4, 8] {
+            for density_percent in [0u32, 10, 35, 50, 80, 100] {
+                let streams: Vec<Vec<u64>> = (0..rows)
+                    .map(|_| {
+                        (0..257)
+                            .map(|_| {
+                                let mut m = 0u64;
+                                for lane in 0..16 {
+                                    if rng.gen_range(0..100u32) < density_percent {
+                                        m |= 1 << lane;
+                                    }
+                                }
+                                m
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
+                let batched = s.run_masks_batched(&refs);
+                let reference = s.run_masks_batched_reference(&refs);
+                assert_eq!(batched, reference, "rows {rows} density {density_percent}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_single_stream_matches_run_masks() {
+        let s = paper_scheduler();
+        let stream: Vec<u64> = (0..1_000).map(|i| (i * 2654435761u64) & 0xFFFF).collect();
+        let solo = s.run_masks(stream.iter().copied());
+        let batched = s.run_masks_batched(&[&stream]);
+        assert_eq!(batched.cycles, solo.cycles);
+        assert_eq!(batched.dense_cycles, solo.dense_cycles);
+        assert_eq!(batched.macs, solo.macs);
+        assert_eq!(batched.scheduler_steps, solo.cycles);
+    }
+
+    #[test]
+    fn batched_empty_streams_yield_zero_run() {
+        let s = paper_scheduler();
+        let empty: &[u64] = &[];
+        let run = s.run_masks_batched(&[empty, empty]);
+        assert_eq!(run, BatchRun::default());
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct StagingBuffer<T> {
     values: Vec<T>,
     geometry: PeGeometry,
     pending: usize,
+    /// Per-row non-zero bit vectors, maintained incrementally on
+    /// `push_row`/`advance` — exactly how the hardware latches `AZ`/`BZ`
+    /// next to the values instead of re-deriving them every cycle.
+    nonzero: [u64; MAX_DEPTH],
 }
 
 impl<T: Element> StagingBuffer<T> {
@@ -38,6 +42,7 @@ impl<T: Element> StagingBuffer<T> {
             values: vec![T::ZERO; MAX_DEPTH * geometry.lanes()],
             geometry,
             pending: 0,
+            nonzero: [0; MAX_DEPTH],
         }
     }
 
@@ -77,6 +82,13 @@ impl<T: Element> StagingBuffer<T> {
         for slot in &mut self.values[base + row.len()..base + lanes] {
             *slot = T::ZERO;
         }
+        let mut bits = 0u64;
+        for (lane, value) in row.iter().enumerate() {
+            if !value.is_zero() {
+                bits |= 1 << lane;
+            }
+        }
+        self.nonzero[self.pending] = bits;
         self.pending += 1;
     }
 
@@ -103,18 +115,13 @@ impl<T: Element> StagingBuffer<T> {
 
     /// The per-row non-zero bit vectors (`AZ`/`BZ` in the paper): bit `i` of
     /// row `r` is set when the value at `(+r, i)` is non-zero.
+    ///
+    /// Maintained incrementally as rows are pushed and drained, so reading
+    /// it every cycle costs a copy of four words rather than a scan of
+    /// every cell.
     #[must_use]
     pub fn nonzero_vector(&self) -> [u64; MAX_DEPTH] {
-        let lanes = self.geometry.lanes();
-        let mut vec = [0u64; MAX_DEPTH];
-        for (step, bits) in vec.iter_mut().enumerate().take(self.pending) {
-            for lane in 0..lanes {
-                if !self.values[step * lanes + lane].is_zero() {
-                    *bits |= 1 << lane;
-                }
-            }
-        }
-        vec
+        self.nonzero
     }
 
     /// Drops the `k` leading rows (the `AS` replenish signal), shifting the
@@ -130,6 +137,10 @@ impl<T: Element> StagingBuffer<T> {
         let tail = self.values.len() - k * lanes;
         for slot in &mut self.values[tail..] {
             *slot = T::ZERO;
+        }
+        self.nonzero.rotate_left(k);
+        for bits in &mut self.nonzero[MAX_DEPTH - k..] {
+            *bits = 0;
         }
         self.pending -= k;
     }

@@ -236,6 +236,8 @@ impl Default for ChipConfig {
 /// A validated, fluent way to describe a chip — every knob of Table 2,
 /// starting from the paper defaults.
 ///
+/// # Examples
+///
 /// ```
 /// use tensordash_sim::ChipConfig;
 ///

@@ -7,6 +7,12 @@
 //! `ceil(outputs / cols)` *passes*; the scheduled stream (and therefore the
 //! schedule) repeats identically across passes, so sampled group cycles
 //! multiply by the pass count.
+//!
+//! Each sampled window group is handed to the tile as one
+//! [`Tile::run_group`] call, which executes the whole lockstep loop inside
+//! the batched scheduler kernel
+//! ([`Scheduler::run_masks_batched`](tensordash_core::Scheduler::run_masks_batched))
+//! — the dominant cost of every simulation, with no per-cycle dispatch.
 
 use crate::config::ChipConfig;
 use crate::counters::SimCounters;

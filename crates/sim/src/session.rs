@@ -3,7 +3,7 @@
 //! points.
 //!
 //! This is the public API experiments are written against; the free
-//! functions in [`exec`](crate::exec) remain as deprecated shims.
+//! functions in [`exec`] remain as deprecated shims.
 
 use crate::config::ChipConfig;
 use crate::exec::{self, ExecMode, OpSim};
@@ -13,7 +13,9 @@ use tensordash_trace::OpTrace;
 /// A simulation session owning the chip being modelled.
 ///
 /// Construction is infallible from an existing [`ChipConfig`]; pair it
-/// with [`ChipConfig::builder`] for validated custom machines:
+/// with [`ChipConfig::builder`] for validated custom machines.
+///
+/// # Examples
 ///
 /// ```
 /// use tensordash_sim::{ExecMode, Simulator};

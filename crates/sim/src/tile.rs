@@ -1,16 +1,21 @@
 //! The tile cycle model: lockstep rows sharing a dense-side window.
 //!
-//! Each tile row owns a [`RowEngine`] (its scheduled-side staging window)
-//! and nominally its own scheduler; all rows read the dense-side staging
-//! buffers through the *same* `depth`-row window, so the tile can only drop
-//! dense-schedule rows that **every** row has finished with: the per-cycle
-//! advance is the minimum drain across rows (§3.3, Fig 11). A single dense
-//! row among the scheduled streams therefore throttles the whole tile —
-//! which is exactly why the paper's Fig 17 shows speedup degrading as rows
-//! are added, and why clustered sparsity hurts more than uniform.
+//! Each tile row owns a scheduled-side staging window and nominally its own
+//! scheduler; all rows read the dense-side staging buffers through the
+//! *same* `depth`-row window, so the tile can only drop dense-schedule rows
+//! that **every** row has finished with: the per-cycle advance is the
+//! minimum drain across rows (§3.3, Fig 11). A single dense row among the
+//! scheduled streams therefore throttles the whole tile — which is exactly
+//! why the paper's Fig 17 shows speedup degrading as rows are added, and
+//! why clustered sparsity hurts more than uniform.
+//!
+//! The whole lockstep loop executes inside
+//! [`Scheduler::run_masks_batched`]: one call per window group, bit-exact
+//! with (and much faster than) driving one
+//! [`RowEngine`](tensordash_core::RowEngine) per row step by step.
 
 use crate::config::TileConfig;
-use tensordash_core::{RowEngine, Scheduler};
+use tensordash_core::Scheduler;
 
 /// Result of streaming one window group through a tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,47 +93,18 @@ impl Tile {
             streams.iter().all(|s| s.len() == len),
             "all streams in a group must have equal length"
         );
-        if len == 0 {
-            return GroupRun {
-                cycles: 0,
-                dense_cycles: 0,
-                macs_per_column: 0,
-                scheduler_steps: 0,
-            };
-        }
 
-        let mut engines: Vec<RowEngine> = (0..streams.len())
-            .map(|_| RowEngine::new(self.config.pe))
-            .collect();
-        let mut iters: Vec<std::iter::Copied<std::slice::Iter<'_, u64>>> =
-            streams.iter().map(|s| s.iter().copied()).collect();
-        for (engine, iter) in engines.iter_mut().zip(&mut iters) {
-            engine.refill(iter);
+        // Every row schedules independently; the tile advances by the
+        // minimum drain because the dense-side window is shared. The whole
+        // lockstep loop runs inside the batched scheduler kernel — one call
+        // per group, no per-step engine dispatch.
+        let run = self.scheduler.run_masks_batched(streams);
+        GroupRun {
+            cycles: run.cycles,
+            dense_cycles: run.dense_cycles,
+            macs_per_column: run.macs,
+            scheduler_steps: run.scheduler_steps,
         }
-
-        let mut run = GroupRun {
-            cycles: 0,
-            dense_cycles: len as u64,
-            macs_per_column: 0,
-            scheduler_steps: 0,
-        };
-        while !engines[0].is_done() {
-            // Every row schedules independently; the tile advances by the
-            // minimum drain because the dense-side window is shared.
-            let mut advance = usize::MAX;
-            for engine in &mut engines {
-                let outcome = engine.schedule(&self.scheduler);
-                advance = advance.min(outcome.drainable);
-                run.macs_per_column += outcome.macs as u64;
-                run.scheduler_steps += 1;
-            }
-            for (engine, iter) in engines.iter_mut().zip(&mut iters) {
-                engine.advance(advance, iter);
-            }
-            run.cycles += 1;
-        }
-        debug_assert!(engines.iter().all(RowEngine::is_done));
-        run
     }
 
     /// Dense-baseline cycles for a stream of `rows` reduction rows: one row
@@ -258,6 +234,27 @@ mod tests {
         let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
         let run = t.run_group(&refs);
         assert_eq!(run.scheduler_steps, run.cycles * 3);
+    }
+
+    #[test]
+    fn run_group_matches_the_reference_engine_loop() {
+        // The golden model: the engine-per-stream reference loop with the
+        // scalar kernel (the exact pre-batching `run_group` behaviour).
+        for rows in [1usize, 2, 4] {
+            let t = tile(rows);
+            for (seed, density) in [(40, 0.15), (41, 0.5), (42, 0.95)] {
+                let streams: Vec<Vec<u64>> = (0..rows)
+                    .map(|i| random_stream(seed + i as u64, 331, density))
+                    .collect();
+                let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
+                let reference = t.scheduler.run_masks_batched_reference(&refs);
+                let group = t.run_group(&refs);
+                assert_eq!(group.cycles, reference.cycles, "rows {rows} d {density}");
+                assert_eq!(group.dense_cycles, reference.dense_cycles);
+                assert_eq!(group.macs_per_column, reference.macs);
+                assert_eq!(group.scheduler_steps, reference.scheduler_steps);
+            }
+        }
     }
 
     #[test]

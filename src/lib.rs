@@ -75,6 +75,12 @@
 //!
 //! See the repository `README.md` for a sample `experiment.toml`.
 
+// Compile and run the README's code blocks as doctests, so the documented
+// quickstart can never drift from the real API (`cargo test` covers it).
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
 pub use tensordash_core as core;
 pub use tensordash_energy as energy;
 pub use tensordash_models as models;

@@ -1,0 +1,75 @@
+//! Keeps the README's documented snippets true.
+//!
+//! The Rust blocks are exercised as doctests via `#[doc =
+//! include_str!("../README.md")]` in `src/lib.rs`; this test covers what
+//! doctests cannot: the TOML configuration sample must parse as an
+//! [`ExperimentSpec`], stay consistent with the shipped
+//! `examples/experiment.toml`, and resolve real zoo models.
+
+use tensordash_bench::experiment::ExperimentSpec;
+
+const README: &str = include_str!("../README.md");
+const SHIPPED: &str = include_str!("../examples/experiment.toml");
+
+/// Every fenced block of `language` in `markdown`, in order.
+fn fenced_blocks(markdown: &str, language: &str) -> Vec<String> {
+    let fence = format!("```{language}");
+    let mut blocks = Vec::new();
+    let mut lines = markdown.lines();
+    while let Some(line) = lines.next() {
+        if line.trim() == fence {
+            let mut block = String::new();
+            for body in lines.by_ref() {
+                if body.trim() == "```" {
+                    break;
+                }
+                block.push_str(body);
+                block.push('\n');
+            }
+            blocks.push(block);
+        }
+    }
+    blocks
+}
+
+#[test]
+fn readme_toml_sample_parses_as_an_experiment() {
+    let blocks = fenced_blocks(README, "toml");
+    assert!(!blocks.is_empty(), "README lost its TOML sample");
+    let spec: ExperimentSpec =
+        tensordash_serde::from_toml_str(&blocks[0]).expect("README TOML sample no longer parses");
+    assert_eq!(spec.name, "half-chip-headline");
+    assert_eq!(spec.chip.tiles, 8);
+    assert_eq!(spec.eval.seed, 0xDA5A);
+    let models = spec
+        .resolve_models()
+        .expect("README TOML sample names unknown models");
+    assert_eq!(models.len(), 3);
+}
+
+#[test]
+fn readme_toml_sample_matches_the_shipped_example() {
+    // The README promises `examples/experiment.toml` is a copy of the
+    // sample; comments may differ, the parsed experiment may not.
+    let readme_spec: ExperimentSpec =
+        tensordash_serde::from_toml_str(&fenced_blocks(README, "toml")[0]).unwrap();
+    let shipped_spec: ExperimentSpec = tensordash_serde::from_toml_str(SHIPPED)
+        .expect("examples/experiment.toml no longer parses");
+    assert_eq!(
+        readme_spec, shipped_spec,
+        "README sample and examples/experiment.toml diverged"
+    );
+}
+
+#[test]
+fn readme_references_real_files() {
+    for path in ["docs/ARCHITECTURE.md", "examples/experiment.toml", "ci.sh"] {
+        assert!(README.contains(path), "README no longer mentions `{path}`");
+        assert!(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join(path)
+                .exists(),
+            "README references `{path}` which does not exist"
+        );
+    }
+}
