@@ -1,0 +1,129 @@
+//! Micro-benchmarks of trace extraction: the bit-packed bitmap path vs the
+//! per-element reference walk, across ops and activation densities, plus
+//! the arena-writing synthetic generators feeding the same pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tensordash_tensor::Tensor;
+use tensordash_trace::{
+    extract_op_trace, extract_op_trace_reference, ClusteredSparsity, ConvDims, LayerTensors,
+    SampleSpec, SparsityGen, TrainingOp,
+};
+
+fn layer(density_a: f64, density_g: f64) -> (ConvDims, Tensor, Tensor, Tensor) {
+    let d = ConvDims::conv_square(2, 64, 28, 64, 3, 1, 1);
+    let (ho, wo) = d.output_hw();
+    let mut rng = StdRng::seed_from_u64(0xE17);
+    let mut sparse = |dims: &[usize], density: f64| {
+        Tensor::from_fn(dims, |_| {
+            if rng.gen_bool(density) {
+                rng.gen_range(0.1f32..1.0)
+            } else {
+                0.0
+            }
+        })
+    };
+    let a = sparse(&[d.n, d.c, d.h, d.w], density_a);
+    let w = sparse(&[d.f, d.c, d.kh, d.kw], 1.0);
+    let g = sparse(&[d.n, d.f, ho, wo], density_g);
+    (d, a, w, g)
+}
+
+/// Bitmap vs reference on every training op, full window coverage — the
+/// overlap between adjacent conv windows is exactly what the bitmap path
+/// stops re-reading.
+fn bench_extraction_bitmap_vs_reference(c: &mut Criterion) {
+    let (d, a, w, g) = layer(0.45, 0.55);
+    let tensors = LayerTensors {
+        dims: d,
+        activations: &a,
+        weights: &w,
+        grad_out: &g,
+        output_nonzero: None,
+    };
+    let sample = SampleSpec::new(usize::MAX >> 1, usize::MAX >> 1);
+    let mut group = c.benchmark_group("extract_full_layer");
+    for op in TrainingOp::ALL {
+        let masks = extract_op_trace(&tensors, op, 16, &sample)
+            .arena_masks()
+            .len();
+        group.throughput(Throughput::Elements(masks as u64));
+        group.bench_with_input(
+            BenchmarkId::new("bitmap", format!("{op:?}")),
+            &op,
+            |b, &op| {
+                b.iter(|| extract_op_trace(&tensors, op, 16, &sample));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("{op:?}")),
+            &op,
+            |b, &op| b.iter(|| extract_op_trace_reference(&tensors, op, 16, &sample)),
+        );
+    }
+    group.finish();
+}
+
+/// Extraction across densities: the bitmap path's cost is density-blind
+/// (word gathers either way); the reference path branches per element.
+fn bench_extraction_density_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract_density");
+    let sample = SampleSpec::new(usize::MAX >> 1, usize::MAX >> 1);
+    for density in [0.1, 0.5, 0.9] {
+        let (d, a, w, g) = layer(density, density);
+        let tensors = LayerTensors {
+            dims: d,
+            activations: &a,
+            weights: &w,
+            grad_out: &g,
+            output_nonzero: None,
+        };
+        let masks = extract_op_trace(&tensors, TrainingOp::Forward, 16, &sample)
+            .arena_masks()
+            .len();
+        group.throughput(Throughput::Elements(masks as u64));
+        group.bench_with_input(
+            BenchmarkId::new("bitmap", format!("density_{density}")),
+            &density,
+            |b, _| b.iter(|| extract_op_trace(&tensors, TrainingOp::Forward, 16, &sample)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("density_{density}")),
+            &density,
+            |b, _| {
+                b.iter(|| extract_op_trace_reference(&tensors, TrainingOp::Forward, 16, &sample))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The synthetic generator writing straight into the flat arena — the
+/// front half of every model evaluation.
+fn bench_synthetic_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthetic_op_trace");
+    let d = ConvDims::conv_square(2, 64, 28, 64, 3, 1, 1);
+    let sample = SampleSpec::new(64, 512);
+    for sparsity in [0.35, 0.6, 0.9] {
+        let gen = ClusteredSparsity::new(sparsity, 0.3);
+        let masks = gen
+            .op_trace(d, TrainingOp::Forward, 16, &sample, 1)
+            .arena_masks()
+            .len();
+        group.throughput(Throughput::Elements(masks as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("sparsity_{sparsity}")),
+            &sparsity,
+            |b, _| b.iter(|| gen.op_trace(d, TrainingOp::Forward, 16, &sample, 1)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_extraction_bitmap_vs_reference,
+    bench_extraction_density_sweep,
+    bench_synthetic_generation
+);
+criterion_main!(benches);

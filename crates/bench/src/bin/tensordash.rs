@@ -26,10 +26,13 @@ COMMANDS:
                          full evaluation); bare names also work, e.g.
                          `tensordash fig13 table3`
     bench                Run the fixed perf-tracking workload set and write
-                         BENCH_<n>.json (scheduler-kernel throughput plus
-                         end-to-end model evaluations). `--smoke` runs the
-                         seconds-scale CI variant; `--out <FILE>` overrides
-                         the output path
+                         BENCH_<n>.json (scheduler-kernel + trace-pipeline
+                         throughput plus end-to-end model evaluations).
+                         `--smoke` runs the seconds-scale CI variant;
+                         `--out <FILE>` overrides the output path;
+                         `--baseline <BENCH_n.json>` diffs throughput
+                         against a committed baseline and exits non-zero
+                         on any >20% regression
 
 OPTIONS:
     --config <FILE>      Run a declarative experiment from a TOML file
@@ -131,9 +134,23 @@ fn run_bench(args: &[String]) -> Result<(), String> {
             "--out" => {
                 options.out = Some(take_value(&mut iter, "--out")?.into());
             }
+            "--baseline" => {
+                options.baseline = Some(take_value(&mut iter, "--baseline")?.into());
+            }
             other => return Err(format!("unknown `bench` argument `{other}`")),
         }
     }
+    // Resolve the baseline before the (minutes-long) measurement run.
+    let baseline = options
+        .baseline
+        .as_ref()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline `{}`: {e}", path.display()))?;
+            tensordash_serde::json::parse(&text)
+                .map_err(|e| format!("invalid baseline `{}`: {e}", path.display()))
+        })
+        .transpose()?;
     println!(
         "running the {} perf workload set...",
         if options.smoke { "smoke" } else { "full" }
@@ -145,10 +162,19 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         summary.kernel.step_speedup(),
         summary.kernel.group_speedup()
     );
+    println!(
+        "trace:  {:.2}x bitmap extraction over the reference, {:.2}x warm-cache eval",
+        summary.trace.extraction_speedup(),
+        summary.trace.cache_hit_speedup
+    );
     for model in &summary.models {
         println!(
-            "{:<16} {:>8.2}s wall  {:>14.0} sim cycles/s  speedup {:.3}x",
-            model.name, model.wall_seconds, model.cycles_per_second, model.speedup
+            "{:<16} {:>8.4}s wall ({:>7.4}s cached)  {:>14.0} sim cycles/s  speedup {:.3}x",
+            model.name,
+            model.wall_seconds,
+            model.wall_seconds_cached,
+            model.cycles_per_second,
+            model.speedup
         );
     }
     println!(
@@ -156,6 +182,37 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         summary.total_wall_seconds,
         path.display()
     );
+
+    if let Some(baseline) = baseline {
+        let diffs = tensordash_bench::diff_against_baseline(&summary, &baseline);
+        let mut regressed = false;
+        println!(
+            "\nbaseline {} (>{:.0}% slower fails):",
+            options.baseline.as_ref().expect("baseline path").display(),
+            tensordash_bench::BASELINE_TOLERANCE * 100.0
+        );
+        for diff in &diffs {
+            let flag = if diff.regressed() {
+                regressed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "  {:<40} {:>12.3e} -> {:>12.3e}  ({:>5.2}x) {flag}",
+                diff.metric,
+                diff.baseline,
+                diff.current,
+                diff.ratio()
+            );
+        }
+        if diffs.is_empty() {
+            println!("  (no comparable metrics in baseline)");
+        }
+        if regressed {
+            return Err("throughput regressed against the baseline".to_string());
+        }
+    }
     Ok(())
 }
 

@@ -7,7 +7,7 @@
 //! systematic.
 
 use crate::csvout::write_csv;
-use crate::harness::{EvalSpec, ModelEval};
+use crate::harness::{EvalSpec, ModelEval, TraceCache};
 use crate::paperref;
 use tensordash_models::paper_models;
 use tensordash_sim::{ChipConfig, Simulator};
@@ -25,6 +25,9 @@ pub fn run() -> Vec<(usize, f64)> {
     println!();
 
     let spec = EvalSpec::sweep();
+    // Row count only changes simulation, not the traces: one cached build
+    // per model serves all five sweep points.
+    let cache = TraceCache::new();
     let mut per_rows_totals = vec![Vec::new(); ROWS.len()];
     let mut rows_csv = Vec::new();
     for model in paper_models() {
@@ -35,7 +38,7 @@ pub fn run() -> Vec<(usize, f64)> {
                 .rows(r)
                 .build()
                 .expect("valid sweep point");
-            let report = Simulator::new(chip).eval_model(&model, &spec);
+            let report = Simulator::new(chip).eval_model_cached(&model, &spec, &cache, &model.name);
             let s = report.total_speedup();
             print!(" {s:>7.2}");
             per_rows_totals[i].push(s);

@@ -6,7 +6,7 @@
 //! not fill the wider tile.
 
 use crate::csvout::write_csv;
-use crate::harness::{EvalSpec, ModelEval};
+use crate::harness::{EvalSpec, ModelEval, TraceCache};
 use tensordash_models::paper_models;
 use tensordash_sim::{ChipConfig, Simulator};
 
@@ -18,6 +18,8 @@ pub fn run() {
     println!("Fig 18: speedup vs PE columns per tile (rows = 4)");
     println!("{:<16} {:>10} {:>10}", "model", "4 cols", "16 cols");
     let spec = EvalSpec::sweep();
+    // Column count only changes simulation: one trace build per model.
+    let cache = TraceCache::new();
     let mut csv = Vec::new();
     let mut sums = [0.0f64; 2];
     let mut count = 0;
@@ -29,7 +31,7 @@ pub fn run() {
                 .build()
                 .expect("valid sweep point");
             values[i] = Simulator::new(chip)
-                .eval_model(&model, &spec)
+                .eval_model_cached(&model, &spec, &cache, &model.name)
                 .total_speedup();
             sums[i] += values[i];
         }

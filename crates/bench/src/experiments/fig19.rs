@@ -6,7 +6,7 @@
 //! SqueezeNet, img2txt, resnet50_DS90 and their geometric mean).
 
 use crate::csvout::write_csv;
-use crate::harness::{EvalSpec, ModelEval};
+use crate::harness::{EvalSpec, ModelEval, TraceCache};
 use tensordash_models::paper_models;
 use tensordash_sim::{ChipConfig, Simulator};
 use tensordash_trace::stats::geomean;
@@ -19,6 +19,9 @@ pub fn run() -> Vec<(String, f64, f64)> {
     println!("Fig 19: speedup with staging depth 2 vs 3");
     println!("{:<16} {:>10} {:>10}", "model", "2-deep", "3-deep");
     let spec = EvalSpec::sweep();
+    // Staging depth only changes the scheduler, not the operand streams:
+    // both design points simulate one cached trace build per model.
+    let cache = TraceCache::new();
     let mut out = Vec::new();
     let mut csv = Vec::new();
     for model in paper_models() {
@@ -32,7 +35,7 @@ pub fn run() -> Vec<(String, f64, f64)> {
                 .build()
                 .expect("valid sweep point");
             values[i] = Simulator::new(chip)
-                .eval_model(&model, &spec)
+                .eval_model_cached(&model, &spec, &cache, &model.name)
                 .total_speedup();
         }
         println!("{:<16} {:>10.2} {:>10.2}", model.name, values[0], values[1]);

@@ -5,17 +5,137 @@
 //! compatibility) so that one serializable pair — chip + spec — describes
 //! an experiment. This module contributes the model-zoo glue: trace every
 //! layer of a [`ModelSpec`] at a training progress and drive the whole
-//! batch through [`Simulator::simulate_batch`].
+//! batch through [`Simulator::simulate_batch`] — plus the [`TraceCache`]
+//! that lets multi-chip sweeps build each model's traces **once** and
+//! simulate them on every chip geometry.
 
-use tensordash_models::{layer_traces, ModelSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tensordash_models::{layer_traces, LayerSpec, ModelSpec};
 use tensordash_sim::{ChipConfig, ModelReport, Simulator};
+use tensordash_trace::OpTrace;
 
 pub use tensordash_sim::{EvalSpec, EvalSpecBuilder, EvalSpecError};
+
+/// One model's traced layers: `(layer, [Forward, InputGrad, WeightGrad])`.
+pub type ModelTraces = Vec<(LayerSpec, [OpTrace; 3])>;
+
+/// The key a trace build is cached under — everything mask generation
+/// depends on. Chip geometry is deliberately absent except for the lane
+/// count: traces are packed per PE width, but tiles/rows/columns only
+/// affect *simulation*, which is exactly why geometry sweeps (figs 17–19)
+/// can reuse one build across every swept chip.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TraceKey {
+    model: String,
+    lanes: usize,
+    /// `f64` progress, bit-exact (generation branches on exact values).
+    progress_bits: u64,
+    max_windows: usize,
+    max_rows: usize,
+    block: usize,
+    seed: u64,
+}
+
+impl TraceKey {
+    fn new(model: &ModelSpec, spec: &EvalSpec, lanes: usize) -> Self {
+        TraceKey {
+            model: model.name.clone(),
+            lanes,
+            progress_bits: spec.progress.to_bits(),
+            max_windows: spec.sample.max_windows,
+            max_rows: spec.sample.max_rows,
+            block: spec.sample.block,
+            seed: spec.seed,
+        }
+    }
+}
+
+/// A keyed cache of built model traces.
+///
+/// The caching contract: an entry is keyed by `(model name, lanes,
+/// progress, sample caps, seed)` — every input mask generation reads —
+/// and holds the complete, immutable [`ModelTraces`] behind an [`Arc`].
+/// Model names are assumed to identify their layer geometry and sparsity
+/// profile (true of the zoo; hand-built specs reusing a name against one
+/// cache would collide). Entries live until the cache is dropped; memory
+/// is bounded by distinct keys × trace size, so scope a cache to one
+/// sweep. The cache is thread-safe; concurrent misses on the same key may
+/// build twice, last write wins (both builds are bit-identical).
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    entries: Mutex<HashMap<TraceKey, Arc<ModelTraces>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// The traces of `model` under `spec` at `lanes` lanes — built on the
+    /// first request, shared thereafter.
+    #[must_use]
+    pub fn layer_traces(
+        &self,
+        model: &ModelSpec,
+        spec: &EvalSpec,
+        lanes: usize,
+    ) -> Arc<ModelTraces> {
+        let key = TraceKey::new(model, spec, lanes);
+        if let Some(hit) = self.entries.lock().expect("trace cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(layer_traces(
+            model,
+            spec.progress,
+            lanes,
+            &spec.sample,
+            spec.seed,
+        ));
+        self.entries
+            .lock()
+            .expect("trace cache poisoned")
+            .insert(key, Arc::clone(&built));
+        built
+    }
+
+    /// `(hits, misses)` so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Whether nothing is cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Model-zoo evaluation on a [`Simulator`] session.
 pub trait ModelEval {
     /// Evaluates one model: every layer, all three operations, TensorDash
-    /// and baseline, layers processed in parallel across the available
+    /// and baseline, (layer, op) work items stolen across the available
     /// cores.
     fn eval_model(&self, model: &ModelSpec, spec: &EvalSpec) -> ModelReport;
 
@@ -23,6 +143,25 @@ pub trait ModelEval {
     /// label (used by sweeps that evaluate one model on several chip
     /// geometries).
     fn eval_model_labeled(&self, model: &ModelSpec, spec: &EvalSpec, label: &str) -> ModelReport;
+
+    /// As [`eval_model_labeled`](ModelEval::eval_model_labeled), building
+    /// the traces through `cache` — chip-geometry sweeps hit the cache for
+    /// every chip after the first and only pay for simulation.
+    fn eval_model_cached(
+        &self,
+        model: &ModelSpec,
+        spec: &EvalSpec,
+        cache: &TraceCache,
+        label: &str,
+    ) -> ModelReport;
+}
+
+fn simulate_traces(sim: &Simulator, traces: &ModelTraces, label: &str) -> ModelReport {
+    let groups: Vec<(&str, &[OpTrace])> = traces
+        .iter()
+        .map(|(layer, ops)| (layer.name.as_str(), ops.as_slice()))
+        .collect();
+    sim.simulate_model(label, &groups)
 }
 
 impl ModelEval for Simulator {
@@ -33,11 +172,19 @@ impl ModelEval for Simulator {
     fn eval_model_labeled(&self, model: &ModelSpec, spec: &EvalSpec, label: &str) -> ModelReport {
         let lanes = self.chip().tile.pe.lanes();
         let traces = layer_traces(model, spec.progress, lanes, &spec.sample, spec.seed);
-        let groups: Vec<(&str, &[tensordash_trace::OpTrace])> = traces
-            .iter()
-            .map(|(layer, ops)| (layer.name.as_str(), ops.as_slice()))
-            .collect();
-        self.simulate_model(label, &groups)
+        simulate_traces(self, &traces, label)
+    }
+
+    fn eval_model_cached(
+        &self,
+        model: &ModelSpec,
+        spec: &EvalSpec,
+        cache: &TraceCache,
+        label: &str,
+    ) -> ModelReport {
+        let lanes = self.chip().tile.pe.lanes();
+        let traces = cache.layer_traces(model, spec, lanes);
+        simulate_traces(self, &traces, label)
     }
 }
 
@@ -109,7 +256,7 @@ mod tests {
         );
     }
 
-    /// The acceptance gate for the session API: the thread-pooled
+    /// The acceptance gate for the session API: the work-stealing
     /// `simulate_batch` path produces bit-identical `ModelReport`s to the
     /// sequential per-layer loop the pre-session `eval_model` ran (and to
     /// the deprecated shim, which now routes through the session).
@@ -144,5 +291,34 @@ mod tests {
             assert_eq!(sequential, new, "{} diverged", model.name);
             assert_eq!(eval_model(&chip, model, &spec), new, "shim diverged");
         }
+    }
+
+    /// The trace cache must be invisible in the results: cached evaluation
+    /// across different chip geometries (same lanes) equals the uncached
+    /// path, and the second chip's evaluation is a pure cache hit.
+    #[test]
+    fn cached_sweeps_reuse_traces_and_match_uncached_results() {
+        let model = &paper_models()[0];
+        let spec = EvalSpec {
+            sample: SampleSpec::new(8, 64),
+            progress: 0.45,
+            seed: 7,
+        };
+        let cache = TraceCache::new();
+        for rows in [4usize, 8, 16] {
+            let chip = ChipConfig::builder().rows(rows).build().unwrap();
+            let sim = Simulator::new(chip);
+            let cached = sim.eval_model_cached(model, &spec, &cache, &model.name);
+            let uncached = sim.eval_model(model, &spec);
+            assert_eq!(cached, uncached, "rows {rows} diverged under caching");
+        }
+        assert_eq!(cache.len(), 1, "one build serves every geometry");
+        assert_eq!(cache.stats(), (2, 1), "two hits after the first build");
+
+        // A different seed is a different key — no false sharing.
+        let other = EvalSpec { seed: 8, ..spec };
+        let sim = Simulator::paper();
+        let _ = sim.eval_model_cached(model, &other, &cache, &model.name);
+        assert_eq!(cache.len(), 2);
     }
 }

@@ -35,5 +35,10 @@ pub mod perf;
 pub use csvout::{results_path, write_csv};
 pub use experiment::{ExperimentError, ExperimentSpec, NamedExperiment};
 #[allow(deprecated)]
-pub use harness::{eval_model, eval_model_with_chip_label, EvalSpec, ModelEval};
-pub use perf::{BenchOptions, BenchSummary, KernelBench, ModelBench};
+pub use harness::{
+    eval_model, eval_model_with_chip_label, EvalSpec, ModelEval, ModelTraces, TraceCache,
+};
+pub use perf::{
+    diff_against_baseline, BaselineEntry, BenchOptions, BenchSummary, KernelBench, ModelBench,
+    TraceBench, BASELINE_TOLERANCE,
+};

@@ -7,17 +7,31 @@
 //! * **kernel** — scheduler step throughput, batched word-parallel kernel
 //!   vs the scalar reference search, plus whole row-group throughput vs
 //!   the per-step engine-dispatch loop;
+//! * **trace** — the trace pipeline feeding that kernel: bit-packed
+//!   extraction throughput vs the per-element reference walk
+//!   ([`extract_op_trace_reference`]), synthetic arena-generation
+//!   throughput, and the warm-cache model-evaluation speedup (the
+//!   [`TraceCache`] contract);
 //! * **models** — a fixed subset of the zoo evaluated end to end:
 //!   wall-clock seconds, simulated TensorDash compute cycles, simulated
 //!   cycles per wall second, and the model's speedup over the dense
 //!   baseline (the speedups are deterministic and double as a sanity
 //!   check that perf work never changed results).
 //!
+//! Every wall/throughput metric is the **best of N** samples (after an
+//! untimed process warm-up): on shared hardware, co-tenant interference
+//! and frequency ramps only ever add time, so the minimum is the
+//! observation closest to the code's true cost and the estimator least
+//! likely to fail the `--baseline` gate on noise while still catching
+//! real regressions. `BENCH_2.json` predates this and recorded one
+//! first-call sample per model.
+//!
 //! `tensordash bench --smoke` runs a seconds-scale variant of the same
-//! measurements for CI — the numbers are not representative, but the whole
-//! path (measure → serialize → write) is exercised.
+//! measurements for CI, and `tensordash bench --baseline BENCH_<n>.json`
+//! diffs the run against a committed baseline, failing on throughput
+//! regressions (see [`diff_against_baseline`]).
 
-use crate::harness::ModelEval;
+use crate::harness::{ModelEval, TraceCache};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -25,6 +39,10 @@ use tensordash_core::{PeGeometry, Scheduler, MAX_DEPTH};
 use tensordash_models::paper_models;
 use tensordash_serde::Value;
 use tensordash_sim::{ChipConfig, EvalSpec, Simulator};
+use tensordash_tensor::Tensor;
+use tensordash_trace::{
+    extract_op_trace, extract_op_trace_reference, ConvDims, LayerTensors, SampleSpec, TrainingOp,
+};
 
 /// How `tensordash bench` should run.
 #[derive(Debug, Clone, Default)]
@@ -34,6 +52,8 @@ pub struct BenchOptions {
     /// Explicit output path; `None` picks the next `BENCH_<n>.json` in the
     /// current directory.
     pub out: Option<PathBuf>,
+    /// A committed `BENCH_<n>.json` to diff throughput against.
+    pub baseline: Option<PathBuf>,
 }
 
 /// Scheduler-kernel throughput: the hot path measured in isolation.
@@ -63,13 +83,37 @@ impl KernelBench {
     }
 }
 
+/// Trace-pipeline throughput: extraction, synthesis, and the cache.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceBench {
+    /// Extracted masks per second through the bit-packed bitmap path.
+    pub extract_masks_per_sec_bitmap: f64,
+    /// Extracted masks per second through the per-element reference walk.
+    pub extract_masks_per_sec_reference: f64,
+    /// Synthetic masks per second (clustered generator into the arena).
+    pub synthetic_masks_per_sec: f64,
+    /// Warm-trace-cache model evaluation speedup over the uncached path
+    /// (what every chip after the first pays in a geometry sweep).
+    pub cache_hit_speedup: f64,
+}
+
+impl TraceBench {
+    /// Bitmap-over-reference extraction throughput ratio.
+    #[must_use]
+    pub fn extraction_speedup(&self) -> f64 {
+        self.extract_masks_per_sec_bitmap / self.extract_masks_per_sec_reference
+    }
+}
+
 /// One model's end-to-end evaluation measurement.
 #[derive(Debug, Clone)]
 pub struct ModelBench {
     /// Zoo model name.
     pub name: String,
-    /// Wall-clock seconds for the full evaluation.
+    /// Wall-clock seconds for a full evaluation (best of 3, cold traces).
     pub wall_seconds: f64,
+    /// Wall-clock seconds with the trace cache warm (best of 3).
+    pub wall_seconds_cached: f64,
     /// Simulated TensorDash compute cycles (scaled to the full model).
     pub cycles_simulated: u64,
     /// Simulated cycles per wall second — the headline throughput metric.
@@ -85,6 +129,8 @@ pub struct BenchSummary {
     pub smoke: bool,
     /// Scheduler-kernel measurements.
     pub kernel: KernelBench,
+    /// Trace-pipeline measurements.
+    pub trace: TraceBench,
     /// Per-model end-to-end measurements.
     pub models: Vec<ModelBench>,
     /// Total wall-clock seconds of the whole run.
@@ -121,6 +167,28 @@ impl BenchSummary {
                 Value::Float(self.kernel.group_speedup()),
             ),
         ]);
+        let trace = Value::Table(vec![
+            (
+                "extract_masks_per_sec_bitmap".into(),
+                Value::Float(self.trace.extract_masks_per_sec_bitmap),
+            ),
+            (
+                "extract_masks_per_sec_reference".into(),
+                Value::Float(self.trace.extract_masks_per_sec_reference),
+            ),
+            (
+                "extraction_speedup".into(),
+                Value::Float(self.trace.extraction_speedup()),
+            ),
+            (
+                "synthetic_masks_per_sec".into(),
+                Value::Float(self.trace.synthetic_masks_per_sec),
+            ),
+            (
+                "cache_hit_speedup".into(),
+                Value::Float(self.trace.cache_hit_speedup),
+            ),
+        ]);
         let models = Value::Array(
             self.models
                 .iter()
@@ -128,6 +196,10 @@ impl BenchSummary {
                     Value::Table(vec![
                         ("name".into(), Value::Str(m.name.clone())),
                         ("wall_seconds".into(), Value::Float(m.wall_seconds)),
+                        (
+                            "wall_seconds_cached".into(),
+                            Value::Float(m.wall_seconds_cached),
+                        ),
                         ("cycles_simulated".into(), Value::UInt(m.cycles_simulated)),
                         (
                             "cycles_per_second".into(),
@@ -139,9 +211,10 @@ impl BenchSummary {
                 .collect(),
         );
         Value::Table(vec![
-            ("schema".into(), Value::Str("tensordash-bench/1".into())),
+            ("schema".into(), Value::Str("tensordash-bench/2".into())),
             ("smoke".into(), Value::Bool(self.smoke)),
             ("kernel".into(), kernel),
+            ("trace".into(), trace),
             ("models".into(), models),
             (
                 "total_wall_seconds".into(),
@@ -189,17 +262,42 @@ pub fn next_bench_path_in(dir: &std::path::Path) -> PathBuf {
     dir.join(format!("BENCH_{next}.json"))
 }
 
-/// Median wall-clock seconds of `samples` runs of `routine`.
-fn median_seconds(samples: usize, mut routine: impl FnMut()) -> f64 {
-    let mut times: Vec<f64> = (0..samples.max(1))
+/// Spins real scheduler work untimed until the core leaves its idle
+/// frequency state (~0.3 s): the first measured samples of a cold process
+/// otherwise read 20-25% slow and poison cross-run baselines.
+fn warm_up() {
+    let scheduler = Scheduler::paper(PeGeometry::paper());
+    let start = Instant::now();
+    let mut z = [0x5A5Au64; MAX_DEPTH];
+    while start.elapsed().as_secs_f64() < 0.3 {
+        for _ in 0..1024 {
+            let mut w = z;
+            z[0] = z[0].rotate_left(1) ^ scheduler.step_masks(&mut w).macs as u64;
+        }
+    }
+    std::hint::black_box(z);
+}
+
+/// Best (minimum) wall-clock seconds of `samples` runs — the noise-robust
+/// estimator behind every *throughput* metric the `--baseline` gate
+/// compares: scheduler-frequency ramps and co-tenant interference only
+/// ever add time, so the minimum is the closest observation to the code's
+/// true cost.
+fn best_seconds(samples: usize, mut routine: impl FnMut()) -> f64 {
+    sample_seconds(samples, &mut routine)
+        .into_iter()
+        .min_by(f64::total_cmp)
+        .expect("at least one sample")
+}
+
+fn sample_seconds(samples: usize, routine: &mut impl FnMut()) -> Vec<f64> {
+    (0..samples.max(1))
         .map(|_| {
             let start = Instant::now();
             routine();
             start.elapsed().as_secs_f64()
         })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+        .collect()
 }
 
 fn random_masks(seed: u64, rows: usize, density: f64) -> Vec<u64> {
@@ -225,7 +323,11 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
     // 512 windows x 32 bytes stay L1-resident: the measurement targets the
     // kernel's compute, not the memory streaming of synthetic inputs.
     let windows_per_density = 512;
-    let (passes, samples) = if smoke { (4, 3) } else { (32, 9) };
+    // The smoke variant trims samples, not passes-per-sample: rates must
+    // stay commensurable with a full run's, because `--baseline` compares
+    // them across variants (timing 4 passes put ~25% of cold-start into
+    // every sample and made smoke rates look regressed).
+    let (passes, samples) = if smoke { (16, 3) } else { (32, 9) };
 
     // One batch of staging windows per density level: windows of one
     // operation share a sparsity level, so density-homogeneous batches are
@@ -250,7 +352,7 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
                 z
             })
             .collect();
-        batched += median_seconds(samples, || {
+        batched += best_seconds(samples, || {
             let mut total = 0u64;
             for _ in 0..passes {
                 for window in &windows {
@@ -260,7 +362,7 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
             }
             std::hint::black_box(total);
         });
-        reference += median_seconds(samples, || {
+        reference += best_seconds(samples, || {
             let mut total = 0u64;
             for _ in 0..passes {
                 for window in &windows {
@@ -282,10 +384,10 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
         .collect();
     let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
     let group_masks = (streams.len() * stream_rows) as f64;
-    let group_batched = median_seconds(samples, || {
+    let group_batched = best_seconds(samples, || {
         std::hint::black_box(scheduler.run_masks_batched(&refs));
     });
-    let group_reference = median_seconds(samples, || {
+    let group_reference = best_seconds(samples, || {
         std::hint::black_box(scheduler.run_masks_batched_reference(&refs));
     });
 
@@ -297,7 +399,109 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
     }
 }
 
-/// Evaluates the fixed model workload set, timing each model end to end.
+/// The fixed extraction workload: one realistically-sized conv layer's
+/// tensors at mid-training sparsity.
+fn extraction_workload(smoke: bool) -> (ConvDims, Tensor, Tensor, Tensor) {
+    let d = if smoke {
+        ConvDims::conv_square(1, 32, 10, 32, 3, 1, 1)
+    } else {
+        ConvDims::conv_square(2, 64, 28, 64, 3, 1, 1)
+    };
+    let (ho, wo) = d.output_hw();
+    let mut rng = StdRng::seed_from_u64(0x7ACE);
+    let mut sparse = |dims: &[usize], density: f64| {
+        Tensor::from_fn(dims, |_| {
+            if rng.gen_bool(density) {
+                rng.gen_range(0.1f32..1.0)
+            } else {
+                0.0
+            }
+        })
+    };
+    let a = sparse(&[d.n, d.c, d.h, d.w], 0.45);
+    let w = sparse(&[d.f, d.c, d.kh, d.kw], 1.0);
+    let g = sparse(&[d.n, d.f, ho, wo], 0.55);
+    (d, a, w, g)
+}
+
+/// Measures the trace pipeline: full-layer extraction (every window of all
+/// three training ops) through the bitmap path vs the per-element
+/// reference, synthetic arena generation, and the warm-cache evaluation
+/// speedup.
+#[must_use]
+pub fn bench_trace(smoke: bool) -> TraceBench {
+    let samples = if smoke { 3 } else { 7 };
+    let (d, a, w, g) = extraction_workload(smoke);
+    let tensors = LayerTensors {
+        dims: d,
+        activations: &a,
+        weights: &w,
+        grad_out: &g,
+        output_nonzero: None,
+    };
+    // Every window of the operation, full stream depth: the overlap between
+    // adjacent conv windows is the point of the bitmap path.
+    let sample = SampleSpec::new(usize::MAX >> 1, usize::MAX >> 1);
+    let masks_per_pass: usize = TrainingOp::ALL
+        .iter()
+        .map(|&op| {
+            extract_op_trace(&tensors, op, 16, &sample)
+                .arena_masks()
+                .len()
+        })
+        .sum();
+    let bitmap = best_seconds(samples, || {
+        for op in TrainingOp::ALL {
+            std::hint::black_box(extract_op_trace(&tensors, op, 16, &sample));
+        }
+    });
+    let reference = best_seconds(samples, || {
+        for op in TrainingOp::ALL {
+            std::hint::black_box(extract_op_trace_reference(&tensors, op, 16, &sample));
+        }
+    });
+
+    // Synthetic generation throughput over the same geometry.
+    use tensordash_trace::{ClusteredSparsity, SparsityGen};
+    let gen = ClusteredSparsity::new(0.55, 0.3);
+    let gen_sample = SampleSpec::new(64, 512);
+    let gen_masks = gen
+        .op_trace(d, TrainingOp::Forward, 16, &gen_sample, 1)
+        .arena_masks()
+        .len();
+    let synthetic = best_seconds(samples, || {
+        std::hint::black_box(gen.op_trace(d, TrainingOp::Forward, 16, &gen_sample, 1));
+    });
+
+    // Warm-cache evaluation: what the second chip of a sweep pays.
+    let sim = Simulator::new(ChipConfig::paper());
+    let zoo = paper_models();
+    let model = &zoo[0]; // AlexNet
+    let spec = EvalSpec::builder()
+        .streams(8, 64)
+        .progress(0.45)
+        .seed(0xDA5A)
+        .build()
+        .expect("valid cache-bench spec");
+    let cache = TraceCache::new();
+    let _ = sim.eval_model_cached(model, &spec, &cache, &model.name); // fill
+    let cold = best_seconds(samples, || {
+        std::hint::black_box(sim.eval_model(model, &spec));
+    });
+    let warm = best_seconds(samples, || {
+        std::hint::black_box(sim.eval_model_cached(model, &spec, &cache, &model.name));
+    });
+
+    TraceBench {
+        extract_masks_per_sec_bitmap: masks_per_pass as f64 / bitmap,
+        extract_masks_per_sec_reference: masks_per_pass as f64 / reference,
+        synthetic_masks_per_sec: gen_masks as f64 / synthetic,
+        cache_hit_speedup: cold / warm,
+    }
+}
+
+/// Evaluates the fixed model workload set, timing each model end to end
+/// (best of 3 after one untimed warm-up), cold and trace-cache-warm.
 #[must_use]
 pub fn bench_models(smoke: bool) -> Vec<ModelBench> {
     let sim = Simulator::new(ChipConfig::paper());
@@ -330,19 +534,132 @@ pub fn bench_models(smoke: bool) -> Vec<ModelBench> {
                 .iter()
                 .find(|m| m.name == name)
                 .expect("bench workload model is in the zoo");
-            let start = Instant::now();
-            let report = sim.eval_model(model, &spec);
-            let wall_seconds = start.elapsed().as_secs_f64();
+            let report = sim.eval_model(model, &spec); // warm-up, untimed
+            let wall_seconds = best_seconds(3, || {
+                std::hint::black_box(sim.eval_model(model, &spec));
+            });
+            let cache = TraceCache::new();
+            let _ = sim.eval_model_cached(model, &spec, &cache, name);
+            let wall_seconds_cached = best_seconds(3, || {
+                std::hint::black_box(sim.eval_model_cached(model, &spec, &cache, name));
+            });
             let cycles_simulated = report.tensordash_counters().compute_cycles;
             ModelBench {
                 name: name.to_string(),
                 wall_seconds,
+                wall_seconds_cached,
                 cycles_simulated,
                 cycles_per_second: cycles_simulated as f64 / wall_seconds,
                 speedup: report.total_speedup(),
             }
         })
         .collect()
+}
+
+/// Throughput regressions larger than this fraction fail a
+/// `--baseline` run.
+pub const BASELINE_TOLERANCE: f64 = 0.20;
+
+/// One metric compared against a committed baseline document.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Dotted metric path, e.g. `kernel.steps_per_sec_batched`.
+    pub metric: String,
+    /// The baseline's recorded value.
+    pub baseline: f64,
+    /// This run's value.
+    pub current: f64,
+}
+
+impl BaselineEntry {
+    /// Current over baseline (higher is better for every compared metric).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.current / self.baseline
+    }
+
+    /// Whether this metric regressed beyond [`BASELINE_TOLERANCE`].
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.ratio() < 1.0 - BASELINE_TOLERANCE
+    }
+}
+
+fn baseline_float(doc: &Value, section: &str, key: &str) -> Option<f64> {
+    doc.get(section)?.get(key)?.as_float().ok()
+}
+
+/// Diffs this run's throughput metrics against a previously committed
+/// `BENCH_<n>.json` document.
+///
+/// Kernel throughputs are per-step/per-mask rates over the same inner
+/// workload in both variants (smoke trims samples and stream length, not
+/// the measured loop), so they compare across smoke/full runs — which is
+/// what lets CI's smoke run gate against a committed full-run baseline.
+/// Trace and per-model throughputs are only compared when both runs used
+/// the same variant: the smoke variant extracts a smaller layer and
+/// evaluates a reduced spec, so its masks/sec and cycles-per-second are
+/// not commensurable with a full run's. Metrics the baseline predates
+/// (e.g. the `trace` section in `BENCH_2.json`) are skipped.
+#[must_use]
+pub fn diff_against_baseline(summary: &BenchSummary, baseline: &Value) -> Vec<BaselineEntry> {
+    let mut entries = Vec::new();
+    let mut push = |metric: &str, base: Option<f64>, current: f64| {
+        if let Some(baseline) = base {
+            if baseline > 0.0 {
+                entries.push(BaselineEntry {
+                    metric: metric.to_string(),
+                    baseline,
+                    current,
+                });
+            }
+        }
+    };
+    push(
+        "kernel.steps_per_sec_batched",
+        baseline_float(baseline, "kernel", "steps_per_sec_batched"),
+        summary.kernel.steps_per_sec_batched,
+    );
+    push(
+        "kernel.group_masks_per_sec_batched",
+        baseline_float(baseline, "kernel", "group_masks_per_sec_batched"),
+        summary.kernel.group_masks_per_sec_batched,
+    );
+
+    let same_variant = baseline
+        .get("smoke")
+        .and_then(|v| v.as_bool().ok())
+        .is_some_and(|smoke| smoke == summary.smoke);
+    if same_variant {
+        push(
+            "trace.extract_masks_per_sec_bitmap",
+            baseline_float(baseline, "trace", "extract_masks_per_sec_bitmap"),
+            summary.trace.extract_masks_per_sec_bitmap,
+        );
+        push(
+            "trace.synthetic_masks_per_sec",
+            baseline_float(baseline, "trace", "synthetic_masks_per_sec"),
+            summary.trace.synthetic_masks_per_sec,
+        );
+        if let Some(Value::Array(models)) = baseline.get("models") {
+            for doc in models {
+                let Some(Ok(name)) = doc.get("name").map(Value::as_str) else {
+                    continue;
+                };
+                let Some(current) = summary.models.iter().find(|m| m.name == name) else {
+                    continue;
+                };
+                if let Some(Ok(cps)) = doc.get("cycles_per_second").map(Value::as_float) {
+                    push(
+                        &format!("models.{name}.cycles_per_second"),
+                        Some(cps),
+                        current.cycles_per_second,
+                    );
+                }
+            }
+        }
+    }
+    entries
 }
 
 /// Runs the whole measurement set and writes the JSON document.
@@ -354,11 +671,14 @@ pub fn bench_models(smoke: bool) -> Vec<ModelBench> {
 /// Returns the underlying I/O error if the report cannot be written.
 pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
     let start = Instant::now();
+    warm_up();
     let kernel = bench_kernel(options.smoke);
+    let trace = bench_trace(options.smoke);
     let models = bench_models(options.smoke);
     let summary = BenchSummary {
         smoke: options.smoke,
         kernel,
+        trace,
         models,
         total_wall_seconds: start.elapsed().as_secs_f64(),
     };
@@ -377,19 +697,121 @@ mod tests {
         assert!(kernel.steps_per_sec_batched > 0.0);
         assert!(kernel.steps_per_sec_reference > 0.0);
         assert!(kernel.group_masks_per_sec_batched > 0.0);
+        let trace = bench_trace(true);
+        assert!(trace.extract_masks_per_sec_bitmap > 0.0);
+        assert!(
+            trace.extraction_speedup() > 1.0,
+            "bitmap extraction must beat the reference ({}x)",
+            trace.extraction_speedup()
+        );
+        assert!(trace.cache_hit_speedup > 1.0);
         let summary = BenchSummary {
             smoke: true,
             kernel,
+            trace,
             models: bench_models(true),
             total_wall_seconds: 0.5,
         };
         assert_eq!(summary.models.len(), 1);
         assert!(summary.models[0].speedup > 1.0);
+        assert!(summary.models[0].wall_seconds_cached <= summary.models[0].wall_seconds * 1.5);
         let doc = summary.document();
         assert!(doc.get("kernel").is_some());
+        assert!(doc.get("trace").is_some());
         let json = tensordash_serde::json::write(&doc);
         assert!(json.contains("steps_per_sec_batched"));
+        assert!(json.contains("extraction_speedup"));
         assert!(json.contains("AlexNet"));
+    }
+
+    #[test]
+    fn baseline_diff_flags_regressions_and_skips_missing_sections() {
+        let summary = BenchSummary {
+            smoke: true,
+            kernel: KernelBench {
+                steps_per_sec_batched: 5.0e6, // half the baseline: regressed
+                steps_per_sec_reference: 1.0e6,
+                group_masks_per_sec_batched: 2.0e7, // improved
+                group_masks_per_sec_reference: 1.0e7,
+            },
+            trace: TraceBench {
+                extract_masks_per_sec_bitmap: 1.0e7,
+                extract_masks_per_sec_reference: 1.0e6,
+                synthetic_masks_per_sec: 1.0e8,
+                cache_hit_speedup: 2.0,
+            },
+            models: vec![],
+            total_wall_seconds: 0.0,
+        };
+        // A BENCH_2-era baseline: kernel only, no trace section, full run.
+        let baseline = tensordash_serde::json::parse(
+            r#"{"smoke": false, "kernel": {"steps_per_sec_batched": 1.0e7,
+                "group_masks_per_sec_batched": 1.8e7}, "models": [
+                {"name": "AlexNet", "cycles_per_second": 8.0e9}]}"#,
+        )
+        .unwrap();
+        let diffs = diff_against_baseline(&summary, &baseline);
+        // Trace and model metrics skipped (different variant — and the
+        // baseline predates the trace section anyway); both kernel
+        // metrics compared.
+        assert_eq!(diffs.len(), 2);
+        let steps = diffs
+            .iter()
+            .find(|d| d.metric == "kernel.steps_per_sec_batched")
+            .unwrap();
+        assert!(steps.regressed());
+        let group = diffs
+            .iter()
+            .find(|d| d.metric == "kernel.group_masks_per_sec_batched")
+            .unwrap();
+        assert!(!group.regressed());
+        assert!(group.ratio() > 1.0);
+    }
+
+    #[test]
+    fn baseline_diff_compares_models_for_matching_variants() {
+        let summary = BenchSummary {
+            smoke: false,
+            kernel: KernelBench {
+                steps_per_sec_batched: 1.0e7,
+                steps_per_sec_reference: 1.0e6,
+                group_masks_per_sec_batched: 1.0e7,
+                group_masks_per_sec_reference: 1.0e7,
+            },
+            trace: TraceBench {
+                extract_masks_per_sec_bitmap: 1.0,
+                extract_masks_per_sec_reference: 1.0,
+                synthetic_masks_per_sec: 1.0,
+                cache_hit_speedup: 1.0,
+            },
+            models: vec![ModelBench {
+                name: "AlexNet".into(),
+                wall_seconds: 0.01,
+                wall_seconds_cached: 0.005,
+                cycles_simulated: 100,
+                cycles_per_second: 9.0e9,
+                speedup: 2.0,
+            }],
+            total_wall_seconds: 0.0,
+        };
+        let baseline = tensordash_serde::json::parse(
+            r#"{"smoke": false, "kernel": {},
+                "trace": {"extract_masks_per_sec_bitmap": 2.0},
+                "models": [
+                {"name": "AlexNet", "cycles_per_second": 8.0e9}]}"#,
+        )
+        .unwrap();
+        let diffs = diff_against_baseline(&summary, &baseline);
+        let model = diffs
+            .iter()
+            .find(|d| d.metric == "models.AlexNet.cycles_per_second")
+            .expect("same-variant model metric compared");
+        assert!(!model.regressed());
+        let trace = diffs
+            .iter()
+            .find(|d| d.metric == "trace.extract_masks_per_sec_bitmap")
+            .expect("same-variant trace metric compared");
+        assert!(trace.regressed(), "1.0 vs baseline 2.0 must regress");
     }
 
     #[test]

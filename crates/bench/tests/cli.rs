@@ -133,14 +133,68 @@ fn bench_smoke_writes_a_perf_report() {
     assert!(text.contains("row-group"), "{text}");
     let json = std::fs::read_to_string(&out_path).unwrap();
     for key in [
-        "tensordash-bench/1",
+        "tensordash-bench/2",
         "step_speedup",
         "group_speedup",
+        "extraction_speedup",
+        "cache_hit_speedup",
         "cycles_per_second",
+        "wall_seconds_cached",
         "AlexNet",
     ] {
         assert!(json.contains(key), "missing `{key}` in {json}");
     }
+
+    // Deterministic gate checks (real recorded rates would race the
+    // machine's load): an easily-beaten baseline must pass and print the
+    // comparison table, an unbeatable one must fail the run.
+    let low_baseline = temp_file("bench-baseline-low.json");
+    std::fs::write(
+        &low_baseline,
+        r#"{"smoke": true, "kernel": {"steps_per_sec_batched": 1.0,
+            "group_masks_per_sec_batched": 1.0}}"#,
+    )
+    .unwrap();
+    let second_out = temp_file("bench-smoke-2.json");
+    let out = tensordash(&[
+        "bench",
+        "--smoke",
+        "--out",
+        second_out.to_str().unwrap(),
+        "--baseline",
+        low_baseline.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("baseline"), "{text}");
+    assert!(text.contains("kernel.steps_per_sec_batched"), "{text}");
+
+    let high_baseline = temp_file("bench-baseline-high.json");
+    std::fs::write(
+        &high_baseline,
+        r#"{"smoke": true, "kernel": {"steps_per_sec_batched": 1.0e18,
+            "group_masks_per_sec_batched": 1.0e18}}"#,
+    )
+    .unwrap();
+    let out = tensordash(&[
+        "bench",
+        "--smoke",
+        "--out",
+        second_out.to_str().unwrap(),
+        "--baseline",
+        high_baseline.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "impossible baseline must fail");
+    assert!(String::from_utf8(out.stdout).unwrap().contains("REGRESSED"));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("regressed"));
+
+    let out = tensordash(&["bench", "--baseline", "/nonexistent/BENCH_0.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("baseline"));
 
     let out = tensordash(&["bench", "--frobnicate"]);
     assert!(!out.status.success());

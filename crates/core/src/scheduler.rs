@@ -129,6 +129,65 @@ pub struct BatchRun {
     pub scheduler_steps: u64,
 }
 
+/// How the batched kernel reads a row-group's streams: a vector of slices
+/// or a flat arena of back-to-back equal-length streams. Monomorphized
+/// into the kernel, so both entries compile to direct indexing.
+trait BatchStreams {
+    /// Number of streams in the group.
+    fn count(&self) -> usize;
+    /// Rows per stream (equal across the group).
+    fn len(&self) -> usize;
+    /// Stream `j`'s rows `start..end`.
+    fn rows(&self, j: usize, start: usize, end: usize) -> &[u64];
+    /// Stream `j`'s single row `i` (the common steady-state refill is one
+    /// row per cycle — this skips the slice machinery).
+    fn row(&self, j: usize, i: usize) -> u64;
+}
+
+struct SliceStreams<'a> {
+    streams: &'a [&'a [u64]],
+    len: usize,
+}
+
+impl BatchStreams for SliceStreams<'_> {
+    fn count(&self) -> usize {
+        self.streams.len()
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+    #[inline]
+    fn rows(&self, j: usize, start: usize, end: usize) -> &[u64] {
+        &self.streams[j][start..end]
+    }
+    #[inline]
+    fn row(&self, j: usize, i: usize) -> u64 {
+        self.streams[j][i]
+    }
+}
+
+struct ArenaStreams<'a> {
+    arena: &'a [u64],
+    rows: usize,
+}
+
+impl BatchStreams for ArenaStreams<'_> {
+    fn count(&self) -> usize {
+        self.arena.len() / self.rows
+    }
+    fn len(&self) -> usize {
+        self.rows
+    }
+    #[inline]
+    fn rows(&self, j: usize, start: usize, end: usize) -> &[u64] {
+        &self.arena[j * self.rows + start..j * self.rows + end]
+    }
+    #[inline]
+    fn row(&self, j: usize, i: usize) -> u64 {
+        self.arena[j * self.rows + i]
+    }
+}
+
 /// The batched bitmask scheduler. This is the hot structure of the whole
 /// repository — the tile simulator runs it over millions of staging windows.
 ///
@@ -183,7 +242,13 @@ pub struct Scheduler {
     /// Level membership words tiled across the packed slots.
     packed_level_members: Vec<u64>,
     /// Level promotion-reach rows tiled across the packed slots.
-    packed_level_reach: Vec<[u64; MAX_DEPTH]>,
+    /// Per level, the row-union of the member lanes' promotion-target
+    /// masks tiled across the packed slots: one AND against a window's
+    /// above-dense bits replaces a row-by-row visibility scan in the
+    /// batched group kernel (a superset test — exact for the all-empty
+    /// skip that matters, and a level's reachable sources absent from
+    /// *any* row can never be taken).
+    packed_level_reach_any: Vec<u64>,
 }
 
 /// One movement option compiled for the packed group path: subword ring
@@ -277,15 +342,11 @@ impl Scheduler {
             .iter()
             .map(|&m| repeat(m))
             .collect();
-        let packed_level_reach = level_reach
+        // Row 0 is excluded: the group kernel consumes every dense bit
+        // before the level walk, so above-dense rows are all that remain.
+        let packed_level_reach_any = level_reach
             .iter()
-            .map(|rows| {
-                let mut tiled = [0u64; MAX_DEPTH];
-                for (out, &row) in tiled.iter_mut().zip(rows) {
-                    *out = repeat(row);
-                }
-                tiled
-            })
+            .map(|rows| repeat(rows[1..].iter().fold(0u64, |acc, &r| acc | r)))
             .collect();
         Scheduler {
             geometry,
@@ -298,7 +359,7 @@ impl Scheduler {
             packed_slots: slots,
             packed_rel,
             packed_level_members,
-            packed_level_reach,
+            packed_level_reach_any,
         }
     }
 
@@ -538,6 +599,37 @@ impl Scheduler {
             streams.iter().all(|s| s.len() == len),
             "all streams in a row-group must have equal length"
         );
+        self.run_batched_impl(SliceStreams { streams, len })
+    }
+
+    /// As [`Scheduler::run_masks_batched`], reading the group's streams
+    /// straight out of a flat mask **arena**: `arena` holds
+    /// `arena.len() / rows` equal-length streams back to back, `rows` masks
+    /// each. This is the entry the tile simulator feeds whole trace span
+    /// groups through — no per-group slice vector is materialized, and the
+    /// kernel's refills walk one contiguous allocation.
+    ///
+    /// Bit-identical to calling [`Scheduler::run_masks_batched`] on the
+    /// equivalent slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or does not divide `arena.len()`, or if the
+    /// arena is empty.
+    #[must_use]
+    pub fn run_masks_arena(&self, arena: &[u64], rows: usize) -> BatchRun {
+        assert!(rows > 0, "arena streams need at least one row");
+        assert!(
+            !arena.is_empty() && arena.len().is_multiple_of(rows),
+            "arena of {} masks does not hold whole {rows}-row streams",
+            arena.len()
+        );
+        self.run_batched_impl(ArenaStreams { arena, rows })
+    }
+
+    fn run_batched_impl<S: BatchStreams>(&self, streams: S) -> BatchRun {
+        let len = streams.len();
+        let count = streams.count();
         let mut run = BatchRun {
             dense_cycles: len as u64,
             ..BatchRun::default()
@@ -550,15 +642,16 @@ impl Scheduler {
         let lanes = self.geometry.lanes() as u32;
         let mask = self.geometry.lane_mask();
         let slots = self.packed_slots;
-        let word_count = streams.len().div_ceil(slots);
+        let word_count = count.div_ceil(slots);
         let mut words: Vec<[u64; MAX_DEPTH]> = vec![[0; MAX_DEPTH]; word_count];
-        // Two per-word scratch rows reused across every step: lanes not
-        // satisfied by their dense cell, and the per-level pending set.
-        let mut scratch = vec![0u64; word_count * 2];
+        // Three per-word scratch rows reused across every step: lanes not
+        // satisfied by their dense cell, the per-level pending set, and the
+        // OR of each word's above-dense rows (the level-skip test).
+        let mut scratch = vec![0u64; word_count * 3];
         // Active-slot mask per word (the last word may be partially filled).
         let word_full: Vec<u64> = (0..word_count)
             .map(|wi| {
-                let active = slots.min(streams.len() - wi * slots) as u32;
+                let active = slots.min(count - wi * slots) as u32;
                 (0..active).fold(0u64, |acc, s| acc | (mask << (s * lanes)))
             })
             .collect();
@@ -566,9 +659,9 @@ impl Scheduler {
         // Initial fill: `depth` rows (or the whole stream if shorter).
         let mut pending = depth.min(len);
         let mut cursor = pending;
-        for (j, stream) in streams.iter().enumerate() {
+        for j in 0..count {
             let shift = (j % slots) as u32 * lanes;
-            for (row, &bits) in words[j / slots].iter_mut().zip(&stream[..pending]) {
+            for (row, &bits) in words[j / slots].iter_mut().zip(streams.rows(j, 0, pending)) {
                 *row |= (bits & mask) << shift;
             }
         }
@@ -576,7 +669,7 @@ impl Scheduler {
         while pending > 0 {
             let (drainable, macs) = self.step_packed(&mut words, &mut scratch, &word_full);
             run.macs += macs;
-            run.scheduler_steps += streams.len() as u64;
+            run.scheduler_steps += count as u64;
             run.cycles += 1;
 
             let advance = drainable.min(pending);
@@ -588,14 +681,23 @@ impl Scheduler {
                     *row = 0;
                 }
             }
-            for (j, stream) in streams.iter().enumerate() {
-                let shift = (j % slots) as u32 * lanes;
-                let word = &mut words[j / slots];
-                for (row, &bits) in word[pending..pending + refill]
-                    .iter_mut()
-                    .zip(&stream[cursor..cursor + refill])
-                {
-                    *row |= (bits & mask) << shift;
+            if refill == 1 {
+                // Steady state: the group usually drains (and refills) one
+                // row per cycle.
+                for j in 0..count {
+                    let shift = (j % slots) as u32 * lanes;
+                    words[j / slots][pending] |= (streams.row(j, cursor) & mask) << shift;
+                }
+            } else {
+                for j in 0..count {
+                    let shift = (j % slots) as u32 * lanes;
+                    let word = &mut words[j / slots];
+                    for (row, &bits) in word[pending..pending + refill]
+                        .iter_mut()
+                        .zip(streams.rows(j, cursor, cursor + refill))
+                    {
+                        *row |= (bits & mask) << shift;
+                    }
                 }
             }
             pending += refill;
@@ -667,14 +769,21 @@ impl Scheduler {
         scratch: &mut [u64],
         word_full: &[u64],
     ) -> (usize, u64) {
-        debug_assert_eq!(words.len() * 2, scratch.len());
-        let (unsatisfied, level_pending) = scratch.split_at_mut(words.len());
+        debug_assert_eq!(words.len() * 3, scratch.len());
+        let (unsatisfied, rest) = scratch.split_at_mut(words.len());
+        let (level_pending, above) = rest.split_at_mut(words.len());
         let mut macs = 0u64;
 
         // Dense cells are private and highest-priority: consume every dense
-        // bit of every packed window up-front, in one pass.
+        // bit of every packed window up-front, in one pass. The same pass
+        // snapshots each word's above-dense rows ORed together — the
+        // superset the level loop tests reachability against.
         let mut all_satisfied = true;
-        for ((word, wanting), &full) in words.iter_mut().zip(unsatisfied.iter_mut()).zip(word_full)
+        for (((word, wanting), over), &full) in words
+            .iter_mut()
+            .zip(unsatisfied.iter_mut())
+            .zip(above.iter_mut())
+            .zip(word_full)
         {
             let dense = word[0];
             word[0] = 0;
@@ -682,9 +791,10 @@ impl Scheduler {
             // Lanes NOT satisfied by their dense cell (per slot).
             *wanting = full & !dense;
             all_satisfied &= *wanting == 0;
+            *over = word[1..].iter().fold(0, |acc, &row| acc | row);
         }
         if !all_satisfied {
-            self.step_packed_levels(words, unsatisfied, level_pending, &mut macs);
+            self.step_packed_levels(words, unsatisfied, level_pending, above, &mut macs);
         }
 
         // The group drains `r` rows only when *every* window's leading `r`
@@ -706,28 +816,31 @@ impl Scheduler {
         words: &mut [[u64; MAX_DEPTH]],
         unsatisfied: &[u64],
         pending_scratch: &mut [u64],
+        above: &[u64],
         macs: &mut u64,
     ) {
-        for (members, reach) in self
+        for (members, &reach_any) in self
             .packed_level_members
             .iter()
-            .zip(&self.packed_level_reach)
+            .zip(&self.packed_level_reach_any)
         {
             // A window participates in this level only if the level's muxes
-            // can see any of its bits. Slots beyond the group (and lanes
-            // already satisfied densely) stay masked out of `pending` so
-            // they can never hold the loop open.
+            // can see any of its bits — tested against the cycle-start
+            // above-dense snapshot (a superset of the remaining bits, so an
+            // all-empty window always skips). Slots beyond the group (and
+            // lanes already satisfied densely) stay masked out of `pending`
+            // so they can never hold the loop open.
             let mut live = 0u64;
-            for ((word, pending), &wanting) in words
+            for ((&over, pending), &wanting) in above
                 .iter()
                 .zip(pending_scratch.iter_mut())
                 .zip(unsatisfied.iter())
             {
-                let mut visible = 0u64;
-                for row in 0..MAX_DEPTH {
-                    visible |= word[row] & reach[row];
-                }
-                *pending = if visible == 0 { 0 } else { *members & wanting };
+                *pending = if over & reach_any == 0 {
+                    0
+                } else {
+                    *members & wanting
+                };
                 live |= *pending;
             }
             if live == 0 {
@@ -946,6 +1059,36 @@ mod tests {
         assert_eq!(run.cycles, 33);
         assert_eq!(run.macs, 0);
         assert!((run.speedup() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_entry_matches_slice_entry_bit_for_bit() {
+        let s = paper_scheduler();
+        let mut state = 0x1234_5678_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 24
+        };
+        for count in [1usize, 3, 4, 7, 16] {
+            for rows in [1usize, 17, 160] {
+                let arena: Vec<u64> = (0..count * rows).map(|_| next() & 0xFFFF).collect();
+                let slices: Vec<&[u64]> = arena.chunks(rows).collect();
+                assert_eq!(
+                    s.run_masks_arena(&arena, rows),
+                    s.run_masks_batched(&slices),
+                    "count {count} rows {rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole")]
+    fn arena_entry_rejects_ragged_arenas() {
+        let s = paper_scheduler();
+        let _ = s.run_masks_arena(&[0u64; 10], 3);
     }
 
     #[test]

@@ -5,8 +5,8 @@ use crate::zoo::{LayerSpec, ModelSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensordash_trace::{
-    ClusteredSparsity, ConvDims, OpTrace, SampleSpec, SparsityGen, TrafficVolumes, TrainingOp,
-    WindowTrace,
+    ClusteredSparsity, ConvDims, OpTrace, SampleSpec, SparsityGen, TraceArena, TrafficVolumes,
+    TrainingOp,
 };
 
 /// Builds the trace of one operation of one layer at training progress `t`.
@@ -40,16 +40,18 @@ pub fn build_op_trace(
     let total_rows = dims.rows_per_window(op, lanes);
     let n_windows = sample.max_windows.min(total_windows as usize);
     let rows = sample.max_rows.min(total_rows as usize);
-    let windows: Vec<WindowTrace> = (0..n_windows)
-        .map(|i| {
-            WindowTrace::new(gen.window_masks(
+    let mut arena = TraceArena::with_capacity(n_windows, rows);
+    for i in 0..n_windows {
+        arena.push_window_with(|buf| {
+            gen.window_masks_into(
                 &mut rng,
                 seed.wrapping_mul(31).wrapping_add(i as u64),
                 rows,
                 lanes,
-            ))
-        })
-        .collect();
+                buf,
+            );
+        });
+    }
 
     let act_density = 1.0 - profile.act_at(progress, depth_frac);
     let grad_density = 1.0 - profile.grad_at(progress, depth_frac);
@@ -101,15 +103,7 @@ pub fn build_op_trace(
         }
     };
 
-    OpTrace {
-        op,
-        lanes,
-        dims,
-        total_windows,
-        total_rows_per_window: total_rows,
-        windows,
-        volumes,
-    }
+    OpTrace::from_arena(op, lanes, dims, total_windows, total_rows, arena, volumes)
 }
 
 /// Builds all three operation traces for every layer of `model` at training

@@ -219,7 +219,7 @@ mod tests {
         for (name, ops) in &traces {
             assert!(!name.is_empty());
             for trace in ops {
-                assert!(!trace.windows.is_empty());
+                assert!(!trace.is_empty());
             }
         }
     }

@@ -68,7 +68,7 @@ tensordash_serde::impl_serde_struct!(OpSim {
 )]
 #[must_use]
 pub fn simulate_pair(chip: &ChipConfig, trace: &OpTrace) -> (OpSim, OpSim) {
-    simulate_pair_impl(chip, trace)
+    simulate_pair_impl(chip, &Tile::new(chip.tile), trace)
 }
 
 /// Simulates one operation end to end.
@@ -83,19 +83,28 @@ pub fn simulate_pair(chip: &ChipConfig, trace: &OpTrace) -> (OpSim, OpSim) {
 )]
 #[must_use]
 pub fn simulate_op(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode) -> OpSim {
-    simulate_op_impl(chip, trace, mode)
+    simulate_op_impl(chip, &Tile::new(chip.tile), trace, mode)
 }
 
-pub(crate) fn simulate_pair_impl(chip: &ChipConfig, trace: &OpTrace) -> (OpSim, OpSim) {
-    let sampled = run_sampled(chip, trace);
+pub(crate) fn simulate_pair_impl(
+    chip: &ChipConfig,
+    tile: &Tile,
+    trace: &OpTrace,
+) -> (OpSim, OpSim) {
+    let sampled = run_sampled(chip, tile, trace);
     (
         finish(chip, trace, ExecMode::TensorDash, &sampled),
         finish(chip, trace, ExecMode::Baseline, &sampled),
     )
 }
 
-pub(crate) fn simulate_op_impl(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode) -> OpSim {
-    let sampled = run_sampled(chip, trace);
+pub(crate) fn simulate_op_impl(
+    chip: &ChipConfig,
+    tile: &Tile,
+    trace: &OpTrace,
+    mode: ExecMode,
+) -> OpSim {
+    let sampled = run_sampled(chip, tile, trace);
     finish(chip, trace, mode, &sampled)
 }
 
@@ -109,15 +118,22 @@ struct Sampled {
     groups: u64,
 }
 
-fn run_sampled(chip: &ChipConfig, trace: &OpTrace) -> Sampled {
+fn run_sampled(chip: &ChipConfig, tile: &Tile, trace: &OpTrace) -> Sampled {
     assert_eq!(
         trace.lanes,
         chip.tile.pe.lanes(),
         "trace was packed for a different PE width"
     );
-    assert!(!trace.windows.is_empty(), "trace has no sampled windows");
+    assert!(!trace.is_empty(), "trace has no sampled windows");
+    let rows = trace
+        .uniform_rows()
+        .expect("all sampled streams of one operation cover the same reduction extent");
 
-    let tile = Tile::new(chip.tile);
+    // The sampled streams are consumed straight out of the trace's flat
+    // mask arena: each tile row-group is one contiguous arena slice, with
+    // no per-group slice vector.
+    let arena = trace.arena_masks();
+    let windows = trace.num_windows();
     let mut sampled = Sampled {
         td_cycles: 0,
         dense_cycles: 0,
@@ -125,14 +141,16 @@ fn run_sampled(chip: &ChipConfig, trace: &OpTrace) -> Sampled {
         scheduler_steps: 0,
         groups: 0,
     };
-    for group in trace.windows.chunks(chip.tile.rows) {
-        let refs: Vec<&[u64]> = group.iter().map(|w| w.masks.as_slice()).collect();
-        let run = tile.run_group(&refs);
+    let mut start = 0;
+    while start < windows {
+        let count = chip.tile.rows.min(windows - start);
+        let run = tile.run_group_arena(&arena[start * rows..(start + count) * rows], count, rows);
         sampled.td_cycles += run.cycles;
         sampled.dense_cycles += run.dense_cycles;
         sampled.macs_per_column += run.macs_per_column;
         sampled.scheduler_steps += run.scheduler_steps;
         sampled.groups += 1;
+        start += count;
     }
     sampled
 }

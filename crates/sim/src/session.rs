@@ -8,9 +8,14 @@
 use crate::config::ChipConfig;
 use crate::exec::{self, ExecMode, OpSim};
 use crate::report::{LayerReport, ModelReport, OpAggregate};
+use crate::tile::Tile;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use tensordash_trace::OpTrace;
 
-/// A simulation session owning the chip being modelled.
+/// A simulation session owning the chip being modelled (and the tile
+/// simulator built for it — the scheduler's lookup tables are compiled
+/// once per session, not once per operation).
 ///
 /// Construction is infallible from an existing [`ChipConfig`]; pair it
 /// with [`ChipConfig::builder`] for validated custom machines.
@@ -29,10 +34,19 @@ use tensordash_trace::OpTrace;
 /// let speedup = base.compute_cycles as f64 / td.compute_cycles as f64;
 /// assert!(speedup > 1.5 && speedup <= 3.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Simulator {
     chip: ChipConfig,
     threads: usize,
+    tile: Tile,
+}
+
+impl PartialEq for Simulator {
+    /// Sessions are equal when they simulate the same chip with the same
+    /// thread budget (the cached tile is derived state).
+    fn eq(&self, other: &Self) -> bool {
+        self.chip == other.chip && self.threads == other.threads
+    }
 }
 
 impl Simulator {
@@ -42,7 +56,11 @@ impl Simulator {
         let threads = std::thread::available_parallelism()
             .map_or(1, usize::from)
             .min(8);
-        Simulator { chip, threads }
+        Simulator {
+            chip,
+            threads,
+            tile: Tile::new(chip.tile),
+        }
     }
 
     /// A session on the paper's Table 2 chip.
@@ -80,7 +98,7 @@ impl Simulator {
     /// or if the trace has no sampled windows.
     #[must_use]
     pub fn simulate(&self, trace: &OpTrace, mode: ExecMode) -> OpSim {
-        exec::simulate_op_impl(&self.chip, trace, mode)
+        exec::simulate_op_impl(&self.chip, &self.tile, trace, mode)
     }
 
     /// Simulates one operation on both machines at once, sharing the
@@ -91,7 +109,7 @@ impl Simulator {
     /// As [`simulate`](Simulator::simulate).
     #[must_use]
     pub fn simulate_pair(&self, trace: &OpTrace) -> (OpSim, OpSim) {
-        exec::simulate_pair_impl(&self.chip, trace)
+        exec::simulate_pair_impl(&self.chip, &self.tile, trace)
     }
 
     /// Simulates one operation on both machines and packages the result as
@@ -114,37 +132,67 @@ impl Simulator {
     /// layer — across a scoped thread pool, returning one [`LayerReport`]
     /// per group in input order.
     ///
-    /// Work is chunked across `min(available cores, 8)` threads (see
-    /// [`with_threads`](Simulator::with_threads)); each trace simulation
-    /// is independent, so reports are bit-identical to a sequential run.
+    /// Scheduling is **work-stealing**: every *(group, operation)* pair is
+    /// one work item, and workers claim items off a shared atomic index as
+    /// they finish, so one heavy layer (a ResNet bottleneck against a run
+    /// of cheap 1×1s) balances across threads instead of serializing a
+    /// statically-chunked worker's queue. Each item is simulated
+    /// independently and lands in its own result slot, so reports are
+    /// bit-identical to a sequential run and always in input order,
+    /// whatever the thread count (see
+    /// [`with_threads`](Simulator::with_threads)).
     ///
     /// # Panics
     ///
     /// As [`simulate`](Simulator::simulate), or if a worker thread panics.
     #[must_use]
     pub fn simulate_batch(&self, groups: &[(&str, &[OpTrace])]) -> Vec<LayerReport> {
-        let chunk = groups.len().div_ceil(self.threads).max(1);
-        let mut layers: Vec<LayerReport> = Vec::with_capacity(groups.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = groups
-                .chunks(chunk)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|(label, ops)| LayerReport {
-                                label: (*label).to_string(),
-                                ops: ops.iter().map(|t| self.aggregate(t)).collect(),
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                layers.extend(handle.join().expect("layer simulation thread panicked"));
-            }
-        });
-        layers
+        // One pre-allocated slot per (group, op): workers write disjoint
+        // slots, the assembly below reads them in input order.
+        let slots: Vec<Vec<OnceLock<OpAggregate>>> = groups
+            .iter()
+            .map(|(_, ops)| ops.iter().map(|_| OnceLock::new()).collect())
+            .collect();
+        let items: Vec<(usize, usize)> = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(g, (_, ops))| (0..ops.len()).map(move |o| (g, o)))
+            .collect();
+
+        let workers = self.threads.min(items.len());
+        let run_item = |&(g, o): &(usize, usize)| {
+            let aggregate = self.aggregate(&groups[g].1[o]);
+            slots[g][o]
+                .set(aggregate)
+                .expect("each work item is claimed exactly once");
+        };
+        if workers <= 1 {
+            // In-thread fast path: no spawn overhead on single-core hosts.
+            items.iter().for_each(run_item);
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        run_item(item);
+                    });
+                }
+            });
+        }
+
+        groups
+            .iter()
+            .zip(slots)
+            .map(|((label, _), row)| LayerReport {
+                label: (*label).to_string(),
+                ops: row
+                    .into_iter()
+                    .map(|slot| slot.into_inner().expect("every work item was simulated"))
+                    .collect(),
+            })
+            .collect()
     }
 
     /// As [`simulate_batch`](Simulator::simulate_batch), wrapping the
@@ -200,6 +248,27 @@ mod tests {
         assert_eq!(parallel, sequential);
         let single_thread = sim.clone().with_threads(1).simulate_batch(&groups);
         assert_eq!(parallel, single_thread);
+    }
+
+    /// The work-stealing queue must behave identically at every worker
+    /// count, including counts far above the item count and ragged group
+    /// shapes (heavy-tail layers are the point of stealing).
+    #[test]
+    fn work_stealing_is_thread_count_invariant() {
+        let sim = Simulator::paper();
+        let ops = traces(0.7, 7);
+        let groups: Vec<(&str, &[OpTrace])> = vec![
+            ("a", &ops[0..4]),
+            ("b", &ops[4..4]),
+            ("c", &ops[4..5]),
+            ("d", &ops[5..7]),
+        ];
+        let reference = sim.clone().with_threads(1).simulate_batch(&groups);
+        for threads in [2, 3, 8, 64] {
+            let got = sim.clone().with_threads(threads).simulate_batch(&groups);
+            assert_eq!(got, reference, "{threads} workers diverged");
+        }
+        assert_eq!(reference[1].ops.len(), 0, "empty group keeps its slot");
     }
 
     #[test]

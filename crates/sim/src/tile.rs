@@ -15,7 +15,7 @@
 //! [`RowEngine`](tensordash_core::RowEngine) per row step by step.
 
 use crate::config::TileConfig;
-use tensordash_core::Scheduler;
+use tensordash_core::{BatchRun, Scheduler};
 
 /// Result of streaming one window group through a tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +99,44 @@ impl Tile {
         // lockstep loop runs inside the batched scheduler kernel — one call
         // per group, no per-step engine dispatch.
         let run = self.scheduler.run_masks_batched(streams);
+        GroupRun {
+            cycles: run.cycles,
+            dense_cycles: run.dense_cycles,
+            macs_per_column: run.macs,
+            scheduler_steps: run.scheduler_steps,
+        }
+    }
+
+    /// As [`Tile::run_group`], streaming `windows` equal-length streams of
+    /// `rows` masks each straight out of a flat mask arena (a contiguous
+    /// span group of an [`OpTrace`](tensordash_trace::OpTrace)) — the
+    /// zero-copy entry the chip simulator uses: no per-group slice vector
+    /// is built, and the kernel walks one contiguous allocation.
+    ///
+    /// Bit-identical to [`Tile::run_group`] on the equivalent slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is zero or exceeds the row count, or if
+    /// `arena.len() != windows * rows`.
+    #[must_use]
+    pub fn run_group_arena(&self, arena: &[u64], windows: usize, rows: usize) -> GroupRun {
+        assert!(windows > 0, "a window group needs at least one stream");
+        assert!(
+            windows <= self.config.rows,
+            "group of {windows} streams exceeds {} tile rows",
+            self.config.rows
+        );
+        assert_eq!(
+            arena.len(),
+            windows * rows,
+            "arena slice does not hold {windows} streams of {rows} rows"
+        );
+        let run = if rows == 0 {
+            BatchRun::default()
+        } else {
+            self.scheduler.run_masks_arena(arena, rows)
+        };
         GroupRun {
             cycles: run.cycles,
             dense_cycles: run.dense_cycles,
@@ -255,6 +293,32 @@ mod tests {
                 assert_eq!(group.scheduler_steps, reference.scheduler_steps);
             }
         }
+    }
+
+    #[test]
+    fn arena_groups_match_slice_groups() {
+        for rows in [1usize, 3, 4] {
+            let t = tile(rows);
+            for (seed, density) in [(50, 0.2), (51, 0.6)] {
+                let streams: Vec<Vec<u64>> = (0..rows)
+                    .map(|i| random_stream(seed + i as u64, 123, density))
+                    .collect();
+                let arena: Vec<u64> = streams.iter().flatten().copied().collect();
+                let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
+                assert_eq!(
+                    t.run_group_arena(&arena, rows, 123),
+                    t.run_group(&refs),
+                    "rows {rows} density {density}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn arena_group_size_mismatch_is_rejected() {
+        let t = tile(2);
+        let _ = t.run_group_arena(&[0u64; 7], 2, 4);
     }
 
     #[test]

@@ -94,6 +94,53 @@ proptest! {
         prop_assert_eq!(td_s.counters.dram_read_bits, base_s.counters.dram_read_bits);
     }
 
+    /// The work-stealing batch is invisible in the results: any layer mix
+    /// and worker count produces the sequential path's reports bit for
+    /// bit, in input order.
+    #[test]
+    fn work_stealing_batch_equals_sequential(
+        seed in any::<u64>(),
+        sparsity in 0.1f64..0.9,
+        n_groups in 1usize..5,
+        threads in 1usize..9,
+    ) {
+        use tensordash_sim::LayerReport;
+        use tensordash_trace::OpTrace;
+        let dims = ConvDims::conv_square(2, 32, 8, 32, 3, 1, 1);
+        // Ragged group sizes (0..=2 ops per layer) stress the stealing.
+        let ops: Vec<Vec<OpTrace>> = (0..n_groups)
+            .map(|g| {
+                (0..(seed as usize + g) % 3)
+                    .map(|o| {
+                        UniformSparsity::new(sparsity).op_trace(
+                            dims,
+                            TrainingOp::ALL[o % 3],
+                            16,
+                            &SampleSpec::new(8, 48),
+                            seed ^ (g as u64) << 4 ^ o as u64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<String> = (0..n_groups).map(|g| format!("layer{g}")).collect();
+        let groups: Vec<(&str, &[OpTrace])> = labels
+            .iter()
+            .zip(&ops)
+            .map(|(l, o)| (l.as_str(), o.as_slice()))
+            .collect();
+        let sim = Simulator::paper().with_threads(threads);
+        let stolen = sim.simulate_batch(&groups);
+        let sequential: Vec<LayerReport> = groups
+            .iter()
+            .map(|(label, ops)| LayerReport {
+                label: (*label).to_string(),
+                ops: ops.iter().map(|t| sim.aggregate(t)).collect(),
+            })
+            .collect();
+        prop_assert_eq!(stolen, sequential);
+    }
+
     /// Doubling the tiles halves compute cycles (work is tile-parallel).
     #[test]
     fn tiles_scale_compute(sparsity in 0.1f64..0.9) {

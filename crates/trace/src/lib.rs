@@ -16,7 +16,11 @@
 //! volumes the memory system moves. Traces come from two sources:
 //!
 //! * [`extract`]: bit-exact extraction from real tensors produced by the
-//!   `tensordash-nn` trainer — authentic dynamic sparsity;
+//!   `tensordash-nn` trainer — authentic dynamic sparsity. The default
+//!   path gathers lane masks from per-tensor non-zero **bitmaps** (one
+//!   pass over each tensor, then word gathers per window); the original
+//!   per-element walk survives as
+//!   [`extract_op_trace_reference`], its golden model;
 //! * [`sparsity`]: seeded synthetic generators (uniform and clustered) that
 //!   reproduce target sparsity statistics for the paper's full-size models,
 //!   whose ImageNet training runs are outside this environment (see
@@ -32,7 +36,11 @@ pub mod stats;
 pub mod stream;
 
 pub use dims::{ConvDims, TrainingOp};
-pub use extract::{extract_op_trace, LayerTensors};
+pub use extract::{
+    extract_op_trace, extract_op_trace_reference, sampled_window_indices, LayerTensors,
+};
 pub use sparsity::{ClusteredSparsity, SparsityGen, UniformSparsity};
 pub use stats::{potential_speedup, OpStats};
-pub use stream::{OpTrace, SampleSpec, TrafficVolumes, WindowTrace};
+pub use stream::{
+    lane_mask, OpTrace, SampleSpec, TraceArena, TrafficVolumes, WindowSpan, WindowTrace,
+};

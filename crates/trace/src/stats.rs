@@ -17,7 +17,7 @@ impl OpStats {
     pub fn measure(trace: &OpTrace) -> Self {
         let mut total = 0u64;
         let mut remaining = 0u64;
-        for w in &trace.windows {
+        for w in trace.windows() {
             total += (w.masks.len() * trace.lanes) as u64;
             remaining += w.nonzeros();
         }

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use tensordash_tensor::Tensor;
 use tensordash_trace::{
-    extract_op_trace, ClusteredSparsity, ConvDims, LayerTensors, OpStats, SampleSpec, SparsityGen,
-    TrainingOp, UniformSparsity,
+    extract_op_trace, extract_op_trace_reference, ClusteredSparsity, ConvDims, LayerTensors,
+    OpStats, SampleSpec, SparsityGen, TrainingOp, UniformSparsity,
 };
 
 fn sparse_tensor(rng: &mut StdRng, dims: &[usize], density: f64) -> Tensor {
@@ -49,6 +49,49 @@ proptest! {
         prop_assert!(trace.measured_sparsity() <= tensor_sparsity + 0.45);
     }
 
+    /// The tentpole equivalence: bit-packed bitmap extraction is
+    /// bit-identical to the per-element reference walk across random
+    /// geometries, ops, lane widths, sparsities, and sampling caps —
+    /// masks, spans, volumes, everything.
+    #[test]
+    fn bitmap_extraction_is_bit_identical_to_reference(
+        seed in any::<u64>(),
+        density_a in 0.05f64..1.0,
+        density_g in 0.05f64..1.0,
+        op_idx in 0usize..3,
+        lanes_idx in 0usize..3,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        kernel in 1usize..4,
+        max_windows in 1usize..48,
+        max_rows in 1usize..64,
+    ) {
+        let lanes = [8, 16, 24][lanes_idx];
+        let op = TrainingOp::ALL[op_idx];
+        let d = ConvDims::conv_square(2, 12, 9, 7, kernel, stride, padding);
+        let (ho, wo) = d.output_hw();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sparse = |dims: &[usize], density: f64| {
+            Tensor::from_fn(dims, |_| {
+                if rng.gen_bool(density) { rng.gen_range(0.1f32..1.0) } else { 0.0 }
+            })
+        };
+        let a = sparse(&[d.n, d.c, d.h, d.w], density_a);
+        let w = sparse(&[d.f, d.c, d.kh, d.kw], 1.0);
+        let g = sparse(&[d.n, d.f, ho, wo], density_g);
+        let lt = LayerTensors {
+            dims: d,
+            activations: &a,
+            weights: &w,
+            grad_out: &g,
+            output_nonzero: None,
+        };
+        let spec = SampleSpec::new(max_windows, max_rows);
+        let fast = extract_op_trace(&lt, op, lanes, &spec);
+        let slow = extract_op_trace_reference(&lt, op, lanes, &spec);
+        prop_assert_eq!(fast, slow);
+    }
+
     /// Synthetic traces hit their target sparsity for any clustering.
     #[test]
     fn synthetic_traces_hit_target(
@@ -85,7 +128,7 @@ proptest! {
         let trace = UniformSparsity::new(0.5).op_trace(
             dims, TrainingOp::Forward, 16,
             &SampleSpec::new(max_windows, max_rows), 9);
-        prop_assert!(trace.windows.len() as u64 <= trace.total_windows);
+        prop_assert!(trace.num_windows() as u64 <= trace.total_windows);
         prop_assert!(trace.window_scale() >= 1.0 - 1e-12);
         prop_assert!(trace.row_scale() >= 1.0 - 1e-12);
         prop_assert_eq!(
