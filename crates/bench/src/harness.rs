@@ -52,33 +52,101 @@ impl TraceKey {
     }
 }
 
-/// A keyed cache of built model traces.
+/// One cached build plus the recency stamp eviction orders by.
+#[derive(Debug)]
+struct CacheEntry {
+    traces: Arc<ModelTraces>,
+    last_used: u64,
+}
+
+/// Hit/miss/eviction counters, as surfaced by the service's `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCacheStats {
+    /// Requests served from a cached build.
+    pub hits: u64,
+    /// Requests that had to build.
+    pub misses: u64,
+    /// Builds evicted to respect the capacity cap.
+    pub evictions: u64,
+}
+
+/// A keyed, capacity-capped cache of built model traces.
 ///
 /// The caching contract: an entry is keyed by `(model name, lanes,
 /// progress, sample caps, seed)` — every input mask generation reads —
 /// and holds the complete, immutable [`ModelTraces`] behind an [`Arc`].
 /// Model names are assumed to identify their layer geometry and sparsity
 /// profile (true of the zoo; hand-built specs reusing a name against one
-/// cache would collide). Entries live until the cache is dropped; memory
-/// is bounded by distinct keys × trace size, so scope a cache to one
-/// sweep. The cache is thread-safe; concurrent misses on the same key may
-/// build twice, last write wins (both builds are bit-identical).
-#[derive(Debug, Default)]
+/// cache would collide).
+///
+/// **Eviction contract:** the cache holds at most
+/// [`capacity`](TraceCache::capacity) builds; inserting beyond that
+/// evicts the least-recently-*used* build (hits refresh recency). A
+/// resident service therefore holds bounded memory no matter how many
+/// distinct `(model, lanes, progress, seed)` mixes traffic throws at it,
+/// while the geometry sweeps (figs 17–19) — one key per model — stay
+/// strictly below [`DEFAULT_CACHE_CAPACITY`] and keep their
+/// one-build-per-model guarantee. Evicted builds still complete in-flight
+/// evaluations through their `Arc`; only future requests rebuild.
+///
+/// The cache is thread-safe; concurrent misses on the same key may build
+/// twice, last write wins (both builds are bit-identical).
+#[derive(Debug)]
 pub struct TraceCache {
-    entries: Mutex<HashMap<TraceKey, Arc<ModelTraces>>>,
+    entries: Mutex<HashMap<TraceKey, CacheEntry>>,
+    capacity: usize,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default build cap: comfortably above any one sweep's working set (the
+/// zoo has 9 models; figs 17–19 reuse one key per model across every
+/// geometry), small enough that a resident server's trace memory stays
+/// bounded.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        TraceCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl TraceCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     #[must_use]
     pub fn new() -> Self {
         TraceCache::default()
     }
 
+    /// An empty cache holding at most `capacity` builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a cache that can hold nothing would
+    /// silently rebuild on every request.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace cache needs capacity for at least 1");
+        TraceCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured build cap.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// The traces of `model` under `spec` at `lanes` lanes — built on the
-    /// first request, shared thereafter.
+    /// first request, shared thereafter (until evicted).
     #[must_use]
     pub fn layer_traces(
         &self,
@@ -87,9 +155,16 @@ impl TraceCache {
         lanes: usize,
     ) -> Arc<ModelTraces> {
         let key = TraceKey::new(model, spec, lanes);
-        if let Some(hit) = self.entries.lock().expect("trace cache poisoned").get(&key) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = self
+            .entries
+            .lock()
+            .expect("trace cache poisoned")
+            .get_mut(&key)
+        {
+            hit.last_used = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return Arc::clone(&hit.traces);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(layer_traces(
@@ -99,10 +174,23 @@ impl TraceCache {
             &spec.sample,
             spec.seed,
         ));
-        self.entries
-            .lock()
-            .expect("trace cache poisoned")
-            .insert(key, Arc::clone(&built));
+        let mut entries = self.entries.lock().expect("trace cache poisoned");
+        entries.insert(
+            key,
+            CacheEntry {
+                traces: Arc::clone(&built),
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        while entries.len() > self.capacity {
+            let oldest = entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone())
+                .expect("non-empty over-capacity cache");
+            entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         built
     }
 
@@ -113,6 +201,16 @@ impl TraceCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Hit/miss/eviction counters.
+    #[must_use]
+    pub fn counters(&self) -> TraceCacheStats {
+        TraceCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of cached builds.
@@ -320,5 +418,78 @@ mod tests {
         let sim = Simulator::paper();
         let _ = sim.eval_model_cached(model, &other, &cache, &model.name);
         assert_eq!(cache.len(), 2);
+    }
+
+    /// Regression test for the unbounded-growth bug: before the capacity
+    /// cap, every distinct `(model, lanes, progress, seed)` key stayed
+    /// resident forever, so a long-running server leaked trace memory.
+    /// The cache must never exceed its capacity, must evict in LRU order,
+    /// and must count what it did.
+    #[test]
+    fn cache_respects_capacity_with_lru_eviction() {
+        let model = &paper_models()[0];
+        let spec_for = |seed: u64| EvalSpec {
+            sample: SampleSpec::new(1, 8),
+            progress: 0.45,
+            seed,
+        };
+        let cache = TraceCache::with_capacity(3);
+        assert_eq!(cache.capacity(), 3);
+        for seed in 0..5 {
+            let _ = cache.layer_traces(model, &spec_for(seed), 16);
+            assert!(
+                cache.len() <= 3,
+                "cache grew to {} past its capacity",
+                cache.len()
+            );
+        }
+        // 5 distinct keys through a 3-deep cache: 2 evictions, 0 hits.
+        assert_eq!(
+            cache.counters(),
+            TraceCacheStats {
+                hits: 0,
+                misses: 5,
+                evictions: 2
+            }
+        );
+        // Seeds 2..5 are resident. Touch 2 (making 3 the LRU), insert a
+        // fresh key: 3 must be the one evicted.
+        let _ = cache.layer_traces(model, &spec_for(2), 16);
+        let _ = cache.layer_traces(model, &spec_for(5), 16);
+        let _ = cache.layer_traces(model, &spec_for(2), 16);
+        let _ = cache.layer_traces(model, &spec_for(4), 16);
+        assert_eq!(cache.counters().hits, 3, "2, 2 again, and 4 were hits");
+        let _ = cache.layer_traces(model, &spec_for(3), 16);
+        assert_eq!(cache.counters().misses, 7, "3 was evicted as LRU");
+
+        // An evicted build already handed out stays usable (Arc contract).
+        let held = cache.layer_traces(model, &spec_for(10), 16);
+        for seed in 20..24 {
+            let _ = cache.layer_traces(model, &spec_for(seed), 16);
+        }
+        assert!(!held.is_empty(), "evicted-but-held traces stay alive");
+    }
+
+    /// The sweep guarantee under the default capacity: one build per
+    /// model, every geometry a hit — the fig 17/18/19 shape.
+    #[test]
+    fn default_capacity_keeps_one_build_per_model_across_geometry_sweeps() {
+        let spec = EvalSpec {
+            sample: SampleSpec::new(1, 8),
+            progress: 0.45,
+            seed: 7,
+        };
+        let cache = TraceCache::new();
+        assert_eq!(cache.capacity(), DEFAULT_CACHE_CAPACITY);
+        let models = paper_models();
+        for model in &models {
+            for _geometry in 0..3 {
+                let _ = cache.layer_traces(model, &spec, 16);
+            }
+        }
+        let counters = cache.counters();
+        assert_eq!(counters.misses, models.len() as u64, "one build per model");
+        assert_eq!(counters.evictions, 0, "sweeps must never thrash");
+        assert_eq!(counters.hits, 2 * models.len() as u64);
     }
 }

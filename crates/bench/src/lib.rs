@@ -2,8 +2,9 @@
 //!
 //! The experiment harness: the model-evaluation pipeline as an extension
 //! of the [`Simulator`](tensordash_sim::Simulator) session, declarative
-//! [`ExperimentSpec`] configs, and the single
-//! `tensordash` CLI that drives the paper's whole evaluation.
+//! [`ExperimentSpec`] configs, the resident [`service`] behind
+//! `tensordash serve` (with its [`loadtest`] traffic generator), and the
+//! single `tensordash` CLI that drives the paper's whole evaluation.
 //!
 //! Run everything with:
 //!
@@ -29,16 +30,21 @@ pub mod csvout;
 pub mod experiment;
 pub mod experiments;
 pub mod harness;
+pub mod loadtest;
 pub mod paperref;
 pub mod perf;
+pub mod service;
 
 pub use csvout::{results_path, write_csv};
 pub use experiment::{ExperimentError, ExperimentSpec, NamedExperiment};
 #[allow(deprecated)]
 pub use harness::{
     eval_model, eval_model_with_chip_label, EvalSpec, ModelEval, ModelTraces, TraceCache,
+    TraceCacheStats, DEFAULT_CACHE_CAPACITY,
 };
+pub use loadtest::{LoadtestOptions, LoadtestReport};
 pub use perf::{
     diff_against_baseline, BaselineEntry, BenchOptions, BenchSummary, KernelBench, ModelBench,
-    TraceBench, BASELINE_TOLERANCE,
+    ServiceBench, TraceBench, BASELINE_TOLERANCE, SERVICE_TOLERANCE,
 };
+pub use service::{RunningService, Service, ServiceConfig};

@@ -1,0 +1,286 @@
+//! The traffic generator: `tensordash loadtest <url>`.
+//!
+//! Fires a randomized-but-deterministic mix of small experiment specs at
+//! a running `tensordash serve` instance from N concurrent clients, polls
+//! every job to completion, and reports end-to-end throughput and latency
+//! percentiles — the service-level benchmark `BENCH_<n>.json` tracks.
+//!
+//! Each request's spec is derived from `(seed, request index)` alone, so
+//! two runs against the same server are the same traffic, and the mix
+//! exercises the trace cache the way real sweep traffic would: a few
+//! models × a few seeds × varying chip geometry, with repeats.
+
+use crate::experiment::ExperimentSpec;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tensordash_serde::{json, Serialize, Value};
+use tensordash_server::http::client_request;
+use tensordash_sim::{ChipConfig, EvalSpec};
+
+/// How the load generator should run.
+#[derive(Debug, Clone)]
+pub struct LoadtestOptions {
+    /// The service address.
+    pub addr: SocketAddr,
+    /// Total experiments to submit.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Mix seed: same seed, same traffic.
+    pub seed: u64,
+    /// Per-exchange socket timeout.
+    pub timeout: Duration,
+}
+
+impl LoadtestOptions {
+    /// The default full mix against `addr`: 64 requests from 8 clients.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        LoadtestOptions {
+            addr,
+            requests: 64,
+            concurrency: 8,
+            seed: 0xDA5A,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// The seconds-scale CI variant: 12 requests from 4 clients. The
+    /// per-request workload is identical to the full mix, so throughput
+    /// stays commensurable between variants.
+    #[must_use]
+    pub fn smoke(addr: SocketAddr) -> Self {
+        LoadtestOptions {
+            requests: 12,
+            concurrency: 4,
+            ..LoadtestOptions::new(addr)
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// Experiments submitted.
+    pub requests: usize,
+    /// Concurrent clients.
+    pub concurrency: usize,
+    /// Requests that errored (non-2xx, I/O failure, or a failed job).
+    pub failures: usize,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+    /// Completed experiments per second.
+    pub requests_per_sec: f64,
+    /// Median submit→report latency, milliseconds.
+    pub latency_ms_p50: f64,
+    /// 90th-percentile latency, milliseconds.
+    pub latency_ms_p90: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub latency_ms_p99: f64,
+}
+
+impl LoadtestReport {
+    /// The JSON document `tensordash loadtest` prints / `bench` embeds.
+    #[must_use]
+    pub fn document(&self) -> Value {
+        Value::Table(vec![
+            ("requests".into(), self.requests.serialize()),
+            ("concurrency".into(), self.concurrency.serialize()),
+            ("failures".into(), self.failures.serialize()),
+            ("wall_seconds".into(), Value::Float(self.wall_seconds)),
+            (
+                "requests_per_sec".into(),
+                Value::Float(self.requests_per_sec),
+            ),
+            ("latency_ms_p50".into(), Value::Float(self.latency_ms_p50)),
+            ("latency_ms_p90".into(), Value::Float(self.latency_ms_p90)),
+            ("latency_ms_p99".into(), Value::Float(self.latency_ms_p99)),
+        ])
+    }
+}
+
+/// The spec fired as request `index`: a deterministic function of
+/// `(seed, index)`. Small models, tiny sampling effort, a handful of
+/// seeds/geometries — service-shaped traffic, not paper-scale sweeps.
+#[must_use]
+pub fn mix_spec(seed: u64, index: usize) -> ExperimentSpec {
+    let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let model = ["AlexNet", "SqueezeNet", "GCN"][rng.gen_range(0..3usize)];
+    let tiles = [1usize, 2, 4][rng.gen_range(0..3usize)];
+    let chip = ChipConfig::builder()
+        .tiles(tiles)
+        .build()
+        .expect("mix chips are valid");
+    // Few distinct trace keys (model × seed × progress), many repeats:
+    // warm-cache traffic is the point of a resident service.
+    let eval = EvalSpec {
+        sample: tensordash_trace::SampleSpec::new(2, 16),
+        progress: [0.2, 0.45][rng.gen_range(0..2usize)],
+        seed: rng.gen_range(0..4u64),
+    };
+    ExperimentSpec::new(format!("loadtest-{index}"))
+        .with_models([model])
+        .with_chip(chip)
+        .with_eval(eval)
+}
+
+/// Parses `http://host:port` (or bare `host:port`) into a socket address.
+///
+/// # Errors
+///
+/// Returns a message when the URL does not resolve.
+pub fn parse_service_url(url: &str) -> Result<SocketAddr, String> {
+    let stripped = url
+        .strip_prefix("http://")
+        .unwrap_or(url)
+        .trim_end_matches('/');
+    if stripped.starts_with("https://") {
+        return Err("the service speaks plain http, not https".to_string());
+    }
+    stripped
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{url}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("`{url}` resolved to no address"))
+}
+
+/// One client exchange: submit the spec, poll `report_url` until done.
+/// Returns the submit→report latency.
+fn drive_one(addr: SocketAddr, spec: &ExperimentSpec, timeout: Duration) -> Result<f64, String> {
+    let body = json::write_compact(&spec.serialize());
+    let start = Instant::now();
+    let (status, response) = client_request(addr, "POST", "/v1/experiments", Some(&body), timeout)
+        .map_err(|e| format!("submit failed: {e}"))?;
+    if status != 202 {
+        return Err(format!("submit got {status}: {response}"));
+    }
+    let submitted = json::parse(&response).map_err(|e| format!("bad submit response: {e}"))?;
+    let report_url = submitted
+        .get("report_url")
+        .and_then(|v| v.as_str().ok().map(str::to_string))
+        .ok_or("submit response missing report_url")?;
+    let deadline = start + timeout;
+    loop {
+        let (status, body) = client_request(addr, "GET", &report_url, None, timeout)
+            .map_err(|e| format!("poll failed: {e}"))?;
+        match status {
+            200 => return Ok(start.elapsed().as_secs_f64()),
+            202 => {
+                if Instant::now() > deadline {
+                    return Err(format!("job not done within {timeout:?}"));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            other => return Err(format!("poll got {other}: {body}")),
+        }
+    }
+}
+
+/// Runs the load test: `options.concurrency` clients pull request indices
+/// off a shared counter until `options.requests` have been fired.
+///
+/// # Errors
+///
+/// Returns a message when the service is unreachable outright (individual
+/// request failures are counted in the report instead).
+pub fn run(options: &LoadtestOptions) -> Result<LoadtestReport, String> {
+    // Fail fast (and distinguish "no server" from "slow server").
+    let (status, _) = client_request(
+        options.addr,
+        "GET",
+        "/healthz",
+        None,
+        options.timeout.min(Duration::from_secs(5)),
+    )
+    .map_err(|e| format!("service at {} unreachable: {e}", options.addr))?;
+    if status != 200 {
+        return Err(format!("service health check returned {status}"));
+    }
+
+    let next = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(options.requests));
+    let failures = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..options.concurrency.max(1) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= options.requests {
+                    break;
+                }
+                let spec = mix_spec(options.seed, index);
+                match drive_one(options.addr, &spec, options.timeout) {
+                    Ok(latency) => latencies
+                        .lock()
+                        .expect("latency sink poisoned")
+                        .push(latency),
+                    Err(_) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let mut latencies = latencies.into_inner().expect("latency sink poisoned");
+    latencies.sort_by(f64::total_cmp);
+    let percentile = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((latencies.len() as f64) * p).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1] * 1000.0
+    };
+    Ok(LoadtestReport {
+        requests: options.requests,
+        concurrency: options.concurrency,
+        failures: failures.load(Ordering::Relaxed),
+        wall_seconds,
+        requests_per_sec: latencies.len() as f64 / wall_seconds,
+        latency_ms_p50: percentile(0.50),
+        latency_ms_p90: percentile(0.90),
+        latency_ms_p99: percentile(0.99),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_valid() {
+        for index in 0..32 {
+            let a = mix_spec(7, index);
+            let b = mix_spec(7, index);
+            assert_eq!(a, b, "request {index} must be reproducible");
+            assert_eq!(a.resolve_models().unwrap().len(), 1);
+            assert!(a.chip.tiles <= 4);
+            assert!(a.eval.sample.max_windows <= 2);
+        }
+        // Different indices do vary the spec.
+        assert!((0..32).any(|i| mix_spec(7, i).models != mix_spec(7, 0).models));
+    }
+
+    #[test]
+    fn url_parsing_accepts_http_and_rejects_https() {
+        assert!(parse_service_url("http://127.0.0.1:8080").is_ok());
+        assert!(parse_service_url("127.0.0.1:8080/").is_ok());
+        assert!(parse_service_url("https://127.0.0.1:1").is_err());
+        assert!(parse_service_url("http://").is_err());
+    }
+
+    #[test]
+    fn loadtest_fails_fast_when_nothing_listens() {
+        // Bind-and-drop to get a port with no listener.
+        let addr = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let err = run(&LoadtestOptions::smoke(addr)).unwrap_err();
+        assert!(err.contains("unreachable"), "{err}");
+    }
+}

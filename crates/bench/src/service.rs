@@ -1,0 +1,565 @@
+//! The resident simulation service: `tensordash serve`.
+//!
+//! Wires the experiment layer into `tensordash-server`'s generic
+//! transport: every `POST /v1/experiments` body is one [`ExperimentSpec`]
+//! (the same document `--config` runs), admitted into a bounded job
+//! queue, executed by a pool of simulation workers against **one
+//! process-wide [`TraceCache`]** — so repeat geometry sweeps from any
+//! client hit warm traces — and published as a JSON report that is
+//! byte-identical to what a direct [`Simulator`] run (or the one-shot
+//! CLI) produces.
+//!
+//! Request lifecycle (see `docs/ARCHITECTURE.md` for the full diagram):
+//!
+//! ```text
+//! accept → route → parse spec → queue (bounded, 429 at capacity)
+//!        → worker claims → trace-cache lookup → simulate_batch
+//!        → report JSON stored → GET /v1/jobs/<id>/report
+//! ```
+//!
+//! Routes:
+//!
+//! | Route                     | Meaning                                    |
+//! |---------------------------|--------------------------------------------|
+//! | `POST /v1/experiments`    | submit a spec; `202` + job id, `429` full  |
+//! | `GET /v1/jobs/<id>`       | lifecycle envelope (`queued`/`running`/...)|
+//! | `GET /v1/jobs/<id>/report`| the raw report (`202` until done)          |
+//! | `GET /healthz`            | liveness                                   |
+//! | `GET /metrics`            | jobs, cache hit/miss/eviction, model walls |
+//! | `POST /v1/shutdown`       | graceful shutdown (as `SIGTERM` / idle)    |
+
+use crate::experiment::ExperimentSpec;
+use crate::harness::{ModelEval, TraceCache};
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+use tensordash_serde::{json, Serialize, Value};
+use tensordash_server::http::{Request, Response};
+use tensordash_server::jobs::{JobId, JobQueue, JobState};
+use tensordash_server::server::{Handler, Server, ServerConfig, ShutdownFlag};
+use tensordash_sim::Simulator;
+
+/// How `tensordash serve` should run.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address (port 0 picks an ephemeral port).
+    pub addr: SocketAddr,
+    /// Simulation worker threads (jobs executing concurrently).
+    pub workers: usize,
+    /// Trace-cache capacity in builds (`--cache-cap`).
+    pub cache_capacity: usize,
+    /// Pending-job queue capacity (`--queue-cap`); submissions beyond it
+    /// get `429` back-pressure.
+    pub queue_capacity: usize,
+    /// Connection-handler threads of the HTTP layer.
+    pub connection_threads: usize,
+    /// Shut down after this long with no requests and no running jobs.
+    pub idle_shutdown: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: std::thread::available_parallelism()
+                .map_or(2, usize::from)
+                .min(4),
+            cache_capacity: crate::harness::DEFAULT_CACHE_CAPACITY,
+            queue_capacity: 256,
+            connection_threads: 8,
+            idle_shutdown: None,
+        }
+    }
+}
+
+/// Everything a request handler or worker needs, shared via `Arc`.
+struct ServiceState {
+    /// Finished reports are held behind `Arc` so status polls clone a
+    /// pointer, not the report bytes, under the queue lock.
+    queue: JobQueue<ExperimentSpec, Arc<String>>,
+    cache: TraceCache,
+    shutdown: OnceLock<Arc<ShutdownFlag>>,
+    /// Per-model `(evaluations, wall seconds)` — the `/metrics` rows.
+    model_walls: Mutex<HashMap<String, (u64, f64)>>,
+    started: Instant,
+}
+
+impl ServiceState {
+    /// Runs one admitted experiment; the `Ok` string is the final report
+    /// JSON, byte-identical to `tensordash --config`'s output for the
+    /// same spec.
+    fn run_experiment(&self, spec: &ExperimentSpec) -> Result<Arc<String>, String> {
+        let models = spec.resolve_models().map_err(|e| e.to_string())?;
+        let sim = Simulator::new(spec.chip);
+        let mut reports = Vec::with_capacity(models.len());
+        for model in &models {
+            let t0 = Instant::now();
+            let report = sim.eval_model_cached(model, &spec.eval, &self.cache, &model.name);
+            let elapsed = t0.elapsed().as_secs_f64();
+            let mut walls = self.model_walls.lock().expect("model walls poisoned");
+            let entry = walls.entry(model.name.clone()).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += elapsed;
+            drop(walls);
+            reports.push(report);
+        }
+        Ok(Arc::new(json::write(&spec.report_document(&reports))))
+    }
+
+    fn metrics_document(&self) -> Value {
+        let jobs = self.queue.stats();
+        let cache = self.cache.counters();
+        let mut models: Vec<(String, (u64, f64))> = self
+            .model_walls
+            .lock()
+            .expect("model walls poisoned")
+            .iter()
+            .map(|(name, stats)| (name.clone(), *stats))
+            .collect();
+        models.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Table(vec![
+            (
+                "uptime_seconds".into(),
+                Value::Float(self.started.elapsed().as_secs_f64()),
+            ),
+            (
+                "jobs".into(),
+                Value::Table(vec![
+                    ("queued".into(), jobs.queued.serialize()),
+                    ("running".into(), jobs.running.serialize()),
+                    ("done".into(), jobs.done.serialize()),
+                    ("failed".into(), jobs.failed.serialize()),
+                    ("rejected".into(), jobs.rejected.serialize()),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Value::Table(vec![
+                    ("entries".into(), self.cache.len().serialize()),
+                    ("capacity".into(), self.cache.capacity().serialize()),
+                    ("hits".into(), cache.hits.serialize()),
+                    ("misses".into(), cache.misses.serialize()),
+                    ("evictions".into(), cache.evictions.serialize()),
+                ]),
+            ),
+            (
+                "models".into(),
+                Value::Table(
+                    models
+                        .into_iter()
+                        .map(|(name, (evals, wall))| {
+                            (
+                                name,
+                                Value::Table(vec![
+                                    ("evaluations".into(), evals.serialize()),
+                                    ("wall_seconds_total".into(), Value::Float(wall)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn envelope(entries: Vec<(&str, Value)>) -> Response {
+    let doc = Value::Table(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    Response::json(200, json::write_compact(&doc))
+}
+
+fn error_json(status: u16, message: &str) -> Response {
+    let doc = Value::Table(vec![("error".to_string(), Value::Str(message.to_string()))]);
+    Response::json(status, json::write_compact(&doc))
+}
+
+impl Handler for ServiceState {
+    fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => envelope(vec![
+                ("status", Value::Str("ok".into())),
+                (
+                    "uptime_seconds",
+                    Value::Float(self.started.elapsed().as_secs_f64()),
+                ),
+            ]),
+            ("GET", "/metrics") => Response::json(200, json::write(&self.metrics_document())),
+            ("POST", "/v1/experiments") => self.submit(req),
+            ("POST", "/v1/shutdown") => {
+                if let Some(flag) = self.shutdown.get() {
+                    flag.request();
+                }
+                let mut resp = envelope(vec![("status", Value::Str("shutting down".into()))]);
+                resp.status = 200;
+                resp
+            }
+            ("GET", path) if path.starts_with("/v1/jobs/") => self.job_status(path),
+            (_, "/healthz" | "/metrics" | "/v1/experiments" | "/v1/shutdown") => {
+                error_json(405, "method not allowed")
+            }
+            _ => error_json(404, "no such route"),
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.queue.stats().is_idle()
+    }
+}
+
+impl ServiceState {
+    fn submit(&self, req: &Request) -> Response {
+        let body = match req.body_utf8() {
+            Ok(body) => body,
+            Err(message) => return error_json(400, &message),
+        };
+        let spec: ExperimentSpec = match tensordash_serde::from_json_str(body) {
+            Ok(spec) => spec,
+            Err(e) => return error_json(400, &format!("invalid experiment spec: {e}")),
+        };
+        // Resolve up front: an unknown model is the client's mistake and
+        // should not consume a queue slot before failing.
+        if let Err(e) = spec.resolve_models() {
+            return error_json(400, &e.to_string());
+        }
+        match self.queue.submit(spec) {
+            Ok(id) => {
+                let mut resp = envelope(vec![
+                    ("job", Value::Int(id.0 as i64)),
+                    ("status", Value::Str("queued".into())),
+                    ("status_url", Value::Str(format!("/v1/jobs/{id}"))),
+                    ("report_url", Value::Str(format!("/v1/jobs/{id}/report"))),
+                ]);
+                resp.status = 202;
+                resp
+            }
+            Err(e @ tensordash_server::jobs::SubmitError::QueueFull { .. }) => {
+                error_json(429, &e.to_string())
+            }
+            Err(e) => error_json(503, &e.to_string()),
+        }
+    }
+
+    fn job_status(&self, path: &str) -> Response {
+        let rest = &path["/v1/jobs/".len()..];
+        let (id_text, want_report) = match rest.strip_suffix("/report") {
+            Some(id) => (id, true),
+            None => (rest, false),
+        };
+        let Ok(id) = id_text.parse::<u64>() else {
+            return error_json(404, &format!("malformed job id `{id_text}`"));
+        };
+        let Some(state) = self.queue.status(JobId(id)) else {
+            return error_json(404, &format!("no job {id}"));
+        };
+        if want_report {
+            return match state {
+                JobState::Done(report) => Response::json(200, report.as_str()),
+                JobState::Failed(message) => error_json(500, &message),
+                pending => {
+                    let mut resp = envelope(vec![
+                        ("job", Value::Int(id as i64)),
+                        ("status", Value::Str(pending.name().into())),
+                    ]);
+                    resp.status = 202;
+                    resp
+                }
+            };
+        }
+        let mut entries = vec![
+            ("job", Value::Int(id as i64)),
+            ("status", Value::Str(state.name().into())),
+        ];
+        if let JobState::Failed(message) = &state {
+            entries.push(("error", Value::Str(message.clone())));
+        }
+        if matches!(state, JobState::Done(_)) {
+            entries.push(("report_url", Value::Str(format!("/v1/jobs/{id}/report"))));
+        }
+        envelope(entries)
+    }
+}
+
+/// A bound-but-not-yet-serving service.
+pub struct Service {
+    server: Server,
+    state: Arc<ServiceState>,
+    workers: usize,
+}
+
+impl Service {
+    /// Binds the listener, builds the shared state (queue + process-wide
+    /// trace cache), and prepares `config.workers` simulation workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind(config: &ServiceConfig) -> io::Result<Service> {
+        let state = Arc::new(ServiceState {
+            queue: JobQueue::bounded(config.queue_capacity.max(1)),
+            cache: TraceCache::with_capacity(config.cache_capacity.max(1)),
+            shutdown: OnceLock::new(),
+            model_walls: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+        });
+        let server = Server::bind(
+            ServerConfig {
+                addr: config.addr,
+                connection_threads: config.connection_threads.max(1),
+                max_body_bytes: tensordash_server::http::DEFAULT_MAX_BODY_BYTES,
+                idle_shutdown: config.idle_shutdown,
+            },
+            Arc::clone(&state) as Arc<dyn Handler>,
+        )?;
+        state
+            .shutdown
+            .set(server.shutdown_flag())
+            .unwrap_or_else(|_| unreachable!("state is fresh"));
+        Ok(Service {
+            server,
+            state,
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The actually-bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The flag that triggers a graceful shutdown from outside.
+    #[must_use]
+    pub fn shutdown_flag(&self) -> Arc<ShutdownFlag> {
+        self.server.shutdown_flag()
+    }
+
+    /// Serves until shutdown (flag, `SIGTERM`, idle timeout, or
+    /// `POST /v1/shutdown`), then drains: admitted jobs finish, workers
+    /// and connection threads join.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-loop I/O errors.
+    pub fn run(self) -> io::Result<()> {
+        let worker_handles: Vec<_> = (0..self.workers)
+            .map(|_| {
+                let state = Arc::clone(&self.state);
+                std::thread::spawn(move || {
+                    let queue = state.queue.clone();
+                    queue.run_worker(|_, spec| state.run_experiment(&spec));
+                })
+            })
+            .collect();
+        let served = self.server.run();
+        // Transport is down; let workers finish what was admitted.
+        self.state.queue.shutdown();
+        for worker in worker_handles {
+            worker.join().expect("simulation worker panicked");
+        }
+        served
+    }
+
+    /// Runs the service on a background thread, for tests and the
+    /// in-process traffic benchmark.
+    #[must_use]
+    pub fn spawn(self) -> RunningService {
+        let addr = self.local_addr();
+        let flag = self.shutdown_flag();
+        let handle = std::thread::spawn(move || self.run());
+        RunningService { addr, flag, handle }
+    }
+}
+
+/// A service running on a background thread.
+pub struct RunningService {
+    addr: SocketAddr,
+    flag: Arc<ShutdownFlag>,
+    handle: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl RunningService {
+    /// The service's address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and joins the server thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's exit error, or a description of its panic.
+    pub fn shutdown_and_join(self) -> io::Result<()> {
+        self.flag.request();
+        self.handle
+            .join()
+            .map_err(|_| io::Error::other("service thread panicked"))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensordash_server::http::client_request;
+
+    const TIMEOUT: Duration = Duration::from_secs(30);
+
+    fn tiny_spec_json() -> String {
+        r#"{"name": "svc-unit", "models": ["AlexNet"],
+            "chip": {"tiles": 1},
+            "eval": {"sample": {"max_windows": 1, "max_rows": 8},
+                     "progress": 0.45, "seed": 3}}"#
+            .to_string()
+    }
+
+    #[test]
+    fn health_metrics_submit_poll_and_shutdown_roundtrip() {
+        let service = Service::bind(&ServiceConfig::default()).unwrap();
+        let addr = service.local_addr();
+        let running = service.spawn();
+
+        let (status, body) = client_request(addr, "GET", "/healthz", None, TIMEOUT).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"ok\""), "{body}");
+
+        // Unknown routes, methods, jobs, and bodies all fail cleanly.
+        let (status, _) = client_request(addr, "GET", "/nope", None, TIMEOUT).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client_request(addr, "POST", "/healthz", None, TIMEOUT).unwrap();
+        assert_eq!(status, 405);
+        let (status, _) = client_request(addr, "GET", "/v1/jobs/99", None, TIMEOUT).unwrap();
+        assert_eq!(status, 404);
+        let (status, body) =
+            client_request(addr, "POST", "/v1/experiments", Some("{nope"), TIMEOUT).unwrap();
+        assert_eq!(status, 400, "{body}");
+        let (status, body) = client_request(
+            addr,
+            "POST",
+            "/v1/experiments",
+            Some(r#"{"models": ["NoSuchNet"]}"#),
+            TIMEOUT,
+        )
+        .unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("NoSuchNet"), "{body}");
+
+        // Submit, poll to completion, fetch the report.
+        let (status, body) = client_request(
+            addr,
+            "POST",
+            "/v1/experiments",
+            Some(&tiny_spec_json()),
+            TIMEOUT,
+        )
+        .unwrap();
+        assert_eq!(status, 202, "{body}");
+        let submitted = json::parse(&body).unwrap();
+        let id = submitted.get("job").unwrap().as_int().unwrap();
+        let report_url = format!("/v1/jobs/{id}/report");
+        let deadline = Instant::now() + TIMEOUT;
+        let report = loop {
+            let (status, body) = client_request(addr, "GET", &report_url, None, TIMEOUT).unwrap();
+            match status {
+                200 => break body,
+                202 => {
+                    assert!(Instant::now() < deadline, "job never finished");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                other => panic!("unexpected status {other}: {body}"),
+            }
+        };
+        assert!(report.contains("\"svc-unit\""), "{report}");
+        assert!(report.contains("total_speedup"), "{report}");
+
+        let (status, body) =
+            client_request(addr, "GET", &format!("/v1/jobs/{id}"), None, TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"done\""), "{body}");
+
+        let (status, body) = client_request(addr, "GET", "/metrics", None, TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        let metrics = json::parse(&body).unwrap();
+        assert_eq!(
+            metrics
+                .get("jobs")
+                .unwrap()
+                .get("done")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            metrics
+                .get("cache")
+                .unwrap()
+                .get("misses")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1
+        );
+        assert!(
+            metrics.get("models").unwrap().get("AlexNet").is_some(),
+            "{body}"
+        );
+
+        // POST /v1/shutdown stops the serve loop; join must succeed.
+        let (status, _) = client_request(addr, "POST", "/v1/shutdown", None, TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        running.handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn queue_capacity_yields_429_back_pressure() {
+        // One worker, capacity 1: the second-and-later concurrent
+        // submissions see either a queue slot or a 429 — never a hang or
+        // a 500.
+        let service = Service::bind(&ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let running = service.spawn();
+        let mut saw_429 = false;
+        for _ in 0..6 {
+            let (status, body) = client_request(
+                addr,
+                "POST",
+                "/v1/experiments",
+                Some(&tiny_spec_json()),
+                TIMEOUT,
+            )
+            .unwrap();
+            match status {
+                202 => {}
+                429 => {
+                    saw_429 = true;
+                    assert!(body.contains("full"), "{body}");
+                }
+                other => panic!("unexpected status {other}: {body}"),
+            }
+        }
+        // Regardless of scheduling, the metrics reflect what happened.
+        let (_, body) = client_request(addr, "GET", "/metrics", None, TIMEOUT).unwrap();
+        let metrics = json::parse(&body).unwrap();
+        let rejected = metrics
+            .get("jobs")
+            .unwrap()
+            .get("rejected")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(saw_429, rejected > 0);
+        running.shutdown_and_join().unwrap();
+    }
+}

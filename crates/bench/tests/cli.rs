@@ -133,13 +133,14 @@ fn bench_smoke_writes_a_perf_report() {
     assert!(text.contains("row-group"), "{text}");
     let json = std::fs::read_to_string(&out_path).unwrap();
     for key in [
-        "tensordash-bench/2",
+        "tensordash-bench/3",
         "step_speedup",
         "group_speedup",
         "extraction_speedup",
         "cache_hit_speedup",
         "cycles_per_second",
         "wall_seconds_cached",
+        "requests_per_sec",
         "AlexNet",
     ] {
         assert!(json.contains(key), "missing `{key}` in {json}");
@@ -199,6 +200,59 @@ fn bench_smoke_writes_a_perf_report() {
     let out = tensordash(&["bench", "--frobnicate"]);
     assert!(!out.status.success());
     assert!(String::from_utf8(out.stderr).unwrap().contains("bench"));
+}
+
+/// Regression test for the `--baseline` abort path: a flag with its value
+/// missing (or any malformed `serve`/`loadtest` argument) must exit
+/// through the usage-error path — `error: ...` on stderr, non-zero exit —
+/// never a panic/abort (`.expect("baseline path")` and friends).
+#[test]
+fn arg_parse_failures_are_usage_errors_not_panics() {
+    let cases: &[&[&str]] = &[
+        &["bench", "--baseline"],
+        &["bench", "--out"],
+        &["serve", "--port"],
+        &["serve", "--port", "not-a-number"],
+        &["serve", "--workers", "0"],
+        &["serve", "--cache-cap", "0"],
+        &["serve", "--queue-cap", "zero"],
+        &["serve", "--idle-shutdown", "-3"],
+        &["serve", "--frobnicate"],
+        &["loadtest"],
+        &["loadtest", "http://127.0.0.1:1", "--requests", "0"],
+        &["loadtest", "http://127.0.0.1:1", "--concurrency", "x"],
+        &["loadtest", "http://127.0.0.1:1", "--frobnicate"],
+        &["loadtest", "http://127.0.0.1:1", "extra-positional"],
+        &["loadtest", "https://127.0.0.1:1"],
+    ];
+    for args in cases {
+        let out = tensordash(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("error:"),
+            "{args:?} must fail through the usage-error path, got: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{args:?} panicked instead of reporting usage: {stderr}"
+        );
+    }
+}
+
+/// `tensordash serve --idle-shutdown` boots, prints its address, and
+/// exits zero by itself once idle — the CLI face of the service.
+#[test]
+fn serve_on_an_ephemeral_port_idles_out_cleanly() {
+    let out = tensordash(&["serve", "--port", "0", "--idle-shutdown", "0.3"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("listening on http://127.0.0.1:"), "{text}");
+    assert!(text.contains("shut down cleanly"), "{text}");
 }
 
 #[test]

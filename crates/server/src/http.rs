@@ -1,0 +1,440 @@
+//! A deliberately small HTTP/1.1 subset: enough for a local simulation
+//! service and its load generator, with hard limits on every input
+//! dimension so a misbehaving client cannot wedge a worker.
+//!
+//! Supported: `GET`/`POST`/`DELETE` request lines, header parsing,
+//! `Content-Length` bodies, and one response per connection
+//! (`Connection: close` semantics — every exchange opens a fresh TCP
+//! connection). Unsupported on purpose: keep-alive, chunked transfer,
+//! multipart, TLS.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on the request line plus all headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default upper bound on a request body, in bytes.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/v1/jobs/17`.
+    pub path: String,
+    /// `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body, if any.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    #[must_use]
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body decoded as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when the body is not valid UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8".to_string())
+    }
+}
+
+/// Why a request could not be parsed — each variant maps to the 4xx
+/// response the connection handler sends before closing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The connection closed before a full request arrived.
+    ConnectionClosed,
+    /// The request line or a header was malformed.
+    Malformed(String),
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The declared body exceeded the configured cap.
+    BodyTooLarge(usize),
+    /// An I/O error while reading.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed mid-request"),
+            ParseError::Malformed(why) => write!(f, "malformed request: {why}"),
+            ParseError::HeadTooLarge => write!(f, "request head larger than {MAX_HEAD_BYTES} B"),
+            ParseError::BodyTooLarge(cap) => write!(f, "request body larger than {cap} B"),
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the 4xx response to send (or, for
+/// [`ParseError::ConnectionClosed`]/[`ParseError::Io`], that the
+/// connection is beyond responding to).
+pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut head_bytes = 0usize;
+    let request_line = read_line(&mut reader, &mut head_bytes)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed(format!(
+            "request line `{request_line}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!("version `{version}`")));
+    }
+    let method = method.to_ascii_uppercase();
+    let (path, query) = split_target(target);
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed(format!("header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(name, _)| name == "content-length")
+        .map(|(_, value)| {
+            value
+                .parse::<usize>()
+                .map_err(|_| ParseError::Malformed(format!("content-length `{value}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body_bytes {
+        return Err(ParseError::BodyTooLarge(max_body_bytes));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ParseError::ConnectionClosed
+        } else {
+            ParseError::Io(e)
+        }
+    })?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn read_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    head_bytes: &mut usize,
+) -> Result<String, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(ParseError::ConnectionClosed);
+            }
+            Err(e) => return Err(ParseError::Io(e)),
+        }
+        *head_bytes += 1;
+        if *head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::HeadTooLarge);
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| ParseError::Malformed("non-UTF-8 request head".to_string()));
+        }
+        line.push(byte[0]);
+    }
+}
+
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, query)) => (
+            path.to_string(),
+            query
+                .split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (pair.to_string(), String::new()),
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The standard reason phrase for the status code.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "",
+        }
+    }
+
+    /// Writes the response (with `Connection: close`) to `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Renders `s` as a quoted JSON string literal — every escape JSON
+/// requires, so error messages that embed arbitrary client bytes
+/// (malformed headers, bogus request lines) stay valid JSON. This crate
+/// is deliberately serializer-free; this is the one piece of JSON it
+/// emits itself.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One client exchange: connects to `addr`, sends `method path` with an
+/// optional JSON body, and returns `(status, body)`. Used by the load
+/// generator, the CI smoke step, and the end-to-end tests.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` when the response is
+/// not parseable HTTP.
+pub fn client_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    let mut reader = BufReader::new(stream);
+    reader.read_to_string(&mut raw)?;
+    let bad =
+        |why: &str| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {why}"));
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("missing header terminator"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty head"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad(status_line))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trips one request/response pair over a real socket.
+    fn exchange(request_bytes: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let bytes = request_bytes.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&bytes).unwrap();
+            s.flush().unwrap();
+            // Half-close: nothing more is coming (a truncated body must
+            // read as `ConnectionClosed`, not hang the parser), but the
+            // connection stays open for the server's side.
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let parsed = read_request(&mut stream, DEFAULT_MAX_BODY_BYTES);
+        drop(stream);
+        client.join().unwrap();
+        parsed
+    }
+
+    #[test]
+    fn parses_a_post_with_body_query_and_headers() {
+        let req = exchange(
+            b"POST /v1/experiments?sync=1&x HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/experiments");
+        assert_eq!(req.query_value("sync"), Some("1"));
+        assert_eq!(req.query_value("x"), Some(""));
+        assert_eq!(req.body_utf8().unwrap(), "body");
+        assert!(req.headers.iter().any(|(n, v)| n == "host" && v == "h"));
+    }
+
+    #[test]
+    fn rejects_malformed_oversized_and_truncated_requests() {
+        assert!(matches!(
+            exchange(b"nonsense\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            exchange(b"GET / HTTP/2\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        // Declared body never arrives: the client closes first.
+        assert!(matches!(
+            exchange(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nab"),
+            Err(ParseError::ConnectionClosed)
+        ));
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(
+            exchange(huge.as_bytes()),
+            Err(ParseError::HeadTooLarge)
+        ));
+        // Body larger than the cap is refused before reading it.
+        assert!(matches!(
+            exchange(b"POST / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n"),
+            Err(ParseError::BodyTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn json_escape_produces_valid_literals_for_hostile_input() {
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_escape("a\\x"), "\"a\\\\x\"");
+        assert_eq!(json_escape("q\"uote"), "\"q\\\"uote\"");
+        assert_eq!(json_escape("nl\ntab\t"), "\"nl\\ntab\\t\"");
+        assert_eq!(json_escape("ctl\u{1}"), "\"ctl\\u0001\"");
+    }
+
+    #[test]
+    fn client_and_server_halves_interoperate() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream, DEFAULT_MAX_BODY_BYTES).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.body_utf8().unwrap(), "{\"a\": 1}");
+            Response::json(202, "{\"ok\": true}")
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let (status, body) = client_request(
+            addr,
+            "POST",
+            "/v1/experiments",
+            Some("{\"a\": 1}"),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(status, 202);
+        assert_eq!(body, "{\"ok\": true}");
+        server.join().unwrap();
+    }
+}

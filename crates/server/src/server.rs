@@ -1,0 +1,382 @@
+//! The thread-pool HTTP server: a polling accept loop feeding a fixed
+//! pool of connection-handler threads, with cooperative shutdown from
+//! three sources — an in-process [`ShutdownFlag`] (the `/v1/shutdown`
+//! route), `SIGTERM`, and an idle timeout consulted against the handler.
+
+use crate::http::{read_request, ParseError, Request, Response};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the server should listen and bound its inputs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: SocketAddr,
+    /// Connection-handler threads (requests parsed/answered concurrently).
+    pub connection_threads: usize,
+    /// Per-request body cap in bytes.
+    pub max_body_bytes: usize,
+    /// Shut down after this long without a request, once the handler
+    /// reports itself idle. `None` runs until signalled.
+    pub idle_shutdown: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            connection_threads: 4,
+            max_body_bytes: crate::http::DEFAULT_MAX_BODY_BYTES,
+            idle_shutdown: None,
+        }
+    }
+}
+
+/// Routes one parsed request to a response. Handlers run concurrently on
+/// the connection pool, so implementations must be internally simultaneous.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for `req`.
+    fn handle(&self, req: &Request) -> Response;
+
+    /// Whether the service has no in-flight work — consulted before an
+    /// idle shutdown so a long simulation is never cut off between polls.
+    fn is_idle(&self) -> bool {
+        true
+    }
+}
+
+/// A cooperative shutdown signal shared between the accept loop and
+/// whoever wants to stop it (a route handler, a test, a signal).
+#[derive(Debug, Default)]
+pub struct ShutdownFlag(AtomicBool);
+
+impl ShutdownFlag {
+    /// Requests shutdown; the accept loop notices within one poll tick.
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown was requested.
+    #[must_use]
+    pub fn is_requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(unix)]
+mod sigterm {
+    //! `SIGTERM` observation without a `libc` crate: Rust's `std` already
+    //! links the platform C library on Unix, so the one symbol needed —
+    //! `signal(2)` — is declared directly. The handler only stores to a
+    //! process-global atomic, which is async-signal-safe.
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Once;
+
+    static RECEIVED: AtomicBool = AtomicBool::new(false);
+    static INSTALL: Once = Once::new();
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the handler once per process.
+    pub fn install() {
+        INSTALL.call_once(|| {
+            const SIGTERM: i32 = 15;
+            // SAFETY: `signal` is the C library's, present on every Unix
+            // target std supports; the handler is async-signal-safe.
+            unsafe {
+                signal(SIGTERM, on_sigterm);
+            }
+        });
+    }
+
+    /// Whether `SIGTERM` arrived since [`install`].
+    pub fn received() -> bool {
+        RECEIVED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    pub fn install() {}
+    pub fn received() -> bool {
+        false
+    }
+}
+
+/// How often the accept loop checks its shutdown conditions.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    handler: Arc<dyn Handler>,
+    shutdown: Arc<ShutdownFlag>,
+}
+
+impl Server {
+    /// Binds the listener (resolving port 0 to a real port) and prepares
+    /// the pool. `SIGTERM` handling is installed here, so even a server
+    /// that is bound but not yet running shuts down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind(config: ServerConfig, handler: Arc<dyn Handler>) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        sigterm::install();
+        Ok(Server {
+            listener,
+            config,
+            handler,
+            shutdown: Arc::new(ShutdownFlag::default()),
+        })
+    }
+
+    /// The actually-bound address (the real port when configured with 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket vanished (never after a successful bind).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// The flag that stops [`run`](Server::run) from another thread or a
+    /// route handler.
+    #[must_use]
+    pub fn shutdown_flag(&self) -> Arc<ShutdownFlag> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until shutdown is requested (flag, `SIGTERM`, or idle
+    /// timeout), then drains: queued connections are answered and pool
+    /// threads joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-loop I/O errors other than the expected
+    /// `WouldBlock`.
+    pub fn run(self) -> io::Result<()> {
+        let pool_size = self.config.connection_threads.max(1);
+        // A rendezvous-ish channel: accepted connections queue only
+        // shallowly (2× pool) so back-pressure reaches the TCP backlog
+        // instead of ballooning a private buffer.
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(pool_size * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let last_activity = Arc::new(Mutex::new(Instant::now()));
+
+        let pool: Vec<_> = (0..pool_size)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&self.handler);
+                let last_activity = Arc::clone(&last_activity);
+                let max_body = self.config.max_body_bytes;
+                std::thread::spawn(move || loop {
+                    // Hold the lock only for the dequeue, not the request.
+                    let next = rx.lock().expect("connection queue poisoned").recv();
+                    let Ok(mut stream) = next else { return };
+                    *last_activity.lock().expect("activity clock poisoned") = Instant::now();
+                    handle_connection(&mut stream, handler.as_ref(), max_body);
+                })
+            })
+            .collect();
+
+        loop {
+            if self.shutdown.is_requested() || sigterm::received() {
+                break;
+            }
+            if let Some(idle) = self.config.idle_shutdown {
+                let quiet = last_activity
+                    .lock()
+                    .expect("activity clock poisoned")
+                    .elapsed();
+                if quiet >= idle && self.handler.is_idle() {
+                    break;
+                }
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let mut pending = stream;
+                    // Busy pool: retry until a slot frees or shutdown.
+                    loop {
+                        match tx.try_send(pending) {
+                            Ok(()) => break,
+                            Err(TrySendError::Full(back)) => {
+                                if self.shutdown.is_requested() || sigterm::received() {
+                                    // Accepted but never handled: answer
+                                    // 503 rather than a silent reset.
+                                    let mut stream = back;
+                                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                                    let _ = Response::json(
+                                        503,
+                                        "{\"error\": \"server is shutting down\"}",
+                                    )
+                                    .write_to(&mut stream);
+                                    break;
+                                }
+                                pending = back;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                unreachable!("pool outlives the accept loop")
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_TICK);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: close the channel, let workers finish queued connections.
+        drop(tx);
+        for worker in pool {
+            worker.join().expect("connection worker panicked");
+        }
+        Ok(())
+    }
+}
+
+/// Parses one request and writes one response; parse failures get their
+/// mapped 4xx when the connection can still be written to.
+fn handle_connection(stream: &mut TcpStream, handler: &dyn Handler, max_body_bytes: usize) {
+    // A stuck or malicious peer must not pin a pool thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let response = match read_request(stream, max_body_bytes) {
+        Ok(request) => handler.handle(&request),
+        Err(ParseError::ConnectionClosed | ParseError::Io(_)) => return,
+        Err(e @ ParseError::HeadTooLarge) => error_response(431, &e),
+        Err(e @ ParseError::BodyTooLarge(_)) => error_response(413, &e),
+        Err(e @ ParseError::Malformed(_)) => error_response(400, &e),
+    };
+    let _ = response.write_to(stream);
+}
+
+fn error_response(status: u16, error: &ParseError) -> Response {
+    Response::json(
+        status,
+        format!(
+            "{{\"error\": {}}}",
+            crate::http::json_escape(&error.to_string())
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::client_request;
+    use std::sync::atomic::AtomicUsize;
+
+    struct Echo {
+        hits: AtomicUsize,
+    }
+
+    impl Handler for Echo {
+        fn handle(&self, req: &Request) -> Response {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+            Response::json(
+                200,
+                format!(
+                    "{{\"path\": \"{}\", \"body_len\": {}}}",
+                    req.path,
+                    req.body.len()
+                ),
+            )
+        }
+    }
+
+    fn spawn_echo(
+        config: ServerConfig,
+    ) -> (
+        SocketAddr,
+        Arc<ShutdownFlag>,
+        std::thread::JoinHandle<io::Result<()>>,
+    ) {
+        let server = Server::bind(
+            config,
+            Arc::new(Echo {
+                hits: AtomicUsize::new(0),
+            }),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let flag = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, flag, handle)
+    }
+
+    #[test]
+    fn serves_concurrent_clients_and_shuts_down_on_flag() {
+        let (addr, flag, handle) = spawn_echo(ServerConfig::default());
+        let clients: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    client_request(
+                        addr,
+                        "POST",
+                        &format!("/c/{i}"),
+                        Some("xyz"),
+                        Duration::from_secs(10),
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        for (i, c) in clients.into_iter().enumerate() {
+            let (status, body) = c.join().unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains(&format!("/c/{i}")), "{body}");
+            assert!(body.contains("\"body_len\": 3"), "{body}");
+        }
+        flag.request();
+        handle.join().unwrap().unwrap();
+        // The port is released after shutdown: rebinding succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "{rebound:?}");
+    }
+
+    #[test]
+    fn idle_timeout_shuts_the_server_down_by_itself() {
+        let (addr, _flag, handle) = spawn_echo(ServerConfig {
+            idle_shutdown: Some(Duration::from_millis(120)),
+            ..ServerConfig::default()
+        });
+        let (status, _) =
+            client_request(addr, "GET", "/healthz", None, Duration::from_secs(10)).unwrap();
+        assert_eq!(status, 200);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_get_4xx_not_a_hung_connection() {
+        use std::io::{Read, Write};
+        let (addr, flag, handle) = spawn_echo(ServerConfig::default());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        flag.request();
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -148,10 +148,15 @@ impl DramConfig {
         }
     }
 
-    /// Peak bandwidth in bits per second.
+    /// Peak bandwidth in bits per second. Saturates instead of wrapping
+    /// for absurd hand-built configurations, so downstream cycle math
+    /// never sees a small wrapped bandwidth.
     #[must_use]
     pub fn peak_bits_per_s(&self) -> u64 {
-        self.channels as u64 * self.mt_per_s * 1_000_000 * self.bits_per_transfer
+        (self.channels as u64)
+            .saturating_mul(self.mt_per_s)
+            .saturating_mul(1_000_000)
+            .saturating_mul(self.bits_per_transfer)
     }
 
     /// Peak bits delivered per accelerator cycle at `frequency_mhz`.

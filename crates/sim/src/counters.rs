@@ -47,20 +47,25 @@ tensordash_serde::impl_serde_struct!(SimCounters {
 
 impl SimCounters {
     /// Element-wise sum of two counter sets.
+    ///
+    /// Saturating: [`DramTraffic::cycles`](crate::DramTraffic::cycles)
+    /// pins degenerate zero-bandwidth configurations at [`u64::MAX`], and
+    /// aggregating two such operations must stay pinned rather than wrap
+    /// back to a small (near-free-looking) total.
     #[must_use]
     pub fn merged(&self, other: &SimCounters) -> SimCounters {
         SimCounters {
-            compute_cycles: self.compute_cycles + other.compute_cycles,
-            dram_cycles: self.dram_cycles + other.dram_cycles,
-            macs_issued: self.macs_issued + other.macs_issued,
-            mac_slots: self.mac_slots + other.mac_slots,
-            sram_read_elems: self.sram_read_elems + other.sram_read_elems,
-            sram_write_elems: self.sram_write_elems + other.sram_write_elems,
-            sp_accesses: self.sp_accesses + other.sp_accesses,
-            transposer_elems: self.transposer_elems + other.transposer_elems,
-            scheduler_steps: self.scheduler_steps + other.scheduler_steps,
-            dram_read_bits: self.dram_read_bits + other.dram_read_bits,
-            dram_write_bits: self.dram_write_bits + other.dram_write_bits,
+            compute_cycles: self.compute_cycles.saturating_add(other.compute_cycles),
+            dram_cycles: self.dram_cycles.saturating_add(other.dram_cycles),
+            macs_issued: self.macs_issued.saturating_add(other.macs_issued),
+            mac_slots: self.mac_slots.saturating_add(other.mac_slots),
+            sram_read_elems: self.sram_read_elems.saturating_add(other.sram_read_elems),
+            sram_write_elems: self.sram_write_elems.saturating_add(other.sram_write_elems),
+            sp_accesses: self.sp_accesses.saturating_add(other.sp_accesses),
+            transposer_elems: self.transposer_elems.saturating_add(other.transposer_elems),
+            scheduler_steps: self.scheduler_steps.saturating_add(other.scheduler_steps),
+            dram_read_bits: self.dram_read_bits.saturating_add(other.dram_read_bits),
+            dram_write_bits: self.dram_write_bits.saturating_add(other.dram_write_bits),
         }
     }
 
@@ -92,6 +97,23 @@ mod tests {
         assert_eq!(m.compute_cycles, 15);
         assert_eq!(m.macs_issued, 100);
         assert_eq!(m.dram_read_bits, 64);
+    }
+
+    /// Aggregating ops whose DRAM cycles sit at the degenerate-config
+    /// sentinel must saturate, not wrap back to a near-free total (the
+    /// wrap would re-create the free-transfer bug `DramTraffic::cycles`
+    /// was fixed for).
+    #[test]
+    fn merging_saturated_dram_cycles_stays_saturated() {
+        let stalled = SimCounters {
+            dram_cycles: u64::MAX,
+            compute_cycles: 10,
+            ..Default::default()
+        };
+        let m = stalled.merged(&stalled);
+        assert_eq!(m.dram_cycles, u64::MAX);
+        assert_eq!(m.compute_cycles, 20);
+        assert_eq!(m.effective_cycles(), u64::MAX);
     }
 
     #[test]

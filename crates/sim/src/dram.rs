@@ -27,10 +27,30 @@ impl DramTraffic {
     }
 
     /// Accelerator cycles needed to move this traffic at peak bandwidth.
+    ///
+    /// Total for every input: a degenerate configuration that delivers no
+    /// bits per cycle (zero-bandwidth [`DramConfig`], zero
+    /// `frequency_mhz`) takes `0` cycles for zero traffic and saturates at
+    /// [`u64::MAX`] otherwise — it never silently reports free transfers.
+    /// ([`ChipConfigBuilder`](crate::ChipConfigBuilder) rejects such
+    /// configurations up front; this guards hand-built structs reaching
+    /// the model directly, where the old `NaN`/`inf` float-to-int cast
+    /// collapsed to nonsense.)
     #[must_use]
     pub fn cycles(&self, dram: &DramConfig, frequency_mhz: u64) -> u64 {
+        let bits = self.total_bits();
+        if bits == 0 {
+            return 0;
+        }
         let per_cycle = dram.bits_per_cycle(frequency_mhz);
-        (self.total_bits() as f64 / per_cycle).ceil() as u64
+        if !per_cycle.is_finite() || per_cycle <= 0.0 {
+            // No bandwidth (or no clock to define a cycle against): the
+            // transfer never completes.
+            return u64::MAX;
+        }
+        // `ceil` of a finite positive quotient; the `as` cast saturates
+        // for quotients beyond u64 range.
+        (bits as f64 / per_cycle).ceil() as u64
     }
 }
 
@@ -93,6 +113,101 @@ mod tests {
         };
         // 409.6 bits/cycle at 500 MHz -> exactly 1000 cycles.
         assert_eq!(t.cycles(&chip.dram, chip.frequency_mhz), 1000);
+    }
+
+    /// Regression test for the degenerate-bandwidth bug: a zero-bandwidth
+    /// `DramConfig` (or a zero clock) used to divide by zero, and the
+    /// `NaN`/`inf` float-to-int cast made the transfer look instantaneous.
+    /// `cycles` must be total: 0 cycles only for 0 bits, saturation
+    /// otherwise.
+    #[test]
+    fn degenerate_configs_never_report_free_transfers() {
+        let traffic = DramTraffic {
+            read_bits: 4096,
+            write_bits: 512,
+        };
+        let none = DramTraffic::default();
+        let zero_bw = DramConfig {
+            channels: 1,
+            mt_per_s: 0,
+            bits_per_transfer: 0,
+        };
+        // Zero bandwidth: moving any bits takes forever, no bits take 0.
+        assert_eq!(traffic.cycles(&zero_bw, 500), u64::MAX);
+        assert_eq!(none.cycles(&zero_bw, 500), 0);
+        // Zero frequency: no cycle is defined; same totalized answers.
+        assert_eq!(traffic.cycles(&DramConfig::paper(), 0), u64::MAX);
+        assert_eq!(none.cycles(&DramConfig::paper(), 0), 0);
+        // Both degenerate at once.
+        assert_eq!(traffic.cycles(&zero_bw, 0), u64::MAX);
+        // Sane configs are untouched by the guard.
+        assert_eq!(
+            DramTraffic {
+                read_bits: 409_600,
+                write_bits: 0
+            }
+            .cycles(&DramConfig::paper(), 500),
+            1000
+        );
+    }
+
+    /// The builder rejects the configurations the guard above defends
+    /// against, so documents/builders can never construct them.
+    #[test]
+    fn builder_rejects_degenerate_dram_and_clock() {
+        use crate::config::{ChipConfig, ConfigError};
+        for (dram, field) in [
+            (
+                DramConfig {
+                    mt_per_s: 0,
+                    ..DramConfig::paper()
+                },
+                "mt_per_s",
+            ),
+            (
+                DramConfig {
+                    bits_per_transfer: 0,
+                    ..DramConfig::paper()
+                },
+                "bits_per_transfer",
+            ),
+            (
+                DramConfig {
+                    channels: 0,
+                    ..DramConfig::paper()
+                },
+                "channels",
+            ),
+        ] {
+            assert_eq!(
+                ChipConfig::builder().dram(dram).build().unwrap_err(),
+                ConfigError::Dram { field }
+            );
+        }
+        assert_eq!(
+            ChipConfig::builder().frequency_mhz(0).build().unwrap_err(),
+            ConfigError::ZeroFrequency
+        );
+    }
+
+    /// Absurd hand-built bandwidth saturates instead of wrapping into a
+    /// tiny value (u64 overflow in `peak_bits_per_s`).
+    #[test]
+    fn huge_bandwidth_saturates_instead_of_wrapping() {
+        let huge = DramConfig {
+            channels: usize::MAX,
+            mt_per_s: u64::MAX,
+            bits_per_transfer: u64::MAX,
+        };
+        assert_eq!(huge.peak_bits_per_s(), u64::MAX);
+        // Saturated (finite, huge) bandwidth: transfers are fast, not free
+        // and not wrapped-slow. 2^40 bits over (2^64/5e8) bits/cycle is
+        // ~29.8 cycles.
+        let t = DramTraffic {
+            read_bits: 1 << 40,
+            write_bits: 0,
+        };
+        assert_eq!(t.cycles(&huge, 500), 30);
     }
 
     #[test]

@@ -301,4 +301,20 @@ mod tests {
         assert!(sim.simulate_batch(&[]).is_empty());
         assert_eq!(sim.simulate_model("empty", &[]).layers.len(), 0);
     }
+
+    /// The service contract: one `Simulator` session and its report types
+    /// must be shareable across worker threads (`Arc<Simulator>` serving
+    /// concurrent HTTP requests). A compile-time guarantee — if a field
+    /// ever grows interior mutability without synchronization, this stops
+    /// building.
+    #[test]
+    fn sessions_and_reports_are_send_and_sync() {
+        fn shareable<T: Send + Sync>() {}
+        shareable::<Simulator>();
+        shareable::<ChipConfig>();
+        shareable::<ModelReport>();
+        shareable::<LayerReport>();
+        shareable::<OpAggregate>();
+        shareable::<OpSim>();
+    }
 }

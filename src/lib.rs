@@ -25,6 +25,8 @@
 //! * [`energy`] — the 65nm area/power/energy model (§4.3).
 //! * [`serde`] — the dependency-free serialization layer (TOML in, JSON
 //!   out) that makes configs and reports round-trippable.
+//! * [`server`] — std-only service infrastructure (HTTP/1.1 thread-pool
+//!   server, bounded job queue) behind `tensordash serve`.
 //!
 //! ## Quickstart
 //!
@@ -86,6 +88,7 @@ pub use tensordash_energy as energy;
 pub use tensordash_models as models;
 pub use tensordash_nn as nn;
 pub use tensordash_serde as serde;
+pub use tensordash_server as server;
 pub use tensordash_sim as sim;
 pub use tensordash_tensor as tensor;
 pub use tensordash_trace as trace;
