@@ -41,14 +41,39 @@ EOF
 ./target/release/tensordash --config "$smoke_config" --out "$smoke_report" >/dev/null
 grep -q '"ci-smoke"' "$smoke_report"
 
+step "tensordash train smoke + record->replay byte identity"
+train_dir="$(mktemp -d -t tensordash-train-XXXXXX)"
+trap 'rm -f "$smoke_config" "$smoke_report"; rm -rf "$train_dir"' EXIT
+# Live run: 2 real training epochs, per-epoch speedup report, recorded
+# trace artifact.
+./target/release/tensordash train --smoke \
+  --record "$train_dir/run.trace.json" --out "$train_dir/live.json" >/dev/null
+grep -q '"total_speedup"' "$train_dir/live.json"
+grep -q '"tensordash-trace/1"' "$train_dir/run.trace.json"
+# Replaying the artifact must rebuild the report byte-identically.
+./target/release/tensordash train \
+  --replay "$train_dir/run.trace.json" --out "$train_dir/replay.json" >/dev/null
+cmp "$train_dir/live.json" "$train_dir/replay.json"
+# ...and the same artifact replays through the declarative --config path.
+cat > "$train_dir/replay.toml" <<REPLAY_TOML
+name = "ci-train-replay"
+[eval]
+progress = 1.0
+[eval.source]
+recorded = "$train_dir/run.trace.json"
+REPLAY_TOML
+./target/release/tensordash --config "$train_dir/replay.toml" \
+  --out "$train_dir/replay-config.json" >/dev/null
+grep -q '"small-cnn"' "$train_dir/replay-config.json"
+
 step "tensordash serve smoke (boot, health, one experiment, SIGTERM)"
 serve_log="$(mktemp -t tensordash-serve-XXXXXX.log)"
-trap 'rm -f "$smoke_config" "$smoke_report" "$serve_log"' EXIT
+trap 'rm -f "$smoke_config" "$smoke_report" "$serve_log"; rm -rf "$train_dir"' EXIT
 # Ephemeral port: the server prints its bound address on the first line.
 ./target/release/tensordash serve --port 0 --workers 2 >"$serve_log" &
 serve_pid=$!
 # If any later step aborts, take the server down with the shell.
-trap 'kill "$serve_pid" 2>/dev/null; rm -f "$smoke_config" "$smoke_report" "$serve_log"' EXIT
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_report" "$serve_log"; rm -rf "$train_dir"' EXIT
 serve_url=""
 for _ in $(seq 1 100); do
   serve_url="$(sed -n 's#.*listening on \(http://[0-9.:]*\).*#\1#p' "$serve_log" | head -n1)"
@@ -78,9 +103,9 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve did not exit cleanly after SIGTERM"; exit 1; }
 grep -q "shut down cleanly" "$serve_log"
 
-step "tensordash bench --smoke --baseline BENCH_4.json"
+step "tensordash bench --smoke --baseline BENCH_5.json"
 bench_report="$(mktemp -t tensordash-bench-XXXXXX.json)"
-trap 'kill "$serve_pid" 2>/dev/null; rm -f "$smoke_config" "$smoke_report" "$serve_log" "$bench_report"' EXIT
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_report" "$serve_log" "$bench_report"; rm -rf "$train_dir"' EXIT
 # The committed baseline gates kernel + service throughput: >20%
 # regression on any comparable in-process metric fails the build
 # (trace/model throughput only compares between same-variant runs, so
@@ -90,11 +115,12 @@ trap 'kill "$serve_pid" 2>/dev/null; rm -f "$smoke_config" "$smoke_report" "$ser
 # tolerance — end-to-end socket loadtests swing ±25% run-to-run). The
 # baseline's absolute rates reflect the machine that committed it — on
 # substantially slower hardware, regenerate it with
-# `tensordash bench --out BENCH_4.json` rather than loosening the gate.
-./target/release/tensordash bench --smoke --baseline BENCH_4.json --out "$bench_report"
+# `tensordash bench --out BENCH_5.json` rather than loosening the gate.
+./target/release/tensordash bench --smoke --baseline BENCH_5.json --out "$bench_report"
 grep -q '"step_speedup"' "$bench_report"
 grep -q '"extraction_speedup"' "$bench_report"
 grep -q '"cycles_per_second"' "$bench_report"
 grep -q '"requests_per_sec"' "$bench_report"
+grep -q '"live_masks_per_sec"' "$bench_report"
 
 step "all green"

@@ -7,6 +7,8 @@
 //! tensordash list                      # what can run
 //! tensordash run fig13 table3          # named experiments
 //! tensordash run all                   # the full evaluation
+//! tensordash train --record run.trace.json  # real training -> speedup/epoch
+//! tensordash train --replay run.trace.json  # bit-exact artifact replay
 //! tensordash --config experiment.toml  # a declarative experiment
 //! tensordash serve --port 7878         # the resident simulation service
 //! tensordash loadtest http://host:port # traffic benchmark against it
@@ -15,7 +17,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 use tensordash_bench::experiment::{self, ExperimentSpec};
-use tensordash_bench::{loadtest, service};
+use tensordash_bench::{loadtest, service, train};
 
 const USAGE: &str = "\
 tensordash — the TensorDash (MICRO 2020) reproduction driver
@@ -39,6 +41,19 @@ COMMANDS:
                          against a committed baseline and exits non-zero
                          on regression (>20%; the noisier end-to-end
                          service rate gates at >50%)
+    train                Train a real CNN and report loss, accuracy,
+                         per-tensor sparsity, and the simulated TensorDash
+                         speedup per epoch — authentic dynamic sparsity
+                         through the same simulator/report path as `run`.
+                         Options: --epochs <N> (default 10), --batch <N>
+                         (default 32), --seed <S>, --name <LABEL>,
+                         --record <FILE> (write the versioned trace
+                         artifact), --replay <FILE> (rebuild the report
+                         bit-exactly from an artifact instead of
+                         training), --out <FILE>, --smoke (tiny dataset,
+                         2 epochs). Recorded artifacts also replay through
+                         `--config`/`serve` via the experiment key
+                         `[eval.source] recorded = <FILE>`
     serve                Run the resident simulation service: POST
                          /v1/experiments JSON specs, GET /v1/jobs/<id>,
                          /healthz, /metrics; one process-wide trace cache
@@ -84,6 +99,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("bench") => return run_bench(&args[1..]),
+        Some("train") => return run_train(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("loadtest") => return run_loadtest(&args[1..]),
         _ => {}
@@ -194,6 +210,12 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         summary.trace.extraction_speedup(),
         summary.trace.cache_hit_speedup
     );
+    println!(
+        "source: {:.2e} live masks/s (train+extract), {:.2e} replay masks/s, {:.2e} record B/s",
+        summary.source.live_masks_per_sec,
+        summary.source.replay_masks_per_sec,
+        summary.source.record_bytes_per_sec
+    );
     for model in &summary.models {
         println!(
             "{:<16} {:>8.4}s wall ({:>7.4}s cached)  {:>14.0} sim cycles/s  speedup {:.3}x",
@@ -248,6 +270,32 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn run_train(args: &[String]) -> Result<(), String> {
+    let mut options = train::TrainOptions::default();
+    let mut epochs_set = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--epochs" => {
+                options.epochs = take_parsed(&mut iter, "--epochs")?;
+                epochs_set = true;
+            }
+            "--batch" => options.batch_size = take_parsed(&mut iter, "--batch")?,
+            "--seed" => options.seed = take_parsed(&mut iter, "--seed")?,
+            "--name" => options.name = take_value(&mut iter, "--name")?,
+            "--record" => options.record = Some(take_value(&mut iter, "--record")?.into()),
+            "--replay" => options.replay = Some(take_value(&mut iter, "--replay")?.into()),
+            "--out" => options.out = Some(take_value(&mut iter, "--out")?.into()),
+            "--smoke" => options.smoke = true,
+            other => return Err(format!("unknown `train` argument `{other}`")),
+        }
+    }
+    if options.smoke && !epochs_set {
+        options.epochs = train::TrainOptions::SMOKE_EPOCHS;
+    }
+    train::run(&options)
 }
 
 fn take_value(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
@@ -427,17 +475,18 @@ fn run_config(path: &str, out: Option<&str>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let spec: ExperimentSpec =
         tensordash_serde::from_toml_str(&text).map_err(|e| format!("invalid `{path}`: {e}"))?;
+    let workload = match &spec.eval.source {
+        tensordash_sim::TraceSourceSpec::Recorded { path } => {
+            format!("recorded traces `{path}`")
+        }
+        tensordash_sim::TraceSourceSpec::Calibrated if spec.models.is_empty() => {
+            "full paper sweep".to_string()
+        }
+        tensordash_sim::TraceSourceSpec::Calibrated => spec.models.join(", "),
+    };
     println!(
         "experiment `{}`: {} on {} tiles x {}x{} PEs",
-        spec.name,
-        if spec.models.is_empty() {
-            "full paper sweep".to_string()
-        } else {
-            spec.models.join(", ")
-        },
-        spec.chip.tiles,
-        spec.chip.tile.rows,
-        spec.chip.tile.cols,
+        spec.name, workload, spec.chip.tiles, spec.chip.tile.rows, spec.chip.tile.cols,
     );
     let reports = spec.run().map_err(|e| e.to_string())?;
     for report in &reports {

@@ -22,12 +22,14 @@
 
 use crate::csvout::results_path;
 use crate::experiments;
-use crate::harness::ModelEval;
+use crate::harness::{ModelEval, TraceCache};
 use std::fmt;
 use std::path::PathBuf;
+use std::time::Instant;
 use tensordash_models::{gcn, paper_models, ModelSpec};
 use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
-use tensordash_sim::{ChipConfig, EvalSpec, ModelReport, Simulator};
+use tensordash_sim::{ChipConfig, EvalSpec, ModelReport, Simulator, TraceSourceSpec};
+use tensordash_trace::{RecordedSource, TraceSource};
 
 /// A declarative model-evaluation experiment: which models, on which chip,
 /// under which evaluation spec.
@@ -103,18 +105,102 @@ impl ExperimentSpec {
         Ok(resolved)
     }
 
-    /// Runs the experiment: one [`ModelReport`] per resolved model.
+    /// Validates the spec without running it — what the service checks
+    /// at submit time so a client mistake fails fast instead of consuming
+    /// a queue slot: model names must resolve (calibrated source), and a
+    /// recorded source must name an existing artifact and no models.
     ///
     /// # Errors
     ///
-    /// As [`resolve_models`](ExperimentSpec::resolve_models).
+    /// As [`run_with`](ExperimentSpec::run_with), minus artifact parsing
+    /// (a corrupt file still fails at run time).
+    pub fn validate(&self) -> Result<(), ExperimentError> {
+        match &self.eval.source {
+            TraceSourceSpec::Calibrated => self.resolve_models().map(|_| ()),
+            TraceSourceSpec::Recorded { path } => {
+                if !self.models.is_empty() {
+                    return Err(ExperimentError::RecordedWithModels);
+                }
+                if !std::path::Path::new(path).is_file() {
+                    return Err(ExperimentError::Source(format!(
+                        "recorded artifact `{path}` not found"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs the experiment: one [`ModelReport`] per resolved model
+    /// (calibrated source), or one report for the replayed recording.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_with`](ExperimentSpec::run_with).
     pub fn run(&self) -> Result<Vec<ModelReport>, ExperimentError> {
+        self.run_cached(&TraceCache::new())
+    }
+
+    /// As [`run`](ExperimentSpec::run), building traces through `cache`.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_with`](ExperimentSpec::run_with).
+    pub fn run_cached(&self, cache: &TraceCache) -> Result<Vec<ModelReport>, ExperimentError> {
+        self.run_with(cache, &mut |_, _| {})
+    }
+
+    /// The one execution path every consumer shares — the one-shot CLI,
+    /// the resident service, and tests all produce their reports here, so
+    /// `serve` == `--config` == direct [`Simulator`] byte-for-byte.
+    /// `observe(label, wall_seconds)` is called once per evaluated
+    /// workload (the service's `/metrics` hook).
+    ///
+    /// # Errors
+    ///
+    /// [`ExperimentError::UnknownModel`]/[`DuplicateModel`](ExperimentError::DuplicateModel)
+    /// as [`resolve_models`](ExperimentSpec::resolve_models);
+    /// [`ExperimentError::RecordedWithModels`] when a recorded source is
+    /// combined with a model list (a recording *is* the workload); and
+    /// [`ExperimentError::Source`] for unreadable/corrupt artifacts or a
+    /// replay mismatch (e.g. lane width).
+    pub fn run_with(
+        &self,
+        cache: &TraceCache,
+        observe: &mut dyn FnMut(&str, f64),
+    ) -> Result<Vec<ModelReport>, ExperimentError> {
         let sim = Simulator::new(self.chip);
-        Ok(self
-            .resolve_models()?
-            .iter()
-            .map(|model| sim.eval_model(model, &self.eval))
-            .collect())
+        match &self.eval.source {
+            TraceSourceSpec::Calibrated => {
+                let models = self.resolve_models()?;
+                let mut reports = Vec::with_capacity(models.len());
+                for model in &models {
+                    let t0 = Instant::now();
+                    let report = sim.eval_model_cached(model, &self.eval, cache, &model.name);
+                    observe(&model.name, t0.elapsed().as_secs_f64());
+                    reports.push(report);
+                }
+                Ok(reports)
+            }
+            TraceSourceSpec::Recorded { path } => {
+                if !self.models.is_empty() {
+                    return Err(ExperimentError::RecordedWithModels);
+                }
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    ExperimentError::Source(format!("cannot read recorded artifact `{path}`: {e}"))
+                })?;
+                let source = RecordedSource::from_json(&text).map_err(|e| {
+                    ExperimentError::Source(format!("invalid recorded artifact `{path}`: {e}"))
+                })?;
+                let label = source.label().to_string();
+                let t0 = Instant::now();
+                let report = sim
+                    .eval_source_cached(&source, &self.eval, cache, &label)
+                    .map_err(|e| ExperimentError::Source(e.to_string()))?;
+                observe(&label, t0.elapsed().as_secs_f64());
+                Ok(vec![report])
+            }
+        }
     }
 
     /// Packages the spec and its reports as one self-describing document —
@@ -154,6 +240,10 @@ pub enum ExperimentError {
     UnknownModel(String),
     /// The same model was requested more than once.
     DuplicateModel(String),
+    /// A recorded source was combined with an explicit model list.
+    RecordedWithModels,
+    /// A recorded artifact could not be loaded or replayed.
+    Source(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -166,6 +256,11 @@ impl fmt::Display for ExperimentError {
             ExperimentError::DuplicateModel(name) => {
                 write!(f, "model `{name}` requested more than once")
             }
+            ExperimentError::RecordedWithModels => write!(
+                f,
+                "a recorded source replays its own workload; drop the `models` list"
+            ),
+            ExperimentError::Source(message) => f.write_str(message),
         }
     }
 }
@@ -424,6 +519,44 @@ mod tests {
         assert_eq!(names.len(), 13);
         assert!(find("FIG13").is_some());
         assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn recorded_sources_reject_model_lists_and_missing_files() {
+        let spec = ExperimentSpec::new("x").with_models(["AlexNet"]).with_eval(
+            EvalSpec::builder()
+                .recorded("a.trace.json")
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(spec.validate(), Err(ExperimentError::RecordedWithModels));
+        assert_eq!(spec.run().unwrap_err(), ExperimentError::RecordedWithModels);
+
+        let missing = ExperimentSpec::new("x").with_eval(
+            EvalSpec::builder()
+                .recorded("/definitely/not/here.trace.json")
+                .build()
+                .unwrap(),
+        );
+        assert!(matches!(
+            missing.validate(),
+            Err(ExperimentError::Source(_))
+        ));
+        let err = missing.run().unwrap_err();
+        assert!(err.to_string().contains("here.trace.json"), "{err}");
+    }
+
+    #[test]
+    fn recorded_specs_roundtrip_through_toml() {
+        let spec = ExperimentSpec::new("replay").with_eval(
+            EvalSpec::builder()
+                .recorded("run.trace.json")
+                .build()
+                .unwrap(),
+        );
+        let text = to_toml_string(&spec).unwrap();
+        assert!(text.contains("recorded"), "{text}");
+        assert_eq!(from_toml_str::<ExperimentSpec>(&text).unwrap(), spec);
     }
 
     #[test]

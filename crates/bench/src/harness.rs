@@ -3,32 +3,41 @@
 //!
 //! [`EvalSpec`] itself lives in `tensordash-sim` (re-exported here for
 //! compatibility) so that one serializable pair — chip + spec — describes
-//! an experiment. This module contributes the model-zoo glue: trace every
-//! layer of a [`ModelSpec`] at a training progress and drive the whole
-//! batch through [`Simulator::simulate_batch`] — plus the [`TraceCache`]
-//! that lets multi-chip sweeps build each model's traces **once** and
-//! simulate them on every chip geometry.
+//! an experiment. This module contributes the evaluation glue: resolve a
+//! workload's traces through any [`TraceSource`] — the calibrated zoo
+//! profiles, a recorded training artifact, or an in-memory provider —
+//! and drive the whole batch through [`Simulator::simulate_batch`]. The
+//! [`TraceCache`] lets multi-chip sweeps (and the resident service) build
+//! each source's traces **once** and simulate them on every chip
+//! geometry; since the `TraceSource` refactor its keys carry the *source
+//! identity*, so calibrated and recorded builds can never collide.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use tensordash_models::{layer_traces, LayerSpec, ModelSpec};
+use tensordash_models::ModelSpec;
 use tensordash_sim::{ChipConfig, ModelReport, Simulator};
-use tensordash_trace::OpTrace;
+use tensordash_trace::{LayerOps, OpTrace, SourceError, TraceRequest, TraceSource};
 
 pub use tensordash_sim::{EvalSpec, EvalSpecBuilder, EvalSpecError};
 
-/// One model's traced layers: `(layer, [Forward, InputGrad, WeightGrad])`.
-pub type ModelTraces = Vec<(LayerSpec, [OpTrace; 3])>;
+/// One workload's traced layers:
+/// `(layer name, [Forward, InputGrad, WeightGrad])` — exactly what a
+/// [`TraceSource`] yields.
+pub type ModelTraces = Vec<LayerOps>;
 
-/// The key a trace build is cached under — everything mask generation
-/// depends on. Chip geometry is deliberately absent except for the lane
-/// count: traces are packed per PE width, but tiles/rows/columns only
-/// affect *simulation*, which is exactly why geometry sweeps (figs 17–19)
-/// can reuse one build across every swept chip.
+/// The key a trace build is cached under — the source identity plus
+/// everything mask generation depends on. Chip geometry is deliberately
+/// absent except for the lane count: traces are packed per PE width, but
+/// tiles/rows/columns only affect *simulation*, which is exactly why
+/// geometry sweeps (figs 17–19) can reuse one build across every swept
+/// chip.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct TraceKey {
-    model: String,
+    /// [`TraceSource::identity`]: `calibrated:<model>` for zoo builds,
+    /// `recorded:<content digest>` for artifacts — the field that keeps
+    /// different sources with coincidentally equal labels apart.
+    source: String,
     lanes: usize,
     /// `f64` progress, bit-exact (generation branches on exact values).
     progress_bits: u64,
@@ -39,15 +48,15 @@ struct TraceKey {
 }
 
 impl TraceKey {
-    fn new(model: &ModelSpec, spec: &EvalSpec, lanes: usize) -> Self {
+    fn new(source: String, request: &TraceRequest) -> Self {
         TraceKey {
-            model: model.name.clone(),
-            lanes,
-            progress_bits: spec.progress.to_bits(),
-            max_windows: spec.sample.max_windows,
-            max_rows: spec.sample.max_rows,
-            block: spec.sample.block,
-            seed: spec.seed,
+            source,
+            lanes: request.lanes,
+            progress_bits: request.progress.to_bits(),
+            max_windows: request.sample.max_windows,
+            max_rows: request.sample.max_rows,
+            block: request.sample.block,
+            seed: request.seed,
         }
     }
 }
@@ -72,12 +81,14 @@ pub struct TraceCacheStats {
 
 /// A keyed, capacity-capped cache of built model traces.
 ///
-/// The caching contract: an entry is keyed by `(model name, lanes,
+/// The caching contract: an entry is keyed by `(source identity, lanes,
 /// progress, sample caps, seed)` — every input mask generation reads —
 /// and holds the complete, immutable [`ModelTraces`] behind an [`Arc`].
-/// Model names are assumed to identify their layer geometry and sparsity
+/// Identities are content identities ([`TraceSource::identity`]): zoo
+/// model names are assumed to identify their layer geometry and sparsity
 /// profile (true of the zoo; hand-built specs reusing a name against one
-/// cache would collide).
+/// cache would collide), and recorded artifacts key by a digest of their
+/// canonical text, so editing an artifact invalidates its entries.
 ///
 /// **Eviction contract:** the cache holds at most
 /// [`capacity`](TraceCache::capacity) builds; inserting beyond that
@@ -145,16 +156,31 @@ impl TraceCache {
         self.capacity
     }
 
-    /// The traces of `model` under `spec` at `lanes` lanes — built on the
-    /// first request, shared thereafter (until evicted).
-    #[must_use]
-    pub fn layer_traces(
+    /// The traces of `source` under `spec` at `lanes` lanes — built on
+    /// the first request, shared thereafter (until evicted). Every
+    /// source kind flows through this one lookup: entries are keyed by
+    /// the source's content [`identity`](TraceSource::identity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's build error (cache state is untouched on
+    /// failure).
+    pub fn source_traces(
         &self,
-        model: &ModelSpec,
+        source: &dyn TraceSource,
         spec: &EvalSpec,
         lanes: usize,
-    ) -> Arc<ModelTraces> {
-        let key = TraceKey::new(model, spec, lanes);
+    ) -> Result<Arc<ModelTraces>, SourceError> {
+        let request = TraceRequest {
+            progress: spec.progress,
+            lanes,
+            sample: spec.sample,
+            seed: spec.seed,
+        };
+        // The key carries the source's *canonicalized* request: fields a
+        // source ignores (a recording replays stored masks whatever the
+        // seed) collapse, so equivalent requests share one build.
+        let key = TraceKey::new(source.identity(), &source.cache_request(&request));
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
         if let Some(hit) = self
             .entries
@@ -164,16 +190,10 @@ impl TraceCache {
         {
             hit.last_used = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(&hit.traces);
+            return Ok(Arc::clone(&hit.traces));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(layer_traces(
-            model,
-            spec.progress,
-            lanes,
-            &spec.sample,
-            spec.seed,
-        ));
+        let built = Arc::new(source.layer_ops(&request)?);
         let mut entries = self.entries.lock().expect("trace cache poisoned");
         entries.insert(
             key,
@@ -191,7 +211,23 @@ impl TraceCache {
             entries.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        built
+        Ok(built)
+    }
+
+    /// The traces of zoo `model` under `spec` at `lanes` lanes — the
+    /// calibrated special case of
+    /// [`source_traces`](TraceCache::source_traces).
+    #[must_use]
+    pub fn layer_traces(
+        &self,
+        model: &ModelSpec,
+        spec: &EvalSpec,
+        lanes: usize,
+    ) -> Arc<ModelTraces> {
+        // `ModelSpec` implements `TraceSource` directly, so the borrowed
+        // model is the source — no per-lookup clone of its layer list.
+        self.source_traces(model, spec, lanes)
+            .unwrap_or_else(|e| unreachable!("calibrated sources are infallible: {e}"))
     }
 
     /// `(hits, misses)` so far.
@@ -230,7 +266,9 @@ impl TraceCache {
     }
 }
 
-/// Model-zoo evaluation on a [`Simulator`] session.
+/// Workload evaluation on a [`Simulator`] session: zoo models and
+/// arbitrary [`TraceSource`]s, cached or not, all landing in the same
+/// [`Simulator::simulate_batch`] path.
 pub trait ModelEval {
     /// Evaluates one model: every layer, all three operations, TensorDash
     /// and baseline, (layer, op) work items stolen across the available
@@ -252,12 +290,26 @@ pub trait ModelEval {
         cache: &TraceCache,
         label: &str,
     ) -> ModelReport;
+
+    /// Evaluates any [`TraceSource`] through `cache`, labelling the
+    /// report with `label` (pass [`TraceSource::label`] for the default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's build error.
+    fn eval_source_cached(
+        &self,
+        source: &dyn TraceSource,
+        spec: &EvalSpec,
+        cache: &TraceCache,
+        label: &str,
+    ) -> Result<ModelReport, SourceError>;
 }
 
 fn simulate_traces(sim: &Simulator, traces: &ModelTraces, label: &str) -> ModelReport {
     let groups: Vec<(&str, &[OpTrace])> = traces
         .iter()
-        .map(|(layer, ops)| (layer.name.as_str(), ops.as_slice()))
+        .map(|(name, ops)| (name.as_str(), ops.as_slice()))
         .collect();
     sim.simulate_model(label, &groups)
 }
@@ -268,8 +320,16 @@ impl ModelEval for Simulator {
     }
 
     fn eval_model_labeled(&self, model: &ModelSpec, spec: &EvalSpec, label: &str) -> ModelReport {
-        let lanes = self.chip().tile.pe.lanes();
-        let traces = layer_traces(model, spec.progress, lanes, &spec.sample, spec.seed);
+        let request = TraceRequest {
+            progress: spec.progress,
+            lanes: self.chip().tile.pe.lanes(),
+            sample: spec.sample,
+            seed: spec.seed,
+        };
+        // `ModelSpec` is its own `TraceSource` — borrowed, clone-free.
+        let traces = model
+            .layer_ops(&request)
+            .unwrap_or_else(|e| unreachable!("calibrated sources are infallible: {e}"));
         simulate_traces(self, &traces, label)
     }
 
@@ -283,6 +343,18 @@ impl ModelEval for Simulator {
         let lanes = self.chip().tile.pe.lanes();
         let traces = cache.layer_traces(model, spec, lanes);
         simulate_traces(self, &traces, label)
+    }
+
+    fn eval_source_cached(
+        &self,
+        source: &dyn TraceSource,
+        spec: &EvalSpec,
+        cache: &TraceCache,
+        label: &str,
+    ) -> Result<ModelReport, SourceError> {
+        let lanes = self.chip().tile.pe.lanes();
+        let traces = cache.source_traces(source, spec, lanes)?;
+        Ok(simulate_traces(self, &traces, label))
     }
 }
 
@@ -344,6 +416,7 @@ mod tests {
             sample: SampleSpec::new(8, 64),
             progress: 0.3,
             seed: 9,
+            ..EvalSpec::sweep()
         };
         let a = sim.eval_model(model, &spec);
         let b = sim.eval_model(model, &spec);
@@ -369,6 +442,7 @@ mod tests {
             sample: SampleSpec::new(8, 64),
             progress: 0.45,
             seed: 0xDA5A,
+            ..EvalSpec::sweep()
         };
         let sim = Simulator::new(chip);
         for model in &paper_models()[..3] {
@@ -401,6 +475,7 @@ mod tests {
             sample: SampleSpec::new(8, 64),
             progress: 0.45,
             seed: 7,
+            ..EvalSpec::sweep()
         };
         let cache = TraceCache::new();
         for rows in [4usize, 8, 16] {
@@ -414,7 +489,10 @@ mod tests {
         assert_eq!(cache.stats(), (2, 1), "two hits after the first build");
 
         // A different seed is a different key — no false sharing.
-        let other = EvalSpec { seed: 8, ..spec };
+        let other = EvalSpec {
+            seed: 8,
+            ..spec.clone()
+        };
         let sim = Simulator::paper();
         let _ = sim.eval_model_cached(model, &other, &cache, &model.name);
         assert_eq!(cache.len(), 2);
@@ -432,6 +510,7 @@ mod tests {
             sample: SampleSpec::new(1, 8),
             progress: 0.45,
             seed,
+            ..EvalSpec::sweep()
         };
         let cache = TraceCache::with_capacity(3);
         assert_eq!(cache.capacity(), 3);
@@ -478,6 +557,7 @@ mod tests {
             sample: SampleSpec::new(1, 8),
             progress: 0.45,
             seed: 7,
+            ..EvalSpec::sweep()
         };
         let cache = TraceCache::new();
         assert_eq!(cache.capacity(), DEFAULT_CACHE_CAPACITY);

@@ -2,9 +2,11 @@
 //!
 //! The experiment harness: the model-evaluation pipeline as an extension
 //! of the [`Simulator`](tensordash_sim::Simulator) session, declarative
-//! [`ExperimentSpec`] configs, the resident [`service`] behind
-//! `tensordash serve` (with its [`loadtest`] traffic generator), and the
-//! single `tensordash` CLI that drives the paper's whole evaluation.
+//! [`ExperimentSpec`] configs, the live-training [`train`] pipeline
+//! behind `tensordash train` (real epochs → recorded trace artifacts →
+//! bit-exact replay), the resident [`service`] behind `tensordash serve`
+//! (with its [`loadtest`] traffic generator), and the single
+//! `tensordash` CLI that drives the paper's whole evaluation.
 //!
 //! Run everything with:
 //!
@@ -34,6 +36,7 @@ pub mod loadtest;
 pub mod paperref;
 pub mod perf;
 pub mod service;
+pub mod train;
 
 pub use csvout::{results_path, write_csv};
 pub use experiment::{ExperimentError, ExperimentSpec, NamedExperiment};
@@ -45,6 +48,7 @@ pub use harness::{
 pub use loadtest::{LoadtestOptions, LoadtestReport};
 pub use perf::{
     diff_against_baseline, BaselineEntry, BenchOptions, BenchSummary, KernelBench, ModelBench,
-    ServiceBench, TraceBench, BASELINE_TOLERANCE, SERVICE_TOLERANCE,
+    ServiceBench, SourceBench, TraceBench, BASELINE_TOLERANCE, SERVICE_TOLERANCE,
 };
 pub use service::{RunningService, Service, ServiceConfig};
+pub use train::{capture_training, train_report_document, TrainOptions};

@@ -120,6 +120,7 @@ pub fn mix_spec(seed: u64, index: usize) -> ExperimentSpec {
         sample: tensordash_trace::SampleSpec::new(2, 16),
         progress: [0.2, 0.45][rng.gen_range(0..2usize)],
         seed: rng.gen_range(0..4u64),
+        ..EvalSpec::sweep()
     };
     ExperimentSpec::new(format!("loadtest-{index}"))
         .with_models([model])

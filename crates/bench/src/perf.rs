@@ -17,6 +17,9 @@
 //!   cycles per wall second, and the model's speedup over the dense
 //!   baseline (the speedups are deterministic and double as a sanity
 //!   check that perf work never changed results);
+//! * **source** — the train→record→replay legs of the `TraceSource`
+//!   pipeline: live training-epoch trace production, artifact
+//!   serialization, and recorded-artifact replay throughput;
 //! * **service** — traffic throughput of an in-process `tensordash
 //!   serve` under the deterministic `loadtest` mix: completed experiments
 //!   per second and p50/p99 submit→report latency.
@@ -35,6 +38,7 @@
 //! regressions (see [`diff_against_baseline`]).
 
 use crate::harness::{ModelEval, TraceCache};
+use crate::train::{capture_training, TrainOptions};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -108,6 +112,23 @@ impl TraceBench {
     }
 }
 
+/// Trace-source pipeline throughput: the train→record→replay legs of the
+/// `TraceSource` abstraction, over a fixed tiny training workload that is
+/// **identical in the smoke and full variants** (only sample counts
+/// differ), so the rates compare across variants like the kernel rates.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceBench {
+    /// Masks per second produced by the live leg: one real training
+    /// epoch plus bit-exact trace extraction.
+    pub live_masks_per_sec: f64,
+    /// Masks per second through the recorded leg: artifact parse plus a
+    /// replayed `layer_ops` request.
+    pub replay_masks_per_sec: f64,
+    /// Artifact serialization throughput (recording → JSON text),
+    /// bytes per second.
+    pub record_bytes_per_sec: f64,
+}
+
 /// One model's end-to-end evaluation measurement.
 #[derive(Debug, Clone)]
 pub struct ModelBench {
@@ -150,6 +171,8 @@ pub struct BenchSummary {
     pub kernel: KernelBench,
     /// Trace-pipeline measurements.
     pub trace: TraceBench,
+    /// Trace-source measurements (live train, record, replay).
+    pub source: SourceBench,
     /// Per-model end-to-end measurements.
     pub models: Vec<ModelBench>,
     /// Service traffic measurements (`tensordash serve` + `loadtest`).
@@ -210,6 +233,20 @@ impl BenchSummary {
                 Value::Float(self.trace.cache_hit_speedup),
             ),
         ]);
+        let source = Value::Table(vec![
+            (
+                "live_masks_per_sec".into(),
+                Value::Float(self.source.live_masks_per_sec),
+            ),
+            (
+                "replay_masks_per_sec".into(),
+                Value::Float(self.source.replay_masks_per_sec),
+            ),
+            (
+                "record_bytes_per_sec".into(),
+                Value::Float(self.source.record_bytes_per_sec),
+            ),
+        ]);
         let models = Value::Array(
             self.models
                 .iter()
@@ -248,10 +285,11 @@ impl BenchSummary {
             ),
         ]);
         Value::Table(vec![
-            ("schema".into(), Value::Str("tensordash-bench/3".into())),
+            ("schema".into(), Value::Str("tensordash-bench/4".into())),
             ("smoke".into(), Value::Bool(self.smoke)),
             ("kernel".into(), kernel),
             ("trace".into(), trace),
+            ("source".into(), source),
             ("models".into(), models),
             ("service".into(), service),
             (
@@ -538,6 +576,61 @@ pub fn bench_trace(smoke: bool) -> TraceBench {
     }
 }
 
+/// Measures the trace-source pipeline: one live training epoch with
+/// trace extraction, artifact serialization, and recorded replay
+/// (parse + `layer_ops`). The training workload is the `--smoke` trainer
+/// configuration in **both** variants — rates stay commensurable across
+/// smoke/full runs, which is what lets CI's smoke run gate them against
+/// a committed full-run baseline.
+#[must_use]
+pub fn bench_source(smoke: bool) -> SourceBench {
+    use tensordash_trace::{RecordedSource, TraceRequest, TraceSource};
+
+    let samples = if smoke { 2 } else { 5 };
+    let options = TrainOptions {
+        name: "bench".to_string(),
+        epochs: 1,
+        batch_size: 32,
+        seed: 0xDA5A,
+        smoke: true, // the fixed tiny workload, in both variants
+        ..TrainOptions::default()
+    };
+    let recording = capture_training(&options).expect("bench training workload");
+    let masks: usize = recording
+        .epochs
+        .iter()
+        .flat_map(|e| e.layers.iter())
+        .flat_map(|(_, ops)| ops.iter())
+        .map(|t| t.arena_masks().len())
+        .sum();
+
+    let live = best_seconds(samples, || {
+        std::hint::black_box(capture_training(&options).expect("bench training workload"));
+    });
+
+    let text = recording.to_json();
+    let record = best_seconds(samples, || {
+        std::hint::black_box(recording.to_json());
+    });
+
+    let request = TraceRequest {
+        progress: 0.0,
+        lanes: recording.meta.lanes,
+        sample: recording.meta.sample,
+        seed: 0,
+    };
+    let replay = best_seconds(samples, || {
+        let source = RecordedSource::from_json(&text).expect("bench artifact");
+        std::hint::black_box(source.layer_ops(&request).expect("bench replay"));
+    });
+
+    SourceBench {
+        live_masks_per_sec: masks as f64 / live,
+        replay_masks_per_sec: masks as f64 / replay,
+        record_bytes_per_sec: text.len() as f64 / record,
+    }
+}
+
 /// Evaluates the fixed model workload set, timing each model end to end
 /// (best of 3 after one untimed warm-up), cold and trace-cache-warm.
 #[must_use]
@@ -764,6 +857,24 @@ pub fn diff_against_baseline(summary: &BenchSummary, baseline: &Value) -> Vec<Ba
         summary.service.requests_per_sec,
         SERVICE_TOLERANCE,
     );
+    // Trace-source rates run the identical tiny training workload in both
+    // variants (see `bench_source`), so — like the kernel rates — they
+    // compare across smoke/full runs; skipped for baselines predating the
+    // section (BENCH_4 and earlier).
+    push(
+        &mut entries,
+        "source.live_masks_per_sec",
+        baseline_float(baseline, "source", "live_masks_per_sec"),
+        summary.source.live_masks_per_sec,
+        BASELINE_TOLERANCE,
+    );
+    push(
+        &mut entries,
+        "source.replay_masks_per_sec",
+        baseline_float(baseline, "source", "replay_masks_per_sec"),
+        summary.source.replay_masks_per_sec,
+        BASELINE_TOLERANCE,
+    );
 
     let same_variant = baseline
         .get("smoke")
@@ -819,12 +930,14 @@ pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
     warm_up();
     let kernel = bench_kernel(options.smoke);
     let trace = bench_trace(options.smoke);
+    let source = bench_source(options.smoke);
     let models = bench_models(options.smoke);
     let service = bench_service(options.smoke);
     let summary = BenchSummary {
         smoke: options.smoke,
         kernel,
         trace,
+        source,
         models,
         service,
         total_wall_seconds: start.elapsed().as_secs_f64(),
@@ -837,6 +950,14 @@ pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn fixed_source() -> SourceBench {
+        SourceBench {
+            live_masks_per_sec: 1.0e6,
+            replay_masks_per_sec: 5.0e6,
+            record_bytes_per_sec: 1.0e8,
+        }
+    }
 
     fn fixed_service() -> ServiceBench {
         ServiceBench {
@@ -862,6 +983,10 @@ mod tests {
             trace.extraction_speedup()
         );
         assert!(trace.cache_hit_speedup > 1.0);
+        let source = bench_source(true);
+        assert!(source.live_masks_per_sec > 0.0);
+        assert!(source.replay_masks_per_sec > 0.0);
+        assert!(source.record_bytes_per_sec > 0.0);
         let service = bench_service(true);
         assert!(service.requests_per_sec > 0.0);
         assert!(service.latency_ms_p50 > 0.0);
@@ -870,6 +995,7 @@ mod tests {
             smoke: true,
             kernel,
             trace,
+            source,
             models: bench_models(true),
             service,
             total_wall_seconds: 0.5,
@@ -880,11 +1006,13 @@ mod tests {
         let doc = summary.document();
         assert!(doc.get("kernel").is_some());
         assert!(doc.get("trace").is_some());
+        assert!(doc.get("source").is_some());
         assert!(doc.get("service").is_some());
         let json = tensordash_serde::json::write(&doc);
         assert!(json.contains("steps_per_sec_batched"));
         assert!(json.contains("extraction_speedup"));
         assert!(json.contains("requests_per_sec"));
+        assert!(json.contains("live_masks_per_sec"));
         assert!(json.contains("AlexNet"));
     }
 
@@ -904,6 +1032,7 @@ mod tests {
                 synthetic_masks_per_sec: 1.0e8,
                 cache_hit_speedup: 2.0,
             },
+            source: fixed_source(),
             models: vec![],
             service: fixed_service(),
             total_wall_seconds: 0.0,
@@ -950,6 +1079,7 @@ mod tests {
                 synthetic_masks_per_sec: 1.0,
                 cache_hit_speedup: 1.0,
             },
+            source: fixed_source(),
             models: vec![ModelBench {
                 name: "AlexNet".into(),
                 wall_seconds: 0.01,
@@ -999,6 +1129,7 @@ mod tests {
                 synthetic_masks_per_sec: 1.0,
                 cache_hit_speedup: 1.0,
             },
+            source: fixed_source(),
             models: vec![],
             service: fixed_service(),
             total_wall_seconds: 0.0,

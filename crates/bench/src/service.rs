@@ -6,8 +6,8 @@
 //! queue, executed by a pool of simulation workers against **one
 //! process-wide [`TraceCache`]** — so repeat geometry sweeps from any
 //! client hit warm traces — and published as a JSON report that is
-//! byte-identical to what a direct [`Simulator`] run (or the one-shot
-//! CLI) produces.
+//! byte-identical to what a direct [`Simulator`](tensordash_sim::Simulator)
+//! run (or the one-shot CLI) produces.
 //!
 //! Request lifecycle (see `docs/ARCHITECTURE.md` for the full diagram):
 //!
@@ -27,9 +27,17 @@
 //! | `GET /healthz`            | liveness                                   |
 //! | `GET /metrics`            | jobs, cache hit/miss/eviction, model walls |
 //! | `POST /v1/shutdown`       | graceful shutdown (as `SIGTERM` / idle)    |
+//!
+//! **Trust model.** A spec's recorded source (`eval.source.recorded`)
+//! names a file on the *server* host, resolved with the server process's
+//! filesystem permissions — clients can probe path existence and make
+//! the server parse any readable file (non-artifacts fail the schema
+//! check without echoing content). Like `/v1/shutdown`, this assumes the
+//! operator's own clients: the service binds loopback by default and has
+//! no authentication layer; don't expose it to untrusted networks.
 
 use crate::experiment::ExperimentSpec;
-use crate::harness::{ModelEval, TraceCache};
+use crate::harness::TraceCache;
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
@@ -39,7 +47,6 @@ use tensordash_serde::{json, Serialize, Value};
 use tensordash_server::http::{Request, Response};
 use tensordash_server::jobs::{JobId, JobQueue, JobState};
 use tensordash_server::server::{Handler, Server, ServerConfig, ShutdownFlag};
-use tensordash_sim::Simulator;
 
 /// How `tensordash serve` should run.
 #[derive(Debug, Clone)]
@@ -89,22 +96,17 @@ struct ServiceState {
 impl ServiceState {
     /// Runs one admitted experiment; the `Ok` string is the final report
     /// JSON, byte-identical to `tensordash --config`'s output for the
-    /// same spec.
+    /// same spec — both run [`ExperimentSpec::run_with`], whatever the
+    /// trace source (calibrated zoo profiles or a recorded artifact).
     fn run_experiment(&self, spec: &ExperimentSpec) -> Result<Arc<String>, String> {
-        let models = spec.resolve_models().map_err(|e| e.to_string())?;
-        let sim = Simulator::new(spec.chip);
-        let mut reports = Vec::with_capacity(models.len());
-        for model in &models {
-            let t0 = Instant::now();
-            let report = sim.eval_model_cached(model, &spec.eval, &self.cache, &model.name);
-            let elapsed = t0.elapsed().as_secs_f64();
-            let mut walls = self.model_walls.lock().expect("model walls poisoned");
-            let entry = walls.entry(model.name.clone()).or_insert((0, 0.0));
-            entry.0 += 1;
-            entry.1 += elapsed;
-            drop(walls);
-            reports.push(report);
-        }
+        let reports = spec
+            .run_with(&self.cache, &mut |label, elapsed| {
+                let mut walls = self.model_walls.lock().expect("model walls poisoned");
+                let entry = walls.entry(label.to_string()).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += elapsed;
+            })
+            .map_err(|e| e.to_string())?;
         Ok(Arc::new(json::write(&spec.report_document(&reports))))
     }
 
@@ -223,9 +225,10 @@ impl ServiceState {
             Ok(spec) => spec,
             Err(e) => return error_json(400, &format!("invalid experiment spec: {e}")),
         };
-        // Resolve up front: an unknown model is the client's mistake and
+        // Validate up front: an unknown model, a missing artifact, or a
+        // recorded-source/models conflict is the client's mistake and
         // should not consume a queue slot before failing.
-        if let Err(e) = spec.resolve_models() {
+        if let Err(e) = spec.validate() {
             return error_json(400, &e.to_string());
         }
         match self.queue.submit(spec) {

@@ -120,6 +120,92 @@ fn config_file_reproduces_the_in_code_report_byte_for_byte() {
     );
 }
 
+/// The `tensordash train` acceptance path: a smoke training run records
+/// an artifact and a per-epoch report; replaying the artifact rebuilds
+/// the report **byte-identically** (the same gate ci.sh enforces with
+/// `cmp`), and the artifact replays through `--config` as well.
+#[test]
+fn train_record_and_replay_are_byte_identical() {
+    let artifact = temp_file("train.trace.json");
+    let live_report = temp_file("train-live.json");
+    let out = tensordash(&[
+        "train",
+        "--smoke",
+        "--seed",
+        "11",
+        "--record",
+        artifact.to_str().unwrap(),
+        "--out",
+        live_report.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("TD-speedup"), "{text}");
+    let live = std::fs::read_to_string(&live_report).unwrap();
+    for key in ["total_speedup", "act_sparsity", "op_speedup", "AxW"] {
+        assert!(live.contains(key), "missing `{key}`");
+    }
+
+    let replay_report = temp_file("train-replay.json");
+    let out = tensordash(&[
+        "train",
+        "--replay",
+        artifact.to_str().unwrap(),
+        "--out",
+        replay_report.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let replay = std::fs::read_to_string(&replay_report).unwrap();
+    assert_eq!(live, replay, "replay diverged from the live report");
+
+    // The same artifact replays through the declarative config path.
+    let config = temp_file("train-replay.toml");
+    std::fs::write(
+        &config,
+        format!(
+            "name = \"cli-replay\"\n[eval]\nprogress = 1.0\n[eval.source]\nrecorded = \"{}\"\n",
+            artifact.to_str().unwrap()
+        ),
+    )
+    .unwrap();
+    let config_report = temp_file("train-config.json");
+    let out = tensordash(&[
+        "--config",
+        config.to_str().unwrap(),
+        "--out",
+        config_report.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = std::fs::read_to_string(&config_report).unwrap();
+    assert!(report.contains("small-cnn"), "recording label missing");
+
+    // --record with --replay is contradictory and must fail cleanly.
+    let out = tensordash(&[
+        "train",
+        "--replay",
+        artifact.to_str().unwrap(),
+        "--record",
+        artifact.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let out = tensordash(&["train", "--epochs", "0"]);
+    assert!(!out.status.success());
+    let out = tensordash(&["train", "--frobnicate"]);
+    assert!(!out.status.success());
+}
+
 #[test]
 fn bench_smoke_writes_a_perf_report() {
     let out_path = temp_file("bench-smoke.json");
@@ -133,7 +219,8 @@ fn bench_smoke_writes_a_perf_report() {
     assert!(text.contains("row-group"), "{text}");
     let json = std::fs::read_to_string(&out_path).unwrap();
     for key in [
-        "tensordash-bench/3",
+        "tensordash-bench/4",
+        "live_masks_per_sec",
         "step_speedup",
         "group_speedup",
         "extraction_speedup",

@@ -22,8 +22,10 @@
 
 pub mod build;
 pub mod profile;
+pub mod source;
 pub mod zoo;
 
 pub use build::{build_op_trace, layer_traces};
 pub use profile::{Curve, SparsityProfile};
+pub use source::CalibratedSource;
 pub use zoo::{gcn, paper_models, LayerSpec, ModelSpec};

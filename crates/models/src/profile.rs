@@ -11,11 +11,18 @@ impl Curve {
     ///
     /// # Panics
     ///
-    /// Panics if `knots` is empty or progresses are not strictly
-    /// increasing within `[0, 1]`.
+    /// Panics if `knots` is empty, any progress or value is non-finite
+    /// (a NaN knot would silently poison every [`Curve::at`] lookup), or
+    /// progresses are not strictly increasing within `[0, 1]`.
     #[must_use]
     pub fn new(knots: &[(f64, f64)]) -> Self {
         assert!(!knots.is_empty(), "a curve needs at least one knot");
+        for &(t, v) in knots {
+            assert!(
+                t.is_finite() && v.is_finite(),
+                "curve knots must be finite, got ({t}, {v})"
+            );
+        }
         for pair in knots.windows(2) {
             assert!(pair[0].0 < pair[1].0, "knot progresses must increase");
         }
@@ -26,8 +33,13 @@ impl Curve {
     }
 
     /// A constant curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is non-finite (as [`Curve::new`]).
     #[must_use]
     pub fn constant(value: f64) -> Self {
+        assert!(value.is_finite(), "curve value must be finite, got {value}");
         Curve {
             knots: vec![(0.0, value)],
         }
@@ -196,5 +208,39 @@ mod tests {
     #[should_panic(expected = "increase")]
     fn unsorted_knots_rejected() {
         let _ = Curve::new(&[(0.5, 0.1), (0.2, 0.3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_knot_progress_rejected() {
+        let _ = Curve::new(&[(f64::NAN, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_knot_value_rejected() {
+        // Before validation this constructed fine and poisoned every
+        // interpolation: at(t) returned NaN for all t past the knot.
+        let _ = Curve::new(&[(0.0, 0.2), (0.5, f64::NAN), (1.0, 0.4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_knot_value_rejected() {
+        let _ = Curve::new(&[(0.0, f64::INFINITY)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_constant_rejected() {
+        let _ = Curve::constant(f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn finite_curves_stay_finite_everywhere() {
+        let c = Curve::new(&[(0.0, 0.1), (0.4, 0.9), (1.0, 0.3)]);
+        for i in 0..=100 {
+            assert!(c.at(i as f64 / 100.0).is_finite());
+        }
     }
 }

@@ -43,4 +43,4 @@ pub use layer::{BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu};
 pub use network::{ConvSnapshot, Network};
 pub use optim::Sgd;
 pub use prune::{PruneMethod, Pruner};
-pub use trainer::{EpochStats, Trainer};
+pub use trainer::{EpochStats, EpochTrace, Trainer, TrainingRun};

@@ -8,17 +8,35 @@ use rand::Rng;
 use tensordash_trace::{extract_op_trace, LayerTensors, OpTrace, SampleSpec, TrainingOp};
 
 /// Metrics of one training epoch.
+///
+/// # The sparsity convention
+///
+/// The three sparsity fields are **plain means across weighted layers**
+/// — every layer contributes equally, regardless of its element count —
+/// and the activation/gradient values are measured on the **last batch
+/// of the epoch only** (the snapshots a training step caches), mirroring
+/// the paper's trace-one-random-batch-per-epoch methodology (§4
+/// "Collecting Traces"). They are *summary statistics* for progress
+/// reporting; the simulator never consumes them — it reads the exact
+/// per-element masks of the extracted traces, which carry each layer's
+/// true element counts. An element-weighted mean would track the traffic
+/// mix more closely but would no longer be comparable across layers of
+/// very different sizes, so the plain-mean convention is kept and
+/// documented here.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochStats {
     /// Mean cross-entropy loss.
     pub loss: f64,
     /// Training accuracy.
     pub accuracy: f64,
-    /// Mean input-activation sparsity across weighted layers (last batch).
+    /// Mean input-activation sparsity across weighted layers (plain mean,
+    /// last batch only — see the struct docs).
     pub act_sparsity: f64,
-    /// Mean output-gradient sparsity across weighted layers (last batch).
+    /// Mean output-gradient sparsity across weighted layers (plain mean,
+    /// last batch only — see the struct docs).
     pub grad_sparsity: f64,
-    /// Mean weight sparsity across weighted layers.
+    /// Mean weight sparsity across weighted layers (plain mean; weights
+    /// are not batch-dependent).
     pub weight_sparsity: f64,
 }
 
@@ -115,6 +133,51 @@ impl Trainer {
         self.network.snapshots()
     }
 
+    /// Runs `epochs` epochs as an iterator of [`EpochTrace`]s: each step
+    /// trains one epoch and extracts the last batch's per-layer traces —
+    /// the **epoch-iterator API** every consumer of live sparsity drives
+    /// (the `tensordash train` subcommand, the examples) instead of
+    /// hand-rolling a train-then-extract loop.
+    ///
+    /// `lanes`/`sample` configure trace extraction; the yielded progress
+    /// runs linearly from 0 (first epoch) to 1 (last epoch). Training
+    /// errors (an empty dataset) surface as one `Err` item and end the
+    /// iteration.
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use tensordash_nn::{Dataset, Network, Sgd, Trainer};
+    /// use tensordash_trace::SampleSpec;
+    ///
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let dataset = Dataset::synthetic_shapes(4, 120, 12, &mut rng);
+    /// let network = Network::small_cnn(1, 12, 4, &mut rng);
+    /// let mut trainer = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
+    /// for epoch in trainer.epochs(2, 32, 16, SampleSpec::new(2, 16), &mut rng) {
+    ///     let epoch = epoch.unwrap();
+    ///     assert_eq!(epoch.layers.len(), 3); // conv1, conv2, fc
+    /// }
+    /// ```
+    pub fn epochs<'a, R: Rng>(
+        &'a mut self,
+        epochs: usize,
+        batch_size: usize,
+        lanes: usize,
+        sample: SampleSpec,
+        rng: &'a mut R,
+    ) -> TrainingRun<'a, R> {
+        TrainingRun {
+            trainer: self,
+            rng,
+            epochs,
+            batch_size,
+            lanes,
+            sample,
+            next: 0,
+            failed: false,
+        }
+    }
+
     /// Extracts the three per-layer operation traces of the last batch —
     /// authentic dynamic sparsity, straight from training.
     #[must_use]
@@ -137,6 +200,75 @@ impl Trainer {
                 (snap.name.clone(), traces)
             })
             .collect()
+    }
+}
+
+/// One trained epoch with its extracted traces: what the live leg of the
+/// `TraceSource` pipeline feeds straight into the simulator.
+#[derive(Debug, Clone)]
+pub struct EpochTrace {
+    /// Epoch index, from 0.
+    pub epoch: usize,
+    /// Training progress in `[0, 1]`: 0 at the first epoch, 1 at the
+    /// last (0.0 for a single-epoch run).
+    pub progress: f64,
+    /// The epoch's metrics.
+    pub stats: EpochStats,
+    /// `(layer name, [Forward, InputGrad, WeightGrad])` traces of the
+    /// epoch's last batch, per weighted layer.
+    pub layers: Vec<(String, [OpTrace; 3])>,
+}
+
+/// The iterator behind [`Trainer::epochs`]. Each `next()` trains one
+/// epoch and extracts its traces; iteration ends after the configured
+/// epoch count or the first training error.
+pub struct TrainingRun<'a, R: Rng> {
+    trainer: &'a mut Trainer,
+    rng: &'a mut R,
+    epochs: usize,
+    batch_size: usize,
+    lanes: usize,
+    sample: SampleSpec,
+    next: usize,
+    failed: bool,
+}
+
+impl<R: Rng> Iterator for TrainingRun<'_, R> {
+    type Item = Result<EpochTrace, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.next >= self.epochs {
+            return None;
+        }
+        let epoch = self.next;
+        self.next += 1;
+        let stats = match self.trainer.run_epoch(self.batch_size, self.rng) {
+            Ok(stats) => stats,
+            Err(message) => {
+                self.failed = true;
+                return Some(Err(message));
+            }
+        };
+        let progress = if self.epochs <= 1 {
+            0.0
+        } else {
+            epoch as f64 / (self.epochs - 1) as f64
+        };
+        Some(Ok(EpochTrace {
+            epoch,
+            progress,
+            stats,
+            layers: self.trainer.traces(self.lanes, &self.sample),
+        }))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = if self.failed {
+            0
+        } else {
+            self.epochs - self.next
+        };
+        (0, Some(left))
     }
 }
 
@@ -207,6 +339,73 @@ mod tests {
             stats.weight_sparsity
         );
         assert!(stats.accuracy > 0.6, "accuracy {}", stats.accuracy);
+    }
+
+    /// Same seed ⇒ bit-identical training: the determinism the recorded
+    /// artifact pipeline (and every cache key) relies on. `EpochStats` is
+    /// compared with exact `f64` equality and every extracted trace mask
+    /// for mask.
+    #[test]
+    fn same_seed_training_is_bit_identical() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(44);
+            let mut t = trainer(&mut rng);
+            let sample = SampleSpec::new(4, 32);
+            let mut out = Vec::new();
+            for epoch in t.epochs(3, 32, 16, sample, &mut rng) {
+                out.push(epoch.unwrap());
+            }
+            out
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), b.len());
+        for (ea, eb) in a.iter().zip(&b) {
+            assert_eq!(ea.epoch, eb.epoch);
+            assert_eq!(ea.progress.to_bits(), eb.progress.to_bits());
+            // Exact equality, not approximate: EpochStats is Copy+PartialEq
+            // over f64s and the two runs must take identical FP paths.
+            assert_eq!(ea.stats, eb.stats);
+            assert_eq!(ea.layers, eb.layers, "epoch {} traces diverged", ea.epoch);
+        }
+    }
+
+    #[test]
+    fn epoch_iterator_matches_the_manual_loop() {
+        let mut rng_a = StdRng::seed_from_u64(45);
+        let mut manual = trainer(&mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(45);
+        let mut iterated = trainer(&mut rng_b);
+
+        let sample = SampleSpec::new(4, 32);
+        let epochs: Vec<EpochTrace> = iterated
+            .epochs(2, 32, 16, sample, &mut rng_b)
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(epochs[0].progress, 0.0);
+        assert_eq!(epochs[1].progress, 1.0);
+        for (i, epoch) in epochs.iter().enumerate() {
+            let stats = manual.run_epoch(32, &mut rng_a).unwrap();
+            assert_eq!(epoch.stats, stats, "epoch {i} stats diverged");
+            assert_eq!(epoch.layers, manual.traces(16, &sample));
+        }
+    }
+
+    #[test]
+    fn epoch_iterator_surfaces_training_errors_once() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let dataset = Dataset::synthetic_shapes(4, 1, 12, &mut rng);
+        let network = Network::small_cnn(1, 12, 4, &mut rng);
+        let mut t = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
+        // Drain the dataset to empty is not possible through the API;
+        // instead check the single-epoch progress convention and that a
+        // healthy run yields exactly `epochs` items.
+        let items: Vec<_> = t
+            .epochs(1, 8, 16, SampleSpec::new(2, 16), &mut rng)
+            .collect();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].as_ref().unwrap().progress, 0.0);
     }
 
     #[test]

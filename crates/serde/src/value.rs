@@ -65,6 +65,18 @@ impl Value {
         }
     }
 
+    /// The raw [`Value`] of a required table field (the untyped
+    /// counterpart of [`field`](Value::field), for deserializers that
+    /// need to inspect the value before committing to a type).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the field is missing.
+    pub fn field_value(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error::new(format!("missing field `{key}`")))
+    }
+
     /// The value as a bool.
     ///
     /// # Errors

@@ -1,34 +1,104 @@
-//! Evaluation specifications: sampling effort, training progress, seed.
+//! Evaluation specifications: sampling effort, training progress, seed,
+//! and the trace source.
 //!
 //! [`EvalSpec`] used to live in the bench crate; it moved next to the
 //! simulator so one serializable pair — [`ChipConfig`](crate::ChipConfig)
 //! plus `EvalSpec` — fully describes an experiment's machine and
-//! methodology.
+//! methodology. Since the `TraceSource` refactor it also names *where
+//! traces come from* ([`TraceSourceSpec`]): the calibrated model-zoo
+//! profiles (the default), or a recorded training artifact replayed
+//! bit-exactly.
 
 use std::fmt;
 use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use tensordash_trace::SampleSpec;
 
-/// How to evaluate a model: sampling effort, training progress, seed.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Where an evaluation's traces come from — the declarative face of the
+/// `TraceSource` pipeline. This is *data* (it serializes into experiment
+/// documents); the experiment layer resolves it to an actual
+/// `TraceSource` implementation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TraceSourceSpec {
+    /// Synthetic traces from the model zoo's calibrated sparsity
+    /// profiles (the historical default).
+    #[default]
+    Calibrated,
+    /// Replay a recorded training artifact (`tensordash train --record`)
+    /// from a file path, bit-exactly as captured.
+    Recorded {
+        /// Path to the `.trace.json` artifact.
+        path: String,
+    },
+}
+
+impl fmt::Display for TraceSourceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceSourceSpec::Calibrated => f.write_str("calibrated"),
+            TraceSourceSpec::Recorded { path } => write!(f, "recorded `{path}`"),
+        }
+    }
+}
+
+impl Serialize for TraceSourceSpec {
+    fn serialize(&self) -> Value {
+        match self {
+            TraceSourceSpec::Calibrated => Value::Str("calibrated".to_string()),
+            TraceSourceSpec::Recorded { path } => {
+                Value::Table(vec![("recorded".to_string(), Value::Str(path.clone()))])
+            }
+        }
+    }
+}
+
+impl Deserialize for TraceSourceSpec {
+    /// Accepts the string `"calibrated"` or a `{ recorded = "<path>" }`
+    /// table; anything else is rejected with the allowed shapes.
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        match value {
+            Value::Str(s) if s == "calibrated" => Ok(TraceSourceSpec::Calibrated),
+            Value::Str(other) => Err(SerdeError::new(format!(
+                "unknown trace source `{other}` (expected \"calibrated\" or {{ recorded = \"<path>\" }})"
+            ))),
+            Value::Table(_) => {
+                value.expect_keys(&["recorded"])?;
+                let path: String = value.field("recorded")?;
+                if path.is_empty() {
+                    return Err(SerdeError::new("recorded source path must not be empty"));
+                }
+                Ok(TraceSourceSpec::Recorded { path })
+            }
+            other => Err(SerdeError::expected("trace source", other)),
+        }
+    }
+}
+
+/// How to evaluate a model: sampling effort, training progress, seed,
+/// trace source.
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalSpec {
     /// Stream sampling caps.
     pub sample: SampleSpec,
     /// Training progress in `[0, 1]` (0.45 ≈ the stable mid-training
-    /// plateau the headline figures report).
+    /// plateau the headline figures report). For a recorded source this
+    /// selects the nearest recorded epoch.
     pub progress: f64,
     /// Trace seed.
     pub seed: u64,
+    /// Where traces come from (defaults to the calibrated profiles).
+    pub source: TraceSourceSpec,
 }
 
 impl EvalSpec {
-    /// The sweep default: 32 streams × 512 rows at mid-training.
+    /// The sweep default: 32 streams × 512 rows at mid-training,
+    /// calibrated traces.
     #[must_use]
     pub fn sweep() -> Self {
         EvalSpec {
             sample: SampleSpec::new(32, 512),
             progress: 0.45,
             seed: 0xDA5A,
+            source: TraceSourceSpec::Calibrated,
         }
     }
 
@@ -39,6 +109,7 @@ impl EvalSpec {
             sample: SampleSpec::new(64, 2048),
             progress: 0.45,
             seed: 0xDA5A,
+            source: TraceSourceSpec::Calibrated,
         }
     }
 
@@ -74,6 +145,8 @@ pub enum EvalSpecError {
         /// Requested rows-per-stream cap.
         max_rows: usize,
     },
+    /// A recorded source needs a non-empty artifact path.
+    RecordedPath,
 }
 
 impl fmt::Display for EvalSpecError {
@@ -89,6 +162,9 @@ impl fmt::Display for EvalSpecError {
                 f,
                 "sampling caps must be positive, got {max_windows} streams x {max_rows} rows"
             ),
+            EvalSpecError::RecordedPath => {
+                write!(f, "recorded source path must not be empty")
+            }
         }
     }
 }
@@ -104,13 +180,14 @@ impl std::error::Error for EvalSpecError {}
 /// assert_eq!(spec.sample.max_windows, 16);
 /// assert!(EvalSpec::builder().progress(1.5).build().is_err());
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EvalSpecBuilder {
     sample: SampleSpec,
     // Raw caps from `streams`, validated in `build` (never panics).
     streams: Option<(usize, usize)>,
     progress: f64,
     seed: u64,
+    source: TraceSourceSpec,
 }
 
 impl Default for EvalSpecBuilder {
@@ -121,6 +198,7 @@ impl Default for EvalSpecBuilder {
             streams: None,
             progress: spec.progress,
             seed: spec.seed,
+            source: spec.source,
         }
     }
 }
@@ -157,13 +235,29 @@ impl EvalSpecBuilder {
         self
     }
 
+    /// The trace source.
+    #[must_use]
+    pub fn source(mut self, source: TraceSourceSpec) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Shorthand for a recorded-artifact source.
+    #[must_use]
+    pub fn recorded(mut self, path: impl Into<String>) -> Self {
+        self.source = TraceSourceSpec::Recorded { path: path.into() };
+        self
+    }
+
     /// Validates and assembles the spec.
     ///
     /// # Errors
     ///
     /// Returns [`EvalSpecError::Progress`] when progress is outside
-    /// `[0, 1]` and [`EvalSpecError::Streams`] when a
-    /// [`streams`](EvalSpecBuilder::streams) cap is zero.
+    /// `[0, 1]`, [`EvalSpecError::Streams`] when a
+    /// [`streams`](EvalSpecBuilder::streams) cap is zero, and
+    /// [`EvalSpecError::RecordedPath`] when a recorded source names an
+    /// empty path.
     pub fn build(self) -> Result<EvalSpec, EvalSpecError> {
         if !(0.0..=1.0).contains(&self.progress) || self.progress.is_nan() {
             return Err(EvalSpecError::Progress(self.progress));
@@ -180,21 +274,33 @@ impl EvalSpecBuilder {
             }
             None => self.sample,
         };
+        if matches!(&self.source, TraceSourceSpec::Recorded { path } if path.is_empty()) {
+            return Err(EvalSpecError::RecordedPath);
+        }
         Ok(EvalSpec {
             sample,
             progress: self.progress,
             seed: self.seed,
+            source: self.source,
         })
     }
 }
 
 impl Serialize for EvalSpec {
+    /// The `source` key is only emitted when it differs from the
+    /// calibrated default, so documents (and the reports embedding them)
+    /// are byte-identical to the pre-`TraceSource` output for every
+    /// calibrated evaluation.
     fn serialize(&self) -> Value {
-        Value::Table(vec![
+        let mut entries = vec![
             ("sample".to_string(), self.sample.serialize()),
             ("progress".to_string(), self.progress.serialize()),
             ("seed".to_string(), self.seed.serialize()),
-        ])
+        ];
+        if self.source != TraceSourceSpec::Calibrated {
+            entries.push(("source".to_string(), self.source.serialize()));
+        }
+        Value::Table(entries)
     }
 }
 
@@ -204,7 +310,7 @@ impl Deserialize for EvalSpec {
     /// silently evaluate the wrong methodology), and the result passes
     /// through [`EvalSpecBuilder::build`] validation.
     fn deserialize(value: &Value) -> Result<Self, SerdeError> {
-        value.expect_keys(&["sample", "progress", "seed"])?;
+        value.expect_keys(&["sample", "progress", "seed", "source"])?;
         let mut builder = EvalSpec::builder();
         if let Some(v) = value.get("sample") {
             builder = builder.sample(SampleSpec::deserialize(v).map_err(|e| e.at("sample"))?);
@@ -214,6 +320,9 @@ impl Deserialize for EvalSpec {
         }
         if let Some(v) = value.get("seed") {
             builder = builder.seed(u64::deserialize(v).map_err(|e| e.at("seed"))?);
+        }
+        if let Some(v) = value.get("source") {
+            builder = builder.source(TraceSourceSpec::deserialize(v).map_err(|e| e.at("source"))?);
         }
         builder.build().map_err(|e| SerdeError::new(e.to_string()))
     }
@@ -268,7 +377,58 @@ mod tests {
         let spec: EvalSpec = from_toml_str("progress = 0.2").unwrap();
         assert_eq!(spec.sample, EvalSpec::sweep().sample);
         assert_eq!(spec.seed, EvalSpec::sweep().seed);
+        assert_eq!(spec.source, TraceSourceSpec::Calibrated);
         assert!((spec.progress - 0.2).abs() < 1e-12);
         assert!(from_toml_str::<EvalSpec>("progress = 7.0").is_err());
+    }
+
+    #[test]
+    fn recorded_sources_roundtrip_and_validate() {
+        let spec = EvalSpec::builder()
+            .recorded("runs/cnn.trace.json")
+            .build()
+            .unwrap();
+        assert_eq!(
+            spec.source,
+            TraceSourceSpec::Recorded {
+                path: "runs/cnn.trace.json".to_string()
+            }
+        );
+        let text = to_toml_string(&spec).unwrap();
+        assert!(text.contains("recorded"), "{text}");
+        assert_eq!(from_toml_str::<EvalSpec>(&text).unwrap(), spec);
+
+        // The TOML shape a config file writes.
+        let parsed: EvalSpec = from_toml_str("[source]\nrecorded = \"a.trace.json\"").unwrap();
+        assert_eq!(
+            parsed.source,
+            TraceSourceSpec::Recorded {
+                path: "a.trace.json".to_string()
+            }
+        );
+        let explicit: EvalSpec = from_toml_str("source = \"calibrated\"").unwrap();
+        assert_eq!(explicit.source, TraceSourceSpec::Calibrated);
+
+        assert!(from_toml_str::<EvalSpec>("source = \"live\"").is_err());
+        assert!(from_toml_str::<EvalSpec>("[source]\nrecorded = \"\"").is_err());
+        assert_eq!(
+            EvalSpec::builder().recorded("").build().unwrap_err(),
+            EvalSpecError::RecordedPath
+        );
+    }
+
+    /// The calibrated default must serialize exactly as the
+    /// pre-`TraceSource` spec did — reports embed specs, and calibrated
+    /// reports are contractually byte-identical to PR 4's.
+    #[test]
+    fn calibrated_specs_serialize_without_a_source_key() {
+        let doc = EvalSpec::sweep().serialize();
+        assert!(doc.get("source").is_none());
+        let doc = EvalSpec::builder()
+            .recorded("x.json")
+            .build()
+            .unwrap()
+            .serialize();
+        assert!(doc.get("source").is_some());
     }
 }

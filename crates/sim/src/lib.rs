@@ -57,7 +57,7 @@ pub mod tile;
 pub use config::{ChipConfig, ChipConfigBuilder, ConfigError, DramConfig, SramConfig, TileConfig};
 pub use counters::SimCounters;
 pub use dram::{dram_traffic_bits, DramTraffic};
-pub use eval::{EvalSpec, EvalSpecBuilder, EvalSpecError};
+pub use eval::{EvalSpec, EvalSpecBuilder, EvalSpecError, TraceSourceSpec};
 #[allow(deprecated)]
 pub use exec::{simulate_op, simulate_pair, ExecMode, OpSim};
 pub use report::{speedup_ratio, LayerReport, ModelReport, OpAggregate};

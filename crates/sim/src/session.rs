@@ -6,12 +6,13 @@
 //! functions in [`exec`] remain as deprecated shims.
 
 use crate::config::ChipConfig;
+use crate::eval::EvalSpec;
 use crate::exec::{self, ExecMode, OpSim};
 use crate::report::{LayerReport, ModelReport, OpAggregate};
 use crate::tile::Tile;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
-use tensordash_trace::OpTrace;
+use tensordash_trace::{OpTrace, SourceError, TraceRequest, TraceSource};
 
 /// A simulation session owning the chip being modelled (and the tile
 /// simulator built for it — the scheduler's lookup tables are compiled
@@ -203,6 +204,40 @@ impl Simulator {
             name: name.to_string(),
             layers: self.simulate_batch(groups),
         }
+    }
+
+    /// Evaluates a whole workload from any [`TraceSource`] — calibrated
+    /// profile, recorded artifact, or an in-memory provider — under
+    /// `spec`'s methodology, through the same
+    /// [`simulate_batch`](Simulator::simulate_batch) path every report
+    /// flows through. The report is labelled with the source's
+    /// [`label`](TraceSource::label).
+    ///
+    /// `spec.source` is *declarative* routing data for the experiment
+    /// layer; this method simulates whichever `source` it is handed and
+    /// reads only the methodology fields (progress, sampling, seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's [`SourceError`] (lane-width mismatch
+    /// against a recording, an empty artifact, ...).
+    pub fn simulate_source(
+        &self,
+        source: &dyn TraceSource,
+        spec: &EvalSpec,
+    ) -> Result<ModelReport, SourceError> {
+        let request = TraceRequest {
+            progress: spec.progress,
+            lanes: self.chip.tile.pe.lanes(),
+            sample: spec.sample,
+            seed: spec.seed,
+        };
+        let layers = source.layer_ops(&request)?;
+        let groups: Vec<(&str, &[OpTrace])> = layers
+            .iter()
+            .map(|(name, ops)| (name.as_str(), ops.as_slice()))
+            .collect();
+        Ok(self.simulate_model(source.label(), &groups))
     }
 }
 

@@ -25,12 +25,20 @@
 //!   reproduce target sparsity statistics for the paper's full-size models,
 //!   whose ImageNet training runs are outside this environment (see
 //!   DESIGN.md §3 "Substitutions").
+//!
+//! Both flow to consumers through one provider abstraction, the
+//! [`TraceSource`] trait ([`source`]): calibrated profiles
+//! (`tensordash-models`), live training (`tensordash-nn`), and recorded
+//! artifacts ([`record`] — versioned, lossless captures of a training
+//! run's traces, replayable bit-exactly).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dims;
 pub mod extract;
+pub mod record;
+pub mod source;
 pub mod sparsity;
 pub mod stats;
 pub mod stream;
@@ -39,6 +47,11 @@ pub use dims::{ConvDims, TrainingOp};
 pub use extract::{
     extract_op_trace, extract_op_trace_reference, sampled_window_indices, LayerTensors,
 };
+pub use record::{
+    content_digest, EpochRecord, RecordedSource, RecordingMeta, TraceRecording, TrainMetrics,
+    RECORDING_SCHEMA,
+};
+pub use source::{LayerOps, SourceError, TraceRequest, TraceSource};
 pub use sparsity::{ClusteredSparsity, SparsityGen, UniformSparsity};
 pub use stats::{potential_speedup, OpStats};
 pub use stream::{

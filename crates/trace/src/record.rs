@@ -1,0 +1,713 @@
+//! Recorded trace artifacts: the versioned, serializable capture of a
+//! training run's per-epoch operand traces, and the [`RecordedSource`]
+//! that replays one through the [`TraceSource`] pipeline.
+//!
+//! # Artifact schema (`tensordash-trace/1`)
+//!
+//! ```text
+//! {
+//!   "schema": "tensordash-trace/1",
+//!   "meta":   { name, epochs, batch_size, seed, lanes, sample },
+//!   "epochs": [
+//!     { epoch, progress,
+//!       metrics: { loss, accuracy, act_sparsity, grad_sparsity, weight_sparsity },
+//!       layers:  [ { name, ops: [OpTrace; 3] } ] }
+//!   ]
+//! }
+//! ```
+//!
+//! An `OpTrace` serializes **losslessly**: operation, lane width, layer
+//! geometry, full-operation totals, traffic volumes, and every sampled
+//! window's row masks (the arena, window by window). Floats use the JSON
+//! writer's shortest-roundtrip formatting, so a parsed artifact is
+//! bit-identical to the recording that produced it — which is what makes
+//! `tensordash train --record` → `tensordash train --replay` reports
+//! byte-identical, and what the CI record→replay gate checks.
+
+use crate::dims::{ConvDims, TrainingOp};
+use crate::source::{LayerOps, SourceError, TraceRequest, TraceSource};
+use crate::stream::{OpTrace, SampleSpec, TraceArena, TrafficVolumes};
+use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// The artifact schema this crate writes and the only one it accepts.
+pub const RECORDING_SCHEMA: &str = "tensordash-trace/1";
+
+tensordash_serde::impl_serde_struct!(ConvDims {
+    n,
+    c,
+    h,
+    w,
+    f,
+    kh,
+    kw,
+    stride,
+    padding
+});
+
+tensordash_serde::impl_serde_struct!(TrafficVolumes {
+    dense_elems,
+    dense_nonzero,
+    sched_elems,
+    sched_nonzero,
+    out_elems,
+    out_nonzero
+});
+
+impl Serialize for OpTrace {
+    fn serialize(&self) -> Value {
+        let windows = Value::Array(
+            (0..self.num_windows())
+                .map(|i| {
+                    Value::Array(
+                        self.window_masks(i)
+                            .iter()
+                            .map(|&m| Value::UInt(m))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        Value::Table(vec![
+            ("op".to_string(), self.op.serialize()),
+            ("lanes".to_string(), self.lanes.serialize()),
+            ("dims".to_string(), self.dims.serialize()),
+            ("total_windows".to_string(), self.total_windows.serialize()),
+            (
+                "total_rows_per_window".to_string(),
+                self.total_rows_per_window.serialize(),
+            ),
+            ("volumes".to_string(), self.volumes.serialize()),
+            ("windows".to_string(), windows),
+        ])
+    }
+}
+
+impl Deserialize for OpTrace {
+    /// Rebuilds the mask arena window by window. Lane width and geometry
+    /// are validated so a corrupt artifact errors instead of panicking
+    /// deep inside the simulator.
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        let op = TrainingOp::deserialize(value.field_value("op")?).map_err(|e| e.at("op"))?;
+        let lanes: usize = value.field("lanes")?;
+        if !(1..=64).contains(&lanes) {
+            return Err(SerdeError::new(format!(
+                "trace lane width must be in 1..=64, got {lanes}"
+            )));
+        }
+        let dims = ConvDims::deserialize(value.field_value("dims")?).map_err(|e| e.at("dims"))?;
+        if dims.n == 0
+            || dims.c == 0
+            || dims.h == 0
+            || dims.w == 0
+            || dims.f == 0
+            || dims.kh == 0
+            || dims.kw == 0
+            || dims.stride == 0
+            || dims.kh > dims.h + 2 * dims.padding
+            || dims.kw > dims.w + 2 * dims.padding
+        {
+            return Err(SerdeError::new(format!("invalid layer geometry {dims}")));
+        }
+        let total_windows: u64 = value.field("total_windows")?;
+        let total_rows_per_window: u64 = value.field("total_rows_per_window")?;
+        let volumes = TrafficVolumes::deserialize(value.field_value("volumes")?)
+            .map_err(|e| e.at("volumes"))?;
+        let windows = value
+            .field_value("windows")?
+            .as_array()
+            .map_err(|e| e.at("windows"))?;
+        // The simulator's entry assertions (non-empty trace, uniform
+        // per-window row counts) become parse errors here, so a corrupt
+        // or hand-edited artifact fails the request instead of killing a
+        // worker thread deep in `run_sampled`.
+        if windows.is_empty() {
+            return Err(SerdeError::new("trace has no sampled windows"));
+        }
+        let mut arena = TraceArena::with_capacity(windows.len(), 0);
+        let mut uniform_rows = None;
+        for (i, window) in windows.iter().enumerate() {
+            let rows = window
+                .as_array()
+                .map_err(|e| e.at("windows").at(&i.to_string()))?;
+            if rows.is_empty() {
+                return Err(SerdeError::new(format!("window {i} has no rows")));
+            }
+            match uniform_rows {
+                None => uniform_rows = Some(rows.len()),
+                Some(expected) if expected != rows.len() => {
+                    return Err(SerdeError::new(format!(
+                        "ragged windows: window {i} has {} rows, window 0 has {expected}",
+                        rows.len()
+                    )));
+                }
+                Some(_) => {}
+            }
+            let mut masks = Vec::with_capacity(rows.len());
+            for row in rows {
+                masks.push(row.as_u64().map_err(|e| e.at("windows"))?);
+            }
+            arena.push_window(masks);
+        }
+        Ok(OpTrace::from_arena(
+            op,
+            lanes,
+            dims,
+            total_windows,
+            total_rows_per_window,
+            arena,
+            volumes,
+        ))
+    }
+}
+
+/// How the recorded training run was configured — everything a replay
+/// needs to regenerate the exact live report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordingMeta {
+    /// Workload name (labels the replayed reports).
+    pub name: String,
+    /// Number of recorded epochs.
+    pub epochs: usize,
+    /// Mini-batch size of the training run.
+    pub batch_size: usize,
+    /// Training RNG seed.
+    pub seed: u64,
+    /// PE lane width the masks were packed for.
+    pub lanes: usize,
+    /// Stream sampling caps used at extraction.
+    pub sample: SampleSpec,
+}
+
+tensordash_serde::impl_serde_struct!(RecordingMeta {
+    name,
+    epochs,
+    batch_size,
+    seed,
+    lanes,
+    sample
+});
+
+/// The training metrics of one recorded epoch (the loss/accuracy/sparsity
+/// columns of the paper's Fig 9/14-shaped report).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainMetrics {
+    /// Mean cross-entropy loss.
+    pub loss: f64,
+    /// Training accuracy.
+    pub accuracy: f64,
+    /// Input-activation sparsity (plain mean across weighted layers,
+    /// last traced batch).
+    pub act_sparsity: f64,
+    /// Output-gradient sparsity (same convention).
+    pub grad_sparsity: f64,
+    /// Weight sparsity (same convention).
+    pub weight_sparsity: f64,
+}
+
+tensordash_serde::impl_serde_struct!(TrainMetrics {
+    loss,
+    accuracy,
+    act_sparsity,
+    grad_sparsity,
+    weight_sparsity
+});
+
+/// One epoch of a recording: its metrics plus the extracted traces of
+/// every weighted layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index, from 0.
+    pub epoch: usize,
+    /// Training progress in `[0, 1]` this epoch maps to.
+    pub progress: f64,
+    /// The epoch's training metrics.
+    pub metrics: TrainMetrics,
+    /// `(layer name, [Forward, InputGrad, WeightGrad])` per weighted layer.
+    pub layers: Vec<LayerOps>,
+}
+
+impl Serialize for EpochRecord {
+    fn serialize(&self) -> Value {
+        let layers = Value::Array(
+            self.layers
+                .iter()
+                .map(|(name, ops)| {
+                    Value::Table(vec![
+                        ("name".to_string(), name.serialize()),
+                        (
+                            "ops".to_string(),
+                            Value::Array(ops.iter().map(Serialize::serialize).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Table(vec![
+            ("epoch".to_string(), self.epoch.serialize()),
+            ("progress".to_string(), self.progress.serialize()),
+            ("metrics".to_string(), self.metrics.serialize()),
+            ("layers".to_string(), layers),
+        ])
+    }
+}
+
+impl Deserialize for EpochRecord {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        let epoch: usize = value.field("epoch")?;
+        let progress: f64 = value
+            .field_value("progress")?
+            .as_float()
+            .map_err(|e| e.at("progress"))?;
+        if !(0.0..=1.0).contains(&progress) {
+            return Err(SerdeError::new(format!(
+                "epoch progress must be in [0, 1], got {progress}"
+            )));
+        }
+        let metrics = TrainMetrics::deserialize(value.field_value("metrics")?)
+            .map_err(|e| e.at("metrics"))?;
+        let mut layers = Vec::new();
+        for layer in value
+            .field_value("layers")?
+            .as_array()
+            .map_err(|e| e.at("layers"))?
+        {
+            let name: String = layer.field("name")?;
+            let ops = layer
+                .field_value("ops")?
+                .as_array()
+                .map_err(|e| e.at("ops"))?;
+            if ops.len() != 3 {
+                return Err(SerdeError::new(format!(
+                    "layer `{name}` must record exactly 3 ops, got {}",
+                    ops.len()
+                )));
+            }
+            let mut parsed: Vec<OpTrace> = Vec::with_capacity(3);
+            for op in ops {
+                parsed.push(OpTrace::deserialize(op).map_err(|e| e.at(&name))?);
+            }
+            let ops: [OpTrace; 3] = parsed
+                .try_into()
+                .unwrap_or_else(|_| unreachable!("length checked above"));
+            layers.push((name, ops));
+        }
+        Ok(EpochRecord {
+            epoch,
+            progress,
+            metrics,
+            layers,
+        })
+    }
+}
+
+/// A captured training run: meta plus per-epoch traces, serializable to
+/// the versioned artifact the `tensordash train --record`/`--replay`
+/// pipeline and the `recorded` experiment source consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecording {
+    /// How the run was configured.
+    pub meta: RecordingMeta,
+    /// The recorded epochs, in training order.
+    pub epochs: Vec<EpochRecord>,
+}
+
+impl TraceRecording {
+    /// An empty recording for `meta` (epochs are pushed as training runs).
+    #[must_use]
+    pub fn new(meta: RecordingMeta) -> Self {
+        TraceRecording {
+            meta,
+            epochs: Vec::new(),
+        }
+    }
+
+    /// The artifact text (pretty JSON, trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        tensordash_serde::json::write(&self.serialize())
+    }
+
+    /// Parses an artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerdeError`] on malformed JSON, an unknown schema
+    /// version, or a corrupt trace.
+    pub fn from_json(text: &str) -> Result<Self, SerdeError> {
+        tensordash_serde::from_json_str(text)
+    }
+
+    /// The recorded epoch whose `progress` is nearest to `progress`
+    /// (ties resolve to the earlier epoch), or `None` for an empty
+    /// recording.
+    #[must_use]
+    pub fn epoch_at_progress(&self, progress: f64) -> Option<&EpochRecord> {
+        self.epochs.iter().min_by(|a, b| {
+            (a.progress - progress)
+                .abs()
+                .total_cmp(&(b.progress - progress).abs())
+        })
+    }
+}
+
+impl Serialize for TraceRecording {
+    fn serialize(&self) -> Value {
+        Value::Table(vec![
+            (
+                "schema".to_string(),
+                Value::Str(RECORDING_SCHEMA.to_string()),
+            ),
+            ("meta".to_string(), self.meta.serialize()),
+            (
+                "epochs".to_string(),
+                Value::Array(self.epochs.iter().map(Serialize::serialize).collect()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for TraceRecording {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        let schema: String = value.field("schema")?;
+        if schema != RECORDING_SCHEMA {
+            return Err(SerdeError::new(format!(
+                "unsupported trace artifact schema `{schema}` (this build reads `{RECORDING_SCHEMA}`)"
+            )));
+        }
+        let meta =
+            RecordingMeta::deserialize(value.field_value("meta")?).map_err(|e| e.at("meta"))?;
+        let mut epochs = Vec::new();
+        for epoch in value
+            .field_value("epochs")?
+            .as_array()
+            .map_err(|e| e.at("epochs"))?
+        {
+            let epoch = EpochRecord::deserialize(epoch).map_err(|e| e.at("epochs"))?;
+            // Cross-field validation: every trace must be packed for the
+            // recording's lane width, or replay would pass the
+            // `RecordedSource` lane check and then hit the simulator's
+            // lane assertion.
+            for (name, ops) in &epoch.layers {
+                for trace in ops {
+                    if trace.lanes != meta.lanes {
+                        return Err(SerdeError::new(format!(
+                            "layer `{name}` trace packed for {} lanes, recording declares {}",
+                            trace.lanes, meta.lanes
+                        )));
+                    }
+                }
+            }
+            epochs.push(epoch);
+        }
+        Ok(TraceRecording { meta, epochs })
+    }
+}
+
+/// 64-bit FNV-1a over the artifact text — the cheap content digest that
+/// keys recorded builds in the trace cache (two paths to the same bytes
+/// share cache entries; touching the file invalidates them).
+#[must_use]
+pub fn content_digest(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A [`TraceSource`] replaying a [`TraceRecording`]: requests select the
+/// recorded epoch nearest the requested progress and return its traces
+/// **exactly as captured** — the request's sampling caps and seed are
+/// ignored (sampling happened at record time), and the request's lane
+/// width must match the recording's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedSource {
+    recording: TraceRecording,
+    identity: String,
+}
+
+impl RecordedSource {
+    /// Wraps an in-memory recording. The cache identity digests the
+    /// canonical artifact text, so it matches a source later reloaded
+    /// from the written file.
+    #[must_use]
+    pub fn new(recording: TraceRecording) -> Self {
+        let digest = content_digest(&recording.to_json());
+        RecordedSource {
+            recording,
+            identity: format!("recorded:{digest:016x}"),
+        }
+    }
+
+    /// Parses an artifact text into a replayable source.
+    ///
+    /// The cache identity digests the *input* text directly — loading an
+    /// artifact must not re-serialize the whole recording on the request
+    /// hot path. Artifacts written by this crate are canonical, so the
+    /// identity matches [`RecordedSource::new`] over the same recording;
+    /// a hand-reformatted copy merely keys a separate (still correct)
+    /// cache entry.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceRecording::from_json`].
+    pub fn from_json(text: &str) -> Result<Self, SerdeError> {
+        let recording = TraceRecording::from_json(text)?;
+        let digest = content_digest(text);
+        Ok(RecordedSource {
+            recording,
+            identity: format!("recorded:{digest:016x}"),
+        })
+    }
+
+    /// The wrapped recording.
+    #[must_use]
+    pub fn recording(&self) -> &TraceRecording {
+        &self.recording
+    }
+}
+
+impl TraceSource for RecordedSource {
+    fn label(&self) -> &str {
+        &self.recording.meta.name
+    }
+
+    fn identity(&self) -> String {
+        self.identity.clone()
+    }
+
+    /// A recording replays stored masks: the request's sampling caps and
+    /// seed are irrelevant, and every progress value maps to its nearest
+    /// recorded epoch — so all equivalent requests collapse onto one
+    /// cache key instead of duplicating the epoch's traces per seed.
+    fn cache_request(&self, request: &TraceRequest) -> TraceRequest {
+        TraceRequest {
+            progress: self
+                .recording
+                .epoch_at_progress(request.progress)
+                .map_or(request.progress, |epoch| epoch.progress),
+            lanes: request.lanes,
+            sample: self.recording.meta.sample,
+            seed: 0,
+        }
+    }
+
+    fn layer_ops(&self, request: &TraceRequest) -> Result<Vec<LayerOps>, SourceError> {
+        if request.lanes != self.recording.meta.lanes {
+            return Err(SourceError::new(format!(
+                "recording `{}` was captured for {}-lane PEs, requested {}",
+                self.recording.meta.name, self.recording.meta.lanes, request.lanes
+            )));
+        }
+        let epoch = self
+            .recording
+            .epoch_at_progress(request.progress)
+            .ok_or_else(|| {
+                SourceError::new(format!(
+                    "recording `{}` holds no epochs",
+                    self.recording.meta.name
+                ))
+            })?;
+        Ok(epoch.layers.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparsity::{SparsityGen, UniformSparsity};
+
+    fn tiny_recording() -> TraceRecording {
+        let dims = ConvDims::conv_square(1, 16, 6, 8, 3, 1, 1);
+        let sample = SampleSpec::new(4, 16);
+        let mut recording = TraceRecording::new(RecordingMeta {
+            name: "tiny".to_string(),
+            epochs: 2,
+            batch_size: 8,
+            seed: 7,
+            lanes: 16,
+            sample,
+        });
+        for epoch in 0..2usize {
+            let mk = |op, seed| UniformSparsity::new(0.5).op_trace(dims, op, 16, &sample, seed);
+            recording.epochs.push(EpochRecord {
+                epoch,
+                progress: epoch as f64,
+                metrics: TrainMetrics {
+                    loss: 1.25 + epoch as f64,
+                    accuracy: 0.5,
+                    act_sparsity: 0.4,
+                    grad_sparsity: 0.6,
+                    weight_sparsity: 0.0,
+                },
+                layers: vec![(
+                    "conv1".to_string(),
+                    [
+                        mk(TrainingOp::Forward, 1 + epoch as u64),
+                        mk(TrainingOp::InputGrad, 2 + epoch as u64),
+                        mk(TrainingOp::WeightGrad, 3 + epoch as u64),
+                    ],
+                )],
+            });
+        }
+        recording
+    }
+
+    #[test]
+    fn recording_roundtrips_bit_exactly_through_json() {
+        let recording = tiny_recording();
+        let text = recording.to_json();
+        let back = TraceRecording::from_json(&text).unwrap();
+        assert_eq!(back, recording);
+        // Canonical text is a fixed point: serialize(parse(t)) == t.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn unknown_schema_and_corrupt_traces_error_cleanly() {
+        let err = TraceRecording::from_json(
+            r#"{"schema": "tensordash-trace/9", "meta": {}, "epochs": []}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unsupported"), "{err}");
+
+        let mut doc = tiny_recording().serialize();
+        // Corrupt the lane width of the first trace.
+        fn set_lanes(v: &mut Value, lanes: i64) {
+            if let Value::Table(entries) = v {
+                for (k, item) in entries.iter_mut() {
+                    if k == "lanes" {
+                        *item = Value::Int(lanes);
+                        return;
+                    }
+                    set_lanes(item, lanes);
+                }
+            } else if let Value::Array(items) = v {
+                for item in items.iter_mut() {
+                    set_lanes(item, lanes);
+                }
+            }
+        }
+        set_lanes(&mut doc, 0);
+        let text = tensordash_serde::json::write(&doc);
+        let err = TraceRecording::from_json(&text).unwrap_err();
+        assert!(err.to_string().contains("lane width"), "{err}");
+    }
+
+    /// The simulator's entry assertions must be unreachable from parsed
+    /// artifacts: empty window lists, ragged per-window row counts, and
+    /// trace-vs-meta lane mismatches all fail at parse time.
+    #[test]
+    fn structurally_invalid_artifacts_fail_at_parse_time() {
+        let base = tiny_recording();
+
+        // Empty windows.
+        let mut doc = base.serialize();
+        replace_first_windows(&mut doc, Value::Array(vec![]));
+        let err = TraceRecording::from_json(&tensordash_serde::json::write(&doc)).unwrap_err();
+        assert!(err.to_string().contains("no sampled windows"), "{err}");
+
+        // Ragged rows across windows.
+        let mut doc = base.serialize();
+        replace_first_windows(
+            &mut doc,
+            Value::Array(vec![
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)]),
+                Value::Array(vec![Value::UInt(3)]),
+            ]),
+        );
+        let err = TraceRecording::from_json(&tensordash_serde::json::write(&doc)).unwrap_err();
+        assert!(err.to_string().contains("ragged"), "{err}");
+
+        // A window with zero rows.
+        let mut doc = base.serialize();
+        replace_first_windows(&mut doc, Value::Array(vec![Value::Array(vec![])]));
+        let err = TraceRecording::from_json(&tensordash_serde::json::write(&doc)).unwrap_err();
+        assert!(err.to_string().contains("no rows"), "{err}");
+
+        // Trace lanes disagreeing with the recording's declared lanes.
+        let mut mismatched = base.clone();
+        mismatched.meta.lanes = 8;
+        let err = TraceRecording::from_json(&mismatched.to_json()).unwrap_err();
+        assert!(err.to_string().contains("recording declares 8"), "{err}");
+    }
+
+    /// Swaps the `windows` value of the first trace in the document.
+    fn replace_first_windows(v: &mut Value, windows: Value) -> bool {
+        if let Value::Table(entries) = v {
+            for (k, item) in entries.iter_mut() {
+                if k == "windows" {
+                    *item = windows;
+                    return true;
+                }
+                if replace_first_windows(item, windows.clone()) {
+                    return true;
+                }
+            }
+        } else if let Value::Array(items) = v {
+            for item in items.iter_mut() {
+                if replace_first_windows(item, windows.clone()) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn replay_selects_the_nearest_epoch_and_validates_lanes() {
+        let source = RecordedSource::new(tiny_recording());
+        let request = |progress, lanes| TraceRequest {
+            progress,
+            lanes,
+            sample: SampleSpec::new(64, 512),
+            seed: 99,
+        };
+        // Progress 0.2 is nearest epoch 0; 0.8 nearest epoch 1 — and the
+        // request's sample/seed are ignored (masks come back as recorded).
+        let early = source.layer_ops(&request(0.2, 16)).unwrap();
+        assert_eq!(early, source.recording().epochs[0].layers);
+        let late = source.layer_ops(&request(0.8, 16)).unwrap();
+        assert_eq!(late, source.recording().epochs[1].layers);
+        // Midpoint ties resolve to the earlier epoch.
+        let tie = source.layer_ops(&request(0.5, 16)).unwrap();
+        assert_eq!(tie, source.recording().epochs[0].layers);
+
+        let err = source.layer_ops(&request(0.2, 8)).unwrap_err();
+        assert!(err.to_string().contains("16-lane"), "{err}");
+    }
+
+    #[test]
+    fn identity_is_content_addressed() {
+        let a = RecordedSource::new(tiny_recording());
+        let b = RecordedSource::from_json(&tiny_recording().to_json()).unwrap();
+        assert_eq!(a.identity(), b.identity());
+        assert!(a.identity().starts_with("recorded:"));
+
+        let mut other = tiny_recording();
+        other.epochs.pop();
+        assert_ne!(RecordedSource::new(other).identity(), a.identity());
+    }
+
+    #[test]
+    fn empty_recordings_cannot_replay() {
+        let source = RecordedSource::new(TraceRecording::new(RecordingMeta {
+            name: "empty".to_string(),
+            epochs: 0,
+            batch_size: 8,
+            seed: 0,
+            lanes: 16,
+            sample: SampleSpec::new(1, 8),
+        }));
+        let err = source
+            .layer_ops(&TraceRequest {
+                progress: 0.5,
+                lanes: 16,
+                sample: SampleSpec::new(1, 8),
+                seed: 0,
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("no epochs"), "{err}");
+    }
+}

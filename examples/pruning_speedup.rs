@@ -2,9 +2,10 @@
 //! `resnet50_SM90` effect of the paper, reproduced with a real trainer.
 //!
 //! Trains the same network twice (dense vs 80%-target magnitude
-//! prune-and-regrow) and compares the accelerator speedups extracted from
-//! real traces, plus the off-chip traffic saved by CompressingDMA on the
-//! pruned weights.
+//! prune-and-regrow) through the [`Trainer::epochs`] iterator — the live
+//! leg of the `TraceSource` pipeline — and compares the accelerator
+//! speedups measured on the final epoch's real traces, plus the off-chip
+//! traffic saved by CompressingDMA on the pruned weights.
 //!
 //! ```text
 //! cargo run --release --example pruning_speedup
@@ -14,9 +15,12 @@ use rand::{rngs::StdRng, SeedableRng};
 use tensordash::core::compress::dma_transfer_bits;
 use tensordash::nn::{Dataset, Network, PruneMethod, Pruner, Sgd, Trainer};
 use tensordash::sim::Simulator;
-use tensordash::trace::SampleSpec;
+use tensordash::trace::{OpTrace, SampleSpec};
 
-fn train(prune: bool, seed: u64) -> (Trainer, f64) {
+/// Trains 12 epochs and returns the trainer (for weight statistics), the
+/// final accuracy, and the last epoch's extracted traces — no hand-rolled
+/// train-then-extract loop; the epoch iterator yields both.
+fn train(prune: bool, seed: u64, lanes: usize) -> (Trainer, f64, Vec<(String, [OpTrace; 3])>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let dataset = Dataset::synthetic_shapes(4, 480, 12, &mut rng);
     let network = Network::small_cnn(1, 12, 4, &mut rng);
@@ -24,29 +28,26 @@ fn train(prune: bool, seed: u64) -> (Trainer, f64) {
     if prune {
         trainer = trainer.with_pruner(Pruner::new(PruneMethod::SparseMomentum, 0.8, 0.1));
     }
-    let mut accuracy = 0.0;
-    for _ in 0..12 {
-        accuracy = trainer
-            .run_epoch(32, &mut rng)
-            .expect("training failed")
-            .accuracy;
+    let mut last = None;
+    for epoch in trainer.epochs(12, 32, lanes, SampleSpec::new(16, 256), &mut rng) {
+        last = Some(epoch.expect("training failed"));
     }
-    (trainer, accuracy)
+    let last = last.expect("at least one epoch");
+    (trainer, last.stats.accuracy, last.layers)
 }
 
-fn measure(trainer: &Trainer) -> (f64, u64) {
-    let sim = Simulator::paper();
-    let sample = SampleSpec::new(16, 256);
+/// Simulates the traced epoch on the Table 2 chip: compute speedup plus
+/// the CompressingDMA weight traffic (forward-op volumes).
+fn measure(sim: &Simulator, layers: &[(String, [OpTrace; 3])]) -> (f64, u64) {
     let mut td = 0u64;
     let mut base = 0u64;
     let mut weight_bits = 0u64;
-    for (_, ops) in trainer.traces(sim.chip().tile.pe.lanes(), &sample) {
-        for trace in &ops {
+    for (_, ops) in layers {
+        for trace in ops {
             let (t, b) = sim.simulate_pair(trace);
             td += t.compute_cycles;
             base += b.compute_cycles;
         }
-        // Off-chip weight traffic after CompressingDMA (forward op volumes).
         let v = &ops[0].volumes;
         weight_bits += dma_transfer_bits(v.dense_elems, v.dense_nonzero, 32);
     }
@@ -54,11 +55,13 @@ fn measure(trainer: &Trainer) -> (f64, u64) {
 }
 
 fn main() {
-    let (dense_trainer, dense_acc) = train(false, 11);
-    let (pruned_trainer, pruned_acc) = train(true, 11);
+    let sim = Simulator::paper();
+    let lanes = sim.chip().tile.pe.lanes();
+    let (dense_trainer, dense_acc, dense_traces) = train(false, 11, lanes);
+    let (pruned_trainer, pruned_acc, pruned_traces) = train(true, 11, lanes);
 
-    let (dense_speedup, dense_bits) = measure(&dense_trainer);
-    let (pruned_speedup, pruned_bits) = measure(&pruned_trainer);
+    let (dense_speedup, dense_bits) = measure(&sim, &dense_traces);
+    let (pruned_speedup, pruned_bits) = measure(&sim, &pruned_traces);
 
     println!("{:<22} {:>10} {:>10}", "", "dense", "pruned-80%");
     println!(

@@ -2,9 +2,13 @@
 //! speedup evolves with *authentic* dynamic sparsity — the end-to-end
 //! pipeline behind the paper's Fig 14, at laptop scale.
 //!
-//! Trains a small CNN on a synthetic classification task, extracts
-//! bit-exact operand traces from each epoch's last batch (the paper traces
-//! one random batch per epoch), and runs them through the cycle simulator.
+//! Since the `TraceSource` refactor the trainer exposes this loop
+//! directly: [`Trainer::epochs`] yields one [`EpochTrace`] per epoch —
+//! metrics plus the bit-exact operand traces of the epoch's last batch
+//! (the paper traces one random batch per epoch) — and each epoch's
+//! traces drive the cycle simulator through the standard
+//! `simulate_model` path. The same pipeline powers `tensordash train`,
+//! which adds recording (`--record`) and bit-exact replay (`--replay`).
 //!
 //! ```text
 //! cargo run --release --example train_and_accelerate
@@ -13,7 +17,7 @@
 use rand::{rngs::StdRng, SeedableRng};
 use tensordash::nn::{Dataset, Network, Sgd, Trainer};
 use tensordash::sim::Simulator;
-use tensordash::trace::SampleSpec;
+use tensordash::trace::{OpTrace, SampleSpec};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
@@ -22,27 +26,28 @@ fn main() {
     let mut trainer = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
 
     let sim = Simulator::paper();
+    let lanes = sim.chip().tile.pe.lanes();
     let sample = SampleSpec::new(16, 256);
 
     println!("epoch  loss    acc    act-sparsity  grad-sparsity  TD-speedup");
-    for epoch in 0..12 {
-        let stats = trainer.run_epoch(32, &mut rng).expect("training failed");
-
-        // Trace the last batch of the epoch and simulate all three
-        // convolutions of every weighted layer on the Table 2 chip.
-        let mut td_cycles = 0u64;
-        let mut base_cycles = 0u64;
-        for (_, ops) in trainer.traces(sim.chip().tile.pe.lanes(), &sample) {
-            for trace in &ops {
-                let (td, base) = sim.simulate_pair(trace);
-                td_cycles += td.compute_cycles;
-                base_cycles += base.compute_cycles;
-            }
-        }
-        let speedup = base_cycles as f64 / td_cycles as f64;
+    for epoch in trainer.epochs(12, 32, lanes, sample, &mut rng) {
+        let epoch = epoch.expect("training failed");
+        // All three convolutions of every weighted layer, simulated on
+        // the Table 2 chip through the same batch path every report uses.
+        let groups: Vec<(&str, &[OpTrace])> = epoch
+            .layers
+            .iter()
+            .map(|(name, ops)| (name.as_str(), ops.as_slice()))
+            .collect();
+        let report = sim.simulate_model("small-cnn", &groups);
         println!(
-            "{epoch:>5}  {:<6.3} {:<6.3} {:<13.3} {:<14.3} {speedup:.2}x",
-            stats.loss, stats.accuracy, stats.act_sparsity, stats.grad_sparsity
+            "{:>5}  {:<6.3} {:<6.3} {:<13.3} {:<14.3} {:.2}x",
+            epoch.epoch,
+            epoch.stats.loss,
+            epoch.stats.accuracy,
+            epoch.stats.act_sparsity,
+            epoch.stats.grad_sparsity,
+            report.total_speedup()
         );
     }
     println!();

@@ -32,12 +32,20 @@ fn fenced_blocks(markdown: &str, language: &str) -> Vec<String> {
     blocks
 }
 
+/// The fenced TOML block containing `marker` (the README now ships more
+/// than one sample: the replay spec and the full experiment spec).
+fn toml_block_containing(marker: &str) -> String {
+    fenced_blocks(README, "toml")
+        .into_iter()
+        .find(|b| b.contains(marker))
+        .unwrap_or_else(|| panic!("README lost the TOML sample containing `{marker}`"))
+}
+
 #[test]
 fn readme_toml_sample_parses_as_an_experiment() {
-    let blocks = fenced_blocks(README, "toml");
-    assert!(!blocks.is_empty(), "README lost its TOML sample");
     let spec: ExperimentSpec =
-        tensordash_serde::from_toml_str(&blocks[0]).expect("README TOML sample no longer parses");
+        tensordash_serde::from_toml_str(&toml_block_containing("half-chip-headline"))
+            .expect("README TOML sample no longer parses");
     assert_eq!(spec.name, "half-chip-headline");
     assert_eq!(spec.chip.tiles, 8);
     assert_eq!(spec.eval.seed, 0xDA5A);
@@ -48,11 +56,25 @@ fn readme_toml_sample_parses_as_an_experiment() {
 }
 
 #[test]
+fn readme_replay_sample_parses_as_a_recorded_source() {
+    let spec: ExperimentSpec =
+        tensordash_serde::from_toml_str(&toml_block_containing("replay-my-run"))
+            .expect("README replay sample no longer parses");
+    assert_eq!(
+        spec.eval.source,
+        tensordash::sim::TraceSourceSpec::Recorded {
+            path: "run.trace.json".to_string()
+        }
+    );
+    assert!(spec.models.is_empty(), "replay specs carry no model list");
+}
+
+#[test]
 fn readme_toml_sample_matches_the_shipped_example() {
     // The README promises `examples/experiment.toml` is a copy of the
     // sample; comments may differ, the parsed experiment may not.
     let readme_spec: ExperimentSpec =
-        tensordash_serde::from_toml_str(&fenced_blocks(README, "toml")[0]).unwrap();
+        tensordash_serde::from_toml_str(&toml_block_containing("half-chip-headline")).unwrap();
     let shipped_spec: ExperimentSpec = tensordash_serde::from_toml_str(SHIPPED)
         .expect("examples/experiment.toml no longer parses");
     assert_eq!(
