@@ -66,11 +66,32 @@ REPLAY_TOML
   --out "$train_dir/replay-config.json" >/dev/null
 grep -q '"small-cnn"' "$train_dir/replay-config.json"
 
+step "tensordash trace pack/inspect round-trip (v1 <-> v2, same digest)"
+# v1 JSON -> v2 binary -> v1 JSON must be byte-identical (the lossless
+# property), and the binary artifact must replay the live report
+# byte-identically too.
+./target/release/tensordash trace pack \
+  "$train_dir/run.trace.json" "$train_dir/run.trace.bin" >/dev/null
+./target/release/tensordash trace inspect "$train_dir/run.trace.bin" \
+  > "$train_dir/inspect.txt"
+grep -q 'tensordash-trace/2' "$train_dir/inspect.txt"
+digest="$(sed -n 's/^digest: *//p' "$train_dir/inspect.txt")"
+[ -n "$digest" ] || { echo "trace inspect printed no digest"; exit 1; }
+./target/release/tensordash trace pack \
+  "$train_dir/run.trace.bin" "$train_dir/roundtrip.trace.json" >/dev/null
+cmp "$train_dir/run.trace.json" "$train_dir/roundtrip.trace.json"
+./target/release/tensordash train \
+  --replay "$train_dir/run.trace.bin" --out "$train_dir/replay-bin.json" >/dev/null
+cmp "$train_dir/live.json" "$train_dir/replay-bin.json"
+
 step "tensordash serve smoke (boot, health, one experiment, SIGTERM)"
 serve_log="$(mktemp -t tensordash-serve-XXXXXX.log)"
 trap 'rm -f "$smoke_config" "$smoke_report" "$serve_log"; rm -rf "$train_dir"' EXIT
 # Ephemeral port: the server prints its bound address on the first line.
-./target/release/tensordash serve --port 0 --workers 2 >"$serve_log" &
+# The trace store lives with the other train artifacts and is swept by
+# the gc smoke below.
+./target/release/tensordash serve --port 0 --workers 2 \
+  --trace-dir "$train_dir/store" >"$serve_log" &
 serve_pid=$!
 # If any later step aborts, take the server down with the shell.
 trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_report" "$serve_log"; rm -rf "$train_dir"' EXIT
@@ -96,6 +117,22 @@ for _ in $(seq 1 100); do
 done
 echo "$report" | grep -q '"ci-serve"' || { echo "job never finished: $report"; exit 1; }
 curl -sf "$serve_url/metrics" | grep -q '"evictions"'
+# Upload the binary artifact end-to-end verified (?digest= -> 409 on
+# mismatch) and replay it by content digest through the full job path.
+curl -sf -X POST --data-binary @"$train_dir/run.trace.bin" \
+  "$serve_url/v1/traces?digest=$digest" | grep -q "\"$digest\""
+stored_url="$(curl -sf -X POST "$serve_url/v1/experiments" -d \
+  "{\"name\": \"ci-stored\", \"eval\": {\"source\": {\"stored\": \"$digest\"}}}" \
+  | sed -n 's/.*"report_url": "\([^"]*\)".*/\1/p')"
+[ -n "$stored_url" ] || { echo "stored submit returned no report_url"; exit 1; }
+stored=""
+for _ in $(seq 1 100); do
+  stored="$(curl -s "$serve_url$stored_url")"
+  echo "$stored" | grep -q '"small-cnn"' && break
+  sleep 0.1
+done
+echo "$stored" | grep -q '"small-cnn"' || { echo "stored replay never finished: $stored"; exit 1; }
+curl -sf "$serve_url/metrics" | grep -q '"dedup_hits"'
 # A short load test against the same live server...
 ./target/release/tensordash loadtest "$serve_url" --smoke
 # ...then assert the SIGTERM path drains and exits cleanly.
@@ -103,24 +140,33 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve did not exit cleanly after SIGTERM"; exit 1; }
 grep -q "shut down cleanly" "$serve_log"
 
-step "tensordash bench --smoke --baseline BENCH_5.json"
+step "tensordash trace gc smoke"
+# The uploaded object survives a keep-listed sweep and falls to a bare one.
+./target/release/tensordash trace gc --trace-dir "$train_dir/store" \
+  --keep "$digest" | grep -q 'kept 1'
+./target/release/tensordash trace gc --trace-dir "$train_dir/store" \
+  | grep -q 'removed 1 object'
+
+step "tensordash bench --smoke --baseline BENCH_6.json"
 bench_report="$(mktemp -t tensordash-bench-XXXXXX.json)"
 trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_report" "$serve_log" "$bench_report"; rm -rf "$train_dir"' EXIT
-# The committed baseline gates kernel + service throughput: >20%
-# regression on any comparable in-process metric fails the build
-# (trace/model throughput only compares between same-variant runs, so
-# the smoke run skips them against the full baseline; the loadtest-driven
-# service rate fires the same per-request workload in both variants, so
-# it gates cross-variant like the kernel rates, at a wider >50%
-# tolerance — end-to-end socket loadtests swing ±25% run-to-run). The
-# baseline's absolute rates reflect the machine that committed it — on
-# substantially slower hardware, regenerate it with
-# `tensordash bench --out BENCH_5.json` rather than loosening the gate.
-./target/release/tensordash bench --smoke --baseline BENCH_5.json --out "$bench_report"
+# The committed baseline gates kernel + source + store + service
+# throughput: >20% regression on any comparable in-process metric fails
+# the build (trace/model throughput only compares between same-variant
+# runs, so the smoke run skips them against the full baseline; the
+# loadtest-driven service rate fires the same per-request workload in
+# both variants, so it gates cross-variant like the kernel rates, at a
+# wider >50% tolerance — end-to-end socket loadtests swing ±25%
+# run-to-run). The baseline's absolute rates reflect the machine that
+# committed it — on substantially slower hardware, regenerate it with
+# `tensordash bench --out BENCH_6.json` rather than loosening the gate.
+./target/release/tensordash bench --smoke --baseline BENCH_6.json --out "$bench_report"
 grep -q '"step_speedup"' "$bench_report"
 grep -q '"extraction_speedup"' "$bench_report"
 grep -q '"cycles_per_second"' "$bench_report"
 grep -q '"requests_per_sec"' "$bench_report"
 grep -q '"live_masks_per_sec"' "$bench_report"
+grep -q '"load_masks_per_sec"' "$bench_report"
+grep -q '"pack_bytes_per_sec"' "$bench_report"
 
 step "all green"

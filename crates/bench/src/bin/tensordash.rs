@@ -9,14 +9,18 @@
 //! tensordash run all                   # the full evaluation
 //! tensordash train --record run.trace.json  # real training -> speedup/epoch
 //! tensordash train --replay run.trace.json  # bit-exact artifact replay
+//! tensordash trace pack run.trace.json run.trace.bin  # v1 <-> v2 transcode
+//! tensordash trace inspect run.trace.bin   # schema, digest, meta
+//! tensordash trace gc --trace-dir traces   # sweep the trace store
 //! tensordash --config experiment.toml  # a declarative experiment
-//! tensordash serve --port 7878         # the resident simulation service
+//! tensordash serve --port 7878 --trace-dir traces  # the resident service
 //! tensordash loadtest http://host:port # traffic benchmark against it
 //! ```
 
 use std::process::ExitCode;
 use std::time::Duration;
 use tensordash_bench::experiment::{self, ExperimentSpec};
+use tensordash_bench::harness::TraceCache;
 use tensordash_bench::{loadtest, service, train};
 
 const USAGE: &str = "\
@@ -51,28 +55,53 @@ COMMANDS:
                          artifact), --replay <FILE> (rebuild the report
                          bit-exactly from an artifact instead of
                          training), --out <FILE>, --smoke (tiny dataset,
-                         2 epochs). Recorded artifacts also replay through
+                         2 epochs). `--record <FILE>.json` writes v1 JSON;
+                         any other name writes the compact binary
+                         `tensordash-trace/2`. Either replays through
                          `--config`/`serve` via the experiment key
-                         `[eval.source] recorded = <FILE>`
+                         `[eval.source] recorded = <FILE>`, or — uploaded
+                         to a trace store — `stored = <DIGEST>`
+    trace                Trace-artifact utilities:
+                           pack <IN> <OUT>    transcode between v1 JSON and
+                                              v2 binary (`.json` output
+                                              means v1) and print the
+                                              content digest
+                           inspect <FILE>     print an artifact's schema,
+                                              content digest, and metadata
+                           gc --trace-dir <DIR> [--keep <DIGEST>]...
+                                              sweep a trace store: remove
+                                              abandoned tmp files and every
+                                              unpinned object not kept
     serve                Run the resident simulation service: POST
-                         /v1/experiments JSON specs, GET /v1/jobs/<id>,
-                         /healthz, /metrics; one process-wide trace cache
-                         across all requests. Options: --port <P> (default
-                         7878; 0 picks a free port), --host <ADDR>,
-                         --workers <N>, --cache-cap <N>, --queue-cap <N>,
-                         --idle-shutdown <SECONDS>. Shuts down gracefully
-                         on SIGTERM, idle timeout, or POST /v1/shutdown
+                         /v1/experiments JSON specs, POST /v1/traces
+                         artifact uploads, GET /v1/jobs/<id>, /healthz,
+                         /metrics; one process-wide trace cache across all
+                         requests. Options: --port <P> (default 7878; 0
+                         picks a free port), --host <ADDR>, --workers <N>,
+                         --cache-cap <N>, --queue-cap <N>,
+                         --trace-dir <DIR> (serve a content-addressed trace
+                         store rooted there: uploads land in it, `stored`
+                         and `recorded` experiment sources read from it),
+                         --max-body-bytes <N> (request-body cap, default
+                         4 MiB), --idle-shutdown <SECONDS>. Shuts down
+                         gracefully on SIGTERM, idle timeout, or POST
+                         /v1/shutdown
     loadtest <URL>       Fire a deterministic randomized experiment mix at
                          a running service and report throughput + latency
                          percentiles. Options: --requests <N> (default 64),
                          --concurrency <N> (default 8), --seed <S>,
-                         --smoke (12 requests from 4 clients)
+                         --upload-every <N> (every Nth request uploads a
+                         trace artifact and replays it by digest; needs a
+                         --trace-dir service), --smoke (12 requests from
+                         4 clients)
 
 OPTIONS:
     --config <FILE>      Run a declarative experiment from a TOML file
                          (keys: name, models, [chip], [eval]; all optional —
                          an empty file is the full paper sweep on the
                          Table 2 chip) and write a JSON report
+    --trace-dir <DIR>    A trace-store directory for `--config` runs whose
+                         `[eval.source]` is `stored = <DIGEST>`
     --out <FILE>         Where to write the --config JSON report
                          (default: <results dir>/<experiment name>.json)
     --results <DIR>      Results directory for all CSV/JSON outputs
@@ -100,6 +129,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("bench") => return run_bench(&args[1..]),
         Some("train") => return run_train(&args[1..]),
+        Some("trace") => return run_trace(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("loadtest") => return run_loadtest(&args[1..]),
         _ => {}
@@ -108,6 +138,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut names: Vec<String> = Vec::new();
     let mut config: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -125,6 +156,9 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--out" => {
                 out = Some(take_value(&mut iter, "--out")?);
+            }
+            "--trace-dir" => {
+                trace_dir = Some(take_value(&mut iter, "--trace-dir")?);
             }
             "--results" => {
                 let dir = take_value(&mut iter, "--results")?;
@@ -152,8 +186,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 .to_string(),
         );
     }
+    if trace_dir.is_some() && config.is_none() {
+        return Err("`--trace-dir` only applies to `--config` and `serve` runs".to_string());
+    }
     match (config, names.is_empty()) {
-        (Some(path), true) => run_config(&path, out.as_deref()),
+        (Some(path), true) => run_config(&path, out.as_deref(), trace_dir.as_deref()),
         (Some(_), false) => Err("`--config` and named experiments are exclusive".to_string()),
         (None, true) => {
             println!("{USAGE}");
@@ -215,6 +252,13 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         summary.source.live_masks_per_sec,
         summary.source.replay_masks_per_sec,
         summary.source.record_bytes_per_sec
+    );
+    println!(
+        "store:  {:.2e} binary-replay masks/s ({:.1}x the JSON leg), {:.2e} pack B/s, {:.2}x v1 size",
+        summary.store.load_masks_per_sec,
+        summary.store.load_masks_per_sec / summary.source.replay_masks_per_sec,
+        summary.store.pack_bytes_per_sec,
+        summary.store.binary_over_json_bytes
     );
     for model in &summary.models {
         println!(
@@ -298,6 +342,115 @@ fn run_train(args: &[String]) -> Result<(), String> {
     train::run(&options)
 }
 
+fn run_trace(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("pack") => run_trace_pack(&args[1..]),
+        Some("inspect") => run_trace_inspect(&args[1..]),
+        Some("gc") => run_trace_gc(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown `trace` subcommand `{other}` (expected pack, inspect, or gc)"
+        )),
+        None => Err(
+            "`trace` needs a subcommand: pack <IN> <OUT>, inspect <FILE>, or \
+                     gc --trace-dir <DIR> [--keep <DIGEST>]..."
+                .to_string(),
+        ),
+    }
+}
+
+/// `tensordash trace pack <IN> <OUT>` — transcode an artifact between the
+/// v1 JSON and v2 binary encodings. The input encoding is sniffed; the
+/// output encoding follows the file name (`.json` means v1). Both carry
+/// the same content digest — packing never changes identity.
+fn run_trace_pack(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("`trace pack` needs exactly <IN> and <OUT> paths".to_string());
+    };
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read artifact `{input}`: {e}"))?;
+    let recording = tensordash_trace::TraceRecording::from_bytes(&bytes)
+        .map_err(|e| format!("invalid artifact `{input}`: {e}"))?;
+    let digest = tensordash_trace::canonical_digest(&recording);
+    let packed = if std::path::Path::new(output.as_str())
+        .extension()
+        .is_some_and(|e| e == "json")
+    {
+        recording.to_json().into_bytes()
+    } else {
+        recording.to_bytes()
+    };
+    std::fs::write(output, &packed).map_err(|e| format!("cannot write `{output}`: {e}"))?;
+    println!(
+        "packed `{}` ({} B) -> `{output}` ({} B), digest {digest:016x}",
+        input,
+        bytes.len(),
+        packed.len()
+    );
+    Ok(())
+}
+
+/// `tensordash trace inspect <FILE>` — print an artifact's schema,
+/// content digest, and recording metadata without running anything.
+fn run_trace_inspect(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("`trace inspect` needs exactly one <FILE> path".to_string());
+    };
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read artifact `{path}`: {e}"))?;
+    let schema = if tensordash_trace::is_v2(&bytes) {
+        tensordash_trace::BINARY_SCHEMA
+    } else {
+        tensordash_trace::RECORDING_SCHEMA
+    };
+    let recording = tensordash_trace::TraceRecording::from_bytes(&bytes)
+        .map_err(|e| format!("invalid artifact `{path}`: {e}"))?;
+    println!("schema:  {schema}");
+    println!(
+        "digest:  {:016x}",
+        tensordash_trace::canonical_digest(&recording)
+    );
+    println!("name:    {}", recording.meta.name);
+    println!(
+        "epochs:  {} recorded (meta: {})",
+        recording.epochs.len(),
+        recording.meta.epochs
+    );
+    println!("lanes:   {}", recording.meta.lanes);
+    println!("bytes:   {}", bytes.len());
+    Ok(())
+}
+
+/// `tensordash trace gc --trace-dir <DIR> [--keep <DIGEST>]...` — sweep a
+/// content-addressed trace store: abandoned `tmp/` files and every
+/// unpinned object not on the keep-list are removed.
+fn run_trace_gc(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut keep: Vec<u64> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--trace-dir" => dir = Some(take_value(&mut iter, "--trace-dir")?),
+            "--keep" => {
+                let text = take_value(&mut iter, "--keep")?;
+                keep.push(
+                    tensordash_store::parse_digest(&text)
+                        .ok_or_else(|| format!("invalid `--keep` digest `{text}`"))?,
+                );
+            }
+            other => return Err(format!("unknown `trace gc` argument `{other}`")),
+        }
+    }
+    let dir = dir.ok_or("`trace gc` needs `--trace-dir <DIR>`")?;
+    let store = tensordash_store::TraceStore::open(&dir)
+        .map_err(|e| format!("cannot open trace store `{dir}`: {e}"))?;
+    let report = store
+        .gc(&keep)
+        .map_err(|e| format!("gc failed in `{dir}`: {e}"))?;
+    println!(
+        "gc `{dir}`: removed {} object(s) + {} tmp file(s), kept {}, freed {} B",
+        report.removed_objects, report.removed_tmp, report.kept, report.bytes_freed
+    );
+    Ok(())
+}
+
 fn take_value(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
     iter.next()
         .cloned()
@@ -342,6 +495,15 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                     return Err("`--queue-cap` must be at least 1".to_string());
                 }
             }
+            "--trace-dir" => {
+                config.trace_dir = Some(take_value(&mut iter, "--trace-dir")?.into());
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes = take_parsed(&mut iter, "--max-body-bytes")?;
+                if config.max_body_bytes == 0 {
+                    return Err("`--max-body-bytes` must be at least 1".to_string());
+                }
+            }
             "--idle-shutdown" => {
                 let seconds: f64 = take_parsed(&mut iter, "--idle-shutdown")?;
                 if !seconds.is_finite() || seconds <= 0.0 {
@@ -361,7 +523,13 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         "  {} simulation workers, queue cap {}, trace-cache cap {} builds",
         config.workers, config.queue_capacity, config.cache_capacity
     );
-    println!("  POST /v1/experiments | GET /v1/jobs/<id>[/report] | /healthz | /metrics");
+    match &config.trace_dir {
+        Some(dir) => println!("  trace store at {}", dir.display()),
+        None => println!("  no trace store (pass --trace-dir to accept uploads)"),
+    }
+    println!(
+        "  POST /v1/experiments | POST /v1/traces | GET /v1/jobs/<id>[/report] | /healthz | /metrics"
+    );
     // The CI smoke step parses the port off the first line before the
     // first request arrives — don't sit on it in a stdout buffer.
     use std::io::Write as _;
@@ -376,6 +544,7 @@ fn run_loadtest(args: &[String]) -> Result<(), String> {
     let mut requests: Option<usize> = None;
     let mut concurrency: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut upload_every: Option<usize> = None;
     let mut smoke = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -383,6 +552,7 @@ fn run_loadtest(args: &[String]) -> Result<(), String> {
             "--requests" => requests = Some(take_parsed(&mut iter, "--requests")?),
             "--concurrency" => concurrency = Some(take_parsed(&mut iter, "--concurrency")?),
             "--seed" => seed = Some(take_parsed(&mut iter, "--seed")?),
+            "--upload-every" => upload_every = Some(take_parsed(&mut iter, "--upload-every")?),
             "--smoke" => smoke = true,
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown `loadtest` argument `{flag}`"));
@@ -412,6 +582,9 @@ fn run_loadtest(args: &[String]) -> Result<(), String> {
     }
     if let Some(seed) = seed {
         options.seed = seed;
+    }
+    if let Some(every) = upload_every {
+        options.upload_every = every;
     }
     println!(
         "loadtest: {} requests from {} clients against http://{addr} (seed {})",
@@ -471,13 +644,16 @@ fn run_named(names: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run_config(path: &str, out: Option<&str>) -> Result<(), String> {
+fn run_config(path: &str, out: Option<&str>, trace_dir: Option<&str>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let spec: ExperimentSpec =
         tensordash_serde::from_toml_str(&text).map_err(|e| format!("invalid `{path}`: {e}"))?;
     let workload = match &spec.eval.source {
         tensordash_sim::TraceSourceSpec::Recorded { path } => {
             format!("recorded traces `{path}`")
+        }
+        tensordash_sim::TraceSourceSpec::Stored { digest } => {
+            format!("stored trace {digest}")
         }
         tensordash_sim::TraceSourceSpec::Calibrated if spec.models.is_empty() => {
             "full paper sweep".to_string()
@@ -488,7 +664,24 @@ fn run_config(path: &str, out: Option<&str>) -> Result<(), String> {
         "experiment `{}`: {} on {} tiles x {}x{} PEs",
         spec.name, workload, spec.chip.tiles, spec.chip.tile.rows, spec.chip.tile.cols,
     );
-    let reports = spec.run().map_err(|e| e.to_string())?;
+    // A `--trace-dir` opens the content-addressed store so `stored =
+    // <DIGEST>` sources resolve; without one, recorded paths still load
+    // directly from disk (the local trust model) and stored sources fail
+    // validation with a pointer here.
+    let store = trace_dir
+        .map(|dir| {
+            tensordash_store::TraceStore::open(dir)
+                .map_err(|e| format!("cannot open trace store `{dir}`: {e}"))
+        })
+        .transpose()?;
+    let reports = match &store {
+        Some(store) => {
+            let ctx = experiment::SourceContext::local().with_store(store);
+            spec.run_in(&TraceCache::new(), &ctx, &mut |_, _| {})
+                .map_err(|e| e.to_string())?
+        }
+        None => spec.run().map_err(|e| e.to_string())?,
+    };
     for report in &reports {
         println!(
             "{:<16} total speedup {:.3}x",

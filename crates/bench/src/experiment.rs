@@ -24,12 +24,109 @@ use crate::csvout::results_path;
 use crate::experiments;
 use crate::harness::{ModelEval, TraceCache};
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use tensordash_models::{gcn, paper_models, ModelSpec};
 use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use tensordash_sim::{ChipConfig, EvalSpec, ModelReport, Simulator, TraceSourceSpec};
+use tensordash_store::TraceStore;
 use tensordash_trace::{RecordedSource, TraceSource};
+
+/// How a run resolves its trace sources. The local CLI trusts bare
+/// filesystem paths ([`SourceContext::local`]); the resident service
+/// confines `recorded` paths to its `--trace-dir` and resolves `stored`
+/// digests against the shared [`TraceStore`]
+/// ([`SourceContext::service`]) — a request can never read a file the
+/// operator did not place (or a client did not upload) under that root.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceContext<'a> {
+    /// The content-addressed store `stored` digests resolve against.
+    pub store: Option<&'a TraceStore>,
+    /// When set, `recorded` paths resolve relative to this root and must
+    /// not escape it (the service jail).
+    pub trace_root: Option<&'a Path>,
+    /// Whether bare filesystem paths are trusted as-is (the local CLI).
+    /// Without a `trace_root`, untrusted contexts reject `recorded`
+    /// specs outright.
+    pub direct_paths: bool,
+}
+
+impl<'a> SourceContext<'a> {
+    /// The local CLI context: direct paths allowed, no store.
+    #[must_use]
+    pub fn local() -> Self {
+        SourceContext {
+            store: None,
+            trace_root: None,
+            direct_paths: true,
+        }
+    }
+
+    /// A service context: `recorded` paths are jailed under the store's
+    /// root, `stored` digests resolve in the store, nothing else is
+    /// readable. Pass `None` for a service started without
+    /// `--trace-dir`, which rejects both source kinds.
+    #[must_use]
+    pub fn service(store: Option<&'a TraceStore>) -> Self {
+        SourceContext {
+            store,
+            trace_root: store.map(TraceStore::root),
+            direct_paths: false,
+        }
+    }
+
+    /// Attaches a store (the CLI's `--trace-dir`, resolving `stored`
+    /// digests without jailing `recorded` paths).
+    #[must_use]
+    pub fn with_store(mut self, store: &'a TraceStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Resolves a `recorded` path under this context's trust rules.
+    fn resolve_recorded(&self, path: &str) -> Result<PathBuf, ExperimentError> {
+        let Some(root) = self.trace_root else {
+            if self.direct_paths {
+                return Ok(PathBuf::from(path));
+            }
+            return Err(ExperimentError::Source(
+                "this service has no --trace-dir; `recorded` paths are not served \
+                 (upload the artifact and submit a `stored` digest instead)"
+                    .to_string(),
+            ));
+        };
+        let root = root.canonicalize().map_err(|e| {
+            ExperimentError::Source(format!(
+                "trace directory `{}` is not readable: {e}",
+                root.display()
+            ))
+        })?;
+        let resolved = root.join(path).canonicalize().map_err(|_| {
+            ExperimentError::Source(format!(
+                "recorded artifact `{path}` not found under the trace directory"
+            ))
+        })?;
+        if !resolved.starts_with(&root) {
+            return Err(ExperimentError::Source(format!(
+                "recorded artifact `{path}` escapes the trace directory"
+            )));
+        }
+        Ok(resolved)
+    }
+
+    /// Resolves a `stored` digest to the store that will serve it.
+    fn resolve_stored(&self, digest: &str) -> Result<(&'a TraceStore, u64), ExperimentError> {
+        let store = self.store.ok_or_else(|| {
+            ExperimentError::Source(
+                "`stored` sources need a content-addressed trace store; pass --trace-dir"
+                    .to_string(),
+            )
+        })?;
+        let parsed = tensordash_store::parse_digest(digest)
+            .ok_or_else(|| ExperimentError::Source(format!("invalid stored digest `{digest}`")))?;
+        Ok((store, parsed))
+    }
+}
 
 /// A declarative model-evaluation experiment: which models, on which chip,
 /// under which evaluation spec.
@@ -105,25 +202,50 @@ impl ExperimentSpec {
         Ok(resolved)
     }
 
-    /// Validates the spec without running it — what the service checks
-    /// at submit time so a client mistake fails fast instead of consuming
-    /// a queue slot: model names must resolve (calibrated source), and a
-    /// recorded source must name an existing artifact and no models.
+    /// Validates the spec without running it, under the local CLI's
+    /// trust rules. See [`validate_in`](ExperimentSpec::validate_in).
     ///
     /// # Errors
     ///
-    /// As [`run_with`](ExperimentSpec::run_with), minus artifact parsing
-    /// (a corrupt file still fails at run time).
+    /// As [`validate_in`](ExperimentSpec::validate_in).
     pub fn validate(&self) -> Result<(), ExperimentError> {
+        self.validate_in(&SourceContext::local())
+    }
+
+    /// Validates the spec without running it — what the service checks
+    /// at submit time so a client mistake fails fast instead of consuming
+    /// a queue slot: model names must resolve (calibrated source), a
+    /// recorded source must name an existing artifact inside the
+    /// context's jail and no models, and a stored source must name an
+    /// object present in the context's store.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_in`](ExperimentSpec::run_in), minus artifact parsing
+    /// (a corrupt file still fails at run time).
+    pub fn validate_in(&self, ctx: &SourceContext<'_>) -> Result<(), ExperimentError> {
         match &self.eval.source {
             TraceSourceSpec::Calibrated => self.resolve_models().map(|_| ()),
             TraceSourceSpec::Recorded { path } => {
                 if !self.models.is_empty() {
                     return Err(ExperimentError::RecordedWithModels);
                 }
-                if !std::path::Path::new(path).is_file() {
+                let resolved = ctx.resolve_recorded(path)?;
+                if !resolved.is_file() {
                     return Err(ExperimentError::Source(format!(
                         "recorded artifact `{path}` not found"
+                    )));
+                }
+                Ok(())
+            }
+            TraceSourceSpec::Stored { digest } => {
+                if !self.models.is_empty() {
+                    return Err(ExperimentError::RecordedWithModels);
+                }
+                let (store, parsed) = ctx.resolve_stored(digest)?;
+                if !store.contains(parsed) {
+                    return Err(ExperimentError::Source(format!(
+                        "no stored trace with digest {parsed:016x}"
                     )));
                 }
                 Ok(())
@@ -150,23 +272,42 @@ impl ExperimentSpec {
         self.run_with(cache, &mut |_, _| {})
     }
 
+    /// As [`run_in`](ExperimentSpec::run_in) under the local CLI's trust
+    /// rules (direct filesystem paths, no store).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_in`](ExperimentSpec::run_in).
+    pub fn run_with(
+        &self,
+        cache: &TraceCache,
+        observe: &mut dyn FnMut(&str, f64),
+    ) -> Result<Vec<ModelReport>, ExperimentError> {
+        self.run_in(cache, &SourceContext::local(), observe)
+    }
+
     /// The one execution path every consumer shares — the one-shot CLI,
     /// the resident service, and tests all produce their reports here, so
     /// `serve` == `--config` == direct [`Simulator`] byte-for-byte.
+    /// `ctx` decides how trace sources resolve (direct paths locally, the
+    /// `--trace-dir` jail and content-addressed store in the service);
     /// `observe(label, wall_seconds)` is called once per evaluated
-    /// workload (the service's `/metrics` hook).
+    /// workload (the service's `/metrics` hook). A `stored` trace is
+    /// pinned against concurrent GC for the duration of its replay.
     ///
     /// # Errors
     ///
     /// [`ExperimentError::UnknownModel`]/[`DuplicateModel`](ExperimentError::DuplicateModel)
     /// as [`resolve_models`](ExperimentSpec::resolve_models);
-    /// [`ExperimentError::RecordedWithModels`] when a recorded source is
-    /// combined with a model list (a recording *is* the workload); and
-    /// [`ExperimentError::Source`] for unreadable/corrupt artifacts or a
-    /// replay mismatch (e.g. lane width).
-    pub fn run_with(
+    /// [`ExperimentError::RecordedWithModels`] when a recorded or stored
+    /// source is combined with a model list (a recording *is* the
+    /// workload); and [`ExperimentError::Source`] for unreadable/corrupt/
+    /// escaping artifacts, missing store objects, or a replay mismatch
+    /// (e.g. lane width).
+    pub fn run_in(
         &self,
         cache: &TraceCache,
+        ctx: &SourceContext<'_>,
         observe: &mut dyn FnMut(&str, f64),
     ) -> Result<Vec<ModelReport>, ExperimentError> {
         let sim = Simulator::new(self.chip);
@@ -186,21 +327,46 @@ impl ExperimentSpec {
                 if !self.models.is_empty() {
                     return Err(ExperimentError::RecordedWithModels);
                 }
-                let text = std::fs::read_to_string(path).map_err(|e| {
+                let resolved = ctx.resolve_recorded(path)?;
+                let bytes = std::fs::read(&resolved).map_err(|e| {
                     ExperimentError::Source(format!("cannot read recorded artifact `{path}`: {e}"))
                 })?;
-                let source = RecordedSource::from_json(&text).map_err(|e| {
+                let source = RecordedSource::from_bytes(&bytes).map_err(|e| {
                     ExperimentError::Source(format!("invalid recorded artifact `{path}`: {e}"))
                 })?;
-                let label = source.label().to_string();
-                let t0 = Instant::now();
-                let report = sim
-                    .eval_source_cached(&source, &self.eval, cache, &label)
+                self.replay(&sim, &source, cache, observe)
+            }
+            TraceSourceSpec::Stored { digest } => {
+                if !self.models.is_empty() {
+                    return Err(ExperimentError::RecordedWithModels);
+                }
+                let (store, parsed) = ctx.resolve_stored(digest)?;
+                let _pin = store.pin(parsed);
+                let source = store
+                    .load(parsed)
                     .map_err(|e| ExperimentError::Source(e.to_string()))?;
-                observe(&label, t0.elapsed().as_secs_f64());
-                Ok(vec![report])
+                self.replay(&sim, &source, cache, observe)
             }
         }
+    }
+
+    /// The shared tail of both replay arms: recorded files and stored
+    /// objects produce their reports through the exact same calls, so a
+    /// trace gives byte-identical results however it arrived.
+    fn replay(
+        &self,
+        sim: &Simulator,
+        source: &RecordedSource,
+        cache: &TraceCache,
+        observe: &mut dyn FnMut(&str, f64),
+    ) -> Result<Vec<ModelReport>, ExperimentError> {
+        let label = source.label().to_string();
+        let t0 = Instant::now();
+        let report = sim
+            .eval_source_cached(source, &self.eval, cache, &label)
+            .map_err(|e| ExperimentError::Source(e.to_string()))?;
+        observe(&label, t0.elapsed().as_secs_f64());
+        Ok(vec![report])
     }
 
     /// Packages the spec and its reports as one self-describing document —

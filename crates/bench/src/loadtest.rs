@@ -9,6 +9,13 @@
 //! two runs against the same server are the same traffic, and the mix
 //! exercises the trace cache the way real sweep traffic would: a few
 //! models × a few seeds × varying chip geometry, with repeats.
+//!
+//! With `--upload-every N`, every Nth request instead uploads one
+//! deterministic trace artifact to `POST /v1/traces` and replays it by
+//! digest (`stored` source) — identical uploads from different clients
+//! dedupe in the server's content-addressed store, so this leg measures
+//! the upload + stored-replay path under the same contention as the
+//! calibrated mix.
 
 use crate::experiment::ExperimentSpec;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -17,8 +24,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tensordash_serde::{json, Serialize, Value};
-use tensordash_server::http::client_request;
+use tensordash_server::http::{client_request, client_request_bytes};
 use tensordash_sim::{ChipConfig, EvalSpec};
+use tensordash_trace::{
+    ConvDims, EpochRecord, RecordingMeta, SampleSpec, SparsityGen, TraceRecording, TrainMetrics,
+    TrainingOp, UniformSparsity,
+};
 
 /// How the load generator should run.
 #[derive(Debug, Clone)]
@@ -33,6 +44,10 @@ pub struct LoadtestOptions {
     pub seed: u64,
     /// Per-exchange socket timeout.
     pub timeout: Duration,
+    /// Every Nth request uploads the run's trace artifact and replays it
+    /// by digest; `0` (the default) keeps the pure calibrated mix. The
+    /// server needs `--trace-dir` for this leg.
+    pub upload_every: usize,
 }
 
 impl LoadtestOptions {
@@ -45,6 +60,7 @@ impl LoadtestOptions {
             concurrency: 8,
             seed: 0xDA5A,
             timeout: Duration::from_secs(60),
+            upload_every: 0,
         }
     }
 
@@ -70,6 +86,8 @@ pub struct LoadtestReport {
     pub concurrency: usize,
     /// Requests that errored (non-2xx, I/O failure, or a failed job).
     pub failures: usize,
+    /// Requests that took the upload + stored-replay leg.
+    pub uploads: usize,
     /// Wall-clock seconds for the whole run.
     pub wall_seconds: f64,
     /// Completed experiments per second.
@@ -90,6 +108,7 @@ impl LoadtestReport {
             ("requests".into(), self.requests.serialize()),
             ("concurrency".into(), self.concurrency.serialize()),
             ("failures".into(), self.failures.serialize()),
+            ("uploads".into(), self.uploads.serialize()),
             ("wall_seconds".into(), Value::Float(self.wall_seconds)),
             (
                 "requests_per_sec".into(),
@@ -128,6 +147,46 @@ pub fn mix_spec(seed: u64, index: usize) -> ExperimentSpec {
         .with_eval(eval)
 }
 
+/// The one trace artifact an upload-mix run fires: a small deterministic
+/// recording derived from the run seed, 16 lanes to match the default
+/// chip. Every client uploads the *same* bytes, so the server-side store
+/// dedupes them onto one object — exactly the production shape of many
+/// clients sharing one trace by digest.
+#[must_use]
+pub fn upload_recording(seed: u64) -> TraceRecording {
+    let dims = ConvDims::conv_square(1, 16, 6, 8, 3, 1, 1);
+    let sample = SampleSpec::new(2, 16);
+    let mut recording = TraceRecording::new(RecordingMeta {
+        name: format!("loadtest-upload-{seed:x}"),
+        epochs: 1,
+        batch_size: 8,
+        seed,
+        lanes: 16,
+        sample,
+    });
+    let mk = |op, s| UniformSparsity::new(0.5).op_trace(dims, op, 16, &sample, s);
+    recording.epochs.push(EpochRecord {
+        epoch: 0,
+        progress: 0.0,
+        metrics: TrainMetrics {
+            loss: 1.0,
+            accuracy: 0.5,
+            act_sparsity: 0.4,
+            grad_sparsity: 0.6,
+            weight_sparsity: 0.0,
+        },
+        layers: vec![(
+            "conv1".to_string(),
+            [
+                mk(TrainingOp::Forward, seed ^ 1),
+                mk(TrainingOp::InputGrad, seed ^ 2),
+                mk(TrainingOp::WeightGrad, seed ^ 3),
+            ],
+        )],
+    });
+    recording
+}
+
 /// Parses `http://host:port` (or bare `host:port`) into a socket address.
 ///
 /// # Errors
@@ -151,8 +210,48 @@ pub fn parse_service_url(url: &str) -> Result<SocketAddr, String> {
 /// One client exchange: submit the spec, poll `report_url` until done.
 /// Returns the submit→report latency.
 fn drive_one(addr: SocketAddr, spec: &ExperimentSpec, timeout: Duration) -> Result<f64, String> {
-    let body = json::write_compact(&spec.serialize());
+    drive_spec(addr, spec, timeout, Instant::now())
+}
+
+/// The upload leg: push the artifact bytes (digest-verified), then
+/// replay them by digest through the normal submit→poll exchange. The
+/// latency clock covers the whole upload + replay round trip.
+fn drive_upload(
+    addr: SocketAddr,
+    bytes: &[u8],
+    digest: &str,
+    index: usize,
+    timeout: Duration,
+) -> Result<f64, String> {
     let start = Instant::now();
+    let (status, response) = client_request_bytes(
+        addr,
+        "POST",
+        &format!("/v1/traces?digest={digest}"),
+        bytes,
+        "application/octet-stream",
+        timeout,
+    )
+    .map_err(|e| format!("upload failed: {e}"))?;
+    if status != 201 {
+        return Err(format!("upload got {status}: {response}"));
+    }
+    let spec = ExperimentSpec::new(format!("loadtest-upload-{index}")).with_eval(
+        EvalSpec::builder()
+            .stored(digest)
+            .build()
+            .expect("the upload digest is valid hex"),
+    );
+    drive_spec(addr, &spec, timeout, start)
+}
+
+fn drive_spec(
+    addr: SocketAddr,
+    spec: &ExperimentSpec,
+    timeout: Duration,
+    start: Instant,
+) -> Result<f64, String> {
+    let body = json::write_compact(&spec.serialize());
     let (status, response) = client_request(addr, "POST", "/v1/experiments", Some(&body), timeout)
         .map_err(|e| format!("submit failed: {e}"))?;
     if status != 202 {
@@ -201,9 +300,18 @@ pub fn run(options: &LoadtestOptions) -> Result<LoadtestReport, String> {
         return Err(format!("service health check returned {status}"));
     }
 
+    // The artifact every upload-leg request fires, built once: the whole
+    // point is identical bytes deduping server-side.
+    let upload = (options.upload_every > 0).then(|| {
+        let recording = upload_recording(options.seed);
+        let digest = format!("{:016x}", tensordash_trace::canonical_digest(&recording));
+        (recording.to_bytes(), digest)
+    });
+
     let next = AtomicUsize::new(0);
     let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(options.requests));
     let failures = AtomicUsize::new(0);
+    let uploads = AtomicUsize::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..options.concurrency.max(1) {
@@ -212,8 +320,18 @@ pub fn run(options: &LoadtestOptions) -> Result<LoadtestReport, String> {
                 if index >= options.requests {
                     break;
                 }
-                let spec = mix_spec(options.seed, index);
-                match drive_one(options.addr, &spec, options.timeout) {
+                let result = match &upload {
+                    Some((bytes, digest)) if index.is_multiple_of(options.upload_every) => {
+                        uploads.fetch_add(1, Ordering::Relaxed);
+                        drive_upload(options.addr, bytes, digest, index, options.timeout)
+                    }
+                    _ => drive_one(
+                        options.addr,
+                        &mix_spec(options.seed, index),
+                        options.timeout,
+                    ),
+                };
+                match result {
                     Ok(latency) => latencies
                         .lock()
                         .expect("latency sink poisoned")
@@ -240,6 +358,7 @@ pub fn run(options: &LoadtestOptions) -> Result<LoadtestReport, String> {
         requests: options.requests,
         concurrency: options.concurrency,
         failures: failures.load(Ordering::Relaxed),
+        uploads: uploads.load(Ordering::Relaxed),
         wall_seconds,
         requests_per_sec: latencies.len() as f64 / wall_seconds,
         latency_ms_p50: percentile(0.50),
@@ -264,6 +383,19 @@ mod tests {
         }
         // Different indices do vary the spec.
         assert!((0..32).any(|i| mix_spec(7, i).models != mix_spec(7, 0).models));
+    }
+
+    #[test]
+    fn upload_artifact_is_deterministic_and_matches_the_default_chip() {
+        let a = upload_recording(0xDA5A);
+        let b = upload_recording(0xDA5A);
+        assert_eq!(a, b, "upload bytes must be identical across clients");
+        assert_eq!(a.meta.lanes, 16, "must replay on the default chip");
+        assert_ne!(
+            tensordash_trace::canonical_digest(&a),
+            tensordash_trace::canonical_digest(&upload_recording(1)),
+            "different seeds are different artifacts"
+        );
     }
 
     #[test]

@@ -20,9 +20,15 @@
 //! * **source** — the train→record→replay legs of the `TraceSource`
 //!   pipeline: live training-epoch trace production, artifact
 //!   serialization, and recorded-artifact replay throughput;
+//! * **store** — the `tensordash-trace/2` binary leg over the identical
+//!   workload: v2 pack (encode) throughput and binary-artifact replay
+//!   (decode + `layer_ops`) throughput, directly comparable to
+//!   `source.replay_masks_per_sec` (the JSON leg);
 //! * **service** — traffic throughput of an in-process `tensordash
-//!   serve` under the deterministic `loadtest` mix: completed experiments
-//!   per second and p50/p99 submit→report latency.
+//!   serve` (with a content-addressed trace store attached) under the
+//!   deterministic `loadtest` mix, including the upload + stored-replay
+//!   leg: completed experiments per second and p50/p99 submit→report
+//!   latency.
 //!
 //! Every wall/throughput metric is the **best of N** samples (after an
 //! untimed process warm-up): on shared hardware, co-tenant interference
@@ -129,6 +135,26 @@ pub struct SourceBench {
     pub record_bytes_per_sec: f64,
 }
 
+/// Binary trace-store throughput: the `tensordash-trace/2` leg of the
+/// record→replay pipeline, over the **same fixed training workload** as
+/// [`SourceBench`] — `load_masks_per_sec` counts the identical masks as
+/// `source.replay_masks_per_sec`, so the two rates differ only in the
+/// artifact encoding (binary decode vs JSON parse), which is the point
+/// of the comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreBench {
+    /// Masks per second through the binary-store leg: v2 artifact decode
+    /// plus the same replayed `layer_ops` request as the JSON leg.
+    pub load_masks_per_sec: f64,
+    /// v2 artifact serialization throughput (recording → binary bytes),
+    /// bytes per second.
+    pub pack_bytes_per_sec: f64,
+    /// v2 artifact size over the v1 JSON size of the same recording —
+    /// the on-disk/on-wire compression the store buys (lower is better;
+    /// a sanity metric, not gated).
+    pub binary_over_json_bytes: f64,
+}
+
 /// One model's end-to-end evaluation measurement.
 #[derive(Debug, Clone)]
 pub struct ModelBench {
@@ -173,6 +199,8 @@ pub struct BenchSummary {
     pub trace: TraceBench,
     /// Trace-source measurements (live train, record, replay).
     pub source: SourceBench,
+    /// Binary trace-store measurements (v2 pack, binary replay).
+    pub store: StoreBench,
     /// Per-model end-to-end measurements.
     pub models: Vec<ModelBench>,
     /// Service traffic measurements (`tensordash serve` + `loadtest`).
@@ -247,6 +275,20 @@ impl BenchSummary {
                 Value::Float(self.source.record_bytes_per_sec),
             ),
         ]);
+        let store = Value::Table(vec![
+            (
+                "load_masks_per_sec".into(),
+                Value::Float(self.store.load_masks_per_sec),
+            ),
+            (
+                "pack_bytes_per_sec".into(),
+                Value::Float(self.store.pack_bytes_per_sec),
+            ),
+            (
+                "binary_over_json_bytes".into(),
+                Value::Float(self.store.binary_over_json_bytes),
+            ),
+        ]);
         let models = Value::Array(
             self.models
                 .iter()
@@ -285,11 +327,12 @@ impl BenchSummary {
             ),
         ]);
         Value::Table(vec![
-            ("schema".into(), Value::Str("tensordash-bench/4".into())),
+            ("schema".into(), Value::Str("tensordash-bench/5".into())),
             ("smoke".into(), Value::Bool(self.smoke)),
             ("kernel".into(), kernel),
             ("trace".into(), trace),
             ("source".into(), source),
+            ("store".into(), store),
             ("models".into(), models),
             ("service".into(), service),
             (
@@ -399,11 +442,12 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
     // 512 windows x 32 bytes stay L1-resident: the measurement targets the
     // kernel's compute, not the memory streaming of synthetic inputs.
     let windows_per_density = 512;
-    // The smoke variant trims samples, not passes-per-sample: rates must
-    // stay commensurable with a full run's, because `--baseline` compares
-    // them across variants (timing 4 passes put ~25% of cold-start into
-    // every sample and made smoke rates look regressed).
-    let (passes, samples) = if smoke { (16, 3) } else { (32, 9) };
+    // The step rates gate cross-variant against a full-run baseline, so
+    // the smoke variant may not trim passes-per-sample (timing 4 passes
+    // put ~25% of cold-start into every sample) nor sample count too far
+    // (best-of-3 with 16 passes read a steady ~0.83x of the full rate on
+    // a throttling host). Smoke trims only the sample count, gently.
+    let (passes, samples) = if smoke { (32, 5) } else { (32, 9) };
 
     // One batch of staging windows per density level: windows of one
     // operation share a sparsity level, so density-homogeneous batches are
@@ -586,7 +630,11 @@ pub fn bench_trace(smoke: bool) -> TraceBench {
 pub fn bench_source(smoke: bool) -> SourceBench {
     use tensordash_trace::{RecordedSource, TraceRequest, TraceSource};
 
-    let samples = if smoke { 2 } else { 5 };
+    // Like the store rates, every source rate gates cross-variant against
+    // a full-run baseline, so the smoke variant keeps the full sample
+    // count rather than reading best-of-2 noise as a regression.
+    let _ = smoke;
+    let samples = 5;
     let options = TrainOptions {
         name: "bench".to_string(),
         epochs: 1,
@@ -628,6 +676,61 @@ pub fn bench_source(smoke: bool) -> SourceBench {
         live_masks_per_sec: masks as f64 / live,
         replay_masks_per_sec: masks as f64 / replay,
         record_bytes_per_sec: text.len() as f64 / record,
+    }
+}
+
+/// Measures the binary trace-store leg: `tensordash-trace/2` pack
+/// (encode) throughput and binary replay (decode + `layer_ops`)
+/// throughput, over the **identical** fixed training workload as
+/// [`bench_source`] — masks are counted the same way, so
+/// `store.load_masks_per_sec / source.replay_masks_per_sec` is exactly
+/// the binary-over-JSON replay speedup the v2 format exists to buy.
+#[must_use]
+pub fn bench_store(smoke: bool) -> StoreBench {
+    use tensordash_trace::{RecordedSource, TraceRequest, TraceSource};
+
+    // Both store rates gate cross-variant against a full-run baseline and
+    // the measured loops are milliseconds long, so the smoke variant keeps
+    // the full sample count (best-of-2 swung +/-25% run to run).
+    let _ = smoke;
+    let samples = 5;
+    let options = TrainOptions {
+        name: "bench".to_string(),
+        epochs: 1,
+        batch_size: 32,
+        seed: 0xDA5A,
+        smoke: true, // the fixed tiny workload, in both variants
+        ..TrainOptions::default()
+    };
+    let recording = capture_training(&options).expect("bench training workload");
+    let masks: usize = recording
+        .epochs
+        .iter()
+        .flat_map(|e| e.layers.iter())
+        .flat_map(|(_, ops)| ops.iter())
+        .map(|t| t.arena_masks().len())
+        .sum();
+
+    let bytes = recording.to_bytes();
+    let pack = best_seconds(samples, || {
+        std::hint::black_box(recording.to_bytes());
+    });
+
+    let request = TraceRequest {
+        progress: 0.0,
+        lanes: recording.meta.lanes,
+        sample: recording.meta.sample,
+        seed: 0,
+    };
+    let load = best_seconds(samples, || {
+        let source = RecordedSource::from_bytes(&bytes).expect("bench v2 artifact");
+        std::hint::black_box(source.layer_ops(&request).expect("bench store replay"));
+    });
+
+    StoreBench {
+        load_masks_per_sec: masks as f64 / load,
+        pack_bytes_per_sec: bytes.len() as f64 / pack,
+        binary_over_json_bytes: bytes.len() as f64 / recording.to_json().len() as f64,
     }
 }
 
@@ -688,14 +791,17 @@ pub fn bench_models(smoke: bool) -> Vec<ModelBench> {
 }
 
 /// Measures service-level traffic throughput: boots an in-process
-/// `tensordash serve` on an ephemeral port and drives the deterministic
+/// `tensordash serve` (with a content-addressed trace store in a scratch
+/// `--trace-dir`, so the upload + stored-replay leg of the mix is
+/// exercised) on an ephemeral port and drives the deterministic
 /// `loadtest` mix through it, twice, keeping the better pass (the same
 /// noise-robust minimum-time estimator as every other metric here).
 ///
 /// Both variants fire the **identical per-request workload** — smoke only
-/// trims the request count — so `requests_per_sec` is commensurable
-/// between a CI smoke run and a committed full-run baseline, like the
-/// kernel rates and unlike the trace/model sections.
+/// trims the request count, not the 1-in-8 upload mix — so
+/// `requests_per_sec` is commensurable between a CI smoke run and a
+/// committed full-run baseline, like the kernel rates and unlike the
+/// trace/model sections.
 ///
 /// # Panics
 ///
@@ -707,9 +813,13 @@ pub fn bench_service(smoke: bool) -> ServiceBench {
     use crate::loadtest::{self, LoadtestOptions};
     use crate::service::{Service, ServiceConfig};
 
+    let trace_dir =
+        std::env::temp_dir().join(format!("tensordash-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&trace_dir).expect("cannot create the bench trace directory");
     let service = Service::bind(&ServiceConfig {
         workers: 4,
         connection_threads: 8,
+        trace_dir: Some(trace_dir.clone()),
         ..ServiceConfig::default()
     })
     .expect("cannot bind the loopback bench service");
@@ -718,6 +828,7 @@ pub fn bench_service(smoke: bool) -> ServiceBench {
 
     let mut options = LoadtestOptions::new(addr);
     options.concurrency = 8;
+    options.upload_every = 8;
     // The smoke variant trims request count, not the per-request
     // workload — but not below ~4 waves of 8, or ramp-up/down dominates
     // the rate and smoke runs read artificially slow against a full-run
@@ -742,6 +853,7 @@ pub fn bench_service(smoke: bool) -> ServiceBench {
     running
         .shutdown_and_join()
         .expect("bench service failed to shut down");
+    std::fs::remove_dir_all(&trace_dir).ok();
     let best = best.expect("at least one loadtest pass");
     ServiceBench {
         requests: best.requests,
@@ -875,6 +987,24 @@ pub fn diff_against_baseline(summary: &BenchSummary, baseline: &Value) -> Vec<Ba
         summary.source.replay_masks_per_sec,
         BASELINE_TOLERANCE,
     );
+    // Binary trace-store rates run the same fixed workload as the source
+    // rates (see `bench_store`), so they also compare across smoke/full
+    // runs; skipped for baselines predating the section (BENCH_5 and
+    // earlier).
+    push(
+        &mut entries,
+        "store.load_masks_per_sec",
+        baseline_float(baseline, "store", "load_masks_per_sec"),
+        summary.store.load_masks_per_sec,
+        BASELINE_TOLERANCE,
+    );
+    push(
+        &mut entries,
+        "store.pack_bytes_per_sec",
+        baseline_float(baseline, "store", "pack_bytes_per_sec"),
+        summary.store.pack_bytes_per_sec,
+        BASELINE_TOLERANCE,
+    );
 
     let same_variant = baseline
         .get("smoke")
@@ -931,6 +1061,7 @@ pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
     let kernel = bench_kernel(options.smoke);
     let trace = bench_trace(options.smoke);
     let source = bench_source(options.smoke);
+    let store = bench_store(options.smoke);
     let models = bench_models(options.smoke);
     let service = bench_service(options.smoke);
     let summary = BenchSummary {
@@ -938,6 +1069,7 @@ pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
         kernel,
         trace,
         source,
+        store,
         models,
         service,
         total_wall_seconds: start.elapsed().as_secs_f64(),
@@ -956,6 +1088,14 @@ mod tests {
             live_masks_per_sec: 1.0e6,
             replay_masks_per_sec: 5.0e6,
             record_bytes_per_sec: 1.0e8,
+        }
+    }
+
+    fn fixed_store() -> StoreBench {
+        StoreBench {
+            load_masks_per_sec: 5.0e7,
+            pack_bytes_per_sec: 5.0e8,
+            binary_over_json_bytes: 0.2,
         }
     }
 
@@ -987,6 +1127,20 @@ mod tests {
         assert!(source.live_masks_per_sec > 0.0);
         assert!(source.replay_masks_per_sec > 0.0);
         assert!(source.record_bytes_per_sec > 0.0);
+        let store = bench_store(true);
+        assert!(store.load_masks_per_sec > 0.0);
+        assert!(store.pack_bytes_per_sec > 0.0);
+        assert!(
+            store.binary_over_json_bytes < 1.0,
+            "the v2 artifact must be smaller than the v1 JSON ({}x)",
+            store.binary_over_json_bytes
+        );
+        assert!(
+            store.load_masks_per_sec > source.replay_masks_per_sec,
+            "binary replay ({:.0}/s) must beat JSON replay ({:.0}/s)",
+            store.load_masks_per_sec,
+            source.replay_masks_per_sec
+        );
         let service = bench_service(true);
         assert!(service.requests_per_sec > 0.0);
         assert!(service.latency_ms_p50 > 0.0);
@@ -996,6 +1150,7 @@ mod tests {
             kernel,
             trace,
             source,
+            store,
             models: bench_models(true),
             service,
             total_wall_seconds: 0.5,
@@ -1007,12 +1162,14 @@ mod tests {
         assert!(doc.get("kernel").is_some());
         assert!(doc.get("trace").is_some());
         assert!(doc.get("source").is_some());
+        assert!(doc.get("store").is_some());
         assert!(doc.get("service").is_some());
         let json = tensordash_serde::json::write(&doc);
         assert!(json.contains("steps_per_sec_batched"));
         assert!(json.contains("extraction_speedup"));
         assert!(json.contains("requests_per_sec"));
         assert!(json.contains("live_masks_per_sec"));
+        assert!(json.contains("load_masks_per_sec"));
         assert!(json.contains("AlexNet"));
     }
 
@@ -1033,6 +1190,7 @@ mod tests {
                 cache_hit_speedup: 2.0,
             },
             source: fixed_source(),
+            store: fixed_store(),
             models: vec![],
             service: fixed_service(),
             total_wall_seconds: 0.0,
@@ -1080,6 +1238,7 @@ mod tests {
                 cache_hit_speedup: 1.0,
             },
             source: fixed_source(),
+            store: fixed_store(),
             models: vec![ModelBench {
                 name: "AlexNet".into(),
                 wall_seconds: 0.01,
@@ -1130,6 +1289,7 @@ mod tests {
                 cache_hit_speedup: 1.0,
             },
             source: fixed_source(),
+            store: fixed_store(),
             models: vec![],
             service: fixed_service(),
             total_wall_seconds: 0.0,

@@ -22,31 +22,40 @@
 //! | Route                     | Meaning                                    |
 //! |---------------------------|--------------------------------------------|
 //! | `POST /v1/experiments`    | submit a spec; `202` + job id, `429` full  |
+//! | `POST /v1/traces`         | upload a trace artifact (v1 JSON or v2     |
+//! |                           | binary, plain or chunked); `201` + digest, |
+//! |                           | `409` on `?digest=` mismatch               |
 //! | `GET /v1/jobs/<id>`       | lifecycle envelope (`queued`/`running`/...)|
 //! | `GET /v1/jobs/<id>/report`| the raw report (`202` until done)          |
 //! | `GET /healthz`            | liveness                                   |
-//! | `GET /metrics`            | jobs, cache hit/miss/eviction, model walls |
+//! | `GET /metrics`            | jobs, cache, store, model walls            |
 //! | `POST /v1/shutdown`       | graceful shutdown (as `SIGTERM` / idle)    |
 //!
-//! **Trust model.** A spec's recorded source (`eval.source.recorded`)
-//! names a file on the *server* host, resolved with the server process's
-//! filesystem permissions — clients can probe path existence and make
-//! the server parse any readable file (non-artifacts fail the schema
-//! check without echoing content). Like `/v1/shutdown`, this assumes the
-//! operator's own clients: the service binds loopback by default and has
-//! no authentication layer; don't expose it to untrusted networks.
+//! **Trust model.** Trace sources resolve through
+//! [`SourceContext::service`]: a `stored` digest is served from the
+//! content-addressed [`TraceStore`] under `--trace-dir`, and a
+//! `recorded` path resolves *inside* that directory only — traversal
+//! out of it (`../`, absolute paths, symlink escapes) is a `400`, and
+//! without `--trace-dir` both source kinds are rejected outright, so a
+//! request can never make the server read a file the operator did not
+//! place (or a client did not upload) under the trace root. Like
+//! `/v1/shutdown`, uploads assume the operator's own clients: the
+//! service binds loopback by default and has no authentication layer;
+//! don't expose it to untrusted networks.
 
-use crate::experiment::ExperimentSpec;
+use crate::experiment::{ExperimentSpec, SourceContext};
 use crate::harness::TraceCache;
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use tensordash_serde::{json, Serialize, Value};
 use tensordash_server::http::{Request, Response};
 use tensordash_server::jobs::{JobId, JobQueue, JobState};
 use tensordash_server::server::{Handler, Server, ServerConfig, ShutdownFlag};
+use tensordash_store::{StoreError, TraceStore};
 
 /// How `tensordash serve` should run.
 #[derive(Debug, Clone)]
@@ -64,6 +73,12 @@ pub struct ServiceConfig {
     pub connection_threads: usize,
     /// Shut down after this long with no requests and no running jobs.
     pub idle_shutdown: Option<Duration>,
+    /// Root of the content-addressed trace store (`--trace-dir`).
+    /// `None` disables uploads and rejects recorded/stored sources.
+    pub trace_dir: Option<PathBuf>,
+    /// Request-body cap in bytes (`--max-body-bytes`) — bounds both spec
+    /// submissions and trace uploads, plain or chunked.
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -77,6 +92,8 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             connection_threads: 8,
             idle_shutdown: None,
+            trace_dir: None,
+            max_body_bytes: tensordash_server::http::DEFAULT_MAX_BODY_BYTES,
         }
     }
 }
@@ -87,6 +104,9 @@ struct ServiceState {
     /// pointer, not the report bytes, under the queue lock.
     queue: JobQueue<ExperimentSpec, Arc<String>>,
     cache: TraceCache,
+    /// The content-addressed trace store (`--trace-dir`), shared by
+    /// uploads and replays across requests and restarts.
+    store: Option<Arc<TraceStore>>,
     shutdown: OnceLock<Arc<ShutdownFlag>>,
     /// Per-model `(evaluations, wall seconds)` — the `/metrics` rows.
     model_walls: Mutex<HashMap<String, (u64, f64)>>,
@@ -94,18 +114,28 @@ struct ServiceState {
 }
 
 impl ServiceState {
+    /// The trust rules every request resolves sources under.
+    fn source_context(&self) -> SourceContext<'_> {
+        SourceContext::service(self.store.as_deref())
+    }
+
     /// Runs one admitted experiment; the `Ok` string is the final report
     /// JSON, byte-identical to `tensordash --config`'s output for the
-    /// same spec — both run [`ExperimentSpec::run_with`], whatever the
-    /// trace source (calibrated zoo profiles or a recorded artifact).
+    /// same spec — both run [`ExperimentSpec::run_in`], whatever the
+    /// trace source (calibrated zoo profiles, a recorded artifact under
+    /// `--trace-dir`, or a stored digest).
     fn run_experiment(&self, spec: &ExperimentSpec) -> Result<Arc<String>, String> {
         let reports = spec
-            .run_with(&self.cache, &mut |label, elapsed| {
-                let mut walls = self.model_walls.lock().expect("model walls poisoned");
-                let entry = walls.entry(label.to_string()).or_insert((0, 0.0));
-                entry.0 += 1;
-                entry.1 += elapsed;
-            })
+            .run_in(
+                &self.cache,
+                &self.source_context(),
+                &mut |label, elapsed| {
+                    let mut walls = self.model_walls.lock().expect("model walls poisoned");
+                    let entry = walls.entry(label.to_string()).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 += elapsed;
+                },
+            )
             .map_err(|e| e.to_string())?;
         Ok(Arc::new(json::write(&spec.report_document(&reports))))
     }
@@ -145,6 +175,24 @@ impl ServiceState {
                     ("misses".into(), cache.misses.serialize()),
                     ("evictions".into(), cache.evictions.serialize()),
                 ]),
+            ),
+            (
+                "store".into(),
+                match &self.store {
+                    None => Value::Table(vec![("configured".into(), Value::Bool(false))]),
+                    Some(store) => {
+                        let stats = store.stats();
+                        Value::Table(vec![
+                            ("configured".into(), Value::Bool(true)),
+                            ("objects".into(), stats.objects.serialize()),
+                            ("bytes".into(), stats.bytes.serialize()),
+                            ("uploads".into(), stats.uploads.serialize()),
+                            ("dedup_hits".into(), stats.dedup_hits.serialize()),
+                            ("gc_removed".into(), stats.gc_removed.serialize()),
+                            ("pinned".into(), stats.pinned.serialize()),
+                        ])
+                    }
+                },
             ),
             (
                 "models".into(),
@@ -194,6 +242,7 @@ impl Handler for ServiceState {
             ]),
             ("GET", "/metrics") => Response::json(200, json::write(&self.metrics_document())),
             ("POST", "/v1/experiments") => self.submit(req),
+            ("POST", "/v1/traces") => self.upload_trace(req),
             ("POST", "/v1/shutdown") => {
                 if let Some(flag) = self.shutdown.get() {
                     flag.request();
@@ -203,7 +252,7 @@ impl Handler for ServiceState {
                 resp
             }
             ("GET", path) if path.starts_with("/v1/jobs/") => self.job_status(path),
-            (_, "/healthz" | "/metrics" | "/v1/experiments" | "/v1/shutdown") => {
+            (_, "/healthz" | "/metrics" | "/v1/experiments" | "/v1/traces" | "/v1/shutdown") => {
                 error_json(405, "method not allowed")
             }
             _ => error_json(404, "no such route"),
@@ -225,10 +274,12 @@ impl ServiceState {
             Ok(spec) => spec,
             Err(e) => return error_json(400, &format!("invalid experiment spec: {e}")),
         };
-        // Validate up front: an unknown model, a missing artifact, or a
-        // recorded-source/models conflict is the client's mistake and
-        // should not consume a queue slot before failing.
-        if let Err(e) = spec.validate() {
+        // Validate up front, under the service trust rules: an unknown
+        // model, a missing artifact or store object, a path escaping
+        // --trace-dir, or a recorded-source/models conflict is the
+        // client's mistake and should not consume a queue slot before
+        // failing.
+        if let Err(e) = spec.validate_in(&self.source_context()) {
             return error_json(400, &e.to_string());
         }
         match self.queue.submit(spec) {
@@ -246,6 +297,49 @@ impl ServiceState {
                 error_json(429, &e.to_string())
             }
             Err(e) => error_json(503, &e.to_string()),
+        }
+    }
+
+    /// `POST /v1/traces`: ingest a trace artifact (v1 JSON or v2 binary;
+    /// the transport may be plain or chunked) into the content-addressed
+    /// store. An optional `?digest=<hex>` query is the client's claim of
+    /// the content digest, verified **before** anything is committed —
+    /// a mismatch (truncated transfer, wrong file) is a `409` naming
+    /// both digests. Success is `201` with the digest a `stored` spec
+    /// can submit immediately; identical re-uploads dedupe to the
+    /// existing object and say so.
+    fn upload_trace(&self, req: &Request) -> Response {
+        let Some(store) = &self.store else {
+            return error_json(
+                503,
+                "no trace store configured (start the service with --trace-dir)",
+            );
+        };
+        if req.body.is_empty() {
+            return error_json(400, "empty upload: send a trace artifact as the body");
+        }
+        let expected = match req.query_value("digest") {
+            None => None,
+            Some(text) => match tensordash_store::parse_digest(text) {
+                Some(digest) => Some(digest),
+                None => {
+                    return error_json(400, &format!("invalid digest query `{text}`"));
+                }
+            },
+        };
+        match store.insert_bytes(&req.body, expected) {
+            Ok(outcome) => {
+                let mut resp = envelope(vec![
+                    ("digest", Value::Str(format!("{:016x}", outcome.digest))),
+                    ("bytes", outcome.bytes.serialize()),
+                    ("deduplicated", Value::Bool(outcome.deduplicated)),
+                ]);
+                resp.status = 201;
+                resp
+            }
+            Err(e @ StoreError::DigestMismatch { .. }) => error_json(409, &e.to_string()),
+            Err(e @ StoreError::Corrupt(_)) => error_json(400, &e.to_string()),
+            Err(e) => error_json(500, &e.to_string()),
         }
     }
 
@@ -297,16 +391,24 @@ pub struct Service {
 }
 
 impl Service {
-    /// Binds the listener, builds the shared state (queue + process-wide
-    /// trace cache), and prepares `config.workers` simulation workers.
+    /// Binds the listener, opens the trace store (when `--trace-dir` is
+    /// set), builds the shared state (queue + process-wide trace cache),
+    /// and prepares `config.workers` simulation workers.
     ///
     /// # Errors
     ///
-    /// Returns the bind error.
+    /// Returns the bind error, or the I/O error when the trace store
+    /// directories cannot be created.
     pub fn bind(config: &ServiceConfig) -> io::Result<Service> {
+        let store = config
+            .trace_dir
+            .as_ref()
+            .map(|dir| TraceStore::open(dir).map(Arc::new))
+            .transpose()?;
         let state = Arc::new(ServiceState {
             queue: JobQueue::bounded(config.queue_capacity.max(1)),
             cache: TraceCache::with_capacity(config.cache_capacity.max(1)),
+            store,
             shutdown: OnceLock::new(),
             model_walls: Mutex::new(HashMap::new()),
             started: Instant::now(),
@@ -315,7 +417,7 @@ impl Service {
             ServerConfig {
                 addr: config.addr,
                 connection_threads: config.connection_threads.max(1),
-                max_body_bytes: tensordash_server::http::DEFAULT_MAX_BODY_BYTES,
+                max_body_bytes: config.max_body_bytes.max(1),
                 idle_shutdown: config.idle_shutdown,
             },
             Arc::clone(&state) as Arc<dyn Handler>,

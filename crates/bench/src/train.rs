@@ -8,11 +8,13 @@
 //! same `simulate_batch`/report code the `run`/`--config` paths use.
 //!
 //! With `--record <FILE>` the run also writes a versioned
-//! [`TraceRecording`] artifact; `--replay <FILE>` rebuilds the report
-//! from such an artifact **byte-identically** to the live run that
-//! produced it (the CI gate `cmp`s the two JSON files), and the same
-//! artifact replays through `--config`/`serve` via the
-//! `[eval.source] recorded = "<file>"` spec key.
+//! [`TraceRecording`] artifact — v1 JSON when the file name ends in
+//! `.json`, the compact `tensordash-trace/2` binary otherwise;
+//! `--replay <FILE>` accepts either encoding and rebuilds the report
+//! **byte-identically** to the live run that produced it (the CI gate
+//! `cmp`s the two JSON files), and the same artifact replays through
+//! `--config`/`serve` via the `[eval.source] recorded = "<file>"` spec
+//! key or, once uploaded to the trace store, `stored = "<digest>"`.
 
 use crate::experiment::write_json_report;
 use rand::{rngs::StdRng, SeedableRng};
@@ -203,9 +205,9 @@ pub fn run(options: &TrainOptions) -> Result<(), String> {
     let sim = Simulator::paper();
     let recording = match &options.replay {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
+            let bytes = std::fs::read(path)
                 .map_err(|e| format!("cannot read artifact `{}`: {e}", path.display()))?;
-            let recording = TraceRecording::from_json(&text)
+            let recording = TraceRecording::from_bytes(&bytes)
                 .map_err(|e| format!("invalid artifact `{}`: {e}", path.display()))?;
             println!(
                 "replaying `{}`: {} recorded epoch(s), {} lanes",
@@ -222,7 +224,15 @@ pub fn run(options: &TrainOptions) -> Result<(), String> {
             );
             let recording = capture_training(options)?;
             if let Some(path) = &options.record {
-                std::fs::write(path, recording.to_json())
+                // `.json` keeps the human-inspectable v1 encoding; any
+                // other name gets the compact v2 binary (both replay and
+                // upload identically — same content digest).
+                let bytes = if path.extension().is_some_and(|e| e == "json") {
+                    recording.to_json().into_bytes()
+                } else {
+                    recording.to_bytes()
+                };
+                std::fs::write(path, bytes)
                     .map_err(|e| format!("cannot write artifact `{}`: {e}", path.display()))?;
                 println!("  -> recorded {}", path.display());
             }

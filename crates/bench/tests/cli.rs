@@ -219,8 +219,10 @@ fn bench_smoke_writes_a_perf_report() {
     assert!(text.contains("row-group"), "{text}");
     let json = std::fs::read_to_string(&out_path).unwrap();
     for key in [
-        "tensordash-bench/4",
+        "tensordash-bench/5",
         "live_masks_per_sec",
+        "load_masks_per_sec",
+        "pack_bytes_per_sec",
         "step_speedup",
         "group_speedup",
         "extraction_speedup",

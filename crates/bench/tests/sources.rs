@@ -150,28 +150,48 @@ fn recorded_artifact_replays_byte_identically_through_experiment_specs() {
 
 /// The record→replay acceptance gate, serve leg: the resident service
 /// returns the byte-identical report document for a recorded-source spec
-/// that a direct in-process run produces.
+/// that a direct in-process run produces. Served `recorded` paths resolve
+/// inside the service's `--trace-dir` jail, so the artifact lives there
+/// and the spec names it by relative path.
 #[test]
 fn recorded_artifact_replays_byte_identically_through_serve() {
+    use tensordash_bench::experiment::SourceContext;
     use tensordash_bench::service::{Service, ServiceConfig};
     use tensordash_server::http::client_request;
+    use tensordash_store::TraceStore;
 
     const TIMEOUT: Duration = Duration::from_secs(30);
 
     let (_, recording) = smoke_training();
-    let path = temp_file("serve.trace.json");
-    std::fs::write(&path, recording.to_json()).unwrap();
+    let dir = std::env::temp_dir().join(format!("tensordash-sources-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("serve.trace.json"), recording.to_json()).unwrap();
 
     let spec = ExperimentSpec::new("serve-replay").with_eval(
         EvalSpec::builder()
             .progress(1.0)
-            .recorded(path.to_string_lossy())
+            .recorded("serve.trace.json")
             .build()
             .unwrap(),
     );
-    let expected = json::write(&spec.report_document(&spec.run().unwrap()));
+    // The direct leg resolves the same relative path through the same
+    // jailed context the service will use.
+    let store = TraceStore::open(&dir).unwrap();
+    let reports = spec
+        .run_in(
+            &TraceCache::new(),
+            &SourceContext::service(Some(&store)),
+            &mut |_, _| {},
+        )
+        .unwrap();
+    let expected = json::write(&spec.report_document(&reports));
+    drop(store);
 
-    let service = Service::bind(&ServiceConfig::default()).unwrap();
+    let service = Service::bind(&ServiceConfig {
+        trace_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
     let addr = service.local_addr();
     let running = service.spawn();
 
@@ -201,23 +221,22 @@ fn recorded_artifact_replays_byte_identically_through_serve() {
     assert_eq!(report, expected, "serve replay diverged from direct run");
 
     // A recorded source combined with models must 400 at submission.
-    let conflicted = format!(
-        r#"{{"models": ["AlexNet"], "eval": {{"source": {{"recorded": "{}"}}}}}}"#,
-        path.to_string_lossy()
-    );
+    let conflicted =
+        r#"{"models": ["AlexNet"], "eval": {"source": {"recorded": "serve.trace.json"}}}"#;
     let (status, body) =
-        client_request(addr, "POST", "/v1/experiments", Some(&conflicted), TIMEOUT).unwrap();
+        client_request(addr, "POST", "/v1/experiments", Some(conflicted), TIMEOUT).unwrap();
     assert_eq!(status, 400, "{body}");
     assert!(body.contains("recorded source"), "{body}");
 
     // A missing artifact must 400 too, not consume a queue slot.
-    let missing = r#"{"eval": {"source": {"recorded": "/nonexistent.trace.json"}}}"#;
+    let missing = r#"{"eval": {"source": {"recorded": "nonexistent.trace.json"}}}"#;
     let (status, body) =
         client_request(addr, "POST", "/v1/experiments", Some(missing), TIMEOUT).unwrap();
     assert_eq!(status, 400, "{body}");
     assert!(body.contains("not found"), "{body}");
 
     running.shutdown_and_join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Source-identity cache keys: a calibrated build and a recorded build

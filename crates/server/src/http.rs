@@ -3,9 +3,10 @@
 //! dimension so a misbehaving client cannot wedge a worker.
 //!
 //! Supported: `GET`/`POST`/`DELETE` request lines, header parsing,
-//! `Content-Length` bodies, and one response per connection
+//! `Content-Length` bodies, chunked (`Transfer-Encoding: chunked`)
+//! request bodies for streaming uploads, and one response per connection
 //! (`Connection: close` semantics — every exchange opens a fresh TCP
-//! connection). Unsupported on purpose: keep-alive, chunked transfer,
+//! connection). Unsupported on purpose: keep-alive, chunked *responses*,
 //! multipart, TLS.
 
 use std::io::{self, BufReader, Read, Write};
@@ -117,27 +118,33 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = headers
+    let chunked = headers
         .iter()
-        .find(|(name, _)| name == "content-length")
-        .map(|(_, value)| {
-            value
-                .parse::<usize>()
-                .map_err(|_| ParseError::Malformed(format!("content-length `{value}`")))
-        })
-        .transpose()?
-        .unwrap_or(0);
-    if content_length > max_body_bytes {
-        return Err(ParseError::BodyTooLarge(max_body_bytes));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            ParseError::ConnectionClosed
-        } else {
-            ParseError::Io(e)
+        .any(|(name, value)| name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        // Streaming upload: the client does not know the total size up
+        // front (`curl -T`, the loadtest uploader). The cap is enforced
+        // *during* decode, so an unbounded stream dies at the limit
+        // instead of filling memory first.
+        read_chunked_body(&mut reader, max_body_bytes)?
+    } else {
+        let content_length = headers
+            .iter()
+            .find(|(name, _)| name == "content-length")
+            .map(|(_, value)| {
+                value
+                    .parse::<usize>()
+                    .map_err(|_| ParseError::Malformed(format!("content-length `{value}`")))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        if content_length > max_body_bytes {
+            return Err(ParseError::BodyTooLarge(max_body_bytes));
         }
-    })?;
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).map_err(eof_as_closed)?;
+        body
+    };
 
     Ok(Request {
         method,
@@ -146,6 +153,79 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
         headers,
         body,
     })
+}
+
+fn eof_as_closed(e: io::Error) -> ParseError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        ParseError::ConnectionClosed
+    } else {
+        ParseError::Io(e)
+    }
+}
+
+/// Decodes a `Transfer-Encoding: chunked` body: hex-sized chunks, each
+/// followed by CRLF, terminated by a zero chunk and (ignored) trailers.
+/// The total is capped at `max_body_bytes` **before** each chunk is
+/// read.
+fn read_chunked_body(
+    reader: &mut BufReader<&mut TcpStream>,
+    max_body_bytes: usize,
+) -> Result<Vec<u8>, ParseError> {
+    // Chunk-size lines have their own budget; they do not count against
+    // the request head.
+    let mut body = Vec::new();
+    loop {
+        let line = read_chunk_line(reader)?;
+        // Strip chunk extensions (`;name=value`).
+        let size_text = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| ParseError::Malformed(format!("chunk size `{line}`")))?;
+        if size == 0 {
+            // Trailers (if any) end at the first empty line.
+            loop {
+                if read_chunk_line(reader)?.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if body.len().saturating_add(size) > max_body_bytes {
+            return Err(ParseError::BodyTooLarge(max_body_bytes));
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader
+            .read_exact(&mut body[start..])
+            .map_err(eof_as_closed)?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf).map_err(eof_as_closed)?;
+        if &crlf != b"\r\n" {
+            return Err(ParseError::Malformed("chunk missing CRLF".to_string()));
+        }
+    }
+}
+
+/// A CRLF-terminated line inside the chunked body framing (sizes and
+/// trailers), with its own small length cap.
+fn read_chunk_line(reader: &mut BufReader<&mut TcpStream>) -> Result<String, ParseError> {
+    const MAX_CHUNK_LINE: usize = 256;
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte).map_err(eof_as_closed)?;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| ParseError::Malformed("non-UTF-8 chunk framing".to_string()));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_CHUNK_LINE {
+            return Err(ParseError::Malformed(
+                "chunk size line too long".to_string(),
+            ));
+        }
+    }
 }
 
 fn read_line(
@@ -231,11 +311,13 @@ impl Response {
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            201 => "Created",
             202 => "Accepted",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            409 => "Conflict",
             413 => "Payload Too Large",
             429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
@@ -305,16 +387,39 @@ pub fn client_request(
     body: Option<&str>,
     timeout: Duration,
 ) -> io::Result<(u16, String)> {
+    client_request_bytes(
+        addr,
+        method,
+        path,
+        body.unwrap_or("").as_bytes(),
+        "application/json",
+        timeout,
+    )
+}
+
+/// As [`client_request`], but with raw body bytes and an explicit
+/// content type — the upload path for binary trace artifacts.
+///
+/// # Errors
+///
+/// As [`client_request`].
+pub fn client_request_bytes(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    content_type: &str,
+    timeout: Duration,
+) -> io::Result<(u16, String)> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let body = body.unwrap_or("");
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(body)?;
     stream.flush()?;
 
     let mut raw = String::new();
@@ -401,6 +506,89 @@ mod tests {
             exchange(b"POST / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n"),
             Err(ParseError::BodyTooLarge(_))
         ));
+    }
+
+    #[test]
+    fn decodes_chunked_uploads_with_extensions_and_trailers() {
+        let req = exchange(
+            b"POST /v1/traces HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              4;ext=1\r\nbody\r\n5\r\n-more\r\n0\r\nx-trailer: ignored\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"body-more");
+        // Chunked wins over a stray content-length, per RFC 9112.
+        let req = exchange(
+            b"POST / HTTP/1.1\r\ncontent-length: 3\r\ntransfer-encoding: chunked\r\n\r\n\
+              2\r\nab\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"ab");
+    }
+
+    #[test]
+    fn chunked_bodies_are_capped_and_validated_mid_decode() {
+        // A stream that would exceed the cap dies at the offending chunk,
+        // not after buffering it.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nffffffff\r\n")
+                .unwrap();
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let parsed = read_request(&mut stream, 1024);
+        assert!(matches!(parsed, Err(ParseError::BodyTooLarge(1024))));
+        drop(stream);
+        client.join().unwrap();
+
+        // Malformed framing errors cleanly.
+        assert!(matches!(
+            exchange(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            exchange(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n2\r\nabXX0\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        // A truncated chunk reads as a closed connection.
+        assert!(matches!(
+            exchange(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n8\r\nab"),
+            Err(ParseError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn binary_client_round_trips_raw_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream, DEFAULT_MAX_BODY_BYTES).unwrap();
+            assert_eq!(req.body, [0u8, 159, 146, 150]);
+            assert!(req
+                .headers
+                .iter()
+                .any(|(n, v)| n == "content-type" && v == "application/octet-stream"));
+            Response::json(201, "{\"ok\": true}")
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let (status, body) = client_request_bytes(
+            addr,
+            "POST",
+            "/v1/traces",
+            &[0u8, 159, 146, 150],
+            "application/octet-stream",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(status, 201);
+        assert_eq!(body, "{\"ok\": true}");
+        server.join().unwrap();
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! plus `EvalSpec` — fully describes an experiment's machine and
 //! methodology. Since the `TraceSource` refactor it also names *where
 //! traces come from* ([`TraceSourceSpec`]): the calibrated model-zoo
-//! profiles (the default), or a recorded training artifact replayed
-//! bit-exactly.
+//! profiles (the default), a recorded training artifact replayed
+//! bit-exactly from a path, or a store-resident artifact addressed by
+//! its content digest.
 
 use std::fmt;
 use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
@@ -26,8 +27,14 @@ pub enum TraceSourceSpec {
     /// Replay a recorded training artifact (`tensordash train --record`)
     /// from a file path, bit-exactly as captured.
     Recorded {
-        /// Path to the `.trace.json` artifact.
+        /// Path to the artifact (v1 `.trace.json` or v2 `.trace.bin`).
         path: String,
+    },
+    /// Replay an artifact from the content-addressed trace store by its
+    /// digest (`tensordash trace pack` / `POST /v1/traces` both print it).
+    Stored {
+        /// The content digest, as 1–16 lowercase hex digits.
+        digest: String,
     },
 }
 
@@ -36,6 +43,7 @@ impl fmt::Display for TraceSourceSpec {
         match self {
             TraceSourceSpec::Calibrated => f.write_str("calibrated"),
             TraceSourceSpec::Recorded { path } => write!(f, "recorded `{path}`"),
+            TraceSourceSpec::Stored { digest } => write!(f, "stored trace {digest}"),
         }
     }
 }
@@ -47,20 +55,36 @@ impl Serialize for TraceSourceSpec {
             TraceSourceSpec::Recorded { path } => {
                 Value::Table(vec![("recorded".to_string(), Value::Str(path.clone()))])
             }
+            TraceSourceSpec::Stored { digest } => {
+                Value::Table(vec![("stored".to_string(), Value::Str(digest.clone()))])
+            }
         }
     }
 }
 
 impl Deserialize for TraceSourceSpec {
-    /// Accepts the string `"calibrated"` or a `{ recorded = "<path>" }`
-    /// table; anything else is rejected with the allowed shapes.
+    /// Accepts the string `"calibrated"`, a `{ recorded = "<path>" }`
+    /// table, or a `{ stored = "<digest>" }` table; anything else is
+    /// rejected with the allowed shapes.
     fn deserialize(value: &Value) -> Result<Self, SerdeError> {
         match value {
             Value::Str(s) if s == "calibrated" => Ok(TraceSourceSpec::Calibrated),
             Value::Str(other) => Err(SerdeError::new(format!(
-                "unknown trace source `{other}` (expected \"calibrated\" or {{ recorded = \"<path>\" }})"
+                "unknown trace source `{other}` (expected \"calibrated\", {{ recorded = \"<path>\" }}, or {{ stored = \"<digest>\" }})"
             ))),
-            Value::Table(_) => {
+            Value::Table(entries) => {
+                if entries.iter().any(|(k, _)| k == "stored") {
+                    value.expect_keys(&["stored"])?;
+                    let digest: String = value.field("stored")?;
+                    if digest.is_empty() || digest.len() > 16
+                        || !digest.bytes().all(|b| b.is_ascii_hexdigit())
+                    {
+                        return Err(SerdeError::new(format!(
+                            "stored source digest must be 1-16 hex digits, got `{digest}`"
+                        )));
+                    }
+                    return Ok(TraceSourceSpec::Stored { digest });
+                }
                 value.expect_keys(&["recorded"])?;
                 let path: String = value.field("recorded")?;
                 if path.is_empty() {
@@ -147,6 +171,8 @@ pub enum EvalSpecError {
     },
     /// A recorded source needs a non-empty artifact path.
     RecordedPath,
+    /// A stored source needs a 1–16 hex-digit content digest.
+    StoredDigest(String),
 }
 
 impl fmt::Display for EvalSpecError {
@@ -164,6 +190,12 @@ impl fmt::Display for EvalSpecError {
             ),
             EvalSpecError::RecordedPath => {
                 write!(f, "recorded source path must not be empty")
+            }
+            EvalSpecError::StoredDigest(digest) => {
+                write!(
+                    f,
+                    "stored source digest must be 1-16 hex digits, got `{digest}`"
+                )
             }
         }
     }
@@ -249,15 +281,25 @@ impl EvalSpecBuilder {
         self
     }
 
+    /// Shorthand for a store-resident source addressed by content digest.
+    #[must_use]
+    pub fn stored(mut self, digest: impl Into<String>) -> Self {
+        self.source = TraceSourceSpec::Stored {
+            digest: digest.into(),
+        };
+        self
+    }
+
     /// Validates and assembles the spec.
     ///
     /// # Errors
     ///
     /// Returns [`EvalSpecError::Progress`] when progress is outside
     /// `[0, 1]`, [`EvalSpecError::Streams`] when a
-    /// [`streams`](EvalSpecBuilder::streams) cap is zero, and
+    /// [`streams`](EvalSpecBuilder::streams) cap is zero,
     /// [`EvalSpecError::RecordedPath`] when a recorded source names an
-    /// empty path.
+    /// empty path, and [`EvalSpecError::StoredDigest`] when a stored
+    /// source's digest is not 1–16 hex digits.
     pub fn build(self) -> Result<EvalSpec, EvalSpecError> {
         if !(0.0..=1.0).contains(&self.progress) || self.progress.is_nan() {
             return Err(EvalSpecError::Progress(self.progress));
@@ -276,6 +318,14 @@ impl EvalSpecBuilder {
         };
         if matches!(&self.source, TraceSourceSpec::Recorded { path } if path.is_empty()) {
             return Err(EvalSpecError::RecordedPath);
+        }
+        if let TraceSourceSpec::Stored { digest } = &self.source {
+            if digest.is_empty()
+                || digest.len() > 16
+                || !digest.bytes().all(|b| b.is_ascii_hexdigit())
+            {
+                return Err(EvalSpecError::StoredDigest(digest.clone()));
+            }
         }
         Ok(EvalSpec {
             sample,
@@ -414,6 +464,46 @@ mod tests {
         assert_eq!(
             EvalSpec::builder().recorded("").build().unwrap_err(),
             EvalSpecError::RecordedPath
+        );
+    }
+
+    #[test]
+    fn stored_sources_roundtrip_and_validate() {
+        let spec = EvalSpec::builder()
+            .stored("00ff00ff00ff00ff")
+            .build()
+            .unwrap();
+        assert_eq!(
+            spec.source,
+            TraceSourceSpec::Stored {
+                digest: "00ff00ff00ff00ff".to_string()
+            }
+        );
+        let text = to_toml_string(&spec).unwrap();
+        assert!(text.contains("stored"), "{text}");
+        assert_eq!(from_toml_str::<EvalSpec>(&text).unwrap(), spec);
+
+        // The TOML shape a config file writes.
+        let parsed: EvalSpec = from_toml_str("[source]\nstored = \"da5a\"").unwrap();
+        assert_eq!(
+            parsed.source,
+            TraceSourceSpec::Stored {
+                digest: "da5a".to_string()
+            }
+        );
+
+        // Non-hex, empty, and oversized digests are rejected at parse
+        // and at build.
+        assert!(from_toml_str::<EvalSpec>("[source]\nstored = \"\"").is_err());
+        assert!(from_toml_str::<EvalSpec>("[source]\nstored = \"xyz\"").is_err());
+        assert!(from_toml_str::<EvalSpec>("[source]\nstored = \"00000000000000ff0\"").is_err());
+        assert_eq!(
+            EvalSpec::builder().stored("nope").build().unwrap_err(),
+            EvalSpecError::StoredDigest("nope".to_string())
+        );
+        // `recorded` and `stored` are exclusive keys.
+        assert!(
+            from_toml_str::<EvalSpec>("[source]\nstored = \"ff\"\nrecorded = \"x.json\"").is_err()
         );
     }
 

@@ -1,0 +1,689 @@
+//! # tensordash-store
+//!
+//! The content-addressed on-disk trace store behind `--trace-dir`: every
+//! object is a canonical `tensordash-trace/2` artifact named by its
+//! [content digest](tensordash_trace::canonical_digest), so identical
+//! uploads dedupe to one file, a digest fully identifies a trace across
+//! machines and restarts, and the service can hand any consumer the same
+//! recording byte-for-byte.
+//!
+//! ```text
+//! <root>/
+//!   objects/<digest:016x>.trace.bin   one canonical v2 artifact each
+//!   tmp/<pid>-<n>.tmp                 in-flight writes (crash litter is
+//!                                     reclaimed by `gc`)
+//! ```
+//!
+//! Writes are atomic: bytes land in `tmp/`, are flushed, and are renamed
+//! into `objects/` — readers never observe a partial object, even with
+//! concurrent uploaders of the same artifact (the rename is idempotent
+//! because both writers carry identical canonical bytes). Inserts accept
+//! either wire encoding (v1 JSON or v2 binary) and always store the
+//! canonical v2 form, keeping one on-disk representation per trace
+//! regardless of how it arrived.
+//!
+//! Deletion is explicit and conservative: [`TraceStore::gc`] removes tmp
+//! litter plus any object that is neither in the caller's keep-list nor
+//! currently [pinned](TraceStore::pin) by an in-process reader.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tensordash_trace::{RecordedSource, TraceRecording};
+
+/// The file extension of every stored object.
+pub const OBJECT_EXT: &str = ".trace.bin";
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem trouble.
+    Io(io::Error),
+    /// The uploaded or stored bytes do not parse as a trace artifact (or
+    /// an on-disk object no longer hashes to its name).
+    Corrupt(String),
+    /// No object with this digest exists.
+    Missing(u64),
+    /// The uploader declared one digest, the bytes hash to another —
+    /// the transfer was truncated or the client packed a different
+    /// artifact than it thinks (HTTP maps this to 409).
+    DigestMismatch {
+        /// What the uploader declared.
+        expected: u64,
+        /// What the bytes actually hash to.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "trace store I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt trace artifact: {msg}"),
+            StoreError::Missing(digest) => {
+                write!(f, "no stored trace with digest {digest:016x}")
+            }
+            StoreError::DigestMismatch { expected, actual } => write!(
+                f,
+                "digest mismatch: upload declared {expected:016x}, bytes hash to {actual:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// What one insert did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The artifact's content digest (its name in the store).
+    pub digest: u64,
+    /// Size of the stored canonical v2 object in bytes.
+    pub bytes: u64,
+    /// Whether an identical object was already present (nothing was
+    /// written).
+    pub deduplicated: bool,
+}
+
+/// One stored object, as reported by [`TraceStore::stat`]/[`TraceStore::list`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectStat {
+    /// The object's content digest.
+    pub digest: u64,
+    /// Its size in bytes.
+    pub bytes: u64,
+}
+
+/// What one [`TraceStore::gc`] pass reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Objects removed (unpinned and not in the keep-list).
+    pub removed_objects: usize,
+    /// Abandoned `tmp/` files removed.
+    pub removed_tmp: usize,
+    /// Objects left in place.
+    pub kept: usize,
+    /// Bytes freed across objects and tmp litter.
+    pub bytes_freed: u64,
+}
+
+/// Monotonic operation counters plus a scan of the current contents —
+/// the `store` table of the service's `/metrics` document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Objects currently on disk.
+    pub objects: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
+    /// Successful inserts since open (including dedups).
+    pub uploads: u64,
+    /// Inserts that found their object already present.
+    pub dedup_hits: u64,
+    /// Objects removed by `gc` since open.
+    pub gc_removed: u64,
+    /// Digests currently pinned by in-process readers.
+    pub pinned: u64,
+}
+
+/// Parses a `{digest:016x}` hex string (as printed by the CLI and the
+/// upload response) back to the digest.
+#[must_use]
+pub fn parse_digest(text: &str) -> Option<u64> {
+    if text.is_empty() || text.len() > 16 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+/// The content-addressed store over one `--trace-dir` root. Cheap to
+/// share behind an `Arc`; all operations take `&self`.
+#[derive(Debug)]
+pub struct TraceStore {
+    root: PathBuf,
+    pins: Mutex<HashMap<u64, usize>>,
+    tmp_counter: AtomicU64,
+    uploads: AtomicU64,
+    dedup_hits: AtomicU64,
+    gc_removed: AtomicU64,
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the `objects/`/`tmp/` directories
+    /// cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        Ok(TraceStore {
+            root,
+            pins: Mutex::new(HashMap::new()),
+            tmp_counter: AtomicU64::new(0),
+            uploads: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            gc_removed: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Where the object for `digest` lives (whether or not it exists).
+    #[must_use]
+    pub fn object_path(&self, digest: u64) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(format!("{digest:016x}{OBJECT_EXT}"))
+    }
+
+    /// Whether an object with this digest is present.
+    #[must_use]
+    pub fn contains(&self, digest: u64) -> bool {
+        self.object_path(digest).is_file()
+    }
+
+    /// Ingests an artifact in either wire encoding, storing the
+    /// canonical v2 form under its content digest. `expected` (the
+    /// digest the uploader declared, if any) is verified **before**
+    /// anything is committed. Identical re-uploads dedupe: the existing
+    /// object is left untouched and the outcome says so.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when the bytes do not parse,
+    /// [`StoreError::DigestMismatch`] when `expected` disagrees with the
+    /// content, [`StoreError::Io`] on filesystem trouble.
+    pub fn insert_bytes(
+        &self,
+        bytes: &[u8],
+        expected: Option<u64>,
+    ) -> Result<InsertOutcome, StoreError> {
+        let recording =
+            TraceRecording::from_bytes(bytes).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        self.insert_recording_with(&recording, expected, tensordash_trace::is_v2(bytes), bytes)
+    }
+
+    /// Ingests an in-memory recording (the `train --record` path when a
+    /// store is the destination).
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceStore::insert_bytes`], minus the parse failure.
+    pub fn insert_recording(
+        &self,
+        recording: &TraceRecording,
+    ) -> Result<InsertOutcome, StoreError> {
+        self.insert_recording_with(recording, None, false, &[])
+    }
+
+    fn insert_recording_with(
+        &self,
+        recording: &TraceRecording,
+        expected: Option<u64>,
+        input_is_v2: bool,
+        input_bytes: &[u8],
+    ) -> Result<InsertOutcome, StoreError> {
+        let digest = tensordash_trace::canonical_digest(recording);
+        if let Some(expected) = expected {
+            if expected != digest {
+                return Err(StoreError::DigestMismatch {
+                    expected,
+                    actual: digest,
+                });
+            }
+        }
+        let target = self.object_path(digest);
+        if let Ok(meta) = fs::metadata(&target) {
+            self.uploads.fetch_add(1, Ordering::Relaxed);
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(InsertOutcome {
+                digest,
+                bytes: meta.len(),
+                deduplicated: true,
+            });
+        }
+        // v2 input *is* the canonical form (the decoder verified its
+        // digest), so it lands on disk as-is; v1 input is re-encoded.
+        let canonical;
+        let object_bytes: &[u8] = if input_is_v2 {
+            input_bytes
+        } else {
+            canonical = recording.to_bytes();
+            &canonical
+        };
+        self.write_atomic(&target, object_bytes)?;
+        self.uploads.fetch_add(1, Ordering::Relaxed);
+        Ok(InsertOutcome {
+            digest,
+            bytes: object_bytes.len() as u64,
+            deduplicated: false,
+        })
+    }
+
+    /// Stage-and-rename: the object appears in `objects/` complete or
+    /// not at all. Unique tmp names keep concurrent uploaders off each
+    /// other's staging files; the final rename is atomic and idempotent
+    /// (every writer of one digest carries identical canonical bytes).
+    fn write_atomic(&self, target: &Path, bytes: &[u8]) -> io::Result<()> {
+        let staged = self.root.join("tmp").join(format!(
+            "{}-{}.tmp",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut file = fs::File::create(&staged)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        let renamed = fs::rename(&staged, target);
+        if renamed.is_err() {
+            let _ = fs::remove_file(&staged);
+        }
+        renamed
+    }
+
+    /// Loads the object for `digest` as a replayable source, verifying
+    /// that the bytes still hash to their name (bit-rot detection).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Missing`] when no such object exists,
+    /// [`StoreError::Corrupt`] when it no longer parses or hashes to a
+    /// different digest.
+    pub fn load(&self, digest: u64) -> Result<RecordedSource, StoreError> {
+        let path = self.object_path(digest);
+        let bytes = fs::read(&path).map_err(|e| {
+            if e.kind() == io::ErrorKind::NotFound {
+                StoreError::Missing(digest)
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        let source =
+            RecordedSource::from_bytes(&bytes).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        if source.digest() != digest {
+            return Err(StoreError::Corrupt(format!(
+                "object {digest:016x} hashes to {:016x}",
+                source.digest()
+            )));
+        }
+        Ok(source)
+    }
+
+    /// The size of the object for `digest`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Missing`] when no such object exists.
+    pub fn stat(&self, digest: u64) -> Result<ObjectStat, StoreError> {
+        match fs::metadata(self.object_path(digest)) {
+            Ok(meta) => Ok(ObjectStat {
+                digest,
+                bytes: meta.len(),
+            }),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Err(StoreError::Missing(digest)),
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    /// Every stored object, sorted by digest. Files that do not follow
+    /// the `<16 hex>.trace.bin` naming are ignored (this store never
+    /// deletes or reports what it did not write).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the objects directory cannot be read.
+    pub fn list(&self) -> io::Result<Vec<ObjectStat>> {
+        let mut objects = Vec::new();
+        for entry in fs::read_dir(self.root.join("objects"))? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(digest) = name
+                .to_str()
+                .and_then(|n| n.strip_suffix(OBJECT_EXT))
+                .filter(|stem| stem.len() == 16)
+                .and_then(parse_digest)
+            else {
+                continue;
+            };
+            objects.push(ObjectStat {
+                digest,
+                bytes: entry.metadata()?.len(),
+            });
+        }
+        objects.sort_by_key(|o| o.digest);
+        Ok(objects)
+    }
+
+    /// Pins `digest` against GC for the guard's lifetime (the service
+    /// pins while a job replays from the store, so a concurrent `gc`
+    /// cannot delete a trace mid-run).
+    pub fn pin(&self, digest: u64) -> PinGuard<'_> {
+        *self
+            .pins
+            .lock()
+            .expect("pin table poisoned")
+            .entry(digest)
+            .or_insert(0) += 1;
+        PinGuard {
+            store: self,
+            digest,
+        }
+    }
+
+    /// Whether any in-process reader currently pins `digest`.
+    #[must_use]
+    pub fn is_pinned(&self, digest: u64) -> bool {
+        self.pins
+            .lock()
+            .expect("pin table poisoned")
+            .get(&digest)
+            .is_some_and(|&count| count > 0)
+    }
+
+    /// Removes abandoned `tmp/` files and every object that is neither
+    /// in `keep` nor currently pinned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when a directory scan or removal fails.
+    pub fn gc(&self, keep: &[u64]) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        for entry in fs::read_dir(self.root.join("tmp"))? {
+            let entry = entry?;
+            report.bytes_freed += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            fs::remove_file(entry.path())?;
+            report.removed_tmp += 1;
+        }
+        for object in self.list()? {
+            if keep.contains(&object.digest) || self.is_pinned(object.digest) {
+                report.kept += 1;
+                continue;
+            }
+            fs::remove_file(self.object_path(object.digest))?;
+            report.removed_objects += 1;
+            report.bytes_freed += object.bytes;
+        }
+        self.gc_removed
+            .fetch_add(report.removed_objects as u64, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Current contents plus the monotonic operation counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let (objects, bytes) = self
+            .list()
+            .map(|objects| {
+                (
+                    objects.len() as u64,
+                    objects.iter().map(|o| o.bytes).sum::<u64>(),
+                )
+            })
+            .unwrap_or((0, 0));
+        let pinned = self
+            .pins
+            .lock()
+            .expect("pin table poisoned")
+            .values()
+            .filter(|&&count| count > 0)
+            .count() as u64;
+        StoreStats {
+            objects,
+            bytes,
+            uploads: self.uploads.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            gc_removed: self.gc_removed.load(Ordering::Relaxed),
+            pinned,
+        }
+    }
+}
+
+/// Keeps one digest alive across [`TraceStore::gc`] until dropped.
+#[derive(Debug)]
+pub struct PinGuard<'a> {
+    store: &'a TraceStore,
+    digest: u64,
+}
+
+impl PinGuard<'_> {
+    /// The pinned digest.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        let mut pins = self.store.pins.lock().expect("pin table poisoned");
+        if let Some(count) = pins.get_mut(&self.digest) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.digest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use tensordash_trace::{
+        ConvDims, EpochRecord, RecordingMeta, SampleSpec, SparsityGen, TrainMetrics, TrainingOp,
+        UniformSparsity,
+    };
+
+    /// A unique, self-cleaning test directory (no tempfile crate in the
+    /// offline workspace).
+    struct TestDir(PathBuf);
+
+    impl TestDir {
+        fn new(label: &str) -> Self {
+            static NEXT: AtomicU32 = AtomicU32::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "tensordash-store-{label}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            TestDir(dir)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn tiny_recording(seed: u64) -> TraceRecording {
+        let dims = ConvDims::conv_square(1, 16, 6, 8, 3, 1, 1);
+        let sample = SampleSpec::new(4, 16);
+        let mut recording = TraceRecording::new(RecordingMeta {
+            name: format!("tiny-{seed}"),
+            epochs: 1,
+            batch_size: 8,
+            seed,
+            lanes: 16,
+            sample,
+        });
+        let mk = |op, s| UniformSparsity::new(0.5).op_trace(dims, op, 16, &sample, s);
+        recording.epochs.push(EpochRecord {
+            epoch: 0,
+            progress: 0.0,
+            metrics: TrainMetrics {
+                loss: 1.0,
+                accuracy: 0.5,
+                act_sparsity: 0.4,
+                grad_sparsity: 0.6,
+                weight_sparsity: 0.0,
+            },
+            layers: vec![(
+                "conv1".to_string(),
+                [
+                    mk(TrainingOp::Forward, seed + 1),
+                    mk(TrainingOp::InputGrad, seed + 2),
+                    mk(TrainingOp::WeightGrad, seed + 3),
+                ],
+            )],
+        });
+        recording
+    }
+
+    #[test]
+    fn insert_load_roundtrip_both_encodings_share_one_object() {
+        let dir = TestDir::new("roundtrip");
+        let store = TraceStore::open(&dir.0).unwrap();
+        let recording = tiny_recording(7);
+
+        let v2 = store.insert_bytes(&recording.to_bytes(), None).unwrap();
+        assert!(!v2.deduplicated);
+        // The same trace as v1 JSON dedupes onto the same object.
+        let v1 = store
+            .insert_bytes(recording.to_json().as_bytes(), None)
+            .unwrap();
+        assert!(v1.deduplicated);
+        assert_eq!(v1.digest, v2.digest);
+        assert_eq!(store.list().unwrap().len(), 1);
+
+        let loaded = store.load(v2.digest).unwrap();
+        assert_eq!(loaded.recording(), &recording);
+        assert_eq!(loaded.digest(), v2.digest);
+        assert_eq!(store.stat(v2.digest).unwrap().bytes, v2.bytes);
+
+        let stats = store.stats();
+        assert_eq!((stats.objects, stats.uploads, stats.dedup_hits), (1, 2, 1));
+    }
+
+    #[test]
+    fn expected_digest_is_verified_before_commit() {
+        let dir = TestDir::new("expected");
+        let store = TraceStore::open(&dir.0).unwrap();
+        let bytes = tiny_recording(1).to_bytes();
+        let err = store.insert_bytes(&bytes, Some(0xDEAD)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::DigestMismatch {
+                    expected: 0xDEAD,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Nothing was committed.
+        assert!(store.list().unwrap().is_empty());
+        let actual = tensordash_trace::canonical_digest(&tiny_recording(1));
+        assert!(
+            !store
+                .insert_bytes(&bytes, Some(actual))
+                .unwrap()
+                .deduplicated
+        );
+    }
+
+    #[test]
+    fn corrupt_uploads_and_missing_objects_error_cleanly() {
+        let dir = TestDir::new("corrupt");
+        let store = TraceStore::open(&dir.0).unwrap();
+        let err = store.insert_bytes(b"not a trace", None).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+        let err = store.load(0x1234).unwrap_err();
+        assert!(matches!(err, StoreError::Missing(0x1234)), "{err}");
+
+        // Bit-rot: an object whose bytes no longer match its name.
+        let good = store
+            .insert_bytes(&tiny_recording(2).to_bytes(), None)
+            .unwrap();
+        fs::write(
+            store.object_path(0xABCD),
+            fs::read(store.object_path(good.digest)).unwrap(),
+        )
+        .unwrap();
+        let err = store.load(0xABCD).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn gc_respects_keep_list_and_pins_and_clears_tmp() {
+        let dir = TestDir::new("gc");
+        let store = TraceStore::open(&dir.0).unwrap();
+        let kept = store
+            .insert_bytes(&tiny_recording(10).to_bytes(), None)
+            .unwrap();
+        let pinned = store
+            .insert_bytes(&tiny_recording(11).to_bytes(), None)
+            .unwrap();
+        let doomed = store
+            .insert_bytes(&tiny_recording(12).to_bytes(), None)
+            .unwrap();
+        fs::write(dir.0.join("tmp").join("999-0.tmp"), b"crash litter").unwrap();
+
+        let guard = store.pin(pinned.digest);
+        let report = store.gc(&[kept.digest]).unwrap();
+        assert_eq!(report.removed_objects, 1);
+        assert_eq!(report.removed_tmp, 1);
+        assert_eq!(report.kept, 2);
+        assert!(report.bytes_freed >= doomed.bytes);
+        assert!(store.contains(kept.digest));
+        assert!(store.contains(pinned.digest));
+        assert!(!store.contains(doomed.digest));
+
+        // Unpinning exposes the object to the next pass.
+        drop(guard);
+        let report = store.gc(&[kept.digest]).unwrap();
+        assert_eq!(report.removed_objects, 1);
+        assert!(!store.contains(pinned.digest));
+        assert_eq!(store.stats().gc_removed, 2);
+    }
+
+    #[test]
+    fn concurrent_identical_inserts_yield_one_object() {
+        let dir = TestDir::new("concurrent");
+        let store = TraceStore::open(&dir.0).unwrap();
+        let bytes = tiny_recording(42).to_bytes();
+        let digest = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| store.insert_bytes(&bytes, None).unwrap().digest))
+                .collect();
+            let digests: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(digests.windows(2).all(|w| w[0] == w[1]));
+            digests[0]
+        });
+        let objects = store.list().unwrap();
+        assert_eq!(objects.len(), 1);
+        assert_eq!(objects[0].digest, digest);
+        assert_eq!(store.stats().uploads, 8);
+        // Whatever interleaving happened, the object replays intact.
+        assert_eq!(store.load(digest).unwrap().recording(), &tiny_recording(42));
+    }
+
+    #[test]
+    fn digest_strings_parse_strictly() {
+        assert_eq!(parse_digest("00000000000000ff"), Some(0xFF));
+        assert_eq!(parse_digest("ff"), Some(0xFF));
+        assert_eq!(parse_digest(""), None);
+        assert_eq!(parse_digest("xyz"), None);
+        assert_eq!(parse_digest("00000000000000ff0"), None);
+    }
+}

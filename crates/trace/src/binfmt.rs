@@ -1,0 +1,605 @@
+//! The compact binary trace artifact: `tensordash-trace/2`.
+//!
+//! The v1 JSON artifact ([`record`](crate::record)) is the readable,
+//! diffable interchange form; this module is the *fast* one. A v2 file
+//! serializes the flat mask arena directly — length-prefixed `u64` word
+//! sections, per-op window-span tables, a fixed little-endian layout —
+//! so loading is a near-memcpy walk instead of a JSON parse.
+//!
+//! # Wire format
+//!
+//! All integers are little-endian. Strings are a `u64` byte length
+//! followed by UTF-8 bytes. Floats are stored as their IEEE-754 bit
+//! patterns in a `u64`.
+//!
+//! ```text
+//! file    := magic "TDTRACE2" (8 bytes) | digest u64 | payload
+//! payload := meta | epoch-count u64 | epoch*
+//! meta    := name str | epochs u64 | batch_size u64 | seed u64
+//!          | lanes u64 | max_windows u64 | max_rows u64 | block u64
+//! epoch   := epoch u64 | progress f64 | loss f64 | accuracy f64
+//!          | act_sparsity f64 | grad_sparsity f64 | weight_sparsity f64
+//!          | layer-count u64 | layer*
+//! layer   := name str | op op | op | op          (Forward, InputGrad, WeightGrad)
+//! op      := tag u8 (0|1|2) | lanes u64 | dims u64{9} | total_windows u64
+//!          | total_rows_per_window u64 | volumes u64{6}
+//!          | window-count u64 | rows-per-window u64{window-count}
+//!          | word-count u64 | mask-words u64{word-count}
+//! ```
+//!
+//! The span table stores only each window's row count: spans are always
+//! contiguous (window `i+1` starts where `i` ends), so offsets are
+//! reconstructed for free and the mask section is one flat run of words.
+//!
+//! # Content identity
+//!
+//! `digest` is 64-bit FNV-1a over `payload`. Because the payload is a
+//! *canonical* function of the recording (no formatting freedom), the
+//! header digest doubles as the recording's **content identity** across
+//! encodings: [`canonical_digest`] streams the same payload bytes through
+//! the hash without materializing them, and [`RecordedSource`] uses it
+//! for cache identity whether the artifact arrived as v1 JSON or v2
+//! binary — the cross-format dedup the trace store builds on.
+//!
+//! [`RecordedSource`]: crate::record::RecordedSource
+
+use crate::dims::{ConvDims, TrainingOp};
+use crate::record::{
+    validate_geometry, validate_lanes, EpochRecord, RecordingMeta, TraceRecording, TrainMetrics,
+};
+use crate::source::LayerOps;
+use crate::stream::{OpTrace, SampleSpec, TraceArena, TrafficVolumes};
+use tensordash_serde::Error as SerdeError;
+
+/// The 8-byte magic that opens every v2 artifact.
+pub const MAGIC: &[u8; 8] = b"TDTRACE2";
+
+/// The schema label of the binary format (reported by `trace inspect`;
+/// the wire carries the magic, not this string).
+pub const BINARY_SCHEMA: &str = "tensordash-trace/2";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Whether `bytes` look like a v2 artifact (magic check only — decoding
+/// still validates the digest and structure).
+#[must_use]
+pub fn is_v2(bytes: &[u8]) -> bool {
+    bytes.starts_with(MAGIC)
+}
+
+/// 64-bit FNV-1a over raw bytes (the byte-level twin of
+/// [`content_digest`](crate::record::content_digest)).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Where encoded payload bytes go: a buffer when writing a file, the
+/// running FNV state when only the digest is wanted. One encoder serves
+/// both, which is what keeps the header digest and [`canonical_digest`]
+/// the same value by construction.
+trait Sink {
+    fn put(&mut self, bytes: &[u8]);
+}
+
+impl Sink for Vec<u8> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+struct FnvSink(u64);
+
+impl Sink for FnvSink {
+    fn put(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+fn put_u64(sink: &mut impl Sink, v: u64) {
+    sink.put(&v.to_le_bytes());
+}
+
+fn put_f64(sink: &mut impl Sink, v: f64) {
+    put_u64(sink, v.to_bits());
+}
+
+fn put_str(sink: &mut impl Sink, s: &str) {
+    put_u64(sink, s.len() as u64);
+    sink.put(s.as_bytes());
+}
+
+fn op_tag(op: TrainingOp) -> u8 {
+    match op {
+        TrainingOp::Forward => 0,
+        TrainingOp::InputGrad => 1,
+        TrainingOp::WeightGrad => 2,
+    }
+}
+
+fn encode_op(sink: &mut impl Sink, trace: &OpTrace) {
+    sink.put(&[op_tag(trace.op)]);
+    put_u64(sink, trace.lanes as u64);
+    let d = trace.dims;
+    for field in [d.n, d.c, d.h, d.w, d.f, d.kh, d.kw, d.stride, d.padding] {
+        put_u64(sink, field as u64);
+    }
+    put_u64(sink, trace.total_windows);
+    put_u64(sink, trace.total_rows_per_window);
+    let v = trace.volumes;
+    for field in [
+        v.dense_elems,
+        v.dense_nonzero,
+        v.sched_elems,
+        v.sched_nonzero,
+        v.out_elems,
+        v.out_nonzero,
+    ] {
+        put_u64(sink, field);
+    }
+    let spans = trace.spans();
+    put_u64(sink, spans.len() as u64);
+    for span in spans {
+        put_u64(sink, span.rows as u64);
+    }
+    let masks = trace.arena_masks();
+    put_u64(sink, masks.len() as u64);
+    for &mask in masks {
+        put_u64(sink, mask);
+    }
+}
+
+fn encode_payload(sink: &mut impl Sink, recording: &TraceRecording) {
+    let meta = &recording.meta;
+    put_str(sink, &meta.name);
+    put_u64(sink, meta.epochs as u64);
+    put_u64(sink, meta.batch_size as u64);
+    put_u64(sink, meta.seed);
+    put_u64(sink, meta.lanes as u64);
+    put_u64(sink, meta.sample.max_windows as u64);
+    put_u64(sink, meta.sample.max_rows as u64);
+    put_u64(sink, meta.sample.block as u64);
+    put_u64(sink, recording.epochs.len() as u64);
+    for epoch in &recording.epochs {
+        put_u64(sink, epoch.epoch as u64);
+        put_f64(sink, epoch.progress);
+        let m = epoch.metrics;
+        for metric in [
+            m.loss,
+            m.accuracy,
+            m.act_sparsity,
+            m.grad_sparsity,
+            m.weight_sparsity,
+        ] {
+            put_f64(sink, metric);
+        }
+        put_u64(sink, epoch.layers.len() as u64);
+        for (name, ops) in &epoch.layers {
+            put_str(sink, name);
+            for op in ops {
+                encode_op(sink, op);
+            }
+        }
+    }
+}
+
+/// The recording's content identity: FNV-1a over the canonical v2
+/// payload, streamed through the hash without building the buffer. Equal
+/// for a recording loaded from v1 JSON and from v2 binary — and equal to
+/// the digest in the header an [`encode`] of this recording writes.
+#[must_use]
+pub fn canonical_digest(recording: &TraceRecording) -> u64 {
+    let mut sink = FnvSink(FNV_OFFSET);
+    encode_payload(&mut sink, recording);
+    sink.0
+}
+
+/// Serializes a recording to the complete v2 artifact (magic + digest +
+/// payload).
+#[must_use]
+pub fn encode(recording: &TraceRecording) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_payload(&mut payload, recording);
+    let digest = fnv1a(&payload);
+    let mut out = Vec::with_capacity(MAGIC.len() + 8 + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&digest.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// A bounds-checked cursor over the payload: every read that would run
+/// past the end becomes a clean parse error, so truncated or corrupt
+/// files can never panic the decoder.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerdeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| SerdeError::new("truncated v2 trace artifact"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SerdeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, SerdeError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(
+            bytes.try_into().expect("take(8) yields 8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, SerdeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` that must fit a `usize` element count whose elements
+    /// occupy at least `elem_bytes` each — the remaining input bounds the
+    /// count, so a corrupt length can never drive a huge allocation.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, SerdeError> {
+        let raw = self.u64()?;
+        let remaining = (self.bytes.len() - self.pos) / elem_bytes.max(1);
+        if raw as usize > remaining || usize::try_from(raw).is_err() {
+            return Err(SerdeError::new(format!(
+                "v2 section length {raw} exceeds the artifact's remaining bytes"
+            )));
+        }
+        Ok(raw as usize)
+    }
+
+    fn string(&mut self) -> Result<String, SerdeError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SerdeError::new("v2 string section is not UTF-8"))
+    }
+
+    fn usize(&mut self) -> Result<usize, SerdeError> {
+        usize::try_from(self.u64()?).map_err(|_| SerdeError::new("v2 integer exceeds usize"))
+    }
+}
+
+fn decode_op(reader: &mut Reader<'_>, meta_lanes: usize) -> Result<OpTrace, SerdeError> {
+    let op = match reader.u8()? {
+        0 => TrainingOp::Forward,
+        1 => TrainingOp::InputGrad,
+        2 => TrainingOp::WeightGrad,
+        tag => return Err(SerdeError::new(format!("unknown v2 op tag {tag}"))),
+    };
+    let lanes = reader.usize()?;
+    validate_lanes(lanes)?;
+    if lanes != meta_lanes {
+        return Err(SerdeError::new(format!(
+            "trace packed for {lanes} lanes, recording declares {meta_lanes}"
+        )));
+    }
+    let dims = ConvDims {
+        n: reader.usize()?,
+        c: reader.usize()?,
+        h: reader.usize()?,
+        w: reader.usize()?,
+        f: reader.usize()?,
+        kh: reader.usize()?,
+        kw: reader.usize()?,
+        stride: reader.usize()?,
+        padding: reader.usize()?,
+    };
+    validate_geometry(&dims)?;
+    let total_windows = reader.u64()?;
+    let total_rows_per_window = reader.u64()?;
+    let volumes = TrafficVolumes {
+        dense_elems: reader.u64()?,
+        dense_nonzero: reader.u64()?,
+        sched_elems: reader.u64()?,
+        sched_nonzero: reader.u64()?,
+        out_elems: reader.u64()?,
+        out_nonzero: reader.u64()?,
+    };
+    // The same structural rules as the v1 parser: at least one window,
+    // every window non-empty, uniform row counts.
+    let windows = reader.count(8)?;
+    if windows == 0 {
+        return Err(SerdeError::new("trace has no sampled windows"));
+    }
+    let mut rows_per_window = Vec::with_capacity(windows);
+    for i in 0..windows {
+        let rows = reader.usize()?;
+        if rows == 0 {
+            return Err(SerdeError::new(format!("window {i} has no rows")));
+        }
+        if rows != rows_per_window.first().copied().unwrap_or(rows) {
+            return Err(SerdeError::new(format!(
+                "ragged windows: window {i} has {rows} rows, window 0 has {}",
+                rows_per_window[0]
+            )));
+        }
+        rows_per_window.push(rows);
+    }
+    let words = reader.count(8)?;
+    if words != rows_per_window.iter().sum::<usize>() {
+        return Err(SerdeError::new(format!(
+            "mask section holds {words} words, span table declares {}",
+            rows_per_window.iter().sum::<usize>()
+        )));
+    }
+    let mask_bytes = reader.take(words * 8)?;
+    // The near-memcpy load: one pass over the word section, written
+    // straight into the arena buffer in window-sized chunks.
+    let mut arena = TraceArena::with_capacity(windows, rows_per_window[0]);
+    let mut offset = 0usize;
+    for &rows in &rows_per_window {
+        let chunk = &mask_bytes[offset * 8..(offset + rows) * 8];
+        arena.push_window_with(|buf| {
+            buf.extend(
+                chunk
+                    .chunks_exact(8)
+                    .map(|b| u64::from_le_bytes(b.try_into().expect("chunks_exact(8)"))),
+            );
+        });
+        offset += rows;
+    }
+    Ok(OpTrace::from_arena(
+        op,
+        lanes,
+        dims,
+        total_windows,
+        total_rows_per_window,
+        arena,
+        volumes,
+    ))
+}
+
+fn decode_payload(payload: &[u8]) -> Result<TraceRecording, SerdeError> {
+    let mut reader = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let name = reader.string()?;
+    let epochs_declared = reader.usize()?;
+    let batch_size = reader.usize()?;
+    let seed = reader.u64()?;
+    let lanes = reader.usize()?;
+    validate_lanes(lanes)?;
+    let max_windows = reader.usize()?;
+    let max_rows = reader.usize()?;
+    let block = reader.usize()?;
+    if max_windows == 0 || max_rows == 0 || block == 0 {
+        return Err(SerdeError::new("sampling caps must be positive"));
+    }
+    let sample = SampleSpec::new(max_windows, max_rows).with_block(block);
+    let meta = RecordingMeta {
+        name,
+        epochs: epochs_declared,
+        batch_size,
+        seed,
+        lanes,
+        sample,
+    };
+    let epoch_count = reader.count(8)?;
+    let mut epochs = Vec::with_capacity(epoch_count);
+    for _ in 0..epoch_count {
+        let epoch = reader.usize()?;
+        let progress = reader.f64()?;
+        if !(0.0..=1.0).contains(&progress) {
+            return Err(SerdeError::new(format!(
+                "epoch progress must be in [0, 1], got {progress}"
+            )));
+        }
+        let metrics = TrainMetrics {
+            loss: reader.f64()?,
+            accuracy: reader.f64()?,
+            act_sparsity: reader.f64()?,
+            grad_sparsity: reader.f64()?,
+            weight_sparsity: reader.f64()?,
+        };
+        let layer_count = reader.count(8)?;
+        let mut layers: Vec<LayerOps> = Vec::with_capacity(layer_count);
+        for _ in 0..layer_count {
+            let layer_name = reader.string()?;
+            let ops = [
+                decode_op(&mut reader, meta.lanes)?,
+                decode_op(&mut reader, meta.lanes)?,
+                decode_op(&mut reader, meta.lanes)?,
+            ];
+            layers.push((layer_name, ops));
+        }
+        epochs.push(EpochRecord {
+            epoch,
+            progress,
+            metrics,
+            layers,
+        });
+    }
+    if reader.pos != payload.len() {
+        return Err(SerdeError::new(format!(
+            "{} trailing bytes after the last epoch",
+            payload.len() - reader.pos
+        )));
+    }
+    Ok(TraceRecording { meta, epochs })
+}
+
+/// Parses a complete v2 artifact, verifying the magic and the header
+/// digest before touching the payload structure.
+///
+/// # Errors
+///
+/// Returns [`SerdeError`] on a missing magic, a digest mismatch
+/// (bit-rot or truncation), or any of the structural violations the v1
+/// parser rejects (bad lane widths, invalid geometry, empty or ragged
+/// windows, out-of-range progress).
+pub fn decode(bytes: &[u8]) -> Result<TraceRecording, SerdeError> {
+    if !is_v2(bytes) {
+        return Err(SerdeError::new(format!(
+            "not a {BINARY_SCHEMA} artifact (bad magic)"
+        )));
+    }
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(SerdeError::new("truncated v2 trace artifact"));
+    }
+    let declared = u64::from_le_bytes(
+        bytes[MAGIC.len()..MAGIC.len() + 8]
+            .try_into()
+            .expect("8 header bytes"),
+    );
+    let payload = &bytes[MAGIC.len() + 8..];
+    let actual = fnv1a(payload);
+    if declared != actual {
+        return Err(SerdeError::new(format!(
+            "content digest mismatch: header declares {declared:016x}, payload hashes to {actual:016x}"
+        )));
+    }
+    decode_payload(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::content_digest;
+    use crate::sparsity::{SparsityGen, UniformSparsity};
+
+    fn tiny_recording() -> TraceRecording {
+        let dims = ConvDims::conv_square(1, 16, 6, 8, 3, 1, 1);
+        let sample = SampleSpec::new(4, 16);
+        let mut recording = TraceRecording::new(RecordingMeta {
+            name: "tiny".to_string(),
+            epochs: 2,
+            batch_size: 8,
+            seed: 7,
+            lanes: 16,
+            sample,
+        });
+        for epoch in 0..2usize {
+            let mk = |op, seed| UniformSparsity::new(0.5).op_trace(dims, op, 16, &sample, seed);
+            recording.epochs.push(EpochRecord {
+                epoch,
+                progress: epoch as f64,
+                metrics: TrainMetrics {
+                    loss: 1.25 + epoch as f64,
+                    accuracy: 0.5,
+                    act_sparsity: 0.4,
+                    grad_sparsity: 0.6,
+                    weight_sparsity: 0.0,
+                },
+                layers: vec![(
+                    "conv1".to_string(),
+                    [
+                        mk(TrainingOp::Forward, 1 + epoch as u64),
+                        mk(TrainingOp::InputGrad, 2 + epoch as u64),
+                        mk(TrainingOp::WeightGrad, 3 + epoch as u64),
+                    ],
+                )],
+            });
+        }
+        recording
+    }
+
+    #[test]
+    fn encode_decode_is_lossless() {
+        let recording = tiny_recording();
+        let bytes = encode(&recording);
+        assert!(is_v2(&bytes));
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, recording);
+        // Re-encoding the decode is byte-identical: the format is
+        // canonical, with no formatting freedom.
+        assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn header_digest_is_the_canonical_digest() {
+        let recording = tiny_recording();
+        let bytes = encode(&recording);
+        let header = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        assert_eq!(header, canonical_digest(&recording));
+        // And it matches the digest of the recording as reparsed from v1
+        // JSON — the cross-format identity satellite.
+        let reparsed = TraceRecording::from_json(&recording.to_json()).unwrap();
+        assert_eq!(canonical_digest(&reparsed), header);
+    }
+
+    #[test]
+    fn corrupt_artifacts_fail_cleanly() {
+        let bytes = encode(&tiny_recording());
+
+        // Wrong magic.
+        let err = decode(b"NOTATRACE").unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+
+        // Truncation (cut inside the mask section).
+        let err = decode(&bytes[..bytes.len() - 9]).unwrap_err();
+        assert!(err.to_string().contains("digest mismatch"), "{err}");
+
+        // A flipped payload byte trips the digest before the structure.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let err = decode(&flipped).unwrap_err();
+        assert!(err.to_string().contains("digest mismatch"), "{err}");
+
+        // Trailing garbage changes the payload, so the digest trips too.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&[0u8; 16]);
+        let err = decode(&padded).unwrap_err();
+        assert!(err.to_string().contains("digest mismatch"), "{err}");
+    }
+
+    /// Structural corruption behind a *valid* digest (an attacker or a
+    /// buggy writer can re-hash): the decoder re-validates everything
+    /// the v1 parser does.
+    #[test]
+    fn structurally_invalid_payloads_fail_like_v1() {
+        let seal = |payload: &[u8]| {
+            let mut out = Vec::new();
+            out.extend_from_slice(MAGIC);
+            out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+            out
+        };
+
+        // Patch the recording's lane count (offset: name len u64 + 4-byte
+        // name + epochs/batch/seed u64s) to zero.
+        let bytes = encode(&tiny_recording());
+        let mut payload = bytes[16..].to_vec();
+        let lanes_at = 8 + 4 + 8 * 3;
+        payload[lanes_at..lanes_at + 8].copy_from_slice(&0u64.to_le_bytes());
+        let err = decode(&seal(&payload)).unwrap_err();
+        assert!(err.to_string().contains("lane width"), "{err}");
+
+        // A section length far beyond the file is a clean error, not an
+        // allocation attempt.
+        let mut payload = bytes[16..].to_vec();
+        payload[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode(&seal(&payload)).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        // An empty payload is a truncation error.
+        let err = decode(&seal(&[])).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn byte_fnv_matches_text_fnv() {
+        assert_eq!(fnv1a(b"tensordash"), content_digest("tensordash"));
+        assert_eq!(fnv1a(b""), content_digest(""));
+    }
+}

@@ -30,11 +30,15 @@
 //! [`TraceSource`] trait ([`source`]): calibrated profiles
 //! (`tensordash-models`), live training (`tensordash-nn`), and recorded
 //! artifacts ([`record`] — versioned, lossless captures of a training
-//! run's traces, replayable bit-exactly).
+//! run's traces, replayable bit-exactly). Recordings serialize to two
+//! interchangeable encodings with one content identity: readable v1 JSON
+//! ([`record`]) and the compact binary `tensordash-trace/2` ([`binfmt`])
+//! whose load path is a near-memcpy walk over the mask arena.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod dims;
 pub mod extract;
 pub mod record;
@@ -43,6 +47,7 @@ pub mod sparsity;
 pub mod stats;
 pub mod stream;
 
+pub use binfmt::{canonical_digest, is_v2, BINARY_SCHEMA};
 pub use dims::{ConvDims, TrainingOp};
 pub use extract::{
     extract_op_trace, extract_op_trace_reference, sampled_window_indices, LayerTensors,

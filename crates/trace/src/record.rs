@@ -23,6 +23,12 @@
 //! bit-identical to the recording that produced it — which is what makes
 //! `tensordash train --record` → `tensordash train --replay` reports
 //! byte-identical, and what the CI record→replay gate checks.
+//!
+//! The compact binary twin of this schema — `tensordash-trace/2`, the
+//! near-memcpy load path the trace store serves — lives in
+//! [`binfmt`](crate::binfmt); [`TraceRecording::from_bytes`] and
+//! [`RecordedSource::from_bytes`] sniff and accept either encoding with
+//! the same content-addressed cache identity.
 
 use crate::dims::{ConvDims, TrainingOp};
 use crate::source::{LayerOps, SourceError, TraceRequest, TraceSource};
@@ -82,6 +88,36 @@ impl Serialize for OpTrace {
     }
 }
 
+/// Shared across the v1 and v2 parsers: a trace lane width must fit one
+/// `u64` mask word.
+pub(crate) fn validate_lanes(lanes: usize) -> Result<(), SerdeError> {
+    if !(1..=64).contains(&lanes) {
+        return Err(SerdeError::new(format!(
+            "trace lane width must be in 1..=64, got {lanes}"
+        )));
+    }
+    Ok(())
+}
+
+/// Shared across the v1 and v2 parsers: the geometry rules
+/// [`ConvDims::conv`] asserts, as a parse error instead of a panic.
+pub(crate) fn validate_geometry(dims: &ConvDims) -> Result<(), SerdeError> {
+    if dims.n == 0
+        || dims.c == 0
+        || dims.h == 0
+        || dims.w == 0
+        || dims.f == 0
+        || dims.kh == 0
+        || dims.kw == 0
+        || dims.stride == 0
+        || dims.kh > dims.h + 2 * dims.padding
+        || dims.kw > dims.w + 2 * dims.padding
+    {
+        return Err(SerdeError::new(format!("invalid layer geometry {dims}")));
+    }
+    Ok(())
+}
+
 impl Deserialize for OpTrace {
     /// Rebuilds the mask arena window by window. Lane width and geometry
     /// are validated so a corrupt artifact errors instead of panicking
@@ -89,25 +125,9 @@ impl Deserialize for OpTrace {
     fn deserialize(value: &Value) -> Result<Self, SerdeError> {
         let op = TrainingOp::deserialize(value.field_value("op")?).map_err(|e| e.at("op"))?;
         let lanes: usize = value.field("lanes")?;
-        if !(1..=64).contains(&lanes) {
-            return Err(SerdeError::new(format!(
-                "trace lane width must be in 1..=64, got {lanes}"
-            )));
-        }
+        validate_lanes(lanes)?;
         let dims = ConvDims::deserialize(value.field_value("dims")?).map_err(|e| e.at("dims"))?;
-        if dims.n == 0
-            || dims.c == 0
-            || dims.h == 0
-            || dims.w == 0
-            || dims.f == 0
-            || dims.kh == 0
-            || dims.kw == 0
-            || dims.stride == 0
-            || dims.kh > dims.h + 2 * dims.padding
-            || dims.kw > dims.w + 2 * dims.padding
-        {
-            return Err(SerdeError::new(format!("invalid layer geometry {dims}")));
-        }
+        validate_geometry(&dims)?;
         let total_windows: u64 = value.field("total_windows")?;
         let total_rows_per_window: u64 = value.field("total_rows_per_window")?;
         let volumes = TrafficVolumes::deserialize(value.field_value("volumes")?)
@@ -337,6 +357,29 @@ impl TraceRecording {
         tensordash_serde::from_json_str(text)
     }
 
+    /// The binary `tensordash-trace/2` artifact bytes
+    /// ([`binfmt::encode`](crate::binfmt::encode)).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::binfmt::encode(self)
+    }
+
+    /// Parses either artifact encoding by sniffing the leading bytes:
+    /// the v2 magic selects the binary decoder, anything else must be
+    /// UTF-8 v1 JSON.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceRecording::from_json`] / [`binfmt::decode`](crate::binfmt::decode).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SerdeError> {
+        if crate::binfmt::is_v2(bytes) {
+            return crate::binfmt::decode(bytes);
+        }
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| SerdeError::new("trace artifact is neither v2 binary nor UTF-8 JSON"))?;
+        TraceRecording::from_json(text)
+    }
+
     /// The recorded epoch whose `progress` is nearest to `progress`
     /// (ties resolve to the earlier epoch), or `None` for an empty
     /// recording.
@@ -403,9 +446,11 @@ impl Deserialize for TraceRecording {
     }
 }
 
-/// 64-bit FNV-1a over the artifact text — the cheap content digest that
-/// keys recorded builds in the trace cache (two paths to the same bytes
-/// share cache entries; touching the file invalidates them).
+/// 64-bit FNV-1a over a text. (Cache identity for recorded sources uses
+/// [`canonical_digest`](crate::binfmt::canonical_digest) over the
+/// recording's canonical binary payload instead, so v1 and v2 encodings
+/// of the same trace share one identity; this text-level digest remains
+/// for callers hashing arbitrary documents.)
 #[must_use]
 pub fn content_digest(text: &str) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
@@ -424,47 +469,63 @@ pub fn content_digest(text: &str) -> u64 {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecordedSource {
     recording: TraceRecording,
+    digest: u64,
     identity: String,
 }
 
 impl RecordedSource {
-    /// Wraps an in-memory recording. The cache identity digests the
-    /// canonical artifact text, so it matches a source later reloaded
-    /// from the written file.
+    /// Wraps an in-memory recording. The cache identity is the
+    /// [canonical digest](crate::binfmt::canonical_digest) of the
+    /// recording's *content* — not of any particular wire encoding — so
+    /// it matches a source later reloaded from the written file, whether
+    /// that file is v1 JSON or v2 binary.
     #[must_use]
     pub fn new(recording: TraceRecording) -> Self {
-        let digest = content_digest(&recording.to_json());
+        let digest = crate::binfmt::canonical_digest(&recording);
         RecordedSource {
             recording,
+            digest,
             identity: format!("recorded:{digest:016x}"),
         }
     }
 
     /// Parses an artifact text into a replayable source.
     ///
-    /// The cache identity digests the *input* text directly — loading an
-    /// artifact must not re-serialize the whole recording on the request
-    /// hot path. Artifacts written by this crate are canonical, so the
-    /// identity matches [`RecordedSource::new`] over the same recording;
-    /// a hand-reformatted copy merely keys a separate (still correct)
-    /// cache entry.
+    /// The cache identity digests the canonical binary payload of the
+    /// parsed recording (far cheaper than re-serializing the JSON, and
+    /// format-independent): a v1 JSON artifact and its v2 repack share
+    /// one identity, so replays through either encoding share one trace
+    /// cache entry — even a hand-reformatted JSON copy keys the same
+    /// entry, because only the content is hashed.
     ///
     /// # Errors
     ///
     /// As [`TraceRecording::from_json`].
     pub fn from_json(text: &str) -> Result<Self, SerdeError> {
-        let recording = TraceRecording::from_json(text)?;
-        let digest = content_digest(text);
-        Ok(RecordedSource {
-            recording,
-            identity: format!("recorded:{digest:016x}"),
-        })
+        Ok(RecordedSource::new(TraceRecording::from_json(text)?))
+    }
+
+    /// Parses either artifact encoding (sniffed as in
+    /// [`TraceRecording::from_bytes`]) into a replayable source with the
+    /// same content-addressed identity as [`RecordedSource::from_json`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceRecording::from_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SerdeError> {
+        Ok(RecordedSource::new(TraceRecording::from_bytes(bytes)?))
     }
 
     /// The wrapped recording.
     #[must_use]
     pub fn recording(&self) -> &TraceRecording {
         &self.recording
+    }
+
+    /// The content digest embedded in this source's cache identity.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 }
 

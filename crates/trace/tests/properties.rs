@@ -4,8 +4,9 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use tensordash_tensor::Tensor;
 use tensordash_trace::{
-    extract_op_trace, extract_op_trace_reference, ClusteredSparsity, ConvDims, LayerTensors,
-    OpStats, SampleSpec, SparsityGen, TrainingOp, UniformSparsity,
+    binfmt, extract_op_trace, extract_op_trace_reference, ClusteredSparsity, ConvDims, EpochRecord,
+    LayerTensors, OpStats, RecordingMeta, SampleSpec, SparsityGen, TraceRecording, TrainMetrics,
+    TrainingOp, UniformSparsity,
 };
 
 fn sparse_tensor(rng: &mut StdRng, dims: &[usize], density: f64) -> Tensor {
@@ -135,6 +136,90 @@ proptest! {
             trace.dense_rows_total(),
             trace.total_windows * trace.total_rows_per_window
         );
+    }
+
+    /// Cross-encoding losslessness: a recording round-trips v1→v2→v1
+    /// bit-identically (every OpTrace, every arena word, every float),
+    /// the canonical content digest is invariant across both wire forms,
+    /// and the v2 header digest equals it.
+    #[test]
+    fn v1_v2_roundtrip_is_lossless(
+        seed in any::<u64>(),
+        sparsity in 0.0f64..0.95,
+        clustering in 0.0f64..1.0,
+        epochs in 1usize..4,
+        layers in 1usize..3,
+        lanes_idx in 0usize..3,
+        max_windows in 1usize..8,
+        max_rows in 1usize..24,
+    ) {
+        let lanes = [8, 16, 32][lanes_idx];
+        let sample = SampleSpec::new(max_windows, max_rows);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut recording = TraceRecording::new(RecordingMeta {
+            name: format!("prop-{seed:x}"),
+            epochs,
+            batch_size: rng.gen_range(1..64),
+            seed,
+            lanes,
+            sample,
+        });
+        for epoch in 0..epochs {
+            let layer_ops = (0..layers)
+                .map(|layer| {
+                    let dims = ConvDims::conv_square(
+                        1,
+                        rng.gen_range(4..24),
+                        rng.gen_range(3..9),
+                        rng.gen_range(4..16),
+                        rng.gen_range(1..4),
+                        1,
+                        rng.gen_range(0..2),
+                    );
+                    let mut mk = |op| {
+                        ClusteredSparsity::new(sparsity, clustering)
+                            .op_trace(dims, op, lanes, &sample, rng.gen())
+                    };
+                    (
+                        format!("layer{layer}"),
+                        [
+                            mk(TrainingOp::Forward),
+                            mk(TrainingOp::InputGrad),
+                            mk(TrainingOp::WeightGrad),
+                        ],
+                    )
+                })
+                .collect();
+            recording.epochs.push(EpochRecord {
+                epoch,
+                progress: if epochs == 1 { 0.0 } else { epoch as f64 / (epochs - 1) as f64 },
+                metrics: TrainMetrics {
+                    loss: rng.gen_range(0.0..4.0),
+                    accuracy: rng.gen_range(0.0..1.0),
+                    act_sparsity: sparsity,
+                    grad_sparsity: rng.gen_range(0.0..1.0),
+                    weight_sparsity: 0.0,
+                },
+                layers: layer_ops,
+            });
+        }
+
+        // v1 → v2 → v1: bit-identical recording, fixed-point JSON.
+        let json = recording.to_json();
+        let from_v1 = TraceRecording::from_json(&json).unwrap();
+        let packed = from_v1.to_bytes();
+        let from_v2 = TraceRecording::from_bytes(&packed).unwrap();
+        prop_assert_eq!(&from_v2, &recording);
+        prop_assert_eq!(from_v2.to_json(), json);
+        // Canonical re-encode is byte-identical (no formatting freedom).
+        prop_assert_eq!(from_v2.to_bytes(), packed.clone());
+        // One content identity across both encodings, equal to the v2
+        // header digest.
+        let digest = binfmt::canonical_digest(&recording);
+        prop_assert_eq!(binfmt::canonical_digest(&from_v1), digest);
+        prop_assert_eq!(binfmt::canonical_digest(&from_v2), digest);
+        let header = u64::from_le_bytes(packed[8..16].try_into().unwrap());
+        prop_assert_eq!(header, digest);
     }
 
     /// All three ops of one layer perform comparable MAC totals (§2).

@@ -27,6 +27,9 @@
 //!   out) that makes configs and reports round-trippable.
 //! * [`server`] — std-only service infrastructure (HTTP/1.1 thread-pool
 //!   server, bounded job queue) behind `tensordash serve`.
+//! * [`store`] — the content-addressed on-disk trace store: digest-named
+//!   `tensordash-trace/2` objects with atomic writes, dedup, pinning, and
+//!   GC, shared by the service across requests and restarts.
 //!
 //! ## Quickstart
 //!
@@ -90,6 +93,7 @@ pub use tensordash_nn as nn;
 pub use tensordash_serde as serde;
 pub use tensordash_server as server;
 pub use tensordash_sim as sim;
+pub use tensordash_store as store;
 pub use tensordash_tensor as tensor;
 pub use tensordash_trace as trace;
 

@@ -70,6 +70,21 @@ fn readme_replay_sample_parses_as_a_recorded_source() {
 }
 
 #[test]
+fn readme_stored_sample_parses_as_a_stored_source() {
+    let spec: ExperimentSpec =
+        tensordash_serde::from_toml_str(&toml_block_containing("replay-by-digest"))
+            .expect("README stored-source sample no longer parses");
+    let tensordash::sim::TraceSourceSpec::Stored { digest } = &spec.eval.source else {
+        panic!("README stored-source sample is not a `stored` source");
+    };
+    assert!(
+        tensordash::store::parse_digest(digest).is_some(),
+        "README stored-source digest `{digest}` is not a valid digest"
+    );
+    assert!(spec.models.is_empty(), "stored specs carry no model list");
+}
+
+#[test]
 fn readme_toml_sample_matches_the_shipped_example() {
     // The README promises `examples/experiment.toml` is a copy of the
     // sample; comments may differ, the parsed experiment may not.
