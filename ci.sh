@@ -21,6 +21,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --lib --quiet
 step "cargo test -q --workspace"
 cargo test -q --workspace
 
+step "nn golden-reference suite (vectorized kernels bit-identical to scalar)"
+# Run the property suite by name so a red kernel is impossible to miss in
+# the CI log even though the workspace run above already covers it.
+cargo test -q -p tensordash-nn --test reference
+
 step "tensordash CLI smoke test"
 ./target/release/tensordash --help >/dev/null
 ./target/release/tensordash list >/dev/null
@@ -54,6 +59,11 @@ grep -q '"tensordash-trace/1"' "$train_dir/run.trace.json"
 ./target/release/tensordash train \
   --replay "$train_dir/run.trace.json" --out "$train_dir/replay.json" >/dev/null
 cmp "$train_dir/live.json" "$train_dir/replay.json"
+# The pipelined path (epoch N+1 trains while epoch N simulates) must
+# produce the same bytes as the serial run above.
+./target/release/tensordash train --smoke --workers 2 \
+  --out "$train_dir/pipelined.json" >/dev/null
+cmp "$train_dir/live.json" "$train_dir/pipelined.json"
 # ...and the same artifact replays through the declarative --config path.
 cat > "$train_dir/replay.toml" <<REPLAY_TOML
 name = "ci-train-replay"
@@ -147,7 +157,7 @@ step "tensordash trace gc smoke"
 ./target/release/tensordash trace gc --trace-dir "$train_dir/store" \
   | grep -q 'removed 1 object'
 
-step "tensordash bench --smoke --baseline BENCH_6.json"
+step "tensordash bench --smoke --baseline BENCH_7.json"
 bench_report="$(mktemp -t tensordash-bench-XXXXXX.json)"
 trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_report" "$serve_log" "$bench_report"; rm -rf "$train_dir"' EXIT
 # The committed baseline gates kernel + source + store + service
@@ -159,8 +169,8 @@ trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_repor
 # wider >50% tolerance — end-to-end socket loadtests swing ±25%
 # run-to-run). The baseline's absolute rates reflect the machine that
 # committed it — on substantially slower hardware, regenerate it with
-# `tensordash bench --out BENCH_6.json` rather than loosening the gate.
-./target/release/tensordash bench --smoke --baseline BENCH_6.json --out "$bench_report"
+# `tensordash bench --out BENCH_7.json` rather than loosening the gate.
+./target/release/tensordash bench --smoke --baseline BENCH_7.json --out "$bench_report"
 grep -q '"step_speedup"' "$bench_report"
 grep -q '"extraction_speedup"' "$bench_report"
 grep -q '"cycles_per_second"' "$bench_report"

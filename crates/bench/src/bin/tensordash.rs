@@ -51,6 +51,9 @@ COMMANDS:
                          through the same simulator/report path as `run`.
                          Options: --epochs <N> (default 10), --batch <N>
                          (default 32), --seed <S>, --name <LABEL>,
+                         --workers <N> (pipeline epoch N+1 training with
+                         epoch N simulation on N sim threads; the report
+                         is byte-identical to the serial default),
                          --record <FILE> (write the versioned trace
                          artifact), --replay <FILE> (rebuild the report
                          bit-exactly from an artifact instead of
@@ -271,10 +274,11 @@ fn run_bench(args: &[String]) -> Result<(), String> {
         );
     }
     println!(
-        "service: {:.2} req/s from {} clients (p50 {:.1} ms, p99 {:.1} ms)",
+        "service: {:.2} req/s from {} clients (p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms)",
         summary.service.requests_per_sec,
         summary.service.concurrency,
         summary.service.latency_ms_p50,
+        summary.service.latency_ms_p90,
         summary.service.latency_ms_p99
     );
     println!(
@@ -333,6 +337,13 @@ fn run_train(args: &[String]) -> Result<(), String> {
             "--replay" => options.replay = Some(take_value(&mut iter, "--replay")?.into()),
             "--out" => options.out = Some(take_value(&mut iter, "--out")?.into()),
             "--smoke" => options.smoke = true,
+            "--workers" => {
+                let workers: usize = take_parsed(&mut iter, "--workers")?;
+                if workers == 0 {
+                    return Err("`--workers` must be at least 1".to_string());
+                }
+                options.workers = Some(workers);
+            }
             other => return Err(format!("unknown `train` argument `{other}`")),
         }
     }

@@ -184,6 +184,11 @@ pub struct ServiceBench {
     pub requests_per_sec: f64,
     /// Median submit→report latency, milliseconds.
     pub latency_ms_p50: f64,
+    /// 90th-percentile submit→report latency, milliseconds — the tail
+    /// metric the loadtest reports and the baseline gate watches (p99 is
+    /// a single straggler at bench request counts; p90 is stable enough
+    /// to gate on).
+    pub latency_ms_p90: f64,
     /// 99th-percentile submit→report latency, milliseconds.
     pub latency_ms_p99: f64,
 }
@@ -322,12 +327,16 @@ impl BenchSummary {
                 Value::Float(self.service.latency_ms_p50),
             ),
             (
+                "latency_ms_p90".into(),
+                Value::Float(self.service.latency_ms_p90),
+            ),
+            (
                 "latency_ms_p99".into(),
                 Value::Float(self.service.latency_ms_p99),
             ),
         ]);
         Value::Table(vec![
-            ("schema".into(), Value::Str("tensordash-bench/5".into())),
+            ("schema".into(), Value::Str("tensordash-bench/6".into())),
             ("smoke".into(), Value::Bool(self.smoke)),
             ("kernel".into(), kernel),
             ("trace".into(), trace),
@@ -860,6 +869,7 @@ pub fn bench_service(smoke: bool) -> ServiceBench {
         concurrency: best.concurrency,
         requests_per_sec: best.requests_per_sec,
         latency_ms_p50: best.latency_ms_p50,
+        latency_ms_p90: best.latency_ms_p90,
         latency_ms_p99: best.latency_ms_p99,
     }
 }
@@ -889,10 +899,14 @@ pub struct BaselineEntry {
     /// ([`BASELINE_TOLERANCE`], or [`SERVICE_TOLERANCE`] for the noisier
     /// service rate).
     pub tolerance: f64,
+    /// Whether smaller values are the improvement (latencies). Throughput
+    /// metrics leave this `false`.
+    pub lower_is_better: bool,
 }
 
 impl BaselineEntry {
-    /// Current over baseline (higher is better for every compared metric).
+    /// Current over baseline (improvement is `> 1.0` for throughputs,
+    /// `< 1.0` for latencies — see `lower_is_better`).
     #[must_use]
     pub fn ratio(&self) -> f64 {
         self.current / self.baseline
@@ -901,7 +915,11 @@ impl BaselineEntry {
     /// Whether this metric regressed beyond its tolerance.
     #[must_use]
     pub fn regressed(&self) -> bool {
-        self.ratio() < 1.0 - self.tolerance
+        if self.lower_is_better {
+            self.ratio() > 1.0 + self.tolerance
+        } else {
+            self.ratio() < 1.0 - self.tolerance
+        }
     }
 }
 
@@ -930,6 +948,16 @@ pub fn diff_against_baseline(summary: &BenchSummary, baseline: &Value) -> Vec<Ba
         current: f64,
         tolerance: f64,
     ) {
+        push_with(entries, metric, base, current, tolerance, false);
+    }
+    fn push_with(
+        entries: &mut Vec<BaselineEntry>,
+        metric: &str,
+        base: Option<f64>,
+        current: f64,
+        tolerance: f64,
+        lower_is_better: bool,
+    ) {
         if let Some(baseline) = base {
             if baseline > 0.0 {
                 entries.push(BaselineEntry {
@@ -937,6 +965,7 @@ pub fn diff_against_baseline(summary: &BenchSummary, baseline: &Value) -> Vec<Ba
                     baseline,
                     current,
                     tolerance,
+                    lower_is_better,
                 });
             }
         }
@@ -968,6 +997,17 @@ pub fn diff_against_baseline(summary: &BenchSummary, baseline: &Value) -> Vec<Ba
         baseline_float(baseline, "service", "requests_per_sec"),
         summary.service.requests_per_sec,
         SERVICE_TOLERANCE,
+    );
+    // The p90 tail latency gates alongside the rate, inverted (lower is
+    // better) and at the same wide service tolerance; skipped for
+    // baselines predating the metric (BENCH_6 and earlier).
+    push_with(
+        &mut entries,
+        "service.latency_ms_p90",
+        baseline_float(baseline, "service", "latency_ms_p90"),
+        summary.service.latency_ms_p90,
+        SERVICE_TOLERANCE,
+        true,
     );
     // Trace-source rates run the identical tiny training workload in both
     // variants (see `bench_source`), so — like the kernel rates — they
@@ -1105,6 +1145,7 @@ mod tests {
             concurrency: 8,
             requests_per_sec: 50.0,
             latency_ms_p50: 10.0,
+            latency_ms_p90: 25.0,
             latency_ms_p99: 40.0,
         }
     }
@@ -1314,8 +1355,66 @@ mod tests {
             baseline: 100.0,
             current: 75.0,
             tolerance: SERVICE_TOLERANCE,
+            lower_is_better: false,
         };
         assert!(!mild.regressed(), "25% loadtest noise must not fail CI");
+    }
+
+    /// `service.latency_ms_p90` gates inverted: growth past the service
+    /// tolerance fails; a *drop* of any size never does. Baselines
+    /// predating the metric (BENCH_6 and earlier) skip the comparison.
+    #[test]
+    fn baseline_diff_gates_p90_latency_lower_is_better() {
+        let mut summary = BenchSummary {
+            smoke: true,
+            kernel: KernelBench {
+                steps_per_sec_batched: 1.0,
+                steps_per_sec_reference: 1.0,
+                group_masks_per_sec_batched: 1.0,
+                group_masks_per_sec_reference: 1.0,
+            },
+            trace: TraceBench {
+                extract_masks_per_sec_bitmap: 1.0,
+                extract_masks_per_sec_reference: 1.0,
+                synthetic_masks_per_sec: 1.0,
+                cache_hit_speedup: 1.0,
+            },
+            source: fixed_source(),
+            store: fixed_store(),
+            models: vec![],
+            service: fixed_service(),
+            total_wall_seconds: 0.0,
+        };
+        summary.service.latency_ms_p90 = 80.0; // 4x the 20ms baseline
+        let baseline = tensordash_serde::json::parse(
+            r#"{"smoke": false, "service": {"latency_ms_p90": 20.0}}"#,
+        )
+        .unwrap();
+        let diffs = diff_against_baseline(&summary, &baseline);
+        let p90 = diffs
+            .iter()
+            .find(|d| d.metric == "service.latency_ms_p90")
+            .expect("p90 compared when the baseline records it");
+        assert!(p90.lower_is_better);
+        assert!(p90.regressed(), "4x tail-latency growth must fail");
+
+        // Faster-than-baseline tails never regress, however large the move.
+        summary.service.latency_ms_p90 = 1.0;
+        let diffs = diff_against_baseline(&summary, &baseline);
+        let p90 = diffs
+            .iter()
+            .find(|d| d.metric == "service.latency_ms_p90")
+            .unwrap();
+        assert!(!p90.regressed());
+
+        // A pre-p90 baseline skips the metric instead of comparing junk.
+        let old = tensordash_serde::json::parse(
+            r#"{"smoke": false, "service": {"requests_per_sec": 300.0}}"#,
+        )
+        .unwrap();
+        assert!(!diff_against_baseline(&summary, &old)
+            .iter()
+            .any(|d| d.metric == "service.latency_ms_p90"));
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub struct TrainOptions {
     /// Where to write the JSON report (default:
     /// `<results dir>/<name>.train.json`).
     pub out: Option<PathBuf>,
+    /// Pipeline training with simulation: while epoch `N+1` trains on the
+    /// main thread, epoch `N`'s traces are simulated on a second thread
+    /// whose simulator runs `workers` work-stealing batch threads. `None`
+    /// keeps the serial train-then-simulate path. The report is
+    /// **byte-identical** either way, at any worker count — epoch
+    /// documents are built by the same code from the same records in the
+    /// same order.
+    pub workers: Option<usize>,
 }
 
 impl Default for TrainOptions {
@@ -61,6 +69,7 @@ impl Default for TrainOptions {
             record: None,
             replay: None,
             out: None,
+            workers: None,
         }
     }
 }
@@ -95,6 +104,17 @@ impl TrainOptions {
 ///
 /// Returns the trainer's error (e.g. an empty dataset) as a message.
 pub fn capture_training(options: &TrainOptions) -> Result<TraceRecording, String> {
+    capture_training_with(options, |_| {})
+}
+
+/// [`capture_training`] with an observer: `on_epoch` sees each
+/// [`EpochRecord`] the moment its epoch finishes — the hook the pipelined
+/// report path uses to hand records to the simulation thread while the
+/// next epoch is still training.
+fn capture_training_with(
+    options: &TrainOptions,
+    mut on_epoch: impl FnMut(&EpochRecord),
+) -> Result<TraceRecording, String> {
     let sim = Simulator::paper();
     let lanes = sim.chip().tile.pe.lanes();
     let sample = options.sample();
@@ -113,7 +133,7 @@ pub fn capture_training(options: &TrainOptions) -> Result<TraceRecording, String
     });
     for epoch in trainer.epochs(options.epochs, options.batch_size, lanes, sample, &mut rng) {
         let epoch = epoch?;
-        recording.epochs.push(EpochRecord {
+        let record = EpochRecord {
             epoch: epoch.epoch,
             progress: epoch.progress,
             metrics: TrainMetrics {
@@ -124,7 +144,9 @@ pub fn capture_training(options: &TrainOptions) -> Result<TraceRecording, String
                 weight_sparsity: epoch.stats.weight_sparsity,
             },
             layers: epoch.layers,
-        });
+        };
+        on_epoch(&record);
+        recording.epochs.push(record);
     }
     Ok(recording)
 }
@@ -139,50 +161,105 @@ pub fn train_report_document(recording: &TraceRecording, sim: &Simulator) -> Val
     let epochs = recording
         .epochs
         .iter()
-        .map(|epoch| {
-            let groups: Vec<(&str, &[tensordash_trace::OpTrace])> = epoch
-                .layers
-                .iter()
-                .map(|(name, ops)| (name.as_str(), ops.as_slice()))
-                .collect();
-            let report = sim.simulate_model(&recording.meta.name, &groups);
-            let op_speedup = Value::Table(
-                TrainingOp::ALL
-                    .iter()
-                    .map(|&op| (op.label().to_string(), Value::Float(report.op_speedup(op))))
-                    .collect(),
-            );
-            Value::Table(vec![
-                ("epoch".to_string(), epoch.epoch.serialize()),
-                ("progress".to_string(), epoch.progress.serialize()),
-                ("loss".to_string(), epoch.metrics.loss.serialize()),
-                ("accuracy".to_string(), epoch.metrics.accuracy.serialize()),
-                (
-                    "act_sparsity".to_string(),
-                    epoch.metrics.act_sparsity.serialize(),
-                ),
-                (
-                    "grad_sparsity".to_string(),
-                    epoch.metrics.grad_sparsity.serialize(),
-                ),
-                (
-                    "weight_sparsity".to_string(),
-                    epoch.metrics.weight_sparsity.serialize(),
-                ),
-                (
-                    "total_speedup".to_string(),
-                    Value::Float(report.total_speedup()),
-                ),
-                ("op_speedup".to_string(), op_speedup),
-                ("report".to_string(), report.serialize()),
-            ])
-        })
+        .map(|epoch| epoch_document(&recording.meta.name, epoch, sim))
         .collect();
+    assemble_report(&recording.meta, sim, epochs)
+}
+
+/// One epoch's entry of the report document: the recorded metrics joined
+/// with the simulated speedups of the epoch's traces. Both the serial
+/// ([`train_report_document`]) and pipelined report paths go through this
+/// single function, which is what makes their outputs byte-identical by
+/// construction.
+fn epoch_document(model: &str, epoch: &EpochRecord, sim: &Simulator) -> Value {
+    let groups: Vec<(&str, &[tensordash_trace::OpTrace])> = epoch
+        .layers
+        .iter()
+        .map(|(name, ops)| (name.as_str(), ops.as_slice()))
+        .collect();
+    let report = sim.simulate_model(model, &groups);
+    let op_speedup = Value::Table(
+        TrainingOp::ALL
+            .iter()
+            .map(|&op| (op.label().to_string(), Value::Float(report.op_speedup(op))))
+            .collect(),
+    );
     Value::Table(vec![
-        ("train".to_string(), recording.meta.serialize()),
+        ("epoch".to_string(), epoch.epoch.serialize()),
+        ("progress".to_string(), epoch.progress.serialize()),
+        ("loss".to_string(), epoch.metrics.loss.serialize()),
+        ("accuracy".to_string(), epoch.metrics.accuracy.serialize()),
+        (
+            "act_sparsity".to_string(),
+            epoch.metrics.act_sparsity.serialize(),
+        ),
+        (
+            "grad_sparsity".to_string(),
+            epoch.metrics.grad_sparsity.serialize(),
+        ),
+        (
+            "weight_sparsity".to_string(),
+            epoch.metrics.weight_sparsity.serialize(),
+        ),
+        (
+            "total_speedup".to_string(),
+            Value::Float(report.total_speedup()),
+        ),
+        ("op_speedup".to_string(), op_speedup),
+        ("report".to_string(), report.serialize()),
+    ])
+}
+
+/// The outer report table shared by every reporting path.
+fn assemble_report(meta: &RecordingMeta, sim: &Simulator, epochs: Vec<Value>) -> Value {
+    Value::Table(vec![
+        ("train".to_string(), meta.serialize()),
         ("chip".to_string(), sim.chip().serialize()),
         ("epochs".to_string(), Value::Array(epochs)),
     ])
+}
+
+/// Trains **and** simulates concurrently: epoch `N`'s traces are
+/// simulated (with a `workers`-thread simulator) on a spawned thread
+/// while epoch `N+1` trains on the calling thread, overlapping the two
+/// halves of the live pipeline instead of sweeping the recording after
+/// training completes. Epoch records flow through an in-order channel and
+/// each document is built by the same `epoch_document` helper as the
+/// serial path, so the returned report is byte-identical to
+/// `train_report_document(&recording, sim)` at any worker count.
+///
+/// # Errors
+///
+/// Returns the trainer's error as a message.
+pub fn pipelined_train_report(
+    options: &TrainOptions,
+    workers: usize,
+) -> Result<(TraceRecording, Value), String> {
+    let sim = Simulator::paper().with_threads(workers.max(1));
+    let (tx, rx) = std::sync::mpsc::channel::<EpochRecord>();
+    let model = options.name.clone();
+    let (recording, epochs) = std::thread::scope(|scope| {
+        let sim = &sim;
+        let simulate = scope.spawn(move || {
+            let mut epochs = Vec::new();
+            // `recv` blocks until the trainer sends the next finished
+            // epoch; the channel preserves epoch order.
+            while let Ok(record) = rx.recv() {
+                epochs.push(epoch_document(&model, &record, sim));
+            }
+            epochs
+        });
+        let recording = capture_training_with(options, |record| {
+            // A send only fails if the simulation thread died; the join
+            // below surfaces that panic.
+            let _ = tx.send(record.clone());
+        });
+        drop(tx);
+        let epochs = simulate.join().expect("simulation thread panicked");
+        recording.map(|recording| (recording, epochs))
+    })?;
+    let document = assemble_report(&recording.meta, &sim, epochs);
+    Ok((recording, document))
 }
 
 /// Runs `tensordash train`: live training (optionally `--record`ing the
@@ -203,7 +280,7 @@ pub fn run(options: &TrainOptions) -> Result<(), String> {
     }
 
     let sim = Simulator::paper();
-    let recording = match &options.replay {
+    let (recording, document) = match &options.replay {
         Some(path) => {
             let bytes = std::fs::read(path)
                 .map_err(|e| format!("cannot read artifact `{}`: {e}", path.display()))?;
@@ -215,14 +292,22 @@ pub fn run(options: &TrainOptions) -> Result<(), String> {
                 recording.epochs.len(),
                 recording.meta.lanes
             );
-            recording
+            let document = train_report_document(&recording, &sim);
+            (recording, document)
         }
         None => {
             println!(
                 "training `{}`: {} epochs x batch {} (seed {})",
                 options.name, options.epochs, options.batch_size, options.seed
             );
-            let recording = capture_training(options)?;
+            let (recording, document) = match options.workers {
+                Some(workers) => pipelined_train_report(options, workers)?,
+                None => {
+                    let recording = capture_training(options)?;
+                    let document = train_report_document(&recording, &sim);
+                    (recording, document)
+                }
+            };
             if let Some(path) = &options.record {
                 // `.json` keeps the human-inspectable v1 encoding; any
                 // other name gets the compact v2 binary (both replay and
@@ -236,11 +321,9 @@ pub fn run(options: &TrainOptions) -> Result<(), String> {
                     .map_err(|e| format!("cannot write artifact `{}`: {e}", path.display()))?;
                 println!("  -> recorded {}", path.display());
             }
-            recording
+            (recording, document)
         }
     };
-
-    let document = train_report_document(&recording, &sim);
     print_epoch_table(&document);
 
     match &options.out {
@@ -331,6 +414,43 @@ mod tests {
         // must be byte-identical — the record→replay contract.
         let replayed = TraceRecording::from_json(&recording.to_json()).unwrap();
         let replay_document = train_report_document(&replayed, &sim);
+        assert_eq!(json::write(&document), json::write(&replay_document));
+    }
+
+    /// The pipelined path (simulation overlapping training) must emit the
+    /// exact bytes of the serial train-then-simulate path at **every**
+    /// worker count — the determinism gate on the epoch pipeline.
+    #[test]
+    fn pipelined_report_is_byte_identical_to_serial_at_1_2_8_workers() {
+        let options = smoke_options();
+        let serial_recording = capture_training(&options).unwrap();
+        let serial = json::write(&train_report_document(
+            &serial_recording,
+            &Simulator::paper(),
+        ));
+        for workers in [1usize, 2, 8] {
+            let (recording, document) = pipelined_train_report(&options, workers).unwrap();
+            assert_eq!(
+                recording, serial_recording,
+                "{workers} workers: recording diverged"
+            );
+            assert_eq!(
+                json::write(&document),
+                serial,
+                "{workers} workers: report bytes diverged"
+            );
+        }
+    }
+
+    /// `--record` → `--replay` byte-identity holds through the in-loop
+    /// extraction and the pipelined report path: an artifact recorded by
+    /// a pipelined run replays (binary v2 encoding) to the same bytes.
+    #[test]
+    fn pipelined_recording_replays_byte_identically() {
+        let options = smoke_options();
+        let (recording, document) = pipelined_train_report(&options, 2).unwrap();
+        let replayed = TraceRecording::from_bytes(&recording.to_bytes()).unwrap();
+        let replay_document = train_report_document(&replayed, &Simulator::paper());
         assert_eq!(json::write(&document), json::write(&replay_document));
     }
 }

@@ -219,8 +219,9 @@ fn bench_smoke_writes_a_perf_report() {
     assert!(text.contains("row-group"), "{text}");
     let json = std::fs::read_to_string(&out_path).unwrap();
     for key in [
-        "tensordash-bench/5",
+        "tensordash-bench/6",
         "live_masks_per_sec",
+        "latency_ms_p90",
         "load_masks_per_sec",
         "pack_bytes_per_sec",
         "step_speedup",

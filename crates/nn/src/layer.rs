@@ -5,14 +5,40 @@
 //! [`Layer::visit_params`]. Convolutional and linear layers additionally
 //! keep the tensors TensorDash cares about — input activations and output
 //! gradients — so the trainer can snapshot them into simulator traces.
+//!
+//! # Kernel modes
+//!
+//! The compute-bearing layers ([`Conv2d`], [`Linear`], [`Relu`]) run their
+//! math through one of two [`KernelMode`]s. [`KernelMode::Blocked`] (the
+//! default) uses `tensordash-tensor`'s blocked kernels and, for ReLU, the
+//! `u64`-word non-zero bitmap that falls out of the forward pass.
+//! [`KernelMode::Reference`] routes every call through the retained scalar
+//! `*_reference` kernels — the golden model. The two modes are
+//! **bit-identical** on finite data; the `tests/reference.rs` property
+//! suite trains whole networks in both modes and compares every tensor
+//! bit for bit.
 
 use rand::distributions::Uniform;
 use rand::Rng;
 use tensordash_tensor::{
-    batchnorm2d, batchnorm2d_backward, conv2d, conv2d_backward_input, conv2d_backward_weights,
-    linear, linear_backward_input, linear_backward_weights, maxpool2d, maxpool2d_backward, relu,
-    relu_backward, BatchNormState, Conv2dSpec, Tensor,
+    batchnorm2d, batchnorm2d_backward, conv2d, conv2d_backward_input,
+    conv2d_backward_input_reference, conv2d_backward_weights, conv2d_backward_weights_reference,
+    conv2d_reference, linear, linear_backward_input, linear_backward_input_reference,
+    linear_backward_weights, linear_backward_weights_reference, linear_reference, maxpool2d,
+    maxpool2d_backward, relu, relu_backward, relu_backward_bitmap, relu_with_bitmap,
+    BatchNormState, Conv2dSpec, Tensor,
 };
+
+/// Which kernel implementation a layer's forward/backward passes run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// The blocked/vectorizable kernels (default).
+    #[default]
+    Blocked,
+    /// The retained scalar `*_reference` kernels — the golden model the
+    /// blocked path is property-tested bit-identical against.
+    Reference,
+}
 
 /// A trainable (or shape-transforming) network layer.
 pub trait Layer {
@@ -26,6 +52,14 @@ pub trait Layer {
     /// output, stores parameter gradients, returns the gradient w.r.t. the
     /// layer's input.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// [`Layer::backward`] for the network's first layer, whose input
+    /// gradient nobody consumes: layers with parameters may override this
+    /// to skip the input-gradient kernel entirely. The default delegates
+    /// to `backward` and discards the result.
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        let _ = self.backward(grad_out);
+    }
 
     /// Visits `(parameter, gradient)` pairs in a stable order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
@@ -46,6 +80,7 @@ pub struct Conv2d {
     /// Gradient of the last backward pass.
     pub grad_weights: Tensor,
     spec: Conv2dSpec,
+    mode: KernelMode,
     cached_input: Option<Tensor>,
     cached_grad_out: Option<Tensor>,
 }
@@ -73,6 +108,7 @@ impl Conv2d {
             weights,
             grad_weights,
             spec,
+            mode: KernelMode::default(),
             cached_input: None,
             cached_grad_out: None,
         }
@@ -82,6 +118,11 @@ impl Conv2d {
     #[must_use]
     pub fn spec(&self) -> &Conv2dSpec {
         &self.spec
+    }
+
+    /// Selects which kernels this layer computes with.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
     }
 
     /// The cached input of the last forward pass, if any.
@@ -103,7 +144,11 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let y = conv2d(x, &self.weights, &self.spec).expect("conv2d forward shape error");
+        let y = match self.mode {
+            KernelMode::Blocked => conv2d(x, &self.weights, &self.spec),
+            KernelMode::Reference => conv2d_reference(x, &self.weights, &self.spec),
+        }
+        .expect("conv2d forward shape error");
         self.cached_input = Some(x.clone());
         y
     }
@@ -111,17 +156,34 @@ impl Layer for Conv2d {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cached_input.as_ref().expect("backward before forward");
         let (kh, kw) = (self.weights.shape()[2], self.weights.shape()[3]);
-        self.grad_weights = conv2d_backward_weights(x, grad_out, &self.spec, (kh, kw))
-            .expect("conv2d backward-weights shape error");
-        let gx = conv2d_backward_input(
-            grad_out,
-            &self.weights,
-            &self.spec,
-            (x.shape()[2], x.shape()[3]),
-        )
-        .expect("conv2d backward-input shape error");
+        let input_hw = (x.shape()[2], x.shape()[3]);
+        let (gw, gx) = match self.mode {
+            KernelMode::Blocked => (
+                conv2d_backward_weights(x, grad_out, &self.spec, (kh, kw)),
+                conv2d_backward_input(grad_out, &self.weights, &self.spec, input_hw),
+            ),
+            KernelMode::Reference => (
+                conv2d_backward_weights_reference(x, grad_out, &self.spec, (kh, kw)),
+                conv2d_backward_input_reference(grad_out, &self.weights, &self.spec, input_hw),
+            ),
+        };
+        self.grad_weights = gw.expect("conv2d backward-weights shape error");
+        let gx = gx.expect("conv2d backward-input shape error");
         self.cached_grad_out = Some(grad_out.clone());
         gx
+    }
+
+    fn backward_params_only(&mut self, grad_out: &Tensor) {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let (kh, kw) = (self.weights.shape()[2], self.weights.shape()[3]);
+        let gw = match self.mode {
+            KernelMode::Blocked => conv2d_backward_weights(x, grad_out, &self.spec, (kh, kw)),
+            KernelMode::Reference => {
+                conv2d_backward_weights_reference(x, grad_out, &self.spec, (kh, kw))
+            }
+        };
+        self.grad_weights = gw.expect("conv2d backward-weights shape error");
+        self.cached_grad_out = Some(grad_out.clone());
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &Tensor)) {
@@ -136,6 +198,7 @@ pub struct Linear {
     pub weights: Tensor,
     /// Gradient of the last backward pass.
     pub grad_weights: Tensor,
+    mode: KernelMode,
     cached_input: Option<Tensor>,
     cached_grad_out: Option<Tensor>,
 }
@@ -150,9 +213,15 @@ impl Linear {
             name: name.into(),
             weights,
             grad_weights,
+            mode: KernelMode::default(),
             cached_input: None,
             cached_grad_out: None,
         }
+    }
+
+    /// Selects which kernels this layer computes with.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
     }
 
     /// The cached input of the last forward pass, if any.
@@ -174,17 +243,29 @@ impl Layer for Linear {
     }
 
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let y = linear(x, &self.weights).expect("linear forward shape error");
+        let y = match self.mode {
+            KernelMode::Blocked => linear(x, &self.weights),
+            KernelMode::Reference => linear_reference(x, &self.weights),
+        }
+        .expect("linear forward shape error");
         self.cached_input = Some(x.clone());
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cached_input.as_ref().expect("backward before forward");
-        self.grad_weights =
-            linear_backward_weights(grad_out, x).expect("linear backward-weights shape error");
-        let gx = linear_backward_input(grad_out, &self.weights)
-            .expect("linear backward-input shape error");
+        let (gw, gx) = match self.mode {
+            KernelMode::Blocked => (
+                linear_backward_weights(grad_out, x),
+                linear_backward_input(grad_out, &self.weights),
+            ),
+            KernelMode::Reference => (
+                linear_backward_weights_reference(grad_out, x),
+                linear_backward_input_reference(grad_out, &self.weights),
+            ),
+        };
+        self.grad_weights = gw.expect("linear backward-weights shape error");
+        let gx = gx.expect("linear backward-input shape error");
         self.cached_grad_out = Some(grad_out.clone());
         gx
     }
@@ -195,16 +276,50 @@ impl Layer for Linear {
 }
 
 /// ReLU activation — the main activation-sparsity source.
+///
+/// In [`KernelMode::Blocked`] the forward pass produces a packed `u64`
+/// non-zero bitmap (bit `i` set iff `x[i] > 0.0`) instead of cloning the
+/// input; the backward pass masks gradients a 64-element word at a time,
+/// and the bitmap's popcount is the output non-zero count the trace
+/// extractor wants — sparsity instrumentation falls out of the forward
+/// pass for free. [`KernelMode::Reference`] keeps the original
+/// clone-the-input / scalar `relu_backward` path. Both zero gradients
+/// exactly where `x <= 0.0` for finite inputs, so they are bit-identical.
 #[derive(Default)]
 pub struct Relu {
+    mode: KernelMode,
     cached_input: Option<Tensor>,
+    bitmap: Option<Vec<u64>>,
 }
 
 impl Relu {
     /// A new ReLU layer.
     #[must_use]
     pub fn new() -> Self {
-        Relu { cached_input: None }
+        Relu::default()
+    }
+
+    /// Selects which kernels this layer computes with.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
+    }
+
+    /// Non-zero count of the last forward pass's output, if one happened.
+    ///
+    /// Free (a popcount) in [`KernelMode::Blocked`]; a scan of the cached
+    /// input in [`KernelMode::Reference`]. Both count elements `> 0.0`.
+    #[must_use]
+    pub fn output_nonzero(&self) -> Option<u64> {
+        match self.mode {
+            KernelMode::Blocked => self
+                .bitmap
+                .as_ref()
+                .map(|words| words.iter().map(|w| u64::from(w.count_ones())).sum()),
+            KernelMode::Reference => self
+                .cached_input
+                .as_ref()
+                .map(|x| x.data().iter().filter(|&&v| v > 0.0).count() as u64),
+        }
     }
 }
 
@@ -214,13 +329,32 @@ impl Layer for Relu {
     }
 
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        self.cached_input = Some(x.clone());
-        relu(x)
+        match self.mode {
+            KernelMode::Blocked => {
+                let (y, bitmap) = relu_with_bitmap(x);
+                self.bitmap = Some(bitmap);
+                self.cached_input = None;
+                y
+            }
+            KernelMode::Reference => {
+                self.cached_input = Some(x.clone());
+                self.bitmap = None;
+                relu(x)
+            }
+        }
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward before forward");
-        relu_backward(grad_out, x)
+        match self.mode {
+            KernelMode::Blocked => {
+                let bitmap = self.bitmap.as_ref().expect("backward before forward");
+                relu_backward_bitmap(grad_out, bitmap)
+            }
+            KernelMode::Reference => {
+                let x = self.cached_input.as_ref().expect("backward before forward");
+                relu_backward(grad_out, x)
+            }
+        }
     }
 }
 

@@ -39,8 +39,8 @@ pub mod prune;
 pub mod trainer;
 
 pub use data::Dataset;
-pub use layer::{BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu};
+pub use layer::{BatchNorm2d, Conv2d, Flatten, KernelMode, Layer, Linear, MaxPool2d, Relu};
 pub use network::{ConvSnapshot, Network};
 pub use optim::Sgd;
 pub use prune::{PruneMethod, Pruner};
-pub use trainer::{EpochStats, EpochTrace, Trainer, TrainingRun};
+pub use trainer::{EpochStats, EpochTrace, LayerTraces, Trainer, TrainingRun};

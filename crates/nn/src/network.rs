@@ -1,9 +1,9 @@
 //! Sequential networks and training-step snapshots.
 
-use crate::layer::{BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu};
+use crate::layer::{BatchNorm2d, Conv2d, Flatten, KernelMode, Layer, Linear, MaxPool2d, Relu};
 use rand::Rng;
 use tensordash_tensor::{softmax_cross_entropy, Conv2dSpec, Tensor};
-use tensordash_trace::ConvDims;
+use tensordash_trace::{ConvDims, LayerTensors};
 
 /// One layer slot of a sequential network (enum dispatch keeps snapshots
 /// type-safe without downcasting).
@@ -49,6 +49,9 @@ pub struct ConvSnapshot {
     pub weights: Tensor,
     /// Output gradients `[N, F, Ho, Wo]`.
     pub grad_out: Tensor,
+    /// Post-activation non-zero count of this layer's output, when a ReLU
+    /// immediately follows it (free from the ReLU's forward bitmap).
+    pub output_nonzero: Option<u64>,
 }
 
 /// A sequential feed-forward network.
@@ -119,11 +122,17 @@ impl Network {
         out
     }
 
-    /// Backward pass from the loss gradient at the logits.
+    /// Backward pass from the loss gradient at the logits. The first
+    /// layer's input gradient has no consumer, so that layer only
+    /// computes its parameter gradients ([`Layer::backward_params_only`]).
     pub fn backward(&mut self, grad_logits: &Tensor) {
         let mut grad = grad_logits.clone();
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.as_layer().backward(&grad);
+        for (idx, layer) in self.layers.iter_mut().enumerate().rev() {
+            if idx == 0 {
+                layer.as_layer().backward_params_only(&grad);
+            } else {
+                grad = layer.as_layer().backward(&grad);
+            }
         }
     }
 
@@ -144,12 +153,42 @@ impl Network {
         }
     }
 
-    /// Snapshots every weighted layer's training-step tensors (valid after
-    /// a [`Network::train_step`]).
-    #[must_use]
-    pub fn snapshots(&self) -> Vec<ConvSnapshot> {
-        let mut out = Vec::new();
-        for layer in &self.layers {
+    /// Switches every compute-bearing layer to `mode` kernels.
+    ///
+    /// [`KernelMode::Reference`] retrains the network on the retained scalar
+    /// golden kernels — bit-identical to the default blocked path; the
+    /// `tests/reference.rs` suite relies on it.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        for layer in &mut self.layers {
+            match layer {
+                NetLayer::Conv(l) => l.set_kernel_mode(mode),
+                NetLayer::Linear(l) => l.set_kernel_mode(mode),
+                NetLayer::Relu(l) => l.set_kernel_mode(mode),
+                _ => {}
+            }
+        }
+    }
+
+    /// The post-activation non-zero count for the weighted layer at index
+    /// `i`: the following ReLU's forward-bitmap popcount, when one is
+    /// directly adjacent.
+    fn output_nonzero_after(&self, i: usize) -> Option<u64> {
+        match self.layers.get(i + 1) {
+            Some(NetLayer::Relu(r)) => r.output_nonzero(),
+            _ => None,
+        }
+    }
+
+    /// Visits every weighted layer's training-step tensors *by reference*
+    /// (valid after a [`Network::train_step`]).
+    ///
+    /// This is the zero-copy path the trainer's in-loop trace extraction
+    /// rides: convolution tensors are borrowed straight from the layer
+    /// caches; only fully-connected tensors are materialised (their 2-D
+    /// shapes must be reshaped to the 4-D layout [`LayerTensors`] expects).
+    /// [`Network::snapshots`] produces the same tensors as owned clones.
+    pub fn visit_layer_tensors(&self, f: &mut dyn FnMut(&str, LayerTensors<'_>)) {
+        for (i, layer) in self.layers.iter().enumerate() {
             match layer {
                 NetLayer::Conv(conv) => {
                     let (Some(x), Some(g)) = (conv.cached_input(), conv.cached_grad_out()) else {
@@ -167,68 +206,108 @@ impl Network {
                         conv.spec().stride,
                         conv.spec().padding,
                     );
-                    out.push(ConvSnapshot {
-                        name: conv.name().to_string(),
-                        dims,
-                        activations: x.clone(),
-                        weights: w.clone(),
-                        grad_out: g.clone(),
-                    });
+                    f(
+                        conv.name(),
+                        LayerTensors {
+                            dims,
+                            activations: x,
+                            weights: w,
+                            grad_out: g,
+                            output_nonzero: self.output_nonzero_after(i),
+                        },
+                    );
                 }
                 NetLayer::Linear(lin) => {
                     let (Some(x), Some(g)) = (lin.cached_input(), lin.cached_grad_out()) else {
                         continue;
                     };
-                    let (n, i) = (x.shape()[0], x.shape()[1]);
+                    let (n, ins) = (x.shape()[0], x.shape()[1]);
                     let o = lin.weights.shape()[0];
-                    out.push(ConvSnapshot {
-                        name: lin.name().to_string(),
-                        dims: ConvDims::fully_connected(n, i, o),
-                        activations: x.clone().reshape(&[n, i, 1, 1]),
-                        weights: lin.weights.clone().reshape(&[o, i, 1, 1]),
-                        grad_out: g.clone().reshape(&[n, o, 1, 1]),
-                    });
+                    let activations = x.clone().reshape(&[n, ins, 1, 1]);
+                    let weights = lin.weights.clone().reshape(&[o, ins, 1, 1]);
+                    let grad_out = g.clone().reshape(&[n, o, 1, 1]);
+                    f(
+                        lin.name(),
+                        LayerTensors {
+                            dims: ConvDims::fully_connected(n, ins, o),
+                            activations: &activations,
+                            weights: &weights,
+                            grad_out: &grad_out,
+                            output_nonzero: self.output_nonzero_after(i),
+                        },
+                    );
                 }
                 _ => {}
             }
         }
+    }
+
+    /// Snapshots every weighted layer's training-step tensors (valid after
+    /// a [`Network::train_step`]).
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<ConvSnapshot> {
+        let mut out = Vec::new();
+        self.visit_layer_tensors(&mut |name, t| {
+            out.push(ConvSnapshot {
+                name: name.to_string(),
+                dims: t.dims,
+                activations: t.activations.clone(),
+                weights: t.weights.clone(),
+                grad_out: t.grad_out.clone(),
+                output_nonzero: t.output_nonzero,
+            });
+        });
         out
     }
 
     /// Mean sparsity of the cached input activations across weighted layers.
+    ///
+    /// Walks the layer caches by reference — no tensor clones.
     #[must_use]
     pub fn activation_sparsity(&self) -> f64 {
-        mean(
-            &self
-                .snapshots()
-                .iter()
-                .map(|s| s.activations.sparsity())
-                .collect::<Vec<_>>(),
-        )
+        self.cached_sparsity(|x, _, _| x.sparsity())
     }
 
     /// Mean sparsity of the cached output gradients across weighted layers.
+    ///
+    /// Walks the layer caches by reference — no tensor clones.
     #[must_use]
     pub fn gradient_sparsity(&self) -> f64 {
-        mean(
-            &self
-                .snapshots()
-                .iter()
-                .map(|s| s.grad_out.sparsity())
-                .collect::<Vec<_>>(),
-        )
+        self.cached_sparsity(|_, _, g| g.sparsity())
     }
 
     /// Mean weight sparsity across weighted layers.
+    ///
+    /// Walks the layer caches by reference — no tensor clones.
     #[must_use]
     pub fn weight_sparsity(&self) -> f64 {
-        mean(
-            &self
-                .snapshots()
-                .iter()
-                .map(|s| s.weights.sparsity())
-                .collect::<Vec<_>>(),
-        )
+        self.cached_sparsity(|_, w, _| w.sparsity())
+    }
+
+    /// Plain mean of `pick(activations, weights, grad_out)` over the
+    /// weighted layers' cached tensors, borrowed in their native shapes.
+    ///
+    /// Sparsity is zeros/len — invariant under the fully-connected
+    /// reshapes [`Network::visit_layer_tensors`] applies — so this matches
+    /// the old snapshot-then-measure math bit for bit with zero clones.
+    fn cached_sparsity(&self, pick: impl Fn(&Tensor, &Tensor, &Tensor) -> f64) -> f64 {
+        let mut values = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                NetLayer::Conv(conv) => {
+                    if let (Some(x), Some(g)) = (conv.cached_input(), conv.cached_grad_out()) {
+                        values.push(pick(x, &conv.weights, g));
+                    }
+                }
+                NetLayer::Linear(lin) => {
+                    if let (Some(x), Some(g)) = (lin.cached_input(), lin.cached_grad_out()) {
+                        values.push(pick(x, &lin.weights, g));
+                    }
+                }
+                _ => {}
+            }
+        }
+        mean(&values)
     }
 }
 

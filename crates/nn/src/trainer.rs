@@ -5,7 +5,11 @@ use crate::network::{ConvSnapshot, Network};
 use crate::optim::Sgd;
 use crate::prune::Pruner;
 use rand::Rng;
-use tensordash_trace::{extract_op_trace, LayerTensors, OpTrace, SampleSpec, TrainingOp};
+use tensordash_trace::{extract_op_trace, OpTrace, SampleSpec, TrainingOp};
+
+/// Per-layer traces of one batch: `(layer name, [Forward, InputGrad,
+/// WeightGrad])` for every weighted layer, in network order.
+pub type LayerTraces = Vec<(String, [OpTrace; 3])>;
 
 /// Metrics of one training epoch.
 ///
@@ -97,14 +101,39 @@ impl Trainer {
         batch_size: usize,
         rng: &mut impl Rng,
     ) -> Result<EpochStats, String> {
+        self.epoch_loop(batch_size, rng, None)
+            .map(|(stats, _)| stats)
+    }
+
+    /// The shared epoch loop behind [`Trainer::run_epoch`] and the
+    /// epoch iterator: mini-batch SGD, with trace extraction happening
+    /// **inside the batch loop** when `trace` is `Some((lanes, sample))`.
+    ///
+    /// The last batch's traces are gathered right after that batch's
+    /// optimizer (and prune-mask) step, while its cached activations and
+    /// ReLU bitmaps are still hot — no second post-epoch sweep over the
+    /// layer tensors. For unpruned runs this is bit-identical to calling
+    /// [`Trainer::traces`] after the epoch returns (nothing mutates the
+    /// caches in between). For pruned runs the traces see the weights
+    /// *before* the end-of-epoch `rebalance` — i.e. exactly the tensors
+    /// the last batch trained with, which is what a trace of that batch
+    /// should contain.
+    fn epoch_loop(
+        &mut self,
+        batch_size: usize,
+        rng: &mut impl Rng,
+        trace: Option<(usize, SampleSpec)>,
+    ) -> Result<(EpochStats, Option<LayerTraces>), String> {
         if self.dataset.is_empty() {
             return Err("cannot train on an empty dataset".to_string());
         }
         let batches = self.dataset.epoch_batches(batch_size, rng);
+        let last = batches.len() - 1;
         let mut loss_sum = 0.0;
         let mut correct = 0usize;
         let mut seen = 0usize;
-        for indices in &batches {
+        let mut layers = None;
+        for (bi, indices) in batches.iter().enumerate() {
             let (x, labels) = self.dataset.batch(indices);
             let (loss, batch_correct) = self.network.train_step(&x, &labels);
             self.optimizer.step(&mut self.network);
@@ -114,17 +143,23 @@ impl Trainer {
             loss_sum += loss * labels.len() as f64;
             correct += batch_correct;
             seen += labels.len();
+            if bi == last {
+                if let Some((lanes, sample)) = &trace {
+                    layers = Some(self.traces(*lanes, sample));
+                }
+            }
         }
         if let Some(pruner) = &mut self.pruner {
             pruner.rebalance(&mut self.network, &self.optimizer, rng);
         }
-        Ok(EpochStats {
+        let stats = EpochStats {
             loss: loss_sum / seen as f64,
             accuracy: correct as f64 / seen as f64,
             act_sparsity: self.network.activation_sparsity(),
             grad_sparsity: self.network.gradient_sparsity(),
             weight_sparsity: self.network.weight_sparsity(),
-        })
+        };
+        Ok((stats, layers))
     }
 
     /// Snapshots of the last trained batch's weighted layers.
@@ -137,7 +172,9 @@ impl Trainer {
     /// trains one epoch and extracts the last batch's per-layer traces —
     /// the **epoch-iterator API** every consumer of live sparsity drives
     /// (the `tensordash train` subcommand, the examples) instead of
-    /// hand-rolling a train-then-extract loop.
+    /// hand-rolling a train-then-extract loop. Extraction happens inside
+    /// the batch loop, straight off the layer caches of the last batch
+    /// (see [`Trainer::traces`]) — not as a second post-epoch sweep.
     ///
     /// `lanes`/`sample` configure trace extraction; the yielded progress
     /// runs linearly from 0 (first epoch) to 1 (last epoch). Training
@@ -180,26 +217,24 @@ impl Trainer {
 
     /// Extracts the three per-layer operation traces of the last batch —
     /// authentic dynamic sparsity, straight from training.
+    ///
+    /// Convolution tensors are borrowed straight out of the layer caches
+    /// (no snapshot clones), and convolutions directly followed by a ReLU
+    /// carry the post-activation non-zero count the activation's forward
+    /// bitmap already paid for — it drives the forward op's
+    /// output-compression traffic.
     #[must_use]
-    pub fn traces(&self, lanes: usize, sample: &SampleSpec) -> Vec<(String, [OpTrace; 3])> {
-        self.snapshots()
-            .iter()
-            .map(|snap| {
-                let tensors = LayerTensors {
-                    dims: snap.dims,
-                    activations: &snap.activations,
-                    weights: &snap.weights,
-                    grad_out: &snap.grad_out,
-                    output_nonzero: None,
-                };
-                let traces = [
-                    extract_op_trace(&tensors, TrainingOp::Forward, lanes, sample),
-                    extract_op_trace(&tensors, TrainingOp::InputGrad, lanes, sample),
-                    extract_op_trace(&tensors, TrainingOp::WeightGrad, lanes, sample),
-                ];
-                (snap.name.clone(), traces)
-            })
-            .collect()
+    pub fn traces(&self, lanes: usize, sample: &SampleSpec) -> LayerTraces {
+        let mut out = Vec::new();
+        self.network.visit_layer_tensors(&mut |name, tensors| {
+            let traces = [
+                extract_op_trace(&tensors, TrainingOp::Forward, lanes, sample),
+                extract_op_trace(&tensors, TrainingOp::InputGrad, lanes, sample),
+                extract_op_trace(&tensors, TrainingOp::WeightGrad, lanes, sample),
+            ];
+            out.push((name.to_string(), traces));
+        });
+        out
     }
 }
 
@@ -216,7 +251,7 @@ pub struct EpochTrace {
     pub stats: EpochStats,
     /// `(layer name, [Forward, InputGrad, WeightGrad])` traces of the
     /// epoch's last batch, per weighted layer.
-    pub layers: Vec<(String, [OpTrace; 3])>,
+    pub layers: LayerTraces,
 }
 
 /// The iterator behind [`Trainer::epochs`]. Each `next()` trains one
@@ -242,8 +277,12 @@ impl<R: Rng> Iterator for TrainingRun<'_, R> {
         }
         let epoch = self.next;
         self.next += 1;
-        let stats = match self.trainer.run_epoch(self.batch_size, self.rng) {
-            Ok(stats) => stats,
+        let (stats, layers) = match self.trainer.epoch_loop(
+            self.batch_size,
+            self.rng,
+            Some((self.lanes, self.sample)),
+        ) {
+            Ok(result) => result,
             Err(message) => {
                 self.failed = true;
                 return Some(Err(message));
@@ -258,7 +297,7 @@ impl<R: Rng> Iterator for TrainingRun<'_, R> {
             epoch,
             progress,
             stats,
-            layers: self.trainer.traces(self.lanes, &self.sample),
+            layers: layers.unwrap_or_default(),
         }))
     }
 

@@ -1,0 +1,286 @@
+//! Golden-reference property suite: the blocked/vectorized kernel path is
+//! **bit-identical** to the retained scalar reference path, at every level
+//! — raw tensor kernels, single layers, whole-network training steps, and
+//! full `Trainer::epochs` runs with in-loop trace extraction.
+//!
+//! These tests are the gate the ISSUE imposes on the hot-path rewrite: an
+//! optimized routine may only be the default because this suite proves it
+//! produces the same bits as the scalar golden model across randomized
+//! shapes, batch sizes, and seeds. "Bit-identical" means `f32::to_bits`
+//! equality — not approximate closeness — so every accumulation order and
+//! every `±0.0` produced by the blocked kernels must match the reference
+//! exactly.
+
+use rand::distributions::Uniform;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use tensordash_nn::{Conv2d, Dataset, KernelMode, Layer, Linear, Network, Relu, Sgd, Trainer};
+use tensordash_tensor::{
+    conv2d, conv2d_backward_input, conv2d_backward_input_reference, conv2d_backward_weights,
+    conv2d_backward_weights_reference, conv2d_reference, linear, linear_backward_input,
+    linear_backward_input_reference, linear_backward_weights, linear_backward_weights_reference,
+    linear_reference, relu, relu_backward, relu_backward_bitmap, relu_with_bitmap, Conv2dSpec,
+    Tensor,
+};
+use tensordash_trace::SampleSpec;
+
+/// Asserts two tensors are bit-for-bit identical (`to_bits`, not `==`,
+/// so `-0.0` vs `0.0` divergence is caught too).
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} diverged ({x:?} vs {y:?})"
+        );
+    }
+}
+
+/// A random tensor with roughly a third of its elements forced to zero —
+/// the zero-skip paths in the backward kernels must agree with the
+/// reference on exactly which elements they skip.
+fn sparse_random(shape: &[usize], rng: &mut StdRng) -> Tensor {
+    let dense = Tensor::random(shape, Uniform::new(-1.0f32, 1.0), rng);
+    let data = dense
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| if i % 3 == 0 { 0.0 } else { v })
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+#[test]
+fn conv_kernels_match_reference_across_random_geometries() {
+    let mut rng = StdRng::seed_from_u64(0xC0);
+    for case in 0..12 {
+        let n = rng.gen_range(1..=3);
+        let c = rng.gen_range(1..=5);
+        let f = rng.gen_range(1..=6);
+        let k = rng.gen_range(1..=4);
+        let stride = rng.gen_range(1..=3);
+        let pad = rng.gen_range(0..=k); // pad > k/2 exercises empty tap ranges
+        let h = rng.gen_range(k..k + 9);
+        let w = rng.gen_range(k..k + 9);
+        let spec = Conv2dSpec::new(stride, pad);
+
+        let x = sparse_random(&[n, c, h, w], &mut rng);
+        let weights = sparse_random(&[f, c, k, k], &mut rng);
+        let y = conv2d(&x, &weights, &spec).expect("forward");
+        let y_ref = conv2d_reference(&x, &weights, &spec).expect("forward ref");
+        assert_bits_eq(&y, &y_ref, &format!("case {case}: conv2d forward"));
+
+        let gy = sparse_random(y.shape(), &mut rng);
+        let gx = conv2d_backward_input(&gy, &weights, &spec, (h, w)).expect("bwd input");
+        let gx_ref =
+            conv2d_backward_input_reference(&gy, &weights, &spec, (h, w)).expect("bwd input ref");
+        assert_bits_eq(&gx, &gx_ref, &format!("case {case}: conv2d backward input"));
+
+        let gw = conv2d_backward_weights(&x, &gy, &spec, (k, k)).expect("bwd weights");
+        let gw_ref =
+            conv2d_backward_weights_reference(&x, &gy, &spec, (k, k)).expect("bwd weights ref");
+        assert_bits_eq(
+            &gw,
+            &gw_ref,
+            &format!("case {case}: conv2d backward weights"),
+        );
+    }
+}
+
+#[test]
+fn linear_kernels_match_reference_across_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(0x11B1);
+    for case in 0..12 {
+        let b = rng.gen_range(1..=8);
+        let i = rng.gen_range(1..=24);
+        let o = rng.gen_range(1..=12);
+
+        let x = sparse_random(&[b, i], &mut rng);
+        let weights = sparse_random(&[o, i], &mut rng);
+        let y = linear(&x, &weights).expect("forward");
+        let y_ref = linear_reference(&x, &weights).expect("forward ref");
+        assert_bits_eq(&y, &y_ref, &format!("case {case}: linear forward"));
+
+        let gy = sparse_random(&[b, o], &mut rng);
+        let gx = linear_backward_input(&gy, &weights).expect("bwd input");
+        let gx_ref = linear_backward_input_reference(&gy, &weights).expect("bwd input ref");
+        assert_bits_eq(&gx, &gx_ref, &format!("case {case}: linear backward input"));
+
+        let gw = linear_backward_weights(&gy, &x).expect("bwd weights");
+        let gw_ref = linear_backward_weights_reference(&gy, &x).expect("bwd weights ref");
+        assert_bits_eq(
+            &gw,
+            &gw_ref,
+            &format!("case {case}: linear backward weights"),
+        );
+    }
+}
+
+#[test]
+fn relu_bitmap_matches_scalar_relu_across_random_lengths() {
+    let mut rng = StdRng::seed_from_u64(0x2E11);
+    for case in 0..12 {
+        // Lengths straddling u64-word boundaries: 1..=200 covers sub-word,
+        // exact-word, and multi-word-plus-tail bitmaps.
+        let len = rng.gen_range(1..=200);
+        let x = sparse_random(&[len], &mut rng);
+        let (y, bitmap) = relu_with_bitmap(&x);
+        assert_bits_eq(&y, &relu(&x), &format!("case {case}: relu forward"));
+        let popcount: u64 = bitmap.iter().map(|w| u64::from(w.count_ones())).sum();
+        assert_eq!(popcount, y.nonzeros() as u64, "case {case}: popcount");
+
+        let gy = sparse_random(&[len], &mut rng);
+        let gx = relu_backward_bitmap(&gy, &bitmap);
+        let gx_ref = relu_backward(&gy, &x);
+        assert_bits_eq(&gx, &gx_ref, &format!("case {case}: relu backward"));
+    }
+}
+
+/// Two layers built from the same seed, one switched to the reference
+/// kernels: forward outputs, input gradients, and weight gradients must
+/// be bit-identical across several passes.
+#[test]
+fn layers_match_reference_mode_bit_for_bit() {
+    for seed in [7u64, 8, 9] {
+        // Conv2d
+        let mut blocked = Conv2d::new("c", 3, 5, 3, Conv2dSpec::new(1, 1), &mut seeded(seed));
+        let mut reference = Conv2d::new("c", 3, 5, 3, Conv2dSpec::new(1, 1), &mut seeded(seed));
+        reference.set_kernel_mode(KernelMode::Reference);
+        let mut rng = seeded(seed ^ 0xFF);
+        for _ in 0..3 {
+            let x = sparse_random(&[2, 3, 9, 9], &mut rng);
+            let yb = blocked.forward(&x);
+            let yr = reference.forward(&x);
+            assert_bits_eq(&yb, &yr, "conv forward");
+            let gy = sparse_random(yb.shape(), &mut rng);
+            let gxb = blocked.backward(&gy);
+            let gxr = reference.backward(&gy);
+            assert_bits_eq(&gxb, &gxr, "conv backward input");
+            assert_bits_eq(
+                &blocked.grad_weights,
+                &reference.grad_weights,
+                "conv grad weights",
+            );
+        }
+
+        // Linear
+        let mut blocked = Linear::new("fc", 18, 6, &mut seeded(seed));
+        let mut reference = Linear::new("fc", 18, 6, &mut seeded(seed));
+        reference.set_kernel_mode(KernelMode::Reference);
+        for _ in 0..3 {
+            let x = sparse_random(&[4, 18], &mut rng);
+            let yb = blocked.forward(&x);
+            let yr = reference.forward(&x);
+            assert_bits_eq(&yb, &yr, "linear forward");
+            let gy = sparse_random(yb.shape(), &mut rng);
+            let gxb = blocked.backward(&gy);
+            let gxr = reference.backward(&gy);
+            assert_bits_eq(&gxb, &gxr, "linear backward input");
+            assert_bits_eq(
+                &blocked.grad_weights,
+                &reference.grad_weights,
+                "linear grad weights",
+            );
+        }
+
+        // Relu — and the bitmap's nonzero count agrees with the reference
+        // mode's cached-input scan.
+        let mut blocked = Relu::new();
+        let mut reference = Relu::new();
+        reference.set_kernel_mode(KernelMode::Reference);
+        for _ in 0..3 {
+            let x = sparse_random(&[2, 5, 7, 7], &mut rng);
+            let yb = blocked.forward(&x);
+            let yr = reference.forward(&x);
+            assert_bits_eq(&yb, &yr, "relu forward");
+            assert_eq!(blocked.output_nonzero(), reference.output_nonzero());
+            assert_eq!(blocked.output_nonzero(), Some(yb.nonzeros() as u64));
+            let gy = sparse_random(yb.shape(), &mut rng);
+            assert_bits_eq(
+                &blocked.backward(&gy),
+                &reference.backward(&gy),
+                "relu backward",
+            );
+        }
+    }
+}
+
+fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Builds the same network twice from one seed and flips one copy to the
+/// reference kernels.
+fn twin_networks(seed: u64, hw: usize, classes: usize) -> (Network, Network) {
+    let blocked = Network::small_cnn(1, hw, classes, &mut seeded(seed));
+    let mut reference = Network::small_cnn(1, hw, classes, &mut seeded(seed));
+    reference.set_kernel_mode(KernelMode::Reference);
+    (blocked, reference)
+}
+
+#[test]
+fn train_step_matches_reference_mode_bit_for_bit() {
+    for (seed, batch, hw) in [(11u64, 4usize, 8usize), (12, 6, 12), (13, 2, 16)] {
+        let (mut blocked, mut reference) = twin_networks(seed, hw, 4);
+        let mut rng = seeded(seed ^ 0xAB);
+        for step in 0..4 {
+            let x = sparse_random(&[batch, 1, hw, hw], &mut rng);
+            let labels: Vec<usize> = (0..batch).map(|i| i % 4).collect();
+            let (loss_b, correct_b) = blocked.train_step(&x, &labels);
+            let (loss_r, correct_r) = reference.train_step(&x, &labels);
+            assert_eq!(loss_b.to_bits(), loss_r.to_bits(), "step {step}: loss");
+            assert_eq!(correct_b, correct_r, "step {step}: correct count");
+
+            // Every cached tensor of every weighted layer — activations,
+            // weights, gradients — and the free output-nonzero counts.
+            let snaps_b = blocked.snapshots();
+            let snaps_r = reference.snapshots();
+            assert_eq!(snaps_b.len(), snaps_r.len());
+            for (sb, sr) in snaps_b.iter().zip(&snaps_r) {
+                assert_eq!(sb.name, sr.name);
+                assert_bits_eq(&sb.activations, &sr.activations, &sb.name);
+                assert_bits_eq(&sb.weights, &sr.weights, &sb.name);
+                assert_bits_eq(&sb.grad_out, &sr.grad_out, &sb.name);
+                assert_eq!(sb.output_nonzero, sr.output_nonzero, "{}", sb.name);
+            }
+
+            // And the sparsity summaries take identical f64 paths.
+            assert_eq!(
+                blocked.activation_sparsity().to_bits(),
+                reference.activation_sparsity().to_bits()
+            );
+            assert_eq!(
+                blocked.gradient_sparsity().to_bits(),
+                reference.gradient_sparsity().to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn trainer_epochs_match_reference_mode_bit_for_bit() {
+    for (seed, batch_size) in [(21u64, 16usize), (22, 32)] {
+        let run = |mode: KernelMode| {
+            let mut rng = seeded(seed);
+            let dataset = Dataset::synthetic_shapes(4, 120, 12, &mut rng);
+            let mut network = Network::small_cnn(1, 12, 4, &mut rng);
+            network.set_kernel_mode(mode);
+            let mut trainer = Trainer::new(network, Sgd::new(0.05, 0.9), dataset);
+            trainer
+                .epochs(2, batch_size, 16, SampleSpec::new(4, 32), &mut rng)
+                .map(Result::unwrap)
+                .collect::<Vec<_>>()
+        };
+        let blocked = run(KernelMode::Blocked);
+        let reference = run(KernelMode::Reference);
+        assert_eq!(blocked.len(), reference.len());
+        for (eb, er) in blocked.iter().zip(&reference) {
+            assert_eq!(eb.epoch, er.epoch);
+            // Exact f64 equality on every stat, and full trace equality:
+            // same masks, same traffic volumes, same output-nonzero-driven
+            // forward compression.
+            assert_eq!(eb.stats, er.stats, "epoch {} stats", eb.epoch);
+            assert_eq!(eb.layers, er.layers, "epoch {} traces", eb.epoch);
+        }
+    }
+}

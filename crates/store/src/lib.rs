@@ -29,7 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
 use std::io::{self, Write as _};
@@ -154,6 +154,12 @@ pub fn parse_digest(text: &str) -> Option<u64> {
 pub struct TraceStore {
     root: PathBuf,
     pins: Mutex<HashMap<u64, usize>>,
+    /// Staging files currently being written by in-process uploaders.
+    /// `gc`'s tmp sweep skips these: only *abandoned* litter (crashed
+    /// processes, files this process no longer owns) is reclaimable —
+    /// deleting a live staging file out from under its writer would make
+    /// the commit rename fail and lose a verified upload.
+    in_flight: Mutex<HashSet<PathBuf>>,
     tmp_counter: AtomicU64,
     uploads: AtomicU64,
     dedup_hits: AtomicU64,
@@ -174,6 +180,7 @@ impl TraceStore {
         Ok(TraceStore {
             root,
             pins: Mutex::new(HashMap::new()),
+            in_flight: Mutex::new(HashSet::new()),
             tmp_counter: AtomicU64::new(0),
             uploads: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
@@ -283,19 +290,36 @@ impl TraceStore {
     /// not at all. Unique tmp names keep concurrent uploaders off each
     /// other's staging files; the final rename is atomic and idempotent
     /// (every writer of one digest carries identical canonical bytes).
+    ///
+    /// The staging path is registered as in-flight for the duration of
+    /// the write so a concurrent [`TraceStore::gc`] tmp sweep cannot
+    /// reclaim it mid-commit.
     fn write_atomic(&self, target: &Path, bytes: &[u8]) -> io::Result<()> {
         let staged = self.root.join("tmp").join(format!(
             "{}-{}.tmp",
             std::process::id(),
             self.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
-        let mut file = fs::File::create(&staged)?;
+        self.in_flight
+            .lock()
+            .expect("in-flight table poisoned")
+            .insert(staged.clone());
+        let result = self.stage_and_rename(&staged, target, bytes);
+        self.in_flight
+            .lock()
+            .expect("in-flight table poisoned")
+            .remove(&staged);
+        result
+    }
+
+    fn stage_and_rename(&self, staged: &Path, target: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut file = fs::File::create(staged)?;
         file.write_all(bytes)?;
         file.sync_all()?;
         drop(file);
-        let renamed = fs::rename(&staged, target);
+        let renamed = fs::rename(staged, target);
         if renamed.is_err() {
-            let _ = fs::remove_file(&staged);
+            let _ = fs::remove_file(staged);
         }
         renamed
     }
@@ -402,6 +426,13 @@ impl TraceStore {
     /// Removes abandoned `tmp/` files and every object that is neither
     /// in `keep` nor currently pinned.
     ///
+    /// Safe to run while uploads are in progress: staging files that an
+    /// in-process uploader is still writing are skipped (see
+    /// `in_flight`), the pin check happens per object immediately before
+    /// its removal (an object pinned before it lands is never removed),
+    /// and removals tolerate losing a race with another sweep — a file
+    /// that is already gone counts as collected, not as an error.
+    ///
     /// # Errors
     ///
     /// Returns the I/O error when a directory scan or removal fails.
@@ -409,18 +440,40 @@ impl TraceStore {
         let mut report = GcReport::default();
         for entry in fs::read_dir(self.root.join("tmp"))? {
             let entry = entry?;
-            report.bytes_freed += entry.metadata().map(|m| m.len()).unwrap_or(0);
-            fs::remove_file(entry.path())?;
-            report.removed_tmp += 1;
+            let path = entry.path();
+            if self
+                .in_flight
+                .lock()
+                .expect("in-flight table poisoned")
+                .contains(&path)
+            {
+                continue;
+            }
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            match fs::remove_file(&path) {
+                Ok(()) => {
+                    report.removed_tmp += 1;
+                    report.bytes_freed += bytes;
+                }
+                // Committed (renamed away) or swept concurrently between
+                // the scan and here — either way it is no longer litter.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
         }
         for object in self.list()? {
             if keep.contains(&object.digest) || self.is_pinned(object.digest) {
                 report.kept += 1;
                 continue;
             }
-            fs::remove_file(self.object_path(object.digest))?;
-            report.removed_objects += 1;
-            report.bytes_freed += object.bytes;
+            match fs::remove_file(self.object_path(object.digest)) {
+                Ok(()) => {
+                    report.removed_objects += 1;
+                    report.bytes_freed += object.bytes;
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
         }
         self.gc_removed
             .fetch_add(report.removed_objects as u64, Ordering::Relaxed);
@@ -676,6 +729,82 @@ mod tests {
         assert_eq!(store.stats().uploads, 8);
         // Whatever interleaving happened, the object replays intact.
         assert_eq!(store.load(digest).unwrap().recording(), &tiny_recording(42));
+    }
+
+    /// `gc --keep` racing concurrent uploads: the tmp sweep must not
+    /// reclaim a live staging file mid-commit (which would fail the
+    /// commit rename), and every kept upload must land and replay. On
+    /// the pre-registry implementation this test fails with spurious
+    /// rename/`NotFound` errors once gc sweeps an uploader's tmp file.
+    #[test]
+    fn gc_with_keep_racing_concurrent_uploads_loses_nothing() {
+        let dir = TestDir::new("gc-race");
+        let store = TraceStore::open(&dir.0).unwrap();
+        let recordings: Vec<TraceRecording> = (100..112).map(tiny_recording).collect();
+        let keep: Vec<u64> = recordings
+            .iter()
+            .map(tensordash_trace::canonical_digest)
+            .collect();
+
+        let done = AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            let collector = scope.spawn(|| {
+                let mut passes = 0usize;
+                while done.load(Ordering::Relaxed) == 0 {
+                    store.gc(&keep).expect("gc must tolerate live uploads");
+                    passes += 1;
+                }
+                passes
+            });
+            for recording in &recordings {
+                let outcome = store
+                    .insert_bytes(&recording.to_bytes(), None)
+                    .expect("upload must survive a concurrent gc");
+                assert!(store.contains(outcome.digest));
+            }
+            done.store(1, Ordering::Relaxed);
+            assert!(collector.join().unwrap() > 0);
+        });
+
+        // Every upload is present, uncorrupted, and replayable.
+        assert_eq!(store.list().unwrap().len(), recordings.len());
+        for (digest, recording) in keep.iter().zip(&recordings) {
+            assert_eq!(store.load(*digest).unwrap().recording(), recording);
+        }
+        // No staging litter left behind by the interleaving.
+        assert_eq!(fs::read_dir(dir.0.join("tmp")).unwrap().count(), 0);
+    }
+
+    /// An object pinned *before* its commit lands — the service pins a
+    /// digest it is about to replay while the upload is still in flight
+    /// — must never be deleted by a concurrent `gc`, no matter when the
+    /// commit arrives relative to the sweep.
+    #[test]
+    fn object_pinned_before_it_lands_survives_concurrent_gc() {
+        let dir = TestDir::new("pin-mid-gc");
+        let store = TraceStore::open(&dir.0).unwrap();
+        let done = AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while done.load(Ordering::Relaxed) == 0 {
+                    store.gc(&[]).expect("gc must not fail mid-race");
+                }
+            });
+            for seed in 200..216 {
+                let recording = tiny_recording(seed);
+                let digest = tensordash_trace::canonical_digest(&recording);
+                // Pin first: from the moment the object exists it is
+                // protected, so gc can never observe it unpinned.
+                let guard = store.pin(digest);
+                store.insert_bytes(&recording.to_bytes(), None).unwrap();
+                let loaded = store
+                    .load(digest)
+                    .expect("pinned in-flight commit was deleted by gc");
+                assert_eq!(loaded.recording(), &recording);
+                drop(guard);
+            }
+            done.store(1, Ordering::Relaxed);
+        });
     }
 
     #[test]

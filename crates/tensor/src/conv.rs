@@ -12,8 +12,22 @@
 //!    gradients, accumulated over the batch.
 //!
 //! All three perform a comparable number of MACs, which is why the paper
-//! reports per-convolution speedups (`A×W`, `A×G`, `W×G`). The direct-form
-//! implementations below favour clarity and are validated against numerical
+//! reports per-convolution speedups (`A×W`, `A×G`, `W×G`).
+//!
+//! # Blocked kernels and their scalar references
+//!
+//! Each convolution ships in two forms. The default ([`conv2d`],
+//! [`conv2d_backward_input`], [`conv2d_backward_weights`]) is a **blocked**
+//! implementation: tap-validity ranges are hoisted out of the inner loops,
+//! and the innermost loop runs over contiguous output (or input) spans so
+//! the compiler can vectorize it. The original direct-form scalar loops are
+//! retained as [`conv2d_reference`], [`conv2d_backward_input_reference`],
+//! and [`conv2d_backward_weights_reference`] — the golden models. The
+//! blocked kernels preserve the references' exact per-element `f32`
+//! accumulation order (same terms, same sequence, including the
+//! `grad == 0.0` skips), so their results are **bit-identical**, which the
+//! `tensordash-nn` reference property suite enforces across random shapes
+//! and seeds. The references are also validated against numerical
 //! differentiation in this module's tests.
 
 use crate::error::TensorError;
@@ -79,15 +93,27 @@ pub fn conv2d_output_hw(
     Ok(((ph - kh) / spec.stride + 1, (pw - kw) / spec.stride + 1))
 }
 
-/// Forward convolution `O = W ⋆ A` (Table 1, Eq. 4).
-///
-/// `x` is `[N, C, H, W]`, `weights` is `[F, C, Kh, Kw]`; the result is
-/// `[N, F, Ho, Wo]`.
-///
-/// # Errors
-///
-/// Returns an error if ranks, channel counts, or geometry disagree.
-pub fn conv2d(x: &Tensor, weights: &Tensor, spec: &Conv2dSpec) -> Result<Tensor, TensorError> {
+/// The validated geometry shared by a convolution's blocked and reference
+/// implementations.
+struct ConvGeom {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    f: usize,
+    kh: usize,
+    kw: usize,
+    ho: usize,
+    wo: usize,
+    stride: usize,
+    pad: usize,
+}
+
+fn forward_geometry(
+    x: &Tensor,
+    weights: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<ConvGeom, TensorError> {
     x.shape_ref().expect_rank(4)?;
     weights.shape_ref().expect_rank(4)?;
     let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
@@ -101,13 +127,249 @@ pub fn conv2d(x: &Tensor, weights: &Tensor, spec: &Conv2dSpec) -> Result<Tensor,
         return Err(TensorError::ContractionMismatch { left: c, right: wc });
     }
     let (ho, wo) = conv2d_output_hw((h, w), (kh, kw), spec)?;
+    Ok(ConvGeom {
+        n,
+        c,
+        h,
+        w,
+        f,
+        kh,
+        kw,
+        ho,
+        wo,
+        stride: spec.stride,
+        pad: spec.padding,
+    })
+}
 
-    let mut out = Tensor::zeros(&[n, f, ho, wo]);
+/// The output rows/columns `o` for which tap `k` lands inside the input:
+/// `0 <= o*stride + k - pad < extent`, as a half-open `lo..hi` range.
+#[inline]
+fn valid_outputs(
+    k: usize,
+    extent: usize,
+    out_extent: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    let lo = if pad > k {
+        (pad - k).div_ceil(stride)
+    } else {
+        0
+    };
+    let hi = match (extent + pad).checked_sub(k + 1) {
+        Some(v) => (v / stride + 1).min(out_extent),
+        None => 0,
+    };
+    (lo.min(hi), hi)
+}
+
+/// The kernel taps `k` that land inside the input for output position `o`:
+/// `0 <= o*stride + k - pad < extent`, as a half-open `lo..hi` range.
+#[inline]
+fn valid_taps(
+    o: usize,
+    extent: usize,
+    k_extent: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    let base = o * stride;
+    let lo = pad.saturating_sub(base);
+    let hi = match (extent + pad).checked_sub(base + 1) {
+        Some(v) => (v + 1).min(k_extent),
+        None => 0,
+    };
+    (lo.min(hi), hi)
+}
+
+/// Forward convolution `O = W ⋆ A` (Table 1, Eq. 4) — the blocked kernel.
+///
+/// `x` is `[N, C, H, W]`, `weights` is `[F, C, Kh, Kw]`; the result is
+/// `[N, F, Ho, Wo]`. Bit-identical to [`conv2d_reference`]: the loop
+/// interchange keeps every output element's tap accumulation in the same
+/// `(ci, ky, kx)` order, it only turns the innermost traversal into a
+/// contiguous row span with the bounds checks hoisted.
+///
+/// # Errors
+///
+/// Returns an error if ranks, channel counts, or geometry disagree.
+pub fn conv2d(x: &Tensor, weights: &Tensor, spec: &Conv2dSpec) -> Result<Tensor, TensorError> {
+    let g = forward_geometry(x, weights, spec)?;
+    let mut out = Tensor::zeros(&[g.n, g.f, g.ho, g.wo]);
     let xs = x.data();
     let ws = weights.data();
     let os = out.data_mut();
-    let pad = spec.padding as isize;
-    let stride = spec.stride;
+    let (stride, pad) = (g.stride, g.pad);
+
+    if stride == 1 && g.kh == 3 && g.kw == 3 {
+        conv2d_fused3(&g, xs, ws, os);
+        return Ok(out);
+    }
+
+    for ni in 0..g.n {
+        for fi in 0..g.f {
+            let o_plane = ((ni * g.f + fi) * g.ho) * g.wo;
+            for ci in 0..g.c {
+                let x_plane = ((ni * g.c + ci) * g.h) * g.w;
+                let w_base = ((fi * g.c + ci) * g.kh) * g.kw;
+                for ky in 0..g.kh {
+                    let (oy_lo, oy_hi) = valid_outputs(ky, g.h, g.ho, stride, pad);
+                    let w_row = w_base + ky * g.kw;
+                    for kx in 0..g.kw {
+                        let (ox_lo, ox_hi) = valid_outputs(kx, g.w, g.wo, stride, pad);
+                        if ox_lo >= ox_hi {
+                            continue;
+                        }
+                        let wv = ws[w_row + kx];
+                        for oy in oy_lo..oy_hi {
+                            let iy = oy * stride + ky - pad;
+                            let x_row = x_plane + iy * g.w;
+                            let o_row = o_plane + oy * g.wo;
+                            let ix0 = x_row + ox_lo * stride + kx - pad;
+                            let o_span = &mut os[o_row + ox_lo..o_row + ox_hi];
+                            if stride == 1 {
+                                let x_span = &xs[ix0..ix0 + (ox_hi - ox_lo)];
+                                for (o, &xv) in o_span.iter_mut().zip(x_span) {
+                                    *o += wv * xv;
+                                }
+                            } else {
+                                let mut xi = ix0;
+                                for o in o_span {
+                                    *o += wv * xs[xi];
+                                    xi += stride;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Copies sample `ni`'s `c` input planes into a zero-padded scratch buffer
+/// (`pad` cells of border on every side), so a 3×3 stride-1 kernel can run
+/// every tap unconditionally: taps that fall in the border read `0.0`.
+///
+/// # Why padding keeps the result bit-identical
+///
+/// A padding tap contributes `wv * 0.0 = ±0.0` where the reference skips
+/// the term entirely. An accumulator that starts at `+0.0` can never
+/// become `-0.0` (in round-to-nearest, `a + b` is `-0.0` only when *both*
+/// operands are `-0.0`), and adding `±0.0` to a non-`-0.0` value returns
+/// it unchanged — so the interleaved border terms are exact no-ops for
+/// any finite weights, and the chain of real terms is untouched.
+fn pad_planes(xs: &[f32], g: &ConvGeom, ni: usize, pad: usize, xpad: &mut [f32]) {
+    let (ph, pw) = (g.h + 2 * pad, g.w + 2 * pad);
+    xpad.fill(0.0);
+    for ci in 0..g.c {
+        let src = ((ni * g.c + ci) * g.h) * g.w;
+        let dst = ci * ph * pw + pad * pw + pad;
+        for iy in 0..g.h {
+            xpad[dst + iy * pw..dst + iy * pw + g.w]
+                .copy_from_slice(&xs[src + iy * g.w..src + iy * g.w + g.w]);
+        }
+    }
+}
+
+/// The 3×3 stride-1 fast path of [`conv2d`]: the sample's input planes are
+/// copied into a zero-padded scratch (see [`pad_planes`]) and the weights
+/// are transposed to `[(ci, ky, kx)][fi]` lane rows, so each output
+/// position runs a GEMM-style microkernel — every filter's output is a
+/// SIMD lane, the activation tap is a broadcast shared by all lanes, and
+/// the taps stream through in `(ci, ky, kx)` order. Each lane's
+/// accumulation chain is therefore exactly the reference's per-element
+/// term sequence (vectorizing *across* independent output elements, never
+/// within one element's sum), hence bit-identical.
+fn conv2d_fused3(g: &ConvGeom, xs: &[f32], ws: &[f32], os: &mut [f32]) {
+    // Tile width picked so narrow layers don't burn idle lanes: 16 f32
+    // accumulators live in four SIMD registers, 8 in two.
+    if g.f > 8 {
+        conv2d_fused3_tile::<16>(g, xs, ws, os);
+    } else {
+        conv2d_fused3_tile::<8>(g, xs, ws, os);
+    }
+}
+
+fn conv2d_fused3_tile<const FB: usize>(g: &ConvGeom, xs: &[f32], ws: &[f32], os: &mut [f32]) {
+    let (ph, pw) = (g.h + 2 * g.pad, g.w + 2 * g.pad);
+    let mut xpad = vec![0.0f32; g.c * ph * pw];
+    let nb = g.f.div_ceil(FB);
+    // Weights transposed to [block][(ci, ky, kx)][lane]; lanes past `f`
+    // multiply zero weights and are never stored.
+    let mut wt = vec![0.0f32; nb * g.c * 9 * FB];
+    for fi in 0..g.f {
+        let (b, l) = (fi / FB, fi % FB);
+        for ci in 0..g.c {
+            for k in 0..9 {
+                wt[((b * g.c + ci) * 9 + k) * FB + l] = ws[(fi * g.c + ci) * 9 + k];
+            }
+        }
+    }
+    let plane_len = g.ho * g.wo;
+    for ni in 0..g.n {
+        pad_planes(xs, g, ni, g.pad, &mut xpad);
+        let o_base = ni * g.f * plane_len;
+        for b in 0..nb {
+            let wt_b = &wt[b * g.c * 9 * FB..(b + 1) * g.c * 9 * FB];
+            let f_lo = b * FB;
+            let f_hi = (f_lo + FB).min(g.f);
+            for oy in 0..g.ho {
+                for ox in 0..g.wo {
+                    let mut acc = [0.0f32; FB];
+                    let p0 = oy * pw + ox;
+                    for ci in 0..g.c {
+                        let plane = &xpad[ci * ph * pw..(ci + 1) * ph * pw];
+                        let x9 = [
+                            plane[p0],
+                            plane[p0 + 1],
+                            plane[p0 + 2],
+                            plane[p0 + pw],
+                            plane[p0 + pw + 1],
+                            plane[p0 + pw + 2],
+                            plane[p0 + 2 * pw],
+                            plane[p0 + 2 * pw + 1],
+                            plane[p0 + 2 * pw + 2],
+                        ];
+                        for (k, &xk) in x9.iter().enumerate() {
+                            let at = (ci * 9 + k) * FB;
+                            let wk: &[f32; FB] = wt_b[at..at + FB].try_into().unwrap();
+                            for l in 0..FB {
+                                acc[l] += xk * wk[l];
+                            }
+                        }
+                    }
+                    let o_cell = oy * g.wo + ox;
+                    for (l, fi) in (f_lo..f_hi).enumerate() {
+                        os[o_base + fi * plane_len + o_cell] = acc[l];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The original direct-form forward convolution — the golden model
+/// [`conv2d`] is property-tested bit-identical against.
+///
+/// # Errors
+///
+/// Returns an error if ranks, channel counts, or geometry disagree.
+pub fn conv2d_reference(
+    x: &Tensor,
+    weights: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    let g = forward_geometry(x, weights, spec)?;
+    let mut out = Tensor::zeros(&[g.n, g.f, g.ho, g.wo]);
+    let xs = x.data();
+    let ws = weights.data();
+    let os = out.data_mut();
+    let pad = g.pad as isize;
+    let stride = g.stride;
+    let (n, c, h, w, f, kh, kw, ho, wo) = (g.n, g.c, g.h, g.w, g.f, g.kh, g.kw, g.ho, g.wo);
 
     for ni in 0..n {
         for fi in 0..f {
@@ -116,7 +378,7 @@ pub fn conv2d(x: &Tensor, weights: &Tensor, spec: &Conv2dSpec) -> Result<Tensor,
                     let mut acc = 0.0f32;
                     for ci in 0..c {
                         let x_base = ((ni * c + ci) * h) as isize;
-                        let w_base = ((fi * wc + ci) * kh) * kw;
+                        let w_base = ((fi * c + ci) * kh) * kw;
                         for ky in 0..kh {
                             let iy = (oy * stride + ky) as isize - pad;
                             if iy < 0 || iy >= h as isize {
@@ -158,37 +420,173 @@ pub fn conv2d_backward_input(
     spec: &Conv2dSpec,
     input_hw: (usize, usize),
 ) -> Result<Tensor, TensorError> {
-    grad_out.shape_ref().expect_rank(4)?;
-    weights.shape_ref().expect_rank(4)?;
-    let [n, f, ho, wo] = [
-        grad_out.shape()[0],
-        grad_out.shape()[1],
-        grad_out.shape()[2],
-        grad_out.shape()[3],
-    ];
-    let [wf, c, kh, kw] = [
-        weights.shape()[0],
-        weights.shape()[1],
-        weights.shape()[2],
-        weights.shape()[3],
-    ];
-    if f != wf {
-        return Err(TensorError::ContractionMismatch { left: f, right: wf });
-    }
-    let (h, w) = input_hw;
-    let (eho, ewo) = conv2d_output_hw((h, w), (kh, kw), spec)?;
-    if (eho, ewo) != (ho, wo) {
-        return Err(TensorError::InvalidConvolution {
-            reason: format!("grad_out is {ho}x{wo} but geometry implies {eho}x{ewo}"),
-        });
-    }
-
-    let mut gx = Tensor::zeros(&[n, c, h, w]);
+    let g = backward_input_geometry(grad_out, weights, spec, input_hw)?;
+    let mut gx = Tensor::zeros(&[g.n, g.c, g.h, g.w]);
     let gs = grad_out.data();
     let ws = weights.data();
     let xs = gx.data_mut();
-    let pad = spec.padding;
-    let stride = spec.stride;
+    let (stride, pad) = (g.stride, g.pad);
+
+    if stride == 1 && g.kh == 3 && g.kw == 3 {
+        conv2d_backward_input_fused3(&g, gs, ws, xs);
+        return Ok(gx);
+    }
+
+    // Blocked scatter: same `(ni, fi, oy, ox, ci, ky, kx)` visit order as
+    // the reference (so every input cell accumulates its terms in the same
+    // sequence, `g == 0.0` windows skipped identically), but the tap
+    // validity ranges are hoisted per row/column and the innermost loop
+    // runs over the contiguous `kx` span.
+    for ni in 0..g.n {
+        for fi in 0..g.f {
+            let g_plane = ((ni * g.f + fi) * g.ho) * g.wo;
+            let w_fbase = fi * g.c * g.kh * g.kw;
+            for oy in 0..g.ho {
+                let (ky_lo, ky_hi) = valid_taps(oy, g.h, g.kh, stride, pad);
+                let g_row = g_plane + oy * g.wo;
+                for ox in 0..g.wo {
+                    let gv = gs[g_row + ox];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    let (kx_lo, kx_hi) = valid_taps(ox, g.w, g.kw, stride, pad);
+                    if kx_lo >= kx_hi {
+                        continue;
+                    }
+                    let len = kx_hi - kx_lo;
+                    let ix0 = ox * stride + kx_lo - pad;
+                    for ci in 0..g.c {
+                        let x_plane = ((ni * g.c + ci) * g.h) * g.w;
+                        let w_base = w_fbase + ci * g.kh * g.kw;
+                        for ky in ky_lo..ky_hi {
+                            let iy = oy * stride + ky - pad;
+                            let x_row = x_plane + iy * g.w + ix0;
+                            let w_row = w_base + ky * g.kw + kx_lo;
+                            let x_span = &mut xs[x_row..x_row + len];
+                            let w_span = &ws[w_row..w_row + len];
+                            for (xv, &wv) in x_span.iter_mut().zip(w_span) {
+                                *xv += gv * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(gx)
+}
+
+/// The 3×3 stride-1 fast path of [`conv2d_backward_input`]: the scatter is
+/// re-read as a gather over a zero-padded copy of the gradient planes,
+/// with the weights transposed so each *input channel* is a SIMD lane of
+/// a GEMM-style microkernel — the broadcast gradient tap is shared by all
+/// lanes. The reference visits gradients `(fi, oy, ox)` ascending, so per
+/// input cell the terms arrive ordered `(fi, oy, ox)`; the microkernel
+/// streams taps in exactly that order per lane (the tap's weight is the
+/// mirrored `w[2-ky][2-kx]`), hence bit-identical. The reference's
+/// `g == 0.0` skip is a sparsity shortcut, not a semantic one: a skipped
+/// term contributes `gv * wv = ±0.0`, and adding `±0.0` to an accumulator
+/// that can never be `-0.0` (see [`pad_planes`]) returns it unchanged —
+/// so this path multiplies through zero gradients and padding cells
+/// alike, unconditionally.
+fn conv2d_backward_input_fused3(g: &ConvGeom, gs: &[f32], ws: &[f32], xs: &mut [f32]) {
+    /// Input-channel lanes per register tile.
+    const CB: usize = 8;
+    let pad = g.pad;
+    // Border wide enough that every tap `ox = ix + pad - kx` (and the row
+    // equivalent) lands inside the padded plane: `b >= 2 - pad`.
+    let b = 2usize.saturating_sub(pad);
+    let (gh, gw) = (g.ho + 2 * b, g.wo + 2 * b);
+    let mut gpad = vec![0.0f32; g.f * gh * gw];
+    // First tap of each row/column triple in padded coordinates.
+    let base = pad + b - 2;
+    let nb = g.c.div_ceil(CB);
+    // Mirrored weights transposed to [block][(fi, oy, ox)][lane]: tap
+    // index k = r*3 + q walks the gradient window rows/cols ascending,
+    // which is kernel tap (ky, kx) = (2-r, 2-q).
+    let mut wt = vec![0.0f32; nb * g.f * 9 * CB];
+    for ci in 0..g.c {
+        let (blk, l) = (ci / CB, ci % CB);
+        for fi in 0..g.f {
+            for r in 0..3 {
+                for q in 0..3 {
+                    wt[((blk * g.f + fi) * 9 + r * 3 + q) * CB + l] =
+                        ws[(fi * g.c + ci) * 9 + (2 - r) * 3 + (2 - q)];
+                }
+            }
+        }
+    }
+    let plane_len = g.h * g.w;
+    for ni in 0..g.n {
+        gpad.fill(0.0);
+        for fi in 0..g.f {
+            let g_plane = ((ni * g.f + fi) * g.ho) * g.wo;
+            for oy in 0..g.ho {
+                let src = g_plane + oy * g.wo;
+                let dst = fi * gh * gw + (oy + b) * gw + b;
+                gpad[dst..dst + g.wo].copy_from_slice(&gs[src..src + g.wo]);
+            }
+        }
+        let x_base = ni * g.c * plane_len;
+        for blk in 0..nb {
+            let wt_b = &wt[blk * g.f * 9 * CB..(blk + 1) * g.f * 9 * CB];
+            let c_lo = blk * CB;
+            let c_hi = (c_lo + CB).min(g.c);
+            for iy in 0..g.h {
+                for ix in 0..g.w {
+                    let mut acc = [0.0f32; CB];
+                    let p0 = (iy + base) * gw + ix + base;
+                    for fi in 0..g.f {
+                        let plane = &gpad[fi * gh * gw..(fi + 1) * gh * gw];
+                        let g9 = [
+                            plane[p0],
+                            plane[p0 + 1],
+                            plane[p0 + 2],
+                            plane[p0 + gw],
+                            plane[p0 + gw + 1],
+                            plane[p0 + gw + 2],
+                            plane[p0 + 2 * gw],
+                            plane[p0 + 2 * gw + 1],
+                            plane[p0 + 2 * gw + 2],
+                        ];
+                        for (k, &gk) in g9.iter().enumerate() {
+                            let at = (fi * 9 + k) * CB;
+                            let wk: &[f32; CB] = wt_b[at..at + CB].try_into().unwrap();
+                            for l in 0..CB {
+                                acc[l] += gk * wk[l];
+                            }
+                        }
+                    }
+                    let x_cell = iy * g.w + ix;
+                    for (l, ci) in (c_lo..c_hi).enumerate() {
+                        xs[x_base + ci * plane_len + x_cell] = acc[l];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The original direct-form input-gradient convolution — the golden model
+/// [`conv2d_backward_input`] is property-tested bit-identical against.
+///
+/// # Errors
+///
+/// Returns an error if shapes or geometry disagree.
+pub fn conv2d_backward_input_reference(
+    grad_out: &Tensor,
+    weights: &Tensor,
+    spec: &Conv2dSpec,
+    input_hw: (usize, usize),
+) -> Result<Tensor, TensorError> {
+    let g = backward_input_geometry(grad_out, weights, spec, input_hw)?;
+    let mut gx = Tensor::zeros(&[g.n, g.c, g.h, g.w]);
+    let gs = grad_out.data();
+    let ws = weights.data();
+    let xs = gx.data_mut();
+    let (n, c, h, w, f, kh, kw, ho, wo) = (g.n, g.c, g.h, g.w, g.f, g.kh, g.kw, g.ho, g.wo);
+    let pad = g.pad;
+    let stride = g.stride;
 
     // Scatter form: every output gradient contributes to the input cells its
     // window covered — the transpose of the forward gather.
@@ -224,6 +622,51 @@ pub fn conv2d_backward_input(
     Ok(gx)
 }
 
+fn backward_input_geometry(
+    grad_out: &Tensor,
+    weights: &Tensor,
+    spec: &Conv2dSpec,
+    input_hw: (usize, usize),
+) -> Result<ConvGeom, TensorError> {
+    grad_out.shape_ref().expect_rank(4)?;
+    weights.shape_ref().expect_rank(4)?;
+    let [n, f, ho, wo] = [
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    ];
+    let [wf, c, kh, kw] = [
+        weights.shape()[0],
+        weights.shape()[1],
+        weights.shape()[2],
+        weights.shape()[3],
+    ];
+    if f != wf {
+        return Err(TensorError::ContractionMismatch { left: f, right: wf });
+    }
+    let (h, w) = input_hw;
+    let (eho, ewo) = conv2d_output_hw((h, w), (kh, kw), spec)?;
+    if (eho, ewo) != (ho, wo) {
+        return Err(TensorError::InvalidConvolution {
+            reason: format!("grad_out is {ho}x{wo} but geometry implies {eho}x{ewo}"),
+        });
+    }
+    Ok(ConvGeom {
+        n,
+        c,
+        h,
+        w,
+        f,
+        kh,
+        kw,
+        ho,
+        wo,
+        stride: spec.stride,
+        pad: spec.padding,
+    })
+}
+
 /// Weight-gradient convolution `GW = GO ⋆ A` (Table 1, Eq. 8): computes the
 /// loss gradient w.r.t. the filter weights, accumulated over the batch.
 ///
@@ -239,32 +682,142 @@ pub fn conv2d_backward_weights(
     spec: &Conv2dSpec,
     kernel_hw: (usize, usize),
 ) -> Result<Tensor, TensorError> {
-    x.shape_ref().expect_rank(4)?;
-    grad_out.shape_ref().expect_rank(4)?;
-    let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
-    let [gn, f, ho, wo] = [
-        grad_out.shape()[0],
-        grad_out.shape()[1],
-        grad_out.shape()[2],
-        grad_out.shape()[3],
-    ];
-    if n != gn {
-        return Err(TensorError::ContractionMismatch { left: n, right: gn });
-    }
-    let (kh, kw) = kernel_hw;
-    let (eho, ewo) = conv2d_output_hw((h, w), (kh, kw), spec)?;
-    if (eho, ewo) != (ho, wo) {
-        return Err(TensorError::InvalidConvolution {
-            reason: format!("grad_out is {ho}x{wo} but geometry implies {eho}x{ewo}"),
-        });
-    }
-
-    let mut gw = Tensor::zeros(&[f, c, kh, kw]);
+    let g = backward_weights_geometry(x, grad_out, spec, kernel_hw)?;
+    let mut gw = Tensor::zeros(&[g.f, g.c, g.kh, g.kw]);
     let xs = x.data();
     let gs = grad_out.data();
     let wsum = gw.data_mut();
-    let pad = spec.padding;
-    let stride = spec.stride;
+    let (stride, pad) = (g.stride, g.pad);
+
+    if stride == 1 && g.kh == 3 && g.kw == 3 {
+        conv2d_backward_weights_fused3(&g, xs, gs, wsum);
+        return Ok(gw);
+    }
+
+    // Blocked correlation: same `(ni, fi, oy, ox, ci, ky, kx)` visit order
+    // as the reference (each weight cell accumulates its batch terms in the
+    // same sequence, with identical `g == 0.0` skips); validity ranges are
+    // hoisted and the innermost loop spans the contiguous `kx` run of both
+    // the weight-gradient row and the activation row.
+    for ni in 0..g.n {
+        for fi in 0..g.f {
+            let g_plane = ((ni * g.f + fi) * g.ho) * g.wo;
+            for oy in 0..g.ho {
+                let (ky_lo, ky_hi) = valid_taps(oy, g.h, g.kh, stride, pad);
+                let g_row = g_plane + oy * g.wo;
+                for ox in 0..g.wo {
+                    let gv = gs[g_row + ox];
+                    if gv == 0.0 {
+                        continue;
+                    }
+                    let (kx_lo, kx_hi) = valid_taps(ox, g.w, g.kw, stride, pad);
+                    if kx_lo >= kx_hi {
+                        continue;
+                    }
+                    let len = kx_hi - kx_lo;
+                    let ix0 = ox * stride + kx_lo - pad;
+                    for ci in 0..g.c {
+                        let x_plane = ((ni * g.c + ci) * g.h) * g.w;
+                        let w_base = ((fi * g.c + ci) * g.kh) * g.kw;
+                        for ky in ky_lo..ky_hi {
+                            let iy = oy * stride + ky - pad;
+                            let x_row = x_plane + iy * g.w + ix0;
+                            let w_row = w_base + ky * g.kw + kx_lo;
+                            let w_span = &mut wsum[w_row..w_row + len];
+                            let x_span = &xs[x_row..x_row + len];
+                            for (wv, &xv) in w_span.iter_mut().zip(x_span) {
+                                *wv += gv * xv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(gw)
+}
+
+/// The 3×3 stride-1 fast path of [`conv2d_backward_weights`]: activations
+/// read through the zero-padded scratch of [`pad_planes`] (border taps add
+/// `gv * 0.0 = ±0.0` where the reference skips the term — a bit-exact
+/// no-op), and the `ci` loop is hoisted *outside* the `(oy, ox)` gradient
+/// sweep so the nine cells of each `(fi, ci)` filter accumulate in
+/// registers across the whole plane and spill to memory once. Per weight
+/// cell the terms still arrive in the reference's `(ni, oy, ox)` order —
+/// a cell's `ci` is fixed, so moving the `ci` loop outward reorders terms
+/// only *across* cells, never within one — and the `g == 0.0` skip drops
+/// the identical terms, hence bit-identical.
+fn conv2d_backward_weights_fused3(g: &ConvGeom, xs: &[f32], gs: &[f32], wsum: &mut [f32]) {
+    let (ph, pw) = (g.h + 2 * g.pad, g.w + 2 * g.pad);
+    // One float of slack so the 4-wide row loads below may read one lane
+    // past the last plane; the fourth lane is never stored.
+    let mut xpad = vec![0.0f32; g.c * ph * pw + 1];
+    // The nonzero gradients of one plane, in `(oy, ox)` sweep order —
+    // hoisting the `g == 0.0` skip out of the `ci` loop.
+    let mut nz: Vec<(u32, f32)> = Vec::with_capacity(g.ho * g.wo);
+    for ni in 0..g.n {
+        pad_planes(xs, g, ni, g.pad, &mut xpad);
+        for fi in 0..g.f {
+            let g_plane = ((ni * g.f + fi) * g.ho) * g.wo;
+            nz.clear();
+            for oy in 0..g.ho {
+                for ox in 0..g.wo {
+                    let gv = gs[g_plane + oy * g.wo + ox];
+                    if gv != 0.0 {
+                        // Tap (ky, kx) reads padded cell (oy + ky, ox + kx).
+                        nz.push(((oy * pw + ox) as u32, gv));
+                    }
+                }
+            }
+            for ci in 0..g.c {
+                let plane = &xpad[ci * ph * pw..(ci + 1) * ph * pw + 1];
+                let w9 = &mut wsum[(fi * g.c + ci) * 9..(fi * g.c + ci) * 9 + 9];
+                // Seed the registers with the running sums so every cell's
+                // serial accumulation chain is unbroken across the batch;
+                // lane 3 of each row vector accumulates the load overhang
+                // and is discarded.
+                let mut acc = [[0.0f32; 4]; 3];
+                for r in 0..3 {
+                    acc[r][..3].copy_from_slice(&w9[r * 3..r * 3 + 3]);
+                }
+                for &(p, gv) in &nz {
+                    let p = p as usize;
+                    for (r, a) in acc.iter_mut().enumerate() {
+                        let at = p + r * pw;
+                        let xr: &[f32; 4] = plane[at..at + 4].try_into().unwrap();
+                        for l in 0..4 {
+                            a[l] += gv * xr[l];
+                        }
+                    }
+                }
+                for r in 0..3 {
+                    w9[r * 3..r * 3 + 3].copy_from_slice(&acc[r][..3]);
+                }
+            }
+        }
+    }
+}
+
+/// The original direct-form weight-gradient convolution — the golden model
+/// [`conv2d_backward_weights`] is property-tested bit-identical against.
+///
+/// # Errors
+///
+/// Returns an error if shapes or geometry disagree.
+pub fn conv2d_backward_weights_reference(
+    x: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv2dSpec,
+    kernel_hw: (usize, usize),
+) -> Result<Tensor, TensorError> {
+    let g = backward_weights_geometry(x, grad_out, spec, kernel_hw)?;
+    let mut gw = Tensor::zeros(&[g.f, g.c, g.kh, g.kw]);
+    let xs = x.data();
+    let gs = grad_out.data();
+    let wsum = gw.data_mut();
+    let (n, c, h, w, f, kh, kw, ho, wo) = (g.n, g.c, g.h, g.w, g.f, g.kh, g.kw, g.ho, g.wo);
+    let pad = g.pad;
+    let stride = g.stride;
 
     for ni in 0..n {
         for fi in 0..f {
@@ -295,6 +848,46 @@ pub fn conv2d_backward_weights(
         }
     }
     Ok(gw)
+}
+
+fn backward_weights_geometry(
+    x: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv2dSpec,
+    kernel_hw: (usize, usize),
+) -> Result<ConvGeom, TensorError> {
+    x.shape_ref().expect_rank(4)?;
+    grad_out.shape_ref().expect_rank(4)?;
+    let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+    let [gn, f, ho, wo] = [
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    ];
+    if n != gn {
+        return Err(TensorError::ContractionMismatch { left: n, right: gn });
+    }
+    let (kh, kw) = kernel_hw;
+    let (eho, ewo) = conv2d_output_hw((h, w), (kh, kw), spec)?;
+    if (eho, ewo) != (ho, wo) {
+        return Err(TensorError::InvalidConvolution {
+            reason: format!("grad_out is {ho}x{wo} but geometry implies {eho}x{ewo}"),
+        });
+    }
+    Ok(ConvGeom {
+        n,
+        c,
+        h,
+        w,
+        f,
+        kh,
+        kw,
+        ho,
+        wo,
+        stride: spec.stride,
+        pad: spec.padding,
+    })
 }
 
 #[cfg(test)]
@@ -438,6 +1031,51 @@ mod tests {
         // a 5x5 input, not 9x9.
         assert!(conv2d_backward_input(&gy, &w, &Conv2dSpec::unit(), (9, 9)).is_err());
         assert!(conv2d_backward_input(&gy, &w, &Conv2dSpec::unit(), (5, 5)).is_ok());
+    }
+
+    #[test]
+    fn blocked_kernels_match_reference_bit_for_bit() {
+        // Sparse gradients exercise the `g == 0.0` skip paths; odd strides
+        // and paddings exercise the hoisted validity ranges.
+        let cases = [
+            (1, 1, 5, 5, 1, 1, 1, 0),
+            (2, 3, 6, 7, 4, 3, 1, 1),
+            (1, 2, 8, 8, 3, 2, 2, 0),
+            (2, 2, 5, 5, 3, 3, 2, 1),
+            (1, 4, 9, 6, 2, 3, 3, 2),
+            (3, 1, 4, 4, 2, 4, 1, 3),
+        ];
+        for (case, &(n, c, h, w, f, k, stride, pad)) in cases.iter().enumerate() {
+            let seed = 100 + case as u64;
+            let spec = Conv2dSpec::new(stride, pad);
+            let x = rand_tensor(&[n, c, h, w], seed);
+            let wt = rand_tensor(&[f, c, k, k], seed + 50);
+            let y = conv2d(&x, &wt, &spec).unwrap();
+            let y_ref = conv2d_reference(&x, &wt, &spec).unwrap();
+            assert_eq!(y.data(), y_ref.data(), "forward diverged in case {case}");
+
+            let mut gy = rand_tensor(y.shape(), seed + 90);
+            for (i, v) in gy.data_mut().iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = 0.0;
+                }
+            }
+            let gx = conv2d_backward_input(&gy, &wt, &spec, (h, w)).unwrap();
+            let gx_ref = conv2d_backward_input_reference(&gy, &wt, &spec, (h, w)).unwrap();
+            assert_eq!(
+                gx.data(),
+                gx_ref.data(),
+                "backward-input diverged in case {case}"
+            );
+
+            let gw = conv2d_backward_weights(&x, &gy, &spec, (k, k)).unwrap();
+            let gw_ref = conv2d_backward_weights_reference(&x, &gy, &spec, (k, k)).unwrap();
+            assert_eq!(
+                gw.data(),
+                gw_ref.data(),
+                "backward-weights diverged in case {case}"
+            );
+        }
     }
 
     #[test]

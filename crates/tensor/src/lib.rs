@@ -36,13 +36,17 @@ pub mod tensor;
 
 pub use bf16::Bf16;
 pub use conv::{
-    conv2d, conv2d_backward_input, conv2d_backward_weights, conv2d_output_hw, Conv2dSpec,
+    conv2d, conv2d_backward_input, conv2d_backward_input_reference, conv2d_backward_weights,
+    conv2d_backward_weights_reference, conv2d_output_hw, conv2d_reference, Conv2dSpec,
 };
 pub use error::TensorError;
-pub use linear::{linear, linear_backward_input, linear_backward_weights, matmul};
+pub use linear::{
+    linear, linear_backward_input, linear_backward_input_reference, linear_backward_weights,
+    linear_backward_weights_reference, linear_reference, matmul,
+};
 pub use ops::{
     avgpool2d_global, batchnorm2d, batchnorm2d_backward, maxpool2d, maxpool2d_backward, relu,
-    relu_backward, softmax_cross_entropy, BatchNormState,
+    relu_backward, relu_backward_bitmap, relu_with_bitmap, softmax_cross_entropy, BatchNormState,
 };
 pub use shape::Shape;
 pub use tensor::Tensor;

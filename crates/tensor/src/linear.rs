@@ -12,6 +12,12 @@
 //! input gradients:    gx = gy · w          [B, I]
 //! weight gradients:   gw = gyᵀ · x         [O, I]
 //! ```
+//!
+//! As in [`crate::conv`], the default kernels are blocked (contiguous
+//! saxpy inner loops) with the scalar dot-product forms retained as
+//! `*_reference` golden models; the blocked forms preserve the references'
+//! exact accumulation order and zero-skip behaviour, so results are
+//! bit-identical.
 
 use crate::error::TensorError;
 use crate::tensor::Tensor;
@@ -48,14 +54,54 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     Ok(out)
 }
 
-/// Forward fully-connected layer `y = x · wᵀ` (Eq. 5).
+/// Forward fully-connected layer `y = x · wᵀ` (Eq. 5) — the blocked kernel.
 ///
 /// `x` is `[B, I]`, `weights` is `[O, I]`; the result is `[B, O]`.
+/// Transposes the weights once (an `O(I·O)` cost amortized over the `B`
+/// batch rows), then accumulates output rows as contiguous saxpy spans.
+/// Bit-identical to [`linear_reference`]: every output element still sums
+/// its `I` products in ascending input-index order.
 ///
 /// # Errors
 ///
 /// Returns an error on rank or dimension mismatch.
 pub fn linear(x: &Tensor, weights: &Tensor) -> Result<Tensor, TensorError> {
+    x.shape_ref().expect_rank(2)?;
+    weights.shape_ref().expect_rank(2)?;
+    let (b, i) = (x.shape()[0], x.shape()[1]);
+    let (o, wi) = (weights.shape()[0], weights.shape()[1]);
+    if i != wi {
+        return Err(TensorError::ContractionMismatch { left: i, right: wi });
+    }
+    let (xd, wd) = (x.data(), weights.data());
+    let mut wt = vec![0.0f32; i * o];
+    for (oi, wrow) in wd.chunks_exact(i).enumerate() {
+        for (ii, &wv) in wrow.iter().enumerate() {
+            wt[ii * o + oi] = wv;
+        }
+    }
+    let mut out = Tensor::zeros(&[b, o]);
+    let od = out.data_mut();
+    for bi in 0..b {
+        let xrow = &xd[bi * i..(bi + 1) * i];
+        let orow = &mut od[bi * o..(bi + 1) * o];
+        for (kk, &xv) in xrow.iter().enumerate() {
+            let wrow = &wt[kk * o..(kk + 1) * o];
+            for (ov, &wv) in orow.iter_mut().zip(wrow) {
+                *ov += xv * wv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The original dot-product fully-connected forward — the golden model
+/// [`linear`] is property-tested bit-identical against.
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatch.
+pub fn linear_reference(x: &Tensor, weights: &Tensor) -> Result<Tensor, TensorError> {
     x.shape_ref().expect_rank(2)?;
     weights.shape_ref().expect_rank(2)?;
     let (b, i) = (x.shape()[0], x.shape()[1]);
@@ -89,6 +135,43 @@ pub fn linear_backward_input(grad_out: &Tensor, weights: &Tensor) -> Result<Tens
     matmul(grad_out, weights)
 }
 
+/// The scalar dot-product form of [`linear_backward_input`] — the golden
+/// model for its equivalence tests. Skips exactly the `gy == 0.0` terms the
+/// saxpy-form [`matmul`] skips, so results are bit-identical.
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatch.
+pub fn linear_backward_input_reference(
+    grad_out: &Tensor,
+    weights: &Tensor,
+) -> Result<Tensor, TensorError> {
+    grad_out.shape_ref().expect_rank(2)?;
+    weights.shape_ref().expect_rank(2)?;
+    let (b, o) = (grad_out.shape()[0], grad_out.shape()[1]);
+    let (o2, i) = (weights.shape()[0], weights.shape()[1]);
+    if o != o2 {
+        return Err(TensorError::ContractionMismatch { left: o, right: o2 });
+    }
+    let mut out = Tensor::zeros(&[b, i]);
+    let (gd, wd) = (grad_out.data(), weights.data());
+    let od = out.data_mut();
+    for bi in 0..b {
+        for ii in 0..i {
+            let mut acc = 0.0f32;
+            for oi in 0..o {
+                let g = gd[bi * o + oi];
+                if g == 0.0 {
+                    continue;
+                }
+                acc += g * wd[oi * i + ii];
+            }
+            od[bi * i + ii] = acc;
+        }
+    }
+    Ok(out)
+}
+
 /// Weight gradients of a fully-connected layer: `gw = gyᵀ · x` (Eq. 9).
 ///
 /// `grad_out` is `[B, O]`, `x` is `[B, I]`; the result is `[O, I]`.
@@ -118,6 +201,44 @@ pub fn linear_backward_weights(grad_out: &Tensor, x: &Tensor) -> Result<Tensor, 
             for (ov, &xv) in orow.iter_mut().zip(xrow) {
                 *ov += g * xv;
             }
+        }
+    }
+    Ok(out)
+}
+
+/// The scalar dot-product form of [`linear_backward_weights`] — the golden
+/// model for its equivalence tests. Each weight gradient sums its batch
+/// terms in ascending batch order with identical `gy == 0.0` skips, so
+/// results are bit-identical to the saxpy form.
+///
+/// # Errors
+///
+/// Returns an error on rank or dimension mismatch.
+pub fn linear_backward_weights_reference(
+    grad_out: &Tensor,
+    x: &Tensor,
+) -> Result<Tensor, TensorError> {
+    grad_out.shape_ref().expect_rank(2)?;
+    x.shape_ref().expect_rank(2)?;
+    let (b, o) = (grad_out.shape()[0], grad_out.shape()[1]);
+    let (b2, i) = (x.shape()[0], x.shape()[1]);
+    if b != b2 {
+        return Err(TensorError::ContractionMismatch { left: b, right: b2 });
+    }
+    let mut out = Tensor::zeros(&[o, i]);
+    let (gd, xd) = (grad_out.data(), x.data());
+    let od = out.data_mut();
+    for oi in 0..o {
+        for ii in 0..i {
+            let mut acc = 0.0f32;
+            for bi in 0..b {
+                let g = gd[bi * o + oi];
+                if g == 0.0 {
+                    continue;
+                }
+                acc += g * xd[bi * i + ii];
+            }
+            od[oi * i + ii] = acc;
         }
     }
     Ok(out)
@@ -223,6 +344,40 @@ mod tests {
             wp.data_mut()[idx] = orig;
             let numeric = (up - down) / (2.0 * f64::from(eps));
             assert!((numeric - f64::from(gw.data()[idx])).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn blocked_linear_kernels_match_reference_bit_for_bit() {
+        for case in 0..6u64 {
+            let (b, i, o) = (1 + case as usize, 3 + 2 * case as usize, 2 + case as usize);
+            let x = rand_tensor(&[b, i], 20 + case);
+            let w = rand_tensor(&[o, i], 40 + case);
+            let y = linear(&x, &w).unwrap();
+            let y_ref = linear_reference(&x, &w).unwrap();
+            assert_eq!(y.data(), y_ref.data(), "forward diverged in case {case}");
+
+            let mut gy = rand_tensor(&[b, o], 60 + case);
+            for (idx, v) in gy.data_mut().iter_mut().enumerate() {
+                if idx % 2 == 0 {
+                    *v = 0.0;
+                }
+            }
+            let gx = linear_backward_input(&gy, &w).unwrap();
+            let gx_ref = linear_backward_input_reference(&gy, &w).unwrap();
+            assert_eq!(
+                gx.data(),
+                gx_ref.data(),
+                "backward-input diverged in case {case}"
+            );
+
+            let gw = linear_backward_weights(&gy, &x).unwrap();
+            let gw_ref = linear_backward_weights_reference(&gy, &x).unwrap();
+            assert_eq!(
+                gw.data(),
+                gw_ref.data(),
+                "backward-weights diverged in case {case}"
+            );
         }
     }
 

@@ -42,6 +42,75 @@ pub fn relu_backward(grad_out: &Tensor, forward_input: &Tensor) -> Tensor {
     out
 }
 
+/// ReLU forward that also emits the layer's **non-zero bitmap**: bit `i`
+/// of the returned `u64` words is set iff `x[i] > 0.0` — exactly the
+/// elements the output keeps. The sparsity mask the simulator cares about
+/// falls out of the forward pass for free: one popcount gives the output
+/// non-zero count, and [`relu_backward_bitmap`] replays the mask word-wide
+/// without re-reading the forward activations.
+///
+/// Bits past the element count are zero.
+#[must_use]
+pub fn relu_with_bitmap(x: &Tensor) -> (Tensor, Vec<u64>) {
+    let data = x.data();
+    let mut words = vec![0u64; data.len().div_ceil(64)];
+    let mut out = vec![0.0f32; data.len()];
+    // Word-at-a-time: the bits accumulate in a register and store once,
+    // keeping the 64-element select loop free of memory read-modify-writes.
+    for (wi, word) in words.iter_mut().enumerate() {
+        let base = wi * 64;
+        let end = (base + 64).min(data.len());
+        let mut w = 0u64;
+        for (j, (&v, o)) in data[base..end].iter().zip(&mut out[base..end]).enumerate() {
+            let pass = v > 0.0;
+            w |= u64::from(pass) << j;
+            *o = if pass { v } else { 0.0 };
+        }
+        *word = w;
+    }
+    (Tensor::from_vec(x.shape(), out), words)
+}
+
+/// ReLU backward from a forward bitmap (see [`relu_with_bitmap`]):
+/// gradients pass where the bit is set and are zeroed where it is clear.
+/// All-ones and all-zeros words short-circuit 64 elements at a time.
+///
+/// Matches [`relu_backward`] bit for bit on finite pre-activations (the
+/// bitmap records `x > 0.0`; the reference zeroes on `x <= 0.0`).
+///
+/// # Panics
+///
+/// Panics if the bitmap's word count does not cover `grad_out`.
+#[must_use]
+pub fn relu_backward_bitmap(grad_out: &Tensor, bitmap: &[u64]) -> Tensor {
+    assert_eq!(
+        bitmap.len(),
+        grad_out.len().div_ceil(64),
+        "relu bitmap does not match grad_out"
+    );
+    let mut out = grad_out.clone();
+    for (chunk, &word) in out.data_mut().chunks_mut(64).zip(bitmap) {
+        let full = if chunk.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        if word & full == full {
+            continue;
+        }
+        if word & full == 0 {
+            chunk.fill(0.0);
+            continue;
+        }
+        for (b, g) in chunk.iter_mut().enumerate() {
+            if word >> b & 1 == 0 {
+                *g = 0.0;
+            }
+        }
+    }
+    out
+}
+
 /// Max-pool a 4-D tensor with a square `k × k` window and stride `k`,
 /// returning the pooled tensor and the flat argmax index per output cell
 /// (needed by [`maxpool2d_backward`]).
@@ -64,20 +133,49 @@ pub fn maxpool2d(x: &Tensor, k: usize) -> Result<(Tensor, Vec<usize>), TensorErr
     let od = out.data_mut();
     for ni in 0..n {
         for ci in 0..c {
+            let x_plane = (ni * c + ci) * h * w;
+            let o_plane = (ni * c + ci) * ho * wo;
+            if k == 2 {
+                // 2×2 fast path: the window's four candidates unrolled
+                // with the same strict-greater, first-wins scan as the
+                // general loop below.
+                for oy in 0..ho {
+                    let r0 = x_plane + 2 * oy * w;
+                    let o_row = o_plane + oy * wo;
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for idx in [
+                            r0 + 2 * ox,
+                            r0 + 2 * ox + 1,
+                            r0 + w + 2 * ox,
+                            r0 + w + 2 * ox + 1,
+                        ] {
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_idx = idx;
+                            }
+                        }
+                        od[o_row + ox] = best;
+                        argmax[o_row + ox] = best_idx;
+                    }
+                }
+                continue;
+            }
             for oy in 0..ho {
                 for ox in 0..wo {
                     let mut best = f32::NEG_INFINITY;
                     let mut best_idx = 0;
                     for ky in 0..k {
                         for kx in 0..k {
-                            let idx = ((ni * c + ci) * h + oy * k + ky) * w + ox * k + kx;
+                            let idx = x_plane + (oy * k + ky) * w + ox * k + kx;
                             if xd[idx] > best {
                                 best = xd[idx];
                                 best_idx = idx;
                             }
                         }
                     }
-                    let oidx = ((ni * c + ci) * ho + oy) * wo + ox;
+                    let oidx = o_plane + oy * wo + ox;
                     od[oidx] = best;
                     argmax[oidx] = best_idx;
                 }
@@ -324,6 +422,26 @@ mod tests {
         let g = Tensor::from_vec(&[4], vec![10.0, 20.0, 30.0, 40.0]);
         let gx = relu_backward(&g, &x);
         assert_eq!(gx.data(), &[0.0, 20.0, 0.0, 40.0]);
+    }
+
+    #[test]
+    fn relu_bitmap_matches_scalar_relu_and_backward() {
+        // 150 elements spans full, partial, all-ones, and all-zeros words.
+        let mut x = rand_tensor(&[150], 9);
+        for v in x.data_mut().iter_mut().take(64) {
+            *v = v.abs() + 0.1; // an all-ones word
+        }
+        for v in x.data_mut().iter_mut().skip(64).take(64) {
+            *v = -v.abs() - 0.1; // an all-zeros word
+        }
+        let (y, bitmap) = relu_with_bitmap(&x);
+        assert_eq!(y.data(), relu(&x).data());
+        let popcount: u32 = bitmap.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(popcount as usize, y.nonzeros());
+
+        let g = rand_tensor(&[150], 10);
+        let gx = relu_backward_bitmap(&g, &bitmap);
+        assert_eq!(gx.data(), relu_backward(&g, &x).data());
     }
 
     #[test]
