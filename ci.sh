@@ -157,9 +157,36 @@ step "tensordash trace gc smoke"
 ./target/release/tensordash trace gc --trace-dir "$train_dir/store" \
   | grep -q 'removed 1 object'
 
-step "tensordash bench --smoke --baseline BENCH_7.json"
+step "tensordash chaos smoke (fault-injected serve survives the adversarial mix)"
+chaos_log="$(mktemp -t tensordash-chaos-XXXXXX.log)"
+chaos_dir="$(mktemp -d -t tensordash-chaos-store-XXXXXX)"
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_report" "$serve_log" "$chaos_log"; rm -rf "$train_dir" "$chaos_dir"' EXIT
+# A server that injects deterministic faults into its own connection
+# handling and store I/O, bombarded by the adversarial loadtest: resets,
+# slow-loris drips, oversized bodies, corrupt uploads, tiny deadlines.
+# `loadtest --chaos` exits nonzero unless the server survives with every
+# leg in a typed outcome and every surviving report byte-identical to a
+# fault-free run.
+./target/release/tensordash serve --port 0 --workers 2 \
+  --trace-dir "$chaos_dir" --fault-seed 7 >"$chaos_log" &
+chaos_pid=$!
+trap 'kill "$serve_pid" "$chaos_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_report" "$serve_log" "$chaos_log"; rm -rf "$train_dir" "$chaos_dir"' EXIT
+chaos_url=""
+for _ in $(seq 1 100); do
+  chaos_url="$(sed -n 's#.*listening on \(http://[0-9.:]*\).*#\1#p' "$chaos_log" | head -n1)"
+  [ -n "$chaos_url" ] && break
+  sleep 0.1
+done
+[ -n "$chaos_url" ] || { echo "chaos serve never reported its address"; cat "$chaos_log"; exit 1; }
+./target/release/tensordash loadtest "$chaos_url" --chaos 7 --smoke
+# Even a fault-injected server must drain cleanly on SIGTERM.
+kill -TERM "$chaos_pid"
+wait "$chaos_pid" || { echo "chaos serve did not exit cleanly after SIGTERM"; exit 1; }
+grep -q "shut down cleanly" "$chaos_log"
+
+step "tensordash bench --smoke --baseline BENCH_8.json"
 bench_report="$(mktemp -t tensordash-bench-XXXXXX.json)"
-trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_report" "$serve_log" "$bench_report"; rm -rf "$train_dir"' EXIT
+trap 'kill "$serve_pid" "$chaos_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_report" "$serve_log" "$chaos_log" "$bench_report"; rm -rf "$train_dir" "$chaos_dir"' EXIT
 # The committed baseline gates kernel + source + store + service
 # throughput: >20% regression on any comparable in-process metric fails
 # the build (trace/model throughput only compares between same-variant
@@ -169,8 +196,8 @@ trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_repor
 # wider >50% tolerance — end-to-end socket loadtests swing ±25%
 # run-to-run). The baseline's absolute rates reflect the machine that
 # committed it — on substantially slower hardware, regenerate it with
-# `tensordash bench --out BENCH_7.json` rather than loosening the gate.
-./target/release/tensordash bench --smoke --baseline BENCH_7.json --out "$bench_report"
+# `tensordash bench --out BENCH_8.json` rather than loosening the gate.
+./target/release/tensordash bench --smoke --baseline BENCH_8.json --out "$bench_report"
 grep -q '"step_speedup"' "$bench_report"
 grep -q '"extraction_speedup"' "$bench_report"
 grep -q '"cycles_per_second"' "$bench_report"

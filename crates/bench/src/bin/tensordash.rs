@@ -86,9 +86,14 @@ COMMANDS:
                          store rooted there: uploads land in it, `stored`
                          and `recorded` experiment sources read from it),
                          --max-body-bytes <N> (request-body cap, default
-                         4 MiB), --idle-shutdown <SECONDS>. Shuts down
-                         gracefully on SIGTERM, idle timeout, or POST
-                         /v1/shutdown
+                         4 MiB), --idle-shutdown <SECONDS>,
+                         --job-deadline-secs <SECONDS> (cap every job's
+                         simulation time; exceeding it is a typed
+                         `timed_out` terminal state, 504 on report fetch),
+                         --fault-seed <S> (deterministic fault injection
+                         into connection handling and store I/O — for
+                         chaos testing only). Shuts down gracefully on
+                         SIGTERM, idle timeout, or POST /v1/shutdown
     loadtest <URL>       Fire a deterministic randomized experiment mix at
                          a running service and report throughput + latency
                          percentiles. Options: --requests <N> (default 64),
@@ -96,7 +101,12 @@ COMMANDS:
                          --upload-every <N> (every Nth request uploads a
                          trace artifact and replays it by digest; needs a
                          --trace-dir service), --smoke (12 requests from
-                         4 clients)
+                         4 clients), --chaos <SEED> (adversarial mode:
+                         byte-verified submits mixed with resets,
+                         slow-loris drips, oversized bodies, corrupt
+                         uploads, and tiny-deadline probes; exits nonzero
+                         unless the server survives with every leg in a
+                         typed outcome — point it at a --fault-seed server)
 
 OPTIONS:
     --config <FILE>      Run a declarative experiment from a TOML file
@@ -522,6 +532,18 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 }
                 config.idle_shutdown = Some(Duration::from_secs_f64(seconds));
             }
+            "--job-deadline-secs" => {
+                let seconds: f64 = take_parsed(&mut iter, "--job-deadline-secs")?;
+                if !seconds.is_finite() || seconds <= 0.0 {
+                    return Err(
+                        "`--job-deadline-secs` needs a positive number of seconds".to_string()
+                    );
+                }
+                config.job_deadline = Some(Duration::from_secs_f64(seconds));
+            }
+            "--fault-seed" => {
+                config.fault_seed = Some(take_parsed(&mut iter, "--fault-seed")?);
+            }
             other => return Err(format!("unknown `serve` argument `{other}`")),
         }
     }
@@ -537,6 +559,12 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     match &config.trace_dir {
         Some(dir) => println!("  trace store at {}", dir.display()),
         None => println!("  no trace store (pass --trace-dir to accept uploads)"),
+    }
+    if let Some(deadline) = config.job_deadline {
+        println!("  job deadline {:.3}s", deadline.as_secs_f64());
+    }
+    if let Some(seed) = config.fault_seed {
+        println!("  FAULT INJECTION ON (seed {seed}) — do not serve real traffic");
     }
     println!(
         "  POST /v1/experiments | POST /v1/traces | GET /v1/jobs/<id>[/report] | /healthz | /metrics"
@@ -557,6 +585,7 @@ fn run_loadtest(args: &[String]) -> Result<(), String> {
     let mut seed: Option<u64> = None;
     let mut upload_every: Option<usize> = None;
     let mut smoke = false;
+    let mut chaos: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -565,6 +594,7 @@ fn run_loadtest(args: &[String]) -> Result<(), String> {
             "--seed" => seed = Some(take_parsed(&mut iter, "--seed")?),
             "--upload-every" => upload_every = Some(take_parsed(&mut iter, "--upload-every")?),
             "--smoke" => smoke = true,
+            "--chaos" => chaos = Some(take_parsed(&mut iter, "--chaos")?),
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown `loadtest` argument `{flag}`"));
             }
@@ -596,6 +626,28 @@ fn run_loadtest(args: &[String]) -> Result<(), String> {
     }
     if let Some(every) = upload_every {
         options.upload_every = every;
+    }
+    if let Some(chaos_seed) = chaos {
+        println!(
+            "chaos: {} adversarial legs from {} clients against http://{addr} (mix seed {}, chaos seed {chaos_seed})",
+            options.requests, options.concurrency, options.seed
+        );
+        let report = loadtest::run_chaos(&options, chaos_seed)?;
+        println!(
+            "  {} verified, {} typed, {} transport, {} mismatches, {} unexpected — server {} ({:.2}s wall)",
+            report.verified,
+            report.typed_failures,
+            report.transport_failures,
+            report.mismatches,
+            report.unexpected,
+            if report.server_alive { "alive" } else { "DEAD" },
+            report.wall_seconds
+        );
+        println!("{}", tensordash_serde::json::write(&report.document()));
+        if !report.passed() {
+            return Err("chaos run failed the failure-model contract".to_string());
+        }
+        return Ok(());
     }
     println!(
         "loadtest: {} requests from {} clients against http://{addr} (seed {})",

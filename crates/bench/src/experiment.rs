@@ -22,13 +22,13 @@
 
 use crate::csvout::results_path;
 use crate::experiments;
-use crate::harness::{ModelEval, TraceCache};
+use crate::harness::{EvalAbort, ModelEval, TraceCache};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use tensordash_models::{gcn, paper_models, ModelSpec};
 use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
-use tensordash_sim::{ChipConfig, EvalSpec, ModelReport, Simulator, TraceSourceSpec};
+use tensordash_sim::{CancelToken, ChipConfig, EvalSpec, ModelReport, Simulator, TraceSourceSpec};
 use tensordash_store::TraceStore;
 use tensordash_trace::{RecordedSource, TraceSource};
 
@@ -310,6 +310,28 @@ impl ExperimentSpec {
         ctx: &SourceContext<'_>,
         observe: &mut dyn FnMut(&str, f64),
     ) -> Result<Vec<ModelReport>, ExperimentError> {
+        self.run_in_cancellable(cache, ctx, observe, &CancelToken::unbounded())
+    }
+
+    /// As [`run_in`](ExperimentSpec::run_in) under a cancel token — the
+    /// service's job-deadline path. The token is checked at every
+    /// (layer, op) simulation boundary; a fired token aborts the run with
+    /// [`ExperimentError::DeadlineExceeded`]. Cancellation cannot poison
+    /// the shared [`TraceCache`]: trace builds always run to completion,
+    /// only simulation work is abandoned.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_in`](ExperimentSpec::run_in), plus
+    /// [`ExperimentError::DeadlineExceeded`] when `cancel` fires before
+    /// the reports are complete.
+    pub fn run_in_cancellable(
+        &self,
+        cache: &TraceCache,
+        ctx: &SourceContext<'_>,
+        observe: &mut dyn FnMut(&str, f64),
+        cancel: &CancelToken,
+    ) -> Result<Vec<ModelReport>, ExperimentError> {
         let sim = Simulator::new(self.chip);
         match &self.eval.source {
             TraceSourceSpec::Calibrated => {
@@ -317,7 +339,15 @@ impl ExperimentSpec {
                 let mut reports = Vec::with_capacity(models.len());
                 for model in &models {
                     let t0 = Instant::now();
-                    let report = sim.eval_model_cached(model, &self.eval, cache, &model.name);
+                    let report = sim
+                        .eval_model_cached_cancellable(
+                            model,
+                            &self.eval,
+                            cache,
+                            &model.name,
+                            cancel,
+                        )
+                        .map_err(|_| ExperimentError::DeadlineExceeded)?;
                     observe(&model.name, t0.elapsed().as_secs_f64());
                     reports.push(report);
                 }
@@ -334,7 +364,7 @@ impl ExperimentSpec {
                 let source = RecordedSource::from_bytes(&bytes).map_err(|e| {
                     ExperimentError::Source(format!("invalid recorded artifact `{path}`: {e}"))
                 })?;
-                self.replay(&sim, &source, cache, observe)
+                self.replay(&sim, &source, cache, observe, cancel)
             }
             TraceSourceSpec::Stored { digest } => {
                 if !self.models.is_empty() {
@@ -345,7 +375,7 @@ impl ExperimentSpec {
                 let source = store
                     .load(parsed)
                     .map_err(|e| ExperimentError::Source(e.to_string()))?;
-                self.replay(&sim, &source, cache, observe)
+                self.replay(&sim, &source, cache, observe, cancel)
             }
         }
     }
@@ -359,12 +389,16 @@ impl ExperimentSpec {
         source: &RecordedSource,
         cache: &TraceCache,
         observe: &mut dyn FnMut(&str, f64),
+        cancel: &CancelToken,
     ) -> Result<Vec<ModelReport>, ExperimentError> {
         let label = source.label().to_string();
         let t0 = Instant::now();
         let report = sim
-            .eval_source_cached(source, &self.eval, cache, &label)
-            .map_err(|e| ExperimentError::Source(e.to_string()))?;
+            .eval_source_cached_cancellable(source, &self.eval, cache, &label, cancel)
+            .map_err(|e| match e {
+                EvalAbort::Source(e) => ExperimentError::Source(e.to_string()),
+                EvalAbort::Cancelled => ExperimentError::DeadlineExceeded,
+            })?;
         observe(&label, t0.elapsed().as_secs_f64());
         Ok(vec![report])
     }
@@ -410,6 +444,9 @@ pub enum ExperimentError {
     RecordedWithModels,
     /// A recorded artifact could not be loaded or replayed.
     Source(String),
+    /// The run's cancel token (a job deadline) fired before the reports
+    /// were complete.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ExperimentError {
@@ -427,6 +464,9 @@ impl fmt::Display for ExperimentError {
                 "a recorded source replays its own workload; drop the `models` list"
             ),
             ExperimentError::Source(message) => f.write_str(message),
+            ExperimentError::DeadlineExceeded => {
+                f.write_str("job deadline exceeded before the evaluation finished")
+            }
         }
     }
 }

@@ -13,10 +13,11 @@
 //! identity*, so calibrated and recorded builds can never collide.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tensordash_models::ModelSpec;
-use tensordash_sim::{ChipConfig, ModelReport, Simulator};
+use tensordash_sim::{CancelToken, Cancelled, ChipConfig, ModelReport, Simulator};
 use tensordash_trace::{LayerOps, OpTrace, SourceError, TraceRequest, TraceSource};
 
 pub use tensordash_sim::{EvalSpec, EvalSpecBuilder, EvalSpecError};
@@ -266,6 +267,39 @@ impl TraceCache {
     }
 }
 
+/// Why a cancellable evaluation produced no report.
+#[derive(Debug)]
+pub enum EvalAbort {
+    /// The trace source failed to build.
+    Source(SourceError),
+    /// The cancel token (a job deadline, a shutdown) fired before the
+    /// simulation finished.
+    Cancelled,
+}
+
+impl fmt::Display for EvalAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalAbort::Source(e) => e.fmt(f),
+            EvalAbort::Cancelled => f.write_str("evaluation cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for EvalAbort {}
+
+impl From<SourceError> for EvalAbort {
+    fn from(e: SourceError) -> Self {
+        EvalAbort::Source(e)
+    }
+}
+
+impl From<Cancelled> for EvalAbort {
+    fn from(_: Cancelled) -> Self {
+        EvalAbort::Cancelled
+    }
+}
+
 /// Workload evaluation on a [`Simulator`] session: zoo models and
 /// arbitrary [`TraceSource`]s, cached or not, all landing in the same
 /// [`Simulator::simulate_batch`] path.
@@ -304,6 +338,40 @@ pub trait ModelEval {
         cache: &TraceCache,
         label: &str,
     ) -> Result<ModelReport, SourceError>;
+
+    /// As [`eval_source_cached`](ModelEval::eval_source_cached), checking
+    /// `cancel` at every (layer, op) work-item boundary — the service's
+    /// job-deadline path. The trace build itself is not cancellable (a
+    /// complete build is what keeps the shared cache poison-free), only
+    /// the simulation is.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalAbort::Source`] when the source fails to build,
+    /// [`EvalAbort::Cancelled`] when the token fires mid-simulation.
+    fn eval_source_cached_cancellable(
+        &self,
+        source: &dyn TraceSource,
+        spec: &EvalSpec,
+        cache: &TraceCache,
+        label: &str,
+        cancel: &CancelToken,
+    ) -> Result<ModelReport, EvalAbort>;
+
+    /// As [`eval_model_cached`](ModelEval::eval_model_cached) under a
+    /// cancel token — the calibrated arm of the deadline path.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token fires mid-simulation.
+    fn eval_model_cached_cancellable(
+        &self,
+        model: &ModelSpec,
+        spec: &EvalSpec,
+        cache: &TraceCache,
+        label: &str,
+        cancel: &CancelToken,
+    ) -> Result<ModelReport, Cancelled>;
 }
 
 fn simulate_traces(sim: &Simulator, traces: &ModelTraces, label: &str) -> ModelReport {
@@ -312,6 +380,19 @@ fn simulate_traces(sim: &Simulator, traces: &ModelTraces, label: &str) -> ModelR
         .map(|(name, ops)| (name.as_str(), ops.as_slice()))
         .collect();
     sim.simulate_model(label, &groups)
+}
+
+fn simulate_traces_cancellable(
+    sim: &Simulator,
+    traces: &ModelTraces,
+    label: &str,
+    cancel: &CancelToken,
+) -> Result<ModelReport, Cancelled> {
+    let groups: Vec<(&str, &[OpTrace])> = traces
+        .iter()
+        .map(|(name, ops)| (name.as_str(), ops.as_slice()))
+        .collect();
+    sim.simulate_model_cancellable(label, &groups, cancel)
 }
 
 impl ModelEval for Simulator {
@@ -355,6 +436,32 @@ impl ModelEval for Simulator {
         let lanes = self.chip().tile.pe.lanes();
         let traces = cache.source_traces(source, spec, lanes)?;
         Ok(simulate_traces(self, &traces, label))
+    }
+
+    fn eval_source_cached_cancellable(
+        &self,
+        source: &dyn TraceSource,
+        spec: &EvalSpec,
+        cache: &TraceCache,
+        label: &str,
+        cancel: &CancelToken,
+    ) -> Result<ModelReport, EvalAbort> {
+        let lanes = self.chip().tile.pe.lanes();
+        let traces = cache.source_traces(source, spec, lanes)?;
+        Ok(simulate_traces_cancellable(self, &traces, label, cancel)?)
+    }
+
+    fn eval_model_cached_cancellable(
+        &self,
+        model: &ModelSpec,
+        spec: &EvalSpec,
+        cache: &TraceCache,
+        label: &str,
+        cancel: &CancelToken,
+    ) -> Result<ModelReport, Cancelled> {
+        let lanes = self.chip().tile.pe.lanes();
+        let traces = cache.layer_traces(model, spec, lanes);
+        simulate_traces_cancellable(self, &traces, label, cancel)
     }
 }
 

@@ -191,6 +191,20 @@ pub struct ServiceBench {
     pub latency_ms_p90: f64,
     /// 99th-percentile submit→report latency, milliseconds.
     pub latency_ms_p99: f64,
+    /// Extra attempts the load generator's retry policy made. Zero on a
+    /// healthy loopback run; recorded so a bench that needed retries is
+    /// visibly different from one that did not.
+    pub retries: u64,
+    /// Handler panics the server isolated during the run (`0` in a
+    /// fault-free bench — the assertion lives in [`bench_service`]).
+    pub handler_panics: u64,
+    /// Jobs that hit a deadline during the run (`0`: the bench sets none).
+    pub jobs_timed_out: u64,
+    /// Jobs whose worker panicked during the run (`0` in a healthy run).
+    pub jobs_panicked: u64,
+    /// Store objects quarantined during the run (`0`: nothing rots on a
+    /// scratch store the bench just created).
+    pub store_quarantined: u64,
 }
 
 /// The whole `tensordash bench` measurement set.
@@ -334,9 +348,26 @@ impl BenchSummary {
                 "latency_ms_p99".into(),
                 Value::Float(self.service.latency_ms_p99),
             ),
+            ("retries".into(), self.service.retries.serialize()),
+            (
+                "handler_panics".into(),
+                self.service.handler_panics.serialize(),
+            ),
+            (
+                "jobs_timed_out".into(),
+                self.service.jobs_timed_out.serialize(),
+            ),
+            (
+                "jobs_panicked".into(),
+                self.service.jobs_panicked.serialize(),
+            ),
+            (
+                "store_quarantined".into(),
+                self.service.store_quarantined.serialize(),
+            ),
         ]);
         Value::Table(vec![
-            ("schema".into(), Value::Str("tensordash-bench/6".into())),
+            ("schema".into(), Value::Str("tensordash-bench/7".into())),
             ("smoke".into(), Value::Bool(self.smoke)),
             ("kernel".into(), kernel),
             ("trace".into(), trace),
@@ -859,19 +890,56 @@ pub fn bench_service(smoke: bool) -> ServiceBench {
             best = Some(report);
         }
     }
-    running
-        .shutdown_and_join()
-        .expect("bench service failed to shut down");
-    std::fs::remove_dir_all(&trace_dir).ok();
+    // Scrape the server's fault-mode counters before shutdown: a
+    // fault-free bench run must not have needed the failure model. Any
+    // isolated panic, timed-out job, or quarantined object here is a
+    // real bug the throughput number would otherwise launder.
+    let (status, body) = tensordash_server::http::client_request(
+        addr,
+        "GET",
+        "/metrics",
+        None,
+        std::time::Duration::from_secs(10),
+    )
+    .expect("bench service metrics must be reachable");
+    assert_eq!(status, 200, "metrics scrape failed: {body}");
+    let metrics = tensordash_serde::json::parse(&body).expect("metrics must parse");
+    let counter = |section: &str, key: &str| -> u64 {
+        metrics
+            .get(section)
+            .and_then(|s| s.get(key))
+            .and_then(|v| v.as_u64().ok())
+            .unwrap_or(0)
+    };
     let best = best.expect("at least one loadtest pass");
-    ServiceBench {
+    let service_bench = ServiceBench {
         requests: best.requests,
         concurrency: best.concurrency,
         requests_per_sec: best.requests_per_sec,
         latency_ms_p50: best.latency_ms_p50,
         latency_ms_p90: best.latency_ms_p90,
         latency_ms_p99: best.latency_ms_p99,
-    }
+        retries: best.retries,
+        handler_panics: counter("faults", "handler_panics"),
+        jobs_timed_out: counter("jobs", "timed_out"),
+        jobs_panicked: counter("jobs", "panicked"),
+        store_quarantined: counter("store", "quarantined"),
+    };
+    running
+        .shutdown_and_join()
+        .expect("bench service failed to shut down");
+    std::fs::remove_dir_all(&trace_dir).ok();
+    assert_eq!(
+        (
+            service_bench.handler_panics,
+            service_bench.jobs_timed_out,
+            service_bench.jobs_panicked,
+            service_bench.store_quarantined,
+        ),
+        (0, 0, 0, 0),
+        "a fault-free bench run must not trip the failure model"
+    );
+    service_bench
 }
 
 /// Throughput regressions larger than this fraction fail a
@@ -1147,6 +1215,11 @@ mod tests {
             latency_ms_p50: 10.0,
             latency_ms_p90: 25.0,
             latency_ms_p99: 40.0,
+            retries: 0,
+            handler_panics: 0,
+            jobs_timed_out: 0,
+            jobs_panicked: 0,
+            store_quarantined: 0,
         }
     }
 

@@ -26,7 +26,10 @@
 //! |                           | binary, plain or chunked); `201` + digest, |
 //! |                           | `409` on `?digest=` mismatch               |
 //! | `GET /v1/jobs/<id>`       | lifecycle envelope (`queued`/`running`/...)|
-//! | `GET /v1/jobs/<id>/report`| the raw report (`202` until done)          |
+//! | `GET /v1/jobs/<id>/report`| the raw report (`202` until done, `504`    |
+//! |                           | when the job timed out)                    |
+//! | `GET /v1/traces/<digest>` | stored artifact bytes, digest-verified;    |
+//! |                           | `410` when the object rotted (quarantined) |
 //! | `GET /healthz`            | liveness                                   |
 //! | `GET /metrics`            | jobs, cache, store, model walls            |
 //! | `POST /v1/shutdown`       | graceful shutdown (as `SIGTERM` / idle)    |
@@ -43,19 +46,22 @@
 //! service binds loopback by default and has no authentication layer;
 //! don't expose it to untrusted networks.
 
-use crate::experiment::{ExperimentSpec, SourceContext};
+use crate::experiment::{ExperimentError, ExperimentSpec, SourceContext};
 use crate::harness::TraceCache;
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 use tensordash_serde::{json, Serialize, Value};
+use tensordash_server::fault::{Fault, FaultPlan, FaultSite};
 use tensordash_server::http::{Request, Response};
-use tensordash_server::jobs::{JobId, JobQueue, JobState};
-use tensordash_server::server::{Handler, Server, ServerConfig, ShutdownFlag};
-use tensordash_store::{StoreError, TraceStore};
+use tensordash_server::jobs::{JobFailure, JobId, JobQueue, JobState};
+use tensordash_server::server::{Handler, Server, ServerConfig, ServerFaultStats, ShutdownFlag};
+use tensordash_sim::CancelToken;
+use tensordash_store::{StoreError, StoreOp, TraceStore};
 
 /// How `tensordash serve` should run.
 #[derive(Debug, Clone)]
@@ -79,6 +85,16 @@ pub struct ServiceConfig {
     /// Request-body cap in bytes (`--max-body-bytes`) — bounds both spec
     /// submissions and trace uploads, plain or chunked.
     pub max_body_bytes: usize,
+    /// Default wall-clock deadline for every job
+    /// (`--job-deadline-secs`); a request can tighten it with
+    /// `?deadline_secs=`. A job past its deadline is cancelled at the
+    /// next (layer, op) boundary and lands in the `timed_out` terminal
+    /// state. `None` means jobs run unbounded.
+    pub job_deadline: Option<Duration>,
+    /// Seed the deterministic chaos plan (`--fault-seed`): injects
+    /// handler panics/delays, dropped connections, and store I/O errors
+    /// on a reproducible schedule. `None` (production) injects nothing.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +110,8 @@ impl Default for ServiceConfig {
             idle_shutdown: None,
             trace_dir: None,
             max_body_bytes: tensordash_server::http::DEFAULT_MAX_BODY_BYTES,
+            job_deadline: None,
+            fault_seed: None,
         }
     }
 }
@@ -101,8 +119,10 @@ impl Default for ServiceConfig {
 /// Everything a request handler or worker needs, shared via `Arc`.
 struct ServiceState {
     /// Finished reports are held behind `Arc` so status polls clone a
-    /// pointer, not the report bytes, under the queue lock.
-    queue: JobQueue<ExperimentSpec, Arc<String>>,
+    /// pointer, not the report bytes, under the queue lock. Each job
+    /// carries its effective deadline (config default, possibly
+    /// tightened per request).
+    queue: JobQueue<(ExperimentSpec, Option<Duration>), Arc<String>>,
     cache: TraceCache,
     /// The content-addressed trace store (`--trace-dir`), shared by
     /// uploads and replays across requests and restarts.
@@ -110,6 +130,14 @@ struct ServiceState {
     shutdown: OnceLock<Arc<ShutdownFlag>>,
     /// Per-model `(evaluations, wall seconds)` — the `/metrics` rows.
     model_walls: Mutex<HashMap<String, (u64, f64)>>,
+    /// The default job deadline (`--job-deadline-secs`).
+    job_deadline: Option<Duration>,
+    /// The chaos plan, when the service runs with `--fault-seed`.
+    faults: Option<Arc<FaultPlan>>,
+    /// The transport's panic/drain counters, set once at bind.
+    server_faults: OnceLock<Arc<ServerFaultStats>>,
+    /// Simulation workers that died instead of draining cleanly.
+    dead_sim_workers: AtomicU64,
     started: Instant,
 }
 
@@ -123,10 +151,22 @@ impl ServiceState {
     /// JSON, byte-identical to `tensordash --config`'s output for the
     /// same spec — both run [`ExperimentSpec::run_in`], whatever the
     /// trace source (calibrated zoo profiles, a recorded artifact under
-    /// `--trace-dir`, or a stored digest).
-    fn run_experiment(&self, spec: &ExperimentSpec) -> Result<Arc<String>, String> {
+    /// `--trace-dir`, or a stored digest). A job that outlives
+    /// `deadline` is cancelled at the next (layer, op) boundary and
+    /// lands in the `timed_out` terminal state — the shared trace cache
+    /// is never poisoned, because cancellation only abandons simulation
+    /// work, never a partial trace build.
+    fn run_experiment(
+        &self,
+        spec: &ExperimentSpec,
+        deadline: Option<Duration>,
+    ) -> Result<Arc<String>, JobFailure> {
+        let cancel = match deadline {
+            Some(deadline) => CancelToken::after(deadline),
+            None => CancelToken::unbounded(),
+        };
         let reports = spec
-            .run_in(
+            .run_in_cancellable(
                 &self.cache,
                 &self.source_context(),
                 &mut |label, elapsed| {
@@ -135,8 +175,15 @@ impl ServiceState {
                     entry.0 += 1;
                     entry.1 += elapsed;
                 },
+                &cancel,
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| match e {
+                ExperimentError::DeadlineExceeded => JobFailure::TimedOut(format!(
+                    "job exceeded its {:.3}s deadline",
+                    deadline.unwrap_or_default().as_secs_f64()
+                )),
+                other => JobFailure::Error(other.to_string()),
+            })?;
         Ok(Arc::new(json::write(&spec.report_document(&reports))))
     }
 
@@ -163,7 +210,39 @@ impl ServiceState {
                     ("running".into(), jobs.running.serialize()),
                     ("done".into(), jobs.done.serialize()),
                     ("failed".into(), jobs.failed.serialize()),
+                    ("timed_out".into(), jobs.timed_out.serialize()),
+                    ("panicked".into(), jobs.panicked.serialize()),
                     ("rejected".into(), jobs.rejected.serialize()),
+                ]),
+            ),
+            (
+                "faults".into(),
+                Value::Table(vec![
+                    (
+                        "injected".into(),
+                        self.faults
+                            .as_ref()
+                            .map_or(0, |plan| plan.injected())
+                            .serialize(),
+                    ),
+                    (
+                        "handler_panics".into(),
+                        self.server_faults
+                            .get()
+                            .map_or(0, |f| f.handler_panics())
+                            .serialize(),
+                    ),
+                    (
+                        "dead_workers".into(),
+                        self.server_faults
+                            .get()
+                            .map_or(0, |f| f.dead_workers())
+                            .serialize(),
+                    ),
+                    (
+                        "dead_sim_workers".into(),
+                        self.dead_sim_workers.load(Ordering::Relaxed).serialize(),
+                    ),
                 ]),
             ),
             (
@@ -189,6 +268,7 @@ impl ServiceState {
                             ("uploads".into(), stats.uploads.serialize()),
                             ("dedup_hits".into(), stats.dedup_hits.serialize()),
                             ("gc_removed".into(), stats.gc_removed.serialize()),
+                            ("quarantined".into(), stats.quarantined.serialize()),
                             ("pinned".into(), stats.pinned.serialize()),
                         ])
                     }
@@ -252,6 +332,7 @@ impl Handler for ServiceState {
                 resp
             }
             ("GET", path) if path.starts_with("/v1/jobs/") => self.job_status(path),
+            ("GET", path) if path.starts_with("/v1/traces/") => self.download_trace(path),
             (_, "/healthz" | "/metrics" | "/v1/experiments" | "/v1/traces" | "/v1/shutdown") => {
                 error_json(405, "method not allowed")
             }
@@ -282,7 +363,24 @@ impl ServiceState {
         if let Err(e) = spec.validate_in(&self.source_context()) {
             return error_json(400, &e.to_string());
         }
-        match self.queue.submit(spec) {
+        // `?deadline_secs=` tightens (never loosens past) the service
+        // default: the effective deadline is the smaller of the two.
+        let deadline = match req.query_value("deadline_secs") {
+            None => self.job_deadline,
+            Some(text) => match text.parse::<f64>() {
+                Ok(secs) if secs.is_finite() && secs > 0.0 => {
+                    let requested = Duration::from_secs_f64(secs);
+                    Some(self.job_deadline.map_or(requested, |d| d.min(requested)))
+                }
+                _ => {
+                    return error_json(
+                        400,
+                        &format!("invalid deadline_secs `{text}`: need a positive number"),
+                    );
+                }
+            },
+        };
+        match self.queue.submit((spec, deadline)) {
             Ok(id) => {
                 let mut resp = envelope(vec![
                     ("job", Value::Int(id.0 as i64)),
@@ -293,10 +391,35 @@ impl ServiceState {
                 resp.status = 202;
                 resp
             }
+            // Back-pressure is retryable by contract: both rejections
+            // carry a Retry-After hint the client retry policy honors.
             Err(e @ tensordash_server::jobs::SubmitError::QueueFull { .. }) => {
-                error_json(429, &e.to_string())
+                error_json(429, &e.to_string()).with_header("retry-after", "1")
             }
-            Err(e) => error_json(503, &e.to_string()),
+            Err(e) => error_json(503, &e.to_string()).with_header("retry-after", "1"),
+        }
+    }
+
+    /// `GET /v1/traces/<digest>`: serve a stored artifact's canonical
+    /// bytes, digest-verified on the way out. A `404` means no such
+    /// object; a `410` means the object rotted on disk and was just
+    /// quarantined — it is gone, and re-uploading is the remedy.
+    fn download_trace(&self, path: &str) -> Response {
+        let Some(store) = &self.store else {
+            return error_json(
+                503,
+                "no trace store configured (start the service with --trace-dir)",
+            );
+        };
+        let text = &path["/v1/traces/".len()..];
+        let Some(digest) = tensordash_store::parse_digest(text) else {
+            return error_json(400, &format!("invalid digest `{text}`"));
+        };
+        match store.load_bytes(digest) {
+            Ok(bytes) => Response::binary(200, bytes),
+            Err(e @ StoreError::Missing(_)) => error_json(404, &e.to_string()),
+            Err(e @ StoreError::Corrupt(_)) => error_json(410, &e.to_string()),
+            Err(e) => error_json(500, &e.to_string()),
         }
     }
 
@@ -359,6 +482,7 @@ impl ServiceState {
             return match state {
                 JobState::Done(report) => Response::json(200, report.as_str()),
                 JobState::Failed(message) => error_json(500, &message),
+                JobState::TimedOut(message) => error_json(504, &message),
                 pending => {
                     let mut resp = envelope(vec![
                         ("job", Value::Int(id as i64)),
@@ -373,7 +497,7 @@ impl ServiceState {
             ("job", Value::Int(id as i64)),
             ("status", Value::Str(state.name().into())),
         ];
-        if let JobState::Failed(message) = &state {
+        if let JobState::Failed(message) | JobState::TimedOut(message) = &state {
             entries.push(("error", Value::Str(message.clone())));
         }
         if matches!(state, JobState::Done(_)) {
@@ -391,19 +515,49 @@ pub struct Service {
 }
 
 impl Service {
-    /// Binds the listener, opens the trace store (when `--trace-dir` is
-    /// set), builds the shared state (queue + process-wide trace cache),
-    /// and prepares `config.workers` simulation workers.
+    /// Binds the listener, opens **and scrubs** the trace store (when
+    /// `--trace-dir` is set) — crash litter is reclaimed and corrupt
+    /// objects are quarantined before the first request is served —
+    /// builds the shared state (queue + process-wide trace cache), wires
+    /// the chaos plan (when `--fault-seed` is set) into both the
+    /// transport and the store, and prepares `config.workers` simulation
+    /// workers.
     ///
     /// # Errors
     ///
     /// Returns the bind error, or the I/O error when the trace store
-    /// directories cannot be created.
+    /// directories cannot be created or scrubbed.
     pub fn bind(config: &ServiceConfig) -> io::Result<Service> {
+        let faults = config
+            .fault_seed
+            .map(|seed| Arc::new(FaultPlan::seeded(seed)));
         let store = config
             .trace_dir
             .as_ref()
-            .map(|dir| TraceStore::open(dir).map(Arc::new))
+            .map(|dir| {
+                let (store, scrub) = TraceStore::open_scrubbed(dir)?;
+                if scrub.removed_tmp > 0 || scrub.quarantined > 0 {
+                    eprintln!(
+                        "tensordash-serve: store scrub removed {} tmp file(s), \
+                         verified {} object(s), quarantined {}",
+                        scrub.removed_tmp, scrub.verified, scrub.quarantined
+                    );
+                }
+                if let Some(plan) = &faults {
+                    let plan = Arc::clone(plan);
+                    store.set_fault_hook(Some(Arc::new(move |op| {
+                        let site = match op {
+                            StoreOp::Read => FaultSite::StoreRead,
+                            StoreOp::Write => FaultSite::StoreWrite,
+                        };
+                        match plan.decide(site) {
+                            Fault::Error => Some(io::Error::other("injected store fault")),
+                            _ => None,
+                        }
+                    })));
+                }
+                Ok::<_, io::Error>(Arc::new(store))
+            })
             .transpose()?;
         let state = Arc::new(ServiceState {
             queue: JobQueue::bounded(config.queue_capacity.max(1)),
@@ -411,6 +565,10 @@ impl Service {
             store,
             shutdown: OnceLock::new(),
             model_walls: Mutex::new(HashMap::new()),
+            job_deadline: config.job_deadline,
+            faults: faults.clone(),
+            server_faults: OnceLock::new(),
+            dead_sim_workers: AtomicU64::new(0),
             started: Instant::now(),
         });
         let server = Server::bind(
@@ -419,12 +577,18 @@ impl Service {
                 connection_threads: config.connection_threads.max(1),
                 max_body_bytes: config.max_body_bytes.max(1),
                 idle_shutdown: config.idle_shutdown,
+                faults,
+                ..ServerConfig::default()
             },
             Arc::clone(&state) as Arc<dyn Handler>,
         )?;
         state
             .shutdown
             .set(server.shutdown_flag())
+            .unwrap_or_else(|_| unreachable!("state is fresh"));
+        state
+            .server_faults
+            .set(server.fault_stats())
             .unwrap_or_else(|_| unreachable!("state is fresh"));
         Ok(Service {
             server,
@@ -458,15 +622,21 @@ impl Service {
                 let state = Arc::clone(&self.state);
                 std::thread::spawn(move || {
                     let queue = state.queue.clone();
-                    queue.run_worker(|_, spec| state.run_experiment(&spec));
+                    queue.run_worker(|_, (spec, deadline)| state.run_experiment(&spec, deadline));
                 })
             })
             .collect();
         let served = self.server.run();
-        // Transport is down; let workers finish what was admitted.
+        // Transport is down; let workers finish what was admitted. A
+        // worker that died (job panics are caught inside `run_worker`,
+        // so this is a harness bug, not a bad spec) degrades the drain
+        // instead of aborting it: the remaining workers still finish.
         self.state.queue.shutdown();
         for worker in worker_handles {
-            worker.join().expect("simulation worker panicked");
+            if worker.join().is_err() {
+                self.state.dead_sim_workers.fetch_add(1, Ordering::Relaxed);
+                eprintln!("tensordash-serve: a simulation worker died; draining the rest");
+            }
         }
         served
     }
@@ -512,9 +682,32 @@ impl RunningService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tensordash_server::http::client_request;
+    use tensordash_server::http::{client_exchange, client_request};
 
     const TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// A unique, self-cleaning test directory (no tempfile crate in the
+    /// offline workspace).
+    struct TestDir(PathBuf);
+
+    impl TestDir {
+        fn new(label: &str) -> Self {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "tensordash-service-{label}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TestDir(dir)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
 
     fn tiny_spec_json() -> String {
         r#"{"name": "svc-unit", "models": ["AlexNet"],
@@ -622,6 +815,189 @@ mod tests {
         running.handle.join().unwrap().unwrap();
     }
 
+    /// A submission with a microscopic `?deadline_secs=` lands in the
+    /// `timed_out` terminal state (504 on report fetch) — and the same
+    /// spec without a deadline still succeeds afterwards, because
+    /// cancellation never poisons the shared trace cache.
+    #[test]
+    fn tiny_deadlines_time_out_with_504_without_poisoning_the_cache() {
+        let service = Service::bind(&ServiceConfig::default()).unwrap();
+        let addr = service.local_addr();
+        let running = service.spawn();
+
+        // A non-number deadline is the client's mistake.
+        let (status, body) = client_request(
+            addr,
+            "POST",
+            "/v1/experiments?deadline_secs=soon",
+            Some(&tiny_spec_json()),
+            TIMEOUT,
+        )
+        .unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("deadline_secs"), "{body}");
+
+        let (status, body) = client_request(
+            addr,
+            "POST",
+            "/v1/experiments?deadline_secs=0.000001",
+            Some(&tiny_spec_json()),
+            TIMEOUT,
+        )
+        .unwrap();
+        assert_eq!(status, 202, "{body}");
+        let id = json::parse(&body)
+            .unwrap()
+            .get("job")
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let deadline = Instant::now() + TIMEOUT;
+        loop {
+            let (status, body) =
+                client_request(addr, "GET", &format!("/v1/jobs/{id}/report"), None, TIMEOUT)
+                    .unwrap();
+            match status {
+                202 => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "job never reached a terminal state"
+                    );
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                504 => {
+                    assert!(body.contains("deadline"), "{body}");
+                    break;
+                }
+                other => panic!("unexpected status {other}: {body}"),
+            }
+        }
+        let (status, body) =
+            client_request(addr, "GET", &format!("/v1/jobs/{id}"), None, TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"timed_out\""), "{body}");
+
+        // The same spec, unbounded, completes — the cache was untouched
+        // by the cancelled run.
+        let (status, body) = client_request(
+            addr,
+            "POST",
+            "/v1/experiments",
+            Some(&tiny_spec_json()),
+            TIMEOUT,
+        )
+        .unwrap();
+        assert_eq!(status, 202, "{body}");
+        let id = json::parse(&body)
+            .unwrap()
+            .get("job")
+            .unwrap()
+            .as_int()
+            .unwrap();
+        let deadline = Instant::now() + TIMEOUT;
+        loop {
+            let (status, body) =
+                client_request(addr, "GET", &format!("/v1/jobs/{id}/report"), None, TIMEOUT)
+                    .unwrap();
+            match status {
+                202 => {
+                    assert!(Instant::now() < deadline, "job never finished");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                200 => {
+                    assert!(body.contains("total_speedup"), "{body}");
+                    break;
+                }
+                other => panic!("unexpected status {other}: {body}"),
+            }
+        }
+
+        let (_, body) = client_request(addr, "GET", "/metrics", None, TIMEOUT).unwrap();
+        let metrics = json::parse(&body).unwrap();
+        let jobs = metrics.get("jobs").unwrap();
+        assert_eq!(
+            jobs.get("timed_out").unwrap().as_u64().unwrap(),
+            1,
+            "{body}"
+        );
+        assert_eq!(jobs.get("done").unwrap().as_u64().unwrap(), 1, "{body}");
+        running.shutdown_and_join().unwrap();
+    }
+
+    /// `GET /v1/traces/<digest>` serves stored bytes back verbatim, and
+    /// an object that rots on disk is a `410` once (quarantined), then a
+    /// `404` — garbage is never served.
+    #[test]
+    fn trace_downloads_are_verified_and_rot_becomes_410_then_404() {
+        let dir = TestDir::new("download");
+        let service = Service::bind(&ServiceConfig {
+            trace_dir: Some(dir.0.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let running = service.spawn();
+
+        // No store on this route prefix without a digest-shaped tail.
+        let response = client_exchange(addr, "GET", "/v1/traces/nope", &[], "", TIMEOUT).unwrap();
+        assert_eq!(response.status, 400);
+
+        let recording = crate::loadtest::upload_recording(77);
+        let bytes = recording.to_bytes();
+        let response = client_exchange(
+            addr,
+            "POST",
+            "/v1/traces",
+            &bytes,
+            "application/octet-stream",
+            TIMEOUT,
+        )
+        .unwrap();
+        assert_eq!(response.status, 201, "{}", response.body_utf8_lossy());
+        let digest = json::parse(&response.body_utf8_lossy())
+            .unwrap()
+            .get("digest")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+
+        let url = format!("/v1/traces/{digest}");
+        let response = client_exchange(addr, "GET", &url, &[], "", TIMEOUT).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, bytes, "served bytes must be verbatim");
+
+        // Rot the object on disk behind the service's back.
+        let object = dir
+            .0
+            .join("objects")
+            .join(format!("{digest}{}", tensordash_store::OBJECT_EXT));
+        let mut rotted = std::fs::read(&object).unwrap();
+        let mid = rotted.len() / 2;
+        rotted[mid] ^= 0x10;
+        std::fs::write(&object, &rotted).unwrap();
+
+        let response = client_exchange(addr, "GET", &url, &[], "", TIMEOUT).unwrap();
+        assert_eq!(response.status, 410, "{}", response.body_utf8_lossy());
+        let response = client_exchange(addr, "GET", &url, &[], "", TIMEOUT).unwrap();
+        assert_eq!(response.status, 404, "rot must not be served twice");
+
+        let (_, body) = client_request(addr, "GET", "/metrics", None, TIMEOUT).unwrap();
+        let metrics = json::parse(&body).unwrap();
+        assert_eq!(
+            metrics
+                .get("store")
+                .unwrap()
+                .get("quarantined")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1,
+            "{body}"
+        );
+        running.shutdown_and_join().unwrap();
+    }
+
     #[test]
     fn queue_capacity_yields_429_back_pressure() {
         // One worker, capacity 1: the second-and-later concurrent
@@ -637,19 +1013,23 @@ mod tests {
         let running = service.spawn();
         let mut saw_429 = false;
         for _ in 0..6 {
-            let (status, body) = client_request(
+            let response = client_exchange(
                 addr,
                 "POST",
                 "/v1/experiments",
-                Some(&tiny_spec_json()),
+                tiny_spec_json().as_bytes(),
+                "application/json",
                 TIMEOUT,
             )
             .unwrap();
-            match status {
+            let body = response.body_utf8_lossy();
+            match response.status {
                 202 => {}
                 429 => {
                     saw_429 = true;
                     assert!(body.contains("full"), "{body}");
+                    // Back-pressure must tell clients when to come back.
+                    assert_eq!(response.header("retry-after"), Some("1"), "{body}");
                 }
                 other => panic!("unexpected status {other}: {body}"),
             }
@@ -665,6 +1045,45 @@ mod tests {
             .as_u64()
             .unwrap();
         assert_eq!(saw_429, rejected > 0);
+        running.shutdown_and_join().unwrap();
+    }
+
+    /// The end-to-end chaos contract: a fault-injected service survives
+    /// the full adversarial mix — injected panics, dropped connections,
+    /// resets, slow-loris drips, oversized bodies, corrupt uploads,
+    /// microscopic deadlines — with every leg in a typed outcome and
+    /// every surviving report byte-identical to a fault-free run.
+    #[test]
+    fn chaos_bombardment_leaves_the_service_alive_and_reports_exact() {
+        let dir = TestDir::new("chaos");
+        let service = Service::bind(&ServiceConfig {
+            trace_dir: Some(dir.0.clone()),
+            fault_seed: Some(7),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let running = service.spawn();
+
+        let options = crate::loadtest::LoadtestOptions::smoke(addr);
+        let report = crate::loadtest::run_chaos(&options, 7).expect("chaos run starts");
+        assert!(report.passed(), "{:?}", report);
+        assert_eq!(report.legs, options.requests);
+        assert!(report.server_alive, "{report:?}");
+        assert_eq!(report.mismatches, 0, "{report:?}");
+        assert_eq!(report.unexpected, 0, "{report:?}");
+        assert!(
+            report.verified >= 1,
+            "at least one well-formed leg must byte-verify: {report:?}"
+        );
+
+        // The server side kept its books: every terminal job is typed,
+        // and nothing died.
+        let (_, body) = client_request(addr, "GET", "/metrics", None, TIMEOUT).unwrap();
+        let metrics = json::parse(&body).unwrap();
+        let faults = metrics.get("faults").unwrap();
+        assert_eq!(faults.get("dead_workers").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(faults.get("dead_sim_workers").unwrap().as_u64().unwrap(), 0);
         running.shutdown_and_join().unwrap();
     }
 }

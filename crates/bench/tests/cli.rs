@@ -219,8 +219,10 @@ fn bench_smoke_writes_a_perf_report() {
     assert!(text.contains("row-group"), "{text}");
     let json = std::fs::read_to_string(&out_path).unwrap();
     for key in [
-        "tensordash-bench/6",
+        "tensordash-bench/7",
         "live_masks_per_sec",
+        "handler_panics",
+        "store_quarantined",
         "latency_ms_p90",
         "load_masks_per_sec",
         "pack_bytes_per_sec",

@@ -281,6 +281,10 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers (lower-cased names) beyond the always-present
+    /// content-type/length/connection trio — `Retry-After` on
+    /// back-pressure responses, for example.
+    pub headers: Vec<(&'static str, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
 }
@@ -292,6 +296,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -302,8 +307,29 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// A binary (`application/octet-stream`) response — the trace-object
+    /// download path.
+    #[must_use]
+    pub fn binary(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// The same response with an extra header appended. `name` must be
+    /// lower-case (the wire format this subset emits).
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// The standard reason phrase for the status code.
@@ -318,11 +344,13 @@ impl Response {
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             409 => "Conflict",
+            410 => "Gone",
             413 => "Payload Too Large",
             429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "",
         }
     }
@@ -333,13 +361,20 @@ impl Response {
     ///
     /// Returns the underlying I/O error.
     pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
@@ -411,6 +446,58 @@ pub fn client_request_bytes(
     content_type: &str,
     timeout: Duration,
 ) -> io::Result<(u16, String)> {
+    let response = client_exchange(addr, method, path, body, content_type, timeout)?;
+    let body = String::from_utf8(response.body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+    Ok((response.status, body))
+}
+
+/// A parsed response as the client saw it: status, headers (names
+/// lower-cased), and the raw body bytes.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The raw body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value for `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body decoded as UTF-8 (lossily — diagnostics, not data).
+    #[must_use]
+    pub fn body_utf8_lossy(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// The full-fidelity client exchange: one request, one parsed
+/// [`ClientResponse`] with status, headers, and raw body bytes. This is
+/// the primitive the retry layer builds on (it must read `Retry-After`)
+/// and the binary download path (bodies need not be UTF-8).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` when the response
+/// is not parseable HTTP.
+pub fn client_exchange(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    content_type: &str,
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
@@ -422,21 +509,33 @@ pub fn client_request_bytes(
     stream.write_all(body)?;
     stream.flush()?;
 
-    let mut raw = String::new();
+    let mut raw = Vec::new();
     let mut reader = BufReader::new(stream);
-    reader.read_to_string(&mut raw)?;
+    reader.read_to_end(&mut raw)?;
     let bad =
         |why: &str| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {why}"));
-    let (head, body) = raw
-        .split_once("\r\n\r\n")
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
         .ok_or_else(|| bad("missing header terminator"))?;
-    let status_line = head.lines().next().ok_or_else(|| bad("empty head"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("non-UTF-8 response head"))?;
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
     let status = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad(status_line))?;
-    Ok((status, body.to_string()))
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -588,6 +687,36 @@ mod tests {
         .unwrap();
         assert_eq!(status, 201);
         assert_eq!(body, "{\"ok\": true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn extra_headers_reach_the_client_and_new_reasons_resolve() {
+        assert_eq!(Response::json(504, "{}").reason(), "Gateway Timeout");
+        assert_eq!(Response::binary(410, Vec::new()).reason(), "Gone");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_request(&mut stream, DEFAULT_MAX_BODY_BYTES).unwrap();
+            Response::json(429, "{\"error\": \"busy\"}")
+                .with_header("retry-after", "1")
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let response = client_exchange(
+            addr,
+            "POST",
+            "/v1/experiments",
+            b"{}",
+            "application/json",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(response.status, 429);
+        assert_eq!(response.header("retry-after"), Some("1"));
+        assert_eq!(response.header("content-type"), Some("application/json"));
+        assert_eq!(response.body_utf8_lossy(), "{\"error\": \"busy\"}");
         server.join().unwrap();
     }
 

@@ -6,6 +6,7 @@
 //! `capacity + workers + retention` jobs however long it runs.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Finished jobs (and their outputs) kept queryable, oldest evicted
@@ -32,8 +33,12 @@ pub enum JobState<O> {
     Running,
     /// Finished successfully with its output.
     Done(O),
-    /// Finished with an error message.
+    /// Finished with an error message (including captured panics).
     Failed(String),
+    /// Cancelled at its deadline before finishing — a terminal state
+    /// distinct from [`Failed`](JobState::Failed) so clients can tell
+    /// "your spec is broken" from "your job was too slow".
+    TimedOut(String),
 }
 
 impl<O> JobState<O> {
@@ -45,6 +50,39 @@ impl<O> JobState<O> {
             JobState::Running => "running",
             JobState::Done(_) => "done",
             JobState::Failed(_) => "failed",
+            JobState::TimedOut(_) => "timed_out",
+        }
+    }
+}
+
+/// How a job run failed — the worker's typed verdict, mapped onto the
+/// matching terminal [`JobState`] (and HTTP status at the service
+/// layer: `Failed` → 500, `TimedOut` → 504).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// The job errored; the message is surfaced to the client.
+    Error(String),
+    /// The job hit its deadline and was cancelled cooperatively.
+    TimedOut(String),
+}
+
+impl From<String> for JobFailure {
+    fn from(message: String) -> Self {
+        JobFailure::Error(message)
+    }
+}
+
+impl From<&str> for JobFailure {
+    fn from(message: &str) -> Self {
+        JobFailure::Error(message.to_string())
+    }
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Error(message) => write!(f, "{message}"),
+            JobFailure::TimedOut(message) => write!(f, "timed out: {message}"),
         }
     }
 }
@@ -58,8 +96,14 @@ pub struct QueueStats {
     pub running: usize,
     /// Jobs finished successfully (lifetime total).
     pub done: u64,
-    /// Jobs finished with an error (lifetime total).
+    /// Jobs finished with an error (lifetime total, panics included).
     pub failed: u64,
+    /// Jobs cancelled at their deadline (lifetime total).
+    pub timed_out: u64,
+    /// Jobs whose run panicked — isolated by `catch_unwind` and counted
+    /// inside `failed`, broken out here so a panicking spec is visible
+    /// on `/metrics` (lifetime total).
+    pub panicked: u64,
     /// Submissions refused because the queue was full (lifetime total).
     pub rejected: u64,
 }
@@ -104,6 +148,8 @@ struct QueueState<I, O> {
     next_id: u64,
     done: u64,
     failed: u64,
+    timed_out: u64,
+    panicked: u64,
     rejected: u64,
     shutdown: bool,
 }
@@ -166,6 +212,8 @@ impl<I, O: Clone> JobQueue<I, O> {
                     next_id: 1,
                     done: 0,
                     failed: 0,
+                    timed_out: 0,
+                    panicked: 0,
                     rejected: 0,
                     shutdown: false,
                 }),
@@ -243,6 +291,8 @@ impl<I, O: Clone> JobQueue<I, O> {
                 .count(),
             done: state.done,
             failed: state.failed,
+            timed_out: state.timed_out,
+            panicked: state.panicked,
             rejected: state.rejected,
         }
     }
@@ -259,7 +309,13 @@ impl<I, O: Clone> JobQueue<I, O> {
     /// A worker loop: claims jobs FIFO and records `run`'s verdict, until
     /// shutdown *and* a drained queue. Call from as many threads as the
     /// service wants simulation workers.
-    pub fn run_worker(&self, run: impl Fn(JobId, I) -> Result<O, String>) {
+    ///
+    /// A panicking `run` does **not** kill the worker: the unwind is
+    /// caught, the panic message becomes the job's
+    /// [`Failed`](JobState::Failed) state, and the loop claims the next
+    /// job — one poisoned spec can never take a worker slot (or the
+    /// drain) down with it.
+    pub fn run_worker(&self, run: impl Fn(JobId, I) -> Result<O, JobFailure>) {
         loop {
             let claimed = {
                 let mut state = self.lock();
@@ -279,15 +335,29 @@ impl<I, O: Clone> JobQueue<I, O> {
                 }
             };
             let Some((id, input)) = claimed else { return };
-            let verdict = run(id, input);
+            // `AssertUnwindSafe`: on panic the closure's captures are
+            // dropped with the unwind; the queue itself is only touched
+            // again under its (panic-free) lock below.
+            let verdict = catch_unwind(AssertUnwindSafe(|| run(id, input)));
             let mut state = self.lock();
             match verdict {
-                Ok(output) => {
+                Ok(Ok(output)) => {
                     state.done += 1;
                     state.jobs.insert(id, JobState::Done(output));
                 }
-                Err(message) => {
+                Ok(Err(JobFailure::Error(message))) => {
                     state.failed += 1;
+                    state.jobs.insert(id, JobState::Failed(message));
+                }
+                Ok(Err(JobFailure::TimedOut(message))) => {
+                    state.timed_out += 1;
+                    state.jobs.insert(id, JobState::TimedOut(message));
+                }
+                Err(payload) => {
+                    state.failed += 1;
+                    state.panicked += 1;
+                    let message =
+                        format!("job panicked: {}", crate::fault::panic_message(&*payload));
                     state.jobs.insert(id, JobState::Failed(message));
                 }
             }
@@ -389,7 +459,7 @@ mod tests {
                         if n % 2 == 0 {
                             Ok(n)
                         } else {
-                            Err(format!("odd {n}"))
+                            Err(format!("odd {n}").into())
                         }
                     });
                 })
@@ -403,5 +473,59 @@ mod tests {
         assert!(stats.is_idle());
         assert_eq!(queue.status(ids[1]), Some(JobState::Failed("odd 1".into())));
         assert_eq!(queue.wait(ids[2]), Some(JobState::Done(2)));
+    }
+
+    /// Panic isolation: a panicking job becomes `Failed` with the panic
+    /// message captured, the worker survives to run the next job, and
+    /// the panic is counted separately on the stats.
+    #[test]
+    fn a_panicking_job_fails_without_killing_the_worker() {
+        let queue: JobQueue<u32, u32> = JobQueue::bounded(8);
+        let bad = queue.submit(13).unwrap();
+        let good = queue.submit(2).unwrap();
+        queue.shutdown();
+        queue.run_worker(|_, n| {
+            assert!(n != 13, "unlucky number {n}");
+            Ok(n)
+        });
+        assert_eq!(
+            queue.status(bad),
+            Some(JobState::Failed(
+                "job panicked: unlucky number 13".to_string()
+            ))
+        );
+        assert_eq!(queue.status(good), Some(JobState::Done(2)));
+        let stats = queue.stats();
+        assert_eq!((stats.done, stats.failed, stats.panicked), (1, 1, 1));
+        assert!(stats.is_idle());
+    }
+
+    /// The deadline verdict: `TimedOut` is terminal (wait returns it),
+    /// named distinctly on the wire, and counted apart from failures.
+    #[test]
+    fn timed_out_jobs_are_a_distinct_terminal_state() {
+        let queue: JobQueue<u32, u32> = JobQueue::bounded(8);
+        let slow = queue.submit(1).unwrap();
+        let fine = queue.submit(2).unwrap();
+        let worker = {
+            let queue = queue.clone();
+            std::thread::spawn(move || {
+                queue.run_worker(|_, n| {
+                    if n == 1 {
+                        Err(JobFailure::TimedOut("deadline 0.5s exceeded".to_string()))
+                    } else {
+                        Ok(n)
+                    }
+                });
+            })
+        };
+        let state = queue.wait(slow).unwrap();
+        assert_eq!(state, JobState::TimedOut("deadline 0.5s exceeded".into()));
+        assert_eq!(state.name(), "timed_out");
+        assert_eq!(queue.wait(fine), Some(JobState::Done(2)));
+        let stats = queue.stats();
+        assert_eq!((stats.done, stats.failed, stats.timed_out), (1, 0, 1));
+        queue.shutdown();
+        worker.join().unwrap();
     }
 }

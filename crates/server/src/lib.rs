@@ -16,7 +16,12 @@
 //!   drain on shutdown;
 //! * [`server`] — the thread-pool [`Server`]: a polling
 //!   accept loop feeding connection-handler threads, shutting down
-//!   cooperatively on an in-process flag, `SIGTERM`, or an idle timeout.
+//!   cooperatively on an in-process flag, `SIGTERM`, or an idle timeout;
+//! * [`retry`] — the client-side [`RetryPolicy`]: jittered exponential
+//!   backoff, budget-capped, honoring `Retry-After` on 429/503;
+//! * [`fault`] — the seeded [`FaultPlan`] chaos harness: deterministic
+//!   fault injection for proving the above actually holds under
+//!   resets, panics, and flaky I/O.
 //!
 //! The TensorDash-specific routes (`POST /v1/experiments`,
 //! `GET /v1/jobs/<id>`, `/healthz`, `/metrics`) live in
@@ -53,10 +58,16 @@
 
 #![deny(missing_docs)]
 
+pub mod fault;
 pub mod http;
 pub mod jobs;
+pub mod retry;
 pub mod server;
 
-pub use http::{client_request, Request, Response};
-pub use jobs::{JobId, JobQueue, JobState, QueueStats, SubmitError, DEFAULT_FINISHED_RETENTION};
-pub use server::{Handler, Server, ServerConfig, ShutdownFlag};
+pub use fault::{Fault, FaultPlan, FaultSite};
+pub use http::{client_exchange, client_request, ClientResponse, Request, Response};
+pub use jobs::{
+    JobFailure, JobId, JobQueue, JobState, QueueStats, SubmitError, DEFAULT_FINISHED_RETENTION,
+};
+pub use retry::{client_request_with_retry, Attempt, RetryPolicy};
+pub use server::{Handler, Server, ServerConfig, ServerFaultStats, ShutdownFlag};

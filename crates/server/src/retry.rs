@@ -1,0 +1,293 @@
+//! Client-side retry discipline: jittered exponential backoff with a
+//! hard attempt cap and a wall-clock budget, honoring `Retry-After`
+//! hints on 429/503 responses.
+//!
+//! The jitter is deterministic (splitmix64 over `(seed, attempt)`), so a
+//! load test or chaos run with a fixed seed schedules the same waits
+//! every time — randomness without OS entropy, in keeping with the
+//! offline std-only workspace. The policy is transport-agnostic:
+//! [`RetryPolicy::run`] drives any fallible closure, and
+//! [`client_request_with_retry`] packages the common case of one HTTP
+//! exchange retried on transport errors and back-pressure statuses.
+
+use crate::fault::splitmix64;
+use crate::http::{client_exchange, ClientResponse};
+use std::io;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// How one attempt of a retried operation ended.
+#[derive(Debug)]
+pub enum Attempt<T, E> {
+    /// The operation finished (successfully or with a terminal error the
+    /// policy must not retry) — hand the result back as-is.
+    Done(T),
+    /// The operation failed retryably; `retry_after` carries the
+    /// server's wait hint when it sent one.
+    Retry {
+        /// The failure to surface if the budget runs out.
+        error: E,
+        /// A server-provided `Retry-After` duration, honored over the
+        /// computed backoff.
+        retry_after: Option<Duration>,
+    },
+}
+
+/// A bounded retry schedule: at most `max_attempts` tries, never more
+/// than `budget` of wall clock in backoff sleeps, exponential delays
+/// from `base_delay` capped at `max_delay`, deterministically jittered
+/// by `seed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further attempt.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep (and on honored
+    /// `Retry-After` hints).
+    pub max_delay: Duration,
+    /// Ceiling on the *sum* of backoff sleeps — once spent, the last
+    /// error is returned even if attempts remain.
+    pub budget: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 25 ms → 1 s jittered backoff, 10 s total budget.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+            budget: Duration::from_secs(10),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, zero budget).
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            budget: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// The same policy drawing jitter from `seed` (so concurrent clients
+    /// seeded differently do not thunder in lockstep).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff before retry number `attempt` (1-based): exponential
+    /// from `base_delay`, jittered into `[50%, 100%]` of the nominal
+    /// delay, capped at `max_delay`. A server `Retry-After` hint
+    /// overrides the computed delay (still capped at `max_delay`).
+    #[must_use]
+    pub fn delay_before(&self, attempt: u32, retry_after: Option<Duration>) -> Duration {
+        if let Some(hint) = retry_after {
+            return hint.min(self.max_delay);
+        }
+        let doublings = attempt.saturating_sub(1).min(16);
+        let nominal = self
+            .base_delay
+            .saturating_mul(1 << doublings)
+            .min(self.max_delay);
+        // Jitter scales the nominal delay by 512..=1024 / 1024.
+        let scale = 512 + splitmix64(self.seed ^ u64::from(attempt)) % 513;
+        nominal.mul_f64(scale as f64 / 1024.0)
+    }
+
+    /// Drives `attempt_fn` (called with the 1-based attempt number)
+    /// until it reports [`Attempt::Done`] or the policy's attempt cap or
+    /// sleep budget is exhausted, sleeping the scheduled backoff between
+    /// tries.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's retryable error once the schedule is spent.
+    pub fn run<T, E>(&self, mut attempt_fn: impl FnMut(u32) -> Attempt<T, E>) -> Result<T, E> {
+        let mut slept = Duration::ZERO;
+        let attempts = self.max_attempts.max(1);
+        for attempt in 1..=attempts {
+            let (error, retry_after) = match attempt_fn(attempt) {
+                Attempt::Done(result) => return Ok(result),
+                Attempt::Retry { error, retry_after } => (error, retry_after),
+            };
+            if attempt == attempts {
+                return Err(error);
+            }
+            let delay = self.delay_before(attempt, retry_after);
+            if slept + delay > self.budget {
+                return Err(error);
+            }
+            std::thread::sleep(delay);
+            slept += delay;
+        }
+        unreachable!("the loop returns on its final attempt");
+    }
+}
+
+/// Whether `status` invites a retry (the back-pressure statuses the
+/// service emits with a `Retry-After` header).
+#[must_use]
+pub fn retryable_status(status: u16) -> bool {
+    matches!(status, 429 | 503)
+}
+
+/// One HTTP exchange under a [`RetryPolicy`]: transport-level
+/// `io::Error`s and 429/503 responses are retried (honoring
+/// `Retry-After`), everything else — including 4xx/5xx terminal
+/// statuses — is returned as-is from the first attempt that produced
+/// it. `retries` (when provided) is incremented once per extra attempt
+/// actually made, so callers can surface retry counts in their reports.
+///
+/// # Errors
+///
+/// The last transport error once the retry schedule is spent.
+pub fn client_request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+    policy: &RetryPolicy,
+    mut retries: Option<&mut u64>,
+) -> io::Result<ClientResponse> {
+    policy
+        .run(|attempt| {
+            if attempt > 1 {
+                if let Some(count) = retries.as_deref_mut() {
+                    *count += 1;
+                }
+            }
+            match client_exchange(
+                addr,
+                method,
+                path,
+                body.unwrap_or("").as_bytes(),
+                "application/json",
+                timeout,
+            ) {
+                Ok(response) if retryable_status(response.status) => {
+                    let retry_after = response
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_secs);
+                    Attempt::Retry {
+                        error: io::Error::other(format!(
+                            "status {} after retries",
+                            response.status
+                        )),
+                        retry_after,
+                    }
+                }
+                Ok(response) => Attempt::Done(Ok(response)),
+                Err(e) => Attempt::Retry {
+                    error: e,
+                    retry_after: None,
+                },
+            }
+        })
+        .and_then(|result| result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_is_jittered_and_honors_retry_after() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(2),
+            budget: Duration::from_secs(30),
+            seed: 42,
+        };
+        for attempt in 1..=4 {
+            let nominal = Duration::from_millis(100 * (1 << (attempt - 1)));
+            let delay = policy.delay_before(attempt, None);
+            assert!(
+                delay >= nominal / 2 && delay <= nominal,
+                "attempt {attempt}: {delay:?} outside [{:?}, {nominal:?}]",
+                nominal / 2
+            );
+        }
+        // Determinism: the same (seed, attempt) always sleeps the same.
+        assert_eq!(policy.delay_before(3, None), policy.delay_before(3, None));
+        // A different seed lands elsewhere in the jitter window somewhere
+        // across the schedule.
+        let reseeded = policy.clone().with_seed(43);
+        assert!((1..=4).any(|a| reseeded.delay_before(a, None) != policy.delay_before(a, None)));
+        // Retry-After overrides the backoff but stays capped.
+        assert_eq!(
+            policy.delay_before(1, Some(Duration::from_secs(1))),
+            Duration::from_secs(1)
+        );
+        assert_eq!(
+            policy.delay_before(1, Some(Duration::from_secs(60))),
+            Duration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn run_stops_on_done_attempt_cap_and_budget() {
+        let quick = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            budget: Duration::from_secs(1),
+            seed: 1,
+        };
+        // Succeeds on the second attempt.
+        let result: Result<u32, &str> = quick.run(|attempt| {
+            if attempt == 2 {
+                Attempt::Done(7)
+            } else {
+                Attempt::Retry {
+                    error: "again",
+                    retry_after: None,
+                }
+            }
+        });
+        assert_eq!(result, Ok(7));
+        // Exhausts its attempts.
+        let mut tries = 0;
+        let result: Result<u32, &str> = quick.run(|_| {
+            tries += 1;
+            Attempt::Retry {
+                error: "always",
+                retry_after: None,
+            }
+        });
+        assert_eq!((result, tries), (Err("always"), 3));
+        // A zero budget refuses to sleep at all: one attempt only.
+        let mut tries = 0;
+        let result: Result<u32, &str> = RetryPolicy::none().run(|_| {
+            tries += 1;
+            Attempt::Retry {
+                error: "no",
+                retry_after: None,
+            }
+        });
+        assert_eq!((result, tries), (Err("no"), 1));
+    }
+
+    #[test]
+    fn only_back_pressure_statuses_are_retryable() {
+        assert!(retryable_status(429));
+        assert!(retryable_status(503));
+        for status in [200, 202, 400, 404, 410, 500, 504] {
+            assert!(!retryable_status(status), "{status}");
+        }
+    }
+}

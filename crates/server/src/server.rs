@@ -3,10 +3,12 @@
 //! three sources — an in-process [`ShutdownFlag`] (the `/v1/shutdown`
 //! route), `SIGTERM`, and an idle timeout consulted against the handler.
 
+use crate::fault::{panic_message, Fault, FaultPlan, FaultSite};
 use crate::http::{read_request, ParseError, Request, Response};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -24,6 +26,13 @@ pub struct ServerConfig {
     /// Shut down after this long without a request, once the handler
     /// reports itself idle. `None` runs until signalled.
     pub idle_shutdown: Option<Duration>,
+    /// How long a connection may sit mid-request before it is cut off —
+    /// the slow-loris bound: a peer trickling partial headers loses its
+    /// pool slot after this long, it cannot pin the thread forever.
+    pub read_timeout: Duration,
+    /// A seeded fault-injection schedule for chaos testing; `None` (the
+    /// production default) injects nothing.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -33,7 +42,33 @@ impl Default for ServerConfig {
             connection_threads: 4,
             max_body_bytes: crate::http::DEFAULT_MAX_BODY_BYTES,
             idle_shutdown: None,
+            read_timeout: Duration::from_secs(10),
+            faults: None,
         }
+    }
+}
+
+/// Fault counters the server maintains while running — shareable before
+/// [`Server::run`] consumes the server, surfaced on the service's
+/// `/metrics`.
+#[derive(Debug, Default)]
+pub struct ServerFaultStats {
+    handler_panics: AtomicU64,
+    dead_workers: AtomicU64,
+}
+
+impl ServerFaultStats {
+    /// Handler panics caught and answered with a 500 (lifetime total).
+    #[must_use]
+    pub fn handler_panics(&self) -> u64 {
+        self.handler_panics.load(Ordering::Relaxed)
+    }
+
+    /// Connection workers found dead at drain time (lifetime total) —
+    /// each one was logged and skipped so the rest could drain.
+    #[must_use]
+    pub fn dead_workers(&self) -> u64 {
+        self.dead_workers.load(Ordering::Relaxed)
     }
 }
 
@@ -124,6 +159,7 @@ pub struct Server {
     config: ServerConfig,
     handler: Arc<dyn Handler>,
     shutdown: Arc<ShutdownFlag>,
+    faults: Arc<ServerFaultStats>,
 }
 
 impl Server {
@@ -143,7 +179,15 @@ impl Server {
             config,
             handler,
             shutdown: Arc::new(ShutdownFlag::default()),
+            faults: Arc::new(ServerFaultStats::default()),
         })
+    }
+
+    /// The fault counters, shareable before [`run`](Server::run)
+    /// consumes the server.
+    #[must_use]
+    pub fn fault_stats(&self) -> Arc<ServerFaultStats> {
+        Arc::clone(&self.faults)
     }
 
     /// The actually-bound address (the real port when configured with 0).
@@ -186,12 +230,22 @@ impl Server {
                 let handler = Arc::clone(&self.handler);
                 let last_activity = Arc::clone(&last_activity);
                 let max_body = self.config.max_body_bytes;
+                let read_timeout = self.config.read_timeout;
+                let plan = self.config.faults.clone();
+                let faults = Arc::clone(&self.faults);
                 std::thread::spawn(move || loop {
                     // Hold the lock only for the dequeue, not the request.
                     let next = rx.lock().expect("connection queue poisoned").recv();
                     let Ok(mut stream) = next else { return };
                     *last_activity.lock().expect("activity clock poisoned") = Instant::now();
-                    handle_connection(&mut stream, handler.as_ref(), max_body);
+                    handle_connection(
+                        &mut stream,
+                        handler.as_ref(),
+                        max_body,
+                        read_timeout,
+                        plan.as_deref(),
+                        &faults,
+                    );
                 })
             })
             .collect();
@@ -226,6 +280,7 @@ impl Server {
                                         503,
                                         "{\"error\": \"server is shutting down\"}",
                                     )
+                                    .with_header("retry-after", "1")
                                     .write_to(&mut stream);
                                     break;
                                 }
@@ -247,27 +302,86 @@ impl Server {
         }
 
         // Drain: close the channel, let workers finish queued connections.
+        // A worker that died (its thread panicked outside the isolated
+        // handler path) is logged and counted, never allowed to abort
+        // the drain of the healthy rest.
         drop(tx);
         for worker in pool {
-            worker.join().expect("connection worker panicked");
+            if worker.join().is_err() {
+                self.faults.dead_workers.fetch_add(1, Ordering::Relaxed);
+                eprintln!("tensordash-server: a connection worker died; draining the rest");
+            }
         }
         Ok(())
     }
 }
 
 /// Parses one request and writes one response; parse failures get their
-/// mapped 4xx when the connection can still be written to.
-fn handle_connection(stream: &mut TcpStream, handler: &dyn Handler, max_body_bytes: usize) {
+/// mapped 4xx when the connection can still be written to. The handler
+/// itself runs under `catch_unwind`: a panicking route becomes a 500
+/// with the panic message, never a dead pool thread.
+fn handle_connection(
+    stream: &mut TcpStream,
+    handler: &dyn Handler,
+    max_body_bytes: usize,
+    read_timeout: Duration,
+    plan: Option<&FaultPlan>,
+    faults: &ServerFaultStats,
+) {
     // A stuck or malicious peer must not pin a pool thread forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(read_timeout.max(Duration::from_secs(10))));
+    if let Some(plan) = plan {
+        // An injected read fault is a peer whose connection died before
+        // the request arrived: drop it unanswered.
+        if plan.decide(FaultSite::Read) == Fault::Error {
+            return;
+        }
+    }
     let response = match read_request(stream, max_body_bytes) {
-        Ok(request) => handler.handle(&request),
+        Ok(request) => {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = plan {
+                    match plan.decide(FaultSite::Handle) {
+                        Fault::Panic => panic!("injected handler panic"),
+                        Fault::Delay(millis) => {
+                            std::thread::sleep(Duration::from_millis(millis));
+                        }
+                        Fault::Error => return None,
+                        Fault::None => {}
+                    }
+                }
+                Some(handler.handle(&request))
+            }));
+            match outcome {
+                Ok(Some(response)) => response,
+                // An injected handler fault: the connection just dies,
+                // as it would under a real mid-response crash.
+                Ok(None) => return,
+                Err(payload) => {
+                    faults.handler_panics.fetch_add(1, Ordering::Relaxed);
+                    let message = panic_message(&*payload);
+                    eprintln!("tensordash-server: handler panicked: {message}");
+                    Response::json(
+                        500,
+                        format!(
+                            "{{\"error\": {}}}",
+                            crate::http::json_escape(&format!("handler panicked: {message}"))
+                        ),
+                    )
+                }
+            }
+        }
         Err(ParseError::ConnectionClosed | ParseError::Io(_)) => return,
         Err(e @ ParseError::HeadTooLarge) => error_response(431, &e),
         Err(e @ ParseError::BodyTooLarge(_)) => error_response(413, &e),
         Err(e @ ParseError::Malformed(_)) => error_response(400, &e),
     };
+    if let Some(plan) = plan {
+        if plan.decide(FaultSite::Write) == Fault::Error {
+            return;
+        }
+    }
     let _ = response.write_to(stream);
 }
 
@@ -364,6 +478,80 @@ mod tests {
         let (status, _) =
             client_request(addr, "GET", "/healthz", None, Duration::from_secs(10)).unwrap();
         assert_eq!(status, 200);
+        handle.join().unwrap().unwrap();
+    }
+
+    /// Panic isolation: a panicking route answers 500 with the panic
+    /// message, the pool thread survives to serve the next request, and
+    /// the panic is counted.
+    #[test]
+    fn a_panicking_handler_is_a_500_not_a_dead_server() {
+        struct Flaky;
+        impl Handler for Flaky {
+            fn handle(&self, req: &Request) -> Response {
+                assert!(req.path != "/panic", "route exploded");
+                Response::json(200, "{\"ok\": true}")
+            }
+        }
+        let server = Server::bind(
+            ServerConfig {
+                connection_threads: 1,
+                ..ServerConfig::default()
+            },
+            Arc::new(Flaky),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let flag = server.shutdown_flag();
+        let faults = server.fault_stats();
+        let handle = std::thread::spawn(move || server.run());
+
+        let (status, body) =
+            client_request(addr, "GET", "/panic", None, Duration::from_secs(10)).unwrap();
+        assert_eq!(status, 500);
+        assert!(body.contains("handler panicked: route exploded"), "{body}");
+        // The same (only) pool thread answers the next request.
+        let (status, _) =
+            client_request(addr, "GET", "/fine", None, Duration::from_secs(10)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(faults.handler_panics(), 1);
+        assert_eq!(faults.dead_workers(), 0);
+        flag.request();
+        handle.join().unwrap().unwrap();
+    }
+
+    /// The slow-loris bound: a client trickling partial headers is cut
+    /// off by the read timeout and frees its pool slot — a healthy
+    /// request issued while the loris holds the *only* slot still
+    /// succeeds.
+    #[test]
+    fn slow_loris_clients_are_cut_off_and_free_their_pool_slot() {
+        use std::io::{Read, Write};
+        let (addr, flag, handle) = spawn_echo(ServerConfig {
+            connection_threads: 1,
+            read_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        });
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.write_all(b"GET /loris HTT").unwrap();
+        loris.flush().unwrap();
+        // Give the loris time to claim the single pool thread.
+        std::thread::sleep(Duration::from_millis(50));
+        let healthy = std::thread::spawn(move || {
+            client_request(addr, "GET", "/healthy", None, Duration::from_secs(10)).unwrap()
+        });
+        // The server cuts the loris off at the read timeout...
+        loris
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut sink = Vec::new();
+        let _ = loris.read_to_end(&mut sink);
+        assert!(sink.is_empty(), "a half-request must get no response");
+        // ...freeing the slot for the healthy request.
+        let (status, body) = healthy.join().unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("/healthy"), "{body}");
+        flag.request();
         handle.join().unwrap().unwrap();
     }
 

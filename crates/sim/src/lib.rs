@@ -61,5 +61,5 @@ pub use eval::{EvalSpec, EvalSpecBuilder, EvalSpecError, TraceSourceSpec};
 #[allow(deprecated)]
 pub use exec::{simulate_op, simulate_pair, ExecMode, OpSim};
 pub use report::{speedup_ratio, LayerReport, ModelReport, OpAggregate};
-pub use session::Simulator;
+pub use session::{CancelToken, Cancelled, Simulator};
 pub use tile::{GroupRun, Tile};

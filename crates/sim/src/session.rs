@@ -10,9 +10,73 @@ use crate::eval::EvalSpec;
 use crate::exec::{self, ExecMode, OpSim};
 use crate::report::{LayerReport, ModelReport, OpAggregate};
 use crate::tile::Tile;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 use tensordash_trace::{OpTrace, SourceError, TraceRequest, TraceSource};
+
+/// A cooperative cancellation signal for long simulations: an explicit
+/// flag, an optional wall-clock deadline, or both. Workers consult it at
+/// *(layer, op)* work-item boundaries — a fired token stops a batch
+/// before its next item, never mid-item, so partial results are simply
+/// discarded and nothing half-built escapes.
+///
+/// Clones share the flag: cancelling any clone cancels them all.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (only [`cancel`](Self::cancel)
+    /// trips it).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that fires once `deadline` passes.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A token that fires `timeout` from now.
+    #[must_use]
+    pub fn after(timeout: Duration) -> Self {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Trips the token explicitly; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has fired (explicitly or past its deadline).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+            || self
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+}
+
+/// The batch was cancelled at a work-item boundary before completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation cancelled at a work-item boundary")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// A simulation session owning the chip being modelled (and the tile
 /// simulator built for it — the scheduler's lookup tables are compiled
@@ -148,6 +212,32 @@ impl Simulator {
     /// As [`simulate`](Simulator::simulate), or if a worker thread panics.
     #[must_use]
     pub fn simulate_batch(&self, groups: &[(&str, &[OpTrace])]) -> Vec<LayerReport> {
+        self.simulate_batch_cancellable(groups, &CancelToken::unbounded())
+            .unwrap_or_else(|_| unreachable!("an unbounded token never cancels"))
+    }
+
+    /// As [`simulate_batch`](Simulator::simulate_batch), consulting
+    /// `cancel` before each *(group, op)* work item is claimed. A fired
+    /// token stops every worker at its next boundary and the whole batch
+    /// returns [`Cancelled`]; a batch whose items all completed before
+    /// the token fired still returns its (complete, bit-identical)
+    /// reports. This is the deadline hook the resident service uses to
+    /// bound job runtimes without poisoning shared caches: nothing
+    /// partial is ever returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the token fired before every work item
+    /// completed.
+    ///
+    /// # Panics
+    ///
+    /// As [`simulate`](Simulator::simulate), or if a worker thread panics.
+    pub fn simulate_batch_cancellable(
+        &self,
+        groups: &[(&str, &[OpTrace])],
+        cancel: &CancelToken,
+    ) -> Result<Vec<LayerReport>, Cancelled> {
         // One pre-allocated slot per (group, op): workers write disjoint
         // slots, the assembly below reads them in input order.
         let slots: Vec<Vec<OnceLock<OpAggregate>>> = groups
@@ -169,12 +259,20 @@ impl Simulator {
         };
         if workers <= 1 {
             // In-thread fast path: no spawn overhead on single-core hosts.
-            items.iter().for_each(run_item);
+            for item in &items {
+                if cancel.is_cancelled() {
+                    return Err(Cancelled);
+                }
+                run_item(item);
+            }
         } else {
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
                         run_item(item);
@@ -183,17 +281,23 @@ impl Simulator {
             });
         }
 
-        groups
-            .iter()
-            .zip(slots)
-            .map(|((label, _), row)| LayerReport {
+        let mut layers = Vec::with_capacity(groups.len());
+        for ((label, _), row) in groups.iter().zip(slots) {
+            let mut ops = Vec::with_capacity(row.len());
+            for slot in row {
+                // An unfilled slot means a worker bailed at the boundary:
+                // the batch is incomplete and must not pretend otherwise.
+                match slot.into_inner() {
+                    Some(aggregate) => ops.push(aggregate),
+                    None => return Err(Cancelled),
+                }
+            }
+            layers.push(LayerReport {
                 label: (*label).to_string(),
-                ops: row
-                    .into_iter()
-                    .map(|slot| slot.into_inner().expect("every work item was simulated"))
-                    .collect(),
-            })
-            .collect()
+                ops,
+            });
+        }
+        Ok(layers)
     }
 
     /// As [`simulate_batch`](Simulator::simulate_batch), wrapping the
@@ -204,6 +308,25 @@ impl Simulator {
             name: name.to_string(),
             layers: self.simulate_batch(groups),
         }
+    }
+
+    /// As [`simulate_model`](Simulator::simulate_model) over the
+    /// cancellable batch path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the token fired before every work item
+    /// completed.
+    pub fn simulate_model_cancellable(
+        &self,
+        name: &str,
+        groups: &[(&str, &[OpTrace])],
+        cancel: &CancelToken,
+    ) -> Result<ModelReport, Cancelled> {
+        Ok(ModelReport {
+            name: name.to_string(),
+            layers: self.simulate_batch_cancellable(groups, cancel)?,
+        })
     }
 
     /// Evaluates a whole workload from any [`TraceSource`] — calibrated
@@ -335,6 +458,50 @@ mod tests {
         let sim = Simulator::paper();
         assert!(sim.simulate_batch(&[]).is_empty());
         assert_eq!(sim.simulate_model("empty", &[]).layers.len(), 0);
+    }
+
+    /// The cancellation contract: an already-fired token stops the batch
+    /// at the first boundary on every path (single- and multi-threaded),
+    /// an unbounded token is invisible, and an explicitly expired
+    /// deadline behaves like an explicit cancel.
+    #[test]
+    fn cancelled_batches_stop_at_work_item_boundaries() {
+        let sim = Simulator::paper();
+        let ops = traces(0.5, 6);
+        let groups: Vec<(&str, &[OpTrace])> = ops.chunks(2).map(|c| ("layer", c)).collect();
+
+        let fired = CancelToken::unbounded();
+        fired.cancel();
+        assert_eq!(
+            sim.simulate_batch_cancellable(&groups, &fired),
+            Err(Cancelled)
+        );
+        assert_eq!(
+            sim.clone()
+                .with_threads(1)
+                .simulate_batch_cancellable(&groups, &fired),
+            Err(Cancelled)
+        );
+
+        // An already-passed deadline fires without an explicit cancel.
+        let expired = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(expired.is_cancelled());
+        assert_eq!(
+            sim.simulate_model_cancellable("m", &groups, &expired),
+            Err(Cancelled)
+        );
+
+        // Clones share the flag.
+        let shared = CancelToken::unbounded();
+        let observer = shared.clone();
+        assert!(!observer.is_cancelled());
+        shared.cancel();
+        assert!(observer.is_cancelled());
+
+        // An unbounded token changes nothing: bit-identical to the plain path.
+        let unbounded = CancelToken::unbounded();
+        let cancellable = sim.simulate_batch_cancellable(&groups, &unbounded).unwrap();
+        assert_eq!(cancellable, sim.simulate_batch(&groups));
     }
 
     /// The service contract: one `Simulator` session and its report types

@@ -11,7 +11,10 @@
 //! <root>/
 //!   objects/<digest:016x>.trace.bin   one canonical v2 artifact each
 //!   tmp/<pid>-<n>.tmp                 in-flight writes (crash litter is
-//!                                     reclaimed by `gc`)
+//!                                     reclaimed by `gc` and the scrub)
+//!   quarantine/<digest:016x>-<n>.trace.bin
+//!                                     corrupt/truncated objects moved
+//!                                     aside instead of served
 //! ```
 //!
 //! Writes are atomic: bytes land in `tmp/`, are flushed, and are renamed
@@ -35,7 +38,7 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use tensordash_trace::{RecordedSource, TraceRecording};
 
 /// The file extension of every stored object.
@@ -107,6 +110,19 @@ pub struct ObjectStat {
     pub bytes: u64,
 }
 
+/// What one [`TraceStore::scrub`] pass found and fixed — the store's
+/// crash-recovery sweep, run by the service at startup before it serves
+/// a single request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Orphaned `tmp/` staging files removed (crash litter).
+    pub removed_tmp: usize,
+    /// Objects that parsed and still hash to their name.
+    pub verified: usize,
+    /// Corrupt or truncated objects moved to `quarantine/`.
+    pub quarantined: usize,
+}
+
 /// What one [`TraceStore::gc`] pass reclaimed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GcReport {
@@ -134,9 +150,27 @@ pub struct StoreStats {
     pub dedup_hits: u64,
     /// Objects removed by `gc` since open.
     pub gc_removed: u64,
+    /// Corrupt objects moved to `quarantine/` since open (by the
+    /// startup scrub or by a read that caught bit-rot).
+    pub quarantined: u64,
     /// Digests currently pinned by in-process readers.
     pub pinned: u64,
 }
+
+/// Which store operation a [fault hook](TraceStore::set_fault_hook) is
+/// being consulted for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// Loading an object (`load`/`load_bytes`).
+    Read,
+    /// Committing an object (`insert_bytes`/`insert_recording`).
+    Write,
+}
+
+/// An injectable fault decision: return `Some(error)` to make the
+/// operation fail as if the filesystem had. Wired by the chaos harness;
+/// `None` everywhere in production.
+pub type FaultHook = Arc<dyn Fn(StoreOp) -> Option<io::Error> + Send + Sync>;
 
 /// Parses a `{digest:016x}` hex string (as printed by the CLI and the
 /// upload response) back to the digest.
@@ -150,7 +184,6 @@ pub fn parse_digest(text: &str) -> Option<u64> {
 
 /// The content-addressed store over one `--trace-dir` root. Cheap to
 /// share behind an `Arc`; all operations take `&self`.
-#[derive(Debug)]
 pub struct TraceStore {
     root: PathBuf,
     pins: Mutex<HashMap<u64, usize>>,
@@ -164,6 +197,16 @@ pub struct TraceStore {
     uploads: AtomicU64,
     dedup_hits: AtomicU64,
     gc_removed: AtomicU64,
+    quarantined: AtomicU64,
+    fault_hook: Mutex<Option<FaultHook>>,
+}
+
+impl fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("root", &self.root)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TraceStore {
@@ -177,6 +220,7 @@ impl TraceStore {
         let root = root.into();
         fs::create_dir_all(root.join("objects"))?;
         fs::create_dir_all(root.join("tmp"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
         Ok(TraceStore {
             root,
             pins: Mutex::new(HashMap::new()),
@@ -185,7 +229,41 @@ impl TraceStore {
             uploads: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
             gc_removed: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            fault_hook: Mutex::new(None),
         })
+    }
+
+    /// Opens the store and immediately [scrubs](TraceStore::scrub) it —
+    /// the crash-recovery entry point the service uses: any litter or
+    /// rot left by a previous process is dealt with before the first
+    /// request is served.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceStore::open`] and [`TraceStore::scrub`].
+    pub fn open_scrubbed(root: impl Into<PathBuf>) -> io::Result<(Self, ScrubReport)> {
+        let store = Self::open(root)?;
+        let report = store.scrub()?;
+        Ok((store, report))
+    }
+
+    /// Installs (or clears, with `None`) the fault hook consulted before
+    /// every object read and write. Chaos-testing machinery: lets a
+    /// seeded fault plan make store I/O fail deterministically without
+    /// touching the filesystem.
+    pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
+        *self.fault_hook.lock().expect("fault hook poisoned") = hook;
+    }
+
+    fn injected_fault(&self, op: StoreOp) -> Result<(), StoreError> {
+        let hook = self.fault_hook.lock().expect("fault hook poisoned").clone();
+        if let Some(hook) = hook {
+            if let Some(error) = hook(op) {
+                return Err(StoreError::Io(error));
+            }
+        }
+        Ok(())
     }
 
     /// The store's root directory.
@@ -249,6 +327,7 @@ impl TraceStore {
         input_is_v2: bool,
         input_bytes: &[u8],
     ) -> Result<InsertOutcome, StoreError> {
+        self.injected_fault(StoreOp::Write)?;
         let digest = tensordash_trace::canonical_digest(recording);
         if let Some(expected) = expected {
             if expected != digest {
@@ -325,14 +404,36 @@ impl TraceStore {
     }
 
     /// Loads the object for `digest` as a replayable source, verifying
-    /// that the bytes still hash to their name (bit-rot detection).
+    /// that the bytes still hash to their name (bit-rot detection). A
+    /// corrupt object is moved to `quarantine/` before the error is
+    /// returned, so rot is never served twice — the next read reports
+    /// [`StoreError::Missing`].
     ///
     /// # Errors
     ///
     /// [`StoreError::Missing`] when no such object exists,
     /// [`StoreError::Corrupt`] when it no longer parses or hashes to a
-    /// different digest.
+    /// different digest (now quarantined).
     pub fn load(&self, digest: u64) -> Result<RecordedSource, StoreError> {
+        Ok(self.read_verified(digest)?.1)
+    }
+
+    /// Loads the raw canonical bytes of the object for `digest`,
+    /// verified exactly like [`TraceStore::load`] (parse + digest check,
+    /// quarantine on rot) — the trace-download route serves these
+    /// byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceStore::load`].
+    pub fn load_bytes(&self, digest: u64) -> Result<Vec<u8>, StoreError> {
+        Ok(self.read_verified(digest)?.0)
+    }
+
+    /// The shared verified-read path: any object handed out — parsed or
+    /// raw — has been re-checked against its name first.
+    fn read_verified(&self, digest: u64) -> Result<(Vec<u8>, RecordedSource), StoreError> {
+        self.injected_fault(StoreOp::Read)?;
         let path = self.object_path(digest);
         let bytes = fs::read(&path).map_err(|e| {
             if e.kind() == io::ErrorKind::NotFound {
@@ -341,15 +442,100 @@ impl TraceStore {
                 StoreError::Io(e)
             }
         })?;
-        let source =
-            RecordedSource::from_bytes(&bytes).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        let source = match RecordedSource::from_bytes(&bytes) {
+            Ok(source) => source,
+            Err(e) => {
+                self.quarantine_object(digest, &e.to_string());
+                return Err(StoreError::Corrupt(format!(
+                    "object {digest:016x} quarantined: {e}"
+                )));
+            }
+        };
         if source.digest() != digest {
-            return Err(StoreError::Corrupt(format!(
+            let why = format!("object {digest:016x} hashes to {:016x}", source.digest());
+            self.quarantine_object(digest, &why);
+            return Err(StoreError::Corrupt(format!("{why}; quarantined")));
+        }
+        Ok((bytes, source))
+    }
+
+    /// Moves the object for `digest` out of `objects/` into
+    /// `quarantine/` (suffixed uniquely, so repeated incidents never
+    /// clobber evidence). Best-effort: a failed rename falls back to
+    /// unlinking, because a known-corrupt object must never be served
+    /// again either way.
+    fn quarantine_object(&self, digest: u64, why: &str) {
+        let n = self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let source = self.object_path(digest);
+        let dest = self
+            .root
+            .join("quarantine")
+            .join(format!("{digest:016x}-{n}{OBJECT_EXT}"));
+        match fs::rename(&source, &dest) {
+            Ok(()) => eprintln!("tensordash-store: quarantined object {digest:016x}: {why}"),
+            Err(e) => {
+                eprintln!(
+                    "tensordash-store: failed to quarantine object {digest:016x} ({why}): {e}; removing it"
+                );
+                let _ = fs::remove_file(&source);
+            }
+        }
+    }
+
+    /// The crash-recovery sweep: removes every abandoned `tmp/` staging
+    /// file, then re-verifies every object (parse + digest check) and
+    /// quarantines any that fail. Run at service startup — after a
+    /// crash, power loss, or disk corruption the store converges back to
+    /// "every listed object is servable".
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when a directory scan or removal fails
+    /// (per-object corruption is *not* an error — that is what the
+    /// quarantine is for).
+    pub fn scrub(&self) -> io::Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        for entry in fs::read_dir(self.root.join("tmp"))? {
+            let entry = entry?;
+            let path = entry.path();
+            if self
+                .in_flight
+                .lock()
+                .expect("in-flight table poisoned")
+                .contains(&path)
+            {
+                continue;
+            }
+            match fs::remove_file(&path) {
+                Ok(()) => report.removed_tmp += 1,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for object in self.list()? {
+            match self.verify_object(object.digest) {
+                Ok(()) => report.verified += 1,
+                Err(why) => {
+                    self.quarantine_object(object.digest, &why);
+                    report.quarantined += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Whether the on-disk object still parses and hashes to its name.
+    fn verify_object(&self, digest: u64) -> Result<(), String> {
+        let bytes = fs::read(self.object_path(digest)).map_err(|e| e.to_string())?;
+        let source = RecordedSource::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        if source.digest() == digest {
+            Ok(())
+        } else {
+            Err(format!(
                 "object {digest:016x} hashes to {:016x}",
                 source.digest()
-            )));
+            ))
         }
-        Ok(source)
     }
 
     /// The size of the object for `digest`.
@@ -505,6 +691,7 @@ impl TraceStore {
             uploads: self.uploads.load(Ordering::Relaxed),
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
             gc_removed: self.gc_removed.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
             pinned,
         }
     }
@@ -805,6 +992,148 @@ mod tests {
             }
             done.store(1, Ordering::Relaxed);
         });
+    }
+
+    /// The startup scrub after a simulated crash: abandoned staging
+    /// litter is reclaimed, a truncated object and a bit-flipped object
+    /// are quarantined, and the intact object keeps serving.
+    #[test]
+    fn scrub_recovers_from_tmp_litter_truncation_and_bit_rot() {
+        let dir = TestDir::new("scrub");
+        let (good, truncated, flipped) = {
+            let store = TraceStore::open(&dir.0).unwrap();
+            (
+                store
+                    .insert_bytes(&tiny_recording(30).to_bytes(), None)
+                    .unwrap()
+                    .digest,
+                store
+                    .insert_bytes(&tiny_recording(31).to_bytes(), None)
+                    .unwrap()
+                    .digest,
+                store
+                    .insert_bytes(&tiny_recording(32).to_bytes(), None)
+                    .unwrap()
+                    .digest,
+            )
+        };
+        // Crash damage: an orphaned staging file, a half-written object,
+        // and one flipped bit.
+        fs::write(dir.0.join("tmp").join("424242-7.tmp"), b"partial write").unwrap();
+        let path = dir
+            .0
+            .join("objects")
+            .join(format!("{truncated:016x}{OBJECT_EXT}"));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let path = dir
+            .0
+            .join("objects")
+            .join(format!("{flipped:016x}{OBJECT_EXT}"));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let (store, report) = TraceStore::open_scrubbed(&dir.0).unwrap();
+        assert_eq!(
+            report,
+            ScrubReport {
+                removed_tmp: 1,
+                verified: 1,
+                quarantined: 2,
+            }
+        );
+        assert!(store.contains(good));
+        assert!(!store.contains(truncated));
+        assert!(!store.contains(flipped));
+        assert_eq!(fs::read_dir(dir.0.join("tmp")).unwrap().count(), 0);
+        assert_eq!(fs::read_dir(dir.0.join("quarantine")).unwrap().count(), 2);
+        assert_eq!(store.stats().quarantined, 2);
+        assert_eq!(store.load(good).unwrap().recording(), &tiny_recording(30));
+        // A second scrub finds nothing left to fix.
+        assert_eq!(
+            store.scrub().unwrap(),
+            ScrubReport {
+                removed_tmp: 0,
+                verified: 1,
+                quarantined: 0,
+            }
+        );
+    }
+
+    /// Bit-rot caught at read time is quarantined on the spot: the first
+    /// read reports corruption, later reads report the object missing —
+    /// garbage is never served, and never served twice.
+    #[test]
+    fn reads_quarantine_rot_instead_of_serving_it() {
+        let dir = TestDir::new("read-rot");
+        let store = TraceStore::open(&dir.0).unwrap();
+        let digest = store
+            .insert_bytes(&tiny_recording(33).to_bytes(), None)
+            .unwrap()
+            .digest;
+        let path = store.object_path(digest);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let err = store.load(digest).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+        assert!(!store.contains(digest));
+        assert_eq!(store.stats().quarantined, 1);
+        assert!(matches!(store.load(digest), Err(StoreError::Missing(_))));
+
+        // The raw-bytes path runs the same verification.
+        let digest = store
+            .insert_bytes(&tiny_recording(34).to_bytes(), None)
+            .unwrap()
+            .digest;
+        let path = store.object_path(digest);
+        let intact = fs::read(&path).unwrap();
+        assert_eq!(store.load_bytes(digest).unwrap(), intact);
+        fs::write(&path, &intact[..intact.len() - 3]).unwrap();
+        let err = store.load_bytes(digest).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+        assert_eq!(store.stats().quarantined, 2);
+    }
+
+    /// The fault hook makes reads and writes fail deterministically
+    /// without touching the disk — and clearing it restores service.
+    #[test]
+    fn fault_hook_injects_and_clears() {
+        let dir = TestDir::new("fault-hook");
+        let store = TraceStore::open(&dir.0).unwrap();
+        let digest = store
+            .insert_bytes(&tiny_recording(35).to_bytes(), None)
+            .unwrap()
+            .digest;
+
+        store.set_fault_hook(Some(Arc::new(|op| match op {
+            StoreOp::Write => Some(io::Error::other("injected write fault")),
+            StoreOp::Read => None,
+        })));
+        let err = store
+            .insert_bytes(&tiny_recording(36).to_bytes(), None)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        // Reads still pass through this hook.
+        assert!(store.load(digest).is_ok());
+
+        store.set_fault_hook(Some(Arc::new(|op| match op {
+            StoreOp::Read => Some(io::Error::other("injected read fault")),
+            StoreOp::Write => None,
+        })));
+        assert!(matches!(store.load(digest), Err(StoreError::Io(_))));
+        // An injected read fault is not corruption: nothing quarantined.
+        assert_eq!(store.stats().quarantined, 0);
+
+        store.set_fault_hook(None);
+        assert!(store.load(digest).is_ok());
+        assert!(store
+            .insert_bytes(&tiny_recording(36).to_bytes(), None)
+            .is_ok());
     }
 
     #[test]
