@@ -76,6 +76,28 @@ REPLAY_TOML
   --out "$train_dir/replay-config.json" >/dev/null
 grep -q '"small-cnn"' "$train_dir/replay-config.json"
 
+step "tensordash scheduler-family comparison smoke"
+# The four family members priced side by side over the recorded trace
+# from the train step — one shared trace cache, one document with a full
+# report per scheduler — and `list` naming the family.
+./target/release/tensordash list > "$train_dir/list.out"
+grep -q 'tstd' "$train_dir/list.out"
+cat > "$train_dir/compare.toml" <<COMPARE_TOML
+name = "ci-schedulers"
+[eval]
+progress = 1.0
+[eval.source]
+recorded = "$train_dir/run.trace.json"
+COMPARE_TOML
+# Capture stdout to a file (grep -q would close the pipe mid-table).
+./target/release/tensordash --config "$train_dir/compare.toml" \
+  --scheduler tensordash,2to4,tstd,dense \
+  --out "$train_dir/schedulers.json" > "$train_dir/schedulers.out"
+grep -q 'dense' "$train_dir/schedulers.out"
+grep -q '"scheduler": "2to4"' "$train_dir/schedulers.json"
+grep -q '"scheduler": "tstd"' "$train_dir/schedulers.json"
+grep -q '"scheduler": "dense"' "$train_dir/schedulers.json"
+
 step "tensordash trace pack/inspect round-trip (v1 <-> v2, same digest)"
 # v1 JSON -> v2 binary -> v1 JSON must be byte-identical (the lossless
 # property), and the binary artifact must replay the live report
@@ -114,8 +136,11 @@ done
 [ -n "$serve_url" ] || { echo "serve never reported its address"; cat "$serve_log"; exit 1; }
 curl -sf "$serve_url/healthz" | grep -q '"ok"'
 # One tiny experiment through the full request path, polled to its report.
+# The spec pins a non-default scheduler — the family flows through the
+# service face, and the job's report records which member priced it.
 job_url="$(curl -sf -X POST "$serve_url/v1/experiments" -d \
-  '{"name": "ci-serve", "models": ["AlexNet"], "chip": {"tiles": 1},
+  '{"name": "ci-serve", "models": ["AlexNet"],
+    "chip": {"tiles": 1, "scheduler": "2to4"},
     "eval": {"sample": {"max_windows": 1, "max_rows": 8}}}' \
   | sed -n 's/.*"report_url": "\([^"]*\)".*/\1/p')"
 [ -n "$job_url" ] || { echo "submit returned no report_url"; exit 1; }
@@ -126,6 +151,7 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 echo "$report" | grep -q '"ci-serve"' || { echo "job never finished: $report"; exit 1; }
+echo "$report" | grep -q '"scheduler": "2to4"' || { echo "served report lost its scheduler"; exit 1; }
 curl -sf "$serve_url/metrics" | grep -q '"evictions"'
 # Upload the binary artifact end-to-end verified (?digest= -> 409 on
 # mismatch) and replay it by content digest through the full job path.
@@ -184,20 +210,22 @@ kill -TERM "$chaos_pid"
 wait "$chaos_pid" || { echo "chaos serve did not exit cleanly after SIGTERM"; exit 1; }
 grep -q "shut down cleanly" "$chaos_log"
 
-step "tensordash bench --smoke --baseline BENCH_8.json"
+step "tensordash bench --smoke --baseline BENCH_9.json"
 bench_report="$(mktemp -t tensordash-bench-XXXXXX.json)"
 trap 'kill "$serve_pid" "$chaos_pid" 2>/dev/null || true; rm -f "$smoke_config" "$smoke_report" "$serve_log" "$chaos_log" "$bench_report"; rm -rf "$train_dir" "$chaos_dir"' EXIT
 # The committed baseline gates kernel + source + store + service
 # throughput: >20% regression on any comparable in-process metric fails
 # the build (trace/model throughput only compares between same-variant
-# runs, so the smoke run skips them against the full baseline; the
-# loadtest-driven service rate fires the same per-request workload in
-# both variants, so it gates cross-variant like the kernel rates, at a
-# wider >50% tolerance — end-to-end socket loadtests swing ±25%
-# run-to-run). The baseline's absolute rates reflect the machine that
-# committed it — on substantially slower hardware, regenerate it with
-# `tensordash bench --out BENCH_8.json` rather than loosening the gate.
-./target/release/tensordash bench --smoke --baseline BENCH_8.json --out "$bench_report"
+# runs, so the smoke run skips them against the full baseline — as do
+# the per-scheduler family rates, whose masks/s scale with the variant's
+# stream length; the loadtest-driven service rate fires the same
+# per-request workload in both variants, so it gates cross-variant like
+# the kernel rates, at a wider >50% tolerance — end-to-end socket
+# loadtests swing ±25% run-to-run). The baseline's absolute rates
+# reflect the machine that committed it — on substantially slower
+# hardware, regenerate it with `tensordash bench --out BENCH_9.json`
+# rather than loosening the gate.
+./target/release/tensordash bench --smoke --baseline BENCH_9.json --out "$bench_report"
 grep -q '"step_speedup"' "$bench_report"
 grep -q '"extraction_speedup"' "$bench_report"
 grep -q '"cycles_per_second"' "$bench_report"

@@ -22,6 +22,8 @@ use std::time::Duration;
 use tensordash_bench::experiment::{self, ExperimentSpec};
 use tensordash_bench::harness::TraceCache;
 use tensordash_bench::{loadtest, service, train};
+use tensordash_serde::Value;
+use tensordash_sim::{ModelReport, SchedulerKind};
 
 const USAGE: &str = "\
 tensordash — the TensorDash (MICRO 2020) reproduction driver
@@ -34,7 +36,10 @@ COMMANDS:
     list                 List the named experiments
     run <NAME>...        Run named experiments in order (`run all` for the
                          full evaluation); bare names also work, e.g.
-                         `tensordash fig13 table3`
+                         `tensordash fig13 table3`. With `--scheduler`,
+                         the names are zoo models instead (none = the
+                         full zoo) and every listed scheduler runs over
+                         the same traces, side by side
     bench                Run the fixed perf-tracking workload set and write
                          BENCH_<n>.json (scheduler-kernel + trace-pipeline
                          + service throughput plus end-to-end model
@@ -113,6 +118,13 @@ OPTIONS:
                          (keys: name, models, [chip], [eval]; all optional —
                          an empty file is the full paper sweep on the
                          Table 2 chip) and write a JSON report
+    --scheduler <LIST>   Comma-separated scheduler family members to run
+                         (tensordash, 2to4, tstd, dense; see
+                         `tensordash list`). One name overrides the
+                         spec's `[chip] scheduler`; several run the same
+                         spec once per scheduler over one shared trace
+                         cache and print a side-by-side speedup table.
+                         Works with `run` (zoo models) and `--config`
     --trace-dir <DIR>    A trace-store directory for `--config` runs whose
                          `[eval.source]` is `stored = <DIGEST>`
     --out <FILE>         Where to write the --config JSON report
@@ -152,6 +164,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut config: Option<String> = None;
     let mut out: Option<String> = None;
     let mut trace_dir: Option<String> = None;
+    let mut schedulers: Vec<SchedulerKind> = Vec::new();
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -166,6 +179,10 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--config" => {
                 config = Some(take_value(&mut iter, "--config")?);
+            }
+            "--scheduler" => {
+                let raw = take_value(&mut iter, "--scheduler")?;
+                schedulers = parse_scheduler_list(&raw)?;
             }
             "--out" => {
                 out = Some(take_value(&mut iter, "--out")?);
@@ -191,6 +208,17 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
+    if !schedulers.is_empty() && config.is_none() {
+        // `run --scheduler ...` compares family members over zoo models
+        // (the positional names; none selected means the full zoo) with
+        // the default methodology — the same workload an empty
+        // `--config` file evaluates.
+        if trace_dir.is_some() {
+            return Err("`--trace-dir` only applies to `--config` and `serve` runs".to_string());
+        }
+        let spec = ExperimentSpec::new("scheduler-comparison").with_models(names);
+        return run_comparison(&spec, &schedulers, out.as_deref(), None);
+    }
     if out.is_some() && config.is_none() {
         // Named experiments write CSVs through the results directory;
         // accepting --out there would silently never produce the file.
@@ -203,7 +231,7 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("`--trace-dir` only applies to `--config` and `serve` runs".to_string());
     }
     match (config, names.is_empty()) {
-        (Some(path), true) => run_config(&path, out.as_deref(), trace_dir.as_deref()),
+        (Some(path), true) => run_config(&path, out.as_deref(), trace_dir.as_deref(), &schedulers),
         (Some(_), false) => Err("`--config` and named experiments are exclusive".to_string()),
         (None, true) => {
             println!("{USAGE}");
@@ -211,6 +239,29 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         (None, false) => run_named(&names),
     }
+}
+
+/// Parses the comma-separated `--scheduler` list into distinct family
+/// members, preserving the order they were named in.
+fn parse_scheduler_list(raw: &str) -> Result<Vec<SchedulerKind>, String> {
+    let mut kinds = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let kind = SchedulerKind::parse(part).map_err(|e| e.to_string())?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    if kinds.is_empty() {
+        return Err(format!(
+            "`--scheduler` needs at least one of: {}",
+            SchedulerKind::valid_names()
+        ));
+    }
+    Ok(kinds)
 }
 
 fn run_bench(args: &[String]) -> Result<(), String> {
@@ -680,6 +731,10 @@ fn print_list() {
     for model in experiment::zoo_models() {
         println!("  {:<16} {} layers", model.name, model.layers.len());
     }
+    println!("\nschedulers for `--scheduler` / `[chip] scheduler` (default: tensordash):\n");
+    for kind in SchedulerKind::ALL {
+        println!("  {:<16} {}", kind.name(), kind.summary());
+    }
 }
 
 fn run_named(names: &[String]) -> Result<(), String> {
@@ -707,7 +762,12 @@ fn run_named(names: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run_config(path: &str, out: Option<&str>, trace_dir: Option<&str>) -> Result<(), String> {
+fn run_config(
+    path: &str,
+    out: Option<&str>,
+    trace_dir: Option<&str>,
+    schedulers: &[SchedulerKind],
+) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let spec: ExperimentSpec =
         tensordash_serde::from_toml_str(&text).map_err(|e| format!("invalid `{path}`: {e}"))?;
@@ -737,6 +797,9 @@ fn run_config(path: &str, out: Option<&str>, trace_dir: Option<&str>) -> Result<
                 .map_err(|e| format!("cannot open trace store `{dir}`: {e}"))
         })
         .transpose()?;
+    if !schedulers.is_empty() {
+        return run_comparison(&spec, schedulers, out, store.as_ref());
+    }
     let reports = match &store {
         Some(store) => {
             let ctx = experiment::SourceContext::local().with_store(store);
@@ -752,17 +815,95 @@ fn run_config(path: &str, out: Option<&str>, trace_dir: Option<&str>) -> Result<
             report.total_speedup()
         );
     }
-    let document = spec.report_document(&reports);
+    write_report(out, &spec.name, &spec.report_document(&reports))
+}
+
+/// Runs `spec` once per scheduler over one shared trace cache — the
+/// traces are scheduler-independent, so every family member prices the
+/// same masks and the comparison is apples-to-apples.
+///
+/// One scheduler behaves exactly like writing it into the spec's
+/// `[chip]` table: same console lines, same JSON document, same default
+/// output path. Several print a side-by-side speedup table and write a
+/// single document with one full report per scheduler.
+fn run_comparison(
+    spec: &ExperimentSpec,
+    kinds: &[SchedulerKind],
+    out: Option<&str>,
+    store: Option<&tensordash_store::TraceStore>,
+) -> Result<(), String> {
+    let cache = TraceCache::new();
+    let ctx = match store {
+        Some(store) => experiment::SourceContext::local().with_store(store),
+        None => experiment::SourceContext::local(),
+    };
+    let mut runs: Vec<(SchedulerKind, ExperimentSpec, Vec<ModelReport>)> = Vec::new();
+    for kind in kinds {
+        let spec_k = spec.clone().with_scheduler(*kind);
+        let reports = spec_k
+            .run_in(&cache, &ctx, &mut |_, _| {})
+            .map_err(|e| e.to_string())?;
+        runs.push((*kind, spec_k, reports));
+    }
+
+    if let [(_, spec_k, reports)] = runs.as_slice() {
+        for report in reports {
+            println!(
+                "{:<16} total speedup {:.3}x",
+                report.name,
+                report.total_speedup()
+            );
+        }
+        return write_report(out, &spec.name, &spec_k.report_document(reports));
+    }
+
+    // Every run resolved the same model list in the same order (the spec
+    // only differs in its scheduler), so rows line up by index.
+    print!("{:<16}", "model");
+    for (kind, _, _) in &runs {
+        print!("  {:>10}", kind.name());
+    }
+    println!();
+    for (row, report) in runs[0].2.iter().enumerate() {
+        print!("{:<16}", report.name);
+        for (_, _, reports) in &runs {
+            print!("  {:>9.3}x", reports[row].total_speedup());
+        }
+        println!();
+    }
+
+    let members: Vec<Value> = runs
+        .iter()
+        .map(|(kind, spec_k, reports)| {
+            let mut doc = spec_k.report_document(reports);
+            if let Value::Table(fields) = &mut doc {
+                fields.insert(
+                    0,
+                    ("scheduler".to_string(), Value::Str(kind.name().to_string())),
+                );
+            }
+            doc
+        })
+        .collect();
+    let document = Value::Table(vec![
+        ("name".to_string(), Value::Str(spec.name.clone())),
+        ("schedulers".to_string(), Value::Array(members)),
+    ]);
+    write_report(out, &spec.name, &document)
+}
+
+/// Writes a report document to `--out` when given, or to the results
+/// directory under `<name>.json` otherwise.
+fn write_report(out: Option<&str>, name: &str, document: &Value) -> Result<(), String> {
     match out {
         Some(path) => {
-            std::fs::write(path, tensordash_serde::json::write(&document))
+            std::fs::write(path, tensordash_serde::json::write(document))
                 .map_err(|e| format!("cannot write `{path}`: {e}"))?;
             println!("  -> wrote {path}");
+            Ok(())
         }
-        None => {
-            experiment::write_json_report(&format!("{}.json", spec.name), &document)
-                .map_err(|e| format!("cannot write report for `{}`: {e}", spec.name))?;
-        }
+        None => experiment::write_json_report(&format!("{name}.json"), document)
+            .map(|_| ())
+            .map_err(|e| format!("cannot write report for `{name}`: {e}")),
     }
-    Ok(())
 }

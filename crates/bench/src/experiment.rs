@@ -176,6 +176,15 @@ impl ExperimentSpec {
         self
     }
 
+    /// Swaps which member of the scheduler family the spec's chip runs
+    /// (everything else — models, traces, methodology — unchanged, which
+    /// is what makes scheduler comparisons apples-to-apples).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: tensordash_sim::SchedulerKind) -> Self {
+        self.chip.scheduler = scheduler;
+        self
+    }
+
     /// The models this spec resolves to.
     ///
     /// # Errors

@@ -48,7 +48,7 @@ use crate::train::{capture_training, TrainOptions};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::path::PathBuf;
 use std::time::Instant;
-use tensordash_core::{PeGeometry, Scheduler, MAX_DEPTH};
+use tensordash_core::{PeGeometry, Scheduler, SchedulerKind, SparsityScheduler, MAX_DEPTH};
 use tensordash_models::paper_models;
 use tensordash_serde::{Serialize, Value};
 use tensordash_sim::{ChipConfig, EvalSpec, Simulator};
@@ -94,6 +94,23 @@ impl KernelBench {
     pub fn group_speedup(&self) -> f64 {
         self.group_masks_per_sec_batched / self.group_masks_per_sec_reference
     }
+}
+
+/// One scheduler family member measured over the fixed row-group
+/// workload. Every member consumes the **same** mask streams, so the
+/// masks/s rates compare the machines' scheduling costs and the modeled
+/// speedups compare what each machine would buy on identical data —
+/// apples-to-apples by construction.
+#[derive(Debug, Clone)]
+pub struct SchedulerBench {
+    /// Family member name (`tensordash`, `2to4`, `tstd`, `dense`).
+    pub name: String,
+    /// Row-group masks scheduled per second through the member's batched
+    /// kernel.
+    pub group_masks_per_sec: f64,
+    /// The member's modeled speedup over the dense baseline on the fixed
+    /// workload (deterministic; doubles as a results sanity check).
+    pub modeled_speedup: f64,
 }
 
 /// Trace-pipeline throughput: extraction, synthesis, and the cache.
@@ -214,6 +231,8 @@ pub struct BenchSummary {
     pub smoke: bool,
     /// Scheduler-kernel measurements.
     pub kernel: KernelBench,
+    /// Scheduler-family comparison (one entry per member, same workload).
+    pub schedulers: Vec<SchedulerBench>,
     /// Trace-pipeline measurements.
     pub trace: TraceBench,
     /// Trace-source measurements (live train, record, replay).
@@ -258,6 +277,21 @@ impl BenchSummary {
                 Value::Float(self.kernel.group_speedup()),
             ),
         ]);
+        let schedulers = Value::Array(
+            self.schedulers
+                .iter()
+                .map(|s| {
+                    Value::Table(vec![
+                        ("name".into(), Value::Str(s.name.clone())),
+                        (
+                            "group_masks_per_sec".into(),
+                            Value::Float(s.group_masks_per_sec),
+                        ),
+                        ("modeled_speedup".into(), Value::Float(s.modeled_speedup)),
+                    ])
+                })
+                .collect(),
+        );
         let trace = Value::Table(vec![
             (
                 "extract_masks_per_sec_bitmap".into(),
@@ -367,9 +401,10 @@ impl BenchSummary {
             ),
         ]);
         Value::Table(vec![
-            ("schema".into(), Value::Str("tensordash-bench/7".into())),
+            ("schema".into(), Value::Str("tensordash-bench/8".into())),
             ("smoke".into(), Value::Bool(self.smoke)),
             ("kernel".into(), kernel),
+            ("schedulers".into(), schedulers),
             ("trace".into(), trace),
             ("source".into(), source),
             ("store".into(), store),
@@ -557,6 +592,41 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
         group_masks_per_sec_batched: group_masks / group_batched,
         group_masks_per_sec_reference: group_masks / group_reference,
     }
+}
+
+/// Measures every member of the scheduler family over one fixed
+/// row-group workload: the same 4 mixed-density streams the kernel
+/// group bench uses, run through each member's batched kernel. The
+/// modeled speedups are deterministic (same seeds every run) and double
+/// as a results sanity check: `dense` must read exactly 1.0 and
+/// `tensordash` must beat the 2×-capped structured members at these
+/// densities.
+#[must_use]
+pub fn bench_schedulers(smoke: bool) -> Vec<SchedulerBench> {
+    let samples = if smoke { 5 } else { 9 };
+    let stream_rows = if smoke { 512 } else { 16_384 };
+    let streams: Vec<Vec<u64>> = [0.15, 0.35, 0.5, 0.75]
+        .iter()
+        .enumerate()
+        .map(|(i, &density)| random_masks(7 + i as u64, stream_rows, density))
+        .collect();
+    let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
+    let masks = (streams.len() * stream_rows) as f64;
+    SchedulerKind::ALL
+        .iter()
+        .map(|&kind| {
+            let scheduler = SparsityScheduler::new(kind, PeGeometry::paper());
+            let run = scheduler.run_masks_batched(&refs);
+            let seconds = best_seconds(samples, || {
+                std::hint::black_box(scheduler.run_masks_batched(&refs));
+            });
+            SchedulerBench {
+                name: kind.name().to_string(),
+                group_masks_per_sec: masks / seconds,
+                modeled_speedup: run.dense_cycles as f64 / run.cycles.max(1) as f64,
+            }
+        })
+        .collect()
 }
 
 /// The fixed extraction workload: one realistically-sized conv layer's
@@ -1119,6 +1189,30 @@ pub fn diff_against_baseline(summary: &BenchSummary, baseline: &Value) -> Vec<Ba
         .and_then(|v| v.as_bool().ok())
         .is_some_and(|smoke| smoke == summary.smoke);
     if same_variant {
+        // Scheduler-family rates run over stream lengths that differ
+        // between variants (512 vs 16384 rows), and the cheap members
+        // (`dense` especially) are dominated by fixed per-call cost, so
+        // their masks/s only compare within a variant. Skipped for
+        // baselines predating the section (BENCH_8 and earlier).
+        if let Some(Value::Array(schedulers)) = baseline.get("schedulers") {
+            for doc in schedulers {
+                let Some(Ok(name)) = doc.get("name").map(Value::as_str) else {
+                    continue;
+                };
+                let Some(current) = summary.schedulers.iter().find(|s| s.name == name) else {
+                    continue;
+                };
+                if let Some(Ok(rate)) = doc.get("group_masks_per_sec").map(Value::as_float) {
+                    push(
+                        &mut entries,
+                        &format!("schedulers.{name}.group_masks_per_sec"),
+                        Some(rate),
+                        current.group_masks_per_sec,
+                        BASELINE_TOLERANCE,
+                    );
+                }
+            }
+        }
         push(
             &mut entries,
             "trace.extract_masks_per_sec_bitmap",
@@ -1167,6 +1261,7 @@ pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
     let start = Instant::now();
     warm_up();
     let kernel = bench_kernel(options.smoke);
+    let schedulers = bench_schedulers(options.smoke);
     let trace = bench_trace(options.smoke);
     let source = bench_source(options.smoke);
     let store = bench_store(options.smoke);
@@ -1175,6 +1270,7 @@ pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
     let summary = BenchSummary {
         smoke: options.smoke,
         kernel,
+        schedulers,
         trace,
         source,
         store,
@@ -1190,6 +1286,14 @@ pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn fixed_schedulers() -> Vec<SchedulerBench> {
+        vec![SchedulerBench {
+            name: "tensordash".into(),
+            group_masks_per_sec: 1.0e8,
+            modeled_speedup: 1.9,
+        }]
+    }
 
     fn fixed_source() -> SourceBench {
         SourceBench {
@@ -1259,9 +1363,28 @@ mod tests {
         assert!(service.requests_per_sec > 0.0);
         assert!(service.latency_ms_p50 > 0.0);
         assert!(service.latency_ms_p99 >= service.latency_ms_p50);
+        let schedulers = bench_schedulers(true);
+        assert_eq!(schedulers.len(), 4, "one entry per family member");
+        let member = |name: &str| {
+            schedulers
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing scheduler `{name}`"))
+        };
+        assert!((member("dense").modeled_speedup - 1.0).abs() < 1e-12);
+        for name in ["2to4", "tstd"] {
+            let s = member(name).modeled_speedup;
+            assert!((1.0..=2.0).contains(&s), "{name} speedup {s}");
+        }
+        assert!(
+            member("tensordash").modeled_speedup > member("2to4").modeled_speedup,
+            "the promotion network must beat the 2x-capped member on this mix"
+        );
+        assert!(schedulers.iter().all(|s| s.group_masks_per_sec > 0.0));
         let summary = BenchSummary {
             smoke: true,
             kernel,
+            schedulers,
             trace,
             source,
             store,
@@ -1274,12 +1397,18 @@ mod tests {
         assert!(summary.models[0].wall_seconds_cached <= summary.models[0].wall_seconds * 1.5);
         let doc = summary.document();
         assert!(doc.get("kernel").is_some());
+        assert!(doc.get("schedulers").is_some());
+        assert_eq!(
+            doc.get("schema").unwrap().as_str().unwrap(),
+            "tensordash-bench/8"
+        );
         assert!(doc.get("trace").is_some());
         assert!(doc.get("source").is_some());
         assert!(doc.get("store").is_some());
         assert!(doc.get("service").is_some());
         let json = tensordash_serde::json::write(&doc);
         assert!(json.contains("steps_per_sec_batched"));
+        assert!(json.contains("modeled_speedup"));
         assert!(json.contains("extraction_speedup"));
         assert!(json.contains("requests_per_sec"));
         assert!(json.contains("live_masks_per_sec"));
@@ -1297,6 +1426,7 @@ mod tests {
                 group_masks_per_sec_batched: 2.0e7, // improved
                 group_masks_per_sec_reference: 1.0e7,
             },
+            schedulers: fixed_schedulers(),
             trace: TraceBench {
                 extract_masks_per_sec_bitmap: 1.0e7,
                 extract_masks_per_sec_reference: 1.0e6,
@@ -1345,6 +1475,7 @@ mod tests {
                 group_masks_per_sec_batched: 1.0e7,
                 group_masks_per_sec_reference: 1.0e7,
             },
+            schedulers: fixed_schedulers(),
             trace: TraceBench {
                 extract_masks_per_sec_bitmap: 1.0,
                 extract_masks_per_sec_reference: 1.0,
@@ -1367,6 +1498,9 @@ mod tests {
         let baseline = tensordash_serde::json::parse(
             r#"{"smoke": false, "kernel": {},
                 "trace": {"extract_masks_per_sec_bitmap": 2.0},
+                "schedulers": [
+                {"name": "tensordash", "group_masks_per_sec": 1.0e9},
+                {"name": "2to4", "group_masks_per_sec": 5.0e8}],
                 "models": [
                 {"name": "AlexNet", "cycles_per_second": 8.0e9}]}"#,
         )
@@ -1382,6 +1516,18 @@ mod tests {
             .find(|d| d.metric == "trace.extract_masks_per_sec_bitmap")
             .expect("same-variant trace metric compared");
         assert!(trace.regressed(), "1.0 vs baseline 2.0 must regress");
+        let scheduler = diffs
+            .iter()
+            .find(|d| d.metric == "schedulers.tensordash.group_masks_per_sec")
+            .expect("same-variant scheduler metric compared");
+        assert!(
+            scheduler.regressed(),
+            "1.0e8 vs baseline 1.0e9 must regress"
+        );
+        // A member the summary did not measure is skipped, not compared.
+        assert!(!diffs
+            .iter()
+            .any(|d| d.metric == "schedulers.2to4.group_masks_per_sec"));
     }
 
     /// The service traffic rate gates like the kernel rates: across
@@ -1396,6 +1542,7 @@ mod tests {
                 group_masks_per_sec_batched: 1.0,
                 group_masks_per_sec_reference: 1.0,
             },
+            schedulers: fixed_schedulers(),
             trace: TraceBench {
                 extract_masks_per_sec_bitmap: 1.0,
                 extract_masks_per_sec_reference: 1.0,
@@ -1446,6 +1593,7 @@ mod tests {
                 group_masks_per_sec_batched: 1.0,
                 group_masks_per_sec_reference: 1.0,
             },
+            schedulers: fixed_schedulers(),
             trace: TraceBench {
                 extract_masks_per_sec_bitmap: 1.0,
                 extract_masks_per_sec_reference: 1.0,

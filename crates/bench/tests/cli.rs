@@ -40,6 +40,19 @@ fn list_names_every_registered_experiment() {
         assert!(text.contains(exp.name), "missing {}", exp.name);
     }
     assert!(text.contains("AlexNet"), "zoo listing missing");
+    // Satellite: the scheduler family is listed next to the model zoo.
+    for kind in tensordash_sim::SchedulerKind::ALL {
+        assert!(
+            text.contains(kind.name()),
+            "missing scheduler {}",
+            kind.name()
+        );
+        assert!(
+            text.contains(kind.summary()),
+            "missing summary for {}",
+            kind.name()
+        );
+    }
 }
 
 #[test]
@@ -118,6 +131,82 @@ fn config_file_reproduces_the_in_code_report_byte_for_byte() {
         written, expected,
         "CLI JSON diverged from the in-code report"
     );
+}
+
+/// The `--scheduler` face of the family: bad names fail fast and name
+/// the valid set; a multi-scheduler run prices every member over the
+/// same recorded trace and writes one document holding a full report per
+/// scheduler; a single `--scheduler` overrides the spec's `[chip]`
+/// scheduler in the ordinary report shape.
+#[test]
+fn scheduler_flag_compares_family_members_over_one_trace() {
+    let out = tensordash(&["run", "--scheduler", "2of4"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("tensordash, 2to4, tstd, dense"), "{err}");
+
+    let out = tensordash(&["run", "--scheduler", ","]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("tensordash, 2to4, tstd, dense"), "{err}");
+
+    let trace = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/golden.trace.json"
+    );
+    let config = temp_file("sched-cmp.toml");
+    std::fs::write(
+        &config,
+        format!(
+            "name = \"sched-cmp\"\n[eval]\nprogress = 1.0\n[eval.source]\nrecorded = \"{trace}\"\n"
+        ),
+    )
+    .unwrap();
+
+    // Side-by-side comparison: dense anchors at exactly 1x, TensorDash
+    // beats it, and the document names each member's full report.
+    let out_path = temp_file("sched-cmp.json");
+    let out = tensordash(&[
+        "--config",
+        config.to_str().unwrap(),
+        "--scheduler",
+        "dense,tensordash",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("model"), "{text}");
+    assert!(text.contains("dense"), "{text}");
+    assert!(text.contains("tensordash"), "{text}");
+    assert!(text.contains("1.000x"), "dense must anchor at 1x: {text}");
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(json.contains("\"schedulers\""), "{json}");
+    assert!(json.contains("\"scheduler\": \"dense\""), "{json}");
+    assert!(json.contains("\"scheduler\": \"tensordash\""), "{json}");
+
+    // One scheduler keeps the ordinary single-report document, with the
+    // override recorded in the embedded spec.
+    let out = tensordash(&[
+        "--config",
+        config.to_str().unwrap(),
+        "--scheduler",
+        "dense",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&out_path).unwrap();
+    assert!(!json.contains("\"schedulers\""), "{json}");
+    assert!(json.contains("\"scheduler\": \"dense\""), "{json}");
 }
 
 /// The `tensordash train` acceptance path: a smoke training run records
@@ -219,7 +308,8 @@ fn bench_smoke_writes_a_perf_report() {
     assert!(text.contains("row-group"), "{text}");
     let json = std::fs::read_to_string(&out_path).unwrap();
     for key in [
-        "tensordash-bench/7",
+        "tensordash-bench/8",
+        "modeled_speedup",
         "live_masks_per_sec",
         "handler_panics",
         "store_quarantined",

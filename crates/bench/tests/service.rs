@@ -13,7 +13,7 @@ use tensordash_bench::experiment::ExperimentSpec;
 use tensordash_bench::service::{Service, ServiceConfig};
 use tensordash_serde::json;
 use tensordash_server::http::client_request;
-use tensordash_sim::{ChipConfig, EvalSpec};
+use tensordash_sim::{ChipConfig, EvalSpec, SchedulerKind};
 
 const TIMEOUT: Duration = Duration::from_secs(60);
 
@@ -164,6 +164,57 @@ fn mixed_concurrent_specs_each_match_their_direct_run() {
         let expected = json::write(&spec.report_document(&spec.run().unwrap()));
         assert_eq!(report, expected, "spec `{}` diverged", spec.name);
     }
+    running.shutdown_and_join().unwrap();
+}
+
+/// The scheduler family through the service face: every member's served
+/// report is byte-identical to its direct run, specs differing only in
+/// their scheduler share one trace build (the cache key is
+/// scheduler-independent by design), and an unknown scheduler name is
+/// rejected at submit time — before a worker ever sees the job.
+#[test]
+fn scheduler_field_flows_through_submit_validation_and_the_cache() {
+    let service = Service::bind(&ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = service.local_addr();
+    let running = service.spawn();
+
+    let base = reference_spec();
+    for kind in SchedulerKind::ALL {
+        let spec = base.clone().with_scheduler(kind);
+        let report = submit_and_fetch(addr, &spec);
+        let expected = json::write(&spec.report_document(&spec.run().unwrap()));
+        assert_eq!(report, expected, "scheduler `{}` diverged", kind.name());
+    }
+
+    // Four serial submissions differing only in scheduler: the first
+    // builds the traces, the other three must reuse them.
+    let (status, body) = client_request(addr, "GET", "/metrics", None, TIMEOUT).unwrap();
+    assert_eq!(status, 200);
+    let metrics = json::parse(&body).unwrap();
+    let cache = metrics.get("cache").unwrap();
+    let misses = cache.get("misses").unwrap().as_u64().unwrap();
+    let hits = cache.get("hits").unwrap().as_u64().unwrap();
+    assert_eq!(misses, 1, "one trace build serves the whole family");
+    assert_eq!(hits, 3, "the other schedulers replayed the cached traces");
+
+    // Submit-time validation: the malformed spec is refused with the
+    // valid set named, as a typed 400 — never an enqueued job.
+    let bad_spec = base.clone().with_scheduler(SchedulerKind::TwoToFour);
+    let bad_body = json::write_compact(&tensordash_serde::Serialize::serialize(&bad_spec))
+        .replace("2to4", "2of4");
+    let (status, response) =
+        client_request(addr, "POST", "/v1/experiments", Some(&bad_body), TIMEOUT).unwrap();
+    assert_eq!(status, 400, "unknown scheduler must 400: {response}");
+    assert!(response.contains("2of4"), "{response}");
+    assert!(
+        response.contains("tensordash, 2to4, tstd, dense"),
+        "rejection must name the valid set: {response}"
+    );
+
     running.shutdown_and_join().unwrap();
 }
 

@@ -55,6 +55,7 @@
 //! | [`pe`] | §3, Figs 6–8 | functional dense + TensorDash processing elements |
 //! | [`compress`] | §3.6, Fig 12 | scheduled-form tensor compression + decompressor |
 //! | [`backside`] | §3.7 | the back-side (output-side) scheduler |
+//! | [`family`] | §5 (comparisons) | the scheduler family: TensorDash, 2:4, TSTD, dense behind one interface |
 //! | [`element`] | — | scalar trait implemented by `f32`, `f64`, integers |
 
 #![forbid(unsafe_code)]
@@ -65,6 +66,7 @@ pub mod compress;
 pub mod connectivity;
 pub mod element;
 pub mod error;
+pub mod family;
 pub mod geometry;
 pub mod oracle;
 pub mod pe;
@@ -76,6 +78,10 @@ pub use compress::{CompressedDma, ScheduledRow, ScheduledTensor};
 pub use connectivity::{Connectivity, ConnectivitySpec, Movement};
 pub use element::Element;
 pub use error::GeometryError;
+pub use family::{
+    DenseScheduler, SchedulerKind, SparsityScheduler, TstdScheduler, TwoToFourScheduler,
+    UnknownSchedulerError,
+};
 pub use geometry::{PeGeometry, MAX_DEPTH, MAX_LANES};
 pub use oracle::{ideal_cycles, ideal_speedup, OracleScheduler};
 pub use pe::{DensePe, PairRow, SparsitySide, TensorDashPe};

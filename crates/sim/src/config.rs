@@ -5,7 +5,7 @@
 //! impossible machines.
 
 use std::fmt;
-use tensordash_core::{GeometryError, PeGeometry};
+use tensordash_core::{GeometryError, PeGeometry, SchedulerKind};
 use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// Why a [`ChipConfigBuilder`] (or a deserialized config document) was
@@ -189,6 +189,10 @@ pub struct ChipConfig {
     pub value_bits: u32,
     /// Off-chip memory.
     pub dram: DramConfig,
+    /// Which member of the scheduler family sits in front of every PE
+    /// (the paper's promotion network by default). Serialized only when
+    /// non-default, so pre-family documents stay byte-identical.
+    pub scheduler: SchedulerKind,
 }
 
 impl ChipConfig {
@@ -207,6 +211,7 @@ impl ChipConfig {
             frequency_mhz: 500,
             value_bits: 32,
             dram: DramConfig::paper(),
+            scheduler: SchedulerKind::TensorDash,
         }
     }
 
@@ -274,6 +279,7 @@ pub struct ChipConfigBuilder {
     frequency_mhz: u64,
     value_bits: u32,
     dram: DramConfig,
+    scheduler: SchedulerKind,
 }
 
 impl Default for ChipConfigBuilder {
@@ -300,6 +306,7 @@ impl ChipConfigBuilder {
             frequency_mhz: chip.frequency_mhz,
             value_bits: chip.value_bits,
             dram: chip.dram,
+            scheduler: chip.scheduler,
         }
     }
 
@@ -404,6 +411,13 @@ impl ChipConfigBuilder {
         self
     }
 
+    /// Which member of the scheduler family sits in front of every PE.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Validates every knob and assembles the chip.
     ///
     /// # Errors
@@ -461,6 +475,7 @@ impl ChipConfigBuilder {
             frequency_mhz: self.frequency_mhz,
             value_bits: self.value_bits,
             dram: self.dram,
+            scheduler: self.scheduler,
         })
     }
 }
@@ -485,8 +500,12 @@ tensordash_serde::impl_serde_struct!(DramConfig {
 });
 
 impl Serialize for ChipConfig {
+    /// The `scheduler` key is emitted only when it differs from the
+    /// default ([`SchedulerKind::TensorDash`]), so every document written
+    /// before the scheduler family existed — and every cache key derived
+    /// from one — stays byte-identical.
     fn serialize(&self) -> Value {
-        Value::Table(vec![
+        let mut fields = vec![
             ("tiles".to_string(), self.tiles.serialize()),
             ("tile".to_string(), self.tile.serialize()),
             ("am".to_string(), self.am.serialize()),
@@ -500,7 +519,11 @@ impl Serialize for ChipConfig {
             ("frequency_mhz".to_string(), self.frequency_mhz.serialize()),
             ("value_bits".to_string(), self.value_bits.serialize()),
             ("dram".to_string(), self.dram.serialize()),
-        ])
+        ];
+        if self.scheduler != SchedulerKind::default() {
+            fields.push(("scheduler".to_string(), self.scheduler.serialize()));
+        }
+        Value::Table(fields)
     }
 }
 
@@ -523,6 +546,7 @@ impl Deserialize for ChipConfig {
             "frequency_mhz",
             "value_bits",
             "dram",
+            "scheduler",
         ])?;
         let mut builder = ChipConfig::builder();
         if let Some(v) = value.get("tiles") {
@@ -578,6 +602,10 @@ impl Deserialize for ChipConfig {
         }
         if let Some(v) = value.get("dram") {
             builder = builder.dram(DramConfig::deserialize(v).map_err(|e| e.at("dram"))?);
+        }
+        if let Some(v) = value.get("scheduler") {
+            builder =
+                builder.scheduler(SchedulerKind::deserialize(v).map_err(|e| e.at("scheduler"))?);
         }
         builder.build().map_err(|e| SerdeError::new(e.to_string()))
     }
@@ -662,6 +690,37 @@ mod tests {
         for (builder, expected) in cases {
             assert_eq!(builder.build().unwrap_err(), expected);
         }
+    }
+
+    #[test]
+    fn scheduler_key_serialized_only_when_non_default() {
+        // The default chip must serialize without a `scheduler` key so
+        // every pre-family document and cache key stays byte-identical.
+        let toml = tensordash_serde::to_toml_string(&ChipConfig::paper()).unwrap();
+        assert!(!toml.contains("scheduler"), "{toml}");
+
+        let chip = ChipConfig::builder()
+            .scheduler(SchedulerKind::TwoToFour)
+            .build()
+            .unwrap();
+        let toml = tensordash_serde::to_toml_string(&chip).unwrap();
+        assert!(toml.contains("scheduler = \"2to4\""), "{toml}");
+        assert_eq!(
+            tensordash_serde::from_toml_str::<ChipConfig>(&toml).unwrap(),
+            chip
+        );
+
+        // An explicit default name round-trips back to the key-less form.
+        let explicit: ChipConfig =
+            tensordash_serde::from_toml_str("scheduler = \"tensordash\"").unwrap();
+        assert_eq!(explicit, ChipConfig::paper());
+
+        let err =
+            tensordash_serde::from_toml_str::<ChipConfig>("scheduler = \"2of4\"").unwrap_err();
+        assert!(
+            err.to_string().contains("tensordash, 2to4, tstd, dense"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -93,8 +93,8 @@ pub(crate) fn simulate_pair_impl(
 ) -> (OpSim, OpSim) {
     let sampled = run_sampled(chip, tile, trace);
     (
-        finish(chip, trace, ExecMode::TensorDash, &sampled),
-        finish(chip, trace, ExecMode::Baseline, &sampled),
+        finish(chip, tile, trace, ExecMode::TensorDash, &sampled),
+        finish(chip, tile, trace, ExecMode::Baseline, &sampled),
     )
 }
 
@@ -105,7 +105,7 @@ pub(crate) fn simulate_op_impl(
     mode: ExecMode,
 ) -> OpSim {
     let sampled = run_sampled(chip, tile, trace);
-    finish(chip, trace, mode, &sampled)
+    finish(chip, tile, trace, mode, &sampled)
 }
 
 /// Aggregates of the bit-exact sampled tile runs.
@@ -155,7 +155,13 @@ fn run_sampled(chip: &ChipConfig, tile: &Tile, trace: &OpTrace) -> Sampled {
     sampled
 }
 
-fn finish(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode, sampled: &Sampled) -> OpSim {
+fn finish(
+    chip: &ChipConfig,
+    tile: &Tile,
+    trace: &OpTrace,
+    mode: ExecMode,
+    sampled: &Sampled,
+) -> OpSim {
     let rows = chip.tile.rows;
     let cols = chip.tile.cols as u64;
     let tiles = chip.tiles as u64;
@@ -179,8 +185,11 @@ fn finish(chip: &ChipConfig, trace: &OpTrace, mode: ExecMode, sampled: &Sampled)
     // passes, spread across tiles.
     let scale_groups = full_groups as f64 / sampled_groups as f64;
     let full_tile_cycles_td = sampled_td_cycles as f64 * row_scale * scale_groups * passes as f64;
-    let full_tile_cycles_base =
-        trace.total_rows_per_window as f64 * full_groups as f64 * passes as f64;
+    // The dense denominator is priced through the tile's dense scheduler —
+    // the same code path every speedup in the repo divides by.
+    let full_tile_cycles_base = tile.baseline_cycles(trace.total_rows_per_window) as f64
+        * full_groups as f64
+        * passes as f64;
 
     let compute_cycles = match mode {
         ExecMode::TensorDash => (full_tile_cycles_td / tiles as f64).ceil() as u64,

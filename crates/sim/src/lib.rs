@@ -63,3 +63,6 @@ pub use exec::{simulate_op, simulate_pair, ExecMode, OpSim};
 pub use report::{speedup_ratio, LayerReport, ModelReport, OpAggregate};
 pub use session::{CancelToken, Cancelled, Simulator};
 pub use tile::{GroupRun, Tile};
+// The scheduler family lives in core; re-exported here because `ChipConfig`
+// carries a `SchedulerKind` and every consumer of the simulator needs it.
+pub use tensordash_core::{SchedulerKind, SparsityScheduler, UnknownSchedulerError};

@@ -124,7 +124,7 @@ impl Simulator {
         Simulator {
             chip,
             threads,
-            tile: Tile::new(chip.tile),
+            tile: Tile::with_scheduler(chip.tile, chip.scheduler),
         }
     }
 

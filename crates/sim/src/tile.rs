@@ -10,17 +10,19 @@
 //! why clustered sparsity hurts more than uniform.
 //!
 //! The whole lockstep loop executes inside
-//! [`Scheduler::run_masks_batched`]: one call per window group, bit-exact
-//! with (and much faster than) driving one
-//! [`RowEngine`](tensordash_core::RowEngine) per row step by step.
+//! [`SparsityScheduler::run_masks_batched`]: one call per window group —
+//! for the default TensorDash member, bit-exact with (and much faster
+//! than) driving one [`RowEngine`](tensordash_core::RowEngine) per row
+//! step by step. [`Tile::with_scheduler`] swaps in any other member of
+//! the scheduler family over the same mask windows.
 
 use crate::config::TileConfig;
-use tensordash_core::{BatchRun, Scheduler};
+use tensordash_core::{BatchRun, DenseScheduler, SchedulerKind, SparsityScheduler};
 
 /// Result of streaming one window group through a tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupRun {
-    /// Cycles the TensorDash tile needed.
+    /// Cycles the tile's scheduler needed.
     pub cycles: u64,
     /// Cycles the dense baseline needs (= stream rows).
     pub dense_cycles: u64,
@@ -47,16 +49,28 @@ impl GroupRun {
 #[derive(Debug, Clone)]
 pub struct Tile {
     config: TileConfig,
-    scheduler: Scheduler,
+    scheduler: SparsityScheduler,
+    /// The dense sibling of whatever scheduler the tile runs: every
+    /// speedup denominator is priced through this one machine instead of
+    /// ad-hoc `rows`-is-cycles arithmetic.
+    baseline: DenseScheduler,
 }
 
 impl Tile {
-    /// Builds a tile with the paper interconnect for its PE geometry.
+    /// Builds a TensorDash tile (the paper interconnect for its PE
+    /// geometry) — the family default.
     #[must_use]
     pub fn new(config: TileConfig) -> Self {
+        Tile::with_scheduler(config, SchedulerKind::TensorDash)
+    }
+
+    /// Builds a tile running the given member of the scheduler family.
+    #[must_use]
+    pub fn with_scheduler(config: TileConfig, kind: SchedulerKind) -> Self {
         Tile {
             config,
-            scheduler: Scheduler::paper(config.pe),
+            scheduler: SparsityScheduler::new(kind, config.pe),
+            baseline: DenseScheduler::new(config.pe),
         }
     }
 
@@ -64,6 +78,18 @@ impl Tile {
     #[must_use]
     pub fn config(&self) -> &TileConfig {
         &self.config
+    }
+
+    /// Which member of the scheduler family this tile runs.
+    #[must_use]
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.scheduler.kind()
+    }
+
+    /// The scheduler driving this tile's rows.
+    #[must_use]
+    pub fn scheduler(&self) -> &SparsityScheduler {
+        &self.scheduler
     }
 
     /// Streams one group of scheduled-side mask streams (one per row, at
@@ -145,11 +171,12 @@ impl Tile {
         }
     }
 
-    /// Dense-baseline cycles for a stream of `rows` reduction rows: one row
-    /// per cycle, no dependence on content.
+    /// Dense-baseline cycles for a stream of `rows` reduction rows, priced
+    /// through the family's [`DenseScheduler`] so every speedup
+    /// denominator comes from the same code path.
     #[must_use]
     pub fn baseline_cycles(&self, rows: u64) -> u64 {
-        rows
+        self.baseline.cycles_for_rows(rows)
     }
 }
 
@@ -157,7 +184,7 @@ impl Tile {
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, Rng, SeedableRng};
-    use tensordash_core::PeGeometry;
+    use tensordash_core::{PeGeometry, Scheduler};
 
     fn tile(rows: usize) -> Tile {
         Tile::new(TileConfig {
@@ -311,6 +338,47 @@ mod tests {
                     "rows {rows} density {density}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn with_scheduler_swaps_the_family_member() {
+        let config = TileConfig {
+            rows: 4,
+            cols: 4,
+            pe: PeGeometry::paper(),
+        };
+        let streams: Vec<Vec<u64>> = (0..4).map(|i| random_stream(60 + i, 240, 0.35)).collect();
+        let refs: Vec<&[u64]> = streams.iter().map(Vec::as_slice).collect();
+        assert_eq!(
+            Tile::new(config).scheduler_kind(),
+            SchedulerKind::TensorDash
+        );
+        let dense = Tile::with_scheduler(config, SchedulerKind::Dense).run_group(&refs);
+        assert_eq!(dense.cycles, 240, "the dense member prices every row");
+        let tensordash = Tile::with_scheduler(config, SchedulerKind::TensorDash).run_group(&refs);
+        assert_eq!(tensordash, Tile::new(config).run_group(&refs));
+        for kind in [SchedulerKind::TwoToFour, SchedulerKind::Tstd] {
+            let run = Tile::with_scheduler(config, kind).run_group(&refs);
+            assert!(
+                run.cycles <= 240 && run.cycles >= 120,
+                "{kind}: {}",
+                run.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_cycles_come_from_the_dense_scheduler() {
+        let t = tile(4);
+        let dense_tile = Tile::with_scheduler(*t.config(), SchedulerKind::Dense);
+        for rows in [1u64, 17, 4096] {
+            assert_eq!(t.baseline_cycles(rows), rows);
+            assert_eq!(
+                t.baseline_cycles(rows),
+                dense_tile.baseline_cycles(rows),
+                "one code path for every denominator"
+            );
         }
     }
 

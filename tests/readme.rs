@@ -85,6 +85,21 @@ fn readme_stored_sample_parses_as_a_stored_source() {
 }
 
 #[test]
+fn readme_scheduler_sample_pins_a_non_default_family_member() {
+    let spec: ExperimentSpec =
+        tensordash_serde::from_toml_str(&toml_block_containing("compare-schedulers"))
+            .expect("README scheduler sample no longer parses");
+    assert_eq!(
+        spec.chip.scheduler,
+        tensordash::sim::SchedulerKind::TwoToFour
+    );
+    let models = spec
+        .resolve_models()
+        .expect("README scheduler sample names unknown models");
+    assert_eq!(models.len(), 1);
+}
+
+#[test]
 fn readme_toml_sample_matches_the_shipped_example() {
     // The README promises `examples/experiment.toml` is a copy of the
     // sample; comments may differ, the parsed experiment may not.
