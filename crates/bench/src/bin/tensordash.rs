@@ -302,9 +302,17 @@ fn run_bench(args: &[String]) -> Result<(), String> {
     let (path, summary) =
         tensordash_bench::perf::run(&options).map_err(|e| format!("cannot write report: {e}"))?;
     println!(
-        "kernel: {:.2}x single-step, {:.2}x row-group over the scalar reference",
+        "kernel: {:.2}x single-step, {:.2}x row-group over the scalar reference ({:.2}x wide-over-narrow)",
         summary.kernel.step_speedup(),
-        summary.kernel.group_speedup()
+        summary.kernel.group_speedup(),
+        summary.kernel.wide_speedup()
+    );
+    println!(
+        "sharding: {} {:.4}s at 1 thread, {:.4}s at 8 ({:.2}x)",
+        summary.sharding.model,
+        summary.sharding.wall_seconds_1_thread,
+        summary.sharding.wall_seconds_8_threads,
+        summary.sharding.parallel_speedup()
     );
     println!(
         "trace:  {:.2}x bitmap extraction over the reference, {:.2}x warm-cache eval",

@@ -26,7 +26,7 @@ use crate::harness::{EvalAbort, ModelEval, TraceCache};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
-use tensordash_models::{gcn, paper_models, ModelSpec};
+use tensordash_models::{gcn, paper_models, vit_l_mlp, ModelSpec};
 use tensordash_serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use tensordash_sim::{CancelToken, ChipConfig, EvalSpec, ModelReport, Simulator, TraceSourceSpec};
 use tensordash_store::TraceStore;
@@ -433,12 +433,13 @@ impl ExperimentSpec {
     }
 }
 
-/// Every model name the zoo can resolve (the eight paper models plus the
-/// GCN guard-rail case).
+/// Every model name the zoo can resolve: the eight paper models, the
+/// GCN guard-rail case, and the transformer-scale ViT-L MLP block.
 #[must_use]
 pub fn zoo_models() -> Vec<ModelSpec> {
     let mut models = paper_models();
     models.push(gcn());
+    models.push(vit_l_mlp());
     models
 }
 

@@ -4,9 +4,13 @@
 //! `BENCH_<n>.json` at the repository root, so the project keeps a
 //! performance trajectory the next change has to beat:
 //!
-//! * **kernel** — scheduler step throughput, batched word-parallel kernel
-//!   vs the scalar reference search, plus whole row-group throughput vs
+//! * **kernel** — scheduler step throughput: the wide-word kernel
+//!   (`step_masks4`, four windows per call) vs the one-word tail path vs
+//!   the scalar reference search, plus whole row-group throughput vs
 //!   the per-step engine-dispatch loop;
+//! * **sharding** — the intra-run parallelism measurement: one
+//!   transformer-scale model (the ViT-L MLP pair of GEMMs) evaluated
+//!   over warm traces at 1 worker vs 8, reports asserted byte-equal;
 //! * **trace** — the trace pipeline feeding that kernel: bit-packed
 //!   extraction throughput vs the per-element reference walk
 //!   ([`extract_op_trace_reference`]), synthetic arena-generation
@@ -72,8 +76,15 @@ pub struct BenchOptions {
 /// Scheduler-kernel throughput: the hot path measured in isolation.
 #[derive(Debug, Clone, Copy)]
 pub struct KernelBench {
-    /// Single-window scheduling steps per second, batched kernel.
+    /// Single-window scheduling steps per second through the wide-word
+    /// kernel (`step_masks4`, four windows per call) — the headline rate
+    /// the `--baseline` gate watches.
     pub steps_per_sec_batched: f64,
+    /// Single-window scheduling steps per second through the one-word
+    /// tail path (`step_masks`, one window per call). Kept measured so a
+    /// silent fallback to the narrow path is visible as
+    /// `wide_speedup() <= 1`.
+    pub steps_per_sec_single_word: f64,
     /// Single-window scheduling steps per second, scalar reference.
     pub steps_per_sec_reference: f64,
     /// Row-group masks scheduled per second, `run_masks_batched`.
@@ -87,6 +98,13 @@ impl KernelBench {
     #[must_use]
     pub fn step_speedup(&self) -> f64 {
         self.steps_per_sec_batched / self.steps_per_sec_reference
+    }
+
+    /// Wide-word-over-single-word step throughput ratio — the smoke
+    /// guard that the `step_masks4` leg actually engages.
+    #[must_use]
+    pub fn wide_speedup(&self) -> f64 {
+        self.steps_per_sec_batched / self.steps_per_sec_single_word
     }
 
     /// Batched-over-reference row-group throughput ratio.
@@ -189,6 +207,30 @@ pub struct ModelBench {
     pub speedup: f64,
 }
 
+/// Intra-run sharding measurement: one transformer-scale model — two
+/// enormous GEMMs, the single-big-item regime — evaluated end to end
+/// over warm cached traces at 1 worker and at 8, same spec. The 1-thread
+/// leg is the serial reduction; the 8-thread leg only wins if a single
+/// (layer, op)'s windows really shard across the pool.
+#[derive(Debug, Clone)]
+pub struct ShardingBench {
+    /// The model measured (`ViT-L-MLP`).
+    pub model: String,
+    /// Best-of-N wall seconds with one worker thread.
+    pub wall_seconds_1_thread: f64,
+    /// Best-of-N wall seconds with eight worker threads.
+    pub wall_seconds_8_threads: f64,
+}
+
+impl ShardingBench {
+    /// 1-thread over 8-thread wall ratio — above 1.0 when intra-run
+    /// parallelism buys real wall time on one big matmul.
+    #[must_use]
+    pub fn parallel_speedup(&self) -> f64 {
+        self.wall_seconds_1_thread / self.wall_seconds_8_threads
+    }
+}
+
 /// Service-level traffic throughput: an in-process `tensordash serve`
 /// under the fixed `loadtest` mix.
 #[derive(Debug, Clone, Copy)]
@@ -241,6 +283,8 @@ pub struct BenchSummary {
     pub store: StoreBench,
     /// Per-model end-to-end measurements.
     pub models: Vec<ModelBench>,
+    /// Intra-run sharding measurement (one big model, 1 vs 8 threads).
+    pub sharding: ShardingBench,
     /// Service traffic measurements (`tensordash serve` + `loadtest`).
     pub service: ServiceBench,
     /// Total wall-clock seconds of the whole run.
@@ -255,6 +299,14 @@ impl BenchSummary {
             (
                 "steps_per_sec_batched".into(),
                 Value::Float(self.kernel.steps_per_sec_batched),
+            ),
+            (
+                "steps_per_sec_single_word".into(),
+                Value::Float(self.kernel.steps_per_sec_single_word),
+            ),
+            (
+                "wide_speedup".into(),
+                Value::Float(self.kernel.wide_speedup()),
             ),
             (
                 "steps_per_sec_reference".into(),
@@ -400,8 +452,23 @@ impl BenchSummary {
                 self.service.store_quarantined.serialize(),
             ),
         ]);
+        let sharding = Value::Table(vec![
+            ("model".into(), Value::Str(self.sharding.model.clone())),
+            (
+                "wall_seconds_1_thread".into(),
+                Value::Float(self.sharding.wall_seconds_1_thread),
+            ),
+            (
+                "wall_seconds_8_threads".into(),
+                Value::Float(self.sharding.wall_seconds_8_threads),
+            ),
+            (
+                "parallel_speedup".into(),
+                Value::Float(self.sharding.parallel_speedup()),
+            ),
+        ]);
         Value::Table(vec![
-            ("schema".into(), Value::Str("tensordash-bench/8".into())),
+            ("schema".into(), Value::Str("tensordash-bench/9".into())),
             ("smoke".into(), Value::Bool(self.smoke)),
             ("kernel".into(), kernel),
             ("schedulers".into(), schedulers),
@@ -409,6 +476,7 @@ impl BenchSummary {
             ("source".into(), source),
             ("store".into(), store),
             ("models".into(), models),
+            ("sharding".into(), sharding),
             ("service".into(), service),
             (
                 "total_wall_seconds".into(),
@@ -494,6 +562,36 @@ fn sample_seconds(samples: usize, routine: &mut impl FnMut()) -> Vec<f64> {
         .collect()
 }
 
+/// Best-sample rate with a minimum-wall floor: repeats `routine` enough
+/// times per timed sample that the measured wall clears ~10 ms, so cheap
+/// routines (the `dense` scheduler finishes a whole row-group workload
+/// in nanoseconds) report a real rate instead of dividing by timer
+/// jitter — the BENCH_9 `dense` entry read 2.26e12 masks/s off a
+/// near-zero wall. Returns `units_per_call * repeats / best_seconds`.
+fn floored_rate(samples: usize, units_per_call: f64, mut routine: impl FnMut()) -> f64 {
+    const MIN_WALL: f64 = 0.01;
+    let mut repeats = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..repeats {
+            routine();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= MIN_WALL {
+            break;
+        }
+        // Overshoot the floor 2x so the probe settles in a step or two.
+        let scale = (MIN_WALL / elapsed.max(1e-9) * 2.0).ceil() as usize;
+        repeats = repeats.saturating_mul(scale.max(2));
+    }
+    let seconds = best_seconds(samples, || {
+        for _ in 0..repeats {
+            routine();
+        }
+    });
+    units_per_call * repeats as f64 / seconds
+}
+
 fn random_masks(seed: u64, rows: usize, density: f64) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..rows)
@@ -526,10 +624,13 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
 
     // One batch of staging windows per density level: windows of one
     // operation share a sparsity level, so density-homogeneous batches are
-    // the representative workload shape.
+    // the representative workload shape. 512 divides by 4, so the wide
+    // leg consumes the identical windows as whole `[u64; 4]` groups with
+    // no tail.
     let mut rng = StdRng::seed_from_u64(0xDA5A);
     let densities = [0.1, 0.35, 0.6, 0.9];
     let mut batched = 0.0;
+    let mut single_word = 0.0;
     let mut reference = 0.0;
     for density in densities {
         let windows: Vec<[u64; MAX_DEPTH]> = (0..windows_per_density)
@@ -547,7 +648,23 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
                 z
             })
             .collect();
+        let groups: Vec<[[u64; MAX_DEPTH]; 4]> = windows
+            .chunks_exact(4)
+            .map(|c| [c[0], c[1], c[2], c[3]])
+            .collect();
         batched += best_seconds(samples, || {
+            let mut total = 0u64;
+            for _ in 0..passes {
+                for group in &groups {
+                    let mut z = *group;
+                    for outcome in scheduler.step_masks4(&mut z) {
+                        total += outcome.macs as u64;
+                    }
+                }
+            }
+            std::hint::black_box(total);
+        });
+        single_word += best_seconds(samples, || {
             let mut total = 0u64;
             for _ in 0..passes {
                 for window in &windows {
@@ -588,6 +705,7 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
 
     KernelBench {
         steps_per_sec_batched: window_count as f64 / batched,
+        steps_per_sec_single_word: window_count as f64 / single_word,
         steps_per_sec_reference: window_count as f64 / reference,
         group_masks_per_sec_batched: group_masks / group_batched,
         group_masks_per_sec_reference: group_masks / group_reference,
@@ -596,11 +714,13 @@ pub fn bench_kernel(smoke: bool) -> KernelBench {
 
 /// Measures every member of the scheduler family over one fixed
 /// row-group workload: the same 4 mixed-density streams the kernel
-/// group bench uses, run through each member's batched kernel. The
-/// modeled speedups are deterministic (same seeds every run) and double
-/// as a results sanity check: `dense` must read exactly 1.0 and
-/// `tensordash` must beat the 2×-capped structured members at these
-/// densities.
+/// group bench uses, run through each member's batched kernel. Each
+/// member's rate is measured with [`floored_rate`]'s minimum-wall
+/// discipline, so the cheap arithmetic members (`dense` most of all)
+/// report commensurable masks/s instead of timer jitter. The modeled
+/// speedups are deterministic (same seeds every run) and double as a
+/// results sanity check: `dense` must read exactly 1.0 and `tensordash`
+/// must beat the 2×-capped structured members at these densities.
 #[must_use]
 pub fn bench_schedulers(smoke: bool) -> Vec<SchedulerBench> {
     let samples = if smoke { 5 } else { 9 };
@@ -617,12 +737,12 @@ pub fn bench_schedulers(smoke: bool) -> Vec<SchedulerBench> {
         .map(|&kind| {
             let scheduler = SparsityScheduler::new(kind, PeGeometry::paper());
             let run = scheduler.run_masks_batched(&refs);
-            let seconds = best_seconds(samples, || {
+            let rate = floored_rate(samples, masks, || {
                 std::hint::black_box(scheduler.run_masks_batched(&refs));
             });
             SchedulerBench {
                 name: kind.name().to_string(),
-                group_masks_per_sec: masks / seconds,
+                group_masks_per_sec: rate,
                 modeled_speedup: run.dense_cycles as f64 / run.cycles.max(1) as f64,
             }
         })
@@ -898,6 +1018,49 @@ pub fn bench_models(smoke: bool) -> Vec<ModelBench> {
             }
         })
         .collect()
+}
+
+/// Measures what intra-run sharding buys on the single-big-item regime:
+/// the ViT-L MLP block (two transformer-scale GEMMs — too few (layer,
+/// op) items to occupy a pool by themselves) evaluated over warm cached
+/// traces at 1 worker and at 8. Before timing, the two reports are
+/// asserted byte-equal: the thread count may only move wall time, never
+/// results.
+#[must_use]
+pub fn bench_sharding(smoke: bool) -> ShardingBench {
+    use tensordash_models::vit_l_mlp;
+
+    let model = vit_l_mlp();
+    // Enough sampled windows that each op splits into many tile
+    // row-group chunks (windows / 16 rows per chunk).
+    let spec = EvalSpec::builder()
+        .streams(if smoke { 64 } else { 256 }, 128)
+        .progress(0.5)
+        .seed(0xDA5A)
+        .build()
+        .expect("valid sharding bench spec");
+    let samples = if smoke { 3 } else { 5 };
+    let cache = TraceCache::new();
+    let serial = Simulator::new(ChipConfig::paper()).with_threads(1);
+    let pooled = Simulator::new(ChipConfig::paper()).with_threads(8);
+    // Warm the cache (untimed) and pin down determinism across pools.
+    let reference = serial.eval_model_cached(&model, &spec, &cache, &model.name);
+    assert_eq!(
+        pooled.eval_model_cached(&model, &spec, &cache, &model.name),
+        reference,
+        "thread count must never change results"
+    );
+    let wall_seconds_1_thread = best_seconds(samples, || {
+        std::hint::black_box(serial.eval_model_cached(&model, &spec, &cache, &model.name));
+    });
+    let wall_seconds_8_threads = best_seconds(samples, || {
+        std::hint::black_box(pooled.eval_model_cached(&model, &spec, &cache, &model.name));
+    });
+    ShardingBench {
+        model: model.name,
+        wall_seconds_1_thread,
+        wall_seconds_8_threads,
+    }
 }
 
 /// Measures service-level traffic throughput: boots an in-process
@@ -1266,6 +1429,7 @@ pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
     let source = bench_source(options.smoke);
     let store = bench_store(options.smoke);
     let models = bench_models(options.smoke);
+    let sharding = bench_sharding(options.smoke);
     let service = bench_service(options.smoke);
     let summary = BenchSummary {
         smoke: options.smoke,
@@ -1275,6 +1439,7 @@ pub fn run(options: &BenchOptions) -> std::io::Result<(PathBuf, BenchSummary)> {
         source,
         store,
         models,
+        sharding,
         service,
         total_wall_seconds: start.elapsed().as_secs_f64(),
     };
@@ -1311,6 +1476,14 @@ mod tests {
         }
     }
 
+    fn fixed_sharding() -> ShardingBench {
+        ShardingBench {
+            model: "ViT-L-MLP".into(),
+            wall_seconds_1_thread: 0.8,
+            wall_seconds_8_threads: 0.2,
+        }
+    }
+
     fn fixed_service() -> ServiceBench {
         ServiceBench {
             requests: 12,
@@ -1333,6 +1506,14 @@ mod tests {
         assert!(kernel.steps_per_sec_batched > 0.0);
         assert!(kernel.steps_per_sec_reference > 0.0);
         assert!(kernel.group_masks_per_sec_batched > 0.0);
+        // The fallback guard: if the headline rate ever stops flowing
+        // through `step_masks4`, the wide leg reads no faster than the
+        // one-word tail and this trips.
+        assert!(
+            kernel.wide_speedup() > 1.0,
+            "the wide-word kernel must beat the single-word path ({:.3}x)",
+            kernel.wide_speedup()
+        );
         let trace = bench_trace(true);
         assert!(trace.extract_masks_per_sec_bitmap > 0.0);
         assert!(
@@ -1389,25 +1570,32 @@ mod tests {
             source,
             store,
             models: bench_models(true),
+            sharding: bench_sharding(true),
             service,
             total_wall_seconds: 0.5,
         };
         assert_eq!(summary.models.len(), 1);
         assert!(summary.models[0].speedup > 1.0);
         assert!(summary.models[0].wall_seconds_cached <= summary.models[0].wall_seconds * 1.5);
+        assert_eq!(summary.sharding.model, "ViT-L-MLP");
+        assert!(summary.sharding.wall_seconds_1_thread > 0.0);
+        assert!(summary.sharding.wall_seconds_8_threads > 0.0);
         let doc = summary.document();
         assert!(doc.get("kernel").is_some());
         assert!(doc.get("schedulers").is_some());
         assert_eq!(
             doc.get("schema").unwrap().as_str().unwrap(),
-            "tensordash-bench/8"
+            "tensordash-bench/9"
         );
         assert!(doc.get("trace").is_some());
         assert!(doc.get("source").is_some());
         assert!(doc.get("store").is_some());
+        assert!(doc.get("sharding").is_some());
         assert!(doc.get("service").is_some());
         let json = tensordash_serde::json::write(&doc);
         assert!(json.contains("steps_per_sec_batched"));
+        assert!(json.contains("steps_per_sec_single_word"));
+        assert!(json.contains("wall_seconds_8_threads"));
         assert!(json.contains("modeled_speedup"));
         assert!(json.contains("extraction_speedup"));
         assert!(json.contains("requests_per_sec"));
@@ -1422,6 +1610,7 @@ mod tests {
             smoke: true,
             kernel: KernelBench {
                 steps_per_sec_batched: 5.0e6, // half the baseline: regressed
+                steps_per_sec_single_word: 2.0e6,
                 steps_per_sec_reference: 1.0e6,
                 group_masks_per_sec_batched: 2.0e7, // improved
                 group_masks_per_sec_reference: 1.0e7,
@@ -1436,6 +1625,7 @@ mod tests {
             source: fixed_source(),
             store: fixed_store(),
             models: vec![],
+            sharding: fixed_sharding(),
             service: fixed_service(),
             total_wall_seconds: 0.0,
         };
@@ -1471,6 +1661,7 @@ mod tests {
             smoke: false,
             kernel: KernelBench {
                 steps_per_sec_batched: 1.0e7,
+                steps_per_sec_single_word: 4.0e6,
                 steps_per_sec_reference: 1.0e6,
                 group_masks_per_sec_batched: 1.0e7,
                 group_masks_per_sec_reference: 1.0e7,
@@ -1492,6 +1683,7 @@ mod tests {
                 cycles_per_second: 9.0e9,
                 speedup: 2.0,
             }],
+            sharding: fixed_sharding(),
             service: fixed_service(),
             total_wall_seconds: 0.0,
         };
@@ -1538,6 +1730,7 @@ mod tests {
             smoke: true,
             kernel: KernelBench {
                 steps_per_sec_batched: 1.0,
+                steps_per_sec_single_word: 1.0,
                 steps_per_sec_reference: 1.0,
                 group_masks_per_sec_batched: 1.0,
                 group_masks_per_sec_reference: 1.0,
@@ -1552,6 +1745,7 @@ mod tests {
             source: fixed_source(),
             store: fixed_store(),
             models: vec![],
+            sharding: fixed_sharding(),
             service: fixed_service(),
             total_wall_seconds: 0.0,
         };
@@ -1589,6 +1783,7 @@ mod tests {
             smoke: true,
             kernel: KernelBench {
                 steps_per_sec_batched: 1.0,
+                steps_per_sec_single_word: 1.0,
                 steps_per_sec_reference: 1.0,
                 group_masks_per_sec_batched: 1.0,
                 group_masks_per_sec_reference: 1.0,
@@ -1603,6 +1798,7 @@ mod tests {
             source: fixed_source(),
             store: fixed_store(),
             models: vec![],
+            sharding: fixed_sharding(),
             service: fixed_service(),
             total_wall_seconds: 0.0,
         };

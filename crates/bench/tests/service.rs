@@ -127,6 +127,44 @@ fn concurrent_reports_are_bit_identical_to_direct_simulation() {
     running.shutdown_and_join().unwrap();
 }
 
+/// Intra-run sharding must be invisible through the service face: a spec
+/// whose every op splits into many tile row-group work items (16 sampled
+/// windows on a 2-row tile → 8 chunks per op) still serves bytes
+/// identical to the direct in-process run.
+#[test]
+fn intra_run_sharded_reports_are_bit_identical_through_the_service() {
+    let spec = ExperimentSpec::new("e2e-sharded")
+        .with_models(["AlexNet"])
+        .with_chip(
+            ChipConfig::builder()
+                .tiles(1)
+                .rows(2)
+                .cols(2)
+                .build()
+                .unwrap(),
+        )
+        .with_eval(
+            EvalSpec::builder()
+                .streams(16, 32)
+                .progress(0.4)
+                .seed(7)
+                .build()
+                .unwrap(),
+        );
+    let expected = json::write(&spec.report_document(&spec.run().unwrap()));
+
+    let service = Service::bind(&ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = service.local_addr();
+    let running = service.spawn();
+    let report = submit_and_fetch(addr, &spec);
+    assert_eq!(report, expected, "sharded service report diverged");
+    running.shutdown_and_join().unwrap();
+}
+
 /// Distinct specs racing through the service stay isolated: each job's
 /// report equals its own direct run, even with every worker busy.
 #[test]

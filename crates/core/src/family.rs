@@ -180,6 +180,39 @@ fn row_overflows_2to4(mask: u64) -> bool {
     (nibble_counts(mask) + 0x5555_5555_5555_5555) & 0x8888_8888_8888_8888 != 0
 }
 
+/// [`rows_pairable`] unrolled over a `[u64; 4]` word group: the four
+/// nibble-sum overflow words are folded together so one zero test decides
+/// all four row pairs at once, and the fixed bound keeps the SWAR
+/// arithmetic in vector registers.
+#[inline]
+fn rows_pairable4(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    let mut overflow = 0u64;
+    for i in 0..4 {
+        let sums = nibble_counts(a[i]) + nibble_counts(b[i]);
+        overflow |= sums.wrapping_add(0x3333_3333_3333_3333) & 0x8888_8888_8888_8888;
+    }
+    overflow == 0
+}
+
+/// Counts the rows of `masks` that overflow a single 2:4-structured piece,
+/// consuming the stream in `[u64; 4]` word-group strides (the nibble-SWAR
+/// overflow test runs four rows per unrolled pass) with a scalar tail for
+/// `masks.len() % 4` rows. Bit-identical to testing each row alone.
+#[inline]
+fn overflow_rows(masks: &[u64], lane_mask: u64) -> u64 {
+    let mut count = 0u64;
+    let mut groups = masks.chunks_exact(4);
+    for group in &mut groups {
+        for &mask in group {
+            count += u64::from(row_overflows_2to4(mask & lane_mask));
+        }
+    }
+    for &mask in groups.remainder() {
+        count += u64::from(row_overflows_2to4(mask & lane_mask));
+    }
+    count
+}
+
 /// Iterates the 4-lane groups of a `lanes`-wide row mask, yielding each
 /// group's effectual-bit count the slow, obviously-correct way — the
 /// scalar golden model the SWAR helpers are property-tested against.
@@ -234,8 +267,34 @@ impl TwoToFourScheduler {
         self.geometry.depth() >= 2
     }
 
+    /// Whether every stream's `(pos, pos + 1)` row pair fits one
+    /// structured fetch, testing the streams in `[u64; 4]` word-group
+    /// strides ([`rows_pairable4`]) with a scalar tail — bit-identical to
+    /// the per-stream [`rows_pairable`] walk.
+    #[inline]
+    fn group_pairable(row_pair: impl Fn(usize) -> (u64, u64), streams: usize) -> bool {
+        let wide = streams - streams % 4;
+        let mut s = 0;
+        while s < wide {
+            let mut a = [0u64; 4];
+            let mut b = [0u64; 4];
+            for i in 0..4 {
+                (a[i], b[i]) = row_pair(s + i);
+            }
+            if !rows_pairable4(&a, &b) {
+                return false;
+            }
+            s += 4;
+        }
+        (wide..streams).all(|s| {
+            let (a, b) = row_pair(s);
+            rows_pairable(a, b)
+        })
+    }
+
     /// Runs a lockstep row-group with the word-parallel kernel: one
-    /// nibble-SWAR pairability test per stream per cycle.
+    /// nibble-SWAR pairability test per stream per cycle, four streams per
+    /// word-group stride.
     ///
     /// # Panics
     ///
@@ -250,10 +309,10 @@ impl TwoToFourScheduler {
         while pos < rows {
             let advance = if can_pair
                 && pos + 1 < rows
-                && streams
-                    .iter()
-                    .all(|s| rows_pairable(s[pos] & lane_mask, s[pos + 1] & lane_mask))
-            {
+                && Self::group_pairable(
+                    |s| (streams[s][pos] & lane_mask, streams[s][pos + 1] & lane_mask),
+                    streams.len(),
+                ) {
                 2
             } else {
                 1
@@ -283,12 +342,15 @@ impl TwoToFourScheduler {
         while pos < rows {
             let advance = if can_pair
                 && pos + 1 < rows
-                && (0..streams).all(|s| {
-                    rows_pairable(
-                        arena[s * rows + pos] & lane_mask,
-                        arena[s * rows + pos + 1] & lane_mask,
-                    )
-                }) {
+                && Self::group_pairable(
+                    |s| {
+                        (
+                            arena[s * rows + pos] & lane_mask,
+                            arena[s * rows + pos + 1] & lane_mask,
+                        )
+                    },
+                    streams,
+                ) {
                 2
             } else {
                 1
@@ -390,8 +452,9 @@ impl TstdScheduler {
         (rows.div_ceil(rate) + overflow_rows.div_ceil(rate)).min(rows)
     }
 
-    /// Runs a lockstep row-group with the word-parallel kernel: one
-    /// nibble-SWAR overflow test per mask.
+    /// Runs a lockstep row-group with the word-parallel kernel: the
+    /// per-stream decomposition overflow count runs four rows per
+    /// word-group stride ([`overflow_rows`]).
     ///
     /// # Panics
     ///
@@ -403,13 +466,7 @@ impl TstdScheduler {
         let mut run = batch_shell(streams, rows, lane_mask);
         let cycles = streams
             .iter()
-            .map(|s| {
-                let overflow = s
-                    .iter()
-                    .filter(|&&m| row_overflows_2to4(m & lane_mask))
-                    .count() as u64;
-                self.stream_cycles(rows as u64, overflow)
-            })
+            .map(|s| self.stream_cycles(rows as u64, overflow_rows(s, lane_mask)))
             .max()
             .unwrap_or(0);
         run.cycles = cycles;
@@ -430,10 +487,7 @@ impl TstdScheduler {
         let mut run = arena_shell(arena, rows, lane_mask);
         let cycles = (0..streams)
             .map(|s| {
-                let overflow = arena[s * rows..(s + 1) * rows]
-                    .iter()
-                    .filter(|&&m| row_overflows_2to4(m & lane_mask))
-                    .count() as u64;
+                let overflow = overflow_rows(&arena[s * rows..(s + 1) * rows], lane_mask);
                 self.stream_cycles(rows as u64, overflow)
             })
             .max()
@@ -817,6 +871,32 @@ mod tests {
         }
     }
 
+    /// The word-group-stride helpers against their scalar siblings: four
+    /// pair tests folded into one verdict, and overflow counting across
+    /// every tail length.
+    #[test]
+    fn wide_swar_helpers_match_scalar_walks() {
+        let mut rng = StdRng::seed_from_u64(0x4_2424);
+        for _ in 0..5_000 {
+            let a: [u64; 4] = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+            let b: [u64; 4] = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+            assert_eq!(
+                rows_pairable4(&a, &b),
+                (0..4).all(|i| rows_pairable(a[i], b[i]))
+            );
+        }
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 97] {
+            let masks: Vec<u64> = (0..len).map(|_| rng.gen()).collect();
+            for lane_mask in [u64::MAX, 0xFFFF, 0x7F] {
+                let scalar = masks
+                    .iter()
+                    .filter(|&&m| row_overflows_2to4(m & lane_mask))
+                    .count() as u64;
+                assert_eq!(overflow_rows(&masks, lane_mask), scalar, "len {len}");
+            }
+        }
+    }
+
     /// The property gate: the 2:4 batched kernel (slice and arena entry
     /// points) is bit-identical to its scalar reference across randomized
     /// geometries, group shapes, and densities.
@@ -825,7 +905,7 @@ mod tests {
         let mut seed = 0x2424;
         for geometry in geometries() {
             let scheduler = TwoToFourScheduler::new(geometry);
-            for count in [1usize, 3, 4] {
+            for count in [1usize, 3, 4, 5, 9] {
                 for density in [0.05, 0.3, 0.6, 0.95] {
                     seed += 1;
                     let streams = random_streams(seed, count, 97, geometry.lanes(), density);
@@ -853,7 +933,7 @@ mod tests {
         let mut seed = 0x757D;
         for geometry in geometries() {
             let scheduler = TstdScheduler::new(geometry);
-            for count in [1usize, 3, 4] {
+            for count in [1usize, 3, 4, 5, 9] {
                 for density in [0.05, 0.3, 0.6, 0.95] {
                     seed += 1;
                     let streams = random_streams(seed, count, 97, geometry.lanes(), density);

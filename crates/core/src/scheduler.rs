@@ -28,7 +28,12 @@
 //! shape lets one ring rotation decide a whole conflict-free level per
 //! priority, dense rows are consumed in a single word operation, and
 //! [`Scheduler::run_masks_batched`] additionally packs `64 / lanes` staging
-//! windows of a lockstep tile row-group into every `u64`. The scalar
+//! windows of a lockstep tile row-group into every `u64`. Since PR 10 the
+//! kernel is also **wide-word**: packed words are consumed in unrolled
+//! `[u64; 4]` word-group strides ([`Scheduler::step_masks4`] is the public
+//! four-window entry; [`Scheduler::step_masks`] is the one-word tail), so
+//! each `(level, priority)` table entry resolves four words of windows per
+//! pass of straight-line register arithmetic. The scalar
 //! per-lane search survives as [`Scheduler::step_masks_reference`] — the
 //! golden model for equivalence tests (same cells consumed, bit for bit,
 //! over random mask streams) and the baseline for the scheduler
@@ -469,6 +474,86 @@ impl Scheduler {
         }
     }
 
+    /// Four independent scheduling steps resolved in one call — the
+    /// wide-word kernel.
+    ///
+    /// Each `z[i]` is one staging window under the exact
+    /// [`step_masks`](Scheduler::step_masks) contract, and each returned
+    /// outcome is bit-identical to stepping that window alone. The four
+    /// windows never interact: they are packed subword-style (`64 /
+    /// lanes` windows to a word, exactly as the batched group loop
+    /// stages its streams — a 16-lane PE packs all four into one `u64`),
+    /// the packed word group is stepped with the tiled level/promotion
+    /// masks, and each window's outcome is recovered from its own slot:
+    /// consumed cells only ever clear, so per-window MACs are the slot's
+    /// popcount delta. Every `(level, priority)` table entry thus costs
+    /// one pass of straight-line word arithmetic over the whole group
+    /// instead of four dependent loop trips. Callers with a window count
+    /// that is not a multiple of four step the remainder through
+    /// `step_masks` as the one-word tail.
+    pub fn step_masks4(&self, z: &mut [[u64; MAX_DEPTH]; 4]) -> [StepOutcome; 4] {
+        // Monomorphize the pack/unpack on the slot count: with SLOTS a
+        // constant the `j % SLOTS` / `j / SLOTS` indexing strength-reduces
+        // and the fixed-bound loops unroll, where a runtime divisor costs
+        // a hardware divide per trip — measurably slower than the packed
+        // step itself at 16 lanes.
+        match self.packed_slots.min(4) {
+            4 => self.step_masks4_packed::<4>(z),
+            3 => self.step_masks4_packed::<3>(z),
+            2 => self.step_masks4_packed::<2>(z),
+            _ => self.step_masks4_packed::<1>(z),
+        }
+    }
+
+    fn step_masks4_packed<const SLOTS: usize>(
+        &self,
+        z: &mut [[u64; MAX_DEPTH]; 4],
+    ) -> [StepOutcome; 4] {
+        let lanes = self.geometry.lanes() as u32;
+        let full = self.geometry.lane_mask();
+        let word_count = 4usize.div_ceil(SLOTS);
+
+        let mut words = [[0u64; MAX_DEPTH]; 4];
+        let mut word_full = [0u64; 4];
+        for j in 0..4 {
+            let shift = (j % SLOTS) as u32 * lanes;
+            word_full[j / SLOTS] |= full << shift;
+            for (row, &bits) in words[j / SLOTS].iter_mut().zip(&z[j]) {
+                *row |= (bits & full) << shift;
+            }
+        }
+        let before = words;
+        if word_count == 4 {
+            self.step_words4(&mut words, &word_full);
+        } else {
+            for w in 0..word_count {
+                self.step_word1(&mut words[w], word_full[w]);
+            }
+        }
+
+        let mut out = [StepOutcome {
+            drainable: 0,
+            macs: 0,
+        }; 4];
+        for j in 0..4 {
+            let shift = (j % SLOTS) as u32 * lanes;
+            let mut macs = 0u32;
+            for r in 0..MAX_DEPTH {
+                let slot_after = (words[j / SLOTS][r] >> shift) & full;
+                // Cells only ever clear, so the slot's consumed count is
+                // the popcount of the bits that went away.
+                let cleared = (before[j / SLOTS][r] >> shift) & full & !slot_after;
+                macs += cleared.count_ones();
+                z[j][r] = slot_after;
+            }
+            out[j] = StepOutcome {
+                drainable: self.drainable(&z[j]),
+                macs: macs as usize,
+            };
+        }
+        out
+    }
+
     /// The scalar per-lane, per-option reference search — the pre-batching
     /// implementation of [`Scheduler::step_masks`], retained as the golden
     /// model for the kernel-equivalence tests and the speedup baseline of
@@ -582,11 +667,13 @@ impl Scheduler {
     /// entire group.
     ///
     /// The group's windows are packed `64 / lanes` to a word (a 16-lane PE
-    /// packs four windows per `u64`), so each `(level, priority)` table
-    /// entry resolves up to four PE rows with one masked subword rotation.
-    /// Results are bit-identical to driving one [`RowEngine`] per stream
-    /// and min-reducing the outcomes — windows never interact except
-    /// through the shared drain.
+    /// packs four windows per `u64`), and the words are consumed in
+    /// `[u64; 4]` word-group strides, so each `(level, priority)` table
+    /// entry resolves up to sixteen PE rows with one unrolled pass of
+    /// masked subword rotations (the paper's 16-row tile is exactly one
+    /// word group). Results are bit-identical to driving one [`RowEngine`]
+    /// per stream and min-reducing the outcomes — windows never interact
+    /// except through the shared drain.
     ///
     /// # Panics
     ///
@@ -644,10 +731,6 @@ impl Scheduler {
         let slots = self.packed_slots;
         let word_count = count.div_ceil(slots);
         let mut words: Vec<[u64; MAX_DEPTH]> = vec![[0; MAX_DEPTH]; word_count];
-        // Three per-word scratch rows reused across every step: lanes not
-        // satisfied by their dense cell, the per-level pending set, and the
-        // OR of each word's above-dense rows (the level-skip test).
-        let mut scratch = vec![0u64; word_count * 3];
         // Active-slot mask per word (the last word may be partially filled).
         let word_full: Vec<u64> = (0..word_count)
             .map(|wi| {
@@ -667,7 +750,7 @@ impl Scheduler {
         }
 
         while pending > 0 {
-            let (drainable, macs) = self.step_packed(&mut words, &mut scratch, &word_full);
+            let (drainable, macs) = self.step_packed(&mut words, &word_full);
             run.macs += macs;
             run.scheduler_steps += count as u64;
             run.cycles += 1;
@@ -753,48 +836,35 @@ impl Scheduler {
         run
     }
 
-    /// One lockstep scheduling step over packed row-group windows: every
-    /// `(level, priority)` table entry is applied to all packed words, and
-    /// within a word the precompiled boundary masks rotate all window
-    /// subwords at once. Per window the decisions are identical to
-    /// [`Scheduler::step_masks`] — windows are independent within a step;
-    /// only the drain is min-synchronized.
+    /// One lockstep scheduling step over packed row-group windows: the
+    /// word list is consumed in `[u64; 4]` **word-group strides** — four
+    /// packed words (4 × `64 / lanes` windows) resolved per
+    /// [`step_words4`](Scheduler::step_words4) pass, with the remaining
+    /// `words.len() % 4` words stepped through the one-word tail
+    /// ([`step_word1`](Scheduler::step_word1)). Per window the decisions
+    /// are identical to [`Scheduler::step_masks`] — windows are
+    /// independent within a step; only the drain is min-synchronized.
     ///
     /// Returns the minimum drainable row count across windows (clamped to
     /// at least 1) and the total MACs issued.
     #[inline]
-    fn step_packed(
-        &self,
-        words: &mut [[u64; MAX_DEPTH]],
-        scratch: &mut [u64],
-        word_full: &[u64],
-    ) -> (usize, u64) {
-        debug_assert_eq!(words.len() * 3, scratch.len());
-        let (unsatisfied, rest) = scratch.split_at_mut(words.len());
-        let (level_pending, above) = rest.split_at_mut(words.len());
+    fn step_packed(&self, words: &mut [[u64; MAX_DEPTH]], word_full: &[u64]) -> (usize, u64) {
+        debug_assert_eq!(words.len(), word_full.len());
         let mut macs = 0u64;
-
-        // Dense cells are private and highest-priority: consume every dense
-        // bit of every packed window up-front, in one pass. The same pass
-        // snapshots each word's above-dense rows ORed together — the
-        // superset the level loop tests reachability against.
-        let mut all_satisfied = true;
-        for (((word, wanting), over), &full) in words
-            .iter_mut()
-            .zip(unsatisfied.iter_mut())
-            .zip(above.iter_mut())
-            .zip(word_full)
-        {
-            let dense = word[0];
-            word[0] = 0;
-            macs += u64::from(dense.count_ones());
-            // Lanes NOT satisfied by their dense cell (per slot).
-            *wanting = full & !dense;
-            all_satisfied &= *wanting == 0;
-            *over = word[1..].iter().fold(0, |acc, &row| acc | row);
+        let mut groups = words.chunks_exact_mut(4);
+        let mut full_groups = word_full.chunks_exact(4);
+        for (group, full) in (&mut groups).zip(&mut full_groups) {
+            let group: &mut [[u64; MAX_DEPTH]; 4] = group.try_into().unwrap();
+            let full: &[u64; 4] = full.try_into().unwrap();
+            let wide = self.step_words4(group, full);
+            macs += wide[0] + wide[1] + wide[2] + wide[3];
         }
-        if !all_satisfied {
-            self.step_packed_levels(words, unsatisfied, level_pending, above, &mut macs);
+        for (word, &full) in groups
+            .into_remainder()
+            .iter_mut()
+            .zip(full_groups.remainder())
+        {
+            macs += self.step_word1(word, full);
         }
 
         // The group drains `r` rows only when *every* window's leading `r`
@@ -807,18 +877,40 @@ impl Scheduler {
         (min_drain.max(1), macs)
     }
 
-    /// The level/priority deliberation of [`Scheduler::step_packed`], run
-    /// only when some lanes were not satisfied by their dense cells.
-    /// `unsatisfied` holds, per packed word, the lanes still wanting a cell
-    /// (active slots only); it is reused as the per-level pending scratch.
-    fn step_packed_levels(
-        &self,
-        words: &mut [[u64; MAX_DEPTH]],
-        unsatisfied: &[u64],
-        pending_scratch: &mut [u64],
-        above: &[u64],
-        macs: &mut u64,
-    ) {
+    /// The wide kernel body: one scheduling step over a `[u64; 4]` word
+    /// group, all four words resolved in lockstep. Every loop is
+    /// fixed-bound (4 words × `MAX_DEPTH` rows) so the per-word state —
+    /// dense-unsatisfied lanes, per-level pending sets, above-dense
+    /// snapshots, MAC counts — lives in four-wide register groups and each
+    /// `(level, priority)` table entry is one unrolled pass of word
+    /// arithmetic across the group. Decisions are per-window independent
+    /// and bit-identical to [`step_word1`](Scheduler::step_word1) on each
+    /// word alone; returns the MACs issued per word.
+    #[inline]
+    fn step_words4(&self, words: &mut [[u64; MAX_DEPTH]; 4], word_full: &[u64; 4]) -> [u64; 4] {
+        let mut macs = [0u64; 4];
+        let mut unsatisfied = [0u64; 4];
+        let mut above = [0u64; 4];
+
+        // Dense cells are private and highest-priority: consume every dense
+        // bit of every packed window up-front, in one unrolled pass. The
+        // same pass snapshots each word's above-dense rows ORed together —
+        // the superset the level loop tests reachability against.
+        let mut any_unsatisfied = 0u64;
+        for i in 0..4 {
+            let dense = words[i][0];
+            words[i][0] = 0;
+            macs[i] = u64::from(dense.count_ones());
+            // Lanes NOT satisfied by their dense cell (per slot).
+            unsatisfied[i] = word_full[i] & !dense;
+            any_unsatisfied |= unsatisfied[i];
+            above[i] = words[i][1..].iter().fold(0, |acc, &row| acc | row);
+        }
+        if any_unsatisfied == 0 {
+            return macs;
+        }
+
+        let mut pending = [0u64; 4];
         for (members, &reach_any) in self
             .packed_level_members
             .iter()
@@ -831,17 +923,13 @@ impl Scheduler {
             // lanes already satisfied densely) stay masked out of `pending`
             // so they can never hold the loop open.
             let mut live = 0u64;
-            for ((&over, pending), &wanting) in above
-                .iter()
-                .zip(pending_scratch.iter_mut())
-                .zip(unsatisfied.iter())
-            {
-                *pending = if over & reach_any == 0 {
+            for i in 0..4 {
+                pending[i] = if above[i] & reach_any == 0 {
                     0
                 } else {
-                    *members & wanting
+                    *members & unsatisfied[i]
                 };
-                live |= *pending;
+                live |= pending[i];
             }
             if live == 0 {
                 continue;
@@ -852,23 +940,23 @@ impl Scheduler {
                 let mut still_live = 0u64;
                 if opt.k == 0 {
                     // Lookahead options: the cell is the lane bit.
-                    for (word, pending) in words.iter_mut().zip(pending_scratch.iter_mut()) {
-                        let taken = word[step] & *pending;
-                        *pending &= !taken;
-                        word[step] &= !taken;
-                        *macs += u64::from(taken.count_ones());
-                        still_live |= *pending;
+                    for i in 0..4 {
+                        let taken = words[i][step] & pending[i];
+                        pending[i] &= !taken;
+                        words[i][step] &= !taken;
+                        macs[i] += u64::from(taken.count_ones());
+                        still_live |= pending[i];
                     }
                 } else {
-                    for (word, pending) in words.iter_mut().zip(pending_scratch.iter_mut()) {
-                        let row = word[step];
+                    for i in 0..4 {
+                        let row = words[i][step];
                         let taken = (((row >> opt.k) & opt.rr_lo) | ((row << opt.kc) & opt.rr_hi))
-                            & *pending;
-                        *pending &= !taken;
-                        word[step] = row
+                            & pending[i];
+                        pending[i] &= !taken;
+                        words[i][step] = row
                             & !(((taken << opt.k) & opt.rl_lo) | ((taken >> opt.kc) & opt.rl_hi));
-                        *macs += u64::from(taken.count_ones());
-                        still_live |= *pending;
+                        macs[i] += u64::from(taken.count_ones());
+                        still_live |= pending[i];
                     }
                 }
                 if still_live == 0 {
@@ -876,6 +964,60 @@ impl Scheduler {
                 }
             }
         }
+        macs
+    }
+
+    /// The one-word tail of [`step_packed`](Scheduler::step_packed): one
+    /// scheduling step over a single packed word, semantically the
+    /// `i`-loop bodies of [`step_words4`](Scheduler::step_words4)
+    /// collapsed to one word. Returns the MACs issued.
+    #[inline]
+    fn step_word1(&self, word: &mut [u64; MAX_DEPTH], full: u64) -> u64 {
+        let dense = word[0];
+        word[0] = 0;
+        let mut macs = u64::from(dense.count_ones());
+        let wanting = full & !dense;
+        if wanting == 0 {
+            return macs;
+        }
+        let above = word[1..].iter().fold(0, |acc, &row| acc | row);
+
+        for (members, &reach_any) in self
+            .packed_level_members
+            .iter()
+            .zip(&self.packed_level_reach_any)
+        {
+            if above & reach_any == 0 {
+                continue;
+            }
+            let mut pending = *members & wanting;
+            if pending == 0 {
+                continue;
+            }
+            for opt in &self.packed_rel[1..] {
+                let step = opt.step as usize;
+                let row = word[step];
+                let taken = if opt.k == 0 {
+                    row & pending
+                } else {
+                    (((row >> opt.k) & opt.rr_lo) | ((row << opt.kc) & opt.rr_hi)) & pending
+                };
+                if taken == 0 {
+                    continue;
+                }
+                pending &= !taken;
+                word[step] = if opt.k == 0 {
+                    row & !taken
+                } else {
+                    row & !(((taken << opt.k) & opt.rl_lo) | ((taken >> opt.kc) & opt.rl_hi))
+                };
+                macs += u64::from(taken.count_ones());
+                if pending == 0 {
+                    break;
+                }
+            }
+        }
+        macs
     }
 }
 
@@ -1071,7 +1213,7 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             state >> 24
         };
-        for count in [1usize, 3, 4, 7, 16] {
+        for count in [1usize, 3, 4, 7, 16, 17, 21, 33] {
             for rows in [1usize, 17, 160] {
                 let arena: Vec<u64> = (0..count * rows).map(|_| next() & 0xFFFF).collect();
                 let slices: Vec<&[u64]> = arena.chunks(rows).collect();
@@ -1193,6 +1335,71 @@ mod tests {
     }
 
     #[test]
+    fn wide_step_matches_single_word_and_reference_across_geometries() {
+        // The wide-word equivalence gate: `step_masks4` must make, for each
+        // of its four windows, exactly the decisions the one-word path (and
+        // therefore the scalar reference) makes — same macs, same drain,
+        // same residual windows — across every lane width we model,
+        // including sustained multi-step drains.
+        use rand::{rngs::StdRng, SeedableRng};
+        let geometries = [
+            PeGeometry::paper(),
+            PeGeometry::paper_shallow(),
+            PeGeometry::walkthrough(),
+            PeGeometry::new(3, 2).unwrap(),
+            PeGeometry::new(7, 3).unwrap(),
+            PeGeometry::new(31, 4).unwrap(),
+            PeGeometry::new(64, 4).unwrap(),
+            PeGeometry::new(16, 1).unwrap(),
+        ];
+        let mut rng = StdRng::seed_from_u64(0x4DA5);
+        for geometry in geometries {
+            let s = Scheduler::paper(geometry);
+            for _ in 0..1_000 {
+                let mut wide = [
+                    random_window(&mut rng, geometry),
+                    random_window(&mut rng, geometry),
+                    random_window(&mut rng, geometry),
+                    random_window(&mut rng, geometry),
+                ];
+                let mut narrow = wide;
+                for _ in 0..geometry.depth() {
+                    let outcomes = s.step_masks4(&mut wide);
+                    for i in 0..4 {
+                        let solo = s.step_masks(&mut narrow[i]);
+                        assert_eq!(wide[i], narrow[i], "window {i} diverged on {geometry}");
+                        assert_eq!(outcomes[i], solo, "outcome {i} diverged on {geometry}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_step_matches_on_custom_connectivity() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let spec = ConnectivitySpec::custom(vec![(2, 5), (1, 2), (1, -1), (2, -7)]).unwrap();
+        let geometry = PeGeometry::new(24, 3).unwrap();
+        let s = Scheduler::new(&Connectivity::from_spec(geometry, &spec));
+        let mut rng = StdRng::seed_from_u64(0xC0_24);
+        for _ in 0..1_000 {
+            let mut wide = [
+                random_window(&mut rng, geometry),
+                random_window(&mut rng, geometry),
+                random_window(&mut rng, geometry),
+                random_window(&mut rng, geometry),
+            ];
+            let mut reference = wide;
+            let outcomes = s.step_masks4(&mut wide);
+            for i in 0..4 {
+                let r = s.step_masks_reference(&mut reference[i]);
+                assert_eq!(wide[i], reference[i], "window {i}");
+                assert_eq!(outcomes[i], r, "outcome {i}");
+            }
+        }
+    }
+
+    #[test]
     fn batched_kernel_matches_reference_on_custom_connectivity() {
         use rand::{rngs::StdRng, SeedableRng};
         let spec = ConnectivitySpec::custom(vec![(2, 5), (1, 2), (1, -1), (2, -7)]).unwrap();
@@ -1214,7 +1421,10 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let s = paper_scheduler();
         let mut rng = StdRng::seed_from_u64(0xBA7C);
-        for rows in [1usize, 2, 3, 4, 8] {
+        // Stream counts straddling the word-group stride: 1–8 streams stay
+        // inside one or two packed words (the one-word tail), 16 is exactly
+        // one [u64; 4] group, 21 is one group plus a two-word tail.
+        for rows in [1usize, 2, 3, 4, 8, 16, 21] {
             for density_percent in [0u32, 10, 35, 50, 80, 100] {
                 let streams: Vec<Vec<u64>> = (0..rows)
                     .map(|_| {

@@ -28,4 +28,4 @@ pub mod zoo;
 pub use build::{build_op_trace, layer_traces};
 pub use profile::{Curve, SparsityProfile};
 pub use source::CalibratedSource;
-pub use zoo::{gcn, paper_models, LayerSpec, ModelSpec};
+pub use zoo::{gcn, paper_models, vit_l_mlp, LayerSpec, ModelSpec};

@@ -521,6 +521,38 @@ pub fn gcn() -> ModelSpec {
     }
 }
 
+/// ViT-L MLP block (Dosovitskiy et al.), shapes as profiled in the
+/// torchao activation-sparsity work: 44160 tokens through the
+/// hidden-1024 → 4096 → 1024 feed-forward pair. Not one of the paper's
+/// eight traced models — it is the transformer-scale regime the
+/// wide-word kernel and intra-run sharding target: two enormous GEMMs
+/// instead of many small convolutions, so a single (layer, op) item
+/// dominates the run.
+#[must_use]
+pub fn vit_l_mlp() -> ModelSpec {
+    let tokens = 44160;
+    ModelSpec {
+        name: "ViT-L-MLP".into(),
+        layers: vec![
+            fc("mlp_fc1", tokens, 1024, 4096),
+            fc("mlp_fc2", tokens, 4096, 1024),
+        ],
+        profile: SparsityProfile {
+            // Calibrated, not traced: GELU feed-forwards zero out well
+            // over half the expanded dimension once training settles
+            // (the activation-sparsity literature's consistent finding),
+            // and gradients mirror the activations through the same
+            // gate. Flat depth slope — two layers, same block.
+            act: Curve::new(&[(0.0, 0.45), (0.1, 0.62), (0.5, 0.68), (1.0, 0.66)]),
+            grad: Curve::new(&[(0.0, 0.50), (0.1, 0.68), (0.5, 0.74), (1.0, 0.72)]),
+            weight: Curve::constant(0.0),
+            clustering: 0.15,
+            depth_slope: 0.05,
+            wg_override: None,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,6 +643,20 @@ mod tests {
         let m = gcn();
         assert!(m.profile.act_at(0.5, 0.5) < 0.05);
         assert!(m.profile.act_at(0.5, 1.0) <= 0.05 * 1.5);
+    }
+
+    #[test]
+    fn vit_mlp_is_two_transformer_scale_gemms() {
+        let m = vit_l_mlp();
+        assert_eq!(m.layers.len(), 2);
+        assert_eq!(m.layers[0].dims.n, 44160);
+        assert_eq!(m.layers[0].dims.c, 1024);
+        assert_eq!(m.layers[0].dims.f, 4096);
+        assert_eq!(m.layers[1].dims.c, 4096);
+        assert_eq!(m.layers[1].dims.f, 1024);
+        // The whole model is two GEMMs, each bigger than AlexNet's
+        // entire forward pass — the single-big-item regime.
+        assert!(m.layers[0].dims.macs() > alexnet().total_macs());
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! the batched scheduler kernel
 //! ([`Scheduler::run_masks_batched`](tensordash_core::Scheduler::run_masks_batched))
 //! — the dominant cost of every simulation, with no per-cycle dispatch.
+//!
+//! The sampled region of one operation is additionally exposed as a
+//! [`SampledPlan`]: a list of per-tile-row-group chunks the batch
+//! simulator shards across its work-stealing pool, so a single big
+//! (transformer-shaped) operation parallelizes *within* one model run.
+//! Chunk aggregates are exact `u64` sums, so the input-ordered reduction
+//! is byte-identical to this module's serial loop at any thread count.
 
 use crate::config::ChipConfig;
 use crate::counters::SimCounters;
@@ -92,10 +99,7 @@ pub(crate) fn simulate_pair_impl(
     trace: &OpTrace,
 ) -> (OpSim, OpSim) {
     let sampled = run_sampled(chip, tile, trace);
-    (
-        finish(chip, tile, trace, ExecMode::TensorDash, &sampled),
-        finish(chip, tile, trace, ExecMode::Baseline, &sampled),
-    )
+    finish_pair(chip, tile, trace, &sampled)
 }
 
 pub(crate) fn simulate_op_impl(
@@ -108,9 +112,28 @@ pub(crate) fn simulate_op_impl(
     finish(chip, tile, trace, mode, &sampled)
 }
 
-/// Aggregates of the bit-exact sampled tile runs.
-#[derive(Debug, Clone, Copy)]
-struct Sampled {
+/// Scales a fully-merged [`Sampled`] to both machines' full-operation
+/// results — the per-op epilogue the batch path runs once after its
+/// chunk partials are reduced.
+pub(crate) fn finish_pair(
+    chip: &ChipConfig,
+    tile: &Tile,
+    trace: &OpTrace,
+    sampled: &Sampled,
+) -> (OpSim, OpSim) {
+    (
+        finish(chip, tile, trace, ExecMode::TensorDash, sampled),
+        finish(chip, tile, trace, ExecMode::Baseline, sampled),
+    )
+}
+
+/// Aggregates of the bit-exact sampled tile runs. Every field is an exact
+/// `u64` sum over tile row-groups, so partial aggregates from disjoint
+/// chunks merge associatively — the intra-run parallel path reduces chunk
+/// partials in input order and the result is byte-identical to the serial
+/// loop at any thread count.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Sampled {
     td_cycles: u64,
     dense_cycles: u64,
     macs_per_column: u64,
@@ -118,39 +141,88 @@ struct Sampled {
     groups: u64,
 }
 
-fn run_sampled(chip: &ChipConfig, tile: &Tile, trace: &OpTrace) -> Sampled {
-    assert_eq!(
-        trace.lanes,
-        chip.tile.pe.lanes(),
-        "trace was packed for a different PE width"
-    );
-    assert!(!trace.is_empty(), "trace has no sampled windows");
-    let rows = trace
-        .uniform_rows()
-        .expect("all sampled streams of one operation cover the same reduction extent");
+impl Sampled {
+    /// Folds another chunk's aggregates into this one.
+    pub(crate) fn absorb(&mut self, other: &Sampled) {
+        self.td_cycles += other.td_cycles;
+        self.dense_cycles += other.dense_cycles;
+        self.macs_per_column += other.macs_per_column;
+        self.scheduler_steps += other.scheduler_steps;
+        self.groups += other.groups;
+    }
+}
 
-    // The sampled streams are consumed straight out of the trace's flat
-    // mask arena: each tile row-group is one contiguous arena slice, with
-    // no per-group slice vector.
-    let arena = trace.arena_masks();
-    let windows = trace.num_windows();
-    let mut sampled = Sampled {
-        td_cycles: 0,
-        dense_cycles: 0,
-        macs_per_column: 0,
-        scheduler_steps: 0,
-        groups: 0,
-    };
-    let mut start = 0;
-    while start < windows {
-        let count = chip.tile.rows.min(windows - start);
-        let run = tile.run_group_arena(&arena[start * rows..(start + count) * rows], count, rows);
-        sampled.td_cycles += run.cycles;
-        sampled.dense_cycles += run.dense_cycles;
-        sampled.macs_per_column += run.macs_per_column;
-        sampled.scheduler_steps += run.scheduler_steps;
-        sampled.groups += 1;
-        start += count;
+/// The validated sampled region of one operation, split into per-tile-
+/// row-group work items: chunk `c` is the `c`-th `tile.rows`-window group
+/// of the trace arena, exactly the slices the serial loop feeds
+/// [`Tile::run_group_arena`]. The batch simulator shards one *(layer,
+/// op)*'s chunks across its work-stealing pool; running every chunk in
+/// order and merging with [`Sampled::absorb`] reproduces the serial run
+/// bit for bit.
+pub(crate) struct SampledPlan<'a> {
+    arena: &'a [u64],
+    windows: usize,
+    rows: usize,
+    /// Windows per tile row-group (the chip's tile row count).
+    group_windows: usize,
+}
+
+impl<'a> SampledPlan<'a> {
+    /// Validates the trace against the chip once, up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's lane count differs from the chip's PE width,
+    /// or if the trace has no sampled windows.
+    pub(crate) fn new(chip: &ChipConfig, trace: &'a OpTrace) -> Self {
+        assert_eq!(
+            trace.lanes,
+            chip.tile.pe.lanes(),
+            "trace was packed for a different PE width"
+        );
+        assert!(!trace.is_empty(), "trace has no sampled windows");
+        let rows = trace
+            .uniform_rows()
+            .expect("all sampled streams of one operation cover the same reduction extent");
+        SampledPlan {
+            arena: trace.arena_masks(),
+            windows: trace.num_windows(),
+            rows,
+            group_windows: chip.tile.rows,
+        }
+    }
+
+    /// Number of tile row-group chunks (work items) this operation splits
+    /// into — at least one.
+    pub(crate) fn chunks(&self) -> usize {
+        self.windows.div_ceil(self.group_windows)
+    }
+
+    /// Runs chunk `chunk` — one tile row-group, consumed straight out of
+    /// the trace's flat mask arena with no per-group slice vector.
+    pub(crate) fn run_chunk(&self, tile: &Tile, chunk: usize) -> Sampled {
+        let start = chunk * self.group_windows;
+        let count = self.group_windows.min(self.windows - start);
+        let run = tile.run_group_arena(
+            &self.arena[start * self.rows..(start + count) * self.rows],
+            count,
+            self.rows,
+        );
+        Sampled {
+            td_cycles: run.cycles,
+            dense_cycles: run.dense_cycles,
+            macs_per_column: run.macs_per_column,
+            scheduler_steps: run.scheduler_steps,
+            groups: 1,
+        }
+    }
+}
+
+fn run_sampled(chip: &ChipConfig, tile: &Tile, trace: &OpTrace) -> Sampled {
+    let plan = SampledPlan::new(chip, trace);
+    let mut sampled = Sampled::default();
+    for chunk in 0..plan.chunks() {
+        sampled.absorb(&plan.run_chunk(tile, chunk));
     }
     sampled
 }

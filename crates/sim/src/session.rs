@@ -17,9 +17,9 @@ use tensordash_trace::{OpTrace, SourceError, TraceRequest, TraceSource};
 
 /// A cooperative cancellation signal for long simulations: an explicit
 /// flag, an optional wall-clock deadline, or both. Workers consult it at
-/// *(layer, op)* work-item boundaries — a fired token stops a batch
-/// before its next item, never mid-item, so partial results are simply
-/// discarded and nothing half-built escapes.
+/// *(layer, op, tile row-group chunk)* work-item boundaries — a fired
+/// token stops a batch before its next item, never mid-item, so partial
+/// results are simply discarded and nothing half-built escapes.
 ///
 /// Clones share the flag: cancelling any clone cancels them all.
 #[derive(Debug, Clone, Default)]
@@ -197,13 +197,20 @@ impl Simulator {
     /// layer — across a scoped thread pool, returning one [`LayerReport`]
     /// per group in input order.
     ///
-    /// Scheduling is **work-stealing**: every *(group, operation)* pair is
-    /// one work item, and workers claim items off a shared atomic index as
-    /// they finish, so one heavy layer (a ResNet bottleneck against a run
-    /// of cheap 1×1s) balances across threads instead of serializing a
-    /// statically-chunked worker's queue. Each item is simulated
-    /// independently and lands in its own result slot, so reports are
-    /// bit-identical to a sequential run and always in input order,
+    /// Scheduling is **work-stealing with intra-run sharding**: every
+    /// *(group, operation, tile row-group chunk)* triple is one work item,
+    /// and workers claim items off a shared atomic index as they finish.
+    /// A batch of many small layers balances exactly as before, and a
+    /// *single* big operation (one transformer-MLP matmul) also shards
+    /// across every thread instead of pinning one worker — the chunks are
+    /// the same contiguous arena row-groups the serial loop feeds
+    /// [`Tile::run_group_arena`](crate::Tile::run_group_arena).
+    ///
+    /// The reduction-order contract: each chunk's aggregates land in their
+    /// own pre-allocated slot, and after the pool joins they are merged
+    /// per operation in input (chunk) order before the full-op scaling
+    /// runs once. Every merged field is an exact `u64` sum, so reports
+    /// are bit-identical to a sequential run and always in input order,
     /// whatever the thread count (see
     /// [`with_threads`](Simulator::with_threads)).
     ///
@@ -217,7 +224,7 @@ impl Simulator {
     }
 
     /// As [`simulate_batch`](Simulator::simulate_batch), consulting
-    /// `cancel` before each *(group, op)* work item is claimed. A fired
+    /// `cancel` before each *(group, op, chunk)* work item is claimed. A fired
     /// token stops every worker at its next boundary and the whole batch
     /// returns [`Cancelled`]; a batch whose items all completed before
     /// the token fired still returns its (complete, bit-identical)
@@ -238,23 +245,40 @@ impl Simulator {
         groups: &[(&str, &[OpTrace])],
         cancel: &CancelToken,
     ) -> Result<Vec<LayerReport>, Cancelled> {
-        // One pre-allocated slot per (group, op): workers write disjoint
-        // slots, the assembly below reads them in input order.
-        let slots: Vec<Vec<OnceLock<OpAggregate>>> = groups
+        // One validated plan per (group, op) and one pre-allocated slot
+        // per (group, op, chunk): workers write disjoint slots, the
+        // reduction below reads them in input order.
+        let plans: Vec<Vec<exec::SampledPlan>> = groups
             .iter()
-            .map(|(_, ops)| ops.iter().map(|_| OnceLock::new()).collect())
+            .map(|(_, ops)| {
+                ops.iter()
+                    .map(|trace| exec::SampledPlan::new(&self.chip, trace))
+                    .collect()
+            })
             .collect();
-        let items: Vec<(usize, usize)> = groups
+        let slots: Vec<Vec<Vec<OnceLock<exec::Sampled>>>> = plans
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .map(|plan| (0..plan.chunks()).map(|_| OnceLock::new()).collect())
+                    .collect()
+            })
+            .collect();
+        let items: Vec<(usize, usize, usize)> = plans
             .iter()
             .enumerate()
-            .flat_map(|(g, (_, ops))| (0..ops.len()).map(move |o| (g, o)))
+            .flat_map(|(g, ops)| {
+                ops.iter()
+                    .enumerate()
+                    .flat_map(move |(o, plan)| (0..plan.chunks()).map(move |c| (g, o, c)))
+            })
             .collect();
 
         let workers = self.threads.min(items.len());
-        let run_item = |&(g, o): &(usize, usize)| {
-            let aggregate = self.aggregate(&groups[g].1[o]);
-            slots[g][o]
-                .set(aggregate)
+        let run_item = |&(g, o, c): &(usize, usize, usize)| {
+            let sampled = plans[g][o].run_chunk(&self.tile, c);
+            slots[g][o][c]
+                .set(sampled)
                 .expect("each work item is claimed exactly once");
         };
         if workers <= 1 {
@@ -281,16 +305,31 @@ impl Simulator {
             });
         }
 
+        // The deterministic reduction: per (group, op), merge chunk
+        // partials in input order (exact u64 sums), then run the full-op
+        // scaling once over the merged aggregates — byte-identical to the
+        // serial loop at any thread count.
         let mut layers = Vec::with_capacity(groups.len());
-        for ((label, _), row) in groups.iter().zip(slots) {
+        for ((label, traces), row) in groups.iter().zip(slots) {
             let mut ops = Vec::with_capacity(row.len());
-            for slot in row {
-                // An unfilled slot means a worker bailed at the boundary:
-                // the batch is incomplete and must not pretend otherwise.
-                match slot.into_inner() {
-                    Some(aggregate) => ops.push(aggregate),
-                    None => return Err(Cancelled),
+            for (trace, chunk_slots) in traces.iter().zip(row) {
+                let mut merged = exec::Sampled::default();
+                for slot in chunk_slots {
+                    // An unfilled slot means a worker bailed at the
+                    // boundary: the batch is incomplete and must not
+                    // pretend otherwise.
+                    match slot.into_inner() {
+                        Some(partial) => merged.absorb(&partial),
+                        None => return Err(Cancelled),
+                    }
                 }
+                let (tensordash, baseline) =
+                    exec::finish_pair(&self.chip, &self.tile, trace, &merged);
+                ops.push(OpAggregate {
+                    op: trace.op,
+                    tensordash,
+                    baseline,
+                });
             }
             layers.push(LayerReport {
                 label: (*label).to_string(),
@@ -427,6 +466,39 @@ mod tests {
             assert_eq!(got, reference, "{threads} workers diverged");
         }
         assert_eq!(reference[1].ops.len(), 0, "empty group keeps its slot");
+    }
+
+    /// One big operation must shard into several tile row-group chunks
+    /// (the intra-run parallelism path) and still reduce to the same
+    /// bytes as the fully sequential per-op entry point at every thread
+    /// count — the chunked reduction is exact `u64` sums, not floats.
+    #[test]
+    fn intra_run_sharding_is_thread_count_invariant() {
+        let sim = Simulator::paper();
+        let dims = ConvDims::conv_square(4, 64, 14, 64, 3, 1, 1);
+        let op = UniformSparsity::new(0.6).op_trace(
+            dims,
+            TrainingOp::Forward,
+            16,
+            &SampleSpec::new(64, 128),
+            0x51AB,
+        );
+        let plan = exec::SampledPlan::new(sim.chip(), &op);
+        assert!(
+            plan.chunks() >= 4,
+            "the single op must split into multiple work items ({} chunks)",
+            plan.chunks()
+        );
+        let ops = [op];
+        let groups: Vec<(&str, &[OpTrace])> = vec![("mlp", &ops)];
+        let sequential = vec![LayerReport {
+            label: "mlp".to_string(),
+            ops: vec![sim.aggregate(&ops[0])],
+        }];
+        for threads in [1, 2, 8] {
+            let got = sim.clone().with_threads(threads).simulate_batch(&groups);
+            assert_eq!(got, sequential, "{threads} workers diverged");
+        }
     }
 
     #[test]
